@@ -1,0 +1,131 @@
+//! Criterion benchmarks for the hot serving paths: featurization,
+//! model prediction, cascade serving, and top-K filtering. These track
+//! performance regressions; the paper-shaped experiment tables come
+//! from the `fig*`/`table*` binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use willump::{QueryMode, Willump, WillumpConfig};
+use willump_graph::{EngineMode, Executor, InputRow};
+use willump_workloads::{WorkloadConfig, WorkloadKind};
+
+fn bench_featurization(c: &mut Criterion) {
+    let w = WorkloadKind::Toxic
+        .generate(&WorkloadConfig::small())
+        .expect("workload generates");
+    let compiled =
+        Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).expect("executor");
+    let interp =
+        Executor::new(w.pipeline.graph().clone(), EngineMode::Interpreted).expect("executor");
+    let mut g = c.benchmark_group("featurization_toxic");
+    g.bench_function("compiled_batch", |b| {
+        b.iter(|| compiled.features_batch(&w.test, None).expect("features"))
+    });
+    g.bench_function("interpreted_batch", |b| {
+        b.iter(|| interp.features_batch(&w.test, None).expect("features"))
+    });
+    let input = InputRow::from_table(&w.test, 0).expect("row");
+    g.bench_function("compiled_single", |b| {
+        b.iter(|| compiled.features_one(&input, None).expect("features"))
+    });
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let w = WorkloadKind::Music
+        .generate(&WorkloadConfig::small())
+        .expect("workload generates");
+    let exec =
+        Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).expect("executor");
+    let feats = exec.features_batch(&w.train, None).expect("features");
+    let model = w
+        .pipeline
+        .spec()
+        .fit(&feats, &w.train_y, 1)
+        .expect("model trains");
+    let test_feats = exec.features_batch(&w.test, None).expect("features");
+    c.bench_function("gbdt_predict_batch", |b| {
+        b.iter(|| model.predict_scores(&test_feats))
+    });
+}
+
+fn bench_cascades(c: &mut Criterion) {
+    let w = WorkloadKind::Product
+        .generate(&WorkloadConfig::small())
+        .expect("workload generates");
+    let opt = Willump::new(WillumpConfig::default())
+        .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+        .expect("optimizes");
+    let mut g = c.benchmark_group("cascade_product");
+    g.bench_function("cascade_batch", |b| {
+        b.iter(|| opt.predict_batch(&w.test).expect("predicts"))
+    });
+    let input = InputRow::from_table(&w.test, 0).expect("row");
+    g.bench_function("cascade_single", |b| {
+        b.iter(|| opt.predict_one(&input).expect("predicts"))
+    });
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let w = WorkloadKind::Price
+        .generate(&WorkloadConfig::small())
+        .expect("workload generates");
+    let cfg = WillumpConfig {
+        mode: QueryMode::TopK { k: 20 },
+        ..WillumpConfig::default()
+    };
+    let opt = Willump::new(cfg)
+        .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+        .expect("optimizes");
+    c.bench_function("topk_price_filtered", |b| {
+        b.iter_batched(
+            || (),
+            |()| opt.top_k(&w.test, 20).expect("top-K"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_vectorizers(c: &mut Criterion) {
+    use willump_featurize::{
+        HashingVectorizer, TfIdfVectorizer, VectorizerConfig,
+    };
+    let docs: Vec<String> = {
+        let mut rng = willump_data::rng::seeded(5);
+        let vocab = willump_data::text::SyntheticVocab::new(2_000);
+        (0..500)
+            .map(|_| vocab.document(&mut rng, 20, None, 0.0))
+            .collect()
+    };
+    let mut tfidf = TfIdfVectorizer::new(VectorizerConfig::default()).expect("config valid");
+    tfidf.fit(&docs);
+    let hashing =
+        HashingVectorizer::new(VectorizerConfig::default(), 1 << 12).expect("config valid");
+    let mut g = c.benchmark_group("vectorizers");
+    g.bench_function("tfidf_batch_500", |b| {
+        b.iter(|| tfidf.transform(&docs).expect("fitted"))
+    });
+    g.bench_function("hashing_batch_500", |b| b.iter(|| hashing.transform(&docs)));
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    use willump_models::{IsotonicCalibrator, PlattScaler};
+    let scores: Vec<f64> = (0..5_000).map(|i| (i % 1000) as f64 / 1000.0).collect();
+    let labels: Vec<f64> = scores.iter().map(|s| f64::from(*s > 0.4)).collect();
+    let platt = PlattScaler::fit(&scores, &labels).expect("fits");
+    let iso = IsotonicCalibrator::fit(&scores, &labels).expect("fits");
+    let mut g = c.benchmark_group("calibration");
+    g.bench_function("platt_batch_5k", |b| b.iter(|| platt.calibrate_batch(&scores)));
+    g.bench_function("isotonic_batch_5k", |b| b.iter(|| iso.calibrate_batch(&scores)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_featurization, bench_models, bench_cascades, bench_topk,
+              bench_vectorizers, bench_calibration
+}
+criterion_main!(benches);

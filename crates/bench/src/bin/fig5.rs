@@ -1,0 +1,66 @@
+//! Figure 5: batch-query throughput of Python, Willump compilation,
+//! and compilation + cascades on all six benchmarks (local tables).
+
+use willump::QueryMode;
+use willump_bench::{
+    baseline, batch_throughput, batch_throughput_rows, fmt_speedup, fmt_throughput, generate,
+    optimize_level, print_table, test_sample, OptLevel, PYTHON_SAMPLE_ROWS,
+};
+use willump_workloads::WorkloadKind;
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let t0 = std::time::Instant::now();
+        let w = generate(kind, false);
+        let reps = 3;
+        eprintln!("[fig5] {} generated ({:.0}s)", kind.name(), t0.elapsed().as_secs_f64());
+
+        // The interpreted baseline is timed on a bounded sample (see
+        // PYTHON_SAMPLE_ROWS); throughput is a per-row rate.
+        let python = baseline(&w);
+        let py_sample = test_sample(&w, PYTHON_SAMPLE_ROWS);
+        let py_tp = batch_throughput_rows(&w, py_sample.n_rows(), 1, || {
+            python.predict_batch(&py_sample).expect("baseline predicts");
+        });
+        eprintln!("[fig5] {} python done ({:.0}s)", kind.name(), t0.elapsed().as_secs_f64());
+
+        let compiled = optimize_level(&w, OptLevel::Compiled, QueryMode::Batch, None, 1);
+        let c_tp = batch_throughput(&w, reps, || {
+            compiled.predict_batch(&w.test).expect("compiled predicts");
+        });
+        eprintln!("[fig5] {} compiled done ({:.0}s)", kind.name(), t0.elapsed().as_secs_f64());
+
+        let (casc_cell, casc_speedup) = if kind.is_classification() {
+            let cascades = optimize_level(&w, OptLevel::Cascades, QueryMode::Batch, None, 1);
+            let k_tp = batch_throughput(&w, reps, || {
+                cascades.predict_batch(&w.test).expect("cascade predicts");
+            });
+            (fmt_throughput(k_tp), fmt_speedup(k_tp / c_tp))
+        } else {
+            ("N/A".to_string(), "N/A".to_string())
+        };
+        eprintln!("[fig5] {} finished ({:.0}s)", kind.name(), t0.elapsed().as_secs_f64());
+
+        rows.push(vec![
+            kind.name().to_string(),
+            fmt_throughput(py_tp),
+            fmt_throughput(c_tp),
+            casc_cell,
+            fmt_speedup(c_tp / py_tp),
+            casc_speedup,
+        ]);
+    }
+    print_table(
+        "Figure 5: batch throughput (rows/s), local tables",
+        &[
+            "benchmark",
+            "python",
+            "compiled",
+            "compiled+cascades",
+            "compile speedup",
+            "cascade speedup",
+        ],
+        &rows,
+    );
+}

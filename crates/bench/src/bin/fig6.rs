@@ -1,0 +1,65 @@
+//! Figure 6: example-at-a-time latency of Python, Willump compilation,
+//! and compilation + cascades on all six benchmarks (local tables).
+
+use willump::QueryMode;
+use willump_bench::{
+    baseline, fmt_latency, fmt_speedup, generate, optimize_level, per_input_latency, print_table,
+    OptLevel,
+};
+use willump_workloads::WorkloadKind;
+
+fn main() {
+    let n = 400;
+    // The interpreted baseline's per-row latency is hundreds of
+    // milliseconds on the text workloads; 60 inputs estimate its mean
+    // stably without dominating the suite. Optimized configurations
+    // are measured over the full `n`.
+    let n_python = 60;
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = generate(kind, false);
+
+        let python = baseline(&w);
+        let py_lat = per_input_latency(&w, n_python, |input| {
+            python.predict_one(input).expect("baseline predicts")
+        });
+
+        let compiled =
+            optimize_level(&w, OptLevel::Compiled, QueryMode::ExampleAtATime, None, 1);
+        let c_lat = per_input_latency(&w, n, |input| {
+            compiled.predict_one(input).expect("compiled predicts")
+        });
+
+        let (casc_cell, casc_speedup) = if kind.is_classification() {
+            let cascades =
+                optimize_level(&w, OptLevel::Cascades, QueryMode::ExampleAtATime, None, 1);
+            let k_lat = per_input_latency(&w, n, |input| {
+                cascades.predict_one(input).expect("cascade predicts")
+            });
+            (fmt_latency(k_lat), fmt_speedup(c_lat / k_lat))
+        } else {
+            ("N/A".to_string(), "N/A".to_string())
+        };
+
+        rows.push(vec![
+            kind.name().to_string(),
+            fmt_latency(py_lat),
+            fmt_latency(c_lat),
+            casc_cell,
+            fmt_speedup(py_lat / c_lat),
+            casc_speedup,
+        ]);
+    }
+    print_table(
+        "Figure 6: example-at-a-time latency, local tables",
+        &[
+            "benchmark",
+            "python",
+            "compiled",
+            "compiled+cascades",
+            "compile speedup",
+            "cascade speedup",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 7: throughput versus accuracy on the classification
+//! benchmarks while sweeping the cascade threshold. The full model
+//! and the small model alone are the two endpoints.
+
+use willump::cascade::THRESHOLD_CANDIDATES;
+use willump::{Willump, WillumpConfig};
+use willump_bench::{batch_throughput, fmt_throughput, generate, print_table};
+use willump_models::metrics;
+use willump_workloads::WorkloadKind;
+
+fn main() {
+    let kinds = [
+        WorkloadKind::Product,
+        WorkloadKind::Toxic,
+        WorkloadKind::Music,
+        WorkloadKind::Tracking,
+    ];
+    for kind in kinds {
+        let w = generate(kind, false);
+        // Force deployment (gate off): the sweep wants the whole
+        // throughput/accuracy curve even where cascades would not pay.
+        let cfg = WillumpConfig {
+            cascade_gate: false,
+            ..WillumpConfig::default()
+        };
+        let mut opt = Willump::new(cfg)
+            .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+            .expect("optimization succeeds");
+        if !opt.report().cascades_deployed {
+            println!("\n## Figure 7 ({}): cascades not deployed (feature computation too cheap to cascade)", kind.name());
+            continue;
+        }
+        let chosen = opt.report().threshold.clone().expect("threshold chosen");
+        let mut rows = Vec::new();
+
+        // Full-model endpoint: threshold > 1 escalates everything.
+        {
+            let cascade = opt.cascade_mut().expect("cascade deployed");
+            cascade.set_threshold(1.0);
+        }
+        let tp_full = batch_throughput(&w, 3, || {
+            opt.predict_batch(&w.test).expect("prediction succeeds");
+        });
+        let scores = opt.predict_batch(&w.test).expect("prediction succeeds");
+        rows.push(vec![
+            "full model".to_string(),
+            "-".to_string(),
+            fmt_throughput(tp_full),
+            format!("{:.4}", metrics::accuracy(&scores, &w.test_y)),
+        ]);
+
+        // Cascaded points across thresholds (descending = more kept by
+        // the small model as threshold falls).
+        for &tc in THRESHOLD_CANDIDATES.iter().rev() {
+            {
+                let cascade = opt.cascade_mut().expect("cascade deployed");
+                cascade.set_threshold(tc);
+            }
+            let tp = batch_throughput(&w, 3, || {
+                opt.predict_batch(&w.test).expect("prediction succeeds");
+            });
+            let scores = opt.predict_batch(&w.test).expect("prediction succeeds");
+            let marker = if (tc - chosen.threshold).abs() < 1e-9 {
+                " (selected)"
+            } else {
+                ""
+            };
+            rows.push(vec![
+                format!("threshold {tc:.1}{marker}"),
+                format!("{tc:.1}"),
+                fmt_throughput(tp),
+                format!("{:.4}", metrics::accuracy(&scores, &w.test_y)),
+            ]);
+        }
+
+        // Small-model endpoint: threshold below any confidence keeps
+        // everything (confidence >= 0.5 always).
+        {
+            let cascade = opt.cascade_mut().expect("cascade deployed");
+            cascade.set_threshold(0.49);
+        }
+        let tp_small = batch_throughput(&w, 3, || {
+            opt.predict_batch(&w.test).expect("prediction succeeds");
+        });
+        let scores = opt.predict_batch(&w.test).expect("prediction succeeds");
+        rows.push(vec![
+            "small model".to_string(),
+            "-".to_string(),
+            fmt_throughput(tp_small),
+            format!("{:.4}", metrics::accuracy(&scores, &w.test_y)),
+        ]);
+
+        print_table(
+            &format!(
+                "Figure 7 ({}): throughput vs accuracy across cascade thresholds",
+                kind.name()
+            ),
+            &["point", "threshold", "throughput", "accuracy"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 8: example-at-a-time parallelization. Left: real benchmarks
+//! (Product, Toxic), where one dominant IFV Amdahl-limits the gains.
+//! Right: a synthetic pipeline of four identical TF-IDF feature
+//! generators, which parallelizes nearly linearly.
+
+use std::sync::Arc;
+
+use willump_bench::{fmt_speedup, generate, print_table};
+use willump_data::text::SyntheticVocab;
+use willump_data::{Column, Table};
+use willump_featurize::{Analyzer, TfIdfVectorizer, VectorizerConfig};
+use willump_graph::cost::measure_costs;
+use willump_graph::{EngineMode, Executor, GraphBuilder, InputRow, Operator, Parallelism};
+use willump_workloads::WorkloadKind;
+
+/// Mean feature-computation latency over `n` inputs at a parallelism
+/// level.
+fn latency(exec: &Executor, table: &Table, n: usize) -> f64 {
+    let n = n.min(table.n_rows());
+    let inputs: Vec<InputRow> = (0..n)
+        .map(|r| InputRow::from_table(table, r).expect("row"))
+        .collect();
+    let _ = exec.features_one(&inputs[0], None);
+    let start = std::time::Instant::now();
+    for input in &inputs {
+        exec.features_one(input, None).expect("features");
+    }
+    start.elapsed().as_secs_f64() / n as f64
+}
+
+fn bench_real(kind: WorkloadKind, rows: &mut Vec<Vec<String>>) {
+    let w = generate(kind, false);
+    let base_exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled)
+        .expect("executor builds");
+    let costs = measure_costs(&base_exec, &w.train).expect("costs measured");
+    let n_fgs = base_exec.analysis().generators.len();
+    let serial = latency(&base_exec, &w.test, 200);
+    for threads in 1..=n_fgs {
+        let exec = base_exec
+            .clone()
+            .with_generator_costs(costs.per_generator.clone())
+            .with_parallelism(Parallelism::PerInput(threads));
+        let lat = latency(&exec, &w.test, 200);
+        rows.push(vec![
+            kind.name().to_string(),
+            threads.to_string(),
+            fmt_speedup(serial / lat),
+        ]);
+    }
+}
+
+/// The paper's synthetic benchmark: the same TF-IDF operator four
+/// times over four independent inputs, concatenated, then a linear
+/// model — embarrassingly parallel across IFVs.
+fn bench_synthetic(rows: &mut Vec<Vec<String>>) {
+    let vocab = SyntheticVocab::new(2_000);
+    let mut rng = willump_data::rng::seeded(11);
+    // Long documents so each TF-IDF generator does ~100 us of work per
+    // input — the regime the paper's synthetic benchmark targets,
+    // where per-generator compute dominates dispatch overhead.
+    let doc_words = 220;
+    let corpus: Vec<String> = (0..300)
+        .map(|_| vocab.document(&mut rng, doc_words, None, 0.0))
+        .collect();
+    let mut tfidf = TfIdfVectorizer::new(VectorizerConfig {
+        analyzer: Analyzer::Char,
+        ngram_lo: 3,
+        ngram_hi: 5,
+        min_df: 2,
+        sublinear_tf: true,
+        ..VectorizerConfig::default()
+    })
+    .expect("config valid");
+    tfidf.fit(&corpus);
+    let tfidf = Arc::new(tfidf);
+
+    let mut b = GraphBuilder::new();
+    let mut fgs = Vec::new();
+    for i in 0..4 {
+        let src = b.source(format!("text{i}"));
+        let f = b
+            .add(format!("tfidf{i}"), Operator::TfIdf(Arc::clone(&tfidf)), [src])
+            .expect("node added");
+        fgs.push(f);
+    }
+    let graph = Arc::new(b.finish_with_concat("features", fgs).expect("graph built"));
+
+    let mut table = Table::new();
+    for i in 0..4 {
+        let docs: Vec<String> = (0..200)
+            .map(|_| vocab.document(&mut rng, doc_words, None, 0.0))
+            .collect();
+        table
+            .add_column(format!("text{i}"), Column::from(docs))
+            .expect("column added");
+    }
+
+    let base = Executor::new(graph, EngineMode::Compiled).expect("executor builds");
+    let serial = latency(&base, &table, 150);
+    for threads in 1..=4 {
+        let exec = base
+            .clone()
+            .with_generator_costs(vec![1.0; 4])
+            .with_parallelism(Parallelism::PerInput(threads));
+        let lat = latency(&exec, &table, 150);
+        rows.push(vec![
+            "synthetic-4xTFIDF".to_string(),
+            threads.to_string(),
+            fmt_speedup(serial / lat),
+        ]);
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    bench_real(WorkloadKind::Product, &mut rows);
+    bench_real(WorkloadKind::Toxic, &mut rows);
+    bench_synthetic(&mut rows);
+    print_table(
+        "Figure 8: per-input parallelization speedup (feature computation latency)",
+        &["pipeline", "threads", "speedup"],
+        &rows,
+    );
+}

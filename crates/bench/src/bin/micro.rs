@@ -1,0 +1,274 @@
+//! Section 6.4 microbenchmarks not covered by the other binaries:
+//!
+//! - `gamma`: the Algorithm 1 stopping-rule ablation on Music,
+//! - `threshold`: cascade-threshold robustness across validation
+//!   splits,
+//! - `driver`: engine-boundary ("Weld driver") overhead share,
+//! - `opttime`: end-to-end optimization times,
+//! - `calibration`: cascade confidence calibration ablation (an
+//!   extension beyond the paper; see DESIGN.md §4b).
+//!
+//! Run one section with `cargo run -p willump-bench --release --bin
+//! micro -- <section>`, or everything with no argument.
+
+use std::sync::Arc;
+
+use willump::cascade::train_cascade_with_subset;
+use willump::efficient::{select_efficient_ifvs, SelectionStrategy};
+use willump::stats::compute_ifv_stats;
+use willump::{Calibration, QueryMode, Willump, WillumpConfig};
+use willump_bench::{
+    batch_throughput, fmt_speedup, generate, optimize_level, print_table, OptLevel,
+};
+use willump_graph::cost::measure_costs;
+use willump_graph::{EngineMode, Executor};
+use willump_models::metrics;
+use willump_workloads::{Workload, WorkloadKind};
+
+fn gamma_ablation() {
+    // Paper §6.4: on Music (the classification benchmark with the most
+    // IFVs), disabling the gamma rule lowers the cascade speedup at
+    // matched accuracy targets.
+    let w = generate(WorkloadKind::Music, true);
+    let opt = optimize_level(&w, OptLevel::Compiled, QueryMode::Batch, None, 1);
+    let exec = opt.executor();
+    let full_feats = exec.features_batch(&w.train, None).expect("features");
+    let stats = compute_ifv_stats(exec, opt.full_model(), &full_feats, &w.train, &w.train_y, 42)
+        .expect("stats");
+    let base_tp = batch_throughput(&w, 3, || {
+        opt.predict_batch(&w.test).expect("predicts");
+    });
+
+    let mut rows = Vec::new();
+    for (label, use_rule) in [("with gamma rule", true), ("without gamma rule", false)] {
+        let subset = select_efficient_ifvs(
+            &stats,
+            SelectionStrategy::CostEffective {
+                gamma: 0.25,
+                use_gamma_rule: use_rule,
+            },
+            0.5,
+        );
+        for target in [0.001, 0.005] {
+            let n_fgs = exec.analysis().generators.len();
+            let cell = if subset.is_empty() || subset.len() >= n_fgs {
+                "no cascade".to_string()
+            } else {
+                let (cascade, _) = train_cascade_with_subset(
+                    exec,
+                    w.pipeline.spec(),
+                    Arc::clone(opt.full_model()),
+                    &w.train,
+                    &w.train_y,
+                    &w.valid,
+                    &w.valid_y,
+                    subset.clone(),
+                    target,
+                    42,
+                )
+                .expect("cascade trains");
+                let tp = batch_throughput(&w, 3, || {
+                    cascade.predict_batch(&w.test).expect("predicts");
+                });
+                fmt_speedup(tp / base_tp)
+            };
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.1}%", target * 100.0),
+                format!("{subset:?}"),
+                cell,
+            ]);
+        }
+    }
+    print_table(
+        "Micro (gamma): Algorithm 1 stopping rule on Music (speedup over compiled)",
+        &["variant", "accuracy target", "efficient set", "cascade speedup"],
+        &rows,
+    );
+}
+
+fn threshold_robustness() {
+    // Paper §6.4: a threshold chosen on one validation set holds on
+    // another (accuracy within the target, not statistically
+    // significant).
+    let mut rows = Vec::new();
+    for kind in [
+        WorkloadKind::Product,
+        WorkloadKind::Toxic,
+        WorkloadKind::Music,
+        WorkloadKind::Tracking,
+    ] {
+        let w = generate(kind, false);
+        // Split validation in half: choose on A, evaluate on B.
+        let half = w.valid.n_rows() / 2;
+        let a_idx: Vec<usize> = (0..half).collect();
+        let b_idx: Vec<usize> = (half..w.valid.n_rows()).collect();
+        let valid_a = w.valid.take_rows(&a_idx);
+        let valid_a_y = a_idx.iter().map(|&i| w.valid_y[i]).collect::<Vec<_>>();
+        let valid_b = w.valid.take_rows(&b_idx);
+        let valid_b_y: Vec<f64> = b_idx.iter().map(|&i| w.valid_y[i]).collect();
+
+        let sub = Workload {
+            valid: valid_a,
+            valid_y: valid_a_y,
+            ..w.clone()
+        };
+        let opt = {
+            let cfg = WillumpConfig {
+                cascades: true,
+                cascade_gate: false,
+                ..WillumpConfig::default()
+            };
+            Willump::new(cfg)
+                .optimize(&sub.pipeline, &sub.train, &sub.train_y, &sub.valid, &sub.valid_y)
+                .expect("optimizes")
+        };
+        let Some(sel) = opt.report().threshold.clone() else {
+            rows.push(vec![kind.name().to_string(), "no cascade".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        // Evaluate on validation half B.
+        let scores = opt.predict_batch(&valid_b).expect("predicts");
+        let full_feats = opt.executor().features_batch(&valid_b, None).expect("features");
+        let full_acc = metrics::accuracy(&opt.full_model().predict_scores(&full_feats), &valid_b_y);
+        let cascade_acc = metrics::accuracy(&scores, &valid_b_y);
+        let ci = metrics::accuracy_ci_95(full_acc, valid_b_y.len());
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.1}", sel.threshold),
+            format!("{full_acc:.4}"),
+            format!("{cascade_acc:.4}"),
+            if cascade_acc >= full_acc - ci { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    print_table(
+        "Micro (threshold): robustness across validation splits",
+        &[
+            "benchmark",
+            "threshold (split A)",
+            "full acc (split B)",
+            "cascade acc (split B)",
+            "within 95% CI",
+        ],
+        &rows,
+    );
+}
+
+fn driver_overhead() {
+    // Paper §6.4: engine-boundary overheads are <= 1.6 % of runtime.
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = generate(kind, false);
+        let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled)
+            .expect("executor builds");
+        let report = measure_costs(&exec, &w.test).expect("costs measured");
+        let share = 100.0 * report.boundary / report.total().max(1e-12);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.2}us", report.boundary * 1e6),
+            format!("{:.2}us", report.total() * 1e6),
+            format!("{share:.2}%"),
+        ]);
+    }
+    print_table(
+        "Micro (driver): engine-boundary overhead per input row",
+        &["benchmark", "boundary", "total", "share"],
+        &rows,
+    );
+}
+
+fn optimization_times() {
+    // Paper §6.4: optimization never exceeds thirty seconds.
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = generate(kind, kind.uses_store());
+        let mode = if kind.is_classification() {
+            QueryMode::Batch
+        } else {
+            QueryMode::TopK { k: 100 }
+        };
+        let opt = optimize_level(&w, OptLevel::Cascades, mode, None, 1);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.2}s", opt.report().optimization_seconds),
+            opt.report().cascades_deployed.to_string(),
+            opt.report().filter_deployed.to_string(),
+        ]);
+    }
+    print_table(
+        "Micro (opttime): Willump optimization wall time",
+        &["benchmark", "optimization time", "cascades", "filter"],
+        &rows,
+    );
+}
+
+fn calibration_ablation() {
+    // Extension (DESIGN.md §4b): calibrating small-model confidences
+    // changes which inputs the cascade keeps. We compare raw vs Platt
+    // vs isotonic on the classification benchmarks, reporting the
+    // selected threshold, kept fraction, and test accuracy drift.
+    let mut rows = Vec::new();
+    for kind in [WorkloadKind::Product, WorkloadKind::Toxic, WorkloadKind::Music] {
+        let w = generate(kind, false);
+        for (label, method) in [
+            ("raw scores (paper)", Calibration::None),
+            ("platt", Calibration::Platt),
+            ("isotonic", Calibration::Isotonic),
+        ] {
+            let cfg = WillumpConfig {
+                cascade_gate: false,
+                calibration: method,
+                ..WillumpConfig::default()
+            };
+            let opt = Willump::new(cfg)
+                .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+                .expect("optimizes");
+            let Some(sel) = opt.report().threshold.clone() else {
+                rows.push(vec![
+                    kind.name().to_string(),
+                    label.to_string(),
+                    "no cascade".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            };
+            let (scores, stats) = opt.predict_batch_with_stats(&w.test).expect("predicts");
+            let acc = metrics::accuracy(&scores, &w.test_y);
+            let kept = stats.map_or(0.0, |s| s.small_fraction());
+            rows.push(vec![
+                kind.name().to_string(),
+                label.to_string(),
+                format!("{:.1}", sel.threshold),
+                format!("{:.1}%", 100.0 * kept),
+                format!("{acc:.4}"),
+            ]);
+        }
+    }
+    print_table(
+        "Micro (calibration): cascade confidence calibration ablation",
+        &["benchmark", "calibration", "threshold", "kept by small model", "test accuracy"],
+        &rows,
+    );
+}
+
+fn main() {
+    let section = std::env::args().nth(1);
+    match section.as_deref() {
+        Some("gamma") => gamma_ablation(),
+        Some("threshold") => threshold_robustness(),
+        Some("driver") => driver_overhead(),
+        Some("opttime") => optimization_times(),
+        Some("calibration") => calibration_ablation(),
+        Some(other) => {
+            eprintln!("unknown section `{other}`; use gamma|threshold|driver|opttime|calibration");
+        }
+        None => {
+            gamma_ablation();
+            threshold_robustness();
+            driver_overhead();
+            optimization_times();
+            calibration_ablation();
+        }
+    }
+}

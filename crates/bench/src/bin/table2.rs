@@ -1,0 +1,106 @@
+//! Table 2: percent reduction in remote requests made by per-input
+//! queries on Music and Tracking with remote tables, under four
+//! optimization combinations (end-to-end caching, feature-level
+//! caching, cascades, and feature caching + cascades).
+
+use std::sync::Arc;
+
+use willump::{CachingConfig, QueryMode};
+use willump_bench::{generate, optimize_level, print_table, OptLevel};
+use willump_graph::InputRow;
+use willump_serve::E2eCachedPredictor;
+use willump_workloads::{Workload, WorkloadKind};
+
+/// Serve the test set one input at a time, returning store round trips.
+fn serve_and_count(w: &Workload, mut predict: impl FnMut(&InputRow)) -> u64 {
+    let store = w.store.clone().expect("lookup workload has a store");
+    store.stats().reset();
+    for r in 0..w.test.n_rows() {
+        let input = InputRow::from_table(&w.test, r).expect("row in range");
+        predict(&input);
+    }
+    store.stats().round_trips()
+}
+
+fn reduction(baseline: u64, observed: u64) -> String {
+    format!("{:.1}%", 100.0 * (1.0 - observed as f64 / baseline as f64))
+}
+
+fn main() {
+    let kinds = [WorkloadKind::Music, WorkloadKind::Tracking];
+    let mut results: Vec<Vec<String>> = vec![
+        vec!["End-to-end Caching + No Cascades".to_string()],
+        vec!["Feature-Level Caching + No Cascades".to_string()],
+        vec!["No Caching + Cascades".to_string()],
+        vec!["Feature-Level Caching + Cascades".to_string()],
+    ];
+
+    for kind in kinds {
+        let w = generate(kind, true);
+
+        // Baseline: compiled, no caching, no cascades.
+        let plain = optimize_level(&w, OptLevel::Compiled, QueryMode::ExampleAtATime, None, 1);
+        let base_requests = serve_and_count(&w, |input| {
+            plain.predict_one(input).expect("prediction succeeds");
+        });
+
+        // 1. End-to-end caching (Clipper-style), no cascades.
+        let sources: Vec<String> = plain
+            .executor()
+            .graph()
+            .source_columns()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let inner = Arc::new(plain.clone());
+        let e2e = E2eCachedPredictor::new(
+            move |input| inner.predict_one(input).map_err(|e| e.to_string()),
+            sources,
+            None,
+        );
+        let e2e_requests = serve_and_count(&w, |input| {
+            e2e.predict_one(input).expect("prediction succeeds");
+        });
+
+        // 2. Feature-level caching, no cascades.
+        let feat = optimize_level(
+            &w,
+            OptLevel::Compiled,
+            QueryMode::ExampleAtATime,
+            Some(CachingConfig { capacity: None }),
+            1,
+        );
+        let feat_requests = serve_and_count(&w, |input| {
+            feat.predict_one(input).expect("prediction succeeds");
+        });
+
+        // 3. Cascades, no caching.
+        let casc = optimize_level(&w, OptLevel::Cascades, QueryMode::ExampleAtATime, None, 1);
+        let casc_requests = serve_and_count(&w, |input| {
+            casc.predict_one(input).expect("prediction succeeds");
+        });
+
+        // 4. Feature-level caching + cascades.
+        let both = optimize_level(
+            &w,
+            OptLevel::Cascades,
+            QueryMode::ExampleAtATime,
+            Some(CachingConfig { capacity: None }),
+            1,
+        );
+        let both_requests = serve_and_count(&w, |input| {
+            both.predict_one(input).expect("prediction succeeds");
+        });
+
+        results[0].push(reduction(base_requests, e2e_requests));
+        results[1].push(reduction(base_requests, feat_requests));
+        results[2].push(reduction(base_requests, casc_requests));
+        results[3].push(reduction(base_requests, both_requests));
+    }
+
+    print_table(
+        "Table 2: percent reduction in remote requests (per-input queries, remote tables)",
+        &["configuration", "music", "tracking"],
+        &results,
+    );
+}

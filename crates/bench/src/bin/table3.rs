@@ -1,0 +1,90 @@
+//! Table 3: average per-input latency on Music and Tracking with
+//! remote tables under the same configurations as Table 2, plus the
+//! unoptimized (interpreted) pipeline.
+
+use std::sync::Arc;
+
+use willump::{CachingConfig, QueryMode};
+use willump_bench::{
+    baseline, fmt_latency, generate, optimize_level, per_input_latency, print_table, OptLevel,
+};
+use willump_serve::E2eCachedPredictor;
+use willump_workloads::WorkloadKind;
+
+fn main() {
+    let kinds = [WorkloadKind::Music, WorkloadKind::Tracking];
+    let n = 500;
+    let mut results: Vec<Vec<String>> = vec![
+        vec!["Unoptimized".to_string()],
+        vec!["End-to-end Caching + No Cascades".to_string()],
+        vec!["Feature-Level Caching + No Cascades".to_string()],
+        vec!["No Caching + Cascades".to_string()],
+        vec!["Feature-Level Caching + Cascades".to_string()],
+    ];
+
+    for kind in kinds {
+        let w = generate(kind, true);
+
+        let python = baseline(&w);
+        let lat_unopt = per_input_latency(&w, n, |input| {
+            python.predict_one(input).expect("prediction succeeds")
+        });
+
+        let plain = optimize_level(&w, OptLevel::Compiled, QueryMode::ExampleAtATime, None, 1);
+        let sources: Vec<String> = plain
+            .executor()
+            .graph()
+            .source_columns()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let inner = Arc::new(plain.clone());
+        let e2e = E2eCachedPredictor::new(
+            move |input| inner.predict_one(input).map_err(|e| e.to_string()),
+            sources,
+            None,
+        );
+        let lat_e2e = per_input_latency(&w, n, |input| {
+            e2e.predict_one(input).expect("prediction succeeds")
+        });
+
+        let feat = optimize_level(
+            &w,
+            OptLevel::Compiled,
+            QueryMode::ExampleAtATime,
+            Some(CachingConfig { capacity: None }),
+            1,
+        );
+        let lat_feat = per_input_latency(&w, n, |input| {
+            feat.predict_one(input).expect("prediction succeeds")
+        });
+
+        let casc = optimize_level(&w, OptLevel::Cascades, QueryMode::ExampleAtATime, None, 1);
+        let lat_casc = per_input_latency(&w, n, |input| {
+            casc.predict_one(input).expect("prediction succeeds")
+        });
+
+        let both = optimize_level(
+            &w,
+            OptLevel::Cascades,
+            QueryMode::ExampleAtATime,
+            Some(CachingConfig { capacity: None }),
+            1,
+        );
+        let lat_both = per_input_latency(&w, n, |input| {
+            both.predict_one(input).expect("prediction succeeds")
+        });
+
+        for (row, lat) in results.iter_mut().zip([
+            lat_unopt, lat_e2e, lat_feat, lat_casc, lat_both,
+        ]) {
+            row.push(fmt_latency(lat));
+        }
+    }
+
+    print_table(
+        "Table 3: average per-input latency (remote tables; effective = wall + simulated network)",
+        &["configuration", "music", "tracking"],
+        &results,
+    );
+}

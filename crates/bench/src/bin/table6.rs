@@ -1,0 +1,76 @@
+//! Table 6: end-to-end query latency when serving Product and Toxic
+//! through the Clipper-like layer, with and without Willump
+//! optimization, at request batch sizes 1, 10, and 100.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use willump::QueryMode;
+use willump_bench::{baseline, fmt_latency, fmt_speedup, generate, optimize_level, print_table, OptLevel};
+use willump_serve::{table_row_to_wire, ClipperServer, Servable, ServerConfig};
+use willump_workloads::{Workload, WorkloadKind};
+
+/// Mean request latency through the serving boundary at one batch
+/// size.
+fn request_latency(w: &Workload, predictor: Arc<dyn Servable>, batch: usize, reqs: usize) -> f64 {
+    let server = ClipperServer::start(predictor, ServerConfig::default());
+    let client = server.client();
+    let n = w.test.n_rows();
+    // Warm-up request.
+    let rows: Vec<_> = (0..batch)
+        .map(|i| table_row_to_wire(&w.test, i % n).expect("row"))
+        .collect();
+    client.predict(rows).expect("serving succeeds");
+
+    let start = Instant::now();
+    for r in 0..reqs {
+        let rows: Vec<_> = (0..batch)
+            .map(|i| table_row_to_wire(&w.test, (r * batch + i) % n).expect("row"))
+            .collect();
+        client.predict(rows).expect("serving succeeds");
+    }
+    start.elapsed().as_secs_f64() / reqs as f64
+}
+
+fn main() {
+    let kinds = [WorkloadKind::Product, WorkloadKind::Toxic];
+    let batches = [1usize, 10, 100];
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let w = generate(kind, false);
+        let plain: Arc<dyn Servable> = Arc::new(baseline(&w));
+        let optimized: Arc<dyn Servable> = Arc::new(optimize_level(
+            &w,
+            OptLevel::Cascades,
+            QueryMode::Batch,
+            None,
+            1,
+        ));
+        for &batch in &batches {
+            let reqs = (400 / batch).clamp(20, 200);
+            // The interpreted pipeline is orders of magnitude slower;
+            // a handful of requests estimate its mean latency stably.
+            let reqs_plain = (40 / batch).clamp(3, 40);
+            let lat_plain = request_latency(&w, plain.clone(), batch, reqs_plain);
+            let lat_opt = request_latency(&w, optimized.clone(), batch, reqs);
+            rows.push(vec![
+                kind.name().to_string(),
+                batch.to_string(),
+                fmt_latency(lat_plain),
+                fmt_latency(lat_opt),
+                fmt_speedup(lat_plain / lat_opt),
+            ]);
+        }
+    }
+    print_table(
+        "Table 6: Clipper-style serving latency per request",
+        &[
+            "benchmark",
+            "batch size",
+            "clipper latency",
+            "clipper+willump latency",
+            "speedup",
+        ],
+        &rows,
+    );
+}

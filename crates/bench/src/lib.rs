@@ -1,0 +1,307 @@
+//! # willump-bench
+//!
+//! Shared harness for the experiment binaries that regenerate every
+//! table and figure of the Willump paper's evaluation (§6). Each
+//! binary prints a paper-shaped table; `EXPERIMENTS.md` records the
+//! measured output next to the paper's numbers.
+//!
+//! Run, e.g.:
+//!
+//! ```text
+//! cargo run -p willump-bench --release --bin fig5
+//! ```
+//!
+//! Timing convention: every measurement reports *effective* time =
+//! wall-clock time plus any simulated network wait charged to the
+//! workload's virtual clock (see `willump-store::SimClock`), so local
+//! and remote configurations are directly comparable.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use willump::{
+    CachingConfig, OptimizedPipeline, QueryMode, Willump, WillumpConfig,
+};
+use willump_graph::InputRow;
+use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
+
+/// Default experiment sizes (larger than unit-test sizes, small enough
+/// to finish a full `cargo bench` run in minutes).
+pub fn experiment_config() -> WorkloadConfig {
+    WorkloadConfig {
+        n_train: 2_000,
+        n_valid: 1_000,
+        n_test: 2_000,
+        seed: 42,
+        remote: None,
+    }
+}
+
+/// The three optimization levels of paper Figures 5 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Original interpreted pipeline ("Python").
+    Python,
+    /// Compiled engine, no statistically-aware optimizations
+    /// ("Willump Compilation").
+    Compiled,
+    /// Compiled engine plus end-to-end cascades
+    /// ("Willump Compilation + Cascades").
+    Cascades,
+}
+
+impl OptLevel {
+    /// Column label used in printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::Python => "Python",
+            OptLevel::Compiled => "Compilation",
+            OptLevel::Cascades => "Compilation+Cascades",
+        }
+    }
+}
+
+/// Virtual-clock nanos for a workload (0 when no store).
+pub fn virtual_nanos(w: &Workload) -> u64 {
+    w.store.as_ref().map_or(0, |s| s.clock().now_nanos())
+}
+
+/// Measure effective seconds (wall + virtual) of a closure.
+pub fn effective_seconds<T>(w: &Workload, f: impl FnOnce() -> T) -> (f64, T) {
+    let v0 = virtual_nanos(w);
+    let start = Instant::now();
+    let out = f();
+    let wall = start.elapsed().as_secs_f64();
+    let v1 = virtual_nanos(w);
+    (wall + (v1 - v0) as f64 / 1e9, out)
+}
+
+/// Optimize a workload at a given level, with optional overrides.
+///
+/// # Panics
+/// Panics on optimization failure (experiment binaries fail loudly).
+pub fn optimize_level(
+    w: &Workload,
+    level: OptLevel,
+    mode: QueryMode,
+    caching: Option<CachingConfig>,
+    threads: usize,
+) -> OptimizedPipeline {
+    assert_ne!(level, OptLevel::Python, "Python level has no optimizer");
+    let cfg = WillumpConfig {
+        cascades: level == OptLevel::Cascades,
+        mode,
+        caching,
+        threads,
+        ..WillumpConfig::default()
+    };
+    Willump::new(cfg)
+        .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+        .expect("optimization succeeds")
+}
+
+/// Train the interpreted baseline.
+///
+/// # Panics
+/// Panics on training failure.
+pub fn baseline(w: &Workload) -> willump::BaselinePipeline {
+    w.pipeline
+        .fit_baseline(&w.train, &w.train_y, 42)
+        .expect("baseline training succeeds")
+}
+
+/// Batch throughput (rows/s, effective time) of a closure processing
+/// the workload's test set `reps` times.
+pub fn batch_throughput(w: &Workload, reps: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up run (populates lazily-initialized state).
+    f();
+    let (secs, ()) = effective_seconds(w, || {
+        for _ in 0..reps {
+            f();
+        }
+    });
+    (w.test.n_rows() * reps) as f64 / secs
+}
+
+/// The first `max_rows` of the workload's test set, for bounded-cost
+/// measurements of the interpreted baseline (see
+/// [`python_sample_rows`]).
+pub fn test_sample(w: &Workload, max_rows: usize) -> willump_data::Table {
+    let idx: Vec<usize> = (0..w.test.n_rows().min(max_rows)).collect();
+    w.test.take_rows(&idx)
+}
+
+/// Sample size used when timing the interpreted ("Python") baseline on
+/// batch queries. The interpreted engine's row-at-a-time text
+/// featurization is 2–3 orders of magnitude slower than the compiled
+/// engine, so timing it over the full test set would dominate the
+/// entire experiment suite; throughput and latency are per-row rates,
+/// and a few hundred rows estimate them stably (EXPERIMENTS.md notes
+/// this). Optimized configurations are always measured on the full
+/// test set.
+pub const PYTHON_SAMPLE_ROWS: usize = 300;
+
+/// Convenience: `PYTHON_SAMPLE_ROWS` as a function for binaries.
+pub fn python_sample_rows() -> usize {
+    PYTHON_SAMPLE_ROWS
+}
+
+/// Batch throughput (rows/s, effective time) of a closure processing
+/// an explicit `n_rows`-row table once per rep, with one warm-up call.
+pub fn batch_throughput_rows(
+    w: &Workload,
+    n_rows: usize,
+    reps: usize,
+    mut f: impl FnMut(),
+) -> f64 {
+    f();
+    let (secs, ()) = effective_seconds(w, || {
+        for _ in 0..reps {
+            f();
+        }
+    });
+    (n_rows * reps) as f64 / secs
+}
+
+/// Mean per-input latency (seconds, effective time) over the first
+/// `n` test rows.
+///
+/// # Panics
+/// Panics if prediction fails.
+pub fn per_input_latency(
+    w: &Workload,
+    n: usize,
+    mut predict: impl FnMut(&InputRow) -> f64,
+) -> f64 {
+    let n = n.min(w.test.n_rows());
+    let inputs: Vec<InputRow> = (0..n)
+        .map(|r| InputRow::from_table(&w.test, r).expect("row in range"))
+        .collect();
+    // Warm-up on one input.
+    let _ = predict(&inputs[0]);
+    let (secs, ()) = effective_seconds(w, || {
+        for input in &inputs {
+            let _ = predict(input);
+        }
+    });
+    secs / n as f64
+}
+
+/// Pretty-print a markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    print_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Format a throughput as `12.3K rows/s`-style strings.
+pub fn fmt_throughput(rows_per_sec: f64) -> String {
+    if rows_per_sec >= 1e6 {
+        format!("{:.2}M", rows_per_sec / 1e6)
+    } else if rows_per_sec >= 1e3 {
+        format!("{:.1}K", rows_per_sec / 1e3)
+    } else {
+        format!("{rows_per_sec:.0}")
+    }
+}
+
+/// Format a latency in adaptive units.
+pub fn fmt_latency(seconds: f64) -> String {
+    if seconds >= 1e-3 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{:.0}us", seconds * 1e6)
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+/// Generate one workload at experiment size.
+///
+/// # Panics
+/// Panics on generation failure.
+pub fn generate(kind: WorkloadKind, remote: bool) -> Workload {
+    let mut cfg = experiment_config();
+    if remote {
+        cfg = cfg.with_remote_tables();
+    }
+    kind.generate(&cfg).expect("workload generates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_throughput(1_500_000.0), "1.50M");
+        assert_eq!(fmt_throughput(12_300.0), "12.3K");
+        assert_eq!(fmt_throughput(42.0), "42");
+        assert_eq!(fmt_latency(0.0042), "4.20ms");
+        assert_eq!(fmt_latency(55e-6), "55us");
+        assert_eq!(fmt_speedup(3.14), "3.1x");
+    }
+
+    #[test]
+    fn effective_time_includes_virtual_wait() {
+        // Small config: this only exercises the clock accounting.
+        let cfg = WorkloadConfig {
+            n_train: 200,
+            n_valid: 100,
+            n_test: 100,
+            ..WorkloadConfig::default()
+        }
+        .with_remote_tables();
+        let w = WorkloadKind::Music.generate(&cfg).expect("generates");
+        let store = w.store.clone().unwrap();
+        let (secs, ()) = effective_seconds(&w, || {
+            store.clock().advance(50_000_000); // 50ms of virtual wait
+        });
+        assert!(secs >= 0.05, "effective {secs}");
+    }
+
+    #[test]
+    fn levels_have_labels() {
+        assert_eq!(OptLevel::Python.label(), "Python");
+        assert_eq!(OptLevel::Cascades.label(), "Compilation+Cascades");
+    }
+
+    #[test]
+    fn test_sample_bounds_rows() {
+        let cfg = WorkloadConfig {
+            n_train: 200,
+            n_valid: 100,
+            n_test: 50,
+            ..WorkloadConfig::default()
+        };
+        let w = WorkloadKind::Product.generate(&cfg).expect("generates");
+        assert_eq!(test_sample(&w, 10).n_rows(), 10);
+        // Caps at the test set size when the sample is larger.
+        assert_eq!(test_sample(&w, 500).n_rows(), 50);
+        assert!(PYTHON_SAMPLE_ROWS >= 100, "sample must stay meaningful");
+    }
+}

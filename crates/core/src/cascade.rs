@@ -1,0 +1,573 @@
+//! Automatic end-to-end cascades (paper §4.2).
+//!
+//! A [`CascadePredictor`] holds a *small* model over the efficient IFVs
+//! and the *full* model over all IFVs. Serving first computes only the
+//! efficient features and predicts with the small model; if the small
+//! model's confidence exceeds the cascade threshold the prediction is
+//! returned, otherwise the *inefficient* features are computed, merged
+//! with the already-computed efficient features, and the full model
+//! predicts (paper Figure 3 — escalation never recomputes the
+//! efficient features, which is what cuts remote requests in Table 2).
+
+use std::sync::Arc;
+
+use willump_data::{SparseRowBuilder, Table};
+use willump_graph::{Executor, InputRow};
+use willump_models::{metrics, IsotonicCalibrator, PlattScaler, Task, TrainedModel};
+
+use crate::config::Calibration;
+use crate::layout::Remapper;
+use crate::WillumpError;
+
+/// A fitted small-model score calibrator (see
+/// [`Calibration`](crate::Calibration)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreCalibrator {
+    /// Fitted Platt scaler.
+    Platt(PlattScaler),
+    /// Fitted isotonic calibrator.
+    Isotonic(IsotonicCalibrator),
+}
+
+impl ScoreCalibrator {
+    /// Fit the requested calibration method on validation scores.
+    /// Returns `None` for [`Calibration::None`] or when the fit is
+    /// impossible (e.g. single-class validation labels for Platt) —
+    /// cascades then fall back to raw scores.
+    pub fn fit(method: Calibration, scores: &[f64], labels: &[f64]) -> Option<ScoreCalibrator> {
+        match method {
+            Calibration::None => None,
+            Calibration::Platt => PlattScaler::fit(scores, labels)
+                .ok()
+                .map(ScoreCalibrator::Platt),
+            Calibration::Isotonic => IsotonicCalibrator::fit(scores, labels)
+                .ok()
+                .map(ScoreCalibrator::Isotonic),
+        }
+    }
+
+    /// Map a raw score to a calibrated probability.
+    pub fn calibrate(&self, score: f64) -> f64 {
+        match self {
+            ScoreCalibrator::Platt(p) => p.calibrate(score),
+            ScoreCalibrator::Isotonic(i) => i.calibrate(score),
+        }
+    }
+}
+
+/// Candidate cascade thresholds. The paper restricts thresholds to
+/// integer multiples of 0.1 to avoid overfitting the validation set
+/// (§4.2); we keep that grid but add two coarse candidates in the
+/// (0.9, 1.0) gap. On validation sets orders of magnitude smaller than
+/// the paper's Kaggle test sets, the top decile of confidence is where
+/// well-calibrated small models sit, and jumping straight from 0.9 to
+/// 1.0 (= never trust the small model) forfeits exactly the cascades
+/// the paper reports. Confidence of a binary classifier is at least
+/// 0.5, so candidates below 0.5 are vacuous.
+pub const THRESHOLD_CANDIDATES: [f64; 8] = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0];
+
+/// Outcome of threshold selection on a validation set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdSelection {
+    /// The chosen threshold.
+    pub threshold: f64,
+    /// Full-model validation accuracy.
+    pub full_accuracy: f64,
+    /// Cascade validation accuracy at the chosen threshold.
+    pub cascade_accuracy: f64,
+    /// Fraction of validation inputs the small model kept (confidence
+    /// above threshold).
+    pub kept_fraction: f64,
+}
+
+/// Pick the lowest candidate threshold whose cascade accuracy on the
+/// validation set is within `accuracy_target` of the full model's
+/// (paper §4.2, "Identifying the Cascade Threshold").
+///
+/// `small_scores`/`full_scores` are the two models' validation scores;
+/// `labels` are the 0/1 ground truth.
+///
+/// # Errors
+/// Returns [`WillumpError::BadData`] on length mismatches or empty
+/// inputs.
+pub fn select_threshold(
+    small_scores: &[f64],
+    full_scores: &[f64],
+    labels: &[f64],
+    accuracy_target: f64,
+) -> Result<ThresholdSelection, WillumpError> {
+    if small_scores.len() != labels.len() || full_scores.len() != labels.len() {
+        return Err(WillumpError::BadData {
+            reason: "validation scores and labels must align".into(),
+        });
+    }
+    if labels.is_empty() {
+        return Err(WillumpError::BadData {
+            reason: "validation set is empty".into(),
+        });
+    }
+    let full_accuracy = metrics::accuracy(full_scores, labels);
+    for &tc in &THRESHOLD_CANDIDATES {
+        let mut correct = 0usize;
+        let mut kept = 0usize;
+        for ((s, f), y) in small_scores.iter().zip(full_scores).zip(labels) {
+            let confidence = s.max(1.0 - *s);
+            let score = if confidence > tc {
+                kept += 1;
+                *s
+            } else {
+                *f
+            };
+            if (score > 0.5) == (*y > 0.5) {
+                correct += 1;
+            }
+        }
+        let cascade_accuracy = correct as f64 / labels.len() as f64;
+        if cascade_accuracy >= full_accuracy - accuracy_target {
+            return Ok(ThresholdSelection {
+                threshold: tc,
+                full_accuracy,
+                cascade_accuracy,
+                kept_fraction: kept as f64 / labels.len() as f64,
+            });
+        }
+    }
+    // tc = 1.0 always escalates everything, so this is unreachable for
+    // valid inputs; keep a defensive fallback.
+    Ok(ThresholdSelection {
+        threshold: 1.0,
+        full_accuracy,
+        cascade_accuracy: full_accuracy,
+        kept_fraction: 0.0,
+    })
+}
+
+/// Train a cascade for an explicit efficient subset: fit the small
+/// model on the subset's features, select the threshold on the
+/// validation set, and assemble a [`CascadePredictor`] around an
+/// already-trained full model.
+///
+/// [`crate::Willump::optimize`] uses Algorithm 1 to pick the subset;
+/// this lower-level entry point lets experiments force one (the
+/// paper's Table 8 strategy comparison and §6.4 γ-rule ablation).
+///
+/// # Errors
+/// Propagates execution, training, and assembly failures.
+#[allow(clippy::too_many_arguments)]
+pub fn train_cascade_with_subset(
+    exec: &Executor,
+    spec: &willump_models::ModelSpec,
+    full: Arc<TrainedModel>,
+    train: &Table,
+    train_labels: &[f64],
+    valid: &Table,
+    valid_labels: &[f64],
+    efficient: Vec<usize>,
+    accuracy_target: f64,
+    seed: u64,
+) -> Result<(CascadePredictor, ThresholdSelection), WillumpError> {
+    let eff_train = exec.features_batch(train, Some(&efficient))?;
+    let small = Arc::new(spec.fit(&eff_train, train_labels, seed)?);
+    let eff_valid = exec.features_batch(valid, Some(&efficient))?;
+    let full_valid = exec.features_batch(valid, None)?;
+    let selection = select_threshold(
+        &small.predict_scores(&eff_valid),
+        &full.predict_scores(&full_valid),
+        valid_labels,
+        accuracy_target,
+    )?;
+    let predictor = CascadePredictor::new(
+        exec.clone(),
+        small,
+        full,
+        selection.threshold,
+        efficient,
+    )?;
+    Ok((predictor, selection))
+}
+
+/// Serving statistics for one batch/stream of cascade predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CascadeServeStats {
+    /// Inputs answered by the small model alone.
+    pub resolved_small: usize,
+    /// Inputs escalated to the full model.
+    pub escalated: usize,
+}
+
+impl CascadeServeStats {
+    /// Fraction of inputs the small model resolved.
+    pub fn small_fraction(&self) -> f64 {
+        let n = self.resolved_small + self.escalated;
+        if n == 0 {
+            0.0
+        } else {
+            self.resolved_small as f64 / n as f64
+        }
+    }
+}
+
+/// A deployed end-to-end cascade.
+#[derive(Debug, Clone)]
+pub struct CascadePredictor {
+    exec: Executor,
+    small: Arc<TrainedModel>,
+    full: Arc<TrainedModel>,
+    threshold: f64,
+    efficient: Vec<usize>,
+    inefficient: Vec<usize>,
+    eff_remap: Remapper,
+    ineff_remap: Remapper,
+    full_width: usize,
+    calibrator: Option<ScoreCalibrator>,
+}
+
+impl CascadePredictor {
+    /// Assemble a cascade from its parts.
+    ///
+    /// # Errors
+    /// Returns [`WillumpError`] if the task is not classification, the
+    /// efficient set is empty or total, or layouts cannot be built.
+    pub fn new(
+        exec: Executor,
+        small: Arc<TrainedModel>,
+        full: Arc<TrainedModel>,
+        threshold: f64,
+        efficient: Vec<usize>,
+    ) -> Result<CascadePredictor, WillumpError> {
+        if full.task() != Task::BinaryClassification {
+            return Err(WillumpError::Unsupported {
+                reason: "end-to-end cascades apply only to classification pipelines".into(),
+            });
+        }
+        let n_fgs = exec.analysis().generators.len();
+        if efficient.is_empty() || efficient.len() >= n_fgs {
+            return Err(WillumpError::Unsupported {
+                reason: format!(
+                    "cascades need a proper non-empty efficient subset ({} of {} IFVs)",
+                    efficient.len(),
+                    n_fgs
+                ),
+            });
+        }
+        let inefficient: Vec<usize> =
+            (0..n_fgs).filter(|g| !efficient.contains(g)).collect();
+        let eff_remap = Remapper::new(exec.graph(), exec.analysis(), &efficient)?;
+        let ineff_remap = Remapper::new(exec.graph(), exec.analysis(), &inefficient)?;
+        let full_width = eff_remap.full_width();
+        Ok(CascadePredictor {
+            exec,
+            small,
+            full,
+            threshold,
+            efficient,
+            inefficient,
+            eff_remap,
+            ineff_remap,
+            full_width,
+            calibrator: None,
+        })
+    }
+
+    /// Attach a fitted score calibrator: small-model scores are mapped
+    /// through it before the confidence/threshold comparison and when
+    /// returned as predictions.
+    #[must_use]
+    pub fn with_calibrator(mut self, calibrator: Option<ScoreCalibrator>) -> CascadePredictor {
+        self.calibrator = calibrator;
+        self
+    }
+
+    /// The attached calibrator, if any.
+    pub fn calibrator(&self) -> Option<&ScoreCalibrator> {
+        self.calibrator.as_ref()
+    }
+
+    /// Apply the calibrator (identity when none is attached).
+    fn calibrated(&self, score: f64) -> f64 {
+        match &self.calibrator {
+            Some(c) => c.calibrate(score),
+            None => score,
+        }
+    }
+
+    /// The cascade threshold in effect.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Override the cascade threshold (used by the Figure 7 sweep).
+    pub fn set_threshold(&mut self, tc: f64) {
+        self.threshold = tc;
+    }
+
+    /// The efficient generator subset.
+    pub fn efficient_set(&self) -> &[usize] {
+        &self.efficient
+    }
+
+    /// The executor used for feature computation.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Predict scores for a batch, cascading per input.
+    ///
+    /// # Errors
+    /// Propagates feature-computation failures.
+    pub fn predict_batch(
+        &self,
+        table: &Table,
+    ) -> Result<(Vec<f64>, CascadeServeStats), WillumpError> {
+        let eff = self.exec.features_batch(table, Some(&self.efficient))?;
+        let small_scores: Vec<f64> = self
+            .small
+            .predict_scores(&eff)
+            .into_iter()
+            .map(|s| self.calibrated(s))
+            .collect();
+        let mut escalated: Vec<usize> = Vec::new();
+        for (i, s) in small_scores.iter().enumerate() {
+            if s.max(1.0 - s) <= self.threshold {
+                escalated.push(i);
+            }
+        }
+        let mut scores = small_scores.clone();
+        if !escalated.is_empty() {
+            let sub = table.take_rows(&escalated);
+            let ineff = self.exec.features_batch(&sub, Some(&self.inefficient))?;
+            // Merge efficient + inefficient blocks into the full layout
+            // for the escalated rows only. Dense inputs (narrow lookup
+            // pipelines) take a block-copy fast path; anything sparse
+            // goes through entry remapping.
+            let full_feats = match (&eff, &ineff) {
+                (
+                    willump_data::FeatureMatrix::Dense(eff_m),
+                    willump_data::FeatureMatrix::Dense(ineff_m),
+                ) => {
+                    let mut merged =
+                        willump_data::Matrix::zeros(escalated.len(), self.full_width);
+                    for (j, &orig) in escalated.iter().enumerate() {
+                        let dst = merged.row_mut(j);
+                        self.eff_remap.copy_into_dense(eff_m.row(orig), dst);
+                        self.ineff_remap.copy_into_dense(ineff_m.row(j), dst);
+                    }
+                    willump_data::FeatureMatrix::Dense(merged)
+                }
+                _ => {
+                    let mut b = SparseRowBuilder::new(self.full_width);
+                    for (j, &orig) in escalated.iter().enumerate() {
+                        let merged = Remapper::merge_full(
+                            self.eff_remap.to_full(&eff.row_entries(orig)),
+                            self.ineff_remap.to_full(&ineff.row_entries(j)),
+                        );
+                        b.push_row(&merged);
+                    }
+                    willump_data::FeatureMatrix::Sparse(b.finish())
+                }
+            };
+            let full_scores = self.full.predict_scores(&full_feats);
+            for (j, &orig) in escalated.iter().enumerate() {
+                scores[orig] = full_scores[j];
+            }
+        }
+        let stats = CascadeServeStats {
+            resolved_small: table.n_rows() - escalated.len(),
+            escalated: escalated.len(),
+        };
+        Ok((scores, stats))
+    }
+
+    /// Predict the score for one input, cascading if needed. Returns
+    /// the score and whether the input escalated to the full model.
+    ///
+    /// # Errors
+    /// Propagates feature-computation failures.
+    pub fn predict_one(&self, input: &InputRow) -> Result<(f64, bool), WillumpError> {
+        let eff = self.exec.features_one(input, Some(&self.efficient))?;
+        let eff_width = eff.width;
+        let s = self.calibrated(self.small.predict_score_row(&eff.entries, eff_width));
+        if s.max(1.0 - s) > self.threshold {
+            return Ok((s, false));
+        }
+        let ineff = self.exec.features_one(input, Some(&self.inefficient))?;
+        let merged = Remapper::merge_full(
+            self.eff_remap.to_full(&eff.entries),
+            self.ineff_remap.to_full(&ineff.entries),
+        );
+        Ok((
+            self.full.predict_score_row(&merged, self.full_width),
+            true,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use willump_data::Column;
+    use willump_graph::{EngineMode, GraphBuilder, Operator};
+    use willump_models::{LogisticParams, ModelSpec};
+
+    /// Two numeric FGs; FG0 alone classifies "easy" inputs (|a| large),
+    /// FG1 needed for the hard ones.
+    fn setup() -> (Executor, Table, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let a = b.source("a");
+        let c = b.source("b");
+        let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
+        let f1 = b.add("f1", Operator::NumericColumn, [c]).unwrap();
+        let g = Arc::new(b.finish_with_concat("cat", [f0, f1]).unwrap());
+        let exec = Executor::new(g, EngineMode::Compiled).unwrap();
+        let mut avals = Vec::new();
+        let mut bvals = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..300 {
+            let easy = i % 3 != 0;
+            let y = (i % 2) as f64;
+            if easy {
+                // a strongly signals the label.
+                avals.push(if y > 0.5 { 3.0 } else { -3.0 });
+                bvals.push(0.0);
+            } else {
+                // a is uninformative; b carries the label.
+                avals.push(0.0);
+                bvals.push(if y > 0.5 { 2.0 } else { -2.0 });
+            }
+            labels.push(y);
+        }
+        let mut t = Table::new();
+        t.add_column("a", Column::from(avals)).unwrap();
+        t.add_column("b", Column::from(bvals)).unwrap();
+        (exec, t, labels)
+    }
+
+    fn train(exec: &Executor, t: &Table, y: &[f64]) -> (Arc<TrainedModel>, Arc<TrainedModel>) {
+        let full_feats = exec.features_batch(t, None).unwrap();
+        let full = ModelSpec::Logistic(LogisticParams::default())
+            .fit(&full_feats, y, 1)
+            .unwrap();
+        let eff_feats = exec.features_batch(t, Some(&[0])).unwrap();
+        let small = ModelSpec::Logistic(LogisticParams::default())
+            .fit(&eff_feats, y, 1)
+            .unwrap();
+        (Arc::new(small), Arc::new(full))
+    }
+
+    #[test]
+    fn threshold_selection_meets_target() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let eff = exec.features_batch(&t, Some(&[0])).unwrap();
+        let fullf = exec.features_batch(&t, None).unwrap();
+        let sel = select_threshold(
+            &small.predict_scores(&eff),
+            &full.predict_scores(&fullf),
+            &y,
+            0.001,
+        )
+        .unwrap();
+        assert!(sel.cascade_accuracy >= sel.full_accuracy - 0.001);
+        assert!(sel.kept_fraction > 0.3, "kept {}", sel.kept_fraction);
+        assert!(THRESHOLD_CANDIDATES.contains(&sel.threshold));
+    }
+
+    #[test]
+    fn threshold_validation_errors() {
+        assert!(select_threshold(&[0.5], &[0.5, 0.5], &[1.0], 0.1).is_err());
+        assert!(select_threshold(&[], &[], &[], 0.1).is_err());
+    }
+
+    #[test]
+    fn cascade_matches_full_model_accuracy() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let eff = exec.features_batch(&t, Some(&[0])).unwrap();
+        let fullf = exec.features_batch(&t, None).unwrap();
+        let sel = select_threshold(
+            &small.predict_scores(&eff),
+            &full.predict_scores(&fullf),
+            &y,
+            0.001,
+        )
+        .unwrap();
+        let cascade = CascadePredictor::new(
+            exec.clone(),
+            small,
+            full.clone(),
+            sel.threshold,
+            vec![0],
+        )
+        .unwrap();
+        let (scores, stats) = cascade.predict_batch(&t).unwrap();
+        let cascade_acc = metrics::accuracy(&scores, &y);
+        let full_acc = metrics::accuracy(&full.predict_scores(&fullf), &y);
+        assert!(cascade_acc >= full_acc - 0.001, "{cascade_acc} vs {full_acc}");
+        assert!(stats.resolved_small > 0);
+        assert!(stats.escalated > 0);
+    }
+
+    #[test]
+    fn single_input_matches_batch() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let cascade =
+            CascadePredictor::new(exec, small, full, 0.8, vec![0]).unwrap();
+        let (batch_scores, _) = cascade.predict_batch(&t).unwrap();
+        for r in (0..t.n_rows()).step_by(29) {
+            let input = InputRow::from_table(&t, r).unwrap();
+            let (score, _) = cascade.predict_one(&input).unwrap();
+            assert!(
+                (score - batch_scores[r]).abs() < 1e-9,
+                "row {r}: {score} vs {}",
+                batch_scores[r]
+            );
+        }
+        let _ = y;
+    }
+
+    #[test]
+    fn threshold_one_always_escalates() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let cascade =
+            CascadePredictor::new(exec, small, full.clone(), 1.0, vec![0]).unwrap();
+        let (scores, stats) = cascade.predict_batch(&t).unwrap();
+        assert_eq!(stats.resolved_small, 0);
+        let fullf = cascade.exec.features_batch(&t, None).unwrap();
+        let full_scores = full.predict_scores(&fullf);
+        for (a, b) in scores.iter().zip(&full_scores) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configurations() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        // Empty efficient set.
+        assert!(CascadePredictor::new(
+            exec.clone(),
+            small.clone(),
+            full.clone(),
+            0.8,
+            vec![]
+        )
+        .is_err());
+        // Efficient set = everything.
+        assert!(
+            CascadePredictor::new(exec, small, full, 0.8, vec![0, 1]).is_err()
+        );
+    }
+
+    #[test]
+    fn serve_stats_fraction() {
+        let s = CascadeServeStats {
+            resolved_small: 3,
+            escalated: 1,
+        };
+        assert!((s.small_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(CascadeServeStats::default().small_fraction(), 0.0);
+    }
+}

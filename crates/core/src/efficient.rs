@@ -1,0 +1,234 @@
+//! Efficient-IFV selection: the paper's Algorithm 1 and the
+//! alternative strategies of Table 8.
+//!
+//! Algorithm 1 greedily adds the most *cost-effective* IFVs (highest
+//! importance/cost) to the efficient set, with two guards:
+//!
+//! - **γ stopping rule**: stop when the next candidate's
+//!   cost-effectiveness falls below γ x the efficient set's average —
+//!   low-cost-effectiveness IFVs "do not improve the accuracy of the
+//!   approximate model enough to justify their cost",
+//! - **cost cap**: skip candidates that would push the efficient set's
+//!   cost above half (configurable) of the total pipeline cost.
+
+use crate::stats::IfvStats;
+
+/// How the efficient set is chosen (paper Table 8 compares these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionStrategy {
+    /// Willump's Algorithm 1: greedy by cost-effectiveness with the γ
+    /// stopping rule.
+    CostEffective {
+        /// The stopping ratio γ.
+        gamma: f64,
+        /// Whether the γ stopping rule is active (the §6.4 ablation
+        /// disables it).
+        use_gamma_rule: bool,
+    },
+    /// Greedy by descending prediction importance (Table 8
+    /// "Important").
+    MostImportant,
+    /// Greedy by ascending computational cost (Table 8 "Cheap").
+    Cheapest,
+}
+
+/// Select the efficient IFV set.
+///
+/// Returns generator indices in ascending order. The set may be empty
+/// (cascades are then not worthwhile, e.g. a single-IFV pipeline whose
+/// only IFV exceeds the cost cap).
+pub fn select_efficient_ifvs(
+    stats: &IfvStats,
+    strategy: SelectionStrategy,
+    max_cost_fraction: f64,
+) -> Vec<usize> {
+    let n = stats.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total_cost = stats.total_cost();
+    let budget = total_cost * max_cost_fraction;
+    // Cost floor for cost-effectiveness: costs below 1 % of the
+    // pipeline are measurement noise (a microseconds-cheap IFV would
+    // otherwise get unbounded cost-effectiveness and the γ rule would
+    // reject everything after it).
+    let floor = (total_cost * 0.01).max(f64::MIN_POSITIVE);
+    let ce = |imp: f64, cost: f64| imp / cost.max(floor);
+
+    // Queue ordered by the strategy's priority.
+    let mut queue: Vec<usize> = (0..n).collect();
+    match strategy {
+        SelectionStrategy::CostEffective { .. } => queue.sort_by(|&a, &b| {
+            ce(stats.importance[b], stats.cost[b])
+                .partial_cmp(&ce(stats.importance[a], stats.cost[a]))
+                .expect("finite cost-effectiveness ordering")
+                .then(a.cmp(&b))
+        }),
+        SelectionStrategy::MostImportant => queue.sort_by(|&a, &b| {
+            stats.importance[b]
+                .partial_cmp(&stats.importance[a])
+                .expect("finite importances")
+                .then(a.cmp(&b))
+        }),
+        SelectionStrategy::Cheapest => queue.sort_by(|&a, &b| {
+            stats.cost[a]
+                .partial_cmp(&stats.cost[b])
+                .expect("finite costs")
+                .then(a.cmp(&b))
+        }),
+    }
+
+    let mut efficient: Vec<usize> = Vec::new();
+    let mut e_importance = 0.0;
+    let mut e_cost = 0.0;
+    for f in queue {
+        if let SelectionStrategy::CostEffective {
+            gamma,
+            use_gamma_rule: true,
+        } = strategy
+        {
+            // Average cost-effectiveness of the efficient set (0 when
+            // empty, per Algorithm 1 line 6), with the same cost floor.
+            let avg_ce = if efficient.is_empty() {
+                0.0
+            } else {
+                ce(e_importance, e_cost)
+            };
+            let f_ce = ce(stats.importance[f], stats.cost[f]);
+            if f_ce < gamma * avg_ce {
+                break;
+            }
+        }
+        if e_cost + stats.cost[f] > budget {
+            continue;
+        }
+        efficient.push(f);
+        e_importance += stats.importance[f];
+        e_cost += stats.cost[f];
+    }
+    efficient.sort_unstable();
+    efficient
+}
+
+/// Enumerate every non-empty proper subset of `n` generators (for the
+/// Table 8 oracle, which brute-forces the best-performing set). Only
+/// sensible for small `n`.
+///
+/// # Panics
+/// Panics if `n >= 20` (2^20 subsets is past any reasonable oracle).
+pub fn enumerate_proper_subsets(n: usize) -> Vec<Vec<usize>> {
+    assert!(n < 20, "oracle enumeration is exponential; n={n} too large");
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    for mask in 1..(1u32 << n) - 1 {
+        let subset: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        out.push(subset);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(importance: Vec<f64>, cost: Vec<f64>) -> IfvStats {
+        IfvStats {
+            importance,
+            cost,
+            boundary_cost: 0.0,
+        }
+    }
+
+    fn willump(gamma: f64) -> SelectionStrategy {
+        SelectionStrategy::CostEffective {
+            gamma,
+            use_gamma_rule: true,
+        }
+    }
+
+    #[test]
+    fn picks_cost_effective_within_budget() {
+        // IFV 0: cheap and important (CE 10); IFV 1: expensive and
+        // important (CE 1); IFV 2: cheap, useless (CE 0.1).
+        let s = stats(vec![1.0, 1.0, 0.01], vec![0.1, 1.0, 0.1]);
+        let e = select_efficient_ifvs(&s, willump(0.25), 0.5);
+        // Budget = 0.6. IFV0 added (cost 0.1). IFV1 would exceed
+        // budget (1.1 > 0.6): skipped. IFV2 CE=0.1 < 0.25*10=2.5: stop.
+        assert_eq!(e, vec![0]);
+    }
+
+    #[test]
+    fn gamma_rule_stops_low_ce_ifvs() {
+        let s = stats(vec![1.0, 0.001], vec![0.1, 0.1]);
+        let with_rule = select_efficient_ifvs(&s, willump(0.25), 0.9);
+        assert_eq!(with_rule, vec![0]);
+        // Without the rule, the useless IFV is added too (budget
+        // 0.18 allows… cost 0.2 > 0.18, so relax budget to 1.0).
+        let without_rule = select_efficient_ifvs(
+            &s,
+            SelectionStrategy::CostEffective {
+                gamma: 0.25,
+                use_gamma_rule: false,
+            },
+            1.0,
+        );
+        assert_eq!(without_rule, vec![0, 1]);
+    }
+
+    #[test]
+    fn cost_cap_skips_but_does_not_stop() {
+        // IFV 0 is most cost-effective but huge; IFV 1 fits.
+        let s = stats(vec![10.0, 1.0], vec![0.9, 0.1]);
+        let e = select_efficient_ifvs(&s, willump(0.0), 0.5);
+        assert_eq!(e, vec![1]);
+    }
+
+    #[test]
+    fn most_important_ignores_cost() {
+        let s = stats(vec![1.0, 2.0], vec![0.1, 0.4]);
+        let e = select_efficient_ifvs(&s, SelectionStrategy::MostImportant, 0.9);
+        // Budget 0.45: IFV1 (importance 2, cost 0.4) first; IFV0
+        // would exceed (0.5 > 0.45).
+        assert_eq!(e, vec![1]);
+    }
+
+    #[test]
+    fn cheapest_ignores_importance() {
+        let s = stats(vec![0.0, 1.0], vec![0.1, 0.4]);
+        let e = select_efficient_ifvs(&s, SelectionStrategy::Cheapest, 0.5);
+        // Budget 0.25: cheapest (useless) IFV0 only.
+        assert_eq!(e, vec![0]);
+    }
+
+    #[test]
+    fn empty_stats_yield_empty_set() {
+        let s = stats(vec![], vec![]);
+        assert!(select_efficient_ifvs(&s, willump(0.25), 0.5).is_empty());
+    }
+
+    #[test]
+    fn single_ifv_cannot_fit_half_budget() {
+        let s = stats(vec![1.0], vec![1.0]);
+        assert!(select_efficient_ifvs(&s, willump(0.25), 0.5).is_empty());
+    }
+
+    #[test]
+    fn result_is_sorted() {
+        let s = stats(vec![1.0, 5.0, 2.0], vec![0.1, 0.1, 0.1]);
+        let e = select_efficient_ifvs(&s, willump(0.0), 1.0);
+        assert_eq!(e, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let subs = enumerate_proper_subsets(3);
+        // 2^3 - 2 = 6 proper non-empty subsets.
+        assert_eq!(subs.len(), 6);
+        assert!(subs.contains(&vec![0]));
+        assert!(subs.contains(&vec![0, 2]));
+        assert!(!subs.contains(&vec![0, 1, 2]));
+        assert!(enumerate_proper_subsets(0).is_empty());
+    }
+}

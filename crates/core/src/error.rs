@@ -1,0 +1,79 @@
+//! Error type for the optimizer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while optimizing or serving a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WillumpError {
+    /// Graph construction or execution failed.
+    Graph(String),
+    /// Model training or prediction failed.
+    Model(String),
+    /// Invalid optimizer configuration.
+    BadConfig {
+        /// Why the configuration was rejected.
+        reason: String,
+    },
+    /// Training/validation data was malformed.
+    BadData {
+        /// Why the data was rejected.
+        reason: String,
+    },
+    /// An optimization was requested that the pipeline cannot support
+    /// (e.g. cascades on a regression task).
+    Unsupported {
+        /// What was requested and why it is unsupported.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WillumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WillumpError::Graph(m) => write!(f, "graph error: {m}"),
+            WillumpError::Model(m) => write!(f, "model error: {m}"),
+            WillumpError::BadConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            WillumpError::BadData { reason } => write!(f, "invalid data: {reason}"),
+            WillumpError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+        }
+    }
+}
+
+impl Error for WillumpError {}
+
+impl From<willump_graph::GraphError> for WillumpError {
+    fn from(e: willump_graph::GraphError) -> Self {
+        WillumpError::Graph(e.to_string())
+    }
+}
+
+impl From<willump_models::ModelError> for WillumpError {
+    fn from(e: willump_models::ModelError) -> Self {
+        WillumpError::Model(e.to_string())
+    }
+}
+
+impl From<willump_data::DataError> for WillumpError {
+    fn from(e: willump_data::DataError) -> Self {
+        WillumpError::BadData {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: WillumpError = willump_graph::GraphError::Cyclic.into();
+        assert!(matches!(e, WillumpError::Graph(_)));
+        assert!(e.to_string().contains("cycle"));
+        let e: WillumpError = willump_models::ModelError::EmptyTrainingSet.into();
+        assert!(matches!(e, WillumpError::Model(_)));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WillumpError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Feature-layout remapping between generator subsets.
+//!
+//! Cascades compute the efficient IFVs first and, on escalation, only
+//! the *inefficient* IFVs; the full model however was trained on the
+//! canonical all-generators layout. These helpers remap sparse feature
+//! entries from a subset layout into the full layout so escalation
+//! never recomputes features it already has (paper Figure 3).
+
+use willump_graph::analysis::{subset_layout, IfvAnalysis};
+use willump_graph::TransformGraph;
+
+use crate::WillumpError;
+
+/// Per-generator `(offset, width)` in some layout, keyed by generator
+/// index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remapper {
+    /// `(generator, offset_in_subset, offset_in_full, width)` per
+    /// subset member, in subset order.
+    blocks: Vec<(usize, usize, usize, usize)>,
+    /// Total width of the full layout.
+    full_width: usize,
+}
+
+impl Remapper {
+    /// Build a remapper from `subset` coordinates into the canonical
+    /// full layout.
+    ///
+    /// # Errors
+    /// Returns [`WillumpError::Graph`] for invalid subset indices.
+    pub fn new(
+        graph: &TransformGraph,
+        analysis: &IfvAnalysis,
+        subset: &[usize],
+    ) -> Result<Remapper, WillumpError> {
+        let full: Vec<usize> = (0..analysis.generators.len()).collect();
+        let full_layout = subset_layout(graph, analysis, &full).map_err(WillumpError::from)?;
+        let sub_layout = subset_layout(graph, analysis, subset).map_err(WillumpError::from)?;
+        let full_width = full_layout.iter().map(|(_, _, w)| w).sum();
+        let blocks = sub_layout
+            .iter()
+            .map(|&(g, sub_off, w)| {
+                let (_, full_off, _) = full_layout[g];
+                (g, sub_off, full_off, w)
+            })
+            .collect();
+        Ok(Remapper { blocks, full_width })
+    }
+
+    /// Width of the full layout.
+    pub fn full_width(&self) -> usize {
+        self.full_width
+    }
+
+    /// Remap sparse entries from subset coordinates to full
+    /// coordinates.
+    pub fn to_full(&self, entries: &[(usize, f64)]) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(entries.len());
+        for &(c, v) in entries {
+            for &(_, sub_off, full_off, w) in &self.blocks {
+                if c >= sub_off && c < sub_off + w {
+                    out.push((c - sub_off + full_off, v));
+                    break;
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(c, _)| *c);
+        out
+    }
+
+    /// Merge two remapped entry lists (e.g. efficient + inefficient
+    /// blocks) into one sorted full-layout row.
+    pub fn merge_full(a: Vec<(usize, f64)>, b: Vec<(usize, f64)>) -> Vec<(usize, f64)> {
+        let mut out = a;
+        out.extend(b);
+        out.sort_unstable_by_key(|(c, _)| *c);
+        out
+    }
+
+    /// Copy a dense subset-layout row into its blocks of a dense
+    /// full-layout row (the fast path for narrow lookup pipelines,
+    /// where sparse entry shuffling would dominate).
+    ///
+    /// # Panics
+    /// Panics if `src` is narrower than the subset layout or `dst`
+    /// narrower than the full layout.
+    pub fn copy_into_dense(&self, src: &[f64], dst: &mut [f64]) {
+        for &(_, sub_off, full_off, w) in &self.blocks {
+            dst[full_off..full_off + w].copy_from_slice(&src[sub_off..sub_off + w]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use willump_graph::analysis::identify_ifvs;
+    use willump_graph::{GraphBuilder, Operator};
+
+    fn three_fg_graph() -> Arc<TransformGraph> {
+        let mut b = GraphBuilder::new();
+        let s0 = b.source("a");
+        let s1 = b.source("b");
+        let s2 = b.source("c");
+        let f0 = b.add("f0", Operator::StringStats, [s0]).unwrap(); // width 8
+        let f1 = b.add("f1", Operator::StringStats, [s1]).unwrap(); // width 8
+        let f2 = b.add("f2", Operator::StringStats, [s2]).unwrap(); // width 8
+        Arc::new(b.finish_with_concat("cat", [f0, f1, f2]).unwrap())
+    }
+
+    #[test]
+    fn remaps_subset_into_full_coordinates() {
+        let g = three_fg_graph();
+        let an = identify_ifvs(&g).unwrap();
+        // Subset {2, 0}: generator 2 occupies subset cols 0..8 but
+        // full cols 16..24.
+        let r = Remapper::new(&g, &an, &[2, 0]).unwrap();
+        assert_eq!(r.full_width(), 24);
+        let remapped = r.to_full(&[(0, 1.0), (9, 2.0)]);
+        assert_eq!(remapped, vec![(1, 2.0), (16, 1.0)]);
+    }
+
+    #[test]
+    fn identity_for_full_subset() {
+        let g = three_fg_graph();
+        let an = identify_ifvs(&g).unwrap();
+        let r = Remapper::new(&g, &an, &[0, 1, 2]).unwrap();
+        let entries = vec![(0, 1.0), (10, 2.0), (23, 3.0)];
+        assert_eq!(r.to_full(&entries), entries);
+    }
+
+    #[test]
+    fn merge_interleaves_sorted() {
+        let a = vec![(0, 1.0), (16, 2.0)];
+        let b = vec![(8, 3.0)];
+        assert_eq!(
+            Remapper::merge_full(a, b),
+            vec![(0, 1.0), (8, 3.0), (16, 2.0)]
+        );
+    }
+
+    #[test]
+    fn invalid_subset_errors() {
+        let g = three_fg_graph();
+        let an = identify_ifvs(&g).unwrap();
+        assert!(Remapper::new(&g, &an, &[5]).is_err());
+    }
+}

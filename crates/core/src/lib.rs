@@ -1,0 +1,46 @@
+//! # willump
+//!
+//! The core of the Willump reproduction: a statistically-aware
+//! end-to-end optimizer for ML inference pipelines (Kraft et al.,
+//! MLSys 2020).
+//!
+//! Given a [`Pipeline`] — a transformation graph plus a model spec —
+//! and training/validation data, [`Willump::optimize`] produces an
+//! [`OptimizedPipeline`] that applies the paper's optimizations:
+//!
+//! - **Automatic end-to-end cascades** (§4.2): compute per-IFV
+//!   prediction importances and computational costs, select the
+//!   *efficient* IFV set with Algorithm 1 ([`efficient`]), train a
+//!   small model on the efficient features, pick a cascade threshold
+//!   on a validation set, and serve easy inputs with the small model.
+//! - **Automatic top-K filter models** (§4.3): reuse the small-model
+//!   construction as a filter that discards low-scoring inputs before
+//!   the full model ranks the survivors.
+//! - **Query-aware parallelization** (§4.4) and **feature-level
+//!   caching** (§4.5) via the underlying executor.
+//! - **End-to-end compilation** (§5): the optimized pipeline runs on
+//!   the compiled engine; the original runs on the interpreted
+//!   engine (`Pipeline::baseline`).
+//!
+//! See `willump-workloads` for ready-made benchmark pipelines and
+//! `examples/` at the repository root for usage.
+
+#![warn(missing_docs)]
+
+pub mod cascade;
+mod config;
+pub mod efficient;
+mod error;
+mod layout;
+mod optimize;
+mod pipeline;
+pub mod stats;
+pub mod topk;
+
+pub use cascade::{CascadePredictor, ScoreCalibrator};
+pub use config::{CachingConfig, Calibration, QueryMode, TopKConfig, WillumpConfig};
+pub use error::WillumpError;
+pub use optimize::{OptimizationReport, OptimizedPipeline, Willump};
+pub use pipeline::{BaselinePipeline, Pipeline};
+pub use stats::IfvStats;
+pub use topk::TopKFilter;

@@ -1,0 +1,138 @@
+//! Pipeline definitions: a transformation graph plus a model spec.
+
+use std::sync::Arc;
+
+use willump_data::Table;
+use willump_graph::{EngineMode, Executor, InputRow, TransformGraph};
+use willump_models::{ModelSpec, Task, TrainedModel};
+
+use crate::WillumpError;
+
+/// An ML inference pipeline before optimization: the transformation
+/// graph (raw inputs → feature vector) and the model trained on its
+/// output (paper §3: "functions from raw inputs to predictions").
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    graph: Arc<TransformGraph>,
+    spec: ModelSpec,
+}
+
+impl Pipeline {
+    /// Couple a graph with a model spec.
+    pub fn new(graph: Arc<TransformGraph>, spec: ModelSpec) -> Pipeline {
+        Pipeline { graph, spec }
+    }
+
+    /// The transformation graph.
+    pub fn graph(&self) -> &Arc<TransformGraph> {
+        &self.graph
+    }
+
+    /// The model family and hyperparameters.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The prediction task.
+    pub fn task(&self) -> Task {
+        self.spec.task()
+    }
+
+    /// Train the full model and wrap everything as the *unoptimized*
+    /// baseline: interpreted (Python-like) execution of the original
+    /// pipeline.
+    ///
+    /// # Errors
+    /// Propagates execution and training failures.
+    pub fn fit_baseline(
+        &self,
+        train: &Table,
+        labels: &[f64],
+        seed: u64,
+    ) -> Result<BaselinePipeline, WillumpError> {
+        let exec = Executor::new(self.graph.clone(), EngineMode::Interpreted)?;
+        let feats = exec.features_batch(train, None)?;
+        let model = self.spec.fit(&feats, labels, seed)?;
+        Ok(BaselinePipeline {
+            exec,
+            model: Arc::new(model),
+        })
+    }
+}
+
+/// The unoptimized pipeline: interpreted feature computation plus the
+/// full model — the "Python" bars in paper Figures 5 and 6.
+#[derive(Debug, Clone)]
+pub struct BaselinePipeline {
+    exec: Executor,
+    model: Arc<TrainedModel>,
+}
+
+impl BaselinePipeline {
+    /// Wrap a prebuilt interpreted executor and trained model.
+    pub fn from_parts(exec: Executor, model: Arc<TrainedModel>) -> BaselinePipeline {
+        BaselinePipeline { exec, model }
+    }
+
+    /// The interpreted executor.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The trained full model.
+    pub fn model(&self) -> &Arc<TrainedModel> {
+        &self.model
+    }
+
+    /// Predict scores for a batch.
+    ///
+    /// # Errors
+    /// Propagates execution failures.
+    pub fn predict_batch(&self, table: &Table) -> Result<Vec<f64>, WillumpError> {
+        let feats = self.exec.features_batch(table, None)?;
+        Ok(self.model.predict_scores(&feats))
+    }
+
+    /// Predict the score for one input.
+    ///
+    /// # Errors
+    /// Propagates execution failures.
+    pub fn predict_one(&self, input: &InputRow) -> Result<f64, WillumpError> {
+        let row = self.exec.features_one(input, None)?;
+        Ok(self.model.predict_score_row(&row.entries, row.width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_data::Column;
+    use willump_graph::{GraphBuilder, Operator};
+    use willump_models::LogisticParams;
+
+    fn pipeline() -> (Pipeline, Table, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let a = b.source("a");
+        let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
+        let g = Arc::new(b.finish_with_concat("cat", [f0]).unwrap());
+        let p = Pipeline::new(g, ModelSpec::Logistic(LogisticParams::default()));
+        let mut t = Table::new();
+        let avals: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let y: Vec<f64> = (0..60).map(|i| (i % 2) as f64).collect();
+        t.add_column("a", Column::from(avals)).unwrap();
+        (p, t, y)
+    }
+
+    #[test]
+    fn baseline_trains_and_predicts() {
+        let (p, t, y) = pipeline();
+        assert_eq!(p.task(), Task::BinaryClassification);
+        let baseline = p.fit_baseline(&t, &y, 7).unwrap();
+        let scores = baseline.predict_batch(&t).unwrap();
+        let acc = willump_models::metrics::accuracy(&scores, &y);
+        assert!(acc > 0.95, "accuracy {acc}");
+        let input = InputRow::from_table(&t, 1).unwrap();
+        let one = baseline.predict_one(&input).unwrap();
+        assert!((one - scores[1]).abs() < 1e-9);
+    }
+}

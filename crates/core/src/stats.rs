@@ -1,0 +1,265 @@
+//! IFV statistics: prediction importance and computational cost
+//! (paper §4.2, "Computing IFV Statistics").
+
+use willump_data::{FeatureMatrix, Table};
+use willump_graph::analysis::subset_layout;
+use willump_graph::cost::{measure_costs, measure_costs_per_row};
+use willump_graph::Executor;
+use willump_models::{importance, Task, TrainedModel};
+
+use crate::WillumpError;
+
+/// How IFV computational costs are measured (query-aware, §2.3):
+/// batch queries amortize fixed per-request costs (like a remote round
+/// trip) over the batch; example-at-a-time queries pay them per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostBasis {
+    /// Batched execution over the training sample.
+    Batch,
+    /// Single-input serving over (up to) the given number of sampled
+    /// rows.
+    PerRow {
+        /// Sample size cap (per-row measurement is slower).
+        max_rows: usize,
+    },
+}
+
+/// Per-IFV statistics feeding Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfvStats {
+    /// Prediction importance per generator (sum over its features).
+    pub importance: Vec<f64>,
+    /// Computational cost per generator, seconds per row.
+    pub cost: Vec<f64>,
+    /// Boundary (driver) cost per row, seconds.
+    pub boundary_cost: f64,
+}
+
+impl IfvStats {
+    /// Number of IFVs described.
+    pub fn len(&self) -> usize {
+        self.importance.len()
+    }
+
+    /// Whether there are no IFVs.
+    pub fn is_empty(&self) -> bool {
+        self.importance.is_empty()
+    }
+
+    /// Cost-effectiveness (importance / cost) of one IFV; zero-cost
+    /// IFVs get infinite cost-effectiveness if they carry importance.
+    pub fn cost_effectiveness(&self, g: usize) -> f64 {
+        let c = self.cost[g];
+        let i = self.importance[g];
+        if c <= 0.0 {
+            if i > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            i / c
+        }
+    }
+
+    /// Total pipeline cost (all generators).
+    pub fn total_cost(&self) -> f64 {
+        self.cost.iter().sum()
+    }
+}
+
+/// Compute per-feature prediction importances for a trained full model
+/// (paper §4.2):
+///
+/// - linear models: |coefficient| x mean |feature value|,
+/// - ensembles (GBDT): permutation importance on the training sample,
+/// - others (MLP): importances of a proxy GBDT trained on the same
+///   data.
+///
+/// # Errors
+/// Propagates model errors from the proxy-GBDT fallback.
+pub fn feature_importances(
+    model: &TrainedModel,
+    features: &FeatureMatrix,
+    labels: &[f64],
+    seed: u64,
+) -> Result<Vec<f64>, WillumpError> {
+    match model {
+        TrainedModel::Logistic(_) | TrainedModel::Linear(_) => {
+            let coefs = model
+                .native_importances()
+                .expect("linear models have coefficients");
+            Ok(importance::linear_importances(&coefs, features))
+        }
+        TrainedModel::Gbdt(_) | TrainedModel::Forest(_) => Ok(
+            importance::permutation_importances(model, features, labels, seed),
+        ),
+        TrainedModel::Mlp(m) => {
+            let task = if m.is_classifier() {
+                Task::BinaryClassification
+            } else {
+                Task::Regression
+            };
+            importance::gbdt_proxy_importances(features, labels, task).map_err(WillumpError::from)
+        }
+    }
+}
+
+/// Compute full IFV statistics: importances from the trained model and
+/// features, costs from instrumented execution on the training sample
+/// (batched — paper §4.2's "during model training" measurement).
+///
+/// # Errors
+/// Propagates execution and model errors.
+pub fn compute_ifv_stats(
+    exec: &Executor,
+    model: &TrainedModel,
+    train_features: &FeatureMatrix,
+    train_table: &Table,
+    labels: &[f64],
+    seed: u64,
+) -> Result<IfvStats, WillumpError> {
+    compute_ifv_stats_with_basis(
+        exec,
+        model,
+        train_features,
+        train_table,
+        labels,
+        seed,
+        CostBasis::Batch,
+    )
+}
+
+/// [`compute_ifv_stats`] with an explicit cost basis. The optimizer
+/// passes [`CostBasis::PerRow`] when tuning for example-at-a-time
+/// queries, where each input pays fixed costs (remote round trips) in
+/// full.
+///
+/// # Errors
+/// Propagates execution and model errors.
+pub fn compute_ifv_stats_with_basis(
+    exec: &Executor,
+    model: &TrainedModel,
+    train_features: &FeatureMatrix,
+    train_table: &Table,
+    labels: &[f64],
+    seed: u64,
+    basis: CostBasis,
+) -> Result<IfvStats, WillumpError> {
+    let per_feature = feature_importances(model, train_features, labels, seed)?;
+    let analysis = exec.analysis();
+    let full: Vec<usize> = (0..analysis.generators.len()).collect();
+    let layout =
+        subset_layout(exec.graph(), analysis, &full).map_err(WillumpError::from)?;
+    let importance: Vec<f64> = layout
+        .iter()
+        .map(|&(_, offset, width)| {
+            let group: Vec<usize> = (offset..offset + width).collect();
+            importance::group_importance(&per_feature, &group)
+        })
+        .collect();
+    let costs = match basis {
+        CostBasis::Batch => measure_costs(exec, train_table).map_err(WillumpError::from)?,
+        CostBasis::PerRow { max_rows } => {
+            measure_costs_per_row(exec, train_table, max_rows).map_err(WillumpError::from)?
+        }
+    };
+    Ok(IfvStats {
+        importance,
+        cost: costs.per_generator,
+        boundary_cost: costs.boundary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use willump_data::{Column, Matrix};
+    use willump_graph::{EngineMode, GraphBuilder, Operator};
+    use willump_models::{GbdtParams, LogisticParams, MlpParams, ModelSpec};
+
+    fn exec_with_two_fgs() -> (Executor, Table) {
+        let mut b = GraphBuilder::new();
+        let a = b.source("a");
+        let c = b.source("b");
+        let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
+        let f1 = b.add("f1", Operator::NumericColumn, [c]).unwrap();
+        let g = Arc::new(b.finish_with_concat("cat", [f0, f1]).unwrap());
+        let exec = Executor::new(g, EngineMode::Compiled).unwrap();
+        let mut t = Table::new();
+        // Feature a decides the label; b is pair-constant noise.
+        let avals: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let bvals: Vec<f64> = (0..100).map(|i| ((i / 2 * 17) % 10) as f64 / 10.0).collect();
+        t.add_column("a", Column::from(avals)).unwrap();
+        t.add_column("b", Column::from(bvals)).unwrap();
+        (exec, t)
+    }
+
+    fn labels() -> Vec<f64> {
+        (0..100).map(|i| (i % 2) as f64).collect()
+    }
+
+    #[test]
+    fn stats_find_important_generator() {
+        let (exec, t) = exec_with_two_fgs();
+        let y = labels();
+        let feats = exec.features_batch(&t, None).unwrap();
+        let model = ModelSpec::Logistic(LogisticParams::default())
+            .fit(&feats, &y, 1)
+            .unwrap();
+        let stats = compute_ifv_stats(&exec, &model, &feats, &t, &y, 1).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.importance[0] > stats.importance[1] * 2.0, "{stats:?}");
+        assert!(stats.cost.iter().all(|c| *c >= 0.0));
+        assert!(stats.total_cost() >= 0.0);
+    }
+
+    #[test]
+    fn importances_for_every_model_family() {
+        let (exec, t) = exec_with_two_fgs();
+        let y = labels();
+        let feats = exec.features_batch(&t, None).unwrap();
+        for spec in [
+            ModelSpec::Logistic(LogisticParams::default()),
+            ModelSpec::GbdtClassifier(GbdtParams::default()),
+            ModelSpec::MlpClassifier(MlpParams::default()),
+        ] {
+            let model = spec.fit(&feats, &y, 1).unwrap();
+            let imp = feature_importances(&model, &feats, &y, 1).unwrap();
+            assert_eq!(imp.len(), 2);
+            assert!(
+                imp[0] > imp[1],
+                "family {spec:?} importances {imp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_effectiveness_handles_zero_cost() {
+        let stats = IfvStats {
+            importance: vec![1.0, 0.0],
+            cost: vec![0.0, 0.0],
+            boundary_cost: 0.0,
+        };
+        assert!(stats.cost_effectiveness(0).is_infinite());
+        assert_eq!(stats.cost_effectiveness(1), 0.0);
+    }
+
+    #[test]
+    fn dense_feature_path_works() {
+        // feature_importances also accepts dense matrices directly.
+        let x = FeatureMatrix::Dense(Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+        ]));
+        let y = [1.0, 0.0, 1.0, 0.0];
+        let model = ModelSpec::Logistic(LogisticParams::default())
+            .fit(&x, &y, 1)
+            .unwrap();
+        let imp = feature_importances(&model, &x, &y, 1).unwrap();
+        assert!(imp[0] > imp[1]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Automatic top-K filter models (paper §4.3).
+//!
+//! For top-K queries only the relative ranking of the K top-scoring
+//! inputs matters. The filter model — constructed exactly like a
+//! cascade's small model — scores the whole batch cheaply, keeps a
+//! subset of `max(ck * K, min_frac * N)` top candidates, and only
+//! those are scored by the full model (reusing the already-computed
+//! efficient features). The returned ranking is the full model's
+//! ordering of the surviving candidates.
+
+use std::sync::Arc;
+
+use willump_data::{SparseRowBuilder, Table};
+use willump_graph::Executor;
+use willump_models::{metrics, TrainedModel};
+
+use crate::config::TopKConfig;
+use crate::layout::Remapper;
+use crate::WillumpError;
+
+/// Statistics from one top-K query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKServeStats {
+    /// Batch size scored by the filter model.
+    pub batch_size: usize,
+    /// Candidates kept for the full model.
+    pub subset_size: usize,
+}
+
+/// A deployed top-K filter.
+#[derive(Debug, Clone)]
+pub struct TopKFilter {
+    exec: Executor,
+    filter: Arc<TrainedModel>,
+    full: Arc<TrainedModel>,
+    config: TopKConfig,
+    efficient: Vec<usize>,
+    inefficient: Vec<usize>,
+    eff_remap: Remapper,
+    ineff_remap: Remapper,
+    full_width: usize,
+}
+
+impl TopKFilter {
+    /// Assemble a top-K filter from its parts.
+    ///
+    /// # Errors
+    /// Returns [`WillumpError::Unsupported`] when the efficient subset
+    /// is empty or covers every generator (no filtering is possible).
+    pub fn new(
+        exec: Executor,
+        filter: Arc<TrainedModel>,
+        full: Arc<TrainedModel>,
+        config: TopKConfig,
+        efficient: Vec<usize>,
+    ) -> Result<TopKFilter, WillumpError> {
+        let n_fgs = exec.analysis().generators.len();
+        if efficient.is_empty() || efficient.len() >= n_fgs {
+            return Err(WillumpError::Unsupported {
+                reason: format!(
+                    "top-K filtering needs a proper non-empty efficient subset ({} of {} IFVs)",
+                    efficient.len(),
+                    n_fgs
+                ),
+            });
+        }
+        let inefficient: Vec<usize> =
+            (0..n_fgs).filter(|g| !efficient.contains(g)).collect();
+        let eff_remap = Remapper::new(exec.graph(), exec.analysis(), &efficient)?;
+        let ineff_remap = Remapper::new(exec.graph(), exec.analysis(), &inefficient)?;
+        let full_width = eff_remap.full_width();
+        Ok(TopKFilter {
+            exec,
+            filter,
+            full,
+            config,
+            efficient,
+            inefficient,
+            eff_remap,
+            ineff_remap,
+            full_width,
+        })
+    }
+
+    /// The filter configuration.
+    pub fn config(&self) -> TopKConfig {
+        self.config
+    }
+
+    /// Override the configuration (used by the Table 7 subset-size
+    /// sweep).
+    pub fn set_config(&mut self, config: TopKConfig) {
+        self.config = config;
+    }
+
+    /// The efficient generator subset the filter model reads.
+    pub fn efficient_set(&self) -> &[usize] {
+        &self.efficient
+    }
+
+    /// The subset size used for a batch of `n` when requesting top-`k`.
+    pub fn subset_size(&self, n: usize, k: usize) -> usize {
+        let by_ck = self.config.ck.saturating_mul(k);
+        let by_frac = (self.config.min_subset_frac * n as f64).ceil() as usize;
+        by_ck.max(by_frac).min(n)
+    }
+
+    /// Answer a top-`k` query over `table`: returns the indices of the
+    /// predicted top K, best first, plus serving statistics.
+    ///
+    /// # Errors
+    /// Propagates feature-computation failures; errors when `k == 0`.
+    pub fn top_k(
+        &self,
+        table: &Table,
+        k: usize,
+    ) -> Result<(Vec<usize>, TopKServeStats), WillumpError> {
+        if k == 0 {
+            return Err(WillumpError::BadConfig {
+                reason: "top-K requires k >= 1".into(),
+            });
+        }
+        let n = table.n_rows();
+        let eff = self.exec.features_batch(table, Some(&self.efficient))?;
+        let filter_scores = self.filter.predict_scores(&eff);
+        let subset_size = self.subset_size(n, k);
+        let candidates = metrics::top_k_indices(&filter_scores, subset_size);
+
+        // Score the candidates with the full model, computing only the
+        // inefficient features for them. Dense inputs take a block-copy
+        // fast path, mirroring `CascadePredictor::predict_batch`.
+        let sub = table.take_rows(&candidates);
+        let ineff = self.exec.features_batch(&sub, Some(&self.inefficient))?;
+        let full_feats = match (&eff, &ineff) {
+            (
+                willump_data::FeatureMatrix::Dense(eff_m),
+                willump_data::FeatureMatrix::Dense(ineff_m),
+            ) => {
+                let mut merged = willump_data::Matrix::zeros(candidates.len(), self.full_width);
+                for (j, &orig) in candidates.iter().enumerate() {
+                    let dst = merged.row_mut(j);
+                    self.eff_remap.copy_into_dense(eff_m.row(orig), dst);
+                    self.ineff_remap.copy_into_dense(ineff_m.row(j), dst);
+                }
+                willump_data::FeatureMatrix::Dense(merged)
+            }
+            _ => {
+                let mut b = SparseRowBuilder::new(self.full_width);
+                for (j, &orig) in candidates.iter().enumerate() {
+                    let merged = Remapper::merge_full(
+                        self.eff_remap.to_full(&eff.row_entries(orig)),
+                        self.ineff_remap.to_full(&ineff.row_entries(j)),
+                    );
+                    b.push_row(&merged);
+                }
+                willump_data::FeatureMatrix::Sparse(b.finish())
+            }
+        };
+        let full_scores = self.full.predict_scores(&full_feats);
+        let ranked_within = metrics::top_k_indices(&full_scores, k.min(candidates.len()));
+        let result: Vec<usize> = ranked_within.into_iter().map(|j| candidates[j]).collect();
+        Ok((
+            result,
+            TopKServeStats {
+                batch_size: n,
+                subset_size,
+            },
+        ))
+    }
+}
+
+/// Exact top-K baseline: full model over the whole batch.
+///
+/// # Errors
+/// Propagates feature-computation failures.
+pub fn exact_top_k(
+    exec: &Executor,
+    full: &TrainedModel,
+    table: &Table,
+    k: usize,
+) -> Result<Vec<usize>, WillumpError> {
+    let feats = exec.features_batch(table, None)?;
+    let scores = full.predict_scores(&feats);
+    Ok(metrics::top_k_indices(&scores, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use willump_data::Column;
+    use willump_graph::{EngineMode, GraphBuilder, Operator};
+    use willump_models::{LinearParams, ModelSpec};
+
+    /// Regression pipeline with two numeric FGs; the true score is
+    /// dominated by FG0 (so the filter works) with a correction from
+    /// FG1 (so the full model reranks).
+    fn setup() -> (Executor, Table, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let a = b.source("a");
+        let c = b.source("b");
+        let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
+        let f1 = b.add("f1", Operator::NumericColumn, [c]).unwrap();
+        let g = Arc::new(b.finish_with_concat("cat", [f0, f1]).unwrap());
+        let exec = Executor::new(g, EngineMode::Compiled).unwrap();
+        let mut avals = Vec::new();
+        let mut bvals = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..500 {
+            let a = ((i * 37) % 500) as f64 / 500.0;
+            let b = ((i * 91) % 100) as f64 / 100.0;
+            avals.push(a);
+            bvals.push(b);
+            y.push(2.0 * a + 0.3 * b);
+        }
+        let mut t = Table::new();
+        t.add_column("a", Column::from(avals)).unwrap();
+        t.add_column("b", Column::from(bvals)).unwrap();
+        (exec, t, y)
+    }
+
+    fn models(exec: &Executor, t: &Table, y: &[f64]) -> (Arc<TrainedModel>, Arc<TrainedModel>) {
+        let params = LinearParams {
+            epochs: 120,
+            learning_rate: 0.1,
+            decay: 0.001,
+            l2: 0.0,
+        };
+        let full_feats = exec.features_batch(t, None).unwrap();
+        let full = ModelSpec::Linear(params.clone()).fit(&full_feats, y, 1).unwrap();
+        let eff_feats = exec.features_batch(t, Some(&[0])).unwrap();
+        let filter = ModelSpec::Linear(params).fit(&eff_feats, y, 1).unwrap();
+        (Arc::new(filter), Arc::new(full))
+    }
+
+    #[test]
+    fn subset_size_rules() {
+        let (exec, t, y) = setup();
+        let (filter, full) = models(&exec, &t, &y);
+        let f = TopKFilter::new(exec, filter, full, TopKConfig::default(), vec![0]).unwrap();
+        // ck*K dominates: 10*20 = 200 > 5% of 500 = 25.
+        assert_eq!(f.subset_size(500, 20), 200);
+        // Fraction floor dominates for tiny K: max(10, 25) = 25.
+        assert_eq!(f.subset_size(500, 1), 25);
+        // Clamped to batch size.
+        assert_eq!(f.subset_size(50, 20), 50);
+    }
+
+    #[test]
+    fn filtered_topk_is_accurate() {
+        let (exec, t, y) = setup();
+        let (filter, full) = models(&exec, &t, &y);
+        let f = TopKFilter::new(
+            exec.clone(),
+            filter,
+            full.clone(),
+            TopKConfig::default(),
+            vec![0],
+        )
+        .unwrap();
+        let k = 20;
+        let (approx, stats) = f.top_k(&t, k).unwrap();
+        let exact = exact_top_k(&exec, &full, &t, k).unwrap();
+        assert_eq!(approx.len(), k);
+        assert_eq!(stats.batch_size, 500);
+        assert_eq!(stats.subset_size, 200);
+        let precision = metrics::precision_at_k(&approx, &exact);
+        assert!(precision >= 0.9, "precision {precision}");
+        // Average value of the approximate top-K should be close to
+        // the exact top-K's.
+        let approx_value = metrics::average_value(&approx, &y);
+        let exact_value = metrics::average_value(&exact, &y);
+        assert!(
+            (exact_value - approx_value) / exact_value < 0.02,
+            "{approx_value} vs {exact_value}"
+        );
+    }
+
+    #[test]
+    fn tiny_subset_hurts_accuracy() {
+        let (exec, t, y) = setup();
+        let (filter, full) = models(&exec, &t, &y);
+        let generous = TopKFilter::new(
+            exec.clone(),
+            filter.clone(),
+            full.clone(),
+            TopKConfig {
+                ck: 10,
+                min_subset_frac: 0.05,
+            },
+            vec![0],
+        )
+        .unwrap();
+        let mut stingy = generous.clone();
+        stingy.set_config(TopKConfig {
+            ck: 1,
+            min_subset_frac: 0.0,
+        });
+        let exact = exact_top_k(&exec, &full, &t, 20).unwrap();
+        let (gen_k, _) = generous.top_k(&t, 20).unwrap();
+        let (sting_k, sting_stats) = stingy.top_k(&t, 20).unwrap();
+        assert_eq!(sting_stats.subset_size, 20);
+        let p_gen = metrics::precision_at_k(&gen_k, &exact);
+        let p_sting = metrics::precision_at_k(&sting_k, &exact);
+        assert!(p_gen >= p_sting, "{p_gen} vs {p_sting}");
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let (exec, t, y) = setup();
+        let (filter, full) = models(&exec, &t, &y);
+        let f = TopKFilter::new(exec, filter, full, TopKConfig::default(), vec![0]).unwrap();
+        assert!(f.top_k(&t, 0).is_err());
+    }
+
+    #[test]
+    fn bad_subsets_rejected() {
+        let (exec, t, y) = setup();
+        let (filter, full) = models(&exec, &t, &y);
+        assert!(TopKFilter::new(
+            exec.clone(),
+            filter.clone(),
+            full.clone(),
+            TopKConfig::default(),
+            vec![]
+        )
+        .is_err());
+        assert!(
+            TopKFilter::new(exec, filter, full, TopKConfig::default(), vec![0, 1]).is_err()
+        );
+        let _ = t;
+    }
+
+    #[test]
+    fn k_larger_than_batch() {
+        let (exec, t, y) = setup();
+        let (filter, full) = models(&exec, &t, &y);
+        let f = TopKFilter::new(exec, filter, full, TopKConfig::default(), vec![0]).unwrap();
+        let small = t.take_rows(&(0..5).collect::<Vec<_>>());
+        let (idx, _) = f.top_k(&small, 10).unwrap();
+        assert_eq!(idx.len(), 5);
+    }
+}

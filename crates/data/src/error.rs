@@ -1,0 +1,80 @@
+//! Error type for the data substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::DataType;
+
+/// Errors produced by data-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Shapes of two containers were incompatible for the operation.
+    ShapeMismatch {
+        /// What was being attempted.
+        context: String,
+    },
+    /// A column name was not found in a table.
+    UnknownColumn {
+        /// The missing name.
+        name: String,
+    },
+    /// A column with the same name already exists.
+    DuplicateColumn {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A value's type did not match the column's type.
+    TypeMismatch {
+        /// Type the container holds.
+        expected: DataType,
+        /// Type that was supplied.
+        found: DataType,
+    },
+    /// Row index out of bounds.
+    RowOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of rows available.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            DataError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            DataError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
+            DataError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DataError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DataError::UnknownColumn { name: "x".into() };
+        assert_eq!(e.to_string(), "unknown column `x`");
+        let e = DataError::TypeMismatch {
+            expected: DataType::Int,
+            found: DataType::Str,
+        };
+        assert!(e.to_string().contains("expected int"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,197 @@
+//! Seeded randomness helpers used by workload generators.
+//!
+//! All experiment binaries derive their randomness from fixed seeds so
+//! that tables and figures are reproducible run-to-run.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A Zipf-distributed sampler over `{0, 1, ..., n-1}`.
+///
+/// Entity popularity in the lookup workloads (users, songs, IPs) is
+/// Zipfian — that skew is what makes the paper's feature-level caching
+/// effective (Table 2's 92.3 % request reduction on Music). Sampling
+/// uses a precomputed CDF with binary search, so draws are `O(log n)`.
+///
+/// ```
+/// use willump_data::rng::{seeded, Zipf};
+/// use rand::Rng;
+///
+/// let zipf = Zipf::new(100, 1.1);
+/// let mut rng = seeded(7);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf law over `n` ranks with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+impl Distribution<usize> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        Zipf::sample(self, rng)
+    }
+}
+
+/// Sample an index according to (unnormalized, non-negative) weights.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to zero.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A standard-normal draw via Box-Muller (keeps us independent of
+/// `rand_distr`, which is outside the approved dependency set).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std * z
+}
+
+/// Fisher-Yates shuffled `0..n` index permutation.
+pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut rng = seeded(42);
+        let mut head = 0usize;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 ranks should soak up far more than the 1%
+        // uniform share.
+        assert!(head as f64 / draws as f64 > 0.3, "head share {head}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let zipf = Zipf::new(5, 0.8);
+        let mut rng = seeded(1);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn zipf_deterministic_under_seed() {
+        let zipf = Zipf::new(50, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = seeded(9);
+            (0..20).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = seeded(9);
+            (0..20).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = seeded(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_weighted(&mut rng, &[0.0, 1.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut rng = seeded(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = seeded(5);
+        let p = permutation(&mut rng, 100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

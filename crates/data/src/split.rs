@@ -1,0 +1,121 @@
+//! Train/validation/test splitting utilities.
+//!
+//! Willump trains small models on a training set and picks cascade
+//! thresholds on a validation set (paper §4.2); the threshold
+//! robustness microbenchmark (§6.4) needs *two* disjoint validation
+//! sets, which [`three_way_split`] provides via [`SplitSpec`].
+
+use rand::Rng;
+
+use crate::rng::permutation;
+
+/// Fractions for a three-way split; the remainder goes to test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitSpec {
+    /// Fraction of rows assigned to training.
+    pub train: f64,
+    /// Fraction of rows assigned to validation.
+    pub valid: f64,
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        SplitSpec {
+            train: 0.6,
+            valid: 0.2,
+        }
+    }
+}
+
+/// Index sets for a three-way split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Validation row indices.
+    pub valid: Vec<usize>,
+    /// Test row indices.
+    pub test: Vec<usize>,
+}
+
+/// Shuffle `0..n` and split it into train/valid/test index sets.
+///
+/// # Panics
+/// Panics if the fractions are negative or sum above 1.
+pub fn three_way_split<R: Rng + ?Sized>(rng: &mut R, n: usize, spec: SplitSpec) -> Split {
+    assert!(
+        spec.train >= 0.0 && spec.valid >= 0.0 && spec.train + spec.valid <= 1.0,
+        "invalid split fractions"
+    );
+    let perm = permutation(rng, n);
+    let n_train = (n as f64 * spec.train).round() as usize;
+    let n_valid = (n as f64 * spec.valid).round() as usize;
+    let n_train = n_train.min(n);
+    let n_valid = n_valid.min(n - n_train);
+    Split {
+        train: perm[..n_train].to_vec(),
+        valid: perm[n_train..n_train + n_valid].to_vec(),
+        test: perm[n_train + n_valid..].to_vec(),
+    }
+}
+
+/// Split the validation indices themselves into two disjoint halves
+/// (for the cascade-threshold robustness experiment).
+pub fn halve(indices: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mid = indices.len() / 2;
+    (indices[..mid].to_vec(), indices[mid..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn split_partitions_everything() {
+        let mut rng = seeded(0);
+        let s = three_way_split(&mut rng, 100, SplitSpec::default());
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.valid.len(), 20);
+        assert_eq!(s.test.len(), 20);
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = three_way_split(&mut seeded(4), 50, SplitSpec::default());
+        let b = three_way_split(&mut seeded(4), 50, SplitSpec::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn halve_is_disjoint_cover() {
+        let idx: Vec<usize> = (0..11).collect();
+        let (a, b) = halve(&idx);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 6);
+        let mut joined = [a, b].concat();
+        joined.sort_unstable();
+        assert_eq!(joined, idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split fractions")]
+    fn overfull_fractions_panic() {
+        let _ = three_way_split(&mut seeded(0), 10, SplitSpec { train: 0.9, valid: 0.5 });
+    }
+
+    #[test]
+    fn tiny_n_does_not_panic() {
+        let s = three_way_split(&mut seeded(0), 1, SplitSpec::default());
+        assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic text generation for the text-heavy workloads.
+//!
+//! The Product, Toxic, and Price benchmarks featurize free text. We
+//! generate documents from a synthetic vocabulary with controllable
+//! *signal tokens*: tokens whose presence correlates with the positive
+//! class. Strongly-signaled documents are the "easy" inputs that let
+//! Willump's cascades short-circuit (the curse-word example from the
+//! paper's introduction).
+
+use rand::Rng;
+
+use crate::rng::Zipf;
+
+/// A synthetic vocabulary of pronounceable word-like tokens.
+#[derive(Debug, Clone)]
+pub struct SyntheticVocab {
+    words: Vec<String>,
+    zipf: Zipf,
+}
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
+    "pl", "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "nd", "st", "ck"];
+
+/// Deterministically build the `i`-th synthetic word.
+fn make_word(i: usize) -> String {
+    let mut word = String::new();
+    let mut x = i;
+    // Two syllables keeps words distinct up to ~6.5M combinations.
+    for _ in 0..2 {
+        word.push_str(ONSETS[x % ONSETS.len()]);
+        x /= ONSETS.len();
+        word.push_str(NUCLEI[x % NUCLEI.len()]);
+        x /= NUCLEI.len();
+        word.push_str(CODAS[x % CODAS.len()]);
+        x /= CODAS.len();
+    }
+    if x > 0 {
+        word.push_str(&x.to_string());
+    }
+    word
+}
+
+impl SyntheticVocab {
+    /// A vocabulary of `n` distinct words with Zipfian usage frequency
+    /// (natural-language-like token distribution).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> SyntheticVocab {
+        let words = (0..n).map(make_word).collect();
+        SyntheticVocab {
+            words,
+            zipf: Zipf::new(n, 1.05),
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at rank `i` (rank 0 is most frequent).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn word(&self, i: usize) -> &str {
+        &self.words[i]
+    }
+
+    /// Sample one word according to the Zipfian usage distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        &self.words[self.zipf.sample(rng)]
+    }
+
+    /// Generate a document of `len` words, each independently replaced
+    /// by `signal` with probability `signal_prob`.
+    pub fn document<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        len: usize,
+        signal: Option<&str>,
+        signal_prob: f64,
+    ) -> String {
+        let mut out = String::with_capacity(len * 7);
+        for i in 0..len {
+            if i > 0 {
+                out.push(' ');
+            }
+            match signal {
+                Some(tok) if rng.gen::<f64>() < signal_prob => out.push_str(tok),
+                _ => out.push_str(self.sample(rng)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn words_are_distinct() {
+        let v = SyntheticVocab::new(5000);
+        let mut set = std::collections::HashSet::new();
+        for i in 0..v.len() {
+            assert!(set.insert(v.word(i).to_string()), "dup word {}", v.word(i));
+        }
+    }
+
+    #[test]
+    fn words_are_nonempty_and_lowercase() {
+        let v = SyntheticVocab::new(1000);
+        for i in 0..v.len() {
+            let w = v.word(i);
+            assert!(!w.is_empty());
+            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn document_length_and_signal() {
+        let v = SyntheticVocab::new(100);
+        let mut rng = seeded(2);
+        let doc = v.document(&mut rng, 12, Some("zzsignal"), 1.0);
+        let toks: Vec<&str> = doc.split(' ').collect();
+        assert_eq!(toks.len(), 12);
+        assert!(toks.iter().all(|t| *t == "zzsignal"));
+
+        let doc = v.document(&mut rng, 12, Some("zzsignal"), 0.0);
+        assert!(!doc.contains("zzsignal"));
+    }
+
+    #[test]
+    fn sampling_is_zipf_skewed() {
+        let v = SyntheticVocab::new(500);
+        let mut rng = seeded(8);
+        let mut top_hits = 0;
+        let trials = 10_000;
+        let top: std::collections::HashSet<&str> = (0..10).map(|i| v.word(i)).collect();
+        for _ in 0..trials {
+            if top.contains(v.sample(&mut rng)) {
+                top_hits += 1;
+            }
+        }
+        assert!(top_hits > trials / 10, "top-10 hits {top_hits}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let v = SyntheticVocab::new(100);
+        let a = v.document(&mut seeded(3), 8, None, 0.0);
+        let b = v.document(&mut seeded(3), 8, None, 0.0);
+        assert_eq!(a, b);
+    }
+}

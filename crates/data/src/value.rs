@@ -1,0 +1,191 @@
+//! Dynamic values: the unit of data flowing through the *interpreted*
+//! engine (the Python-baseline stand-in). Boxed, heap-allocated, and
+//! dynamically typed on purpose — the cost structure is the point.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The dynamic type of a [`Value`] or a [`crate::Column`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Missing / no value.
+    Null,
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Null => "null",
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar, analogous to a Python object in the
+/// paper's unoptimized pipelines.
+///
+/// Strings are reference-counted so cloning a `Value` out of a column
+/// is cheap, mirroring CPython's pointer semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing / no value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The dynamic type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Numeric view of the value, if it has one.
+    ///
+    /// Bools coerce to 0.0/1.0 and ints widen to float, matching the
+    /// implicit coercions the benchmark pipelines rely on.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Null | Value::Str(_) => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an int or bool.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.0).as_i64(), None);
+    }
+
+    #[test]
+    fn data_types() {
+        assert_eq!(Value::Null.data_type(), DataType::Null);
+        assert_eq!(Value::from("hi").data_type(), DataType::Str);
+        assert_eq!(Value::from(1i64).data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Value::from(1.5).to_string(), "1.5");
+        assert_eq!(Value::from("abc").to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(format!("{:?}", DataType::Str), "Str");
+        assert_eq!(DataType::Float.to_string(), "float");
+    }
+
+    #[test]
+    fn string_clone_is_shallow() {
+        let v = Value::str("shared");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+}

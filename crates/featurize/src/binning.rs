@@ -1,0 +1,184 @@
+//! Quantile binning (discretization) of numeric features.
+//!
+//! Credit-style tabular pipelines bucket continuous features (income,
+//! loan amount) into quantile bins before feeding them to linear
+//! models; the bin index is also a natural key for feature-level
+//! caching because it collapses a continuum of raw values onto a small
+//! set of cache keys.
+
+use willump_data::Matrix;
+
+use crate::FeatError;
+
+/// Equal-frequency (quantile) discretizer for one numeric column.
+///
+/// `fit` computes `n_bins - 1` cut points at the empirical quantiles;
+/// `transform` maps each value to its bin index in `0..n_bins`.
+/// Values below the first cut map to bin 0 and above the last to
+/// `n_bins - 1`, so unseen extremes stay in range. Duplicate cut
+/// points (from heavily-tied data) are collapsed, so the effective
+/// number of bins can be smaller than requested; [`QuantileBinner::n_bins`]
+/// reports the effective count.
+#[derive(Debug, Clone)]
+pub struct QuantileBinner {
+    requested_bins: usize,
+    cuts: Vec<f64>,
+    fitted: bool,
+}
+
+impl QuantileBinner {
+    /// A binner targeting `n_bins` equal-frequency bins.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::BadConfig`] if `n_bins < 2`.
+    pub fn new(n_bins: usize) -> Result<QuantileBinner, FeatError> {
+        if n_bins < 2 {
+            return Err(FeatError::BadConfig {
+                reason: format!("need at least 2 bins, got {n_bins}"),
+            });
+        }
+        Ok(QuantileBinner {
+            requested_bins: n_bins,
+            cuts: Vec::new(),
+            fitted: false,
+        })
+    }
+
+    /// Effective number of bins after deduplicating cut points
+    /// (equals the requested count on untied data; 0 before fit).
+    pub fn n_bins(&self) -> usize {
+        if self.fitted {
+            self.cuts.len() + 1
+        } else {
+            0
+        }
+    }
+
+    /// The learned cut points (empty before fit).
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// Learn cut points from the empirical distribution of `values`.
+    /// Non-finite values are ignored during fitting.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::BadConfig`] when no finite values remain.
+    pub fn fit(&mut self, values: &[f64]) -> Result<(), FeatError> {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return Err(FeatError::BadConfig {
+                reason: "quantile binner needs at least one finite value".into(),
+            });
+        }
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut cuts = Vec::with_capacity(self.requested_bins - 1);
+        for q in 1..self.requested_bins {
+            let frac = q as f64 / self.requested_bins as f64;
+            // Nearest-rank quantile on the sorted sample.
+            let idx = ((frac * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+            cuts.push(sorted[idx]);
+        }
+        cuts.dedup();
+        self.cuts = cuts;
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// The bin index for one value. `NaN` maps to bin 0 (the
+    /// missing-value convention of the Credit workload's pipeline).
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform_one(&self, value: f64) -> Result<usize, FeatError> {
+        if !self.fitted {
+            return Err(FeatError::NotFitted {
+                transformer: "QuantileBinner",
+            });
+        }
+        if value.is_nan() {
+            return Ok(0);
+        }
+        // partition_point: count of cuts strictly below `value`.
+        Ok(self.cuts.partition_point(|c| *c < value))
+    }
+
+    /// Bin a batch as a single-column dense matrix of bin indices.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform(&self, values: &[f64]) -> Result<Matrix, FeatError> {
+        let col: Result<Vec<f64>, FeatError> = values
+            .iter()
+            .map(|&v| self.transform_one(v).map(|b| b as f64))
+            .collect();
+        Ok(Matrix::column_vector(col?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_bins_evenly() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut b = QuantileBinner::new(4).unwrap();
+        b.fit(&values).unwrap();
+        assert_eq!(b.n_bins(), 4);
+        // Each quartile of the input lands in its own bin.
+        assert_eq!(b.transform_one(5.0).unwrap(), 0);
+        assert_eq!(b.transform_one(30.0).unwrap(), 1);
+        assert_eq!(b.transform_one(60.0).unwrap(), 2);
+        assert_eq!(b.transform_one(95.0).unwrap(), 3);
+    }
+
+    #[test]
+    fn extremes_stay_in_range() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut b = QuantileBinner::new(5).unwrap();
+        b.fit(&values).unwrap();
+        assert_eq!(b.transform_one(-1e9).unwrap(), 0);
+        assert_eq!(b.transform_one(1e9).unwrap(), b.n_bins() - 1);
+    }
+
+    #[test]
+    fn ties_collapse_bins() {
+        // 90% of the mass at one value: most cuts coincide.
+        let mut values = vec![5.0; 90];
+        values.extend((0..10).map(|i| i as f64));
+        let mut b = QuantileBinner::new(10).unwrap();
+        b.fit(&values).unwrap();
+        assert!(b.n_bins() < 10, "effective bins: {}", b.n_bins());
+        assert!(b.n_bins() >= 2);
+    }
+
+    #[test]
+    fn nan_maps_to_bin_zero_and_is_ignored_in_fit() {
+        let mut values: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        values.push(f64::NAN);
+        let mut b = QuantileBinner::new(3).unwrap();
+        b.fit(&values).unwrap();
+        assert_eq!(b.transform_one(f64::NAN).unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_matches_one_by_one() {
+        let values: Vec<f64> = (0..30).map(|i| (i * 7 % 30) as f64).collect();
+        let mut b = QuantileBinner::new(3).unwrap();
+        b.fit(&values).unwrap();
+        let m = b.transform(&values).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(m.column(0)[i] as usize, b.transform_one(v).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(QuantileBinner::new(1).is_err());
+        let mut b = QuantileBinner::new(2).unwrap();
+        assert!(b.fit(&[f64::NAN, f64::INFINITY - f64::INFINITY]).is_err());
+        let unfitted = QuantileBinner::new(2).unwrap();
+        assert!(unfitted.transform_one(1.0).is_err());
+    }
+}

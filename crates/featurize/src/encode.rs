@@ -1,0 +1,262 @@
+//! Categorical feature encoding: one-hot, ordinal, and hashing.
+
+use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use willump_data::{Matrix, SparseMatrix, SparseRowBuilder};
+
+use crate::FeatError;
+
+/// One-hot encoder over string categories.
+///
+/// Unknown categories at transform time encode as the all-zero row,
+/// like sklearn's `handle_unknown="ignore"` (the setting the Price
+/// benchmark uses for brand/category columns).
+#[derive(Debug, Clone, Default)]
+pub struct OneHotEncoder {
+    categories: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl OneHotEncoder {
+    /// A new, unfitted encoder.
+    pub fn new() -> OneHotEncoder {
+        OneHotEncoder::default()
+    }
+
+    /// Number of output columns (0 before fit).
+    pub fn n_features(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The category encoded at column `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn category(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Learn the category set (sorted for determinism).
+    pub fn fit<S: AsRef<str>>(&mut self, values: &[S]) {
+        let mut set: Vec<&str> = values.iter().map(AsRef::as_ref).collect();
+        set.sort_unstable();
+        set.dedup();
+        self.names = set.iter().map(|s| s.to_string()).collect();
+        self.categories = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+    }
+
+    /// Encode one value as `(column, 1.0)` pairs (empty if unknown).
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform_one(&self, value: &str) -> Result<Vec<(usize, f64)>, FeatError> {
+        if self.names.is_empty() {
+            return Err(FeatError::NotFitted {
+                transformer: "OneHotEncoder",
+            });
+        }
+        Ok(self
+            .categories
+            .get(value)
+            .map(|&i| vec![(i, 1.0)])
+            .unwrap_or_default())
+    }
+
+    /// Encode a batch into a sparse matrix.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform<S: AsRef<str>>(&self, values: &[S]) -> Result<SparseMatrix, FeatError> {
+        let mut b = SparseRowBuilder::new(self.n_features());
+        for v in values {
+            b.push_row(&self.transform_one(v.as_ref())?);
+        }
+        Ok(b.finish())
+    }
+}
+
+/// Ordinal encoder mapping categories to integer codes.
+///
+/// Unknown categories map to `-1.0`, the convention the GBDT workloads
+/// (Music, Credit, Tracking) use for unseen entities.
+#[derive(Debug, Clone, Default)]
+pub struct OrdinalEncoder {
+    categories: HashMap<String, usize>,
+}
+
+impl OrdinalEncoder {
+    /// A new, unfitted encoder.
+    pub fn new() -> OrdinalEncoder {
+        OrdinalEncoder::default()
+    }
+
+    /// Number of known categories.
+    pub fn n_categories(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Learn the category set (sorted for determinism).
+    pub fn fit<S: AsRef<str>>(&mut self, values: &[S]) {
+        let mut set: Vec<&str> = values.iter().map(AsRef::as_ref).collect();
+        set.sort_unstable();
+        set.dedup();
+        self.categories = set
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s.to_string(), i))
+            .collect();
+    }
+
+    /// The code for one value (`-1.0` when unknown).
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform_one(&self, value: &str) -> Result<f64, FeatError> {
+        if self.categories.is_empty() {
+            return Err(FeatError::NotFitted {
+                transformer: "OrdinalEncoder",
+            });
+        }
+        Ok(self
+            .categories
+            .get(value)
+            .map_or(-1.0, |&i| i as f64))
+    }
+
+    /// Encode a batch as a single-column dense matrix.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform<S: AsRef<str>>(&self, values: &[S]) -> Result<Matrix, FeatError> {
+        let col: Result<Vec<f64>, FeatError> = values
+            .iter()
+            .map(|v| self.transform_one(v.as_ref()))
+            .collect();
+        Ok(Matrix::column_vector(col?))
+    }
+}
+
+/// The hashing trick: project arbitrary tokens into a fixed number of
+/// columns with a signed hash, needing no fit pass.
+#[derive(Debug, Clone)]
+pub struct FeatureHasher {
+    n_features: usize,
+}
+
+impl FeatureHasher {
+    /// A hasher with `n_features` output columns.
+    ///
+    /// # Panics
+    /// Panics if `n_features == 0`.
+    pub fn new(n_features: usize) -> FeatureHasher {
+        assert!(n_features > 0, "hasher needs at least one column");
+        FeatureHasher { n_features }
+    }
+
+    /// Number of output columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Hash a bag of tokens into signed counts.
+    pub fn transform_one<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) -> Vec<(usize, f64)> {
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        for tok in tokens {
+            let mut h = DefaultHasher::new();
+            tok.hash(&mut h);
+            let hv = h.finish();
+            let col = (hv % self.n_features as u64) as usize;
+            let sign = if hv & (1 << 63) == 0 { 1.0 } else { -1.0 };
+            *acc.entry(col).or_insert(0.0) += sign;
+        }
+        let mut row: Vec<(usize, f64)> = acc.into_iter().filter(|(_, v)| *v != 0.0).collect();
+        row.sort_unstable_by_key(|(c, _)| *c);
+        row
+    }
+
+    /// Hash a batch of token bags into a sparse matrix.
+    pub fn transform<'a, I>(&self, docs: impl IntoIterator<Item = I>) -> SparseMatrix
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut b = SparseRowBuilder::new(self.n_features);
+        for doc in docs {
+            b.push_row(&self.transform_one(doc));
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_round_trip() {
+        let mut e = OneHotEncoder::new();
+        e.fit(&["b", "a", "b", "c"]);
+        assert_eq!(e.n_features(), 3);
+        assert_eq!(e.category(0), "a");
+        let row = e.transform_one("b").unwrap();
+        assert_eq!(row, vec![(1, 1.0)]);
+        assert_eq!(e.transform_one("zzz").unwrap(), vec![]);
+        let m = e.transform(&["a", "c"]).unwrap();
+        assert_eq!(m.row_pairs(0), vec![(0, 1.0)]);
+        assert_eq!(m.row_pairs(1), vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn one_hot_not_fitted() {
+        let e = OneHotEncoder::new();
+        assert!(e.transform_one("a").is_err());
+    }
+
+    #[test]
+    fn ordinal_codes_and_unknowns() {
+        let mut e = OrdinalEncoder::new();
+        e.fit(&["x", "y"]);
+        assert_eq!(e.transform_one("x").unwrap(), 0.0);
+        assert_eq!(e.transform_one("y").unwrap(), 1.0);
+        assert_eq!(e.transform_one("z").unwrap(), -1.0);
+        let m = e.transform(&["y", "z"]).unwrap();
+        assert_eq!(m.column(0), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn ordinal_not_fitted() {
+        let e = OrdinalEncoder::new();
+        assert!(e.transform_one("a").is_err());
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_bounded() {
+        let h = FeatureHasher::new(16);
+        let a = h.transform_one(["tok1", "tok2", "tok1"]);
+        let b = h.transform_one(["tok1", "tok2", "tok1"]);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(c, _)| *c < 16));
+        // Repeated token accumulates magnitude 2 in its bucket.
+        assert!(a.iter().any(|(_, v)| v.abs() == 2.0));
+    }
+
+    #[test]
+    fn hasher_batch() {
+        let h = FeatureHasher::new(8);
+        let m = h.transform(vec![vec!["a", "b"], vec!["c"]]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn hasher_zero_columns_panics() {
+        let _ = FeatureHasher::new(0);
+    }
+}

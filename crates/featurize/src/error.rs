@@ -1,0 +1,64 @@
+//! Error type for featurization operators.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by featurization operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeatError {
+    /// A transformer was used before `fit`.
+    NotFitted {
+        /// The transformer that was misused.
+        transformer: &'static str,
+    },
+    /// The input shape did not match what the transformer was fit on.
+    ShapeMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Supplied width.
+        found: usize,
+    },
+    /// A store lookup failed.
+    Store(String),
+    /// Invalid configuration (e.g. empty n-gram range).
+    BadConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FeatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatError::NotFitted { transformer } => {
+                write!(f, "`{transformer}` used before fit")
+            }
+            FeatError::ShapeMismatch { expected, found } => {
+                write!(f, "input width {found} does not match fitted width {expected}")
+            }
+            FeatError::Store(msg) => write!(f, "store lookup failed: {msg}"),
+            FeatError::BadConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for FeatError {}
+
+impl From<willump_store::StoreError> for FeatError {
+    fn from(e: willump_store::StoreError) -> Self {
+        FeatError::Store(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = FeatError::NotFitted { transformer: "TfIdfVectorizer" };
+        assert!(e.to_string().contains("before fit"));
+        let s: FeatError = willump_store::StoreError::UnknownTable { name: "x".into() }.into();
+        assert!(matches!(s, FeatError::Store(_)));
+    }
+}

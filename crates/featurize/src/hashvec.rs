@@ -1,0 +1,183 @@
+//! Stateless hashing vectorizer: analyzer + hashing trick, no fit.
+//!
+//! A `HashingVectorizer` maps documents straight to a fixed-width
+//! sparse representation without learning a vocabulary, trading exact
+//! term identity for zero fit cost and bounded memory. Production
+//! serving systems reach for it when vocabularies churn faster than
+//! models retrain; for Willump it also gives the cascades optimizer a
+//! text IFV whose cost does not grow with corpus size.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use willump_data::{SparseMatrix, SparseRowBuilder};
+
+use crate::vectorize::{Norm, VectorizerConfig};
+use crate::FeatError;
+
+/// Hashing-trick text vectorizer sharing [`VectorizerConfig`]'s
+/// analyzer (word/char n-grams) but projecting n-grams into
+/// `n_features` signed-hash buckets instead of a fitted vocabulary.
+#[derive(Debug, Clone)]
+pub struct HashingVectorizer {
+    config: VectorizerConfig,
+    n_features: usize,
+}
+
+impl HashingVectorizer {
+    /// A vectorizer with `n_features` output columns.
+    ///
+    /// `config.min_df` and `config.max_features` are ignored — the
+    /// hashing trick has no vocabulary to prune.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::BadConfig`] for an invalid n-gram range or
+    /// `n_features == 0`.
+    pub fn new(config: VectorizerConfig, n_features: usize) -> Result<HashingVectorizer, FeatError> {
+        if n_features == 0 {
+            return Err(FeatError::BadConfig {
+                reason: "hashing vectorizer needs at least one column".into(),
+            });
+        }
+        // Reuse the n-gram range validation by constructing a counter.
+        crate::CountVectorizer::new(config.clone())?;
+        Ok(HashingVectorizer { config, n_features })
+    }
+
+    /// Number of output columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The analyzer configuration.
+    pub fn config(&self) -> &VectorizerConfig {
+        &self.config
+    }
+
+    /// Vectorize one document as sorted `(column, value)` pairs.
+    pub fn transform_one(&self, doc: &str) -> Vec<(usize, f64)> {
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        self.config.analyze(doc, |g| {
+            let mut h = DefaultHasher::new();
+            g.hash(&mut h);
+            let hv = h.finish();
+            let col = (hv % self.n_features as u64) as usize;
+            let sign = if hv & (1 << 63) == 0 { 1.0 } else { -1.0 };
+            *acc.entry(col).or_insert(0.0) += sign;
+        });
+        let mut row: Vec<(usize, f64)> = acc.into_iter().filter(|(_, v)| *v != 0.0).collect();
+        row.sort_unstable_by_key(|(c, _)| *c);
+        match self.config.norm {
+            Norm::None => {}
+            Norm::L1 => {
+                let s: f64 = row.iter().map(|(_, v)| v.abs()).sum();
+                if s > 0.0 {
+                    for (_, v) in &mut row {
+                        *v /= s;
+                    }
+                }
+            }
+            Norm::L2 => {
+                let s: f64 = row.iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+                if s > 0.0 {
+                    for (_, v) in &mut row {
+                        *v /= s;
+                    }
+                }
+            }
+        }
+        row
+    }
+
+    /// Vectorize a batch of documents into a sparse matrix.
+    pub fn transform<S: AsRef<str>>(&self, docs: &[S]) -> SparseMatrix {
+        let mut b = SparseRowBuilder::new(self.n_features);
+        for doc in docs {
+            b.push_row(&self.transform_one(doc.as_ref()));
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectorize::Analyzer;
+
+    fn cfg(norm: Norm) -> VectorizerConfig {
+        VectorizerConfig {
+            norm,
+            ..VectorizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let v = HashingVectorizer::new(cfg(Norm::None), 32).unwrap();
+        let a = v.transform_one("the quick brown fox");
+        let b = v.transform_one("the quick brown fox");
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(c, _)| *c < 32));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn no_fit_needed_and_width_is_fixed() {
+        let v = HashingVectorizer::new(cfg(Norm::None), 8).unwrap();
+        let m = v.transform(&["a b", "c d e", ""]);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 8);
+        assert!(m.row_pairs(2).is_empty(), "empty doc hashes to nothing");
+    }
+
+    #[test]
+    fn l2_norm_applied() {
+        let v = HashingVectorizer::new(cfg(Norm::L2), 64).unwrap();
+        let row = v.transform_one("some words for hashing here");
+        let norm: f64 = row.iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn char_analyzer_works() {
+        let v = HashingVectorizer::new(
+            VectorizerConfig {
+                analyzer: Analyzer::Char,
+                ngram_lo: 2,
+                ngram_hi: 3,
+                norm: Norm::None,
+                ..VectorizerConfig::default()
+            },
+            128,
+        )
+        .unwrap();
+        let row = v.transform_one("abcd");
+        // "abcd" has 3 bigrams + 2 trigrams; collisions may merge some.
+        let mass: f64 = row.iter().map(|(_, v)| v.abs()).sum();
+        assert!(mass >= 1.0 && mass <= 5.0, "mass {mass}");
+    }
+
+    #[test]
+    fn batch_matches_single_row() {
+        let v = HashingVectorizer::new(cfg(Norm::L2), 16).unwrap();
+        let docs = ["alpha beta", "gamma", "alpha gamma delta"];
+        let m = v.transform(&docs);
+        for (r, d) in docs.iter().enumerate() {
+            assert_eq!(m.row_pairs(r), v.transform_one(d));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(HashingVectorizer::new(cfg(Norm::None), 0).is_err());
+        assert!(HashingVectorizer::new(
+            VectorizerConfig {
+                ngram_lo: 0,
+                ..VectorizerConfig::default()
+            },
+            8
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Lookup joins against a feature store.
+//!
+//! The Music, Credit, and Tracking benchmarks compute most features by
+//! joining entity ids (user, song, ip, ...) against precomputed
+//! feature tables — the paper's "remote data lookup, data joins"
+//! operators. [`StoreJoin`] performs one such join through a
+//! [`willump_store::Store`], which charges simulated network latency
+//! and counts round trips when the tables are remote.
+
+use willump_data::Matrix;
+use willump_store::{Key, Store};
+
+use crate::FeatError;
+
+/// A keyed lookup join against one table of a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreJoin {
+    store: Store,
+    table: String,
+    dim: usize,
+}
+
+impl StoreJoin {
+    /// A join against `table` in `store`.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::Store`] if the table does not exist.
+    pub fn new(store: Store, table: impl Into<String>) -> Result<StoreJoin, FeatError> {
+        let table = table.into();
+        let dim = store.table_dim(&table)?;
+        Ok(StoreJoin { store, table, dim })
+    }
+
+    /// Output feature width (the table's row dimension).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The table name joined against.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The underlying store handle.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Join a batch of keys, producing one feature row per key.
+    ///
+    /// All keys are fetched in a single batched request (one round
+    /// trip), matching the paper's asynchronous batched Redis queries.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::Store`] for missing tables/keys.
+    pub fn join_batch(&self, keys: &[Key]) -> Result<Matrix, FeatError> {
+        let rows = self.store.get_batch(&self.table, keys)?;
+        let mut out = Matrix::zeros(keys.len(), self.dim);
+        for (r, row) in rows.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(row);
+        }
+        Ok(out)
+    }
+
+    /// Join a single key (one round trip).
+    ///
+    /// # Errors
+    /// Returns [`FeatError::Store`] for missing tables/keys.
+    pub fn join_one(&self, key: &Key) -> Result<Vec<f64>, FeatError> {
+        let rows = self.store.get_batch(&self.table, std::slice::from_ref(key))?;
+        Ok(rows[0].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_store::{FeatureTable, LatencyModel};
+
+    fn store() -> Store {
+        let mut t = FeatureTable::new(2);
+        t.insert(Key::Int(1), vec![1.0, 2.0]).unwrap();
+        t.insert(Key::Int(2), vec![3.0, 4.0]).unwrap();
+        t.set_default(vec![0.0, 0.0]).unwrap();
+        Store::remote(
+            [("songs".to_string(), t)],
+            LatencyModel::virtual_network(1_000, 10),
+        )
+    }
+
+    #[test]
+    fn join_batch_is_one_round_trip() {
+        let s = store();
+        let j = StoreJoin::new(s.clone(), "songs").unwrap();
+        let m = j.join_batch(&[Key::Int(2), Key::Int(1), Key::Int(99)]).unwrap();
+        assert_eq!(m.row(0), &[3.0, 4.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0]); // default row
+        assert_eq!(s.stats().round_trips(), 1);
+        assert_eq!(s.stats().keys_fetched(), 3);
+    }
+
+    #[test]
+    fn join_one() {
+        let s = store();
+        let j = StoreJoin::new(s.clone(), "songs").unwrap();
+        assert_eq!(j.join_one(&Key::Int(1)).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(j.dim(), 2);
+        assert_eq!(j.table(), "songs");
+    }
+
+    #[test]
+    fn unknown_table_is_error() {
+        let s = store();
+        assert!(StoreJoin::new(s, "nope").is_err());
+    }
+}

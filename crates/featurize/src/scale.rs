@@ -1,0 +1,161 @@
+//! Standardization of dense numeric features.
+
+use willump_data::Matrix;
+
+use crate::FeatError;
+
+/// Standardize columns to zero mean and unit variance.
+///
+/// Constant columns (zero variance) pass through centered but not
+/// scaled, matching sklearn.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// A new, unfitted scaler.
+    pub fn new() -> StandardScaler {
+        StandardScaler::default()
+    }
+
+    /// Fitted per-column means (empty before fit).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations (empty before fit).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Learn column means and standard deviations.
+    pub fn fit(&mut self, x: &Matrix) {
+        let n = x.n_rows().max(1) as f64;
+        self.means = x.column_means();
+        let mut vars = vec![0.0; x.n_cols()];
+        for r in 0..x.n_rows() {
+            for (v, (xi, m)) in vars.iter_mut().zip(x.row(r).iter().zip(&self.means)) {
+                *v += (xi - m) * (xi - m);
+            }
+        }
+        self.stds = vars.into_iter().map(|v| (v / n).sqrt()).collect();
+    }
+
+    /// Standardize a batch.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before fit or
+    /// [`FeatError::ShapeMismatch`] on width mismatch.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, FeatError> {
+        if self.means.is_empty() {
+            return Err(FeatError::NotFitted {
+                transformer: "StandardScaler",
+            });
+        }
+        if x.n_cols() != self.means.len() {
+            return Err(FeatError::ShapeMismatch {
+                expected: self.means.len(),
+                found: x.n_cols(),
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.n_rows() {
+            let row = out.row_mut(r);
+            for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v -= m;
+                if *s > 0.0 {
+                    *v /= s;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Standardize one row in place.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before fit or
+    /// [`FeatError::ShapeMismatch`] on width mismatch.
+    pub fn transform_one(&self, row: &mut [f64]) -> Result<(), FeatError> {
+        if self.means.is_empty() {
+            return Err(FeatError::NotFitted {
+                transformer: "StandardScaler",
+            });
+        }
+        if row.len() != self.means.len() {
+            return Err(FeatError::ShapeMismatch {
+                expected: self.means.len(),
+                found: row.len(),
+            });
+        }
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v -= m;
+            if *s > 0.0 {
+                *v /= s;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fit then transform the same matrix.
+    ///
+    /// # Errors
+    /// Propagates transform errors (cannot be `NotFitted`).
+    pub fn fit_transform(&mut self, x: &Matrix) -> Result<Matrix, FeatError> {
+        self.fit(x);
+        self.transform(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]]);
+        let mut s = StandardScaler::new();
+        let z = s.fit_transform(&x).unwrap();
+        for c in 0..2 {
+            let col = z.column(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_centers_only() {
+        let x = Matrix::from_rows(&[vec![7.0], vec![7.0]]);
+        let mut s = StandardScaler::new();
+        let z = s.fit_transform(&x).unwrap();
+        assert_eq!(z.column(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn errors() {
+        let s = StandardScaler::new();
+        assert!(s.transform(&Matrix::zeros(1, 1)).is_err());
+        let mut s = StandardScaler::new();
+        s.fit(&Matrix::zeros(2, 3));
+        assert!(matches!(
+            s.transform(&Matrix::zeros(2, 2)),
+            Err(FeatError::ShapeMismatch { expected: 3, found: 2 })
+        ));
+        let mut row = [0.0; 2];
+        assert!(s.transform_one(&mut row).is_err());
+    }
+
+    #[test]
+    fn single_row_matches_batch() {
+        let x = Matrix::from_rows(&[vec![1.0, -5.0], vec![2.0, 5.0], vec![3.0, 0.0]]);
+        let mut s = StandardScaler::new();
+        let z = s.fit_transform(&x).unwrap();
+        let mut row = x.row(1).to_vec();
+        s.transform_one(&mut row).unwrap();
+        assert_eq!(row.as_slice(), z.row(1));
+    }
+}

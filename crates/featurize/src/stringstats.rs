@@ -1,0 +1,118 @@
+//! Cheap string-statistic features.
+//!
+//! These are the inexpensive-but-informative features that make
+//! Willump's end-to-end cascades effective on the text benchmarks:
+//! an approximate model can often classify a document from its length,
+//! capitalization, and punctuation profile alone, without paying for
+//! TF-IDF over character n-grams.
+
+use willump_data::Matrix;
+
+/// Names of the statistics produced by [`string_stats`], in order.
+pub const STRING_STAT_NAMES: [&str; 8] = [
+    "char_len",
+    "word_count",
+    "mean_word_len",
+    "upper_ratio",
+    "digit_ratio",
+    "punct_ratio",
+    "exclamation_count",
+    "unique_word_ratio",
+];
+
+/// Compute the eight string statistics for one document.
+pub fn string_stats(text: &str) -> [f64; 8] {
+    let char_len = text.chars().count();
+    let mut upper = 0usize;
+    let mut digit = 0usize;
+    let mut punct = 0usize;
+    let mut exclam = 0usize;
+    for ch in text.chars() {
+        if ch.is_uppercase() {
+            upper += 1;
+        }
+        if ch.is_ascii_digit() {
+            digit += 1;
+        }
+        if ch.is_ascii_punctuation() {
+            punct += 1;
+        }
+        if ch == '!' {
+            exclam += 1;
+        }
+    }
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let word_count = words.len();
+    let mean_word_len = if word_count == 0 {
+        0.0
+    } else {
+        words.iter().map(|w| w.chars().count()).sum::<usize>() as f64 / word_count as f64
+    };
+    let unique_ratio = if word_count == 0 {
+        0.0
+    } else {
+        let mut sorted: Vec<&str> = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len() as f64 / word_count as f64
+    };
+    let denom = char_len.max(1) as f64;
+    [
+        char_len as f64,
+        word_count as f64,
+        mean_word_len,
+        upper as f64 / denom,
+        digit as f64 / denom,
+        punct as f64 / denom,
+        exclam as f64,
+        unique_ratio,
+    ]
+}
+
+/// Compute string statistics for a batch of documents.
+pub fn string_stats_batch<S: AsRef<str>>(docs: &[S]) -> Matrix {
+    let mut out = Matrix::zeros(docs.len(), STRING_STAT_NAMES.len());
+    for (r, doc) in docs.iter().enumerate() {
+        out.row_mut(r).copy_from_slice(&string_stats(doc.as_ref()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string_is_all_zero() {
+        assert_eq!(string_stats(""), [0.0; 8]);
+    }
+
+    #[test]
+    fn counts_are_right() {
+        let s = string_stats("Hi there!! 42");
+        assert_eq!(s[0], 13.0); // chars
+        assert_eq!(s[1], 3.0); // words
+        assert_eq!(s[6], 2.0); // exclamations
+        assert!((s[4] - 2.0 / 13.0).abs() < 1e-12); // digits
+        assert!((s[3] - 1.0 / 13.0).abs() < 1e-12); // uppercase
+    }
+
+    #[test]
+    fn unique_word_ratio() {
+        let s = string_stats("spam spam spam ham");
+        assert!((s[7] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let docs = ["one two", "THREE!!!"];
+        let m = string_stats_batch(&docs);
+        assert_eq!(m.row(0), &string_stats(docs[0]));
+        assert_eq!(m.row(1), &string_stats(docs[1]));
+    }
+
+    #[test]
+    fn names_match_width() {
+        assert_eq!(STRING_STAT_NAMES.len(), string_stats("x").len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Smoothed mean target encoding for high-cardinality categoricals.
+//!
+//! Entity-heavy workloads (Music's user/song ids, Tracking's ip/app
+//! ids) carry most of their signal in per-entity label statistics.
+//! Kaggle-style pipelines encode those as the smoothed mean of the
+//! training label per category — exactly the sort of cheap,
+//! high-importance feature Willump's cascades promote into the
+//! efficient set.
+
+use std::collections::HashMap;
+
+use willump_data::Matrix;
+
+use crate::FeatError;
+
+/// Smoothed mean target encoder.
+///
+/// Encodes category `c` as
+/// `(sum_y(c) + smoothing * prior) / (count(c) + smoothing)`, where
+/// `prior` is the global label mean. Unknown categories at transform
+/// time encode as the prior. `smoothing = 0` gives the raw per-category
+/// mean (undefined categories still fall back to the prior).
+#[derive(Debug, Clone)]
+pub struct TargetEncoder {
+    smoothing: f64,
+    prior: f64,
+    codes: HashMap<String, f64>,
+    fitted: bool,
+}
+
+impl TargetEncoder {
+    /// An encoder with the given additive smoothing strength.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::BadConfig`] if `smoothing` is negative or
+    /// not finite.
+    pub fn new(smoothing: f64) -> Result<TargetEncoder, FeatError> {
+        if !smoothing.is_finite() || smoothing < 0.0 {
+            return Err(FeatError::BadConfig {
+                reason: format!("smoothing must be finite and >= 0, got {smoothing}"),
+            });
+        }
+        Ok(TargetEncoder {
+            smoothing,
+            prior: 0.0,
+            codes: HashMap::new(),
+            fitted: false,
+        })
+    }
+
+    /// The global label mean learned at fit time.
+    pub fn prior(&self) -> f64 {
+        self.prior
+    }
+
+    /// Number of distinct categories seen at fit time.
+    pub fn n_categories(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Learn per-category smoothed label means.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::ShapeMismatch`] when `values` and `labels`
+    /// differ in length, and [`FeatError::BadConfig`] when they are
+    /// empty.
+    pub fn fit<S: AsRef<str>>(&mut self, values: &[S], labels: &[f64]) -> Result<(), FeatError> {
+        if values.len() != labels.len() {
+            return Err(FeatError::ShapeMismatch {
+                expected: values.len(),
+                found: labels.len(),
+            });
+        }
+        if values.is_empty() {
+            return Err(FeatError::BadConfig {
+                reason: "target encoder needs at least one row".into(),
+            });
+        }
+        self.prior = labels.iter().sum::<f64>() / labels.len() as f64;
+        let mut sums: HashMap<&str, (f64, f64)> = HashMap::new();
+        for (v, &y) in values.iter().zip(labels) {
+            let e = sums.entry(v.as_ref()).or_insert((0.0, 0.0));
+            e.0 += y;
+            e.1 += 1.0;
+        }
+        self.codes = sums
+            .into_iter()
+            .map(|(k, (sum, count))| {
+                let code = (sum + self.smoothing * self.prior) / (count + self.smoothing);
+                (k.to_string(), code)
+            })
+            .collect();
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// The encoding for one value (the prior when unknown).
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform_one(&self, value: &str) -> Result<f64, FeatError> {
+        if !self.fitted {
+            return Err(FeatError::NotFitted {
+                transformer: "TargetEncoder",
+            });
+        }
+        Ok(self.codes.get(value).copied().unwrap_or(self.prior))
+    }
+
+    /// Encode a batch as a single-column dense matrix.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform<S: AsRef<str>>(&self, values: &[S]) -> Result<Matrix, FeatError> {
+        let col: Result<Vec<f64>, FeatError> = values
+            .iter()
+            .map(|v| self.transform_one(v.as_ref()))
+            .collect();
+        Ok(Matrix::column_vector(col?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsmoothed_codes_are_category_means() {
+        let mut e = TargetEncoder::new(0.0).unwrap();
+        e.fit(&["a", "a", "b", "b"], &[1.0, 0.0, 1.0, 1.0]).unwrap();
+        assert!((e.transform_one("a").unwrap() - 0.5).abs() < 1e-12);
+        assert!((e.transform_one("b").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_pulls_toward_prior() {
+        // prior = 0.5; category "a" has one positive example.
+        let mut e = TargetEncoder::new(10.0).unwrap();
+        e.fit(&["a", "b", "c", "d"], &[1.0, 0.0, 1.0, 0.0]).unwrap();
+        let code = e.transform_one("a").unwrap();
+        assert!(code > 0.5 && code < 0.6, "heavily smoothed: {code}");
+        // Raw mean would be 1.0; smoothing must shrink it.
+        let mut raw = TargetEncoder::new(0.0).unwrap();
+        raw.fit(&["a", "b", "c", "d"], &[1.0, 0.0, 1.0, 0.0]).unwrap();
+        assert!(raw.transform_one("a").unwrap() > code);
+    }
+
+    #[test]
+    fn unknown_category_gets_prior() {
+        let mut e = TargetEncoder::new(1.0).unwrap();
+        e.fit(&["a", "b"], &[1.0, 0.0]).unwrap();
+        assert!((e.transform_one("zzz").unwrap() - e.prior()).abs() < 1e-12);
+        assert!((e.prior() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_one_by_one() {
+        let mut e = TargetEncoder::new(2.0).unwrap();
+        e.fit(&["x", "y", "x"], &[1.0, 0.0, 1.0]).unwrap();
+        let m = e.transform(&["x", "y", "nope"]).unwrap();
+        let col = m.column(0);
+        for (i, v) in ["x", "y", "nope"].iter().enumerate() {
+            assert!((col[i] - e.transform_one(v).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(TargetEncoder::new(-1.0).is_err());
+        assert!(TargetEncoder::new(f64::NAN).is_err());
+        let mut e = TargetEncoder::new(1.0).unwrap();
+        assert!(e.fit(&["a"], &[1.0, 2.0]).is_err());
+        assert!(e.fit(&[] as &[&str], &[]).is_err());
+        let unfitted = TargetEncoder::new(1.0).unwrap();
+        assert!(unfitted.transform_one("a").is_err());
+    }
+
+    #[test]
+    fn counts_categories() {
+        let mut e = TargetEncoder::new(1.0).unwrap();
+        e.fit(&["a", "b", "a"], &[1.0, 0.0, 1.0]).unwrap();
+        assert_eq!(e.n_categories(), 2);
+    }
+}

@@ -1,0 +1,480 @@
+//! Count and TF-IDF vectorizers over word or character n-grams.
+//!
+//! These are the expensive feature-computing operators in the Product,
+//! Toxic, and Price benchmarks (paper Table 1). Semantics follow
+//! sklearn: smooth IDF, optional sublinear TF, and L1/L2/none row
+//! normalization.
+
+use std::collections::HashMap;
+
+use willump_data::{SparseMatrix, SparseRowBuilder};
+
+use crate::ngrams::{char_ngrams, word_ngrams};
+use crate::tokenize::{normalize_chars, words};
+use crate::vocab::{VocabBuilder, Vocabulary};
+use crate::FeatError;
+
+/// What unit n-grams are computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Analyzer {
+    /// Word n-grams over alphanumeric tokens.
+    Word,
+    /// Character n-grams over whitespace-normalized text.
+    Char,
+}
+
+/// Row normalization applied after weighting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Norm {
+    /// No normalization.
+    None,
+    /// Divide by the L1 norm.
+    L1,
+    /// Divide by the L2 norm.
+    L2,
+}
+
+/// Configuration shared by [`CountVectorizer`] and [`TfIdfVectorizer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorizerConfig {
+    /// Token unit.
+    pub analyzer: Analyzer,
+    /// Smallest n-gram order (≥ 1).
+    pub ngram_lo: usize,
+    /// Largest n-gram order (≥ `ngram_lo`).
+    pub ngram_hi: usize,
+    /// Minimum document frequency for a term to enter the vocabulary.
+    pub min_df: u32,
+    /// Cap on vocabulary size (most frequent kept).
+    pub max_features: Option<usize>,
+    /// Row normalization.
+    pub norm: Norm,
+    /// Use `1 + ln(tf)` instead of raw term frequency.
+    pub sublinear_tf: bool,
+}
+
+impl Default for VectorizerConfig {
+    fn default() -> Self {
+        VectorizerConfig {
+            analyzer: Analyzer::Word,
+            ngram_lo: 1,
+            ngram_hi: 1,
+            min_df: 1,
+            max_features: None,
+            norm: Norm::L2,
+            sublinear_tf: false,
+        }
+    }
+}
+
+impl VectorizerConfig {
+    fn validate(&self) -> Result<(), FeatError> {
+        if self.ngram_lo == 0 || self.ngram_lo > self.ngram_hi {
+            return Err(FeatError::BadConfig {
+                reason: format!("n-gram range {}..={} is invalid", self.ngram_lo, self.ngram_hi),
+            });
+        }
+        Ok(())
+    }
+
+    /// Run the analyzer over one document, yielding each n-gram.
+    ///
+    /// Exposed so alternative execution engines (the interpreted
+    /// Python-baseline engine in `willump-graph`) can reimplement the
+    /// counting loop with their own cost model while sharing the
+    /// analyzer semantics.
+    pub fn analyze(&self, doc: &str, mut f: impl FnMut(&str)) {
+        match self.analyzer {
+            Analyzer::Word => {
+                let toks = words(doc);
+                word_ngrams(&toks, self.ngram_lo, self.ngram_hi, &mut f);
+            }
+            Analyzer::Char => {
+                let norm = normalize_chars(doc);
+                char_ngrams(&norm, self.ngram_lo, self.ngram_hi, &mut f);
+            }
+        }
+    }
+}
+
+/// Term-count featurization over n-grams.
+#[derive(Debug, Clone)]
+pub struct CountVectorizer {
+    config: VectorizerConfig,
+    vocab: Option<Vocabulary>,
+}
+
+impl CountVectorizer {
+    /// A new, unfitted vectorizer.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::BadConfig`] for an invalid n-gram range.
+    pub fn new(config: VectorizerConfig) -> Result<CountVectorizer, FeatError> {
+        config.validate()?;
+        Ok(CountVectorizer { config, vocab: None })
+    }
+
+    /// The fitted vocabulary.
+    pub fn vocabulary(&self) -> Option<&Vocabulary> {
+        self.vocab.as_ref()
+    }
+
+    /// The analyzer configuration.
+    pub fn config(&self) -> &VectorizerConfig {
+        &self.config
+    }
+
+    /// Number of output feature columns (0 before fit).
+    pub fn n_features(&self) -> usize {
+        self.vocab.as_ref().map_or(0, Vocabulary::len)
+    }
+
+    /// Learn the vocabulary from a corpus.
+    pub fn fit<S: AsRef<str>>(&mut self, corpus: &[S]) {
+        let mut b = VocabBuilder::new();
+        let mut distinct: Vec<String> = Vec::new();
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        for doc in corpus {
+            distinct.clear();
+            seen.clear();
+            self.config.analyze(doc.as_ref(), |g| {
+                if !seen.contains_key(g) {
+                    seen.insert(g.to_string(), ());
+                    distinct.push(g.to_string());
+                }
+            });
+            b.add_document(distinct.iter().map(String::as_str));
+        }
+        self.vocab = Some(b.finish(self.config.min_df, self.config.max_features));
+    }
+
+    /// Count in-vocabulary n-grams for one document.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform_one(&self, doc: &str) -> Result<Vec<(usize, f64)>, FeatError> {
+        let vocab = self.vocab.as_ref().ok_or(FeatError::NotFitted {
+            transformer: "CountVectorizer",
+        })?;
+        let mut counts: HashMap<u32, f64> = HashMap::new();
+        self.config.analyze(doc, |g| {
+            if let Some(id) = vocab.get(g) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+        });
+        let mut row: Vec<(usize, f64)> = counts
+            .into_iter()
+            .map(|(c, v)| (c as usize, v))
+            .collect();
+        row.sort_unstable_by_key(|(c, _)| *c);
+        Ok(row)
+    }
+
+    /// Count n-grams for a batch of documents into a sparse matrix.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform<S: AsRef<str>>(&self, docs: &[S]) -> Result<SparseMatrix, FeatError> {
+        let n = self.n_features();
+        if self.vocab.is_none() {
+            return Err(FeatError::NotFitted {
+                transformer: "CountVectorizer",
+            });
+        }
+        let mut b = SparseRowBuilder::new(n);
+        for doc in docs {
+            b.push_row(&self.transform_one(doc.as_ref())?);
+        }
+        Ok(b.finish())
+    }
+
+    /// Fit then transform the same corpus.
+    ///
+    /// # Errors
+    /// Propagates transform errors (cannot be `NotFitted`).
+    pub fn fit_transform<S: AsRef<str>>(&mut self, corpus: &[S]) -> Result<SparseMatrix, FeatError> {
+        self.fit(corpus);
+        self.transform(corpus)
+    }
+}
+
+/// TF-IDF featurization over n-grams.
+///
+/// IDF uses sklearn's smooth formulation
+/// `idf(t) = ln((1 + n) / (1 + df(t))) + 1`.
+///
+/// ```
+/// use willump_featurize::{TfIdfVectorizer, VectorizerConfig};
+///
+/// # fn main() -> Result<(), willump_featurize::FeatError> {
+/// let mut v = TfIdfVectorizer::new(VectorizerConfig::default())?;
+/// let m = v.fit_transform(&["cats and dogs", "dogs and more dogs"])?;
+/// assert_eq!(m.n_rows(), 2);
+/// assert!(m.n_cols() >= 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TfIdfVectorizer {
+    counter: CountVectorizer,
+    idf: Vec<f64>,
+}
+
+impl TfIdfVectorizer {
+    /// A new, unfitted vectorizer.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::BadConfig`] for an invalid n-gram range.
+    pub fn new(config: VectorizerConfig) -> Result<TfIdfVectorizer, FeatError> {
+        Ok(TfIdfVectorizer {
+            counter: CountVectorizer::new(config)?,
+            idf: Vec::new(),
+        })
+    }
+
+    /// The fitted vocabulary.
+    pub fn vocabulary(&self) -> Option<&Vocabulary> {
+        self.counter.vocabulary()
+    }
+
+    /// The analyzer configuration.
+    pub fn config(&self) -> &VectorizerConfig {
+        self.counter.config()
+    }
+
+    /// Number of output feature columns (0 before fit).
+    pub fn n_features(&self) -> usize {
+        self.counter.n_features()
+    }
+
+    /// The fitted IDF weights (empty before fit).
+    pub fn idf(&self) -> &[f64] {
+        &self.idf
+    }
+
+    /// Apply TF weighting, IDF weighting, and row normalization to raw
+    /// in-vocabulary counts (in place). Shared by `transform_one` and
+    /// alternative engines that produce the counts themselves.
+    ///
+    /// # Panics
+    /// Panics if called before `fit` (no IDF weights).
+    pub fn weigh(&self, row: &mut [(usize, f64)]) {
+        assert!(
+            !self.idf.is_empty() || self.n_features() == 0,
+            "weigh called before fit"
+        );
+        let cfg = self.counter.config();
+        for (c, v) in row.iter_mut() {
+            let tf = if cfg.sublinear_tf { 1.0 + v.ln() } else { *v };
+            *v = tf * self.idf[*c];
+        }
+        match cfg.norm {
+            Norm::None => {}
+            Norm::L1 => {
+                let s: f64 = row.iter().map(|(_, v)| v.abs()).sum();
+                if s > 0.0 {
+                    for (_, v) in row.iter_mut() {
+                        *v /= s;
+                    }
+                }
+            }
+            Norm::L2 => {
+                let s: f64 = row.iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+                if s > 0.0 {
+                    for (_, v) in row.iter_mut() {
+                        *v /= s;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Learn vocabulary and IDF weights from a corpus.
+    pub fn fit<S: AsRef<str>>(&mut self, corpus: &[S]) {
+        self.counter.fit(corpus);
+        let vocab = self.counter.vocabulary().expect("fit populates vocab");
+        let n_docs = corpus.len() as f64;
+        self.idf = (0..vocab.len())
+            .map(|i| ((1.0 + n_docs) / (1.0 + f64::from(vocab.doc_freq(i)))).ln() + 1.0)
+            .collect();
+    }
+
+    /// TF-IDF featurize one document as sorted `(column, value)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform_one(&self, doc: &str) -> Result<Vec<(usize, f64)>, FeatError> {
+        if self.idf.is_empty() && self.counter.vocabulary().is_none() {
+            return Err(FeatError::NotFitted {
+                transformer: "TfIdfVectorizer",
+            });
+        }
+        let mut row = self.counter.transform_one(doc)?;
+        self.weigh(&mut row);
+        Ok(row)
+    }
+
+    /// TF-IDF featurize a batch of documents into a sparse matrix.
+    ///
+    /// # Errors
+    /// Returns [`FeatError::NotFitted`] before `fit`.
+    pub fn transform<S: AsRef<str>>(&self, docs: &[S]) -> Result<SparseMatrix, FeatError> {
+        let mut b = SparseRowBuilder::new(self.n_features());
+        for doc in docs {
+            b.push_row(&self.transform_one(doc.as_ref())?);
+        }
+        Ok(b.finish())
+    }
+
+    /// Fit then transform the same corpus.
+    ///
+    /// # Errors
+    /// Propagates transform errors (cannot be `NotFitted`).
+    pub fn fit_transform<S: AsRef<str>>(&mut self, corpus: &[S]) -> Result<SparseMatrix, FeatError> {
+        self.fit(corpus);
+        self.transform(corpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_config() -> VectorizerConfig {
+        VectorizerConfig::default()
+    }
+
+    #[test]
+    fn count_vectorizer_counts() {
+        let mut v = CountVectorizer::new(word_config()).unwrap();
+        let m = v.fit_transform(&["a b a", "b c"]).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        let vocab = v.vocabulary().unwrap();
+        let a = vocab.get("a").unwrap() as usize;
+        let b = vocab.get("b").unwrap() as usize;
+        let row0 = m.row_pairs(0);
+        assert!(row0.contains(&(a, 2.0)));
+        assert!(row0.contains(&(b, 1.0)));
+    }
+
+    #[test]
+    fn transform_before_fit_errors() {
+        let v = CountVectorizer::new(word_config()).unwrap();
+        assert!(matches!(
+            v.transform_one("x"),
+            Err(FeatError::NotFitted { .. })
+        ));
+        let t = TfIdfVectorizer::new(word_config()).unwrap();
+        assert!(t.transform_one("x").is_err());
+    }
+
+    #[test]
+    fn unseen_terms_are_ignored() {
+        let mut v = CountVectorizer::new(word_config()).unwrap();
+        v.fit(&["known words only"]);
+        let row = v.transform_one("unknown stuff").unwrap();
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn tfidf_l2_rows_are_unit_norm() {
+        let mut v = TfIdfVectorizer::new(word_config()).unwrap();
+        let m = v.fit_transform(&["a b c", "a a d", "b d e"]).unwrap();
+        for r in 0..m.n_rows() {
+            let norm: f64 = m.row_pairs(r).iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "row {r} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn idf_downweights_common_terms() {
+        let mut v = TfIdfVectorizer::new(VectorizerConfig {
+            norm: Norm::None,
+            ..word_config()
+        })
+        .unwrap();
+        v.fit(&["common rare", "common", "common other"]);
+        let vocab = v.vocabulary().unwrap();
+        let common = vocab.get("common").unwrap() as usize;
+        let rare = vocab.get("rare").unwrap() as usize;
+        assert!(v.idf()[rare] > v.idf()[common]);
+    }
+
+    #[test]
+    fn sublinear_tf_dampens_counts() {
+        let base = TfIdfVectorizer::new(VectorizerConfig {
+            norm: Norm::None,
+            ..word_config()
+        })
+        .unwrap();
+        let mut raw = base.clone();
+        raw.fit(&["w w w w", "x"]);
+        let mut sub = TfIdfVectorizer::new(VectorizerConfig {
+            norm: Norm::None,
+            sublinear_tf: true,
+            ..word_config()
+        })
+        .unwrap();
+        sub.fit(&["w w w w", "x"]);
+        let w = raw.vocabulary().unwrap().get("w").unwrap() as usize;
+        let raw_v = raw.transform_one("w w w w").unwrap();
+        let sub_v = sub.transform_one("w w w w").unwrap();
+        let rv = raw_v.iter().find(|(c, _)| *c == w).unwrap().1;
+        let sv = sub_v.iter().find(|(c, _)| *c == w).unwrap().1;
+        assert!(sv < rv);
+    }
+
+    #[test]
+    fn char_analyzer_ngram_range() {
+        let mut v = CountVectorizer::new(VectorizerConfig {
+            analyzer: Analyzer::Char,
+            ngram_lo: 2,
+            ngram_hi: 3,
+            ..word_config()
+        })
+        .unwrap();
+        v.fit(&["abc"]);
+        let vocab = v.vocabulary().unwrap();
+        assert!(vocab.get("ab").is_some());
+        assert!(vocab.get("abc").is_some());
+        assert!(vocab.get("a").is_none());
+    }
+
+    #[test]
+    fn invalid_range_rejected() {
+        assert!(CountVectorizer::new(VectorizerConfig {
+            ngram_lo: 3,
+            ngram_hi: 2,
+            ..word_config()
+        })
+        .is_err());
+        assert!(TfIdfVectorizer::new(VectorizerConfig {
+            ngram_lo: 0,
+            ngram_hi: 1,
+            ..word_config()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn max_features_caps_width() {
+        let mut v = CountVectorizer::new(VectorizerConfig {
+            max_features: Some(2),
+            ..word_config()
+        })
+        .unwrap();
+        v.fit(&["a b c d e", "a b"]);
+        assert_eq!(v.n_features(), 2);
+    }
+
+    #[test]
+    fn batch_matches_single_row() {
+        let mut v = TfIdfVectorizer::new(word_config()).unwrap();
+        let docs = ["quick brown fox", "lazy dog", "quick dog"];
+        v.fit(&docs);
+        let batch = v.transform(&docs).unwrap();
+        for (r, doc) in docs.iter().enumerate() {
+            assert_eq!(batch.row_pairs(r), v.transform_one(doc).unwrap());
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Dataflow analyses over transformation graphs (paper §5.1-§5.2).
+//!
+//! Implements the three IFV-identification rules:
+//!
+//! 1. Any ancestor of a commutative node that is not itself commutative
+//!    is the *root node* of a feature generator.
+//! 2. Any ancestor of the root node of exactly one feature generator is
+//!    part of that feature generator.
+//! 3. Any ancestor of the root nodes of multiple feature generators is
+//!    a *preprocessing node*, executed before any features.
+//!
+//! Also provides the transition-minimizing sort of §5.2: ordering nodes
+//! to minimize switches between compiled and non-compiled runs.
+
+use crate::graph::{NodeId, TransformGraph};
+use crate::GraphError;
+
+/// One feature generator: the disjoint subgraph computing one
+/// independent feature vector (IFV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureGenerator {
+    /// The generator's root (the node whose output is the IFV).
+    pub root: NodeId,
+    /// All nodes belonging to the generator, in ascending id order
+    /// (includes `root` and its exclusive ancestors, including
+    /// sources).
+    pub nodes: Vec<NodeId>,
+}
+
+impl FeatureGenerator {
+    /// The source column names among this generator's *exclusive*
+    /// nodes (rule 2). Sources shared with other generators are
+    /// preprocessing nodes and do not appear here; see
+    /// [`FeatureGenerator::key_source_columns`] for the full
+    /// dependency set.
+    pub fn source_columns<'g>(&self, graph: &'g TransformGraph) -> Vec<&'g str> {
+        self.nodes
+            .iter()
+            .filter_map(|&id| match &graph.node(id).op {
+                crate::Operator::Source { column } => Some(column.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every source column this generator's IFV transitively depends
+    /// on — exclusive sources *and* shared (preprocessing) sources
+    /// that are ancestors of the generator's root.
+    ///
+    /// This is the correct cache key for feature-level caching (paper
+    /// §4.5: "keys are sources of the IFV's feature generator"): two
+    /// inputs agreeing on these columns produce the same IFV, and
+    /// columns feeding only *other* generators must not fragment the
+    /// key.
+    pub fn key_source_columns<'g>(&self, graph: &'g TransformGraph) -> Vec<&'g str> {
+        let mut ids = graph.ancestors(self.root);
+        ids.push(self.root);
+        ids.sort_unstable();
+        ids.iter()
+            .filter_map(|&id| match &graph.node(id).op {
+                crate::Operator::Source { column } => Some(column.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Result of IFV identification over a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfvAnalysis {
+    /// Feature generators in canonical order (the order their roots
+    /// feed the commutative chain, i.e. concatenation order).
+    pub generators: Vec<FeatureGenerator>,
+    /// Commutative nodes between the generators and the model.
+    pub commutative: Vec<NodeId>,
+    /// Preprocessing nodes shared by multiple generators (rule 3).
+    pub preprocessing: Vec<NodeId>,
+}
+
+impl IfvAnalysis {
+    /// Number of independent feature vectors.
+    pub fn n_ifvs(&self) -> usize {
+        self.generators.len()
+    }
+}
+
+/// Identify IFVs and feature generators (paper §5.1).
+///
+/// Starts at the sink and recursively descends commutative nodes; the
+/// non-commutative frontier nodes are generator roots (rule 1), their
+/// exclusive ancestor sets are the generators (rule 2), and shared
+/// ancestors are preprocessing nodes (rule 3).
+///
+/// # Errors
+/// Currently infallible for valid graphs; returns [`GraphError`] to
+/// leave room for stricter validation.
+pub fn identify_ifvs(graph: &TransformGraph) -> Result<IfvAnalysis, GraphError> {
+    let mut commutative = Vec::new();
+    let mut roots: Vec<NodeId> = Vec::new();
+    // DFS through the commutative region, preserving input order so the
+    // generator order matches concatenation order.
+    let mut stack = vec![graph.sink()];
+    let mut seen = vec![false; graph.len()];
+    while let Some(id) = stack.pop() {
+        if seen[id] {
+            continue;
+        }
+        seen[id] = true;
+        let node = graph.node(id);
+        if node.op.is_commutative() {
+            commutative.push(id);
+            // Push children in reverse so they pop in input order.
+            for &inp in node.inputs.iter().rev() {
+                stack.push(inp);
+            }
+        } else {
+            // Rule 1: non-commutative ancestor of a commutative node
+            // (or the sink itself) roots a feature generator.
+            roots.push(id);
+        }
+    }
+    commutative.sort_unstable();
+
+    // Count, for every node, how many roots it is an ancestor of
+    // (or is). Rule 2: exactly one -> that generator. Rule 3: more
+    // than one -> preprocessing.
+    let mut membership: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+    for (g, &root) in roots.iter().enumerate() {
+        membership[root].push(g);
+        for anc in graph.ancestors(root) {
+            membership[anc].push(g);
+        }
+    }
+    let mut generators: Vec<FeatureGenerator> = roots
+        .iter()
+        .map(|&root| FeatureGenerator {
+            root,
+            nodes: Vec::new(),
+        })
+        .collect();
+    let mut preprocessing = Vec::new();
+    for (id, gens) in membership.iter().enumerate() {
+        match gens.len() {
+            0 => {} // commutative node or unreachable
+            1 => generators[gens[0]].nodes.push(id),
+            _ => preprocessing.push(id),
+        }
+    }
+    for g in &mut generators {
+        g.nodes.sort_unstable();
+    }
+    Ok(IfvAnalysis {
+        generators,
+        commutative,
+        preprocessing,
+    })
+}
+
+/// The feature-column layout of a subset of generators: for each
+/// generator index in `subset` (kept in the given order), its column
+/// offset and width in the concatenated feature vector.
+///
+/// Willump's cascades compute the *efficient feature vector* by
+/// concatenating the efficient IFVs in canonical order; this function
+/// defines that layout for both training (batch) and serving (row)
+/// paths.
+///
+/// # Errors
+/// Returns [`GraphError::BadSubset`] for out-of-range indices.
+pub fn subset_layout(
+    graph: &TransformGraph,
+    analysis: &IfvAnalysis,
+    subset: &[usize],
+) -> Result<Vec<(usize, usize, usize)>, GraphError> {
+    let mut out = Vec::with_capacity(subset.len());
+    let mut offset = 0;
+    for &g in subset {
+        let generator = analysis
+            .generators
+            .get(g)
+            .ok_or(GraphError::BadSubset {
+                index: g,
+                n_fgs: analysis.generators.len(),
+            })?;
+        let width = graph.node(generator.root).op.out_dim();
+        out.push((g, offset, width));
+        offset += width;
+    }
+    Ok(out)
+}
+
+/// Total feature width of a generator subset.
+///
+/// # Errors
+/// Returns [`GraphError::BadSubset`] for out-of-range indices.
+pub fn subset_width(
+    graph: &TransformGraph,
+    analysis: &IfvAnalysis,
+    subset: &[usize],
+) -> Result<usize, GraphError> {
+    Ok(subset_layout(graph, analysis, subset)?
+        .iter()
+        .map(|(_, _, w)| w)
+        .sum())
+}
+
+/// Sort nodes topologically while minimizing transitions between
+/// compilable and non-compilable nodes (paper §5.2: "Willump sorts the
+/// graph topologically, then heuristically minimizes the number of
+/// transitions by moving each Python node to the earliest allowable
+/// location").
+pub fn transition_minimizing_sort(
+    graph: &TransformGraph,
+    compilable: &dyn Fn(NodeId) -> bool,
+) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = graph.topo_order().to_vec();
+    // Hoist each non-compilable node to the earliest position allowed
+    // by its dependencies.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 1..order.len() {
+            if compilable(order[i]) {
+                continue;
+            }
+            let node = graph.node(order[i]);
+            // Find the earliest slot after all dependencies.
+            let mut earliest = 0;
+            for (pos, &other) in order.iter().enumerate().take(i) {
+                if node.inputs.contains(&other) {
+                    earliest = pos + 1;
+                }
+            }
+            if earliest < i {
+                let id = order.remove(i);
+                order.insert(earliest, id);
+                changed = true;
+            }
+        }
+    }
+    order
+}
+
+/// Count compiled/non-compiled transitions in an execution order
+/// (sources are free and skipped).
+pub fn count_transitions(
+    graph: &TransformGraph,
+    order: &[NodeId],
+    compilable: &dyn Fn(NodeId) -> bool,
+) -> usize {
+    let mut transitions = 0;
+    let mut last: Option<bool> = None;
+    for &id in order {
+        if graph.node(id).is_source() {
+            continue;
+        }
+        let c = compilable(id);
+        if let Some(prev) = last {
+            if prev != c {
+                transitions += 1;
+            }
+        }
+        last = Some(c);
+    }
+    transitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::Operator;
+
+    /// The MusicRec shape from paper Figure 1: three lookup-style
+    /// generators concatenated into one model input.
+    fn musicrec_like() -> TransformGraph {
+        let mut b = GraphBuilder::new();
+        let user = b.source("user");
+        let song = b.source("song");
+        let genre = b.source("genre");
+        let u = b.add("user_stats", Operator::StringStats, [user]).unwrap();
+        let s = b.add("song_stats", Operator::StringStats, [song]).unwrap();
+        let g = b.add("genre_stats", Operator::StringStats, [genre]).unwrap();
+        b.finish_with_concat("features", [u, s, g]).unwrap()
+    }
+
+    #[test]
+    fn identifies_three_generators_in_order() {
+        let g = musicrec_like();
+        let a = identify_ifvs(&g).unwrap();
+        assert_eq!(a.n_ifvs(), 3);
+        assert_eq!(
+            a.generators.iter().map(|f| f.root).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        // Each generator includes its source.
+        assert_eq!(a.generators[0].nodes, vec![0, 3]);
+        assert_eq!(a.generators[1].nodes, vec![1, 4]);
+        assert_eq!(a.generators[2].nodes, vec![2, 5]);
+        assert!(a.preprocessing.is_empty());
+        assert_eq!(a.commutative, vec![g.sink()]);
+    }
+
+    #[test]
+    fn shared_ancestor_becomes_preprocessing() {
+        // One source feeds two generators: it's a preprocessing node
+        // by rule 3.
+        let mut b = GraphBuilder::new();
+        let text = b.source("text");
+        let a = b.add("a", Operator::StringStats, [text]).unwrap();
+        let c = b.add("c", Operator::StringStats, [text]).unwrap();
+        let g = b.finish_with_concat("f", [a, c]).unwrap();
+        let an = identify_ifvs(&g).unwrap();
+        assert_eq!(an.n_ifvs(), 2);
+        assert_eq!(an.preprocessing, vec![text]);
+        assert_eq!(an.generators[0].nodes, vec![a]);
+        assert_eq!(an.generators[1].nodes, vec![c]);
+    }
+
+    #[test]
+    fn nested_concats_flatten() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("x");
+        let s2 = b.source("y");
+        let s3 = b.source("z");
+        let a = b.add("a", Operator::StringStats, [s1]).unwrap();
+        let c = b.add("c", Operator::StringStats, [s2]).unwrap();
+        let d = b.add("d", Operator::StringStats, [s3]).unwrap();
+        let inner = b.concat("inner", [a, c]).unwrap();
+        let outer = b.concat("outer", [inner, d]).unwrap();
+        let g = b.finish(outer).unwrap();
+        let an = identify_ifvs(&g).unwrap();
+        assert_eq!(an.n_ifvs(), 3);
+        assert_eq!(an.commutative.len(), 2);
+        // Canonical order follows concatenation order: a, c, d.
+        assert_eq!(
+            an.generators.iter().map(|f| f.root).collect::<Vec<_>>(),
+            vec![a, c, d]
+        );
+    }
+
+    #[test]
+    fn non_commutative_sink_is_single_generator() {
+        let mut b = GraphBuilder::new();
+        let s = b.source("t");
+        let a = b.add("a", Operator::StringStats, [s]).unwrap();
+        let g = b.finish(a).unwrap();
+        let an = identify_ifvs(&g).unwrap();
+        assert_eq!(an.n_ifvs(), 1);
+        assert_eq!(an.generators[0].root, a);
+        assert_eq!(an.generators[0].nodes, vec![s, a]);
+        assert!(an.commutative.is_empty());
+    }
+
+    #[test]
+    fn layout_offsets_accumulate() {
+        let g = musicrec_like();
+        let a = identify_ifvs(&g).unwrap();
+        let layout = subset_layout(&g, &a, &[0, 2]).unwrap();
+        assert_eq!(layout, vec![(0, 0, 8), (2, 8, 8)]);
+        assert_eq!(subset_width(&g, &a, &[0, 1, 2]).unwrap(), 24);
+        assert!(subset_layout(&g, &a, &[7]).is_err());
+    }
+
+    #[test]
+    fn generator_source_columns() {
+        let g = musicrec_like();
+        let a = identify_ifvs(&g).unwrap();
+        assert_eq!(a.generators[0].source_columns(&g), vec!["user"]);
+        assert_eq!(a.generators[2].source_columns(&g), vec!["genre"]);
+    }
+
+    /// Regression: cache keys must cover exactly the sources a
+    /// generator depends on. A shared (preprocessing) source belongs
+    /// to the keys of the generators it feeds — and to no others —
+    /// else per-entity caching degenerates to per-row caching.
+    #[test]
+    fn key_source_columns_track_dependencies_only() {
+        let mut b = GraphBuilder::new();
+        let shared = b.source("shared");
+        let own = b.source("own");
+        let a = b.add("a", Operator::StringStats, [shared]).unwrap();
+        let c = b.add("c", Operator::StringStats, [shared]).unwrap();
+        let d = b.add("d", Operator::StringStats, [own]).unwrap();
+        let g = b.finish_with_concat("f", [a, c, d]).unwrap();
+        let an = identify_ifvs(&g).unwrap();
+        assert_eq!(an.preprocessing, vec![shared]);
+        // Generators over the shared source key on it...
+        assert_eq!(an.generators[0].key_source_columns(&g), vec!["shared"]);
+        assert_eq!(an.generators[1].key_source_columns(&g), vec!["shared"]);
+        // ...while the independent generator keys only on its own
+        // source (rule 2 puts `own` inside it, so both accessors agree).
+        assert_eq!(an.generators[2].key_source_columns(&g), vec!["own"]);
+        assert_eq!(an.generators[2].source_columns(&g), vec!["own"]);
+        // But exclusive `source_columns` is empty for the shared ones.
+        assert!(an.generators[0].source_columns(&g).is_empty());
+    }
+
+    #[test]
+    fn transition_sort_is_topological_and_reduces_transitions() {
+        // Alternating compilable/non-compilable chain over independent
+        // generators: the sort should group the non-compilable ones.
+        let mut b = GraphBuilder::new();
+        let mut roots = Vec::new();
+        for i in 0..6 {
+            let s = b.source(format!("s{i}"));
+            let n = b.add(format!("n{i}"), Operator::StringStats, [s]).unwrap();
+            roots.push(n);
+        }
+        let g = b.finish_with_concat("f", roots.clone()).unwrap();
+        // Odd generators are "python".
+        let compilable = |id: NodeId| -> bool {
+            !g.node(id).name.starts_with('n') || g.node(id).name[1..].parse::<usize>().unwrap() % 2 == 0
+        };
+        let order = transition_minimizing_sort(&g, &compilable);
+        // Valid topological order.
+        let mut pos = vec![0; g.len()];
+        for (i, &id) in order.iter().enumerate() {
+            pos[id] = i;
+        }
+        for n in g.nodes() {
+            for &inp in &n.inputs {
+                assert!(pos[inp] < pos[n.id]);
+            }
+        }
+        let before = count_transitions(&g, g.topo_order(), &compilable);
+        let after = count_transitions(&g, &order, &compilable);
+        assert!(after <= before, "transitions {before} -> {after}");
+        assert!(after <= 2, "after {after}");
+    }
+
+    #[test]
+    fn count_transitions_skips_sources() {
+        let g = musicrec_like();
+        let all_compilable = |_: NodeId| true;
+        assert_eq!(count_transitions(&g, g.topo_order(), &all_compilable), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-IFV feature caches (paper §4.5, "Feature-Level Caching").
+//!
+//! "Willump allocates a fixed-size LRU cache for each IFV whose keys
+//! are sources of the IFV's feature generator and whose values are the
+//! features in the IFV." On the single-input serving path the compiled
+//! engine consults the generator's cache before computing it, skipping
+//! the computation (and any remote store requests) on a hit.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use willump_data::Value;
+use willump_store::LruCache;
+
+/// A cache key: the display forms of the generator's source values.
+///
+/// Values hash by content; floats are formatted (feature-table keys
+/// are ids and categories in practice, so this is both precise and
+/// cheap).
+pub type SourceKey = Vec<String>;
+
+/// Build a cache key from source values in source order.
+pub fn source_key(values: &[&Value]) -> SourceKey {
+    values.iter().map(|v| v.to_string()).collect()
+}
+
+/// Cached feature entries for one generator: `(column, value)` pairs.
+type CachedFeatures = Vec<(usize, f64)>;
+/// One generator's LRU cache.
+type GeneratorCache = Mutex<LruCache<SourceKey, CachedFeatures>>;
+
+/// One LRU cache per feature generator, shared across threads.
+#[derive(Debug, Clone)]
+pub struct FeatureCaches {
+    caches: Arc<Vec<GeneratorCache>>,
+}
+
+impl FeatureCaches {
+    /// Caches for `n_generators`, each with the given capacity
+    /// (`None` = unbounded, the paper's Table 2/3 setting).
+    pub fn new(n_generators: usize, capacity: Option<usize>) -> FeatureCaches {
+        let caches = (0..n_generators)
+            .map(|_| {
+                Mutex::new(match capacity {
+                    Some(c) => LruCache::with_capacity(c),
+                    None => LruCache::unbounded(),
+                })
+            })
+            .collect();
+        FeatureCaches {
+            caches: Arc::new(caches),
+        }
+    }
+
+    /// Number of generator caches.
+    pub fn len(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Whether there are no caches.
+    pub fn is_empty(&self) -> bool {
+        self.caches.is_empty()
+    }
+
+    /// Look up generator `g`'s features for `key`.
+    ///
+    /// # Panics
+    /// Panics if `g` is out of range.
+    pub fn get(&self, g: usize, key: &SourceKey) -> Option<Vec<(usize, f64)>> {
+        self.caches[g].lock().get(key).cloned()
+    }
+
+    /// Store generator `g`'s features for `key`.
+    ///
+    /// # Panics
+    /// Panics if `g` is out of range.
+    pub fn put(&self, g: usize, key: SourceKey, features: Vec<(usize, f64)>) {
+        self.caches[g].lock().put(key, features);
+    }
+
+    /// Total hits across all generator caches.
+    pub fn hits(&self) -> u64 {
+        self.caches.iter().map(|c| c.lock().hits()).sum()
+    }
+
+    /// Total misses across all generator caches.
+    pub fn misses(&self) -> u64 {
+        self.caches.iter().map(|c| c.lock().misses()).sum()
+    }
+
+    /// Overall hit rate (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Clear all caches and counters.
+    pub fn clear(&self) {
+        for c in self.caches.iter() {
+            c.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_from_values() {
+        let v1 = Value::Int(7);
+        let v2 = Value::from("rock");
+        assert_eq!(source_key(&[&v1, &v2]), vec!["7".to_string(), "rock".to_string()]);
+    }
+
+    #[test]
+    fn per_generator_isolation() {
+        let caches = FeatureCaches::new(2, None);
+        let key = vec!["k".to_string()];
+        caches.put(0, key.clone(), vec![(0, 1.0)]);
+        assert_eq!(caches.get(0, &key), Some(vec![(0, 1.0)]));
+        assert_eq!(caches.get(1, &key), None);
+        assert_eq!(caches.hits(), 1);
+        assert_eq!(caches.misses(), 1);
+        assert!((caches.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_caches_evict() {
+        let caches = FeatureCaches::new(1, Some(1));
+        caches.put(0, vec!["a".into()], vec![]);
+        caches.put(0, vec!["b".into()], vec![]);
+        assert_eq!(caches.get(0, &vec!["a".to_string()]), None);
+        assert!(caches.get(0, &vec!["b".to_string()]).is_some());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let caches = FeatureCaches::new(1, None);
+        caches.put(0, vec!["a".into()], vec![]);
+        caches.get(0, &vec!["a".to_string()]);
+        caches.clear();
+        assert_eq!(caches.hits(), 0);
+        assert_eq!(caches.get(0, &vec!["a".to_string()]), None);
+    }
+
+    #[test]
+    fn shared_across_clones() {
+        let caches = FeatureCaches::new(1, None);
+        let other = caches.clone();
+        other.put(0, vec!["x".into()], vec![(1, 2.0)]);
+        assert_eq!(caches.get(0, &vec!["x".to_string()]), Some(vec![(1, 2.0)]));
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-node and per-generator cost measurement (paper §4.2).
+//!
+//! "The computational cost of an IFV is an estimate of the cost of
+//! computing its features. Willump estimates this cost by measuring
+//! the runtime of the nodes in the IFV's feature generator during
+//! model training." We run the compiled engine node-by-node over a
+//! training sample, timing each node's wall-clock compute and adding
+//! any *simulated* network wait charged to the store's virtual clock
+//! (which a wall-clock timer cannot see).
+
+use std::time::Instant;
+
+use willump_data::Table;
+
+use crate::exec::Executor;
+use crate::graph::NodeId;
+use crate::op::BatchOut;
+use crate::{GraphError, Operator};
+
+/// Measured costs, in seconds per input row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Per-node cost (seconds/row), indexed by node id; sources and
+    /// unvisited nodes are zero.
+    pub per_node: Vec<f64>,
+    /// Per-generator cost (seconds/row), indexed by generator.
+    pub per_generator: Vec<f64>,
+    /// Time spent at engine boundaries (input assembly and output
+    /// materialization), seconds/row — the "driver overhead" of paper
+    /// §6.4.
+    pub boundary: f64,
+}
+
+impl CostReport {
+    /// Total pipeline cost per row (generators + boundary).
+    pub fn total(&self) -> f64 {
+        self.per_generator.iter().sum::<f64>() + self.boundary
+    }
+}
+
+/// Measure node and generator costs by executing the graph on a sample
+/// table with per-node timing.
+///
+/// # Errors
+/// Propagates execution failures; errors on an empty sample.
+pub fn measure_costs(exec: &Executor, sample: &Table) -> Result<CostReport, GraphError> {
+    if sample.n_rows() == 0 {
+        return Err(GraphError::Data("cost sample is empty".into()));
+    }
+    let graph = exec.graph();
+    let n_rows = sample.n_rows() as f64;
+    let mut per_node = vec![0.0; graph.len()];
+    let mut values: Vec<Option<BatchOut>> = vec![None; graph.len()];
+    let mut boundary = 0.0;
+
+    let full = exec.full_subset();
+    let order: Vec<NodeId> = exec.needed_nodes(&full);
+    for id in order {
+        let node = graph.node(id);
+        match &node.op {
+            Operator::Source { column } => {
+                // Reading inputs into the engine is boundary (driver)
+                // work, not feature computation.
+                let start = Instant::now();
+                let col = sample
+                    .column(column)
+                    .ok_or_else(|| GraphError::MissingInput {
+                        name: column.clone(),
+                    })?
+                    .clone();
+                boundary += start.elapsed().as_secs_f64();
+                values[id] = Some(BatchOut::Column(col));
+            }
+            op => {
+                let inputs: Vec<&BatchOut> = node
+                    .inputs
+                    .iter()
+                    .map(|&i| values[i].as_ref().expect("topo order"))
+                    .collect();
+                // Charge simulated network wait (virtual clock) plus
+                // wall-clock compute.
+                let clock_before = virtual_wait(op);
+                let start = Instant::now();
+                let out = op.eval_batch(&node.name, &inputs, sample.n_rows())?;
+                let wall = start.elapsed().as_secs_f64();
+                let clock_after = virtual_wait(op);
+                let waited = (clock_after - clock_before) as f64 / 1e9;
+                per_node[id] = (wall + waited) / n_rows;
+                values[id] = Some(out);
+            }
+        }
+    }
+
+    let per_generator = exec
+        .analysis()
+        .generators
+        .iter()
+        .map(|g| g.nodes.iter().map(|&id| per_node[id]).sum())
+        .collect();
+    Ok(CostReport {
+        per_node,
+        per_generator,
+        boundary: boundary / n_rows,
+    })
+}
+
+/// Current total simulated wait charged by the node's store, if it has
+/// one.
+fn virtual_wait(op: &Operator) -> u64 {
+    match op {
+        Operator::StoreLookup(j) => j.store().stats().wait_nanos(),
+        _ => 0,
+    }
+}
+
+/// Measure per-generator costs on the *single-input serving path*:
+/// each sampled row is served example-at-a-time, so lookup generators
+/// pay one full round trip per row instead of the batch-amortized
+/// fraction [`measure_costs`] sees.
+///
+/// Batch cost is the right input to Algorithm 1 when optimizing batch
+/// queries; this is the right input when optimizing example-at-a-time
+/// queries, where the serving economics (e.g. whether skipping a
+/// remote lookup pays for a cascade) are per-row. Boundary cost is the
+/// per-row input-assembly time. `per_node` detail is not available on
+/// this path and reports zeros.
+///
+/// # Errors
+/// Propagates execution failures; errors on an empty sample.
+pub fn measure_costs_per_row(
+    exec: &Executor,
+    sample: &Table,
+    max_rows: usize,
+) -> Result<CostReport, GraphError> {
+    let n = sample.n_rows().min(max_rows);
+    if n == 0 {
+        return Err(GraphError::Data("cost sample is empty".into()));
+    }
+    let graph = exec.graph();
+    let analysis = exec.analysis();
+    let n_gens = analysis.generators.len();
+    let mut per_generator = vec![0.0; n_gens];
+    let mut boundary = 0.0;
+
+    // Sum of wait counters across a generator's stores (deduplicated
+    // by stats address so shared stores are not double-counted).
+    let generator_waits = |g: usize| -> u64 {
+        let mut seen: Vec<*const willump_store::StoreStats> = Vec::new();
+        let mut total = 0;
+        for &id in &analysis.generators[g].nodes {
+            if let Operator::StoreLookup(j) = &graph.node(id).op {
+                let stats = j.store().stats() as *const willump_store::StoreStats;
+                if !seen.contains(&stats) {
+                    seen.push(stats);
+                    total += j.store().stats().wait_nanos();
+                }
+            }
+        }
+        total
+    };
+
+    for r in 0..n {
+        let start = Instant::now();
+        let input = crate::row::InputRow::from_table(sample, r)?;
+        boundary += start.elapsed().as_secs_f64();
+        for (g, cost) in per_generator.iter_mut().enumerate() {
+            let wait_before = generator_waits(g);
+            let start = Instant::now();
+            let _ = exec.compute_generator_row(&input, g)?;
+            let wall = start.elapsed().as_secs_f64();
+            let waited = (generator_waits(g) - wait_before) as f64 / 1e9;
+            *cost += wall + waited;
+        }
+    }
+    for c in &mut per_generator {
+        *c /= n as f64;
+    }
+    Ok(CostReport {
+        per_node: vec![0.0; graph.len()],
+        per_generator,
+        boundary: boundary / n as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::EngineMode;
+    use crate::graph::GraphBuilder;
+    use std::sync::Arc;
+    use willump_data::Column;
+    use willump_featurize::{StoreJoin, TfIdfVectorizer, VectorizerConfig};
+    use willump_store::{FeatureTable, Key, LatencyModel, Store};
+
+    fn cost_graph() -> (Arc<crate::TransformGraph>, Table, Store) {
+        let mut users = FeatureTable::new(2);
+        for i in 0..10 {
+            users.insert(Key::Int(i), vec![i as f64, 1.0]).unwrap();
+        }
+        let store = Store::remote(
+            [("users".to_string(), users)],
+            LatencyModel::virtual_network(1_000_000, 1_000), // 1ms RTT
+        );
+        let join = StoreJoin::new(store.clone(), "users").unwrap();
+
+        let mut tv = TfIdfVectorizer::new(VectorizerConfig {
+            ngram_hi: 2,
+            ..VectorizerConfig::default()
+        })
+        .unwrap();
+        tv.fit(&["alpha beta gamma", "beta delta", "gamma gamma alpha"]);
+
+        let mut b = GraphBuilder::new();
+        let text = b.source("text");
+        let uid = b.source("user_id");
+        let tf = b
+            .add("tfidf", Operator::TfIdf(Arc::new(tv)), [text])
+            .unwrap();
+        let lk = b
+            .add("user_lookup", Operator::StoreLookup(Arc::new(join)), [uid])
+            .unwrap();
+        let g = Arc::new(b.finish_with_concat("f", [tf, lk]).unwrap());
+
+        let mut t = Table::new();
+        let texts: Vec<String> = (0..10).map(|i| format!("alpha beta row {i}")).collect();
+        t.add_column("text", Column::from(texts)).unwrap();
+        t.add_column("user_id", Column::from((0i64..10).collect::<Vec<_>>()))
+            .unwrap();
+        (g, t, store)
+    }
+
+    #[test]
+    fn costs_cover_generators_and_include_latency() {
+        let (g, t, _store) = cost_graph();
+        let exec = Executor::new(g, EngineMode::Compiled).unwrap();
+        let report = measure_costs(&exec, &t).unwrap();
+        assert_eq!(report.per_generator.len(), 2);
+        // The lookup generator pays 1ms RTT / 10 rows = 100us/row at
+        // minimum; tf-idf costs far less virtual time.
+        assert!(
+            report.per_generator[1] >= 100e-6,
+            "lookup cost {:?}",
+            report.per_generator
+        );
+        assert!(report.total() >= report.per_generator.iter().sum::<f64>());
+        assert!(report.boundary >= 0.0);
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        let (g, _, _) = cost_graph();
+        let exec = Executor::new(g, EngineMode::Compiled).unwrap();
+        let empty = Table::new();
+        assert!(measure_costs(&exec, &empty).is_err());
+        assert!(measure_costs_per_row(&exec, &empty, 10).is_err());
+    }
+
+    #[test]
+    fn per_row_costs_exceed_batch_amortized_for_lookups() {
+        let (g, t, _store) = cost_graph();
+        let exec = Executor::new(g, EngineMode::Compiled).unwrap();
+        let batch = measure_costs(&exec, &t).unwrap();
+        let per_row = measure_costs_per_row(&exec, &t, 10).unwrap();
+        // Batch: 1ms RTT amortized over 10 rows. Per-row: 1ms every row.
+        assert!(per_row.per_generator[1] >= 1e-3, "{:?}", per_row.per_generator);
+        assert!(
+            per_row.per_generator[1] > 5.0 * batch.per_generator[1],
+            "per-row {:?} vs batch {:?}",
+            per_row.per_generator,
+            batch.per_generator
+        );
+    }
+
+    #[test]
+    fn per_node_zero_for_sources() {
+        let (g, t, _) = cost_graph();
+        let exec = Executor::new(g.clone(), EngineMode::Compiled).unwrap();
+        let report = measure_costs(&exec, &t).unwrap();
+        for node in g.nodes() {
+            if node.is_source() {
+                assert_eq!(report.per_node[node.id], 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for graph construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or executing a transformation graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node referenced an id that does not exist.
+    UnknownNode {
+        /// The bad id.
+        id: usize,
+    },
+    /// The graph contains a cycle.
+    Cyclic,
+    /// An operator received inputs of the wrong arity or type.
+    BadInput {
+        /// Node that failed.
+        node: String,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A raw input column was missing from the input table/row.
+    MissingInput {
+        /// The missing source column name.
+        name: String,
+    },
+    /// Feature computation failed.
+    Feature(String),
+    /// Model-layer failure surfaced through execution.
+    Data(String),
+    /// A requested feature-generator subset index was invalid.
+    BadSubset {
+        /// The offending index.
+        index: usize,
+        /// Number of feature generators.
+        n_fgs: usize,
+    },
+    /// A pipeline description failed to parse (see [`crate::parse`]).
+    Parse {
+        /// 1-based line of the offending statement (0 for whole-file
+        /// errors).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            GraphError::Cyclic => f.write_str("transformation graph contains a cycle"),
+            GraphError::BadInput { node, reason } => {
+                write!(f, "bad input to node `{node}`: {reason}")
+            }
+            GraphError::MissingInput { name } => {
+                write!(f, "input column `{name}` missing from pipeline input")
+            }
+            GraphError::Feature(msg) => write!(f, "featurization failed: {msg}"),
+            GraphError::Data(msg) => write!(f, "data error: {msg}"),
+            GraphError::BadSubset { index, n_fgs } => {
+                write!(f, "feature generator index {index} out of range ({n_fgs} generators)")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "pipeline description error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl From<willump_featurize::FeatError> for GraphError {
+    fn from(e: willump_featurize::FeatError) -> Self {
+        GraphError::Feature(e.to_string())
+    }
+}
+
+impl From<willump_data::DataError> for GraphError {
+    fn from(e: willump_data::DataError) -> Self {
+        GraphError::Data(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GraphError::Cyclic.to_string().contains("cycle"));
+        let e = GraphError::BadSubset { index: 4, n_fgs: 2 };
+        assert!(e.to_string().contains("4"));
+        let e: GraphError =
+            willump_featurize::FeatError::NotFitted { transformer: "x" }.into();
+        assert!(matches!(e, GraphError::Feature(_)));
+    }
+}

@@ -1,0 +1,677 @@
+//! The executor: compiled and interpreted engines over one graph.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use willump_data::{FeatureMatrix, Table, Value};
+
+use crate::analysis::{identify_ifvs, subset_layout, IfvAnalysis};
+use crate::cache::{source_key, FeatureCaches};
+use crate::graph::{NodeId, TransformGraph};
+use crate::interp;
+use crate::op::{BatchOut, RowOut};
+use crate::parallel::{lpt_assign, row_chunks};
+use crate::row::{InputRow, RowFeatures};
+use crate::{GraphError, Operator};
+
+/// Which engine executes the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Row-at-a-time boxed-value execution: the Python-baseline
+    /// stand-in (see DESIGN.md substitutions).
+    Interpreted,
+    /// Columnar, batched, fused execution: the Weld stand-in.
+    Compiled,
+}
+
+/// Parallelization strategy (paper §4.4: query-aware parallelization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Single-threaded.
+    None,
+    /// Batch queries: different data inputs on different threads.
+    Batch(usize),
+    /// Example-at-a-time queries: one input's feature generators run
+    /// concurrently, statically LPT-assigned by cost.
+    PerInput(usize),
+}
+
+/// Execution counters (cache effectiveness, work performed).
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    generators_computed: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl ExecStats {
+    /// Number of feature-generator evaluations actually performed.
+    pub fn generators_computed(&self) -> u64 {
+        self.generators_computed.load(Ordering::Relaxed)
+    }
+
+    /// Number of generator evaluations skipped via the feature cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Reset counters.
+    pub fn reset(&self) {
+        self.generators_computed.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Executes a [`TransformGraph`] under a chosen engine, optionally
+/// restricted to a subset of feature generators (the mechanism behind
+/// cascades), with optional feature-level caching and parallelism.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    graph: Arc<TransformGraph>,
+    analysis: IfvAnalysis,
+    mode: EngineMode,
+    parallelism: Parallelism,
+    caches: Option<FeatureCaches>,
+    /// Per-generator source columns the IFV depends on (cache keys;
+    /// precomputed because the serving path consults them per row).
+    key_columns: Arc<Vec<Vec<String>>>,
+    /// Per-generator per-row costs (seconds) for LPT assignment.
+    generator_costs: Option<Arc<Vec<f64>>>,
+    /// Persistent workers for per-input parallelism (created by
+    /// `with_parallelism`).
+    pool: Option<Arc<crate::parallel::WorkerPool>>,
+    stats: Arc<ExecStats>,
+}
+
+impl Executor {
+    /// Build an executor; runs IFV identification once.
+    ///
+    /// # Errors
+    /// Propagates analysis failures.
+    pub fn new(graph: Arc<TransformGraph>, mode: EngineMode) -> Result<Executor, GraphError> {
+        let analysis = identify_ifvs(&graph)?;
+        let key_columns = Arc::new(
+            analysis
+                .generators
+                .iter()
+                .map(|g| {
+                    g.key_source_columns(&graph)
+                        .into_iter()
+                        .map(str::to_string)
+                        .collect()
+                })
+                .collect(),
+        );
+        Ok(Executor {
+            graph,
+            analysis,
+            mode,
+            parallelism: Parallelism::None,
+            caches: None,
+            key_columns,
+            generator_costs: None,
+            pool: None,
+            stats: Arc::new(ExecStats::default()),
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &TransformGraph {
+        &self.graph
+    }
+
+    /// The IFV analysis.
+    pub fn analysis(&self) -> &IfvAnalysis {
+        &self.analysis
+    }
+
+    /// The engine mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Set the parallelization strategy (compiled engine only; the
+    /// interpreted engine models a GIL-bound runtime and ignores it).
+    /// `PerInput(t)` with `t > 1` starts a persistent worker pool so
+    /// per-query dispatch costs a channel send, not a thread spawn.
+    pub fn with_parallelism(mut self, p: Parallelism) -> Executor {
+        self.parallelism = p;
+        self.pool = match p {
+            Parallelism::PerInput(t) if t > 1 => {
+                Some(crate::parallel::WorkerPool::new(t))
+            }
+            _ => None,
+        };
+        self
+    }
+
+    /// Attach per-IFV feature caches (paper §4.5). Effective on the
+    /// compiled single-input path, where caching is defined.
+    pub fn with_caches(mut self, caches: FeatureCaches) -> Executor {
+        self.caches = Some(caches);
+        self
+    }
+
+    /// Attached caches, if any.
+    pub fn caches(&self) -> Option<&FeatureCaches> {
+        self.caches.as_ref()
+    }
+
+    /// Provide measured per-generator costs for LPT thread assignment.
+    pub fn with_generator_costs(mut self, costs: Vec<f64>) -> Executor {
+        self.generator_costs = Some(Arc::new(costs));
+        self
+    }
+
+    /// The canonical full subset (all generators, concatenation order).
+    pub fn full_subset(&self) -> Vec<usize> {
+        (0..self.analysis.generators.len()).collect()
+    }
+
+    /// Total feature width of a generator subset (`None` = all).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::BadSubset`] for invalid indices.
+    pub fn subset_width(&self, subset: Option<&[usize]>) -> Result<usize, GraphError> {
+        let full = self.full_subset();
+        let subset = subset.unwrap_or(&full);
+        crate::analysis::subset_width(&self.graph, &self.analysis, subset)
+    }
+
+    /// Compute the (possibly subset) feature matrix for a batch of
+    /// inputs.
+    ///
+    /// # Errors
+    /// Returns [`GraphError`] on missing inputs, bad subsets, or
+    /// operator failures.
+    pub fn features_batch(
+        &self,
+        table: &Table,
+        subset: Option<&[usize]>,
+    ) -> Result<FeatureMatrix, GraphError> {
+        let full = self.full_subset();
+        let subset: &[usize] = subset.unwrap_or(&full);
+        // Validate subset indices up front.
+        subset_layout(&self.graph, &self.analysis, subset)?;
+        match self.mode {
+            EngineMode::Interpreted => interp::features_batch(self, table, subset),
+            EngineMode::Compiled => match self.parallelism {
+                Parallelism::Batch(threads) if threads > 1 && table.n_rows() > 1 => {
+                    self.compiled_batch_parallel(table, subset, threads)
+                }
+                _ => self.compiled_batch(table, subset),
+            },
+        }
+    }
+
+    /// Compute the (possibly subset) feature row for one input.
+    ///
+    /// # Errors
+    /// Returns [`GraphError`] on missing inputs, bad subsets, or
+    /// operator failures.
+    pub fn features_one(
+        &self,
+        input: &InputRow,
+        subset: Option<&[usize]>,
+    ) -> Result<RowFeatures, GraphError> {
+        let full = self.full_subset();
+        let subset: &[usize] = subset.unwrap_or(&full);
+        let layout = subset_layout(&self.graph, &self.analysis, subset)?;
+        match self.mode {
+            EngineMode::Interpreted => interp::features_one(self, input, subset),
+            EngineMode::Compiled => match self.parallelism {
+                Parallelism::PerInput(threads) if threads > 1 && subset.len() > 1 => {
+                    self.compiled_one_parallel(input, subset, &layout, threads)
+                }
+                _ => self.compiled_one(input, subset, &layout),
+            },
+        }
+    }
+
+    // ----- compiled batch path -------------------------------------
+
+    /// Nodes needed to evaluate `subset` (preprocessing + generator
+    /// nodes), in topological order.
+    pub(crate) fn needed_nodes(&self, subset: &[usize]) -> Vec<NodeId> {
+        let mut needed = vec![false; self.graph.len()];
+        for &id in &self.analysis.preprocessing {
+            needed[id] = true;
+        }
+        for &g in subset {
+            for &id in &self.analysis.generators[g].nodes {
+                needed[id] = true;
+            }
+        }
+        self.graph
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|&id| needed[id])
+            .collect()
+    }
+
+    fn compiled_batch(
+        &self,
+        table: &Table,
+        subset: &[usize],
+    ) -> Result<FeatureMatrix, GraphError> {
+        let order = self.needed_nodes(subset);
+        let mut values: Vec<Option<BatchOut>> = vec![None; self.graph.len()];
+        for id in order {
+            let node = self.graph.node(id);
+            let out = match &node.op {
+                Operator::Source { column } => {
+                    let col = table
+                        .column(column)
+                        .ok_or_else(|| GraphError::MissingInput {
+                            name: column.clone(),
+                        })?;
+                    BatchOut::Column(col.clone())
+                }
+                op => {
+                    let inputs: Vec<&BatchOut> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| values[i].as_ref().expect("topo order computed inputs"))
+                        .collect();
+                    op.eval_batch(&node.name, &inputs, table.n_rows())?
+                }
+            };
+            values[id] = Some(out);
+        }
+        self.stats
+            .generators_computed
+            .fetch_add(subset.len() as u64, Ordering::Relaxed);
+        let parts: Result<Vec<FeatureMatrix>, GraphError> = subset
+            .iter()
+            .map(|&g| {
+                let root = self.analysis.generators[g].root;
+                values[root]
+                    .as_ref()
+                    .expect("generator root computed")
+                    .as_features(&self.graph.node(root).name)
+                    .cloned()
+            })
+            .collect();
+        Ok(FeatureMatrix::hstack(&parts?)?)
+    }
+
+    fn compiled_batch_parallel(
+        &self,
+        table: &Table,
+        subset: &[usize],
+        threads: usize,
+    ) -> Result<FeatureMatrix, GraphError> {
+        let chunks = row_chunks(table.n_rows(), threads);
+        if chunks.len() <= 1 {
+            return self.compiled_batch(table, subset);
+        }
+        let results: Vec<Result<FeatureMatrix, GraphError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(start, end)| {
+                        let sub_rows: Vec<usize> = (start..end).collect();
+                        let chunk_table = table.take_rows(&sub_rows);
+                        scope.spawn(move |_| self.compiled_batch(&chunk_table, subset))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            })
+            .expect("scope does not panic");
+        let mats: Result<Vec<FeatureMatrix>, GraphError> = results.into_iter().collect();
+        let mats = mats?;
+        // Vertically stack chunk results back together.
+        let dense_all = mats.iter().all(|m| matches!(m, FeatureMatrix::Dense(_)));
+        if dense_all {
+            let parts: Vec<willump_data::Matrix> = mats.iter().map(|m| m.to_dense()).collect();
+            let refs: Vec<&willump_data::Matrix> = parts.iter().collect();
+            Ok(FeatureMatrix::Dense(willump_data::Matrix::vstack(&refs)?))
+        } else {
+            // Sparse vstack via row re-push.
+            let width = mats[0].n_cols();
+            let mut b = willump_data::SparseRowBuilder::new(width);
+            for m in &mats {
+                for r in 0..m.n_rows() {
+                    b.push_row(&m.row_entries(r));
+                }
+            }
+            Ok(FeatureMatrix::Sparse(b.finish()))
+        }
+    }
+
+    // ----- compiled single-input path -------------------------------
+
+    /// Evaluate one generator for one input, going through the feature
+    /// cache when attached.
+    pub(crate) fn compute_generator_row(
+        &self,
+        input: &InputRow,
+        g: usize,
+    ) -> Result<Vec<(usize, f64)>, GraphError> {
+        let generator = &self.analysis.generators[g];
+        // Cache lookup keyed by the source values the generator's IFV
+        // depends on — exclusive sources plus the preprocessing
+        // sources that are its ancestors, and nothing else, so inputs
+        // sharing an entity hit regardless of their other columns
+        // (paper §4.5).
+        let cache_key = if self.caches.is_some() {
+            let mut vals: Vec<&Value> = Vec::new();
+            for col in &self.key_columns[g] {
+                vals.push(input.try_get(col)?);
+            }
+            Some(source_key(&vals))
+        } else {
+            None
+        };
+        if let (Some(caches), Some(key)) = (&self.caches, &cache_key) {
+            if let Some(hit) = caches.get(g, key) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let mut values: Vec<Option<RowOut>> = vec![None; self.graph.len()];
+        // Preprocessing nodes evaluate first (rule 3).
+        let mut order: Vec<NodeId> = Vec::new();
+        for &id in self.graph.topo_order() {
+            if self.analysis.preprocessing.contains(&id) || generator.nodes.contains(&id) {
+                order.push(id);
+            }
+        }
+        for id in order {
+            let node = self.graph.node(id);
+            let out = match &node.op {
+                Operator::Source { column } => RowOut::Value(input.try_get(column)?.clone()),
+                op => {
+                    let inputs: Vec<&RowOut> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| values[i].as_ref().expect("topo order computed inputs"))
+                        .collect();
+                    op.eval_row(&node.name, &inputs)?
+                }
+            };
+            values[id] = Some(out);
+        }
+        self.stats.generators_computed.fetch_add(1, Ordering::Relaxed);
+        let root = generator.root;
+        let feats = values[root]
+            .take()
+            .expect("root computed")
+            .as_features(&self.graph.node(root).name)?
+            .to_vec();
+        if let (Some(caches), Some(key)) = (&self.caches, cache_key) {
+            caches.put(g, key, feats.clone());
+        }
+        Ok(feats)
+    }
+
+    fn compiled_one(
+        &self,
+        input: &InputRow,
+        subset: &[usize],
+        layout: &[(usize, usize, usize)],
+    ) -> Result<RowFeatures, GraphError> {
+        let mut entries = Vec::new();
+        let mut width = 0;
+        for (&g, &(_, offset, w)) in subset.iter().zip(layout) {
+            let feats = self.compute_generator_row(input, g)?;
+            entries.extend(feats.into_iter().map(|(c, v)| (c + offset, v)));
+            width = offset + w;
+        }
+        Ok(RowFeatures::new(entries, width))
+    }
+
+    fn compiled_one_parallel(
+        &self,
+        input: &InputRow,
+        subset: &[usize],
+        layout: &[(usize, usize, usize)],
+        threads: usize,
+    ) -> Result<RowFeatures, GraphError> {
+        // LPT-assign generators to threads by measured cost (uniform
+        // when no costs were provided).
+        let costs: Vec<f64> = match &self.generator_costs {
+            Some(c) => subset.iter().map(|&g| c.get(g).copied().unwrap_or(1.0)).collect(),
+            None => vec![1.0; subset.len()],
+        };
+        let groups = lpt_assign(&costs, threads.min(subset.len()));
+        let mut groups: Vec<Vec<usize>> =
+            groups.into_iter().filter(|g| !g.is_empty()).collect();
+        let Some(pool) = &self.pool else {
+            // No pool (e.g. threads collapsed to 1): run sequentially.
+            return self.compiled_one(input, subset, layout);
+        };
+
+        // Dispatch all but the heaviest group to pool workers; the
+        // main thread computes the heaviest group itself and then
+        // combines (paper §5.2: workers compute feature generators
+        // concurrently, the main thread combines). LPT puts the
+        // heaviest items first, so group 0 is the largest load.
+        type GroupResult = Result<Vec<(usize, Vec<(usize, f64)>)>, GraphError>;
+        let main_group = groups.remove(0);
+        let (tx, rx) = crossbeam::channel::bounded::<GroupResult>(groups.len().max(1));
+        for grp in &groups {
+            // Jobs must be 'static: clone the (cheap, Arc-backed)
+            // executor and the input row into the closure.
+            let exec = self.clone();
+            let input = input.clone();
+            let grp = grp.clone();
+            let subset: Vec<usize> = subset.to_vec();
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                let compute = || -> GroupResult {
+                    let mut out = Vec::with_capacity(grp.len());
+                    for &pos in &grp {
+                        out.push((pos, exec.compute_generator_row(&input, subset[pos])?));
+                    }
+                    Ok(out)
+                };
+                let _ = tx.send(compute());
+            }));
+        }
+        let mut per_position: Vec<Option<Vec<(usize, f64)>>> = vec![None; subset.len()];
+        for &pos in &main_group {
+            per_position[pos] = Some(self.compute_generator_row(input, subset[pos])?);
+        }
+        for _ in 0..groups.len() {
+            let r = rx.recv().map_err(|_| {
+                GraphError::Data("worker pool disconnected mid-query".into())
+            })?;
+            for (pos, feats) in r? {
+                per_position[pos] = Some(feats);
+            }
+        }
+        let mut entries = Vec::new();
+        let mut width = 0;
+        for (pos, &(_, offset, w)) in layout.iter().enumerate() {
+            let feats = per_position[pos].take().expect("all positions computed");
+            entries.extend(feats.into_iter().map(|(c, v)| (c + offset, v)));
+            width = offset + w;
+        }
+        entries.sort_unstable_by_key(|(c, _)| *c);
+        Ok(RowFeatures::new(entries, width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use willump_data::Column;
+
+    fn sample_graph() -> Arc<TransformGraph> {
+        let mut b = GraphBuilder::new();
+        let title = b.source("title");
+        let body = b.source("body");
+        let ts = b.add("title_stats", Operator::StringStats, [title]).unwrap();
+        let bs = b.add("body_stats", Operator::StringStats, [body]).unwrap();
+        Arc::new(b.finish_with_concat("features", [ts, bs]).unwrap())
+    }
+
+    fn sample_table() -> Table {
+        let mut t = Table::new();
+        t.add_column("title", Column::from(vec!["Nice Hat!", "meh"]))
+            .unwrap();
+        t.add_column("body", Column::from(vec!["long body text here", "x"]))
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn compiled_batch_full_width() {
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
+        let f = exec.features_batch(&sample_table(), None).unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.n_cols(), 16);
+        assert_eq!(exec.stats().generators_computed(), 2);
+    }
+
+    #[test]
+    fn subset_narrows_features() {
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
+        let f = exec.features_batch(&sample_table(), Some(&[1])).unwrap();
+        assert_eq!(f.n_cols(), 8);
+        // Subset [1] must equal columns 8..16 of the full features.
+        let full = exec.features_batch(&sample_table(), None).unwrap();
+        for r in 0..2 {
+            let sub: Vec<(usize, f64)> = f.row_entries(r);
+            let full_right: Vec<(usize, f64)> = full
+                .row_entries(r)
+                .into_iter()
+                .filter(|(c, _)| *c >= 8)
+                .map(|(c, v)| (c - 8, v))
+                .collect();
+            assert_eq!(sub, full_right);
+        }
+    }
+
+    #[test]
+    fn bad_subset_rejected() {
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
+        assert!(matches!(
+            exec.features_batch(&sample_table(), Some(&[9])),
+            Err(GraphError::BadSubset { .. })
+        ));
+    }
+
+    #[test]
+    fn row_matches_batch() {
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
+        let t = sample_table();
+        let batch = exec.features_batch(&t, None).unwrap();
+        for r in 0..t.n_rows() {
+            let input = InputRow::from_table(&t, r).unwrap();
+            let row = exec.features_one(&input, None).unwrap();
+            assert_eq!(row.width, 16);
+            assert_eq!(row.entries, batch.row_entries(r));
+        }
+    }
+
+    #[test]
+    fn interp_and_compiled_agree() {
+        let g = sample_graph();
+        let t = sample_table();
+        let compiled = Executor::new(g.clone(), EngineMode::Compiled).unwrap();
+        let interp = Executor::new(g, EngineMode::Interpreted).unwrap();
+        let a = compiled.features_batch(&t, None).unwrap();
+        let b = interp.features_batch(&t, None).unwrap();
+        for r in 0..t.n_rows() {
+            let ae = a.row_entries(r);
+            let be = b.row_entries(r);
+            assert_eq!(ae.len(), be.len());
+            for ((c1, v1), (c2, v2)) in ae.iter().zip(&be) {
+                assert_eq!(c1, c2);
+                assert!((v1 - v2).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_input_column_errors() {
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
+        let mut t = Table::new();
+        t.add_column("title", Column::from(vec!["x"])).unwrap();
+        assert!(matches!(
+            exec.features_batch(&t, None),
+            Err(GraphError::MissingInput { .. })
+        ));
+        let input = InputRow::new([("title", Value::from("x"))]);
+        assert!(exec.features_one(&input, None).is_err());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
+        let par = exec
+            .clone()
+            .with_parallelism(Parallelism::Batch(3));
+        let t = {
+            let mut t = Table::new();
+            let titles: Vec<String> = (0..17).map(|i| format!("title {i}!")).collect();
+            let bodies: Vec<String> = (0..17).map(|i| format!("body text {i}")).collect();
+            t.add_column("title", Column::from(titles)).unwrap();
+            t.add_column("body", Column::from(bodies)).unwrap();
+            t
+        };
+        let serial = exec.features_batch(&t, None).unwrap();
+        let parallel = par.features_batch(&t, None).unwrap();
+        assert_eq!(serial.n_rows(), parallel.n_rows());
+        for r in 0..t.n_rows() {
+            assert_eq!(serial.row_entries(r), parallel.row_entries(r));
+        }
+    }
+
+    #[test]
+    fn parallel_per_input_matches_serial() {
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
+        let par = exec
+            .clone()
+            .with_parallelism(Parallelism::PerInput(2))
+            .with_generator_costs(vec![2.0, 1.0]);
+        let t = sample_table();
+        for r in 0..t.n_rows() {
+            let input = InputRow::from_table(&t, r).unwrap();
+            let a = exec.features_one(&input, None).unwrap();
+            let b = par.features_one(&input, None).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn feature_cache_skips_recomputation() {
+        let caches = FeatureCaches::new(2, None);
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled)
+            .unwrap()
+            .with_caches(caches.clone());
+        let input = InputRow::new([
+            ("title", Value::from("Nice Hat!")),
+            ("body", Value::from("some body")),
+        ]);
+        let first = exec.features_one(&input, None).unwrap();
+        let computed_after_first = exec.stats().generators_computed();
+        let second = exec.features_one(&input, None).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(exec.stats().generators_computed(), computed_after_first);
+        assert_eq!(exec.stats().cache_hits(), 2);
+        assert_eq!(caches.hits(), 2);
+    }
+
+    #[test]
+    fn cache_distinguishes_inputs() {
+        let caches = FeatureCaches::new(2, None);
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled)
+            .unwrap()
+            .with_caches(caches);
+        let a = InputRow::new([("title", Value::from("a")), ("body", Value::from("b"))]);
+        let b = InputRow::new([("title", Value::from("c")), ("body", Value::from("b"))]);
+        exec.features_one(&a, None).unwrap();
+        exec.features_one(&b, None).unwrap();
+        // Title generator missed for b (different title); body hit.
+        assert_eq!(exec.stats().cache_hits(), 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! The transformation graph IR and its builder.
+
+use std::collections::VecDeque;
+
+use crate::op::Operator;
+use crate::GraphError;
+
+/// Identifier of a node within its [`TransformGraph`].
+pub type NodeId = usize;
+
+/// One node of a transformation graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's id (its index in the graph).
+    pub id: NodeId,
+    /// Human-readable name (unique names make debugging sane but are
+    /// not enforced).
+    pub name: String,
+    /// The transformation this node applies.
+    pub op: Operator,
+    /// Ids of the nodes whose outputs feed this node, in order.
+    pub inputs: Vec<NodeId>,
+}
+
+impl Node {
+    /// Whether this node is a raw-input source.
+    pub fn is_source(&self) -> bool {
+        matches!(self.op, Operator::Source { .. })
+    }
+}
+
+/// A directed acyclic graph of feature transformations with a single
+/// sink feeding the model (paper §5.1).
+#[derive(Debug, Clone)]
+pub struct TransformGraph {
+    nodes: Vec<Node>,
+    sink: NodeId,
+    topo: Vec<NodeId>,
+}
+
+impl TransformGraph {
+    /// All nodes, indexed by id.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The sink node (feeds the model).
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// A topological order of all node ids (sources first).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Source column names, in node order.
+    pub fn source_columns(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                Operator::Source { column } => Some(column.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The width of the sink's feature output.
+    pub fn out_dim(&self) -> usize {
+        self.nodes[self.sink].op.out_dim()
+    }
+
+    /// Ids of nodes that consume `id`'s output.
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.inputs.contains(&id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// All transitive ancestors of `id` (excluding `id` itself).
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.nodes[id].inputs.clone();
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            out.push(n);
+            stack.extend(&self.nodes[n].inputs);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn compute_topo(nodes: &[Node]) -> Result<Vec<NodeId>, GraphError> {
+        let n = nodes.len();
+        let mut indegree = vec![0usize; n];
+        for node in nodes {
+            for &inp in &node.inputs {
+                if inp >= n {
+                    return Err(GraphError::UnknownNode { id: inp });
+                }
+            }
+            indegree[node.id] = node.inputs.len();
+        }
+        let mut queue: VecDeque<NodeId> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for consumer in nodes.iter().filter(|x| x.inputs.contains(&id)) {
+                // A node with duplicate inputs decrements once per edge.
+                let edges = consumer.inputs.iter().filter(|&&i| i == id).count();
+                indegree[consumer.id] -= edges;
+                if indegree[consumer.id] == 0 {
+                    queue.push_back(consumer.id);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(GraphError::Cyclic);
+        }
+        Ok(order)
+    }
+}
+
+/// Incremental builder for [`TransformGraph`].
+///
+/// This is the reproduction's stand-in for the paper's Python-AST
+/// frontend: workload definitions construct their transformation
+/// graphs explicitly instead of having them inferred from Python
+/// bytecode (see DESIGN.md).
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Add a raw-input source reading `column` from the pipeline input.
+    pub fn source(&mut self, column: impl Into<String>) -> NodeId {
+        let column = column.into();
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            name: format!("source:{column}"),
+            op: Operator::Source { column },
+            inputs: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a transformation node.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownNode`] if an input id is invalid.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: Operator,
+        inputs: impl IntoIterator<Item = NodeId>,
+    ) -> Result<NodeId, GraphError> {
+        let inputs: Vec<NodeId> = inputs.into_iter().collect();
+        for &i in &inputs {
+            if i >= self.nodes.len() {
+                return Err(GraphError::UnknownNode { id: i });
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            op,
+            inputs,
+        });
+        Ok(id)
+    }
+
+    /// Add a concatenation node over feature-producing inputs, wiring
+    /// the input widths automatically.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownNode`] if an input id is invalid,
+    /// or [`GraphError::BadInput`] if `inputs` is empty.
+    pub fn concat(
+        &mut self,
+        name: impl Into<String>,
+        inputs: impl IntoIterator<Item = NodeId>,
+    ) -> Result<NodeId, GraphError> {
+        let name = name.into();
+        let inputs: Vec<NodeId> = inputs.into_iter().collect();
+        if inputs.is_empty() {
+            return Err(GraphError::BadInput {
+                node: name,
+                reason: "concat needs at least one input".into(),
+            });
+        }
+        let mut widths = Vec::with_capacity(inputs.len());
+        for &i in &inputs {
+            if i >= self.nodes.len() {
+                return Err(GraphError::UnknownNode { id: i });
+            }
+            widths.push(self.nodes[i].op.out_dim());
+        }
+        self.add(name, Operator::Concat { widths }, inputs)
+    }
+
+    /// Finish the graph with `sink` as the node feeding the model.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownNode`] for an invalid sink or
+    /// [`GraphError::Cyclic`] if the graph has a cycle.
+    pub fn finish(self, sink: NodeId) -> Result<TransformGraph, GraphError> {
+        if sink >= self.nodes.len() {
+            return Err(GraphError::UnknownNode { id: sink });
+        }
+        let topo = TransformGraph::compute_topo(&self.nodes)?;
+        Ok(TransformGraph {
+            nodes: self.nodes,
+            sink,
+            topo,
+        })
+    }
+
+    /// Convenience: add a concat over `inputs` and finish with it as
+    /// the sink (the common shape of every benchmark pipeline).
+    ///
+    /// # Errors
+    /// Propagates [`GraphBuilder::concat`] and [`GraphBuilder::finish`]
+    /// errors.
+    pub fn finish_with_concat(
+        mut self,
+        name: impl Into<String>,
+        inputs: impl IntoIterator<Item = NodeId>,
+    ) -> Result<TransformGraph, GraphError> {
+        let sink = self.concat(name, inputs)?;
+        self.finish(sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TransformGraph {
+        // src -> stats -+
+        //               +-> concat (sink)
+        // src -> stats -+
+        let mut b = GraphBuilder::new();
+        let s = b.source("text");
+        let a = b.add("a", Operator::StringStats, [s]).unwrap();
+        let c = b.add("c", Operator::StringStats, [s]).unwrap();
+        b.finish_with_concat("sink", [a, c]).unwrap()
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, &id) in g.topo_order().iter().enumerate() {
+                p[id] = i;
+            }
+            p
+        };
+        for n in g.nodes() {
+            for &inp in &n.inputs {
+                assert!(pos[inp] < pos[n.id], "edge {inp}->{} violated", n.id);
+            }
+        }
+    }
+
+    #[test]
+    fn sink_and_sources() {
+        let g = diamond();
+        assert_eq!(g.source_columns(), vec!["text"]);
+        assert_eq!(g.node(g.sink()).name, "sink");
+        assert_eq!(g.out_dim(), 16);
+    }
+
+    #[test]
+    fn ancestors_and_consumers() {
+        let g = diamond();
+        let sink = g.sink();
+        let anc = g.ancestors(sink);
+        assert_eq!(anc, vec![0, 1, 2]);
+        assert_eq!(g.consumers(0), vec![1, 2]);
+        assert!(g.ancestors(0).is_empty());
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        let mut b = GraphBuilder::new();
+        assert!(matches!(
+            b.add("x", Operator::StringStats, [42]),
+            Err(GraphError::UnknownNode { id: 42 })
+        ));
+        let s = b.source("t");
+        let _ = s;
+        assert!(matches!(
+            b.finish(99),
+            Err(GraphError::UnknownNode { id: 99 })
+        ));
+    }
+
+    #[test]
+    fn empty_concat_rejected() {
+        let mut b = GraphBuilder::new();
+        assert!(b.concat("c", []).is_err());
+    }
+
+    #[test]
+    fn concat_captures_widths() {
+        let g = diamond();
+        match &g.node(g.sink()).op {
+            Operator::Concat { widths } => assert_eq!(widths, &vec![8, 8]),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! A textual pipeline-description frontend for transformation graphs.
+//!
+//! The paper's dataflow stage builds the transformation graph by
+//! descending a Python function's AST (§5.1), resolving transformer
+//! objects out of the function's closure. This module is the Rust
+//! analogue: a small line-oriented description language whose
+//! statements wire *bound* operators (already-fitted transformers the
+//! caller supplies) into a [`TransformGraph`].
+//!
+//! ```text
+//! # MusicRec, paper Figure 1
+//! source user_id
+//! source song_id
+//! user     = op:user_lookup(user_id)
+//! song     = op:song_lookup(song_id)
+//! features = concat(user, song)
+//! ```
+//!
+//! One statement per line; `#` starts a comment. Statements:
+//!
+//! - `source <column>` — a raw input reading `<column>`,
+//! - `<name> = <func>(<arg>, ...)` — a transformation node, where
+//!   `<func>` is a builtin (`numeric`, `string_stats`, `concat`) or
+//!   `op:<binding>` referencing an operator passed in `bindings`.
+//!
+//! The graph's sink is the node named `features` if present, otherwise
+//! the last-defined node.
+
+use std::collections::HashMap;
+
+use crate::graph::{GraphBuilder, NodeId, TransformGraph};
+use crate::op::Operator;
+use crate::GraphError;
+
+/// Parse a pipeline description into a [`TransformGraph`].
+///
+/// `bindings` supplies the fitted operators referenced by `op:<name>`
+/// calls; builtins (`numeric`, `string_stats`, `concat`) need no
+/// binding. See the [module docs](self) for the statement grammar.
+///
+/// # Errors
+/// Returns [`GraphError::Parse`] for syntax errors, unknown
+/// identifiers, unknown functions or bindings, redefinitions, and
+/// arity violations; propagates graph-construction errors otherwise.
+pub fn parse_pipeline(
+    text: &str,
+    bindings: &HashMap<String, Operator>,
+) -> Result<TransformGraph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    let mut last: Option<NodeId> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+
+        if let Some(rest) = line.strip_prefix("source ") {
+            let column = rest.trim();
+            validate_ident(column, lineno)?;
+            if names.contains_key(column) {
+                return Err(parse_err(lineno, format!("`{column}` is already defined")));
+            }
+            let id = builder.source(column);
+            names.insert(column.to_string(), id);
+            last = Some(id);
+            continue;
+        }
+
+        let (name, call) = line.split_once('=').ok_or_else(|| {
+            parse_err(
+                lineno,
+                "expected `source <column>` or `<name> = <func>(...)`".to_string(),
+            )
+        })?;
+        let name = name.trim();
+        validate_ident(name, lineno)?;
+        if names.contains_key(name) {
+            return Err(parse_err(lineno, format!("`{name}` is already defined")));
+        }
+
+        let (func, args) = parse_call(call.trim(), lineno)?;
+        let inputs: Vec<NodeId> = args
+            .iter()
+            .map(|a| {
+                names.get(*a).copied().ok_or_else(|| {
+                    parse_err(lineno, format!("unknown input `{a}` (defined later or never?)"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let id = match func {
+            "numeric" => {
+                expect_arity(&inputs, 1, func, lineno)?;
+                builder.add(name, Operator::NumericColumn, inputs)?
+            }
+            "string_stats" => {
+                expect_arity(&inputs, 1, func, lineno)?;
+                builder.add(name, Operator::StringStats, inputs)?
+            }
+            "concat" => {
+                if inputs.is_empty() {
+                    return Err(parse_err(lineno, "concat needs at least one input".into()));
+                }
+                builder.concat(name, inputs)?
+            }
+            _ => {
+                let Some(binding) = func.strip_prefix("op:") else {
+                    return Err(parse_err(
+                        lineno,
+                        format!(
+                            "unknown function `{func}` (builtins: numeric, string_stats, \
+                             concat; bound operators: op:<name>)"
+                        ),
+                    ));
+                };
+                let op = bindings.get(binding).ok_or_else(|| {
+                    parse_err(lineno, format!("no operator bound for `op:{binding}`"))
+                })?;
+                expect_arity(&inputs, 1, func, lineno)?;
+                builder.add(name, op.clone(), inputs)?
+            }
+        };
+        names.insert(name.to_string(), id);
+        last = Some(id);
+    }
+
+    let sink = names
+        .get("features")
+        .copied()
+        .or(last)
+        .ok_or_else(|| parse_err(0, "empty pipeline description".into()))?;
+    builder.finish(sink)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_err(line: usize, reason: String) -> GraphError {
+    GraphError::Parse { line, reason }
+}
+
+fn validate_ident(name: &str, lineno: usize) -> Result<(), GraphError> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.starts_with(|c: char| c.is_ascii_digit());
+    if ok {
+        Ok(())
+    } else {
+        Err(parse_err(lineno, format!("invalid identifier `{name}`")))
+    }
+}
+
+/// Split `func(a, b, c)` into the function name and argument names.
+fn parse_call(call: &str, lineno: usize) -> Result<(&str, Vec<&str>), GraphError> {
+    let open = call
+        .find('(')
+        .ok_or_else(|| parse_err(lineno, format!("expected a call, found `{call}`")))?;
+    if !call.ends_with(')') {
+        return Err(parse_err(lineno, format!("unclosed call `{call}`")));
+    }
+    let func = call[..open].trim();
+    if func.is_empty() {
+        return Err(parse_err(lineno, "missing function name".into()));
+    }
+    let body = &call[open + 1..call.len() - 1];
+    let args: Vec<&str> = if body.trim().is_empty() {
+        Vec::new()
+    } else {
+        body.split(',').map(str::trim).collect()
+    };
+    if args.iter().any(|a| a.is_empty()) {
+        return Err(parse_err(lineno, format!("empty argument in `{call}`")));
+    }
+    Ok((func, args))
+}
+
+fn expect_arity(
+    inputs: &[NodeId],
+    want: usize,
+    func: &str,
+    lineno: usize,
+) -> Result<(), GraphError> {
+    if inputs.len() == want {
+        Ok(())
+    } else {
+        Err(parse_err(
+            lineno,
+            format!("`{func}` takes {want} input(s), got {}", inputs.len()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_bindings() -> HashMap<String, Operator> {
+        HashMap::new()
+    }
+
+    #[test]
+    fn parses_the_module_example_shape() {
+        let text = "
+            # toy pipeline
+            source text
+            stats    = string_stats(text)   # cheap block
+            features = concat(stats)
+        ";
+        let g = parse_pipeline(text, &no_bindings()).unwrap();
+        assert_eq!(g.source_columns(), vec!["text"]);
+        assert_eq!(g.node(g.sink()).name, "features");
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn sink_defaults_to_last_node_without_features_name() {
+        let text = "
+            source a
+            x = numeric(a)
+        ";
+        let g = parse_pipeline(text, &no_bindings()).unwrap();
+        assert_eq!(g.node(g.sink()).name, "x");
+    }
+
+    #[test]
+    fn bound_operators_resolve() {
+        let mut b = HashMap::new();
+        b.insert("pass".to_string(), Operator::NumericColumn);
+        let text = "
+            source a
+            f = op:pass(a)
+            features = concat(f)
+        ";
+        let g = parse_pipeline(text, &b).unwrap();
+        assert!(matches!(g.node(1).op, Operator::NumericColumn));
+    }
+
+    #[test]
+    fn missing_binding_is_reported_with_line() {
+        let text = "source a\nf = op:nope(a)";
+        let err = parse_pipeline(text, &no_bindings()).unwrap_err();
+        match err {
+            GraphError::Parse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("op:nope"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_input_and_forward_references_rejected() {
+        let err = parse_pipeline("source a\nf = numeric(b)", &no_bindings()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        // Using a name before it is defined is also unknown.
+        let err = parse_pipeline(
+            "source a\nf = concat(g)\ng = numeric(a)",
+            &no_bindings(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let err =
+            parse_pipeline("source a\na = numeric(a)", &no_bindings()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn syntax_errors_are_parse_errors() {
+        for bad in [
+            "f := numeric(a)",
+            "source 9lives",
+            "source a\nf = numeric a",
+            "source a\nf = numeric(a",
+            "source a\nf = (a)",
+            "source a\nf = numeric(a,,b)",
+            "source a\nf = numeric(a, a)", // arity
+        ] {
+            let err = parse_pipeline(bad, &no_bindings()).unwrap_err();
+            assert!(matches!(err, GraphError::Parse { .. }), "input: {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_description_rejected() {
+        assert!(matches!(
+            parse_pipeline("  \n# only comments\n", &no_bindings()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parsed_graph_executes() {
+        use crate::{EngineMode, Executor};
+        use willump_data::{Column, Table};
+
+        let text = "
+            source txt
+            source n
+            stats    = string_stats(txt)
+            num      = numeric(n)
+            features = concat(stats, num)
+        ";
+        let g = parse_pipeline(text, &no_bindings()).unwrap();
+        let exec = Executor::new(std::sync::Arc::new(g), EngineMode::Compiled).unwrap();
+        let mut t = Table::new();
+        t.add_column("txt", Column::from(vec!["hello world".to_string()]))
+            .unwrap();
+        t.add_column("n", Column::from(vec![3.5])).unwrap();
+        let f = exec.features_batch(&t, None).unwrap();
+        assert_eq!(f.n_rows(), 1);
+        assert_eq!(f.n_cols(), 9, "8 string stats + 1 numeric");
+    }
+}

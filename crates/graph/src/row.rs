@@ -1,0 +1,126 @@
+//! Single-input rows for example-at-a-time serving.
+
+use std::collections::HashMap;
+
+use willump_data::{Table, Value};
+
+use crate::GraphError;
+
+/// One raw pipeline input: named values for each source column.
+///
+/// ```
+/// use willump_graph::InputRow;
+/// use willump_data::Value;
+///
+/// let row = InputRow::new([("user_id", Value::Int(7))]);
+/// assert_eq!(row.get("user_id"), Some(&Value::Int(7)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InputRow {
+    values: HashMap<String, Value>,
+}
+
+impl InputRow {
+    /// Build from `(name, value)` pairs.
+    pub fn new<'a>(pairs: impl IntoIterator<Item = (&'a str, Value)>) -> InputRow {
+        InputRow {
+            values: pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Insert or replace a value.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Look up a value by source name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Look up a value, erroring when missing.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::MissingInput`] when absent.
+    pub fn try_get(&self, name: &str) -> Result<&Value, GraphError> {
+        self.values.get(name).ok_or_else(|| GraphError::MissingInput {
+            name: name.to_string(),
+        })
+    }
+
+    /// Extract row `r` of a table as an `InputRow`.
+    ///
+    /// # Errors
+    /// Returns a data error if `r` is out of bounds.
+    pub fn from_table(table: &Table, r: usize) -> Result<InputRow, GraphError> {
+        let vals = table.row(r)?;
+        Ok(InputRow {
+            values: table
+                .column_names()
+                .into_iter()
+                .map(str::to_string)
+                .zip(vals)
+                .collect(),
+        })
+    }
+}
+
+/// Sparse feature output for one data input: sorted `(column, value)`
+/// entries plus the total feature width.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RowFeatures {
+    /// Sorted `(column, value)` pairs, zeros omitted.
+    pub entries: Vec<(usize, f64)>,
+    /// Total feature-vector width.
+    pub width: usize,
+}
+
+impl RowFeatures {
+    /// A new feature row.
+    pub fn new(entries: Vec<(usize, f64)>, width: usize) -> RowFeatures {
+        RowFeatures { entries, width }
+    }
+
+    /// Materialize as a dense vector.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.width];
+        for (c, v) in &self.entries {
+            out[*c] = *v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_data::Column;
+
+    #[test]
+    fn set_get_try_get() {
+        let mut row = InputRow::new([("a", Value::Int(1))]);
+        row.set("b", Value::from("x"));
+        assert_eq!(row.get("b"), Some(&Value::from("x")));
+        assert!(row.try_get("c").is_err());
+    }
+
+    #[test]
+    fn from_table_extracts_named_values() {
+        let mut t = Table::new();
+        t.add_column("id", Column::from(vec![1i64, 2])).unwrap();
+        t.add_column("s", Column::from(vec!["a", "b"])).unwrap();
+        let row = InputRow::from_table(&t, 1).unwrap();
+        assert_eq!(row.get("id"), Some(&Value::Int(2)));
+        assert_eq!(row.get("s"), Some(&Value::from("b")));
+        assert!(InputRow::from_table(&t, 9).is_err());
+    }
+
+    #[test]
+    fn row_features_densify() {
+        let rf = RowFeatures::new(vec![(1, 2.0), (3, -1.0)], 5);
+        assert_eq!(rf.to_dense(), vec![0.0, 2.0, 0.0, -1.0, 0.0]);
+    }
+}

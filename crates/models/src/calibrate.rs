@@ -1,0 +1,323 @@
+//! Probability calibration for classifier scores.
+//!
+//! Willump's cascade threshold (paper §4.2) compares small-model
+//! *confidences* against a cutoff, so the quality of the cascade's
+//! accuracy/throughput tradeoff depends on how well those scores track
+//! true correctness probabilities. GBDTs and MLPs are often
+//! miscalibrated; this module provides the two standard fixes:
+//!
+//! - [`PlattScaler`]: fits a one-dimensional logistic regression
+//!   `sigma(a * s + b)` over raw scores (Platt 1999),
+//! - [`IsotonicCalibrator`]: pool-adjacent-violators (PAV) isotonic
+//!   regression, a non-parametric monotone fit.
+//!
+//! Both expose `fit(scores, labels)` / `calibrate(score)` and are
+//! evaluated with [`crate::metrics::brier_score`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// Platt scaling: logistic calibration `p = sigma(a * s + b)`.
+///
+/// Fit by gradient descent on log loss with the label smoothing from
+/// Platt's original paper (targets `(n+ + 1) / (n+ + 2)` and
+/// `1 / (n- + 2)` instead of hard 0/1), which keeps the fit stable
+/// when one class is rare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlattScaler {
+    a: f64,
+    b: f64,
+}
+
+impl PlattScaler {
+    /// Fit the scaler on held-out `(score, label)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::ShapeMismatch`] when inputs are empty or
+    /// mismatched and [`ModelError::BadLabels`] when only one class is
+    /// present.
+    pub fn fit(scores: &[f64], labels: &[f64]) -> Result<PlattScaler, ModelError> {
+        if scores.is_empty() || scores.len() != labels.len() {
+            return Err(ModelError::ShapeMismatch {
+                context: format!(
+                    "platt fit needs matching non-empty scores/labels, got {}/{}",
+                    scores.len(),
+                    labels.len()
+                ),
+            });
+        }
+        let n_pos = labels.iter().filter(|&&y| y > 0.5).count() as f64;
+        let n_neg = labels.len() as f64 - n_pos;
+        if n_pos == 0.0 || n_neg == 0.0 {
+            return Err(ModelError::BadLabels {
+                reason: "platt fit needs both classes present".into(),
+            });
+        }
+        // Platt's smoothed targets.
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&y| if y > 0.5 { t_pos } else { t_neg })
+            .collect();
+
+        // Gradient descent on log loss; the 1-D problem is convex and
+        // well-conditioned after centering scores.
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        let mut a = 1.0;
+        let mut b = 0.0;
+        let lr = 0.5;
+        let n = scores.len() as f64;
+        for _ in 0..500 {
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            for (&s, &t) in scores.iter().zip(&targets) {
+                let z = a * (s - mean) + b;
+                let p = sigmoid(z);
+                let d = p - t;
+                ga += d * (s - mean);
+                gb += d;
+            }
+            a -= lr * ga / n;
+            b -= lr * gb / n;
+        }
+        // Fold the centering into the intercept.
+        Ok(PlattScaler { a, b: b - a * mean })
+    }
+
+    /// The slope of the fitted logistic map.
+    pub fn slope(&self) -> f64 {
+        self.a
+    }
+
+    /// The intercept of the fitted logistic map.
+    pub fn intercept(&self) -> f64 {
+        self.b
+    }
+
+    /// Map a raw score to a calibrated probability.
+    pub fn calibrate(&self, score: f64) -> f64 {
+        sigmoid(self.a * score + self.b)
+    }
+
+    /// Calibrate a batch of scores.
+    pub fn calibrate_batch(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.calibrate(s)).collect()
+    }
+}
+
+/// Isotonic calibration via pool-adjacent-violators.
+///
+/// Learns a non-decreasing piecewise function from scores to
+/// empirical positive rates: queries inside a pooled block's score
+/// span return the block mean, queries between blocks interpolate
+/// linearly, and queries outside the fitted range clamp to the end
+/// blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsotonicCalibrator {
+    /// First score of each pooled block, ascending.
+    starts: Vec<f64>,
+    /// Last score of each pooled block, ascending.
+    ends: Vec<f64>,
+    /// Calibrated probability of each block, non-decreasing.
+    ys: Vec<f64>,
+}
+
+impl IsotonicCalibrator {
+    /// Fit the calibrator on held-out `(score, label)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::ShapeMismatch`] when inputs are empty or
+    /// mismatched.
+    pub fn fit(scores: &[f64], labels: &[f64]) -> Result<IsotonicCalibrator, ModelError> {
+        if scores.is_empty() || scores.len() != labels.len() {
+            return Err(ModelError::ShapeMismatch {
+                context: format!(
+                    "isotonic fit needs matching non-empty scores/labels, got {}/{}",
+                    scores.len(),
+                    labels.len()
+                ),
+            });
+        }
+        let mut pairs: Vec<(f64, f64)> = scores.iter().copied().zip(labels.iter().copied()).collect();
+        pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Pool adjacent violators: maintain blocks of
+        // (weight, mean, span).
+        struct Block {
+            weight: f64,
+            mean: f64,
+            start: f64,
+            end: f64,
+        }
+        let mut blocks: Vec<Block> = Vec::with_capacity(pairs.len());
+        for (x, y) in pairs {
+            blocks.push(Block {
+                weight: 1.0,
+                mean: y,
+                start: x,
+                end: x,
+            });
+            while blocks.len() >= 2 {
+                let last = blocks.len() - 1;
+                // Merge on violation (>) and on ties (=) so the fitted
+                // function is the canonical minimal one.
+                if blocks[last - 1].mean < blocks[last].mean {
+                    break;
+                }
+                let b = blocks.pop().expect("len >= 2");
+                let a = blocks.last_mut().expect("len >= 1");
+                let w = a.weight + b.weight;
+                a.mean = (a.mean * a.weight + b.mean * b.weight) / w;
+                a.weight = w;
+                a.end = b.end; // block spans up to the later score
+            }
+        }
+        Ok(IsotonicCalibrator {
+            starts: blocks.iter().map(|b| b.start).collect(),
+            ends: blocks.iter().map(|b| b.end).collect(),
+            ys: blocks.iter().map(|b| b.mean).collect(),
+        })
+    }
+
+    /// Number of monotone blocks in the fitted function.
+    pub fn n_blocks(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Map a raw score to a calibrated probability.
+    pub fn calibrate(&self, score: f64) -> f64 {
+        // Index of the first block starting after `score`.
+        let i = self
+            .starts
+            .partition_point(|s| *s <= score || s.partial_cmp(&score).is_none());
+        if i == 0 {
+            return self.ys[0]; // before the first block
+        }
+        let prev = i - 1;
+        if score <= self.ends[prev] || i == self.ys.len() {
+            // Inside block `prev`, or past the last block.
+            return self.ys[prev];
+        }
+        // Between block `prev`'s end and block `i`'s start: interpolate.
+        let (x0, x1) = (self.ends[prev], self.starts[i]);
+        let (y0, y1) = (self.ys[prev], self.ys[i]);
+        if (x1 - x0).abs() < f64::EPSILON {
+            y1
+        } else {
+            y0 + (y1 - y0) * (score - x0) / (x1 - x0)
+        }
+    }
+
+    /// Calibrate a batch of scores.
+    pub fn calibrate_batch(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.calibrate(s)).collect()
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::brier_score;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Miscalibrated synthetic scores: true probability is sigmoid(4x)
+    /// but the "model" reports overly-hedged sigmoid(x).
+    fn miscalibrated(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(-2.0..2.0);
+            let true_p = sigmoid(4.0 * x);
+            labels.push(if rng.gen::<f64>() < true_p { 1.0 } else { 0.0 });
+            scores.push(sigmoid(x));
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn platt_improves_brier_on_miscalibrated_scores() {
+        let (scores, labels) = miscalibrated(4000, 7);
+        let p = PlattScaler::fit(&scores, &labels).unwrap();
+        let cal = p.calibrate_batch(&scores);
+        let before = brier_score(&scores, &labels);
+        let after = brier_score(&cal, &labels);
+        assert!(after < before, "brier {before:.4} -> {after:.4}");
+    }
+
+    #[test]
+    fn platt_is_monotone() {
+        let (scores, labels) = miscalibrated(1000, 8);
+        let p = PlattScaler::fit(&scores, &labels).unwrap();
+        assert!(p.slope() > 0.0, "positive association preserved");
+        let lo = p.calibrate(0.1);
+        let hi = p.calibrate(0.9);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn platt_rejects_degenerate_inputs() {
+        assert!(PlattScaler::fit(&[], &[]).is_err());
+        assert!(PlattScaler::fit(&[0.5], &[1.0, 0.0]).is_err());
+        assert!(PlattScaler::fit(&[0.2, 0.8], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn isotonic_output_is_monotone_step() {
+        let (scores, labels) = miscalibrated(2000, 9);
+        let iso = IsotonicCalibrator::fit(&scores, &labels).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let s = i as f64 / 100.0;
+            let c = iso.calibrate(s);
+            assert!(c >= prev - 1e-12, "monotone violated at {s}: {c} < {prev}");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn isotonic_improves_brier() {
+        let (scores, labels) = miscalibrated(4000, 10);
+        let iso = IsotonicCalibrator::fit(&scores, &labels).unwrap();
+        let cal = iso.calibrate_batch(&scores);
+        assert!(brier_score(&cal, &labels) < brier_score(&scores, &labels));
+    }
+
+    #[test]
+    fn isotonic_perfectly_separable_becomes_two_blocks() {
+        let scores = vec![0.1, 0.2, 0.3, 0.7, 0.8, 0.9];
+        let labels = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let iso = IsotonicCalibrator::fit(&scores, &labels).unwrap();
+        assert_eq!(iso.n_blocks(), 2);
+        assert!(iso.calibrate(0.15) < 0.01);
+        assert!(iso.calibrate(0.85) > 0.99);
+    }
+
+    #[test]
+    fn isotonic_handles_constant_labels() {
+        let iso = IsotonicCalibrator::fit(&[0.1, 0.5, 0.9], &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(iso.n_blocks(), 1);
+        assert!((iso.calibrate(0.3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isotonic_rejects_bad_inputs() {
+        assert!(IsotonicCalibrator::fit(&[], &[]).is_err());
+        assert!(IsotonicCalibrator::fit(&[0.5], &[]).is_err());
+    }
+
+    #[test]
+    fn calibrators_clamp_out_of_range_queries() {
+        let iso = IsotonicCalibrator::fit(&[0.2, 0.8], &[0.0, 1.0]).unwrap();
+        assert!((iso.calibrate(-5.0) - iso.calibrate(0.2)).abs() < 1e-12);
+        assert!((iso.calibrate(5.0) - iso.calibrate(0.8)).abs() < 1e-12);
+    }
+}

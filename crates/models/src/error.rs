@@ -1,0 +1,49 @@
+//! Error type for model training and prediction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during model training or prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Features and labels disagreed in length, or widths mismatched.
+    ShapeMismatch {
+        /// What was being attempted.
+        context: String,
+    },
+    /// The training set was empty or degenerate.
+    EmptyTrainingSet,
+    /// Labels were invalid for the task (e.g. non-0/1 for
+    /// classification).
+    BadLabels {
+        /// Why they were rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            ModelError::EmptyTrainingSet => f.write_str("training set is empty"),
+            ModelError::BadLabels { reason } => write!(f, "invalid labels: {reason}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ModelError::EmptyTrainingSet.to_string(),
+            "training set is empty"
+        );
+        let e = ModelError::BadLabels { reason: "nan".into() };
+        assert!(e.to_string().contains("nan"));
+    }
+}

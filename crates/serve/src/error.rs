@@ -1,0 +1,44 @@
+//! Error type for the serving layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Request or response (de)serialization failed.
+    Codec(String),
+    /// The server thread is gone or its queue is closed.
+    Disconnected,
+    /// The wrapped pipeline failed to predict.
+    Predictor(String),
+    /// A request was malformed (e.g. inconsistent row schemas).
+    BadRequest {
+        /// Why the request was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Codec(m) => write!(f, "serialization failed: {m}"),
+            ServeError::Disconnected => f.write_str("server disconnected"),
+            ServeError::Predictor(m) => write!(f, "prediction failed: {m}"),
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(ServeError::Disconnected.to_string(), "server disconnected");
+        assert!(ServeError::Codec("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # willump-serve
+//!
+//! A Clipper-like model serving layer for the Willump reproduction
+//! (see DESIGN.md's substitution table): an RPC-style boundary with
+//! real JSON serialization overhead, a request queue with adaptive
+//! batching, and an optional end-to-end prediction cache (the
+//! pipeline-agnostic caching the paper compares feature-level caching
+//! against).
+//!
+//! Paper Table 6 serves Willump-optimized pipelines through Clipper
+//! and observes that (a) fixed per-request overheads amortize with
+//! batch size, and (b) variable serialization overheads remain. Both
+//! effects are real here: every request and response passes through
+//! `serde_json`, and the server runs on its own thread behind a
+//! channel.
+//!
+//! The crate also reproduces Clipper's *model selection layer*
+//! (paper §7): [`ModelSelector`] routes queries across several
+//! [`Servable`]s with a multi-armed bandit ([`SelectionPolicy`]),
+//! learning over time which model predicts a session's inputs best.
+
+#![warn(missing_docs)]
+
+mod e2e_cache;
+mod error;
+mod protocol;
+mod selection;
+mod server;
+
+pub use e2e_cache::E2eCachedPredictor;
+pub use error::ServeError;
+pub use protocol::{decode_request, decode_response, encode_request, encode_response, Request, Response};
+pub use selection::{ArmStats, ModelSelector, SelectionPolicy};
+pub use server::{
+    table_row_to_wire, ClipperClient, ClipperServer, Servable, ServerConfig, ServerStats,
+};

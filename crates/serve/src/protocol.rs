@@ -1,0 +1,122 @@
+//! The wire protocol: JSON-encoded prediction requests and responses.
+//!
+//! Using a real serializer matters: paper Table 6 attributes Clipper's
+//! residual overhead to "large variable overheads (serialization time,
+//! etc.) which Willump cannot reduce". Encoding/decoding here costs
+//! genuine CPU proportional to payload size.
+
+use serde::{Deserialize, Serialize};
+use willump_data::Value;
+
+use crate::ServeError;
+
+/// One named raw-input value in a request row.
+pub type WireRow = Vec<(String, Value)>;
+
+/// A prediction request: a batch of raw-input rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-assigned request id, echoed in the response.
+    pub id: u64,
+    /// The batch of input rows (name/value pairs, consistent schema).
+    pub rows: Vec<WireRow>,
+}
+
+/// A prediction response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request id this answers.
+    pub id: u64,
+    /// One score per request row.
+    pub scores: Vec<f64>,
+    /// Error message when prediction failed.
+    pub error: Option<String>,
+}
+
+/// Serialize a request to its JSON wire form.
+///
+/// # Errors
+/// Returns [`ServeError::Codec`] on serializer failure.
+pub fn encode_request(req: &Request) -> Result<String, ServeError> {
+    serde_json::to_string(req).map_err(|e| ServeError::Codec(e.to_string()))
+}
+
+/// Parse a request from its JSON wire form.
+///
+/// # Errors
+/// Returns [`ServeError::Codec`] on malformed input.
+pub fn decode_request(wire: &str) -> Result<Request, ServeError> {
+    serde_json::from_str(wire).map_err(|e| ServeError::Codec(e.to_string()))
+}
+
+/// Serialize a response to its JSON wire form.
+///
+/// # Errors
+/// Returns [`ServeError::Codec`] on serializer failure.
+pub fn encode_response(resp: &Response) -> Result<String, ServeError> {
+    serde_json::to_string(resp).map_err(|e| ServeError::Codec(e.to_string()))
+}
+
+/// Parse a response from its JSON wire form.
+///
+/// # Errors
+/// Returns [`ServeError::Codec`] on malformed input.
+pub fn decode_response(wire: &str) -> Result<Response, ServeError> {
+    serde_json::from_str(wire).map_err(|e| ServeError::Codec(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Request {
+        Request {
+            id: 7,
+            rows: vec![
+                vec![
+                    ("title".to_string(), Value::from("hello")),
+                    ("n".to_string(), Value::Int(3)),
+                ],
+                vec![
+                    ("title".to_string(), Value::from("world")),
+                    ("n".to_string(), Value::Int(4)),
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = sample();
+        let wire = encode_request(&req).unwrap();
+        let back = decode_request(&wire).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response {
+            id: 7,
+            scores: vec![0.25, 0.75],
+            error: None,
+        };
+        let wire = encode_response(&resp).unwrap();
+        assert_eq!(decode_response(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(decode_request("not json").is_err());
+        assert!(decode_response("{\"id\":}").is_err());
+    }
+
+    #[test]
+    fn float_values_survive() {
+        let req = Request {
+            id: 1,
+            rows: vec![vec![("x".to_string(), Value::Float(1.5))]],
+        };
+        let back = decode_request(&encode_request(&req).unwrap()).unwrap();
+        assert_eq!(back.rows[0][0].1, Value::Float(1.5));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the store substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by feature-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A table name was not found in the store.
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// A key was not present and the table has no default row.
+    MissingKey {
+        /// Table queried.
+        table: String,
+        /// Display form of the missing key.
+        key: String,
+    },
+    /// A row's dimensionality did not match the table's.
+    DimMismatch {
+        /// Dimension the table holds.
+        expected: usize,
+        /// Dimension supplied.
+        found: usize,
+    },
+    /// The request failed transiently (injected fault / timed-out RPC).
+    Transient {
+        /// Table that was being queried.
+        table: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownTable { name } => write!(f, "unknown table `{name}`"),
+            StoreError::MissingKey { table, key } => {
+                write!(f, "key `{key}` not found in table `{table}` and no default row set")
+            }
+            StoreError::DimMismatch { expected, found } => {
+                write!(f, "row dimension mismatch: table holds {expected}, row has {found}")
+            }
+            StoreError::Transient { table } => {
+                write!(f, "transient failure querying table `{table}`")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = StoreError::UnknownTable { name: "t".into() };
+        assert_eq!(e.to_string(), "unknown table `t`");
+        let e = StoreError::DimMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("table holds 3"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

@@ -1,0 +1,572 @@
+//! Key-value feature tables and the (optionally remote) store.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{SimClock, StoreError};
+
+/// A lookup key into a [`FeatureTable`]: an entity id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Key {
+    /// Integer id (users, songs, IPs, ...).
+    Int(i64),
+    /// String id (genres, categories, ...).
+    Str(Arc<str>),
+}
+
+impl Key {
+    /// Construct a string key.
+    pub fn str(s: impl Into<Arc<str>>) -> Key {
+        Key::Str(s.into())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Key::Int(i) => write!(f, "{i}"),
+            Key::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Key {
+    fn from(i: i64) -> Self {
+        Key::Int(i)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::Str(Arc::from(s))
+    }
+}
+
+/// An in-memory table mapping entity keys to fixed-width feature rows.
+///
+/// This plays the role of one Redis hash / precomputed feature table in
+/// the paper's benchmarks (e.g. per-user latent factors in Music).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureTable {
+    dim: usize,
+    rows: HashMap<Key, Arc<[f64]>>,
+    /// Returned for unknown keys when set (cold-start entities).
+    default: Option<Arc<[f64]>>,
+}
+
+impl FeatureTable {
+    /// An empty table whose rows have `dim` features.
+    pub fn new(dim: usize) -> FeatureTable {
+        FeatureTable {
+            dim,
+            rows: HashMap::new(),
+            default: None,
+        }
+    }
+
+    /// Feature dimensionality of the table's rows.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row for `key`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::DimMismatch`] when `row.len() != dim()`.
+    pub fn insert(&mut self, key: Key, row: Vec<f64>) -> Result<(), StoreError> {
+        if row.len() != self.dim {
+            return Err(StoreError::DimMismatch {
+                expected: self.dim,
+                found: row.len(),
+            });
+        }
+        self.rows.insert(key, Arc::from(row));
+        Ok(())
+    }
+
+    /// Set the row returned for keys that are not present.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::DimMismatch`] when `row.len() != dim()`.
+    pub fn set_default(&mut self, row: Vec<f64>) -> Result<(), StoreError> {
+        if row.len() != self.dim {
+            return Err(StoreError::DimMismatch {
+                expected: self.dim,
+                found: row.len(),
+            });
+        }
+        self.default = Some(Arc::from(row));
+        Ok(())
+    }
+
+    /// Look up one key (no latency accounting; used by `Store`).
+    pub fn get(&self, key: &Key) -> Option<Arc<[f64]>> {
+        self.rows.get(key).cloned().or_else(|| self.default.clone())
+    }
+}
+
+/// How simulated latency is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyMode {
+    /// No latency: the paper's "data tables stored locally" setting.
+    Local,
+    /// Advance a virtual [`SimClock`] (default for experiments).
+    Virtual,
+    /// Really sleep the calling thread (for end-to-end demos).
+    RealSleep,
+}
+
+/// Latency model for a remote feature store.
+///
+/// A batched `get_batch` call costs one `round_trip` plus `per_key`
+/// for each key fetched, matching the paper's asynchronous batched
+/// Redis queries ("we store data tables on remote Redis servers and
+/// query them asynchronously").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// How the latency is applied.
+    pub mode: LatencyMode,
+    /// Cost of one round trip, in nanoseconds.
+    pub round_trip_nanos: u64,
+    /// Marginal cost per key in a batch, in nanoseconds.
+    pub per_key_nanos: u64,
+}
+
+impl LatencyModel {
+    /// Zero-latency local tables.
+    pub fn local() -> LatencyModel {
+        LatencyModel {
+            mode: LatencyMode::Local,
+            round_trip_nanos: 0,
+            per_key_nanos: 0,
+        }
+    }
+
+    /// A virtual-clock network with the given costs.
+    pub fn virtual_network(round_trip_nanos: u64, per_key_nanos: u64) -> LatencyModel {
+        LatencyModel {
+            mode: LatencyMode::Virtual,
+            round_trip_nanos,
+            per_key_nanos,
+        }
+    }
+
+    /// A real-sleep network with the given costs.
+    pub fn real_network(round_trip_nanos: u64, per_key_nanos: u64) -> LatencyModel {
+        LatencyModel {
+            mode: LatencyMode::RealSleep,
+            round_trip_nanos,
+            per_key_nanos,
+        }
+    }
+
+    /// Total cost of a batch of `n_keys`.
+    pub fn batch_cost_nanos(&self, n_keys: usize) -> u64 {
+        match self.mode {
+            LatencyMode::Local => 0,
+            _ => self.round_trip_nanos + self.per_key_nanos * n_keys as u64,
+        }
+    }
+}
+
+/// Deterministic transient-fault injection for a [`Store`].
+///
+/// Real feature stores time out and shed load; serving code above the
+/// store must tolerate that. A `FaultPlan` fails a deterministic,
+/// pseudo-random `rate` fraction of round trips (decided by hashing
+/// the request ordinal against `seed`, so a test run is exactly
+/// reproducible). Failed round trips still pay latency and count in
+/// [`StoreStats`] — as a timed-out RPC would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Fraction of round trips to fail, in `[0, 1]`.
+    pub rate: f64,
+    /// Seed decorrelating fault schedules across stores.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Whether request number `ordinal` should fail under this plan.
+    pub fn fails(&self, ordinal: u64) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        if self.rate >= 1.0 {
+            return true;
+        }
+        // SplitMix64 over (seed, ordinal) for a uniform [0,1) draw.
+        let mut z = self.seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.rate
+    }
+}
+
+/// Request counters for a [`Store`].
+///
+/// Table 2 of the paper reports the *percent reduction in remote
+/// requests* under different optimization combinations; these counters
+/// are what that experiment reads.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    round_trips: AtomicU64,
+    keys_fetched: AtomicU64,
+    virtual_wait_nanos: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl StoreStats {
+    /// Number of batched requests (network round trips) issued.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Total number of keys fetched across all requests.
+    pub fn keys_fetched(&self) -> u64 {
+        self.keys_fetched.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated network time spent, in nanoseconds.
+    pub fn wait_nanos(&self) -> u64 {
+        self.virtual_wait_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Number of round trips that failed with an injected fault.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.round_trips.store(0, Ordering::Relaxed);
+        self.keys_fetched.store(0, Ordering::Relaxed);
+        self.virtual_wait_nanos.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named collection of [`FeatureTable`]s behind a latency model.
+///
+/// Cloning is cheap (shared state): pipelines, caches, and experiment
+/// harnesses can all hold handles to the same store.
+#[derive(Debug, Clone)]
+pub struct Store {
+    inner: Arc<StoreInner>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    tables: RwLock<HashMap<String, FeatureTable>>,
+    latency: LatencyModel,
+    clock: SimClock,
+    stats: StoreStats,
+    faults: RwLock<Option<FaultPlan>>,
+}
+
+impl Store {
+    /// A zero-latency store over the given tables ("local" setting).
+    pub fn local(tables: impl IntoIterator<Item = (String, FeatureTable)>) -> Store {
+        Store::with_latency(tables, LatencyModel::local())
+    }
+
+    /// A latency-modelled store over the given tables ("remote").
+    pub fn remote(
+        tables: impl IntoIterator<Item = (String, FeatureTable)>,
+        latency: LatencyModel,
+    ) -> Store {
+        Store::with_latency(tables, latency)
+    }
+
+    fn with_latency(
+        tables: impl IntoIterator<Item = (String, FeatureTable)>,
+        latency: LatencyModel,
+    ) -> Store {
+        Store {
+            inner: Arc::new(StoreInner {
+                tables: RwLock::new(tables.into_iter().collect()),
+                latency,
+                clock: SimClock::new(),
+                stats: StoreStats::default(),
+                faults: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// Install (or clear) a transient-fault injection plan. Applies to
+    /// all clones of this store.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.faults.write() = plan;
+    }
+
+    /// The latency model in effect.
+    pub fn latency(&self) -> LatencyModel {
+        self.inner.latency
+    }
+
+    /// Request counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.inner.stats
+    }
+
+    /// The virtual clock latency is charged to (Virtual mode).
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Feature dimensionality of a table.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::UnknownTable`] if absent.
+    pub fn table_dim(&self, table: &str) -> Result<usize, StoreError> {
+        self.inner
+            .tables
+            .read()
+            .get(table)
+            .map(FeatureTable::dim)
+            .ok_or_else(|| StoreError::UnknownTable {
+                name: table.to_string(),
+            })
+    }
+
+    /// Add or replace a table.
+    pub fn put_table(&self, name: impl Into<String>, table: FeatureTable) {
+        self.inner.tables.write().insert(name.into(), table);
+    }
+
+    /// Fetch feature rows for a batch of keys from one table, charging
+    /// one round trip plus per-key latency.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::UnknownTable`] for a missing table,
+    /// [`StoreError::MissingKey`] for an absent key in a table with no
+    /// default row, or [`StoreError::Transient`] when a fault plan
+    /// fails the request (the round trip is still paid, as a timed-out
+    /// RPC would be).
+    pub fn get_batch(&self, table: &str, keys: &[Key]) -> Result<Vec<Arc<[f64]>>, StoreError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(plan) = *self.inner.faults.read() {
+            // Fault decisions are made per round trip, in issue order.
+            let ordinal = self.inner.stats.round_trips.load(Ordering::Relaxed);
+            if plan.fails(ordinal) {
+                self.charge(keys.len());
+                self.inner.stats.faults.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Transient {
+                    table: table.to_string(),
+                });
+            }
+        }
+        let guard = self.inner.tables.read();
+        let t = guard.get(table).ok_or_else(|| StoreError::UnknownTable {
+            name: table.to_string(),
+        })?;
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let row = t.get(key).ok_or_else(|| StoreError::MissingKey {
+                table: table.to_string(),
+                key: key.to_string(),
+            })?;
+            out.push(row);
+        }
+        drop(guard);
+        self.charge(keys.len());
+        Ok(out)
+    }
+
+    fn charge(&self, n_keys: usize) {
+        self.inner.stats.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .keys_fetched
+            .fetch_add(n_keys as u64, Ordering::Relaxed);
+        let cost = self.inner.latency.batch_cost_nanos(n_keys);
+        if cost == 0 {
+            return;
+        }
+        self.inner
+            .stats
+            .virtual_wait_nanos
+            .fetch_add(cost, Ordering::Relaxed);
+        match self.inner.latency.mode {
+            LatencyMode::Local => {}
+            LatencyMode::Virtual => {
+                self.inner.clock.advance(cost);
+            }
+            LatencyMode::RealSleep => {
+                std::thread::sleep(Duration::from_nanos(cost));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users() -> FeatureTable {
+        let mut t = FeatureTable::new(2);
+        t.insert(Key::Int(1), vec![1.0, 2.0]).unwrap();
+        t.insert(Key::Int(2), vec![3.0, 4.0]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_validates_dim() {
+        let mut t = FeatureTable::new(2);
+        assert!(matches!(
+            t.insert(Key::Int(1), vec![1.0]),
+            Err(StoreError::DimMismatch { expected: 2, found: 1 })
+        ));
+        assert!(t.set_default(vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn get_batch_counts_one_round_trip() {
+        let store = Store::remote(
+            [("users".to_string(), users())],
+            LatencyModel::virtual_network(1_000, 10),
+        );
+        let rows = store
+            .get_batch("users", &[Key::Int(1), Key::Int(2)])
+            .unwrap();
+        assert_eq!(&*rows[0], &[1.0, 2.0]);
+        assert_eq!(&*rows[1], &[3.0, 4.0]);
+        assert_eq!(store.stats().round_trips(), 1);
+        assert_eq!(store.stats().keys_fetched(), 2);
+        assert_eq!(store.clock().now_nanos(), 1_020);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let store = Store::remote(
+            [("users".to_string(), users())],
+            LatencyModel::virtual_network(1_000, 10),
+        );
+        store.get_batch("users", &[]).unwrap();
+        assert_eq!(store.stats().round_trips(), 0);
+        assert_eq!(store.clock().now_nanos(), 0);
+    }
+
+    #[test]
+    fn local_store_charges_nothing() {
+        let store = Store::local([("users".to_string(), users())]);
+        store.get_batch("users", &[Key::Int(1)]).unwrap();
+        assert_eq!(store.stats().round_trips(), 1);
+        assert_eq!(store.stats().wait_nanos(), 0);
+        assert_eq!(store.clock().now_nanos(), 0);
+    }
+
+    #[test]
+    fn missing_key_without_default_errors() {
+        let store = Store::local([("users".to_string(), users())]);
+        assert!(matches!(
+            store.get_batch("users", &[Key::Int(99)]),
+            Err(StoreError::MissingKey { .. })
+        ));
+    }
+
+    #[test]
+    fn default_row_serves_unknown_keys() {
+        let mut t = users();
+        t.set_default(vec![0.0, 0.0]).unwrap();
+        let store = Store::local([("users".to_string(), t)]);
+        let rows = store.get_batch("users", &[Key::Int(99)]).unwrap();
+        assert_eq!(&*rows[0], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let store = Store::local([]);
+        assert!(matches!(
+            store.get_batch("nope", &[Key::Int(1)]),
+            Err(StoreError::UnknownTable { .. })
+        ));
+        assert!(store.table_dim("nope").is_err());
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t = FeatureTable::new(1);
+        t.insert(Key::str("rock"), vec![0.7]).unwrap();
+        let store = Store::local([("genres".to_string(), t)]);
+        let rows = store.get_batch("genres", &[Key::str("rock")]).unwrap();
+        assert_eq!(&*rows[0], &[0.7]);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let store = Store::remote(
+            [("users".to_string(), users())],
+            LatencyModel::virtual_network(100, 1),
+        );
+        store.get_batch("users", &[Key::Int(1)]).unwrap();
+        store.stats().reset();
+        assert_eq!(store.stats().round_trips(), 0);
+        assert_eq!(store.stats().keys_fetched(), 0);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        let plan = FaultPlan { rate: 0.3, seed: 9 };
+        let a: Vec<bool> = (0..100).map(|i| plan.fails(i)).collect();
+        let b: Vec<bool> = (0..100).map(|i| plan.fails(i)).collect();
+        assert_eq!(a, b);
+        let hits = a.iter().filter(|f| **f).count();
+        assert!((15..=45).contains(&hits), "rate ~0.3 of 100: {hits}");
+        assert!(!FaultPlan { rate: 0.0, seed: 1 }.fails(5));
+        assert!(FaultPlan { rate: 1.0, seed: 1 }.fails(5));
+    }
+
+    #[test]
+    fn injected_faults_fail_requests_but_charge_latency() {
+        let store = Store::remote(
+            [("users".to_string(), users())],
+            LatencyModel::virtual_network(1_000, 10),
+        );
+        store.set_fault_plan(Some(FaultPlan { rate: 1.0, seed: 0 }));
+        let err = store.get_batch("users", &[Key::Int(1)]).unwrap_err();
+        assert!(matches!(err, StoreError::Transient { .. }));
+        assert_eq!(store.stats().faults(), 1);
+        assert_eq!(store.stats().round_trips(), 1, "failed RPC still pays");
+        assert!(store.stats().wait_nanos() > 0);
+        // Clearing the plan restores service.
+        store.set_fault_plan(None);
+        assert!(store.get_batch("users", &[Key::Int(1)]).is_ok());
+    }
+
+    #[test]
+    fn clones_share_fault_plan() {
+        let store = Store::local([("users".to_string(), users())]);
+        let clone = store.clone();
+        store.set_fault_plan(Some(FaultPlan { rate: 1.0, seed: 0 }));
+        assert!(clone.get_batch("users", &[Key::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn clones_share_tables_and_stats() {
+        let store = Store::local([("users".to_string(), users())]);
+        let other = store.clone();
+        other.get_batch("users", &[Key::Int(1)]).unwrap();
+        assert_eq!(store.stats().round_trips(), 1);
+        let mut extra = FeatureTable::new(1);
+        extra.insert(Key::Int(5), vec![9.0]).unwrap();
+        other.put_table("extra", extra);
+        assert_eq!(store.table_dim("extra").unwrap(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared workload types.
+
+use willump::Pipeline;
+use willump_data::Table;
+use willump_store::{LatencyModel, Store};
+
+/// Configuration for workload generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Training rows.
+    pub n_train: usize,
+    /// Validation rows.
+    pub n_valid: usize,
+    /// Test (serving) rows.
+    pub n_test: usize,
+    /// Seed for all generation and training randomness.
+    pub seed: u64,
+    /// Latency model for data tables (lookup workloads only); `None`
+    /// means local zero-latency tables.
+    pub remote: Option<LatencyModel>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_train: 2_000,
+            n_valid: 1_000,
+            n_test: 1_000,
+            seed: 42,
+            remote: None,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A smaller configuration for fast unit tests.
+    pub fn small() -> WorkloadConfig {
+        WorkloadConfig {
+            n_train: 500,
+            n_valid: 300,
+            n_test: 300,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// The latency model in effect (local when `remote` is `None`).
+    pub fn latency(&self) -> LatencyModel {
+        self.remote.unwrap_or_else(LatencyModel::local)
+    }
+
+    /// The paper's remote setting: ~1 ms round trips to a same-
+    /// datacenter Redis, charged to a virtual clock.
+    pub fn with_remote_tables(mut self) -> WorkloadConfig {
+        self.remote = Some(LatencyModel::virtual_network(1_000_000, 2_000));
+        self
+    }
+}
+
+/// A generated benchmark workload: pipeline + data splits (+ store for
+/// the lookup workloads).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload display name.
+    pub name: &'static str,
+    /// The inference pipeline (graph + model spec).
+    pub pipeline: Pipeline,
+    /// Training inputs.
+    pub train: Table,
+    /// Training labels/targets.
+    pub train_y: Vec<f64>,
+    /// Validation inputs (threshold selection).
+    pub valid: Table,
+    /// Validation labels/targets.
+    pub valid_y: Vec<f64>,
+    /// Test/serving inputs.
+    pub test: Table,
+    /// Test labels/targets.
+    pub test_y: Vec<f64>,
+    /// The feature store backing lookup nodes, if any (shared with the
+    /// pipeline's `StoreLookup` operators so its counters observe all
+    /// requests).
+    pub store: Option<Store>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_store::LatencyMode;
+
+    #[test]
+    fn config_defaults_and_remote() {
+        let c = WorkloadConfig::default();
+        assert!(c.remote.is_none());
+        assert_eq!(c.latency().mode, LatencyMode::Local);
+        let r = c.with_remote_tables();
+        assert_eq!(r.latency().mode, LatencyMode::Virtual);
+        assert_eq!(r.latency().round_trip_nanos, 1_000_000);
+    }
+}

@@ -1,0 +1,237 @@
+//! The Price benchmark: Mercari price suggestion (Kaggle).
+//!
+//! Predicts log-prices for online sellers with a small MLP (paper
+//! Table 1: feature encoding, string processing, TF-IDF, regression,
+//! NN). Four IFVs:
+//!
+//! 1. **numeric block** (cheap): shipping flag and item condition,
+//! 2. **brand one-hot** (cheap): the dominant price driver,
+//! 3. **category one-hot** (cheap),
+//! 4. **name TF-IDF** (expensive): premium/defect wording.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use willump::{Pipeline, WillumpError};
+use willump_data::rng::{normal, seeded, Zipf};
+use willump_data::text::SyntheticVocab;
+use willump_data::{Column, Table};
+use willump_featurize::{Analyzer, OneHotEncoder, TfIdfVectorizer, VectorizerConfig};
+use willump_graph::{GraphBuilder, Operator};
+use willump_models::{MlpParams, ModelSpec};
+
+use crate::common::{Workload, WorkloadConfig};
+
+const N_BRANDS: usize = 60;
+const N_CATEGORIES: usize = 20;
+/// Name tokens that shift price up/down (learnable through TF-IDF).
+const PREMIUM_WORDS: [&str; 3] = ["deluxe", "limited", "signature"];
+const DEFECT_WORDS: [&str; 3] = ["cracked", "stained", "forparts"];
+
+struct Universe {
+    brand_price: Vec<f64>,
+    category_mult: Vec<f64>,
+}
+
+fn build_universe<R: Rng>(rng: &mut R) -> Universe {
+    Universe {
+        brand_price: (0..N_BRANDS).map(|_| normal(rng, 3.0, 0.8)).collect(),
+        category_mult: (0..N_CATEGORIES).map(|_| normal(rng, 0.0, 0.4)).collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn log_price(
+    u: &Universe,
+    brand: usize,
+    category: usize,
+    shipping: f64,
+    condition: f64,
+    premium: bool,
+    defect: bool,
+    noise: f64,
+) -> f64 {
+    u.brand_price[brand]
+        + u.category_mult[category]
+        + 0.3 * shipping
+        - 0.1 * condition
+        + if premium { 0.5 } else { 0.0 }
+        - if defect { 0.7 } else { 0.0 }
+        + noise
+}
+
+struct SplitData {
+    names: Vec<String>,
+    brands: Vec<String>,
+    categories: Vec<String>,
+    shipping: Vec<f64>,
+    condition: Vec<f64>,
+    targets: Vec<f64>,
+}
+
+fn make_split<R: Rng>(
+    rng: &mut R,
+    u: &Universe,
+    vocab: &SyntheticVocab,
+    n: usize,
+    brand_zipf: &Zipf,
+) -> SplitData {
+    let mut out = SplitData {
+        names: Vec::with_capacity(n),
+        brands: Vec::with_capacity(n),
+        categories: Vec::with_capacity(n),
+        shipping: Vec::with_capacity(n),
+        condition: Vec::with_capacity(n),
+        targets: Vec::with_capacity(n),
+    };
+    for _ in 0..n {
+        let brand = brand_zipf.sample(rng);
+        let category = rng.gen_range(0..N_CATEGORIES);
+        let shipping = f64::from(rng.gen_bool(0.4));
+        let condition = rng.gen_range(1..=5) as f64;
+        let premium = rng.gen_bool(0.15);
+        let defect = rng.gen_bool(0.1);
+        let doc_len = rng.gen_range(3..8);
+        let mut name = vocab.document(rng, doc_len, None, 0.0);
+        if premium {
+            name.push(' ');
+            name.push_str(PREMIUM_WORDS[rng.gen_range(0..PREMIUM_WORDS.len())]);
+        }
+        if defect {
+            name.push(' ');
+            name.push_str(DEFECT_WORDS[rng.gen_range(0..DEFECT_WORDS.len())]);
+        }
+        out.targets.push(log_price(
+            u,
+            brand,
+            category,
+            shipping,
+            condition,
+            premium,
+            defect,
+            normal(rng, 0.0, 0.1),
+        ));
+        out.names.push(name);
+        out.brands.push(format!("brand_{brand}"));
+        out.categories.push(format!("cat_{category}"));
+        out.shipping.push(shipping);
+        out.condition.push(condition);
+    }
+    out
+}
+
+fn to_table(s: &SplitData) -> Result<Table, WillumpError> {
+    let mut t = Table::new();
+    t.add_column("name", Column::from(s.names.clone()))?;
+    t.add_column("brand", Column::from(s.brands.clone()))?;
+    t.add_column("category", Column::from(s.categories.clone()))?;
+    t.add_column("shipping", Column::from(s.shipping.clone()))?;
+    t.add_column("condition", Column::from(s.condition.clone()))?;
+    Ok(t)
+}
+
+/// Generate the Price workload.
+///
+/// # Errors
+/// Propagates construction failures (indicating bugs, not user error).
+pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
+    let mut rng = seeded(cfg.seed ^ 0x50524943); // "PRIC"
+    let universe = build_universe(&mut rng);
+    let vocab = SyntheticVocab::new(2_500);
+    let brand_zipf = Zipf::new(N_BRANDS, 1.0);
+
+    let train_s = make_split(&mut rng, &universe, &vocab, cfg.n_train, &brand_zipf);
+    let valid_s = make_split(&mut rng, &universe, &vocab, cfg.n_valid, &brand_zipf);
+    let test_s = make_split(&mut rng, &universe, &vocab, cfg.n_test, &brand_zipf);
+
+    let mut name_tfidf = TfIdfVectorizer::new(VectorizerConfig {
+        analyzer: Analyzer::Word,
+        ngram_lo: 1,
+        ngram_hi: 2,
+        min_df: 3,
+        max_features: Some(8_000),
+        ..VectorizerConfig::default()
+    })
+    .map_err(|e| WillumpError::Graph(e.to_string()))?;
+    name_tfidf.fit(&train_s.names);
+    let mut brand_onehot = OneHotEncoder::new();
+    brand_onehot.fit(&train_s.brands);
+    let mut cat_onehot = OneHotEncoder::new();
+    cat_onehot.fit(&train_s.categories);
+
+    let mut b = GraphBuilder::new();
+    let name = b.source("name");
+    let brand = b.source("brand");
+    let category = b.source("category");
+    let shipping = b.source("shipping");
+    let condition = b.source("condition");
+    let ship_f = b.add("shipping_feature", Operator::NumericColumn, [shipping])?;
+    let cond_f = b.add("condition_feature", Operator::NumericColumn, [condition])?;
+    let brand_f = b.add("brand_onehot", Operator::OneHot(Arc::new(brand_onehot)), [brand])?;
+    let cat_f = b.add("category_onehot", Operator::OneHot(Arc::new(cat_onehot)), [category])?;
+    let name_f = b.add("name_tfidf", Operator::TfIdf(Arc::new(name_tfidf)), [name])?;
+    let graph = Arc::new(b.finish_with_concat(
+        "features",
+        [ship_f, cond_f, brand_f, cat_f, name_f],
+    )?);
+
+    let pipeline = Pipeline::new(
+        graph,
+        ModelSpec::MlpRegressor(MlpParams {
+            hidden: 32,
+            epochs: 25,
+            learning_rate: 0.02,
+            ..MlpParams::default()
+        }),
+    );
+
+    Ok(Workload {
+        name: "price",
+        pipeline,
+        train: to_table(&train_s)?,
+        train_y: train_s.targets,
+        valid: to_table(&valid_s)?,
+        valid_y: valid_s.targets,
+        test: to_table(&test_s)?,
+        test_y: test_s.targets,
+        store: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_graph::{EngineMode, Executor};
+    use willump_models::metrics;
+
+    #[test]
+    fn generates_and_trains_with_low_error() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).unwrap();
+        let feats = exec.features_batch(&w.train, None).unwrap();
+        let model = w.pipeline.spec().fit(&feats, &w.train_y, 1).unwrap();
+        let test_feats = exec.features_batch(&w.test, None).unwrap();
+        let mse = metrics::mse(&model.predict_scores(&test_feats), &w.test_y);
+        // Target variance is ~1.0 (brand spread 0.8^2 + rest); an MLP
+        // that learned brand/category/text should be far below that.
+        assert!(mse < 0.25, "test mse {mse}");
+    }
+
+    #[test]
+    fn five_ifvs() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).unwrap();
+        assert_eq!(exec.analysis().generators.len(), 5);
+        assert!(w.store.is_none());
+    }
+
+    #[test]
+    fn name_tfidf_is_most_expensive() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).unwrap();
+        let costs = willump_graph::cost::measure_costs(&exec, &w.train).unwrap();
+        let c = &costs.per_generator;
+        let max_other = c[..4].iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(c[4] > max_other, "costs {c:?}");
+    }
+}

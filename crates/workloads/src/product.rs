@@ -1,0 +1,221 @@
+//! The Product benchmark: Lazada product-title quality (CIKM
+//! AnalytiCup 2017).
+//!
+//! Classifies product titles as *concise* or *not concise* with a
+//! linear model over three IFVs of sharply different cost:
+//!
+//! 1. **string stats** (cheap): length, punctuation, repetition — most
+//!    spammy titles give themselves away here (the "easy" inputs),
+//! 2. **word TF-IDF** (moderate): spam words,
+//! 3. **char-trigram TF-IDF** (expensive): obfuscated spam markers
+//!    hidden *inside* fabricated compound tokens, which word-level
+//!    features cannot see (the "hard" inputs).
+
+use std::sync::Arc;
+
+use rand::Rng;
+use willump::{Pipeline, WillumpError};
+use willump_data::rng::seeded;
+use willump_data::text::SyntheticVocab;
+use willump_data::{Column, Table};
+use willump_featurize::stringstats::string_stats_batch;
+use willump_featurize::{Analyzer, StandardScaler, TfIdfVectorizer, VectorizerConfig};
+use willump_graph::{GraphBuilder, Operator};
+use willump_models::{LogisticParams, ModelSpec};
+
+use crate::common::{Workload, WorkloadConfig};
+
+/// Marker char-trigram embedded in hard non-concise titles.
+const HARD_MARKER: &str = "xqz";
+/// Spam words appearing in medium-difficulty non-concise titles.
+const SPAM_WORDS: [&str; 4] = ["freebie", "bestest", "cheapo", "superdeal"];
+
+fn make_title<R: Rng>(rng: &mut R, vocab: &SyntheticVocab, concise: bool) -> String {
+    if concise {
+        // Short clean titles.
+        let doc_len = rng.gen_range(3..7);
+        vocab.document(rng, doc_len, None, 0.0)
+    } else {
+        let style: f64 = rng.gen();
+        if style < 0.5 {
+            // Easy: long, shouty, repetitive.
+            let doc_len = rng.gen_range(14..22);
+            let mut t = vocab.document(rng, doc_len, None, 0.0);
+            t.push_str("!!! SALE SALE SALE !!!");
+            t
+        } else if style < 0.8 {
+            // Medium: normal length, contains spam words.
+            let spam = SPAM_WORDS[rng.gen_range(0..SPAM_WORDS.len())];
+            let doc_len = rng.gen_range(4..8);
+            let mut t = vocab.document(rng, doc_len, Some(spam), 0.35);
+            if !t.contains(spam) {
+                t.push(' ');
+                t.push_str(spam);
+            }
+            t
+        } else {
+            // Hard: looks concise, but a fabricated compound token
+            // hides the marker trigram. Each compound is unique, so
+            // only character n-grams generalize.
+            let doc_len = rng.gen_range(3..6);
+            let mut t = vocab.document(rng, doc_len, None, 0.0);
+            let compound = format!(
+                "{}{}{}",
+                vocab.word(rng.gen_range(0..vocab.len())),
+                HARD_MARKER,
+                rng.gen_range(0..100_000)
+            );
+            t.push(' ');
+            t.push_str(&compound);
+            t
+        }
+    }
+}
+
+fn make_split<R: Rng>(
+    rng: &mut R,
+    vocab: &SyntheticVocab,
+    n: usize,
+) -> (Vec<String>, Vec<f64>) {
+    let mut titles = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Positive class = concise (roughly balanced).
+        let concise = rng.gen_bool(0.55);
+        titles.push(make_title(rng, vocab, concise));
+        labels.push(f64::from(concise));
+    }
+    (titles, labels)
+}
+
+fn to_table(titles: Vec<String>) -> Result<Table, WillumpError> {
+    let mut t = Table::new();
+    t.add_column("title", Column::from(titles))?;
+    Ok(t)
+}
+
+/// Generate the Product workload.
+///
+/// # Errors
+/// Propagates construction failures (indicating bugs, not user error).
+pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
+    let mut rng = seeded(cfg.seed ^ 0x50524F44); // "PROD"
+    let vocab = SyntheticVocab::new(2_000);
+
+    let (train_titles, train_y) = make_split(&mut rng, &vocab, cfg.n_train);
+    let (valid_titles, valid_y) = make_split(&mut rng, &vocab, cfg.n_valid);
+    let (test_titles, test_y) = make_split(&mut rng, &vocab, cfg.n_test);
+
+    // Fit the vectorizers on the training corpus only.
+    let mut word_tfidf = TfIdfVectorizer::new(VectorizerConfig {
+        analyzer: Analyzer::Word,
+        ngram_lo: 1,
+        ngram_hi: 2,
+        min_df: 3,
+        max_features: Some(4_000),
+        ..VectorizerConfig::default()
+    })
+    .map_err(|e| WillumpError::Graph(e.to_string()))?;
+    word_tfidf.fit(&train_titles);
+    let mut char_tfidf = TfIdfVectorizer::new(VectorizerConfig {
+        analyzer: Analyzer::Char,
+        ngram_lo: 3,
+        ngram_hi: 4,
+        min_df: 5,
+        max_features: Some(20_000),
+        sublinear_tf: true,
+        ..VectorizerConfig::default()
+    })
+    .map_err(|e| WillumpError::Graph(e.to_string()))?;
+    char_tfidf.fit(&train_titles);
+
+    // Standardize the raw string statistics (as the sklearn pipelines
+    // the benchmark derives from do before a linear model); this also
+    // keeps linear prediction importances on comparable scales across
+    // IFVs.
+    let mut scaler = StandardScaler::new();
+    scaler.fit(&string_stats_batch(&train_titles));
+
+    let mut b = GraphBuilder::new();
+    let title = b.source("title");
+    let raw_stats = b.add("title_stats", Operator::StringStats, [title])?;
+    let stats = b.add("title_stats_scaled", Operator::Scale(Arc::new(scaler)), [raw_stats])?;
+    let words = b.add("word_tfidf", Operator::TfIdf(Arc::new(word_tfidf)), [title])?;
+    let chars = b.add("char_tfidf", Operator::TfIdf(Arc::new(char_tfidf)), [title])?;
+    let graph = Arc::new(b.finish_with_concat("features", [stats, words, chars])?);
+
+    let pipeline = Pipeline::new(
+        graph,
+        ModelSpec::Logistic(LogisticParams {
+            epochs: 60,
+            learning_rate: 1.0,
+            decay: 0.002,
+            ..LogisticParams::default()
+        }),
+    );
+
+    Ok(Workload {
+        name: "product",
+        pipeline,
+        train: to_table(train_titles)?,
+        train_y,
+        valid: to_table(valid_titles)?,
+        valid_y,
+        test: to_table(test_titles)?,
+        test_y,
+        store: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_graph::{EngineMode, Executor};
+    use willump_models::metrics;
+
+    #[test]
+    fn generates_and_trains_accurately() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        assert_eq!(w.train.n_rows(), 500);
+        let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).unwrap();
+        let feats = exec.features_batch(&w.train, None).unwrap();
+        let model = w.pipeline.spec().fit(&feats, &w.train_y, 1).unwrap();
+        let test_feats = exec.features_batch(&w.test, None).unwrap();
+        let acc = metrics::accuracy(&model.predict_scores(&test_feats), &w.test_y);
+        assert!(acc > 0.9, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn has_three_ifvs_with_cost_skew() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).unwrap();
+        assert_eq!(exec.analysis().generators.len(), 3);
+        let costs = willump_graph::cost::measure_costs(&exec, &w.train).unwrap();
+        // Char tf-idf must dominate string stats by a wide margin.
+        assert!(
+            costs.per_generator[2] > costs.per_generator[0] * 3.0,
+            "costs {:?}",
+            costs.per_generator
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&WorkloadConfig::small()).unwrap();
+        let b = generate(&WorkloadConfig::small()).unwrap();
+        assert_eq!(a.train.value(0, "title"), b.train.value(0, "title"));
+        assert_eq!(a.train_y, b.train_y);
+    }
+
+    #[test]
+    fn hard_titles_contain_marker() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let titles = w.train.column("title").unwrap().as_str_slice().unwrap();
+        let with_marker = titles
+            .iter()
+            .zip(&w.train_y)
+            .filter(|(t, y)| t.contains(HARD_MARKER) && **y == 0.0)
+            .count();
+        assert!(with_marker > 5, "only {with_marker} hard negatives");
+    }
+}

@@ -1,0 +1,70 @@
+//! Serving a Willump-optimized pipeline through the Clipper-like
+//! layer (paper §6.3, Table 6): same RPC boundary, faster pipeline.
+//!
+//! ```text
+//! cargo run --release --example clipper_integration
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+use std::time::Instant;
+
+use willump::{Willump, WillumpConfig};
+use willump_serve::{table_row_to_wire, ClipperServer, Servable, ServerConfig};
+use willump_workloads::{WorkloadConfig, WorkloadKind};
+
+fn mean_latency(
+    server: &ClipperServer,
+    test: &willump_data::Table,
+    batch: usize,
+    reqs: usize,
+) -> Result<f64, Box<dyn Error>> {
+    let client = server.client();
+    let n = test.n_rows();
+    // Warm-up.
+    let rows: Vec<_> = (0..batch)
+        .map(|i| table_row_to_wire(test, i % n))
+        .collect::<Result<_, _>>()?;
+    client.predict(rows)?;
+    let start = Instant::now();
+    for r in 0..reqs {
+        let rows: Vec<_> = (0..batch)
+            .map(|i| table_row_to_wire(test, (r * batch + i) % n))
+            .collect::<Result<_, _>>()?;
+        client.predict(rows)?;
+    }
+    Ok(start.elapsed().as_secs_f64() / reqs as f64)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let w = WorkloadKind::Toxic.generate(&WorkloadConfig::default())?;
+
+    // Unoptimized pipeline behind the server.
+    let plain: Arc<dyn Servable> = Arc::new(w.pipeline.fit_baseline(&w.train, &w.train_y, 42)?);
+    let plain_server = ClipperServer::start(plain, ServerConfig::default());
+
+    // Willump-optimized pipeline behind an identical server.
+    let optimized: Arc<dyn Servable> = Arc::new(
+        Willump::new(WillumpConfig::default())
+            .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)?,
+    );
+    let opt_server = ClipperServer::start(optimized, ServerConfig::default());
+
+    println!("serving the toxic-comment pipeline through the RPC layer:\n");
+    println!("batch | clipper      | clipper+willump | speedup");
+    println!("------|--------------|-----------------|--------");
+    for batch in [1usize, 10, 100] {
+        let reqs = (300 / batch).clamp(10, 100);
+        let lat_plain = mean_latency(&plain_server, &w.test, batch, reqs)?;
+        let lat_opt = mean_latency(&opt_server, &w.test, batch, reqs)?;
+        println!(
+            "{batch:>5} | {:>9.2?}    | {:>9.2?}       | {:.1}x",
+            std::time::Duration::from_secs_f64(lat_plain),
+            std::time::Duration::from_secs_f64(lat_opt),
+            lat_plain / lat_opt
+        );
+    }
+    println!("\nfixed RPC overheads amortize with batch size, so the");
+    println!("speedup grows as batches get larger (paper Table 6).");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Clipper-style bandit model selection over competing pipelines.
+//!
+//! Clipper (and this reproduction's serving layer) can route queries
+//! across several candidate models with a multi-armed bandit, learning
+//! online which one predicts the current traffic best. Here we pit a
+//! deliberately-weakened model against the properly trained one on the
+//! Product workload and let UCB1 discover the winner from accuracy
+//! feedback alone.
+//!
+//! ```text
+//! cargo run --release --example model_selection
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use willump::{Willump, WillumpConfig};
+use willump_data::Table;
+use willump_models::metrics;
+use willump_serve::{ModelSelector, SelectionPolicy, Servable};
+use willump_workloads::{WorkloadConfig, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let w = WorkloadKind::Product.generate(&WorkloadConfig::default())?;
+
+    // Candidate A: trained on the full training set.
+    let strong = Willump::new(WillumpConfig::default()).optimize(
+        &w.pipeline,
+        &w.train,
+        &w.train_y,
+        &w.valid,
+        &w.valid_y,
+    )?;
+
+    // Candidate B: starved of data (first 60 rows only) — plausible
+    // for a stale model that predates most of the training data.
+    let n_weak = 60;
+    let weak_table = w.train.take_rows(&(0..n_weak).collect::<Vec<_>>());
+    let weak = Willump::new(WillumpConfig::default()).optimize(
+        &w.pipeline,
+        &weak_table,
+        &w.train_y[..n_weak],
+        &w.valid,
+        &w.valid_y,
+    )?;
+
+    let selector = ModelSelector::new(
+        vec![
+            ("stale-model".to_string(), Arc::new(weak) as Arc<dyn Servable>),
+            ("fresh-model".to_string(), Arc::new(strong) as Arc<dyn Servable>),
+        ],
+        SelectionPolicy::Ucb1,
+        7,
+    )?;
+
+    // Stream the test set in small query batches; after each response,
+    // feed back accuracy as the bandit reward (in production this
+    // feedback arrives later, e.g. from click logs).
+    let batch = 10;
+    let mut served = 0;
+    while served + batch <= w.test.n_rows() {
+        let rows: Vec<usize> = (served..served + batch).collect();
+        let queries: Table = w.test.take_rows(&rows);
+        let (scores, arm) = selector.predict(&queries)?;
+        let truth = &w.test_y[served..served + batch];
+        selector.reward(arm, metrics::accuracy(&scores, truth));
+        served += batch;
+    }
+
+    println!("{} query batches served\n", served / batch);
+    println!("{:<12} {:>8} {:>14}", "model", "pulls", "mean reward");
+    for (i, arm) in selector.arm_stats().iter().enumerate() {
+        println!(
+            "{:<12} {:>8} {:>14.4}",
+            selector.name(i),
+            arm.pulls,
+            arm.mean()
+        );
+    }
+    let stats = selector.arm_stats();
+    assert!(
+        stats[1].pulls > stats[0].pulls,
+        "the bandit should route most traffic to the stronger model"
+    );
+    println!("\nUCB1 concentrated traffic on the fresher, more accurate model.");
+    Ok(())
+}

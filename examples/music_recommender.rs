@@ -1,0 +1,88 @@
+//! The paper's Figure 1 scenario: a music recommender whose features
+//! live in (simulated) remote tables. Shows how feature-level caching
+//! and cascades cut remote requests and per-query latency.
+//!
+//! ```text
+//! cargo run --release --example music_recommender
+//! ```
+
+use std::error::Error;
+
+use willump::{CachingConfig, QueryMode, Willump, WillumpConfig};
+use willump_graph::InputRow;
+use willump_workloads::{WorkloadConfig, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Remote tables: ~1 ms round trips charged to a virtual clock.
+    let cfg = WorkloadConfig::default().with_remote_tables();
+    let w = WorkloadKind::Music.generate(&cfg)?;
+    let store = w.store.clone().expect("music uses a feature store");
+    println!(
+        "music workload: {} queries against {} remote feature tables",
+        w.test.n_rows(),
+        5
+    );
+
+    let serve = |opt: &willump::OptimizedPipeline| -> Result<(u64, f64), Box<dyn Error>> {
+        store.stats().reset();
+        store.clock().reset();
+        let start = std::time::Instant::now();
+        for r in 0..w.test.n_rows() {
+            let input = InputRow::from_table(&w.test, r)?;
+            opt.predict_one(&input)?;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let effective = wall + store.clock().now_nanos() as f64 / 1e9;
+        Ok((
+            store.stats().round_trips(),
+            effective / w.test.n_rows() as f64 * 1e3,
+        ))
+    };
+
+    // Plain compiled serving: every query fetches every table.
+    let plain = Willump::new(WillumpConfig {
+        cascades: false,
+        mode: QueryMode::ExampleAtATime,
+        ..WillumpConfig::default()
+    })
+    .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)?;
+    let (base_requests, base_ms) = serve(&plain)?;
+    println!("\nno optimizations:      {base_requests} requests, {base_ms:.2} ms/query");
+
+    // Feature-level caching: per-IFV LRU keyed by entity id.
+    let cached = Willump::new(WillumpConfig {
+        cascades: false,
+        mode: QueryMode::ExampleAtATime,
+        caching: Some(CachingConfig { capacity: None }),
+        ..WillumpConfig::default()
+    })
+    .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)?;
+    let (cache_requests, cache_ms) = serve(&cached)?;
+    println!(
+        "feature caching:       {cache_requests} requests ({:.1}% fewer), {cache_ms:.2} ms/query",
+        100.0 * (1.0 - cache_requests as f64 / base_requests as f64)
+    );
+
+    // Cascades + caching: confident queries skip the expensive tables
+    // entirely.
+    let full = Willump::new(WillumpConfig {
+        cascades: true,
+        mode: QueryMode::ExampleAtATime,
+        caching: Some(CachingConfig { capacity: None }),
+        ..WillumpConfig::default()
+    })
+    .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)?;
+    let (both_requests, both_ms) = serve(&full)?;
+    println!(
+        "caching + cascades:    {both_requests} requests ({:.1}% fewer), {both_ms:.2} ms/query",
+        100.0 * (1.0 - both_requests as f64 / base_requests as f64)
+    );
+    if let Some(sel) = &full.report().threshold {
+        println!(
+            "\ncascade threshold {:.1}; small model answered {:.0}% of validation queries",
+            sel.threshold,
+            sel.kept_fraction * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Describe a pipeline as text instead of builder calls.
+//!
+//! The paper's dataflow stage infers transformation graphs from Python
+//! functions; this reproduction's closest analogue is a small pipeline
+//! description language (see `willump_graph::parse`). Fitted operators
+//! are bound by name, topology comes from the text, and the resulting
+//! graph optimizes exactly like a hand-built one.
+//!
+//! ```text
+//! cargo run --release --example pipeline_dsl
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::sync::Arc;
+
+use willump::{Pipeline, Willump, WillumpConfig};
+use willump_data::{Column, Table};
+use willump_featurize::{Analyzer, TfIdfVectorizer, VectorizerConfig};
+use willump_graph::{parse_pipeline, Operator};
+use willump_models::{metrics, LogisticParams, ModelSpec};
+
+const DESCRIPTION: &str = "
+    # Product-title quality, paper Table 1's Product shape:
+    # one cheap string-stats block and one expensive TF-IDF block.
+    source title
+    stats    = string_stats(title)
+    tfidf    = op:title_tfidf(title)
+    features = concat(stats, tfidf)
+";
+
+fn make_data(n: usize, seed: u64) -> (Table, Vec<f64>) {
+    use rand::Rng;
+    let mut rng = willump_data::rng::seeded(seed);
+    let vocab = willump_data::text::SyntheticVocab::new(400);
+    let mut titles = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let concise = rng.gen_bool(0.5);
+        let len = if concise { 3 } else { 12 };
+        let mut t = vocab.document(&mut rng, len, None, 0.0);
+        if !concise {
+            t.push_str(" limited offer best price deal sale");
+        }
+        titles.push(t);
+        labels.push(f64::from(concise));
+    }
+    let mut table = Table::new();
+    table.add_column("title", Column::from(titles)).expect("fresh table");
+    (table, labels)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let (train, train_y) = make_data(1200, 1);
+    let (valid, valid_y) = make_data(600, 2);
+    let (test, test_y) = make_data(600, 3);
+
+    // Fit the TF-IDF transformer, then bind it for the DSL to wire.
+    let mut tfidf = TfIdfVectorizer::new(VectorizerConfig {
+        analyzer: Analyzer::Word,
+        min_df: 2,
+        ..VectorizerConfig::default()
+    })?;
+    let corpus = train
+        .column("title")
+        .and_then(Column::as_str_slice)
+        .expect("title column");
+    tfidf.fit(corpus);
+
+    let mut bindings = HashMap::new();
+    bindings.insert("title_tfidf".to_string(), Operator::TfIdf(Arc::new(tfidf)));
+
+    let graph = Arc::new(parse_pipeline(DESCRIPTION, &bindings)?);
+    println!("parsed {} nodes; sources: {:?}", graph.len(), graph.source_columns());
+
+    let pipeline = Pipeline::new(graph, ModelSpec::Logistic(LogisticParams::default()));
+    let optimized = Willump::new(WillumpConfig::default())
+        .optimize(&pipeline, &train, &train_y, &valid, &valid_y)?;
+
+    let report = optimized.report();
+    println!("efficient IFVs: {:?}", report.efficient_set);
+    println!("cascades deployed: {}", report.cascades_deployed);
+
+    let scores = optimized.predict_batch(&test)?;
+    println!("test accuracy: {:.4}", metrics::accuracy(&scores, &test_y));
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Quickstart: build a tiny ML inference pipeline, optimize it with
+//! Willump, and compare against the unoptimized baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+use std::time::Instant;
+
+use willump::{Pipeline, Willump, WillumpConfig};
+use willump_data::{Column, Table};
+use willump_featurize::{Analyzer, TfIdfVectorizer, VectorizerConfig};
+use willump_graph::{GraphBuilder, Operator};
+use willump_models::{metrics, LogisticParams, ModelSpec};
+
+/// A toy sentiment task: documents with "great"/"awful" markers, some
+/// obvious (short + shouty) and some subtle (marker buried in text).
+fn make_data(n: usize, seed: u64) -> (Table, Vec<f64>) {
+    use rand::Rng;
+    let mut rng = willump_data::rng::seeded(seed);
+    let vocab = willump_data::text::SyntheticVocab::new(500);
+    let mut docs = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let positive = rng.gen_bool(0.5);
+        let easy = rng.gen_bool(0.7);
+        let len = if easy { 4 } else { 14 };
+        let mut d = vocab.document(&mut rng, len, None, 0.0);
+        d.push(' ');
+        d.push_str(if positive { "great" } else { "awful" });
+        if easy && positive {
+            d.push_str(" !!!");
+        }
+        docs.push(d);
+        labels.push(f64::from(positive));
+    }
+    let mut t = Table::new();
+    t.add_column("text", Column::from(docs)).expect("fresh table");
+    (t, labels)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Generate train/validation/test data.
+    let (train, train_y) = make_data(1500, 1);
+    let (valid, valid_y) = make_data(700, 2);
+    let (test, test_y) = make_data(700, 3);
+
+    // 2. Describe the pipeline as a transformation graph: cheap string
+    //    statistics plus an expensive character-n-gram TF-IDF, both
+    //    feeding a logistic-regression model.
+    let mut tfidf = TfIdfVectorizer::new(VectorizerConfig {
+        analyzer: Analyzer::Char,
+        ngram_lo: 3,
+        ngram_hi: 5,
+        min_df: 3,
+        sublinear_tf: true,
+        ..VectorizerConfig::default()
+    })?;
+    let corpus = train.column("text").and_then(Column::as_str_slice).expect("text column");
+    tfidf.fit(corpus);
+
+    let mut b = GraphBuilder::new();
+    let text = b.source("text");
+    let stats = b.add("stats", Operator::StringStats, [text])?;
+    let chars = b.add("char_tfidf", Operator::TfIdf(Arc::new(tfidf)), [text])?;
+    let graph = Arc::new(b.finish_with_concat("features", [stats, chars])?);
+    let pipeline = Pipeline::new(graph, ModelSpec::Logistic(LogisticParams::default()));
+
+    // 3. The unoptimized baseline: interpreted execution, full model.
+    let baseline = pipeline.fit_baseline(&train, &train_y, 42)?;
+    let start = Instant::now();
+    let base_scores = baseline.predict_batch(&test)?;
+    let base_time = start.elapsed();
+
+    // 4. Willump: compile, analyze IFVs, train cascades.
+    let optimized = Willump::new(WillumpConfig::default())
+        .optimize(&pipeline, &train, &train_y, &valid, &valid_y)?;
+    let start = Instant::now();
+    let opt_scores = optimized.predict_batch(&test)?;
+    let opt_time = start.elapsed();
+
+    // 5. Same accuracy, much faster.
+    let report = optimized.report();
+    println!("efficient IFV set:    {:?}", report.efficient_set);
+    println!("cascades deployed:    {}", report.cascades_deployed);
+    if let Some(sel) = &report.threshold {
+        println!("cascade threshold:    {:.1}", sel.threshold);
+    }
+    println!(
+        "baseline:  {:>8.1?}  accuracy {:.4}",
+        base_time,
+        metrics::accuracy(&base_scores, &test_y)
+    );
+    println!(
+        "optimized: {:>8.1?}  accuracy {:.4}  ({:.1}x speedup)",
+        opt_time,
+        metrics::accuracy(&opt_scores, &test_y),
+        base_time.as_secs_f64() / opt_time.as_secs_f64()
+    );
+    Ok(())
+}

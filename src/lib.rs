@@ -1,0 +1,20 @@
+//! # willump-repro
+//!
+//! Facade crate for the Willump reproduction (Kraft et al., MLSys
+//! 2020): re-exports every subsystem under one roof so examples and
+//! integration tests can depend on a single crate.
+//!
+//! Start with [`willump::Willump`] and [`willump::Pipeline`] (the
+//! optimizer), [`willump_workloads`] (the six paper benchmarks), and
+//! the repository README for a tour.
+
+#![warn(missing_docs)]
+
+pub use willump;
+pub use willump_data;
+pub use willump_featurize;
+pub use willump_graph;
+pub use willump_models;
+pub use willump_serve;
+pub use willump_store;
+pub use willump_workloads;

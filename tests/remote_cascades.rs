@@ -1,0 +1,141 @@
+//! Regression tests for the remote-feature cascade economics (paper
+//! Tables 2 and 3): with remote tables and example-at-a-time queries,
+//! the optimizer must measure per-row serving costs, deploy cascades,
+//! and actually cut remote round trips — without accuracy loss.
+
+use willump::{QueryMode, Willump, WillumpConfig};
+use willump_graph::InputRow;
+use willump_models::metrics;
+use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
+
+fn remote(kind: WorkloadKind) -> Workload {
+    let cfg = WorkloadConfig {
+        n_train: 1_200,
+        n_valid: 800,
+        n_test: 800,
+        seed: 42,
+        remote: None,
+    }
+    .with_remote_tables();
+    kind.generate(&cfg).expect("workload generates")
+}
+
+fn serve_round_trips(w: &Workload, opt: &willump::OptimizedPipeline) -> u64 {
+    let store = w.store.clone().expect("lookup workload has a store");
+    store.stats().reset();
+    for r in 0..w.test.n_rows() {
+        let input = InputRow::from_table(&w.test, r).expect("row");
+        opt.predict_one(&input).expect("predicts");
+    }
+    store.stats().round_trips()
+}
+
+/// Paper Table 2: cascades reduce Music's remote requests by ~29%,
+/// Tracking's by ~42%. We require a substantial reduction (>= 15%) and
+/// no statistically significant accuracy loss.
+#[test]
+fn cascades_cut_remote_requests_without_accuracy_loss() {
+    for kind in [WorkloadKind::Music, WorkloadKind::Tracking] {
+        let w = remote(kind);
+        let plain = Willump::new(WillumpConfig {
+            cascades: false,
+            mode: QueryMode::ExampleAtATime,
+            ..WillumpConfig::default()
+        })
+        .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+        .expect("optimizes");
+        let base = serve_round_trips(&w, &plain);
+
+        let casc = Willump::new(WillumpConfig {
+            mode: QueryMode::ExampleAtATime,
+            ..WillumpConfig::default()
+        })
+        .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+        .expect("optimizes");
+        assert!(
+            casc.report().cascades_deployed,
+            "{}: cascades must deploy on remote tables (gate: {:?})",
+            kind.name(),
+            casc.report().cascade_gate_reason
+        );
+        let reduced = serve_round_trips(&w, &casc);
+        assert!(
+            (reduced as f64) < 0.85 * base as f64,
+            "{}: {reduced} vs {base} round trips",
+            kind.name()
+        );
+
+        let scores = casc.predict_batch(&w.test).expect("predicts");
+        let feats = casc
+            .executor()
+            .features_batch(&w.test, None)
+            .expect("features");
+        let full_acc = metrics::accuracy(&casc.full_model().predict_scores(&feats), &w.test_y);
+        let acc = metrics::accuracy(&scores, &w.test_y);
+        let margin = metrics::accuracy_ci_95(full_acc, w.test_y.len());
+        assert!(
+            acc >= full_acc - margin,
+            "{}: cascade {acc} vs full {full_acc} (margin {margin})",
+            kind.name()
+        );
+    }
+}
+
+/// The cost basis is query-aware: optimizing the same remote workload
+/// for example-at-a-time queries must see (much) larger IFV costs than
+/// optimizing it for batch queries, because round trips stop being
+/// amortized.
+#[test]
+fn per_row_cost_basis_sees_round_trips() {
+    let w = remote(WorkloadKind::Music);
+    let batch = Willump::new(WillumpConfig {
+        mode: QueryMode::Batch,
+        ..WillumpConfig::default()
+    })
+    .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+    .expect("optimizes");
+    let single = Willump::new(WillumpConfig {
+        mode: QueryMode::ExampleAtATime,
+        ..WillumpConfig::default()
+    })
+    .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+    .expect("optimizes");
+
+    let batch_total = batch.report().ifv_stats.total_cost();
+    let single_total = single.report().ifv_stats.total_cost();
+    // 1 ms RTT x 5 lookups ~ 5 ms/row vs ~us-level amortized costs.
+    assert!(
+        single_total > 10.0 * batch_total,
+        "per-row {single_total} vs batch {batch_total}"
+    );
+    assert!(single_total >= 4e-3, "per-row total {single_total}");
+}
+
+/// Cascade + feature-level caching compose: together they must beat
+/// either alone on remote round trips (paper Table 2's bottom row).
+#[test]
+fn caching_and_cascades_compose() {
+    use willump::CachingConfig;
+    let w = remote(WorkloadKind::Music);
+    let mk = |cascades: bool, caching: Option<CachingConfig>| {
+        Willump::new(WillumpConfig {
+            cascades,
+            caching,
+            mode: QueryMode::ExampleAtATime,
+            ..WillumpConfig::default()
+        })
+        .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+        .expect("optimizes")
+    };
+    let unlimited = Some(CachingConfig { capacity: None });
+    let base = serve_round_trips(&w, &mk(false, None));
+    let casc_only = serve_round_trips(&w, &mk(true, None));
+    let cache_only = serve_round_trips(&w, &mk(false, unlimited));
+    let both = serve_round_trips(&w, &mk(true, unlimited));
+    assert!(casc_only < base);
+    assert!(cache_only < base);
+    assert!(
+        both <= casc_only && both <= cache_only,
+        "both {both}, cascades {casc_only}, caching {cache_only}, base {base}"
+    );
+}
