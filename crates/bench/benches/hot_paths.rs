@@ -35,8 +35,7 @@ fn bench_models(c: &mut Criterion) {
     let w = WorkloadKind::Music
         .generate(&WorkloadConfig::small())
         .expect("workload generates");
-    let exec =
-        Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).expect("executor");
+    let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).expect("executor");
     let feats = exec.features_batch(&w.train, None).expect("features");
     let model = w
         .pipeline
@@ -88,9 +87,7 @@ fn bench_topk(c: &mut Criterion) {
 }
 
 fn bench_vectorizers(c: &mut Criterion) {
-    use willump_featurize::{
-        HashingVectorizer, TfIdfVectorizer, VectorizerConfig,
-    };
+    use willump_featurize::{HashingVectorizer, TfIdfVectorizer, VectorizerConfig};
     let docs: Vec<String> = {
         let mut rng = willump_data::rng::seeded(5);
         let vocab = willump_data::text::SyntheticVocab::new(2_000);
@@ -117,8 +114,12 @@ fn bench_calibration(c: &mut Criterion) {
     let platt = PlattScaler::fit(&scores, &labels).expect("fits");
     let iso = IsotonicCalibrator::fit(&scores, &labels).expect("fits");
     let mut g = c.benchmark_group("calibration");
-    g.bench_function("platt_batch_5k", |b| b.iter(|| platt.calibrate_batch(&scores)));
-    g.bench_function("isotonic_batch_5k", |b| b.iter(|| iso.calibrate_batch(&scores)));
+    g.bench_function("platt_batch_5k", |b| {
+        b.iter(|| platt.calibrate_batch(&scores))
+    });
+    g.bench_function("isotonic_batch_5k", |b| {
+        b.iter(|| iso.calibrate_batch(&scores))
+    });
     g.finish();
 }
 

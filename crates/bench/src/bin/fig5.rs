@@ -14,7 +14,11 @@ fn main() {
         let t0 = std::time::Instant::now();
         let w = generate(kind, false);
         let reps = 3;
-        eprintln!("[fig5] {} generated ({:.0}s)", kind.name(), t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[fig5] {} generated ({:.0}s)",
+            kind.name(),
+            t0.elapsed().as_secs_f64()
+        );
 
         // The interpreted baseline is timed on a bounded sample (see
         // PYTHON_SAMPLE_ROWS); throughput is a per-row rate.
@@ -23,13 +27,21 @@ fn main() {
         let py_tp = batch_throughput_rows(&w, py_sample.n_rows(), 1, || {
             python.predict_batch(&py_sample).expect("baseline predicts");
         });
-        eprintln!("[fig5] {} python done ({:.0}s)", kind.name(), t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[fig5] {} python done ({:.0}s)",
+            kind.name(),
+            t0.elapsed().as_secs_f64()
+        );
 
         let compiled = optimize_level(&w, OptLevel::Compiled, QueryMode::Batch, None, 1);
         let c_tp = batch_throughput(&w, reps, || {
             compiled.predict_batch(&w.test).expect("compiled predicts");
         });
-        eprintln!("[fig5] {} compiled done ({:.0}s)", kind.name(), t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[fig5] {} compiled done ({:.0}s)",
+            kind.name(),
+            t0.elapsed().as_secs_f64()
+        );
 
         let (casc_cell, casc_speedup) = if kind.is_classification() {
             let cascades = optimize_level(&w, OptLevel::Cascades, QueryMode::Batch, None, 1);
@@ -40,7 +52,11 @@ fn main() {
         } else {
             ("N/A".to_string(), "N/A".to_string())
         };
-        eprintln!("[fig5] {} finished ({:.0}s)", kind.name(), t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[fig5] {} finished ({:.0}s)",
+            kind.name(),
+            t0.elapsed().as_secs_f64()
+        );
 
         rows.push(vec![
             kind.name().to_string(),

@@ -24,8 +24,7 @@ fn main() {
             python.predict_one(input).expect("baseline predicts")
         });
 
-        let compiled =
-            optimize_level(&w, OptLevel::Compiled, QueryMode::ExampleAtATime, None, 1);
+        let compiled = optimize_level(&w, OptLevel::Compiled, QueryMode::ExampleAtATime, None, 1);
         let c_lat = per_input_latency(&w, n, |input| {
             compiled.predict_one(input).expect("compiled predicts")
         });

@@ -30,8 +30,8 @@ fn latency(exec: &Executor, table: &Table, n: usize) -> f64 {
 
 fn bench_real(kind: WorkloadKind, rows: &mut Vec<Vec<String>>) {
     let w = generate(kind, false);
-    let base_exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled)
-        .expect("executor builds");
+    let base_exec =
+        Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).expect("executor builds");
     let costs = measure_costs(&base_exec, &w.train).expect("costs measured");
     let n_fgs = base_exec.analysis().generators.len();
     let serial = latency(&base_exec, &w.test, 200);
@@ -79,7 +79,11 @@ fn bench_synthetic(rows: &mut Vec<Vec<String>>) {
     for i in 0..4 {
         let src = b.source(format!("text{i}"));
         let f = b
-            .add(format!("tfidf{i}"), Operator::TfIdf(Arc::clone(&tfidf)), [src])
+            .add(
+                format!("tfidf{i}"),
+                Operator::TfIdf(Arc::clone(&tfidf)),
+                [src],
+            )
             .expect("node added");
         fgs.push(f);
     }

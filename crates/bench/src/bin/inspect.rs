@@ -24,7 +24,11 @@ fn main() {
             .zip(&r.ifv_stats.cost)
             .enumerate()
         {
-            let eff = if r.efficient_set.contains(&g) { " <- efficient" } else { "" };
+            let eff = if r.efficient_set.contains(&g) {
+                " <- efficient"
+            } else {
+                ""
+            };
             println!(
                 "  IFV {g}: importance {imp:.5}  cost {:>9.2}us/row  CE {:.3}{eff}",
                 cost * 1e6,

@@ -33,8 +33,15 @@ fn gamma_ablation() {
     let opt = optimize_level(&w, OptLevel::Compiled, QueryMode::Batch, None, 1);
     let exec = opt.executor();
     let full_feats = exec.features_batch(&w.train, None).expect("features");
-    let stats = compute_ifv_stats(exec, opt.full_model(), &full_feats, &w.train, &w.train_y, 42)
-        .expect("stats");
+    let stats = compute_ifv_stats(
+        exec,
+        opt.full_model(),
+        &full_feats,
+        &w.train,
+        &w.train_y,
+        42,
+    )
+    .expect("stats");
     let base_tp = batch_throughput(&w, 3, || {
         opt.predict_batch(&w.test).expect("predicts");
     });
@@ -82,7 +89,12 @@ fn gamma_ablation() {
     }
     print_table(
         "Micro (gamma): Algorithm 1 stopping rule on Music (speedup over compiled)",
-        &["variant", "accuracy target", "efficient set", "cascade speedup"],
+        &[
+            "variant",
+            "accuracy target",
+            "efficient set",
+            "cascade speedup",
+        ],
         &rows,
     );
 }
@@ -120,16 +132,31 @@ fn threshold_robustness() {
                 ..WillumpConfig::default()
             };
             Willump::new(cfg)
-                .optimize(&sub.pipeline, &sub.train, &sub.train_y, &sub.valid, &sub.valid_y)
+                .optimize(
+                    &sub.pipeline,
+                    &sub.train,
+                    &sub.train_y,
+                    &sub.valid,
+                    &sub.valid_y,
+                )
                 .expect("optimizes")
         };
         let Some(sel) = opt.report().threshold.clone() else {
-            rows.push(vec![kind.name().to_string(), "no cascade".into(), "-".into(), "-".into(), "-".into()]);
+            rows.push(vec![
+                kind.name().to_string(),
+                "no cascade".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         // Evaluate on validation half B.
         let scores = opt.predict_batch(&valid_b).expect("predicts");
-        let full_feats = opt.executor().features_batch(&valid_b, None).expect("features");
+        let full_feats = opt
+            .executor()
+            .features_batch(&valid_b, None)
+            .expect("features");
         let full_acc = metrics::accuracy(&opt.full_model().predict_scores(&full_feats), &valid_b_y);
         let cascade_acc = metrics::accuracy(&scores, &valid_b_y);
         let ci = metrics::accuracy_ci_95(full_acc, valid_b_y.len());
@@ -138,7 +165,11 @@ fn threshold_robustness() {
             format!("{:.1}", sel.threshold),
             format!("{full_acc:.4}"),
             format!("{cascade_acc:.4}"),
-            if cascade_acc >= full_acc - ci { "yes".into() } else { "NO".into() },
+            if cascade_acc >= full_acc - ci {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     print_table(
@@ -208,7 +239,11 @@ fn calibration_ablation() {
     // vs isotonic on the classification benchmarks, reporting the
     // selected threshold, kept fraction, and test accuracy drift.
     let mut rows = Vec::new();
-    for kind in [WorkloadKind::Product, WorkloadKind::Toxic, WorkloadKind::Music] {
+    for kind in [
+        WorkloadKind::Product,
+        WorkloadKind::Toxic,
+        WorkloadKind::Music,
+    ] {
         let w = generate(kind, false);
         for (label, method) in [
             ("raw scores (paper)", Calibration::None),
@@ -247,7 +282,13 @@ fn calibration_ablation() {
     }
     print_table(
         "Micro (calibration): cascade confidence calibration ablation",
-        &["benchmark", "calibration", "threshold", "kept by small model", "test accuracy"],
+        &[
+            "benchmark",
+            "calibration",
+            "threshold",
+            "kept by small model",
+            "test accuracy",
+        ],
         &rows,
     );
 }

@@ -75,9 +75,10 @@ fn main() {
             both.predict_one(input).expect("prediction succeeds")
         });
 
-        for (row, lat) in results.iter_mut().zip([
-            lat_unopt, lat_e2e, lat_feat, lat_casc, lat_both,
-        ]) {
+        for (row, lat) in results
+            .iter_mut()
+            .zip([lat_unopt, lat_e2e, lat_feat, lat_casc, lat_both])
+        {
             row.push(fmt_latency(lat));
         }
     }

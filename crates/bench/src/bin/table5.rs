@@ -36,9 +36,8 @@ fn main() {
 
         // Filtered top-K and its cost.
         let filtered = optimize_level(&w, OptLevel::Cascades, QueryMode::TopK { k: K }, None, 1);
-        let (filt_secs, approx_topk) = effective_seconds(&w, || {
-            filtered.top_k(&w.test, K).expect("filtered top-K").0
-        });
+        let (filt_secs, approx_topk) =
+            effective_seconds(&w, || filtered.top_k(&w.test, K).expect("filtered top-K").0);
 
         // Random sampling at equal cost: the sampled pass may touch
         // only n / ratio rows, where ratio = full cost / filtered cost.
@@ -70,7 +69,10 @@ fn main() {
                 "{:.2}",
                 metrics::mean_average_precision(&approx_topk, &exact_topk)
             ),
-            format!("{:.4}", metrics::average_value(&sampled_topk, &exact_scores)),
+            format!(
+                "{:.4}",
+                metrics::average_value(&sampled_topk, &exact_scores)
+            ),
             format!("{:.4}", metrics::average_value(&approx_topk, &exact_scores)),
             format!("{true_value:.4}"),
         ]);

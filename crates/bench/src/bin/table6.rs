@@ -6,7 +6,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use willump::QueryMode;
-use willump_bench::{baseline, fmt_latency, fmt_speedup, generate, optimize_level, print_table, OptLevel};
+use willump_bench::{
+    baseline, fmt_latency, fmt_speedup, generate, optimize_level, print_table, OptLevel,
+};
 use willump_serve::{table_row_to_wire, ClipperServer, Servable, ServerConfig};
 use willump_workloads::{Workload, WorkloadKind};
 

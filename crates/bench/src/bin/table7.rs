@@ -59,13 +59,9 @@ fn main() {
                     min_subset_frac: frac,
                 });
             }
-            let (secs, approx) = effective_seconds(&w, || {
-                opt.top_k(&w.test, K).expect("top-K succeeds").0
-            });
-            let subset_size = opt
-                .filter()
-                .expect("filter deployed")
-                .subset_size(n, K);
+            let (secs, approx) =
+                effective_seconds(&w, || opt.top_k(&w.test, K).expect("top-K succeeds").0);
+            let subset_size = opt.filter().expect("filter deployed").subset_size(n, K);
             rows.push(vec![
                 format!("{:.1}% subset", frac * 100.0),
                 subset_size.to_string(),

@@ -17,7 +17,11 @@ use willump_workloads::{Workload, WorkloadKind};
 
 /// Throughput of a cascade built over a forced subset, or `None` when
 /// the cascade's test accuracy misses the target.
-fn subset_throughput(w: &Workload, opt: &willump::OptimizedPipeline, subset: Vec<usize>) -> Option<f64> {
+fn subset_throughput(
+    w: &Workload,
+    opt: &willump::OptimizedPipeline,
+    subset: Vec<usize>,
+) -> Option<f64> {
     let exec = opt.executor().clone();
     let full = opt.full_model().clone();
     let full_feats = exec.features_batch(&w.test, None).ok()?;
@@ -63,8 +67,15 @@ fn main() {
         let full_feats = exec
             .features_batch(&w.train, None)
             .expect("training features");
-        let stats = compute_ifv_stats(exec, opt.full_model(), &full_feats, &w.train, &w.train_y, 42)
-            .expect("stats computed");
+        let stats = compute_ifv_stats(
+            exec,
+            opt.full_model(),
+            &full_feats,
+            &w.train,
+            &w.train_y,
+            42,
+        )
+        .expect("stats computed");
         let n_fgs = exec.analysis().generators.len();
 
         let strategies: [(&str, Vec<usize>); 3] = [

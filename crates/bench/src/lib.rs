@@ -20,9 +20,7 @@
 
 use std::time::Instant;
 
-use willump::{
-    CachingConfig, OptimizedPipeline, QueryMode, Willump, WillumpConfig,
-};
+use willump::{CachingConfig, OptimizedPipeline, QueryMode, Willump, WillumpConfig};
 use willump_graph::InputRow;
 use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 
@@ -149,12 +147,7 @@ pub fn python_sample_rows() -> usize {
 
 /// Batch throughput (rows/s, effective time) of a closure processing
 /// an explicit `n_rows`-row table once per rep, with one warm-up call.
-pub fn batch_throughput_rows(
-    w: &Workload,
-    n_rows: usize,
-    reps: usize,
-    mut f: impl FnMut(),
-) -> f64 {
+pub fn batch_throughput_rows(w: &Workload, n_rows: usize, reps: usize, mut f: impl FnMut()) -> f64 {
     f();
     let (secs, ()) = effective_seconds(w, || {
         for _ in 0..reps {
@@ -169,11 +162,7 @@ pub fn batch_throughput_rows(
 ///
 /// # Panics
 /// Panics if prediction fails.
-pub fn per_input_latency(
-    w: &Workload,
-    n: usize,
-    mut predict: impl FnMut(&InputRow) -> f64,
-) -> f64 {
+pub fn per_input_latency(w: &Workload, n: usize, mut predict: impl FnMut(&InputRow) -> f64) -> f64 {
     let n = n.min(w.test.n_rows());
     let inputs: Vec<InputRow> = (0..n)
         .map(|r| InputRow::from_table(&w.test, r).expect("row in range"))
@@ -263,7 +252,7 @@ mod tests {
         assert_eq!(fmt_throughput(42.0), "42");
         assert_eq!(fmt_latency(0.0042), "4.20ms");
         assert_eq!(fmt_latency(55e-6), "55us");
-        assert_eq!(fmt_speedup(3.14), "3.1x");
+        assert_eq!(fmt_speedup(3.17), "3.2x");
     }
 
     #[test]
@@ -302,6 +291,6 @@ mod tests {
         assert_eq!(test_sample(&w, 10).n_rows(), 10);
         // Caps at the test set size when the sample is larger.
         assert_eq!(test_sample(&w, 500).n_rows(), 50);
-        assert!(PYTHON_SAMPLE_ROWS >= 100, "sample must stay meaningful");
+        const { assert!(PYTHON_SAMPLE_ROWS >= 100, "sample must stay meaningful") };
     }
 }

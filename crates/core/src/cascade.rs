@@ -176,13 +176,8 @@ pub fn train_cascade_with_subset(
         valid_labels,
         accuracy_target,
     )?;
-    let predictor = CascadePredictor::new(
-        exec.clone(),
-        small,
-        full,
-        selection.threshold,
-        efficient,
-    )?;
+    let predictor =
+        CascadePredictor::new(exec.clone(), small, full, selection.threshold, efficient)?;
     Ok((predictor, selection))
 }
 
@@ -250,8 +245,7 @@ impl CascadePredictor {
                 ),
             });
         }
-        let inefficient: Vec<usize> =
-            (0..n_fgs).filter(|g| !efficient.contains(g)).collect();
+        let inefficient: Vec<usize> = (0..n_fgs).filter(|g| !efficient.contains(g)).collect();
         let eff_remap = Remapper::new(exec.graph(), exec.analysis(), &efficient)?;
         let ineff_remap = Remapper::new(exec.graph(), exec.analysis(), &inefficient)?;
         let full_width = eff_remap.full_width();
@@ -345,8 +339,7 @@ impl CascadePredictor {
                     willump_data::FeatureMatrix::Dense(eff_m),
                     willump_data::FeatureMatrix::Dense(ineff_m),
                 ) => {
-                    let mut merged =
-                        willump_data::Matrix::zeros(escalated.len(), self.full_width);
+                    let mut merged = willump_data::Matrix::zeros(escalated.len(), self.full_width);
                     for (j, &orig) in escalated.iter().enumerate() {
                         let dst = merged.row_mut(j);
                         self.eff_remap.copy_into_dense(eff_m.row(orig), dst);
@@ -395,10 +388,7 @@ impl CascadePredictor {
             self.eff_remap.to_full(&eff.entries),
             self.ineff_remap.to_full(&ineff.entries),
         );
-        Ok((
-            self.full.predict_score_row(&merged, self.full_width),
-            true,
-        ))
+        Ok((self.full.predict_score_row(&merged, self.full_width), true))
     }
 }
 
@@ -492,18 +482,16 @@ mod tests {
             0.001,
         )
         .unwrap();
-        let cascade = CascadePredictor::new(
-            exec.clone(),
-            small,
-            full.clone(),
-            sel.threshold,
-            vec![0],
-        )
-        .unwrap();
+        let cascade =
+            CascadePredictor::new(exec.clone(), small, full.clone(), sel.threshold, vec![0])
+                .unwrap();
         let (scores, stats) = cascade.predict_batch(&t).unwrap();
         let cascade_acc = metrics::accuracy(&scores, &y);
         let full_acc = metrics::accuracy(&full.predict_scores(&fullf), &y);
-        assert!(cascade_acc >= full_acc - 0.001, "{cascade_acc} vs {full_acc}");
+        assert!(
+            cascade_acc >= full_acc - 0.001,
+            "{cascade_acc} vs {full_acc}"
+        );
         assert!(stats.resolved_small > 0);
         assert!(stats.escalated > 0);
     }
@@ -512,8 +500,7 @@ mod tests {
     fn single_input_matches_batch() {
         let (exec, t, y) = setup();
         let (small, full) = train(&exec, &t, &y);
-        let cascade =
-            CascadePredictor::new(exec, small, full, 0.8, vec![0]).unwrap();
+        let cascade = CascadePredictor::new(exec, small, full, 0.8, vec![0]).unwrap();
         let (batch_scores, _) = cascade.predict_batch(&t).unwrap();
         for r in (0..t.n_rows()).step_by(29) {
             let input = InputRow::from_table(&t, r).unwrap();
@@ -531,8 +518,7 @@ mod tests {
     fn threshold_one_always_escalates() {
         let (exec, t, y) = setup();
         let (small, full) = train(&exec, &t, &y);
-        let cascade =
-            CascadePredictor::new(exec, small, full.clone(), 1.0, vec![0]).unwrap();
+        let cascade = CascadePredictor::new(exec, small, full.clone(), 1.0, vec![0]).unwrap();
         let (scores, stats) = cascade.predict_batch(&t).unwrap();
         assert_eq!(stats.resolved_small, 0);
         let fullf = cascade.exec.features_batch(&t, None).unwrap();
@@ -547,18 +533,11 @@ mod tests {
         let (exec, t, y) = setup();
         let (small, full) = train(&exec, &t, &y);
         // Empty efficient set.
-        assert!(CascadePredictor::new(
-            exec.clone(),
-            small.clone(),
-            full.clone(),
-            0.8,
-            vec![]
-        )
-        .is_err());
-        // Efficient set = everything.
         assert!(
-            CascadePredictor::new(exec, small, full, 0.8, vec![0, 1]).is_err()
+            CascadePredictor::new(exec.clone(), small.clone(), full.clone(), 0.8, vec![]).is_err()
         );
+        // Efficient set = everything.
+        assert!(CascadePredictor::new(exec, small, full, 0.8, vec![0, 1]).is_err());
     }
 
     #[test]

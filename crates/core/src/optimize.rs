@@ -5,9 +5,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use willump_data::Table;
-use willump_graph::{
-    EngineMode, Executor, FeatureCaches, InputRow, Parallelism,
-};
+use willump_graph::{EngineMode, Executor, FeatureCaches, InputRow, Parallelism};
 use willump_models::{Task, TrainedModel};
 
 use crate::cascade::{
@@ -155,10 +153,7 @@ impl Willump {
         // Cascade deployment (classification only).
         let mut threshold = None;
         let mut gate_reason = None;
-        let cascade = if cfg.cascades
-            && proper
-            && pipeline.task() == Task::BinaryClassification
-        {
+        let cascade = if cfg.cascades && proper && pipeline.task() == Task::BinaryClassification {
             let small = small_model.clone().expect("proper subset has small model");
             let eff_valid = exec.features_batch(valid, Some(&efficient))?;
             let full_valid = exec.features_batch(valid, None)?;

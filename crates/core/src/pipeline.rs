@@ -117,7 +117,9 @@ mod tests {
         let g = Arc::new(b.finish_with_concat("cat", [f0]).unwrap());
         let p = Pipeline::new(g, ModelSpec::Logistic(LogisticParams::default()));
         let mut t = Table::new();
-        let avals: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let avals: Vec<f64> = (0..60)
+            .map(|i| if i % 2 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let y: Vec<f64> = (0..60).map(|i| (i % 2) as f64).collect();
         t.add_column("a", Column::from(avals)).unwrap();
         (p, t, y)

@@ -91,9 +91,9 @@ pub fn feature_importances(
                 .expect("linear models have coefficients");
             Ok(importance::linear_importances(&coefs, features))
         }
-        TrainedModel::Gbdt(_) | TrainedModel::Forest(_) => Ok(
-            importance::permutation_importances(model, features, labels, seed),
-        ),
+        TrainedModel::Gbdt(_) | TrainedModel::Forest(_) => Ok(importance::permutation_importances(
+            model, features, labels, seed,
+        )),
         TrainedModel::Mlp(m) => {
             let task = if m.is_classifier() {
                 Task::BinaryClassification
@@ -149,8 +149,7 @@ pub fn compute_ifv_stats_with_basis(
     let per_feature = feature_importances(model, train_features, labels, seed)?;
     let analysis = exec.analysis();
     let full: Vec<usize> = (0..analysis.generators.len()).collect();
-    let layout =
-        subset_layout(exec.graph(), analysis, &full).map_err(WillumpError::from)?;
+    let layout = subset_layout(exec.graph(), analysis, &full).map_err(WillumpError::from)?;
     let importance: Vec<f64> = layout
         .iter()
         .map(|&(_, offset, width)| {
@@ -190,7 +189,9 @@ mod tests {
         let mut t = Table::new();
         // Feature a decides the label; b is pair-constant noise.
         let avals: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
-        let bvals: Vec<f64> = (0..100).map(|i| ((i / 2 * 17) % 10) as f64 / 10.0).collect();
+        let bvals: Vec<f64> = (0..100)
+            .map(|i| ((i / 2 * 17) % 10) as f64 / 10.0)
+            .collect();
         t.add_column("a", Column::from(avals)).unwrap();
         t.add_column("b", Column::from(bvals)).unwrap();
         (exec, t)
@@ -228,10 +229,7 @@ mod tests {
             let model = spec.fit(&feats, &y, 1).unwrap();
             let imp = feature_importances(&model, &feats, &y, 1).unwrap();
             assert_eq!(imp.len(), 2);
-            assert!(
-                imp[0] > imp[1],
-                "family {spec:?} importances {imp:?}"
-            );
+            assert!(imp[0] > imp[1], "family {spec:?} importances {imp:?}");
         }
     }
 

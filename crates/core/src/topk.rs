@@ -64,8 +64,7 @@ impl TopKFilter {
                 ),
             });
         }
-        let inefficient: Vec<usize> =
-            (0..n_fgs).filter(|g| !efficient.contains(g)).collect();
+        let inefficient: Vec<usize> = (0..n_fgs).filter(|g| !efficient.contains(g)).collect();
         let eff_remap = Remapper::new(exec.graph(), exec.analysis(), &efficient)?;
         let ineff_remap = Remapper::new(exec.graph(), exec.analysis(), &inefficient)?;
         let full_width = eff_remap.full_width();
@@ -227,7 +226,9 @@ mod tests {
             l2: 0.0,
         };
         let full_feats = exec.features_batch(t, None).unwrap();
-        let full = ModelSpec::Linear(params.clone()).fit(&full_feats, y, 1).unwrap();
+        let full = ModelSpec::Linear(params.clone())
+            .fit(&full_feats, y, 1)
+            .unwrap();
         let eff_feats = exec.features_batch(t, Some(&[0])).unwrap();
         let filter = ModelSpec::Linear(params).fit(&eff_feats, y, 1).unwrap();
         (Arc::new(filter), Arc::new(full))
@@ -325,9 +326,7 @@ mod tests {
             vec![]
         )
         .is_err());
-        assert!(
-            TopKFilter::new(exec, filter, full, TopKConfig::default(), vec![0, 1]).is_err()
-        );
+        assert!(TopKFilter::new(exec, filter, full, TopKConfig::default(), vec![0, 1]).is_err());
         let _ = t;
     }
 

@@ -124,7 +124,9 @@ impl Matrix {
     /// Panics if `c >= n_cols()`.
     pub fn column(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Per-column means.

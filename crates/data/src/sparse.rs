@@ -60,11 +60,8 @@ impl SparseRowBuilder {
     /// # Panics
     /// Panics if any column index is out of range.
     pub fn push_row(&mut self, entries: &[(usize, f64)]) {
-        let mut row: Vec<(usize, f64)> = entries
-            .iter()
-            .copied()
-            .filter(|(_, v)| *v != 0.0)
-            .collect();
+        let mut row: Vec<(usize, f64)> =
+            entries.iter().copied().filter(|(_, v)| *v != 0.0).collect();
         row.sort_unstable_by_key(|(c, _)| *c);
         let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
         for (c, v) in row {
@@ -172,10 +169,7 @@ impl SparseMatrix {
     pub fn row_dot(&self, r: usize, w: &[f64]) -> f64 {
         assert!(w.len() >= self.cols, "weight vector too short");
         let (cols, vals) = self.row_view(r);
-        cols.iter()
-            .zip(vals)
-            .map(|(c, v)| w[*c as usize] * v)
-            .sum()
+        cols.iter().zip(vals).map(|(c, v)| w[*c as usize] * v).sum()
     }
 
     /// Materialize as a dense matrix.

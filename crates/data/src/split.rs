@@ -110,7 +110,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid split fractions")]
     fn overfull_fractions_panic() {
-        let _ = three_way_split(&mut seeded(0), 10, SplitSpec { train: 0.9, valid: 0.5 });
+        let _ = three_way_split(
+            &mut seeded(0),
+            10,
+            SplitSpec {
+                train: 0.9,
+                valid: 0.5,
+            },
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@ pub struct SyntheticVocab {
 }
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
-    "pl", "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pl",
+    "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
 const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "nd", "st", "ck"];
@@ -124,7 +124,9 @@ mod tests {
         for i in 0..v.len() {
             let w = v.word(i);
             assert!(!w.is_empty());
-            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(w
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 

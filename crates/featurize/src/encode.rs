@@ -1,7 +1,7 @@
 //! Categorical feature encoding: one-hot, ordinal, and hashing.
 
-use std::collections::HashMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use willump_data::{Matrix, SparseMatrix, SparseRowBuilder};
@@ -124,10 +124,7 @@ impl OrdinalEncoder {
                 transformer: "OrdinalEncoder",
             });
         }
-        Ok(self
-            .categories
-            .get(value)
-            .map_or(-1.0, |&i| i as f64))
+        Ok(self.categories.get(value).map_or(-1.0, |&i| i as f64))
     }
 
     /// Encode a batch as a single-column dense matrix.
@@ -166,7 +163,10 @@ impl FeatureHasher {
     }
 
     /// Hash a bag of tokens into signed counts.
-    pub fn transform_one<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) -> Vec<(usize, f64)> {
+    pub fn transform_one<'a>(
+        &self,
+        tokens: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<(usize, f64)> {
         let mut acc: HashMap<usize, f64> = HashMap::new();
         for tok in tokens {
             let mut h = DefaultHasher::new();

@@ -34,7 +34,10 @@ impl fmt::Display for FeatError {
                 write!(f, "`{transformer}` used before fit")
             }
             FeatError::ShapeMismatch { expected, found } => {
-                write!(f, "input width {found} does not match fitted width {expected}")
+                write!(
+                    f,
+                    "input width {found} does not match fitted width {expected}"
+                )
             }
             FeatError::Store(msg) => write!(f, "store lookup failed: {msg}"),
             FeatError::BadConfig { reason } => write!(f, "invalid configuration: {reason}"),
@@ -56,7 +59,9 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        let e = FeatError::NotFitted { transformer: "TfIdfVectorizer" };
+        let e = FeatError::NotFitted {
+            transformer: "TfIdfVectorizer",
+        };
         assert!(e.to_string().contains("before fit"));
         let s: FeatError = willump_store::StoreError::UnknownTable { name: "x".into() }.into();
         assert!(matches!(s, FeatError::Store(_)));

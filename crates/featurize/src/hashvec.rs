@@ -34,7 +34,10 @@ impl HashingVectorizer {
     /// # Errors
     /// Returns [`FeatError::BadConfig`] for an invalid n-gram range or
     /// `n_features == 0`.
-    pub fn new(config: VectorizerConfig, n_features: usize) -> Result<HashingVectorizer, FeatError> {
+    pub fn new(
+        config: VectorizerConfig,
+        n_features: usize,
+    ) -> Result<HashingVectorizer, FeatError> {
         if n_features == 0 {
             return Err(FeatError::BadConfig {
                 reason: "hashing vectorizer needs at least one column".into(),
@@ -155,7 +158,7 @@ mod tests {
         let row = v.transform_one("abcd");
         // "abcd" has 3 bigrams + 2 trigrams; collisions may merge some.
         let mass: f64 = row.iter().map(|(_, v)| v.abs()).sum();
-        assert!(mass >= 1.0 && mass <= 5.0, "mass {mass}");
+        assert!((1.0..=5.0).contains(&mass), "mass {mass}");
     }
 
     #[test]

@@ -67,7 +67,9 @@ impl StoreJoin {
     /// # Errors
     /// Returns [`FeatError::Store`] for missing tables/keys.
     pub fn join_one(&self, key: &Key) -> Result<Vec<f64>, FeatError> {
-        let rows = self.store.get_batch(&self.table, std::slice::from_ref(key))?;
+        let rows = self
+            .store
+            .get_batch(&self.table, std::slice::from_ref(key))?;
         Ok(rows[0].to_vec())
     }
 }
@@ -92,7 +94,9 @@ mod tests {
     fn join_batch_is_one_round_trip() {
         let s = store();
         let j = StoreJoin::new(s.clone(), "songs").unwrap();
-        let m = j.join_batch(&[Key::Int(2), Key::Int(1), Key::Int(99)]).unwrap();
+        let m = j
+            .join_batch(&[Key::Int(2), Key::Int(1), Key::Int(99)])
+            .unwrap();
         assert_eq!(m.row(0), &[3.0, 4.0]);
         assert_eq!(m.row(1), &[1.0, 2.0]);
         assert_eq!(m.row(2), &[0.0, 0.0]); // default row

@@ -143,7 +143,10 @@ mod tests {
         s.fit(&Matrix::zeros(2, 3));
         assert!(matches!(
             s.transform(&Matrix::zeros(2, 2)),
-            Err(FeatError::ShapeMismatch { expected: 3, found: 2 })
+            Err(FeatError::ShapeMismatch {
+                expected: 3,
+                found: 2
+            })
         ));
         let mut row = [0.0; 2];
         assert!(s.transform_one(&mut row).is_err());

@@ -141,7 +141,8 @@ mod tests {
         assert!(code > 0.5 && code < 0.6, "heavily smoothed: {code}");
         // Raw mean would be 1.0; smoothing must shrink it.
         let mut raw = TargetEncoder::new(0.0).unwrap();
-        raw.fit(&["a", "b", "c", "d"], &[1.0, 0.0, 1.0, 0.0]).unwrap();
+        raw.fit(&["a", "b", "c", "d"], &[1.0, 0.0, 1.0, 0.0])
+            .unwrap();
         assert!(raw.transform_one("a").unwrap() > code);
     }
 

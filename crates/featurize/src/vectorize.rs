@@ -71,7 +71,10 @@ impl VectorizerConfig {
     fn validate(&self) -> Result<(), FeatError> {
         if self.ngram_lo == 0 || self.ngram_lo > self.ngram_hi {
             return Err(FeatError::BadConfig {
-                reason: format!("n-gram range {}..={} is invalid", self.ngram_lo, self.ngram_hi),
+                reason: format!(
+                    "n-gram range {}..={} is invalid",
+                    self.ngram_lo, self.ngram_hi
+                ),
             });
         }
         Ok(())
@@ -111,7 +114,10 @@ impl CountVectorizer {
     /// Returns [`FeatError::BadConfig`] for an invalid n-gram range.
     pub fn new(config: VectorizerConfig) -> Result<CountVectorizer, FeatError> {
         config.validate()?;
-        Ok(CountVectorizer { config, vocab: None })
+        Ok(CountVectorizer {
+            config,
+            vocab: None,
+        })
     }
 
     /// The fitted vocabulary.
@@ -162,10 +168,7 @@ impl CountVectorizer {
                 *counts.entry(id).or_insert(0.0) += 1.0;
             }
         });
-        let mut row: Vec<(usize, f64)> = counts
-            .into_iter()
-            .map(|(c, v)| (c as usize, v))
-            .collect();
+        let mut row: Vec<(usize, f64)> = counts.into_iter().map(|(c, v)| (c as usize, v)).collect();
         row.sort_unstable_by_key(|(c, _)| *c);
         Ok(row)
     }
@@ -192,7 +195,10 @@ impl CountVectorizer {
     ///
     /// # Errors
     /// Propagates transform errors (cannot be `NotFitted`).
-    pub fn fit_transform<S: AsRef<str>>(&mut self, corpus: &[S]) -> Result<SparseMatrix, FeatError> {
+    pub fn fit_transform<S: AsRef<str>>(
+        &mut self,
+        corpus: &[S],
+    ) -> Result<SparseMatrix, FeatError> {
         self.fit(corpus);
         self.transform(corpus)
     }
@@ -330,7 +336,10 @@ impl TfIdfVectorizer {
     ///
     /// # Errors
     /// Propagates transform errors (cannot be `NotFitted`).
-    pub fn fit_transform<S: AsRef<str>>(&mut self, corpus: &[S]) -> Result<SparseMatrix, FeatError> {
+    pub fn fit_transform<S: AsRef<str>>(
+        &mut self,
+        corpus: &[S],
+    ) -> Result<SparseMatrix, FeatError> {
         self.fit(corpus);
         self.transform(corpus)
     }
@@ -381,7 +390,12 @@ mod tests {
         let mut v = TfIdfVectorizer::new(word_config()).unwrap();
         let m = v.fit_transform(&["a b c", "a a d", "b d e"]).unwrap();
         for r in 0..m.n_rows() {
-            let norm: f64 = m.row_pairs(r).iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+            let norm: f64 = m
+                .row_pairs(r)
+                .iter()
+                .map(|(_, v)| v * v)
+                .sum::<f64>()
+                .sqrt();
             assert!((norm - 1.0).abs() < 1e-9, "row {r} norm {norm}");
         }
     }

@@ -175,13 +175,10 @@ pub fn subset_layout(
     let mut out = Vec::with_capacity(subset.len());
     let mut offset = 0;
     for &g in subset {
-        let generator = analysis
-            .generators
-            .get(g)
-            .ok_or(GraphError::BadSubset {
-                index: g,
-                n_fgs: analysis.generators.len(),
-            })?;
+        let generator = analysis.generators.get(g).ok_or(GraphError::BadSubset {
+            index: g,
+            n_fgs: analysis.generators.len(),
+        })?;
         let width = graph.node(generator.root).op.out_dim();
         out.push((g, offset, width));
         offset += width;
@@ -280,7 +277,9 @@ mod tests {
         let genre = b.source("genre");
         let u = b.add("user_stats", Operator::StringStats, [user]).unwrap();
         let s = b.add("song_stats", Operator::StringStats, [song]).unwrap();
-        let g = b.add("genre_stats", Operator::StringStats, [genre]).unwrap();
+        let g = b
+            .add("genre_stats", Operator::StringStats, [genre])
+            .unwrap();
         b.finish_with_concat("features", [u, s, g]).unwrap()
     }
 
@@ -410,7 +409,8 @@ mod tests {
         let g = b.finish_with_concat("f", roots.clone()).unwrap();
         // Odd generators are "python".
         let compilable = |id: NodeId| -> bool {
-            !g.node(id).name.starts_with('n') || g.node(id).name[1..].parse::<usize>().unwrap() % 2 == 0
+            !g.node(id).name.starts_with('n')
+                || g.node(id).name[1..].parse::<usize>().unwrap() % 2 == 0
         };
         let order = transition_minimizing_sort(&g, &compilable);
         // Valid topological order.

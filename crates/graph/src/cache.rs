@@ -114,7 +114,10 @@ mod tests {
     fn keys_from_values() {
         let v1 = Value::Int(7);
         let v2 = Value::from("rock");
-        assert_eq!(source_key(&[&v1, &v2]), vec!["7".to_string(), "rock".to_string()]);
+        assert_eq!(
+            source_key(&[&v1, &v2]),
+            vec!["7".to_string(), "rock".to_string()]
+        );
     }
 
     #[test]

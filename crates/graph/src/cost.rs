@@ -262,7 +262,11 @@ mod tests {
         let batch = measure_costs(&exec, &t).unwrap();
         let per_row = measure_costs_per_row(&exec, &t, 10).unwrap();
         // Batch: 1ms RTT amortized over 10 rows. Per-row: 1ms every row.
-        assert!(per_row.per_generator[1] >= 1e-3, "{:?}", per_row.per_generator);
+        assert!(
+            per_row.per_generator[1] >= 1e-3,
+            "{:?}",
+            per_row.per_generator
+        );
         assert!(
             per_row.per_generator[1] > 5.0 * batch.per_generator[1],
             "per-row {:?} vs batch {:?}",

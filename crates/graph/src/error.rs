@@ -60,7 +60,10 @@ impl fmt::Display for GraphError {
             GraphError::Feature(msg) => write!(f, "featurization failed: {msg}"),
             GraphError::Data(msg) => write!(f, "data error: {msg}"),
             GraphError::BadSubset { index, n_fgs } => {
-                write!(f, "feature generator index {index} out of range ({n_fgs} generators)")
+                write!(
+                    f,
+                    "feature generator index {index} out of range ({n_fgs} generators)"
+                )
             }
             GraphError::Parse { line, reason } => {
                 write!(f, "pipeline description error at line {line}: {reason}")
@@ -92,8 +95,7 @@ mod tests {
         assert!(GraphError::Cyclic.to_string().contains("cycle"));
         let e = GraphError::BadSubset { index: 4, n_fgs: 2 };
         assert!(e.to_string().contains("4"));
-        let e: GraphError =
-            willump_featurize::FeatError::NotFitted { transformer: "x" }.into();
+        let e: GraphError = willump_featurize::FeatError::NotFitted { transformer: "x" }.into();
         assert!(matches!(e, GraphError::Feature(_)));
     }
 }

@@ -141,9 +141,7 @@ impl Executor {
     pub fn with_parallelism(mut self, p: Parallelism) -> Executor {
         self.parallelism = p;
         self.pool = match p {
-            Parallelism::PerInput(t) if t > 1 => {
-                Some(crate::parallel::WorkerPool::new(t))
-            }
+            Parallelism::PerInput(t) if t > 1 => Some(crate::parallel::WorkerPool::new(t)),
             _ => None,
         };
         self
@@ -254,11 +252,7 @@ impl Executor {
             .collect()
     }
 
-    fn compiled_batch(
-        &self,
-        table: &Table,
-        subset: &[usize],
-    ) -> Result<FeatureMatrix, GraphError> {
+    fn compiled_batch(&self, table: &Table, subset: &[usize]) -> Result<FeatureMatrix, GraphError> {
         let order = self.needed_nodes(subset);
         let mut values: Vec<Option<BatchOut>> = vec![None; self.graph.len()];
         for id in order {
@@ -310,19 +304,21 @@ impl Executor {
         if chunks.len() <= 1 {
             return self.compiled_batch(table, subset);
         }
-        let results: Vec<Result<FeatureMatrix, GraphError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|&(start, end)| {
-                        let sub_rows: Vec<usize> = (start..end).collect();
-                        let chunk_table = table.take_rows(&sub_rows);
-                        scope.spawn(move |_| self.compiled_batch(&chunk_table, subset))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-            })
-            .expect("scope does not panic");
+        let results: Vec<Result<FeatureMatrix, GraphError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, end)| {
+                    let sub_rows: Vec<usize> = (start..end).collect();
+                    let chunk_table = table.take_rows(&sub_rows);
+                    scope.spawn(move |_| self.compiled_batch(&chunk_table, subset))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        })
+        .expect("scope does not panic");
         let mats: Result<Vec<FeatureMatrix>, GraphError> = results.into_iter().collect();
         let mats = mats?;
         // Vertically stack chunk results back together.
@@ -397,7 +393,9 @@ impl Executor {
             };
             values[id] = Some(out);
         }
-        self.stats.generators_computed.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .generators_computed
+            .fetch_add(1, Ordering::Relaxed);
         let root = generator.root;
         let feats = values[root]
             .take()
@@ -436,12 +434,14 @@ impl Executor {
         // LPT-assign generators to threads by measured cost (uniform
         // when no costs were provided).
         let costs: Vec<f64> = match &self.generator_costs {
-            Some(c) => subset.iter().map(|&g| c.get(g).copied().unwrap_or(1.0)).collect(),
+            Some(c) => subset
+                .iter()
+                .map(|&g| c.get(g).copied().unwrap_or(1.0))
+                .collect(),
             None => vec![1.0; subset.len()],
         };
         let groups = lpt_assign(&costs, threads.min(subset.len()));
-        let mut groups: Vec<Vec<usize>> =
-            groups.into_iter().filter(|g| !g.is_empty()).collect();
+        let mut groups: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
         let Some(pool) = &self.pool else {
             // No pool (e.g. threads collapsed to 1): run sequentially.
             return self.compiled_one(input, subset, layout);
@@ -479,9 +479,9 @@ impl Executor {
             per_position[pos] = Some(self.compute_generator_row(input, subset[pos])?);
         }
         for _ in 0..groups.len() {
-            let r = rx.recv().map_err(|_| {
-                GraphError::Data("worker pool disconnected mid-query".into())
-            })?;
+            let r = rx
+                .recv()
+                .map_err(|_| GraphError::Data("worker pool disconnected mid-query".into()))?;
             for (pos, feats) in r? {
                 per_position[pos] = Some(feats);
             }
@@ -508,7 +508,9 @@ mod tests {
         let mut b = GraphBuilder::new();
         let title = b.source("title");
         let body = b.source("body");
-        let ts = b.add("title_stats", Operator::StringStats, [title]).unwrap();
+        let ts = b
+            .add("title_stats", Operator::StringStats, [title])
+            .unwrap();
         let bs = b.add("body_stats", Operator::StringStats, [body]).unwrap();
         Arc::new(b.finish_with_concat("features", [ts, bs]).unwrap())
     }
@@ -607,9 +609,7 @@ mod tests {
     #[test]
     fn parallel_batch_matches_serial() {
         let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
-        let par = exec
-            .clone()
-            .with_parallelism(Parallelism::Batch(3));
+        let par = exec.clone().with_parallelism(Parallelism::Batch(3));
         let t = {
             let mut t = Table::new();
             let titles: Vec<String> = (0..17).map(|i| format!("title {i}!")).collect();

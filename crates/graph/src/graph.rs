@@ -125,8 +125,7 @@ impl TransformGraph {
             }
             indegree[node.id] = node.inputs.len();
         }
-        let mut queue: VecDeque<NodeId> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<NodeId> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(id) = queue.pop_front() {
             order.push(id);

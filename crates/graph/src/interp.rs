@@ -62,9 +62,9 @@ fn dynamic_ngram_counts(
 
 /// TF-IDF through the dynamic counting path.
 fn dynamic_tfidf(v: &TfIdfVectorizer, doc: &str) -> Result<Vec<(usize, f64)>, GraphError> {
-    let vocab = v.vocabulary().ok_or_else(|| {
-        GraphError::Feature("tf-idf vectorizer used before fit".to_string())
-    })?;
+    let vocab = v
+        .vocabulary()
+        .ok_or_else(|| GraphError::Feature("tf-idf vectorizer used before fit".to_string()))?;
     let mut row = dynamic_ngram_counts(v.config(), vocab, doc);
     v.weigh(&mut row);
     Ok(row)
@@ -73,11 +73,7 @@ fn dynamic_tfidf(v: &TfIdfVectorizer, doc: &str) -> Result<Vec<(usize, f64)>, Gr
 /// Evaluate one node the interpreted way: text featurization takes the
 /// boxed-token dynamic path; everything else falls through to the
 /// shared row implementation.
-fn eval_row_interp(
-    op: &Operator,
-    name: &str,
-    inputs: &[&RowOut],
-) -> Result<RowOut, GraphError> {
+fn eval_row_interp(op: &Operator, name: &str, inputs: &[&RowOut]) -> Result<RowOut, GraphError> {
     match op {
         Operator::TfIdf(v) if inputs.len() == 1 => {
             let doc = inputs[0]
@@ -135,13 +131,10 @@ fn eval_row_namespace(
                 let mut owned_inputs: Vec<RowOut> = Vec::with_capacity(node.inputs.len());
                 for &i in &node.inputs {
                     let name = &graph.node(i).name;
-                    let cell =
-                        namespace
-                            .get(name)
-                            .ok_or_else(|| GraphError::BadInput {
-                                node: node.name.clone(),
-                                reason: format!("namespace missing `{name}`"),
-                            })?;
+                    let cell = namespace.get(name).ok_or_else(|| GraphError::BadInput {
+                        node: node.name.clone(),
+                        reason: format!("namespace missing `{name}`"),
+                    })?;
                     owned_inputs.push(match cell {
                         RowOut::Value(v) => RowOut::Value(rebox(v)),
                         RowOut::Features(f) => RowOut::Features(f.clone()),
@@ -229,8 +222,11 @@ mod tests {
         // Both halves identical (same op, same input).
         for r in 0..2 {
             let e = f.row_entries(r);
-            let left: Vec<(usize, f64)> =
-                e.iter().filter(|(c, _)| *c < 8).map(|(c, v)| (*c, *v)).collect();
+            let left: Vec<(usize, f64)> = e
+                .iter()
+                .filter(|(c, _)| *c < 8)
+                .map(|(c, v)| (*c, *v))
+                .collect();
             let right: Vec<(usize, f64)> = e
                 .iter()
                 .filter(|(c, _)| *c >= 8)

@@ -362,7 +362,11 @@ impl Operator {
                         node: name.to_string(),
                         reason: "expected a numeric value".into(),
                     })?;
-                Ok(RowOut::Features(if v == 0.0 { vec![] } else { vec![(0, v)] }))
+                Ok(RowOut::Features(if v == 0.0 {
+                    vec![]
+                } else {
+                    vec![(0, v)]
+                }))
             }
             Operator::StringStats => {
                 arity(1)?;
@@ -503,9 +507,7 @@ mod tests {
 
     #[test]
     fn concat_offsets_row_path() {
-        let op = Operator::Concat {
-            widths: vec![2, 3],
-        };
+        let op = Operator::Concat { widths: vec![2, 3] };
         let a = RowOut::Features(vec![(1, 1.0)]);
         let b = RowOut::Features(vec![(0, 2.0), (2, 3.0)]);
         let out = op.eval_row("c", &[&a, &b]).unwrap();
@@ -536,7 +538,10 @@ mod tests {
         let batch = op
             .eval_batch("l", &[&BatchOut::Column(Column::from(vec![5i64]))], 1)
             .unwrap();
-        assert_eq!(batch.as_features("l").unwrap().row_entries(0), vec![(0, 1.5)]);
+        assert_eq!(
+            batch.as_features("l").unwrap().row_entries(0),
+            vec![(0, 1.5)]
+        );
         let row = op.eval_row("l", &[&RowOut::Value(Value::Int(5))]).unwrap();
         assert_eq!(row.as_features("l").unwrap(), &[(0, 1.5)]);
         assert_eq!(store.stats().round_trips(), 2);
@@ -546,10 +551,16 @@ mod tests {
     fn numeric_column_paths() {
         let op = Operator::NumericColumn;
         let batch = op
-            .eval_batch("n", &[&BatchOut::Column(Column::from(vec![1.0f64, 0.0]))], 2)
+            .eval_batch(
+                "n",
+                &[&BatchOut::Column(Column::from(vec![1.0f64, 0.0]))],
+                2,
+            )
             .unwrap();
         assert_eq!(batch.as_features("n").unwrap().n_cols(), 1);
-        let row = op.eval_row("n", &[&RowOut::Value(Value::Float(0.0))]).unwrap();
+        let row = op
+            .eval_row("n", &[&RowOut::Value(Value::Float(0.0))])
+            .unwrap();
         assert_eq!(row.as_features("n").unwrap(), &[]);
     }
 
@@ -568,12 +579,6 @@ mod tests {
     #[test]
     fn kind_strings() {
         assert_eq!(Operator::StringStats.kind(), "string_stats");
-        assert_eq!(
-            Operator::Source {
-                column: "x".into()
-            }
-            .kind(),
-            "source"
-        );
+        assert_eq!(Operator::Source { column: "x".into() }.kind(), "source");
     }
 }

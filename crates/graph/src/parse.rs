@@ -86,7 +86,10 @@ pub fn parse_pipeline(
             .iter()
             .map(|a| {
                 names.get(*a).copied().ok_or_else(|| {
-                    parse_err(lineno, format!("unknown input `{a}` (defined later or never?)"))
+                    parse_err(
+                        lineno,
+                        format!("unknown input `{a}` (defined later or never?)"),
+                    )
                 })
             })
             .collect::<Result<_, _>>()?;
@@ -148,9 +151,7 @@ fn parse_err(line: usize, reason: String) -> GraphError {
 
 fn validate_ident(name: &str, lineno: usize) -> Result<(), GraphError> {
     let ok = !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.starts_with(|c: char| c.is_ascii_digit());
     if ok {
         Ok(())
@@ -262,18 +263,14 @@ mod tests {
         let err = parse_pipeline("source a\nf = numeric(b)", &no_bindings()).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 2, .. }));
         // Using a name before it is defined is also unknown.
-        let err = parse_pipeline(
-            "source a\nf = concat(g)\ng = numeric(a)",
-            &no_bindings(),
-        )
-        .unwrap_err();
+        let err =
+            parse_pipeline("source a\nf = concat(g)\ng = numeric(a)", &no_bindings()).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 2, .. }));
     }
 
     #[test]
     fn redefinition_rejected() {
-        let err =
-            parse_pipeline("source a\na = numeric(a)", &no_bindings()).unwrap_err();
+        let err = parse_pipeline("source a\na = numeric(a)", &no_bindings()).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 2, .. }));
     }
 

@@ -24,10 +24,7 @@ impl InputRow {
     /// Build from `(name, value)` pairs.
     pub fn new<'a>(pairs: impl IntoIterator<Item = (&'a str, Value)>) -> InputRow {
         InputRow {
-            values: pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            values: pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         }
     }
 
@@ -46,9 +43,11 @@ impl InputRow {
     /// # Errors
     /// Returns [`GraphError::MissingInput`] when absent.
     pub fn try_get(&self, name: &str) -> Result<&Value, GraphError> {
-        self.values.get(name).ok_or_else(|| GraphError::MissingInput {
-            name: name.to_string(),
-        })
+        self.values
+            .get(name)
+            .ok_or_else(|| GraphError::MissingInput {
+                name: name.to_string(),
+            })
     }
 
     /// Extract row `r` of a table as an `InputRow`.

@@ -140,7 +140,8 @@ impl IsotonicCalibrator {
                 ),
             });
         }
-        let mut pairs: Vec<(f64, f64)> = scores.iter().copied().zip(labels.iter().copied()).collect();
+        let mut pairs: Vec<(f64, f64)> =
+            scores.iter().copied().zip(labels.iter().copied()).collect();
         pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
         // Pool adjacent violators: maintain blocks of

@@ -43,7 +43,9 @@ mod tests {
             ModelError::EmptyTrainingSet.to_string(),
             "training set is empty"
         );
-        let e = ModelError::BadLabels { reason: "nan".into() };
+        let e = ModelError::BadLabels {
+            reason: "nan".into(),
+        };
         assert!(e.to_string().contains("nan"));
     }
 }

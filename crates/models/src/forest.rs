@@ -86,8 +86,7 @@ impl RandomForest {
                 context: format!("{} feature rows vs {} labels", x.n_rows(), y.len()),
             });
         }
-        if objective == ForestObjective::Classification
-            && y.iter().any(|v| *v != 0.0 && *v != 1.0)
+        if objective == ForestObjective::Classification && y.iter().any(|v| *v != 0.0 && *v != 1.0)
         {
             return Err(ModelError::BadLabels {
                 reason: "classification forest expects labels in {0, 1}".into(),
@@ -144,8 +143,13 @@ impl RandomForest {
                 }
             }
             // Rows with zero hessian (not drawn) contribute nothing.
-            let tree =
-                DecisionTree::fit_gradients(&masked_bins, &mapper, &boot_grad, &boot_hess, &params.tree)?;
+            let tree = DecisionTree::fit_gradients(
+                &masked_bins,
+                &mapper,
+                &boot_grad,
+                &boot_hess,
+                &params.tree,
+            )?;
             trees.push(tree);
         }
         Ok(RandomForest {
@@ -168,11 +172,7 @@ impl RandomForest {
     /// Score one dense row: mean over trees, clamped to [0, 1] for
     /// classification.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        let mean = self
-            .trees
-            .iter()
-            .map(|t| t.predict_row(row))
-            .sum::<f64>()
+        let mean = self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
             / self.trees.len().max(1) as f64;
         match self.objective {
             ForestObjective::Classification => mean.clamp(0.0, 1.0),
@@ -190,7 +190,9 @@ impl RandomForest {
 
     /// Score every row of a dense matrix without conversion.
     pub fn predict_dense(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|r| self.predict_row(x.row(r))).collect()
+        (0..x.n_rows())
+            .map(|r| self.predict_row(x.row(r)))
+            .collect()
     }
 
     /// Gain-based feature importances, normalized to sum to 1.
@@ -329,21 +331,45 @@ mod tests {
     #[test]
     fn deterministic_per_seed_and_varied_across_seeds() {
         let (x, y) = step_data();
-        let a = RandomForest::fit(&x, &y, ForestObjective::Classification, &ForestParams::default(), 9)
-            .unwrap();
-        let b = RandomForest::fit(&x, &y, ForestObjective::Classification, &ForestParams::default(), 9)
-            .unwrap();
+        let a = RandomForest::fit(
+            &x,
+            &y,
+            ForestObjective::Classification,
+            &ForestParams::default(),
+            9,
+        )
+        .unwrap();
+        let b = RandomForest::fit(
+            &x,
+            &y,
+            ForestObjective::Classification,
+            &ForestParams::default(),
+            9,
+        )
+        .unwrap();
         assert_eq!(a, b);
-        let c = RandomForest::fit(&x, &y, ForestObjective::Classification, &ForestParams::default(), 10)
-            .unwrap();
+        let c = RandomForest::fit(
+            &x,
+            &y,
+            ForestObjective::Classification,
+            &ForestParams::default(),
+            10,
+        )
+        .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn single_row_matches_batch() {
         let (x, y) = step_data();
-        let f = RandomForest::fit(&x, &y, ForestObjective::Classification, &ForestParams::default(), 2)
-            .unwrap();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            ForestObjective::Classification,
+            &ForestParams::default(),
+            2,
+        )
+        .unwrap();
         let batch = f.predict(&x);
         let dense = x.to_dense();
         for r in (0..dense.n_rows()).step_by(57) {

@@ -157,12 +157,7 @@ impl Gbdt {
     /// Raw (margin) prediction for one dense row.
     pub fn predict_raw_row(&self, row: &[f64]) -> f64 {
         self.base_score
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f64>()
+            + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Score one dense row: probability (logistic) or value (squared).
@@ -184,7 +179,9 @@ impl Gbdt {
 
     /// Score every row of a dense matrix without conversion.
     pub fn predict_dense(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|r| self.predict_row(x.row(r))).collect()
+        (0..x.n_rows())
+            .map(|r| self.predict_row(x.row(r)))
+            .collect()
     }
 
     /// Total split gain per feature, normalized to sum to 1 (zero
@@ -305,11 +302,22 @@ mod tests {
     fn label_validation() {
         let x = FeatureMatrix::Dense(Matrix::from_rows(&[vec![1.0], vec![2.0]]));
         assert!(matches!(
-            Gbdt::fit(&x, &[0.3, 0.7], GbdtObjective::Logistic, &GbdtParams::default()),
+            Gbdt::fit(
+                &x,
+                &[0.3, 0.7],
+                GbdtObjective::Logistic,
+                &GbdtParams::default()
+            ),
             Err(ModelError::BadLabels { .. })
         ));
         // Same labels are fine for regression.
-        assert!(Gbdt::fit(&x, &[0.3, 0.7], GbdtObjective::Squared, &GbdtParams::default()).is_ok());
+        assert!(Gbdt::fit(
+            &x,
+            &[0.3, 0.7],
+            GbdtObjective::Squared,
+            &GbdtParams::default()
+        )
+        .is_ok());
     }
 
     #[test]

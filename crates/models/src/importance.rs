@@ -125,7 +125,9 @@ pub fn gbdt_proxy_importances(
     }
     let mut order: Vec<usize> = (0..n_cols).collect();
     order.sort_unstable_by(|&a, &b| {
-        mass[b].partial_cmp(&mass[a]).unwrap_or(std::cmp::Ordering::Equal)
+        mass[b]
+            .partial_cmp(&mass[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let selected: Vec<usize> = order
         .into_iter()
@@ -154,12 +156,7 @@ pub fn gbdt_proxy_importances(
         Task::BinaryClassification => GbdtObjective::Logistic,
         Task::Regression => GbdtObjective::Squared,
     };
-    let gbdt = Gbdt::fit(
-        &FeatureMatrix::Dense(sub),
-        &y[..n_rows],
-        objective,
-        &params,
-    )?;
+    let gbdt = Gbdt::fit(&FeatureMatrix::Dense(sub), &y[..n_rows], objective, &params)?;
     let proxy_imp = gbdt.feature_importances();
     let mut out = vec![0.0; n_cols];
     for (slot, &c) in selected.iter().enumerate() {
@@ -203,10 +200,7 @@ mod tests {
     #[test]
     fn linear_importance_scales_by_magnitude() {
         // Same coefficient, different feature scales.
-        let x = FeatureMatrix::Dense(Matrix::from_rows(&[
-            vec![1.0, 100.0],
-            vec![2.0, 200.0],
-        ]));
+        let x = FeatureMatrix::Dense(Matrix::from_rows(&[vec![1.0, 100.0], vec![2.0, 200.0]]));
         let imp = linear_importances(&[1.0, 1.0], &x);
         assert!(imp[1] > imp[0] * 50.0);
     }

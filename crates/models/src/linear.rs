@@ -140,7 +140,10 @@ impl LogisticRegression {
                 b -= lr * err;
             }
         }
-        Ok(LogisticRegression { weights: w, bias: b })
+        Ok(LogisticRegression {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Fitted weights.
@@ -205,7 +208,10 @@ impl LinearRegression {
                 b -= lr * err;
             }
         }
-        Ok(LinearRegression { weights: w, bias: b })
+        Ok(LinearRegression {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Fitted weights.
@@ -335,9 +341,9 @@ mod tests {
         let (x, y) = separable();
         let m = LogisticRegression::fit(&x, &y, &LogisticParams::default(), 5).unwrap();
         let batch = m.predict_proba(&x);
-        for r in 0..x.n_rows() {
+        for (r, b) in batch.iter().enumerate() {
             let one = m.predict_proba_row(&x.row_entries(r));
-            assert!((batch[r] - one).abs() < 1e-12);
+            assert!((b - one).abs() < 1e-12);
         }
     }
 

@@ -101,7 +101,11 @@ impl Mlp {
         let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
         let scale = (2.0 / (d.max(1) as f64)).sqrt();
         let mut w1: Vec<Vec<f64>> = (0..h)
-            .map(|_| (0..d).map(|_| (uniform(&mut state) - 0.5) * 2.0 * scale).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| (uniform(&mut state) - 0.5) * 2.0 * scale)
+                    .collect()
+            })
             .collect();
         let mut b1 = vec![0.0; h];
         let w2_scale = (2.0 / h as f64).sqrt();
@@ -138,7 +142,11 @@ impl Mlp {
                     act[k] = z.max(0.0);
                 }
                 let out = act.iter().zip(&w2).map(|(a, w)| a * w).sum::<f64>() + b2;
-                let pred = if params.classification { sigmoid(out) } else { out };
+                let pred = if params.classification {
+                    sigmoid(out)
+                } else {
+                    out
+                };
                 // dL/dout is (pred - y) for both squared loss and
                 // logistic loss with sigmoid output.
                 let delta = pred - y[i];
@@ -314,8 +322,8 @@ mod tests {
         let x = FeatureMatrix::Dense(Matrix::from_rows(&[vec![0.3, 0.7], vec![0.9, 0.1]]));
         let m = Mlp::fit(&x, &[0.0, 1.0], &MlpParams::default(), 2).unwrap();
         let batch = m.predict(&x);
-        for r in 0..2 {
-            assert!((m.predict_row(&x.row_entries(r)) - batch[r]).abs() < 1e-12);
+        for (r, b) in batch.iter().enumerate() {
+            assert!((m.predict_row(&x.row_entries(r)) - b).abs() < 1e-12);
         }
     }
 }

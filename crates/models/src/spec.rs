@@ -211,9 +211,7 @@ impl TrainedModel {
     /// proxy is implemented in [`crate::importance`]).
     pub fn native_importances(&self) -> Option<Vec<f64>> {
         match self {
-            TrainedModel::Logistic(m) => {
-                Some(m.weights().iter().map(|w| w.abs()).collect())
-            }
+            TrainedModel::Logistic(m) => Some(m.weights().iter().map(|w| w.abs()).collect()),
             TrainedModel::Linear(m) => Some(m.weights().iter().map(|w| w.abs()).collect()),
             TrainedModel::Gbdt(m) => Some(m.feature_importances()),
             TrainedModel::Forest(m) => Some(m.feature_importances()),
@@ -303,9 +301,9 @@ mod tests {
             .fit(&x, &y, 1)
             .unwrap();
         let batch = m.predict_scores(&x);
-        for r in 0..x.n_rows() {
+        for (r, b) in batch.iter().enumerate() {
             let one = m.predict_score_row(&x.row_entries(r), x.n_cols());
-            assert!((one - batch[r]).abs() < 1e-12);
+            assert!((one - b).abs() < 1e-12);
         }
     }
 

@@ -242,9 +242,7 @@ impl DecisionTree {
                 let gain = g_left * g_left / (h_left + ctx.params.lambda)
                     + g_right * g_right / (h_right + ctx.params.lambda)
                     - parent_score;
-                if gain > ctx.params.min_gain
-                    && best.is_none_or(|(_, _, bg)| gain > bg)
-                {
+                if gain > ctx.params.min_gain && best.is_none_or(|(_, _, bg)| gain > bg) {
                     best = Some((f, b as u8, gain));
                 }
             }
@@ -267,7 +265,9 @@ impl DecisionTree {
         let left = self.build(ctx, left_rows, depth + 1);
         let right = self.build(ctx, right_rows, depth + 1);
         match &mut self.nodes[node_idx as usize] {
-            Node::Split { left: l, right: r, .. } => {
+            Node::Split {
+                left: l, right: r, ..
+            } => {
                 *l = left;
                 *r = right;
             }

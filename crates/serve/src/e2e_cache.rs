@@ -171,11 +171,7 @@ mod tests {
 
     #[test]
     fn predictor_errors_propagate() {
-        let p = E2eCachedPredictor::new(
-            |_| Err("boom".to_string()),
-            vec!["x".to_string()],
-            None,
-        );
+        let p = E2eCachedPredictor::new(|_| Err("boom".to_string()), vec!["x".to_string()], None);
         let input = InputRow::new([("x", Value::Float(1.0))]);
         assert!(matches!(
             p.predict_one(&input),

@@ -29,7 +29,9 @@ mod server;
 
 pub use e2e_cache::E2eCachedPredictor;
 pub use error::ServeError;
-pub use protocol::{decode_request, decode_response, encode_request, encode_response, Request, Response};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
 pub use selection::{ArmStats, ModelSelector, SelectionPolicy};
 pub use server::{
     table_row_to_wire, ClipperClient, ClipperServer, Servable, ServerConfig, ServerStats,

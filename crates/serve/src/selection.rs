@@ -293,8 +293,14 @@ mod tests {
     fn two_arm_selector(policy: SelectionPolicy) -> ModelSelector {
         ModelSelector::new(
             vec![
-                ("bad".to_string(), Arc::new(Constant(0.0)) as Arc<dyn Servable>),
-                ("good".to_string(), Arc::new(Constant(1.0)) as Arc<dyn Servable>),
+                (
+                    "bad".to_string(),
+                    Arc::new(Constant(0.0)) as Arc<dyn Servable>,
+                ),
+                (
+                    "good".to_string(),
+                    Arc::new(Constant(1.0)) as Arc<dyn Servable>,
+                ),
             ],
             policy,
             42,
@@ -379,12 +385,7 @@ mod tests {
         assert!(ModelSelector::new(vec![], SelectionPolicy::Ucb1, 1).is_err());
         let m: Vec<(String, Arc<dyn Servable>)> =
             vec![("a".into(), Arc::new(Constant(0.0)) as Arc<dyn Servable>)];
-        assert!(ModelSelector::new(
-            m,
-            SelectionPolicy::EpsilonGreedy { epsilon: 1.5 },
-            1
-        )
-        .is_err());
+        assert!(ModelSelector::new(m, SelectionPolicy::EpsilonGreedy { epsilon: 1.5 }, 1).is_err());
         let m: Vec<(String, Arc<dyn Servable>)> =
             vec![("a".into(), Arc::new(Constant(0.0)) as Arc<dyn Servable>)];
         assert!(ModelSelector::new(m, SelectionPolicy::Exp3 { gamma: 0.0 }, 1).is_err());

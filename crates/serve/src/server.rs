@@ -157,13 +157,12 @@ impl ClipperServer {
                         Err(_) => break,
                     }
                 }
-                worker_stats
-                    .batches
-                    .fetch_add(1, Ordering::Relaxed);
+                worker_stats.batches.fetch_add(1, Ordering::Relaxed);
                 for env in envelopes {
                     let response = Self::handle(&*predictor, &env.payload, &worker_stats);
-                    let wire = encode_response(&response)
-                        .unwrap_or_else(|e| format!("{{\"id\":0,\"scores\":[],\"error\":\"{e}\"}}"));
+                    let wire = encode_response(&response).unwrap_or_else(|e| {
+                        format!("{{\"id\":0,\"scores\":[],\"error\":\"{e}\"}}")
+                    });
                     let _ = env.reply.send(wire);
                 }
             }
@@ -292,8 +291,8 @@ pub fn table_row_to_wire(table: &Table, r: usize) -> Result<WireRow, ServeError>
 
 #[cfg(test)]
 mod tests {
-    use willump_data::Value;
     use super::*;
+    use willump_data::Value;
 
     /// A trivial predictor: score = 2 * x.
     struct Doubler;

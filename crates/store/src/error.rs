@@ -37,10 +37,16 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::UnknownTable { name } => write!(f, "unknown table `{name}`"),
             StoreError::MissingKey { table, key } => {
-                write!(f, "key `{key}` not found in table `{table}` and no default row set")
+                write!(
+                    f,
+                    "key `{key}` not found in table `{table}` and no default row set"
+                )
             }
             StoreError::DimMismatch { expected, found } => {
-                write!(f, "row dimension mismatch: table holds {expected}, row has {found}")
+                write!(
+                    f,
+                    "row dimension mismatch: table holds {expected}, row has {found}"
+                )
             }
             StoreError::Transient { table } => {
                 write!(f, "transient failure querying table `{table}`")

@@ -431,7 +431,10 @@ mod tests {
         let mut t = FeatureTable::new(2);
         assert!(matches!(
             t.insert(Key::Int(1), vec![1.0]),
-            Err(StoreError::DimMismatch { expected: 2, found: 1 })
+            Err(StoreError::DimMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
         assert!(t.set_default(vec![0.0]).is_err());
     }

@@ -36,28 +36,28 @@ fn build_universe<R: Rng>(rng: &mut R) -> Universe {
         bureau: (0..N_CLIENTS)
             .map(|_| {
                 [
-                    normal(rng, 2.0, 1.5).max(0.0), // past credit count
+                    normal(rng, 2.0, 1.5).max(0.0),        // past credit count
                     normal(rng, 0.2, 0.2).clamp(0.0, 1.0), // overdue ratio
-                    normal(rng, 0.5, 0.3).max(0.0), // debt ratio
-                    normal(rng, 0.0, 1.0),          // bureau score
+                    normal(rng, 0.5, 0.3).max(0.0),        // debt ratio
+                    normal(rng, 0.0, 1.0),                 // bureau score
                 ]
             })
             .collect(),
         prev_apps: (0..N_CLIENTS)
             .map(|_| {
                 [
-                    normal(rng, 1.5, 1.0).max(0.0), // previous applications
+                    normal(rng, 1.5, 1.0).max(0.0),         // previous applications
                     normal(rng, 0.3, 0.25).clamp(0.0, 1.0), // refusal ratio
-                    normal(rng, 0.0, 1.0),          // prev score
+                    normal(rng, 0.0, 1.0),                  // prev score
                 ]
             })
             .collect(),
         installments: (0..N_CLIENTS)
             .map(|_| {
                 [
-                    normal(rng, 0.1, 0.1).clamp(0.0, 1.0), // late ratio
+                    normal(rng, 0.1, 0.1).clamp(0.0, 1.0),  // late ratio
                     normal(rng, 0.95, 0.1).clamp(0.0, 1.2), // payment ratio
-                    normal(rng, 0.0, 1.0),                 // installment score
+                    normal(rng, 0.0, 1.0),                  // installment score
                 ]
             })
             .collect(),
@@ -74,7 +74,9 @@ fn default_probability(
     prev: &[f64; 3],
     inst: &[f64; 3],
 ) -> f64 {
-    let x = -1.2 + 1.6 * annuity_ratio + 0.5 * (credit / (income + 1.0)).min(3.0)
+    let x = -1.2
+        + 1.6 * annuity_ratio
+        + 0.5 * (credit / (income + 1.0)).min(3.0)
         + 0.8 * bureau[1]
         + 0.3 * bureau[2]
         - 0.25 * bureau[3]
@@ -135,10 +137,14 @@ fn make_split<R: Rng>(rng: &mut R, u: &Universe, n: usize, zipf: &Zipf) -> (Tabl
         targets.push((p + normal(rng, 0.0, 0.02)).clamp(0.0, 1.0));
     }
     let mut t = Table::new();
-    t.add_column("client_id", Column::from(ids)).expect("fresh table");
-    t.add_column("income", Column::from(incomes)).expect("fresh table");
-    t.add_column("credit_amount", Column::from(credits)).expect("fresh table");
-    t.add_column("annuity_ratio", Column::from(annuities)).expect("fresh table");
+    t.add_column("client_id", Column::from(ids))
+        .expect("fresh table");
+    t.add_column("income", Column::from(incomes))
+        .expect("fresh table");
+    t.add_column("credit_amount", Column::from(credits))
+        .expect("fresh table");
+    t.add_column("annuity_ratio", Column::from(annuities))
+        .expect("fresh table");
     (t, targets)
 }
 
@@ -173,10 +179,8 @@ pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
     let bureau = b.add("bureau_lookup", join("bureau")?, [client])?;
     let prev = b.add("prev_apps_lookup", join("previous_applications")?, [client])?;
     let inst = b.add("installments_lookup", join("installments")?, [client])?;
-    let graph = Arc::new(b.finish_with_concat(
-        "features",
-        [inc_f, cred_f, ann_f, bureau, prev, inst],
-    )?);
+    let graph =
+        Arc::new(b.finish_with_concat("features", [inc_f, cred_f, ann_f, bureau, prev, inst])?);
 
     let pipeline = Pipeline::new(
         graph,

@@ -75,7 +75,10 @@ impl WorkloadKind {
     pub fn is_classification(self) -> bool {
         matches!(
             self,
-            WorkloadKind::Product | WorkloadKind::Music | WorkloadKind::Toxic | WorkloadKind::Tracking
+            WorkloadKind::Product
+                | WorkloadKind::Music
+                | WorkloadKind::Toxic
+                | WorkloadKind::Tracking
         )
     }
 

@@ -106,8 +106,7 @@ fn affinity(u: &Universe, user: usize, song: usize) -> f64 {
     // pairs it can classify and which to escalate.
     let e = u.user_eclecticness[user];
     let bias_weight = 1.0 / (1.0 + 0.45 * e * e);
-    let biases =
-        u.user_bias[user] + u.song_bias[song] + u.genre_bias[u.song_genre[song]];
+    let biases = u.user_bias[user] + u.song_bias[song] + u.genre_bias[u.song_genre[song]];
     bias_weight * biases + e * (interaction + direct)
 }
 
@@ -140,7 +139,10 @@ fn build_store(u: &Universe, cfg: &WorkloadConfig) -> Result<Store, WillumpError
     }
     for i in 0..N_SONGS {
         song_stats
-            .insert(Key::Int(i as i64), vec![u.song_bias[i], (i % 89) as f64 / 89.0])
+            .insert(
+                Key::Int(i as i64),
+                vec![u.song_bias[i], (i % 89) as f64 / 89.0],
+            )
             .map_err(err)?;
         song_latent
             .insert(Key::Int(i as i64), u.song_latent[i].clone())
@@ -148,7 +150,10 @@ fn build_store(u: &Universe, cfg: &WorkloadConfig) -> Result<Store, WillumpError
     }
     for g in 0..N_GENRES {
         genre_feats
-            .insert(Key::Int(g as i64), vec![u.genre_bias[g], g as f64 / N_GENRES as f64])
+            .insert(
+                Key::Int(g as i64),
+                vec![u.genre_bias[g], g as f64 / N_GENRES as f64],
+            )
             .map_err(err)?;
     }
     Ok(Store::remote(
@@ -206,9 +211,12 @@ fn make_split<R: Rng>(
         labels.push(f64::from(score > 0.0));
     }
     let mut t = Table::new();
-    t.add_column("user_id", Column::from(users)).expect("fresh table");
-    t.add_column("song_id", Column::from(songs)).expect("fresh table");
-    t.add_column("genre_id", Column::from(genres)).expect("fresh table");
+    t.add_column("user_id", Column::from(users))
+        .expect("fresh table");
+    t.add_column("song_id", Column::from(songs))
+        .expect("fresh table");
+    t.add_column("genre_id", Column::from(genres))
+        .expect("fresh table");
     (t, labels)
 }
 
@@ -229,13 +237,28 @@ pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
     let mut seen_pairs = std::collections::HashSet::new();
 
     let (train, train_y) = make_split(
-        &mut rng, &universe, cfg.n_train, &user_zipf, &song_zipf, &mut seen_pairs,
+        &mut rng,
+        &universe,
+        cfg.n_train,
+        &user_zipf,
+        &song_zipf,
+        &mut seen_pairs,
     );
     let (valid, valid_y) = make_split(
-        &mut rng, &universe, cfg.n_valid, &user_zipf, &song_zipf, &mut seen_pairs,
+        &mut rng,
+        &universe,
+        cfg.n_valid,
+        &user_zipf,
+        &song_zipf,
+        &mut seen_pairs,
     );
     let (test, test_y) = make_split(
-        &mut rng, &universe, cfg.n_test, &user_zipf, &song_zipf, &mut seen_pairs,
+        &mut rng,
+        &universe,
+        cfg.n_test,
+        &user_zipf,
+        &song_zipf,
+        &mut seen_pairs,
     );
 
     let join = |table: &str| -> Result<Operator, WillumpError> {
@@ -317,7 +340,11 @@ mod tests {
             users.iter().copied().zip(songs.iter().copied()).collect();
         // Users repeat a lot; pairs are all distinct (interaction
         // semantics).
-        assert!((uniq_users.len() as f64) < 0.6 * n, "{} users", uniq_users.len());
+        assert!(
+            (uniq_users.len() as f64) < 0.6 * n,
+            "{} users",
+            uniq_users.len()
+        );
         assert_eq!(uniq_pairs.len(), users.len());
     }
 

@@ -51,10 +51,7 @@ fn log_price(
     defect: bool,
     noise: f64,
 ) -> f64 {
-    u.brand_price[brand]
-        + u.category_mult[category]
-        + 0.3 * shipping
-        - 0.1 * condition
+    u.brand_price[brand] + u.category_mult[category] + 0.3 * shipping - 0.1 * condition
         + if premium { 0.5 } else { 0.0 }
         - if defect { 0.7 } else { 0.0 }
         + noise
@@ -167,13 +164,19 @@ pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
     let condition = b.source("condition");
     let ship_f = b.add("shipping_feature", Operator::NumericColumn, [shipping])?;
     let cond_f = b.add("condition_feature", Operator::NumericColumn, [condition])?;
-    let brand_f = b.add("brand_onehot", Operator::OneHot(Arc::new(brand_onehot)), [brand])?;
-    let cat_f = b.add("category_onehot", Operator::OneHot(Arc::new(cat_onehot)), [category])?;
+    let brand_f = b.add(
+        "brand_onehot",
+        Operator::OneHot(Arc::new(brand_onehot)),
+        [brand],
+    )?;
+    let cat_f = b.add(
+        "category_onehot",
+        Operator::OneHot(Arc::new(cat_onehot)),
+        [category],
+    )?;
     let name_f = b.add("name_tfidf", Operator::TfIdf(Arc::new(name_tfidf)), [name])?;
-    let graph = Arc::new(b.finish_with_concat(
-        "features",
-        [ship_f, cond_f, brand_f, cat_f, name_f],
-    )?);
+    let graph =
+        Arc::new(b.finish_with_concat("features", [ship_f, cond_f, brand_f, cat_f, name_f])?);
 
     let pipeline = Pipeline::new(
         graph,

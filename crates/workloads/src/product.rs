@@ -72,11 +72,7 @@ fn make_title<R: Rng>(rng: &mut R, vocab: &SyntheticVocab, concise: bool) -> Str
     }
 }
 
-fn make_split<R: Rng>(
-    rng: &mut R,
-    vocab: &SyntheticVocab,
-    n: usize,
-) -> (Vec<String>, Vec<f64>) {
+fn make_split<R: Rng>(rng: &mut R, vocab: &SyntheticVocab, n: usize) -> (Vec<String>, Vec<f64>) {
     let mut titles = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
@@ -139,7 +135,11 @@ pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
     let mut b = GraphBuilder::new();
     let title = b.source("title");
     let raw_stats = b.add("title_stats", Operator::StringStats, [title])?;
-    let stats = b.add("title_stats_scaled", Operator::Scale(Arc::new(scaler)), [raw_stats])?;
+    let stats = b.add(
+        "title_stats_scaled",
+        Operator::Scale(Arc::new(scaler)),
+        [raw_stats],
+    )?;
     let words = b.add("word_tfidf", Operator::TfIdf(Arc::new(word_tfidf)), [title])?;
     let chars = b.add("char_tfidf", Operator::TfIdf(Arc::new(char_tfidf)), [title])?;
     let graph = Arc::new(b.finish_with_concat("features", [stats, words, chars])?);

@@ -81,11 +81,7 @@ fn make_comment<R: Rng>(rng: &mut R, vocab: &SyntheticVocab, toxic: bool) -> Str
     }
 }
 
-fn make_split<R: Rng>(
-    rng: &mut R,
-    vocab: &SyntheticVocab,
-    n: usize,
-) -> (Vec<String>, Vec<f64>) {
+fn make_split<R: Rng>(rng: &mut R, vocab: &SyntheticVocab, n: usize) -> (Vec<String>, Vec<f64>) {
     let mut docs = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
@@ -153,8 +149,16 @@ pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
         Operator::Scale(Arc::new(scaler)),
         [raw_stats],
     )?;
-    let words = b.add("word_tfidf", Operator::TfIdf(Arc::new(word_tfidf)), [comment])?;
-    let chars = b.add("char_tfidf", Operator::TfIdf(Arc::new(char_tfidf)), [comment])?;
+    let words = b.add(
+        "word_tfidf",
+        Operator::TfIdf(Arc::new(word_tfidf)),
+        [comment],
+    )?;
+    let chars = b.add(
+        "char_tfidf",
+        Operator::TfIdf(Arc::new(char_tfidf)),
+        [comment],
+    )?;
     let graph = Arc::new(b.finish_with_concat("features", [stats, words, chars])?);
 
     let pipeline = Pipeline::new(

@@ -48,7 +48,15 @@ fn build_universe<R: Rng>(rng: &mut R) -> Universe {
     }
 }
 
-fn attribution_logit(u: &Universe, ip: usize, app: usize, dev: usize, os: usize, ch: usize, hour: f64) -> f64 {
+fn attribution_logit(
+    u: &Universe,
+    ip: usize,
+    app: usize,
+    dev: usize,
+    os: usize,
+    ch: usize,
+    hour: f64,
+) -> f64 {
     -1.0 - 1.4 * u.ip_fraud[ip]
         + 1.0 * u.app_quality[app]
         + 0.5 * u.device_score[dev]
@@ -83,7 +91,8 @@ fn build_store(u: &Universe, cfg: &WorkloadConfig) -> Result<Store, WillumpError
             .map_err(err)?;
     }
     for i in 0..N_OS {
-        os.insert(Key::Int(i as i64), vec![u.os_score[i]]).map_err(err)?;
+        os.insert(Key::Int(i as i64), vec![u.os_score[i]])
+            .map_err(err)?;
     }
     for i in 0..N_CHANNELS {
         ch.insert(
@@ -125,7 +134,9 @@ fn make_split<R: Rng>(rng: &mut R, u: &Universe, n: usize) -> (Table, Vec<f64>) 
         let hour = rng.gen_range(0..24) as f64;
         // Click bursts: the same tuple repeats 1-4 times, which is
         // what gives end-to-end caching its ~22 % hit rate.
-        let repeats = (1 + rng.gen_range(0..4usize).saturating_sub(2)).min(n - i).max(1);
+        let repeats = (1 + rng.gen_range(0..4usize).saturating_sub(2))
+            .min(n - i)
+            .max(1);
         for _ in 0..repeats {
             let logit = attribution_logit(u, ip, app, dev, os, ch, hour) + normal(rng, 0.0, 0.2);
             ips.push(ip as i64);
@@ -143,11 +154,15 @@ fn make_split<R: Rng>(rng: &mut R, u: &Universe, n: usize) -> (Table, Vec<f64>) 
     }
     let mut t = Table::new();
     t.add_column("ip", Column::from(ips)).expect("fresh table");
-    t.add_column("app", Column::from(apps)).expect("fresh table");
-    t.add_column("device", Column::from(devs)).expect("fresh table");
+    t.add_column("app", Column::from(apps))
+        .expect("fresh table");
+    t.add_column("device", Column::from(devs))
+        .expect("fresh table");
     t.add_column("os", Column::from(oss)).expect("fresh table");
-    t.add_column("channel", Column::from(chs)).expect("fresh table");
-    t.add_column("hour", Column::from(hours)).expect("fresh table");
+    t.add_column("channel", Column::from(chs))
+        .expect("fresh table");
+    t.add_column("hour", Column::from(hours))
+        .expect("fresh table");
     (t, labels)
 }
 
@@ -183,10 +198,8 @@ pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
     let os_f = b.add("os_lookup", join("os_features")?, [os])?;
     let ch_f = b.add("channel_lookup", join("channel_features")?, [channel])?;
     let hour_f = b.add("hour_feature", Operator::NumericColumn, [hour])?;
-    let graph = Arc::new(b.finish_with_concat(
-        "features",
-        [ip_f, app_f, dev_f, os_f, ch_f, hour_f],
-    )?);
+    let graph =
+        Arc::new(b.finish_with_concat("features", [ip_f, app_f, dev_f, os_f, ch_f, hour_f])?);
 
     let pipeline = Pipeline::new(
         graph,

@@ -44,10 +44,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let plain_server = ClipperServer::start(plain, ServerConfig::default());
 
     // Willump-optimized pipeline behind an identical server.
-    let optimized: Arc<dyn Servable> = Arc::new(
-        Willump::new(WillumpConfig::default())
-            .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)?,
-    );
+    let optimized: Arc<dyn Servable> = Arc::new(Willump::new(WillumpConfig::default()).optimize(
+        &w.pipeline,
+        &w.train,
+        &w.train_y,
+        &w.valid,
+        &w.valid_y,
+    )?);
     let opt_server = ClipperServer::start(optimized, ServerConfig::default());
 
     println!("serving the toxic-comment pipeline through the RPC layer:\n");

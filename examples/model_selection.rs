@@ -46,8 +46,14 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let selector = ModelSelector::new(
         vec![
-            ("stale-model".to_string(), Arc::new(weak) as Arc<dyn Servable>),
-            ("fresh-model".to_string(), Arc::new(strong) as Arc<dyn Servable>),
+            (
+                "stale-model".to_string(),
+                Arc::new(weak) as Arc<dyn Servable>,
+            ),
+            (
+                "fresh-model".to_string(),
+                Arc::new(strong) as Arc<dyn Servable>,
+            ),
         ],
         SelectionPolicy::Ucb1,
         7,

@@ -46,7 +46,9 @@ fn make_data(n: usize, seed: u64) -> (Table, Vec<f64>) {
         labels.push(f64::from(concise));
     }
     let mut table = Table::new();
-    table.add_column("title", Column::from(titles)).expect("fresh table");
+    table
+        .add_column("title", Column::from(titles))
+        .expect("fresh table");
     (table, labels)
 }
 
@@ -71,7 +73,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     bindings.insert("title_tfidf".to_string(), Operator::TfIdf(Arc::new(tfidf)));
 
     let graph = Arc::new(parse_pipeline(DESCRIPTION, &bindings)?);
-    println!("parsed {} nodes; sources: {:?}", graph.len(), graph.source_columns());
+    println!(
+        "parsed {} nodes; sources: {:?}",
+        graph.len(),
+        graph.source_columns()
+    );
 
     let pipeline = Pipeline::new(graph, ModelSpec::Logistic(LogisticParams::default()));
     let optimized = Willump::new(WillumpConfig::default())

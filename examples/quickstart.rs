@@ -37,7 +37,8 @@ fn make_data(n: usize, seed: u64) -> (Table, Vec<f64>) {
         labels.push(f64::from(positive));
     }
     let mut t = Table::new();
-    t.add_column("text", Column::from(docs)).expect("fresh table");
+    t.add_column("text", Column::from(docs))
+        .expect("fresh table");
     (t, labels)
 }
 
@@ -58,7 +59,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         sublinear_tf: true,
         ..VectorizerConfig::default()
     })?;
-    let corpus = train.column("text").and_then(Column::as_str_slice).expect("text column");
+    let corpus = train
+        .column("text")
+        .and_then(Column::as_str_slice)
+        .expect("text column");
     tfidf.fit(corpus);
 
     let mut b = GraphBuilder::new();

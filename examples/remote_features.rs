@@ -26,12 +26,23 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let configs: [(&str, bool, Option<CachingConfig>); 4] = [
         ("no caching, no cascades", false, None),
-        ("feature-level caching", false, Some(CachingConfig { capacity: None })),
+        (
+            "feature-level caching",
+            false,
+            Some(CachingConfig { capacity: None }),
+        ),
         ("cascades", true, None),
-        ("caching + cascades", true, Some(CachingConfig { capacity: None })),
+        (
+            "caching + cascades",
+            true,
+            Some(CachingConfig { capacity: None }),
+        ),
     ];
 
-    println!("Music, remote tables, {} per-input queries\n", w.test.n_rows());
+    println!(
+        "Music, remote tables, {} per-input queries\n",
+        w.test.n_rows()
+    );
     println!(
         "{:<28} {:>12} {:>14} {:>16}",
         "configuration", "round trips", "reduction", "latency/input"

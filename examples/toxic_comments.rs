@@ -16,7 +16,11 @@ use willump_workloads::{WorkloadConfig, WorkloadKind};
 fn main() -> Result<(), Box<dyn Error>> {
     // Generate the Toxic benchmark (synthetic Jigsaw-style comments).
     let w = WorkloadKind::Toxic.generate(&WorkloadConfig::default())?;
-    println!("generated {} train / {} test comments", w.train.n_rows(), w.test.n_rows());
+    println!(
+        "generated {} train / {} test comments",
+        w.train.n_rows(),
+        w.test.n_rows()
+    );
 
     // Unoptimized: interpreted execution, every feature computed for
     // every comment.
@@ -45,8 +49,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         .zip(&report.ifv_stats.cost)
         .enumerate()
     {
-        let marker = if report.efficient_set.contains(&g) { " <- efficient" } else { "" };
-        println!("  IFV {g}: importance {imp:.4}, cost {:.1}us/row{marker}", cost * 1e6);
+        let marker = if report.efficient_set.contains(&g) {
+            " <- efficient"
+        } else {
+            ""
+        };
+        println!(
+            "  IFV {g}: importance {imp:.4}, cost {:.1}us/row{marker}",
+            cost * 1e6
+        );
     }
     if let Some(sel) = &report.threshold {
         println!(

@@ -62,7 +62,9 @@ fn interpreted_and_compiled_engines_agree_on_features() {
         let sample: Vec<usize> = (0..w.test.n_rows()).step_by(97).collect();
         let sub = w.test.take_rows(&sample);
         let a = interp.features_batch(&sub, None).expect("interp features");
-        let b = compiled.features_batch(&sub, None).expect("compiled features");
+        let b = compiled
+            .features_batch(&sub, None)
+            .expect("compiled features");
         assert_eq!(a.n_rows(), b.n_rows(), "{}", kind.name());
         assert_eq!(a.n_cols(), b.n_cols(), "{}", kind.name());
         for r in 0..a.n_rows() {
@@ -182,7 +184,11 @@ fn feature_caching_reduces_remote_requests_more_than_e2e() {
 
 #[test]
 fn topk_filter_stays_close_to_exact() {
-    for kind in [WorkloadKind::Product, WorkloadKind::Price, WorkloadKind::Credit] {
+    for kind in [
+        WorkloadKind::Product,
+        WorkloadKind::Price,
+        WorkloadKind::Credit,
+    ] {
         let w = small(kind, false);
         let k = 25;
         let opt = Willump::new(WillumpConfig {

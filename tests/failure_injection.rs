@@ -115,7 +115,7 @@ fn feature_cache_reduces_fault_exposure() {
     for r in 0..w.test.n_rows() {
         let input = InputRow::from_table(&w.test, r).expect("row");
         if cached.predict_one(&input).is_ok() {
-            survived = survived + 1;
+            survived += 1;
         }
     }
     store.set_fault_plan(None);
@@ -151,18 +151,15 @@ fn single_class_training_labels_do_not_panic() {
     let valid_ones = vec![1.0; w.valid.n_rows()];
     // Must either optimize (predicting the constant class) or error
     // cleanly; both are acceptable, panicking is not.
-    match Willump::new(WillumpConfig::default()).optimize(
+    if let Ok(opt) = Willump::new(WillumpConfig::default()).optimize(
         &w.pipeline,
         &w.train,
         &ones,
         &w.valid,
         &valid_ones,
     ) {
-        Ok(opt) => {
-            let scores = opt.predict_batch(&w.test).expect("predicts");
-            assert!(scores.iter().all(|s| s.is_finite()));
-        }
-        Err(_) => {}
+        let scores = opt.predict_batch(&w.test).expect("predicts");
+        assert!(scores.iter().all(|s| s.is_finite()));
     }
 }
 
@@ -229,9 +226,7 @@ fn cascade_threshold_extremes_behave() {
     // Threshold above any attainable confidence: everything escalates,
     // so predictions equal the full model's.
     cascade.set_threshold(1.01);
-    let (scores, stats) = opt
-        .predict_batch_with_stats(&w.test)
-        .expect("predicts");
+    let (scores, stats) = opt.predict_batch_with_stats(&w.test).expect("predicts");
     let stats = stats.expect("cascade stats");
     assert_eq!(stats.resolved_small, 0);
     let full_feats = opt
@@ -247,9 +242,7 @@ fn cascade_threshold_extremes_behave() {
     // escalates and the small model answers everything.
     let cascade = opt.cascade_mut().expect("cascade still deployed");
     cascade.set_threshold(0.0);
-    let (_, stats) = opt
-        .predict_batch_with_stats(&w.test)
-        .expect("predicts");
+    let (_, stats) = opt.predict_batch_with_stats(&w.test).expect("predicts");
     assert_eq!(stats.expect("cascade stats").escalated, 0);
 }
 
@@ -265,15 +258,12 @@ fn topk_with_k_larger_than_batch_is_clamped_or_errors() {
     .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
     .expect("optimizes");
     let tiny = w.test.take_rows(&[0, 1, 2]);
-    match opt.top_k(&tiny, 10) {
-        Ok((idx, _)) => {
-            assert!(idx.len() <= 3, "cannot return more rows than exist");
-            // No duplicate indices.
-            let mut sorted = idx.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            assert_eq!(sorted.len(), idx.len());
-        }
-        Err(_) => {}
+    if let Ok((idx, _)) = opt.top_k(&tiny, 10) {
+        assert!(idx.len() <= 3, "cannot return more rows than exist");
+        // No duplicate indices.
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), idx.len());
     }
 }

@@ -18,7 +18,11 @@ use willump_store::LruCache;
 /// number of generators and shared sources are.
 fn arb_graph(n_fgs: usize, shared_source: bool) -> Arc<TransformGraph> {
     let mut b = GraphBuilder::new();
-    let shared = if shared_source { Some(b.source("shared")) } else { None };
+    let shared = if shared_source {
+        Some(b.source("shared"))
+    } else {
+        None
+    };
     let mut roots = Vec::new();
     for i in 0..n_fgs {
         let src = match (shared, i % 2 == 0) {
@@ -204,7 +208,7 @@ proptest! {
     /// smaller bin, and every output is a valid bin index.
     #[test]
     fn quantile_binner_is_monotone(
-        mut values in prop::collection::vec(-1e6f64..1e6, 2..200),
+        values in prop::collection::vec(-1e6f64..1e6, 2..200),
         n_bins in 2usize..12,
         queries in prop::collection::vec(-2e6f64..2e6, 0..50),
     ) {
@@ -221,7 +225,6 @@ proptest! {
             prop_assert!(bin >= prev_bin, "monotonicity violated");
             prev_bin = bin;
         }
-        values.sort_unstable_by(|a, c| a.partial_cmp(c).unwrap());
     }
 
     /// Target encoding always lands between the extreme labels and

@@ -1,0 +1,65 @@
+//! Workspace smoke test: the `willump-repro` facade's re-exports
+//! resolve and compose — build a `Pipeline` through `willump`, a
+//! `Table` through `willump_data`, optimize, and run one prediction
+//! end-to-end through the compiled engine.
+
+use std::sync::Arc;
+
+use willump_repro::willump::{Pipeline, Willump, WillumpConfig};
+use willump_repro::willump_data::{Column, Table};
+use willump_repro::willump_graph::{GraphBuilder, InputRow, Operator};
+use willump_repro::willump_models::{LogisticParams, ModelSpec};
+
+fn tiny_table(docs: Vec<String>) -> Table {
+    let mut t = Table::new();
+    t.add_column("text", Column::from(docs))
+        .expect("fresh table");
+    t
+}
+
+#[test]
+fn facade_reexports_compose_end_to_end() {
+    // Data through willump_data: longer, louder documents are class 1.
+    let make = |n: usize, offset: usize| -> (Table, Vec<f64>) {
+        let mut docs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let positive = (i + offset).is_multiple_of(2);
+            let doc = if positive {
+                format!("GREAT wonderful product number {i}!!!")
+            } else {
+                format!("bad item {i}")
+            };
+            docs.push(doc);
+            labels.push(f64::from(positive));
+        }
+        (tiny_table(docs), labels)
+    };
+    let (train, train_y) = make(120, 0);
+    let (valid, valid_y) = make(60, 1);
+
+    // Pipeline through willump: one cheap feature generator feeding a
+    // logistic model.
+    let mut b = GraphBuilder::new();
+    let text = b.source("text");
+    let stats = b
+        .add("stats", Operator::StringStats, [text])
+        .expect("node added");
+    let graph = Arc::new(b.finish_with_concat("features", [stats]).expect("graph"));
+    let pipeline = Pipeline::new(graph, ModelSpec::Logistic(LogisticParams::default()));
+
+    // Optimize and predict end-to-end.
+    let optimized = Willump::new(WillumpConfig::default())
+        .optimize(&pipeline, &train, &train_y, &valid, &valid_y)
+        .expect("optimizes");
+
+    let (test, _) = make(10, 0);
+    let scores = optimized.predict_batch(&test).expect("batch predicts");
+    assert_eq!(scores.len(), 10);
+    assert!(scores.iter().all(|s| s.is_finite()));
+
+    // Single-row path resolves through the facade too.
+    let row = InputRow::from_table(&test, 0).expect("row");
+    let one = optimized.predict_one(&row).expect("single predicts");
+    assert!(one.is_finite());
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the exact slice of the `rand` 0.8 surface its sources use:
+//! [`rngs::StdRng`] (a xoshiro256++ generator), [`SeedableRng::seed_from_u64`],
+//! the [`Rng`] extension methods `gen`, `gen_range`, and `gen_bool`, and the
+//! [`distributions::Distribution`] trait. Everything is deterministic
+//! given a seed; there is no OS entropy source.
+
+/// A source of random 64-bit words. The object-safe core trait.
+pub trait RngCore {
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next random `u32` (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value from the "standard" distribution of `T`
+    /// (uniform over the type's natural range; `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types sampleable from their standard distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+
+    /// Sample one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Scalar types uniform-sampleable over an interval.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[lo, hi]`. Panics if `hi < lo`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                // Multiply-shift maps a uniform u64 onto [0, span).
+                let off = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = ((u128::from(rng.next_u64()) * u128::from(span + 1)) >> 64) as u64;
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + (hi - lo) * u
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+impl<T: SampleUniform> SampleRange for std::ops::Range<T> {
+    type Output = T;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange for std::ops::RangeInclusive<T> {
+    type Output = T;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Distribution traits, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution over values of type `T`, sampleable with any RNG.
+    pub trait Distribution<T> {
+        /// Draw one value from the distribution.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded by splitmix64 expansion of a `u64`.
+    ///
+    /// (The real `rand::rngs::StdRng` is a ChaCha block cipher; this
+    /// stand-in keeps the type and trait surface, not the stream.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..7);
+            assert!((3..7).contains(&x));
+            let y = rng.gen_range(0..=4usize);
+            assert!(y <= 4);
+            let f = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,411 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors a minimal serialization framework with serde's *surface*
+//! (the `Serialize`/`Deserialize` traits and derive macros) over a
+//! much simpler data model: every value converts to and from a
+//! JSON-shaped [`Content`] tree, which `serde_json` then renders or
+//! parses. Formats other than JSON, zero-copy deserialization, and
+//! serde's visitor architecture are out of scope.
+//!
+//! The derive macros (enabled by the `derive` feature, re-exported
+//! from `serde_derive`) support non-generic structs and enums with
+//! serde's externally-tagged representation, plus `#[serde(skip)]`
+//! on struct fields.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the intermediate representation every
+/// [`Serialize`]/[`Deserialize`] implementation converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object: ordered key/value pairs.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a [`Content::Map`].
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name for the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Int(_) | Content::UInt(_) => "integer",
+            Content::Float(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from any message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Build a type-mismatch error.
+    #[must_use]
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to a [`Content`] tree.
+pub trait Serialize {
+    /// Convert `self` into the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild a value from the content tree.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when `content`'s shape does not match.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                i64::try_from(*self).map_or(Content::UInt(*self as u64), Content::Int)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let out = match content {
+                    Content::Int(i) => <$t>::try_from(*i).ok(),
+                    Content::UInt(u) => <$t>::try_from(*u).ok(),
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                out.ok_or_else(|| {
+                    DeError::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Float(f) => Ok(*f as $t),
+                    Content::Int(i) => Ok(*i as $t),
+                    Content::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+// ---- container impls ----------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(Arc::from(s.as_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for Box<str> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone().into_boxed_str()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", $len),
+                        other,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+/// Map keys renderable to / from JSON object keys (strings).
+pub trait MapKey: Sized {
+    /// Render the key as a string.
+    fn to_key(&self) -> String;
+    /// Parse the key back from a string.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the string does not parse.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| {
+                    DeError::custom(concat!("invalid ", stringify!($t), " map key"))
+                })
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut pairs: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_content()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(pairs)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}

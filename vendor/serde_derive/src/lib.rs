@@ -1,0 +1,441 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored `serde` crate's content-tree model, parsing the item
+//! with the bare `proc_macro` API (no `syn`/`quote` available
+//! offline) and emitting the generated impls from format strings.
+//!
+//! Supported shapes: non-generic structs (named, tuple, unit) and
+//! non-generic enums (unit, tuple, and struct variants) in serde's
+//! externally-tagged representation, plus `#[serde(skip)]` on named
+//! struct fields (skipped on serialize, `Default::default()` on
+//! deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its identifier and whether `#[serde(skip)]` applies.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    StructNamed(Vec<Field>),
+    StructTuple(usize),
+    StructUnit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derive `serde::Serialize` (content-tree model) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (content-tree model) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---- parsing ------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Consume a restriction like `pub(crate)`.
+                        if matches!(
+                            tokens.peek(),
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                        ) {
+                            tokens.next();
+                        }
+                    }
+                    "struct" | "enum" => break s,
+                    other => panic!("serde_derive: unexpected token `{other}`"),
+                }
+            }
+            other => panic!("serde_derive: unexpected input near {other:?}"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by this offline stand-in");
+    }
+    let kind = if keyword == "enum" {
+        let body = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        };
+        ItemKind::Enum(
+            split_commas(body)
+                .iter()
+                .map(|c| parse_variant(c))
+                .collect(),
+        )
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::StructNamed(
+                    split_commas(g.stream())
+                        .iter()
+                        .map(|c| parse_field(c))
+                        .collect(),
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::StructTuple(split_commas(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::StructUnit,
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Split a token stream at top-level commas, treating `<...>` spans as
+/// nested so generic argument lists stay intact. (`()`/`[]`/`{}` are
+/// already single `Group` tokens.)
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Scan a field/variant chunk: drop leading attributes (noting
+/// `#[serde(skip)]`) and visibility, and return the remaining tokens.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> (bool, &[TokenTree]) {
+    let mut skip = false;
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+                    skip |= attr_is_serde_skip(g);
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    chunk.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    (skip, &chunk[i..])
+}
+
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_field(chunk: &[TokenTree]) -> Field {
+    let (skip, rest) = strip_attrs_and_vis(chunk);
+    match rest.first() {
+        Some(TokenTree::Ident(id)) => Field {
+            name: id.to_string(),
+            skip,
+        },
+        other => panic!("serde_derive: expected field name, found {other:?}"),
+    }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let (_, rest) = strip_attrs_and_vis(chunk);
+    let name = match rest.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected variant name, found {other:?}"),
+    };
+    let kind = match rest.get(1) {
+        None => VariantKind::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantKind::Tuple(split_commas(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantKind::Named(
+            split_commas(g.stream())
+                .iter()
+                .map(|c| parse_field(c))
+                .collect(),
+        ),
+        other => panic!("serde_derive: unexpected tokens after variant `{name}`: {other:?}"),
+    };
+    Variant { name, kind }
+}
+
+// ---- code generation ----------------------------------------------
+
+fn tuple_bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("__f{i}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::StructUnit => "::serde::Content::Null".to_string(),
+        ItemKind::StructTuple(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        ItemKind::StructNamed(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_content(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", pairs.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds = tuple_bindings(*arity);
+                            let inner = if *arity == 1 {
+                                format!("::serde::Serialize::to_content({})", binds[0])
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![({vname:?}.to_string(), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({:?}.to_string(), ::serde::Serialize::to_content({}))",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Content::Map(vec![({vname:?}.to_string(), ::serde::Content::Map(vec![{}]))]),",
+                                binds.join(", "),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+        }}"
+    )
+}
+
+fn named_fields_de(fields: &[Field], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default()", f.name)
+            } else {
+                format!(
+                    "{}: ::serde::Deserialize::from_content({source}.get({:?}).ok_or_else(|| ::serde::DeError::custom(concat!(\"missing field `\", {:?}, \"`\")))?)?",
+                    f.name, f.name, f.name
+                )
+            }
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::StructUnit => format!(
+            "match __content {{\n\
+                ::serde::Content::Null => Ok({name}),\n\
+                other => Err(::serde::DeError::expected(\"null\", other)),\n\
+            }}"
+        ),
+        ItemKind::StructTuple(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __content {{\n\
+                    ::serde::Content::Seq(__items) if __items.len() == {arity} => Ok({name}({})),\n\
+                    other => Err(::serde::DeError::expected(\"array of length {arity}\", other)),\n\
+                }}",
+                elems.join(", ")
+            )
+        }
+        ItemKind::StructNamed(fields) => {
+            let inits = named_fields_de(fields, "__content");
+            format!(
+                "match __content {{\n\
+                    ::serde::Content::Map(_) => Ok({name} {{ {inits} }}),\n\
+                    other => Err(::serde::DeError::expected(\"object\", other)),\n\
+                }}"
+            )
+        }
+        ItemKind::Enum(variants) => gen_enum_de(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+        }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_content(__inner)?)),"
+                )),
+                VariantKind::Tuple(arity) => {
+                    let elems: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match __inner {{\n\
+                            ::serde::Content::Seq(__items) if __items.len() == {arity} => Ok({name}::{vname}({})),\n\
+                            other => Err(::serde::DeError::expected(\"array of length {arity}\", other)),\n\
+                        }},",
+                        elems.join(", ")
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits = named_fields_de(fields, "__inner");
+                    Some(format!(
+                        "{vname:?} => match __inner {{\n\
+                            ::serde::Content::Map(_) => Ok({name}::{vname} {{ {inits} }}),\n\
+                            other => Err(::serde::DeError::expected(\"object\", other)),\n\
+                        }},"
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let mut arms = Vec::new();
+    if !unit_arms.is_empty() {
+        arms.push(format!(
+            "::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                {}\n\
+                other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+            }},",
+            unit_arms.join("\n")
+        ));
+    }
+    if !data_arms.is_empty() {
+        arms.push(format!(
+            "::serde::Content::Map(__pairs) if __pairs.len() == 1 => {{\n\
+                let (__tag, __inner) = &__pairs[0];\n\
+                match __tag.as_str() {{\n\
+                    {}\n\
+                    other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                }}\n\
+            }}",
+            data_arms.join("\n")
+        ));
+    }
+    format!(
+        "match __content {{\n\
+            {}\n\
+            other => Err(::serde::DeError::expected(\"{name} variant\", other)),\n\
+        }}",
+        arms.join("\n")
+    )
+}
