@@ -1,16 +1,38 @@
-//! Table 6: end-to-end query latency when serving Product and Toxic
-//! through the Clipper-like layer, with and without Willump
-//! optimization, at request batch sizes 1, 10, and 100.
+//! Table 6: end-to-end serving through the Clipper-like layer.
+//!
+//! Two experiments:
+//!
+//! 1. **Latency** (the paper's Table 6 shape): mean request latency
+//!    for Product and Toxic, with and without Willump optimization,
+//!    at request batch sizes 1, 10, and 100.
+//! 2. **Worker sweep** (ROADMAP scale-out): serving *throughput* of
+//!    the optimized pipeline under concurrent closed-loop clients,
+//!    sweeping worker counts {1, 2, 4} with coalesced batching
+//!    against the single-worker seed configuration (no coalescing).
+//!
+//! Flags:
+//!
+//! - `--smoke`: tiny workloads and request counts — a CI-speed sanity
+//!   pass over the full code path (never writes EXPERIMENTS.md).
+//! - `--record`: additionally rewrite `EXPERIMENTS.md` with the
+//!   measured tables (the benchmark-trajectory capture; see the
+//!   schema comment in that file).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use willump::QueryMode;
 use willump_bench::{
-    baseline, fmt_latency, fmt_speedup, generate, optimize_level, print_table, OptLevel,
+    baseline, fmt_latency, fmt_speedup, fmt_throughput, format_table, generate, optimize_level,
+    serving_throughput, OptLevel,
 };
 use willump_serve::{table_row_to_wire, ClipperServer, Servable, ServerConfig};
-use willump_workloads::{Workload, WorkloadKind};
+use willump_store::LatencyModel;
+use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
+
+/// The schema header CI greps for in EXPERIMENTS.md; bump the version
+/// when the recorded table shapes change.
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table6-serving-sweep v1 -->";
 
 /// Mean request latency through the serving boundary at one batch
 /// size.
@@ -34,12 +56,41 @@ fn request_latency(w: &Workload, predictor: Arc<dyn Servable>, batch: usize, req
     start.elapsed().as_secs_f64() / reqs as f64
 }
 
-fn main() {
+/// The server configurations the sweep compares. The first is the
+/// seed behavior (one worker, per-request dispatch); the rest add
+/// coalesced batching and scale worker count.
+fn sweep_configs() -> Vec<(&'static str, ServerConfig)> {
+    let base = ServerConfig::default();
+    vec![
+        (
+            "seed (1w, no coalesce)",
+            ServerConfig {
+                workers: 1,
+                coalesce: false,
+                ..base
+            },
+        ),
+        ("1 worker", ServerConfig { workers: 1, ..base }),
+        ("2 workers", ServerConfig { workers: 2, ..base }),
+        ("4 workers", ServerConfig { workers: 4, ..base }),
+    ]
+}
+
+struct SweepScale {
+    clients: usize,
+    /// Requests per client at batch size `b`: `(budget / b).clamp(lo, hi)`.
+    req_budget: usize,
+    req_min: usize,
+    req_max: usize,
+    batches: Vec<usize>,
+}
+
+fn latency_table(smoke: bool) -> String {
     let kinds = [WorkloadKind::Product, WorkloadKind::Toxic];
-    let batches = [1usize, 10, 100];
+    let batches: &[usize] = if smoke { &[1, 10] } else { &[1, 10, 100] };
     let mut rows = Vec::new();
     for kind in kinds {
-        let w = generate(kind, false);
+        let w = gen_workload(kind, smoke);
         let plain: Arc<dyn Servable> = Arc::new(baseline(&w));
         let optimized: Arc<dyn Servable> = Arc::new(optimize_level(
             &w,
@@ -48,11 +99,15 @@ fn main() {
             None,
             1,
         ));
-        for &batch in &batches {
-            let reqs = (400 / batch).clamp(20, 200);
+        for &batch in batches {
+            let reqs = if smoke {
+                3
+            } else {
+                (400 / batch).clamp(20, 200)
+            };
             // The interpreted pipeline is orders of magnitude slower;
             // a handful of requests estimate its mean latency stably.
-            let reqs_plain = (40 / batch).clamp(3, 40);
+            let reqs_plain = if smoke { 2 } else { (40 / batch).clamp(3, 40) };
             let lat_plain = request_latency(&w, plain.clone(), batch, reqs_plain);
             let lat_opt = request_latency(&w, optimized.clone(), batch, reqs);
             rows.push(vec![
@@ -64,7 +119,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    format_table(
         "Table 6: Clipper-style serving latency per request",
         &[
             "benchmark",
@@ -74,5 +129,172 @@ fn main() {
             "speedup",
         ],
         &rows,
-    );
+    )
+}
+
+fn gen_workload(kind: WorkloadKind, smoke: bool) -> Workload {
+    if smoke {
+        let cfg = WorkloadConfig {
+            n_train: 300,
+            n_valid: 150,
+            n_test: 200,
+            seed: 42,
+            remote: None,
+        };
+        kind.generate(&cfg).expect("workload generates")
+    } else {
+        generate(kind, false)
+    }
+}
+
+/// Generate the remote-feature serving workload: Music with its data
+/// tables behind a feature store whose simulated network really
+/// sleeps the calling thread. This is the regime where worker count
+/// matters even on one core — workers overlap round-trip waits — and
+/// where coalescing amortizes round trips across merged requests,
+/// mirroring the paper's remote-Redis serving setup.
+fn gen_remote_workload(smoke: bool) -> Workload {
+    let (n_train, n_valid, n_test) = if smoke {
+        (300, 150, 200)
+    } else {
+        (1_000, 500, 1_000)
+    };
+    let rtt = if smoke { 200_000 } else { 1_000_000 };
+    let cfg = WorkloadConfig {
+        n_train,
+        n_valid,
+        n_test,
+        seed: 42,
+        remote: Some(LatencyModel::real_network(rtt, 2_000)),
+    };
+    WorkloadKind::Music
+        .generate(&cfg)
+        .expect("workload generates")
+}
+
+fn sweep_table(smoke: bool) -> String {
+    let kinds = [WorkloadKind::Product, WorkloadKind::Toxic];
+    let scale = if smoke {
+        SweepScale {
+            clients: 4,
+            req_budget: 16,
+            req_min: 2,
+            req_max: 8,
+            batches: vec![1, 10],
+        }
+    } else {
+        SweepScale {
+            clients: 8,
+            req_budget: 1600,
+            req_min: 10,
+            req_max: 200,
+            batches: vec![1, 10, 100],
+        }
+    };
+    let mut workloads: Vec<(String, Workload, usize)> = kinds
+        .iter()
+        .map(|&kind| (kind.name().to_string(), gen_workload(kind, smoke), 1))
+        .collect();
+    // Real round trips make requests ~100x slower; shrink the request
+    // budget so the remote rows measure in seconds, not minutes.
+    workloads.push(("music (remote)".to_string(), gen_remote_workload(smoke), 8));
+    let mut rows = Vec::new();
+    for (name, w, budget_divisor) in &workloads {
+        let optimized: Arc<dyn Servable> = Arc::new(optimize_level(
+            w,
+            OptLevel::Cascades,
+            QueryMode::Batch,
+            None,
+            1,
+        ));
+        for &batch in &scale.batches {
+            let reqs =
+                (scale.req_budget / budget_divisor / batch).clamp(scale.req_min, scale.req_max);
+            let mut seed_tput = None;
+            for (label, config) in sweep_configs() {
+                let server = ClipperServer::start(optimized.clone(), config);
+                let tput = serving_throughput(&server, &w.test, batch, scale.clients, reqs);
+                let coalesced = server.stats().coalesced_rows();
+                let max_rows = server.stats().max_batch_rows();
+                drop(server);
+                let vs_seed = match seed_tput {
+                    None => {
+                        seed_tput = Some(tput);
+                        "1.0x (baseline)".to_string()
+                    }
+                    Some(s) => fmt_speedup(tput / s),
+                };
+                rows.push(vec![
+                    name.clone(),
+                    batch.to_string(),
+                    scale.clients.to_string(),
+                    label.to_string(),
+                    format!("{} rows/s", fmt_throughput(tput)),
+                    vs_seed,
+                    coalesced.to_string(),
+                    max_rows.to_string(),
+                ]);
+            }
+        }
+    }
+    format_table(
+        "Table 6b: serving throughput, worker sweep (coalesced batching vs seed)",
+        &[
+            "benchmark",
+            "batch size",
+            "clients",
+            "server config",
+            "throughput",
+            "vs seed",
+            "coalesced rows",
+            "max model batch",
+        ],
+        &rows,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let record = args.iter().any(|a| a == "--record");
+    for a in &args {
+        assert!(
+            a == "--smoke" || a == "--record",
+            "unknown flag {a}; supported: --smoke --record"
+        );
+    }
+
+    let latency = latency_table(smoke);
+    print!("{latency}");
+    let sweep = sweep_table(smoke);
+    print!("{sweep}");
+
+    if smoke {
+        // CI's perf-trajectory check: the committed EXPERIMENTS.md
+        // must carry the schema header this binary records (single
+        // source of truth — bump both together).
+        let recorded = std::fs::read_to_string("EXPERIMENTS.md")
+            .expect("EXPERIMENTS.md missing; run `table6 --record` and commit it");
+        assert!(
+            recorded.contains(EXPERIMENTS_SCHEMA),
+            "EXPERIMENTS.md lacks schema header {EXPERIMENTS_SCHEMA:?}; \
+             re-record with `table6 --record`"
+        );
+        println!("\nEXPERIMENTS.md schema header OK");
+    }
+
+    if record && !smoke {
+        let body = format!(
+            "# EXPERIMENTS\n\n{EXPERIMENTS_SCHEMA}\n\n\
+             Benchmark-trajectory capture for the serving layer \
+             (ROADMAP item): regenerate with\n\
+             `cargo run --release -p willump-bench --bin table6 -- --record`.\n\
+             Throughput rows compare the multi-worker coalescing server \
+             against the seed configuration\n\
+             (single worker, per-request dispatch) on the same optimized \
+             pipeline and machine.\n{latency}{sweep}"
+        );
+        std::fs::write("EXPERIMENTS.md", body).expect("write EXPERIMENTS.md");
+        println!("\nrecorded -> EXPERIMENTS.md");
+    }
 }

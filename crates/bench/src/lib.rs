@@ -21,7 +21,9 @@
 use std::time::Instant;
 
 use willump::{CachingConfig, OptimizedPipeline, QueryMode, Willump, WillumpConfig};
+use willump_data::Table;
 use willump_graph::InputRow;
+use willump_serve::{table_row_to_wire, ClipperServer, WireRow};
 use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 
 /// Default experiment sizes (larger than unit-test sizes, small enough
@@ -177,9 +179,8 @@ pub fn per_input_latency(w: &Workload, n: usize, mut predict: impl FnMut(&InputR
     secs / n as f64
 }
 
-/// Pretty-print a markdown table.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n## {title}\n");
+/// Render a markdown table (title as an `##` heading, aligned cells).
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -188,20 +189,31 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let print_row = |cells: &[String]| {
+    let fmt_row = |cells: &[String]| -> String {
         let padded: Vec<String> = cells
             .iter()
             .zip(&widths)
             .map(|(c, w)| format!("{c:<w$}"))
             .collect();
-        println!("| {} |", padded.join(" | "));
+        format!("| {} |", padded.join(" | "))
     };
-    print_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let mut out = format!("\n## {title}\n\n");
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    println!("|-{}-|", sep.join("-|-"));
+    out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
     for row in rows {
-        print_row(row);
+        out.push_str(&fmt_row(row));
+        out.push('\n');
     }
+    out
+}
+
+/// Pretty-print a markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(title, headers, rows));
 }
 
 /// Format a throughput as `12.3K rows/s`-style strings.
@@ -227,6 +239,61 @@ pub fn fmt_latency(seconds: f64) -> String {
 /// Format a speedup factor.
 pub fn fmt_speedup(x: f64) -> String {
     format!("{x:.1}x")
+}
+
+/// Serving throughput (rows/s, wall-clock) through a [`ClipperServer`]
+/// under `clients` closed-loop concurrent client threads, each sending
+/// `reqs` requests of `batch` rows drawn cyclically from `test` at a
+/// per-client offset. Request payloads are pre-serialized into wire
+/// rows before the clock starts and each client sends one warm-up
+/// request, so the measurement covers the serving boundary (JSON
+/// codec, queueing, batching, prediction), not test-harness setup.
+///
+/// # Panics
+/// Panics if serving fails or `test` is empty.
+pub fn serving_throughput(
+    server: &ClipperServer,
+    test: &Table,
+    batch: usize,
+    clients: usize,
+    reqs: usize,
+) -> f64 {
+    let n = test.n_rows();
+    assert!(n > 0, "empty test table");
+    let per_client: Vec<Vec<Vec<WireRow>>> = (0..clients)
+        .map(|c| {
+            (0..reqs)
+                .map(|r| {
+                    (0..batch)
+                        .map(|i| {
+                            table_row_to_wire(test, (c * 7919 + r * batch + i) % n).expect("row")
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let barrier = std::sync::Barrier::new(clients + 1);
+    let start = std::thread::scope(|s| {
+        for requests in &per_client {
+            let client = server.client();
+            let barrier = &barrier;
+            s.spawn(move || {
+                client
+                    .predict(requests[0].clone())
+                    .expect("warm-up succeeds");
+                barrier.wait();
+                for rows in requests {
+                    client.predict(rows.clone()).expect("serving succeeds");
+                }
+            });
+        }
+        barrier.wait();
+        Instant::now()
+    });
+    // scope joins every client before returning, so `start.elapsed()`
+    // spans exactly the post-warm-up request storm.
+    (clients * reqs * batch) as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Generate one workload at experiment size.

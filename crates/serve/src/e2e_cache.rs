@@ -15,6 +15,7 @@ use willump_data::Value;
 use willump_graph::InputRow;
 use willump_store::LruCache;
 
+use crate::server::Servable;
 use crate::ServeError;
 
 /// A boxed single-input prediction function.
@@ -106,6 +107,23 @@ impl E2eCachedPredictor {
     }
 }
 
+/// An end-to-end-cached predictor is servable, so the Clipper-style
+/// baseline can sit directly behind a (multi-worker)
+/// [`crate::ClipperServer`]: each row of a (possibly coalesced) batch
+/// is looked up — and on miss, computed — individually, which is
+/// exactly the per-input granularity end-to-end prediction caches
+/// operate at.
+impl Servable for E2eCachedPredictor {
+    fn predict_table(&self, table: &willump_data::Table) -> Result<Vec<f64>, String> {
+        (0..table.n_rows())
+            .map(|r| {
+                let input = InputRow::from_table(table, r).map_err(|e| e.to_string())?;
+                self.predict_one(&input).map_err(|e| e.to_string())
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +185,32 @@ mod tests {
         p.predict_one(&row(1.0, "a")).unwrap();
         assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(p.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cached_predictor_serves_behind_clipper_server() {
+        use crate::{ClipperServer, ServerConfig};
+        use willump_data::Value;
+
+        let (p, calls) = counting_predictor();
+        let server = ClipperServer::start(Arc::new(p), ServerConfig::default());
+        let client = server.client();
+        let wire_row = |x: f64, y: &str| {
+            vec![
+                ("x".to_string(), Value::Float(x)),
+                ("y".to_string(), Value::from(y)),
+            ]
+        };
+        // Two identical rows in one batch: second is a cache hit.
+        let scores = client
+            .predict(vec![wire_row(2.0, "a"), wire_row(2.0, "a")])
+            .unwrap();
+        assert_eq!(scores, vec![4.0, 4.0]);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // A repeat request hits entirely.
+        let scores = client.predict(vec![wire_row(2.0, "a")]).unwrap();
+        assert_eq!(scores, vec![4.0]);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -11,8 +11,14 @@
 //! and observes that (a) fixed per-request overheads amortize with
 //! batch size, and (b) variable serialization overheads remain. Both
 //! effects are real here: every request and response passes through
-//! `serde_json`, and the server runs on its own thread behind a
-//! channel.
+//! `serde_json`, and the server runs [`ServerConfig::workers`]
+//! executor threads behind a shared channel. Workers *coalesce*: all
+//! same-schema requests drained in one iteration merge into a single
+//! model-level batch (one `predict_table` call), so concurrent
+//! small requests amortize per-call fixed overheads exactly the way
+//! client-side batching does in Table 6. Shutdown is explicit and
+//! deadlock-free even while client handles are still alive (see
+//! [`ClipperServer::shutdown`]).
 //!
 //! The crate also reproduces Clipper's *model selection layer*
 //! (paper §7): [`ModelSelector`] routes queries across several
@@ -30,7 +36,8 @@ mod server;
 pub use e2e_cache::E2eCachedPredictor;
 pub use error::ServeError;
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    decode_request, decode_response, encode_request, encode_response, error_wire,
+    escape_json_string, Request, Response, WireRow, ERROR_RESPONSE_ID,
 };
 pub use selection::{ArmStats, ModelSelector, SelectionPolicy};
 pub use server::{

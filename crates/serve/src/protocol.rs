@@ -10,13 +10,24 @@ use willump_data::Value;
 
 use crate::ServeError;
 
+/// The reserved response id used when a request could not be decoded.
+///
+/// The server echoes the request's own id in every response it can,
+/// but a request that fails [`decode_request`] has no recoverable id.
+/// Such responses carry `ERROR_RESPONSE_ID` instead. To keep the two
+/// distinguishable, [`crate::ClipperClient`] assigns real request ids
+/// starting at 1 and never uses 0; custom clients should do the same.
+pub const ERROR_RESPONSE_ID: u64 = 0;
+
 /// One named raw-input value in a request row.
 pub type WireRow = Vec<(String, Value)>;
 
 /// A prediction request: a batch of raw-input rows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// Client-assigned request id, echoed in the response.
+    /// Client-assigned request id, echoed in the response. Must be
+    /// nonzero: id 0 is [`ERROR_RESPONSE_ID`], reserved for responses
+    /// to requests the server could not decode.
     pub id: u64,
     /// The batch of input rows (name/value pairs, consistent schema).
     pub rows: Vec<WireRow>,
@@ -25,7 +36,8 @@ pub struct Request {
 /// A prediction response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
-    /// The request id this answers.
+    /// The request id this answers, or [`ERROR_RESPONSE_ID`] when the
+    /// request was undecodable and its id is unknown.
     pub id: u64,
     /// One score per request row.
     pub scores: Vec<f64>,
@@ -63,6 +75,48 @@ pub fn encode_response(resp: &Response) -> Result<String, ServeError> {
 /// Returns [`ServeError::Codec`] on malformed input.
 pub fn decode_response(wire: &str) -> Result<Response, ServeError> {
     serde_json::from_str(wire).map_err(|e| ServeError::Codec(e.to_string()))
+}
+
+/// Build a guaranteed-well-formed error response wire string.
+///
+/// This is the server's last-resort path when [`encode_response`]
+/// itself fails (e.g. a predictor produced non-finite scores, which
+/// JSON cannot represent). The error text is routed through the real
+/// encoder so arbitrary message content — quotes, backslashes,
+/// control characters — stays valid JSON; if even that fails the
+/// string is hand-escaped via [`escape_json_string`].
+pub fn error_wire(id: u64, message: &str) -> String {
+    let resp = Response {
+        id,
+        scores: Vec::new(),
+        error: Some(message.to_string()),
+    };
+    encode_response(&resp).unwrap_or_else(|_| {
+        format!(
+            "{{\"id\":{id},\"scores\":[],\"error\":\"{}\"}}",
+            escape_json_string(message)
+        )
+    })
+}
+
+/// Escape a string for embedding inside a JSON string literal
+/// (backslash, quote, and control characters per RFC 8259 §7).
+pub fn escape_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -108,6 +162,34 @@ mod tests {
     fn malformed_wire_rejected() {
         assert!(decode_request("not json").is_err());
         assert!(decode_response("{\"id\":}").is_err());
+    }
+
+    #[test]
+    fn error_wire_is_valid_json_for_hostile_messages() {
+        let hostile = "boom \"quoted\" and \\backslash\\ and\nnewline \t tab \u{1} ctrl";
+        let wire = error_wire(9, hostile);
+        let resp = decode_response(&wire).expect("fallback wire must parse");
+        assert_eq!(resp.id, 9);
+        assert!(resp.scores.is_empty());
+        assert_eq!(resp.error.as_deref(), Some(hostile));
+    }
+
+    #[test]
+    fn escape_json_string_round_trips_through_decoder() {
+        let hostile = "a\"b\\c\nd\re\tf\u{0}g\u{1f}h";
+        let wire = format!("\"{}\"", escape_json_string(hostile));
+        let back: String = serde_json::from_str(&wire).expect("escaped literal parses");
+        assert_eq!(back, hostile);
+    }
+
+    #[test]
+    fn error_response_id_is_reserved() {
+        // The constant is part of the wire contract: clients start
+        // real ids at 1, so id 0 unambiguously marks an undecodable
+        // request's response.
+        assert_eq!(ERROR_RESPONSE_ID, 0);
+        let wire = error_wire(ERROR_RESPONSE_ID, "bad frame");
+        assert_eq!(decode_response(&wire).unwrap().id, ERROR_RESPONSE_ID);
     }
 
     #[test]

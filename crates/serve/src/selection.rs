@@ -263,6 +263,20 @@ impl ModelSelector {
     }
 }
 
+/// A selector is itself servable, so a bandit-routed ensemble can sit
+/// behind a (multi-worker) [`crate::ClipperServer`]: each coalesced
+/// batch is routed through the policy-chosen arm. The served arm index
+/// is not observable through this path — keep a shared `Arc` to the
+/// selector and feed [`ModelSelector::reward`] out of band once ground
+/// truth arrives, as Clipper does with delayed feedback.
+impl Servable for ModelSelector {
+    fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+        self.predict(table)
+            .map(|(scores, _arm)| scores)
+            .map_err(|e| e.to_string())
+    }
+}
+
 fn best_mean(arms: &[ArmStats]) -> usize {
     let mut best = 0;
     let mut best_mean = f64::NEG_INFINITY;
@@ -409,6 +423,31 @@ mod tests {
             sel.predict(&Table::new()),
             Err(ServeError::Predictor(_))
         ));
+    }
+
+    #[test]
+    fn selector_serves_behind_clipper_server() {
+        use crate::{table_row_to_wire, ClipperServer, ServerConfig};
+        use willump_data::Column;
+
+        let sel = Arc::new(two_arm_selector(SelectionPolicy::Ucb1));
+        let server = ClipperServer::start(sel.clone(), ServerConfig::default());
+        let client = server.client();
+        let mut t = Table::new();
+        t.add_column("x", Column::from(vec![1.0f64, 2.0])).unwrap();
+        for _ in 0..4 {
+            let rows = vec![
+                table_row_to_wire(&t, 0).unwrap(),
+                table_row_to_wire(&t, 1).unwrap(),
+            ];
+            let scores = client.predict(rows).unwrap();
+            assert_eq!(scores.len(), 2);
+            // Constant(0.0) or Constant(1.0), depending on the arm.
+            assert!(scores.iter().all(|&s| s == 0.0 || s == 1.0));
+        }
+        // Reward feedback still flows through the shared handle.
+        sel.reward(0, 0.3);
+        assert_eq!(sel.arm_stats().iter().map(|a| a.pulls).sum::<u64>(), 4);
     }
 
     #[test]

@@ -1,15 +1,31 @@
-//! The Clipper-like server: a queue, a worker, adaptive batching, and
-//! a JSON serialization boundary.
+//! The Clipper-like server: a shared queue, a pool of worker threads,
+//! coalesced adaptive batching, and a JSON serialization boundary.
+//!
+//! Each worker drains the queue up to [`ServerConfig::max_batch_requests`]
+//! envelopes per iteration and — when [`ServerConfig::coalesce`] is on —
+//! **merges** the rows of all same-schema requests into a single
+//! [`Table`], runs one model-level `predict_table` call, and scatters
+//! the scores back to each request's reply channel. Coalescing
+//! amortizes per-call fixed overheads across concurrent requests, the
+//! effect paper Table 6 measures via batch size.
+//!
+//! Shutdown is explicit: [`ClipperServer::shutdown`] (also run on
+//! drop) closes an admission gate and hands each worker a sentinel, so
+//! the server winds down cleanly even while [`ClipperClient`] handles
+//! are still alive — clients observe [`ServeError::Disconnected`]
+//! afterwards instead of deadlocking the drop.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use willump_data::{Column, Table};
+use willump_data::{Column, DataType, Table};
 
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response, WireRow,
+    decode_request, decode_response, encode_request, encode_response, error_wire, Request,
+    Response, WireRow, ERROR_RESPONSE_ID,
 };
 use crate::ServeError;
 
@@ -43,10 +59,19 @@ impl Servable for willump::OptimizedPipeline {
 pub struct ServerConfig {
     /// Maximum requests coalesced into one worker iteration (adaptive
     /// batching: the queue is drained up to this bound without
-    /// waiting).
+    /// waiting). Values below 1 are treated as 1.
     pub max_batch_requests: usize,
     /// Queue capacity before senders block.
     pub queue_capacity: usize,
+    /// Number of executor threads pulling from the shared queue.
+    /// Values below 1 are treated as 1.
+    pub workers: usize,
+    /// Merge same-schema requests drained in one iteration into a
+    /// single model-level batch (one `predict_table` call), scattering
+    /// scores back per request. When off, every request is dispatched
+    /// individually (the pre-coalescing behavior, kept for A/B
+    /// benchmarking).
+    pub coalesce: bool,
 }
 
 impl Default for ServerConfig {
@@ -54,25 +79,43 @@ impl Default for ServerConfig {
         ServerConfig {
             max_batch_requests: 16,
             queue_capacity: 1024,
+            workers: 1,
+            coalesce: true,
         }
     }
 }
 
 /// Server-side counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
     requests: AtomicU64,
     rows: AtomicU64,
     batches: AtomicU64,
+    decode_errors: AtomicU64,
+    coalesced_rows: AtomicU64,
+    max_batch_rows: AtomicU64,
+    worker_batches: Vec<AtomicU64>,
 }
 
 impl ServerStats {
-    /// Requests served.
+    fn new(workers: usize) -> ServerStats {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            coalesced_rows: AtomicU64::new(0),
+            max_batch_rows: AtomicU64::new(0),
+            worker_batches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Requests received, including ones that failed to decode.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Total input rows predicted.
+    /// Total input rows across successfully decoded requests.
     pub fn rows(&self) -> u64 {
         self.rows.load(Ordering::Relaxed)
     }
@@ -81,6 +124,33 @@ impl ServerStats {
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
     }
+
+    /// Requests whose payload failed [`decode_request`]; these are
+    /// counted in [`requests`](ServerStats::requests) too and are
+    /// answered with [`ERROR_RESPONSE_ID`].
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Rows served through merged model batches spanning more than
+    /// one request (0 until concurrency actually coalesces).
+    pub fn coalesced_rows(&self) -> u64 {
+        self.coalesced_rows.load(Ordering::Relaxed)
+    }
+
+    /// Largest number of rows handed to a single successful
+    /// `predict_table` call.
+    pub fn max_batch_rows(&self) -> u64 {
+        self.max_batch_rows.load(Ordering::Relaxed)
+    }
+
+    /// Worker-iteration counts, one entry per worker thread.
+    pub fn worker_batches(&self) -> Vec<u64> {
+        self.worker_batches
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 struct WireEnvelope {
@@ -88,21 +158,47 @@ struct WireEnvelope {
     reply: Sender<String>,
 }
 
+enum Job {
+    Request(WireEnvelope),
+    Shutdown,
+}
+
+/// The admission gate shared by the server and every client: sends
+/// happen under the lock, so once `closed` flips no message can slip
+/// into the queue after the shutdown sentinels (FIFO order then
+/// guarantees every admitted request is answered before the workers
+/// exit).
+#[derive(Debug)]
+struct Gate {
+    sender: Sender<Job>,
+    closed: bool,
+}
+
 /// An in-process Clipper-like model server.
 ///
 /// Requests cross a real serialization boundary (JSON in, JSON out)
-/// and are handled by a dedicated worker thread that drains the queue
-/// with adaptive batching.
+/// and are handled by [`ServerConfig::workers`] executor threads that
+/// drain the shared queue with adaptive, coalescing batching.
+///
+/// # Shutdown semantics
+///
+/// [`shutdown`](ClipperServer::shutdown) (idempotent, also invoked by
+/// `Drop`) closes the admission gate, enqueues one sentinel per
+/// worker, and joins the workers. Requests admitted before the gate
+/// closed are all answered; [`ClipperClient::predict`] calls issued
+/// afterwards return [`ServeError::Disconnected`]. Live clients never
+/// prevent the server from shutting down.
 pub struct ClipperServer {
-    sender: Sender<WireEnvelope>,
+    gate: Arc<Mutex<Gate>>,
     stats: Arc<ServerStats>,
-    worker: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ClipperServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClipperServer")
             .field("stats", &self.stats)
+            .field("workers", &self.workers.len())
             .finish_non_exhaustive()
     }
 }
@@ -110,11 +206,17 @@ impl std::fmt::Debug for ClipperServer {
 /// Build a table from wire rows; all rows must share the first row's
 /// schema.
 fn rows_to_table(rows: &[WireRow]) -> Result<Table, ServeError> {
+    rows_to_table_refs(&rows.iter().collect::<Vec<_>>())
+}
+
+/// Like [`rows_to_table`] but over borrowed rows, so coalesced batches
+/// can merge rows from several requests without cloning them.
+fn rows_to_table_refs(rows: &[&WireRow]) -> Result<Table, ServeError> {
     let Some(first) = rows.first() else {
         return Ok(Table::new());
     };
     let mut table = Table::new();
-    for (name, proto) in first {
+    for (name, proto) in first.iter() {
         let dt = proto.data_type();
         let mut col = Column::empty(dt).ok_or_else(|| ServeError::BadRequest {
             reason: format!("column `{name}` has null prototype value"),
@@ -140,76 +242,215 @@ fn rows_to_table(rows: &[WireRow]) -> Result<Table, ServeError> {
     Ok(table)
 }
 
-impl ClipperServer {
-    /// Start a server over the given predictor.
-    pub fn start(predictor: Arc<dyn Servable>, config: ServerConfig) -> ClipperServer {
-        let (tx, rx): (Sender<WireEnvelope>, Receiver<WireEnvelope>) =
-            bounded(config.queue_capacity);
-        let stats = Arc::new(ServerStats::default());
-        let worker_stats = stats.clone();
-        let worker = std::thread::spawn(move || {
-            while let Ok(first) = rx.recv() {
-                // Adaptive batching: drain whatever else is queued.
-                let mut envelopes = vec![first];
-                while envelopes.len() < config.max_batch_requests {
-                    match rx.try_recv() {
-                        Ok(env) => envelopes.push(env),
-                        Err(_) => break,
-                    }
-                }
-                worker_stats.batches.fetch_add(1, Ordering::Relaxed);
-                for env in envelopes {
-                    let response = Self::handle(&*predictor, &env.payload, &worker_stats);
-                    let wire = encode_response(&response).unwrap_or_else(|e| {
-                        format!("{{\"id\":0,\"scores\":[],\"error\":\"{e}\"}}")
-                    });
-                    let _ = env.reply.send(wire);
-                }
-            }
-        });
-        ClipperServer {
-            sender: tx,
-            stats,
-            worker: Some(worker),
-        }
-    }
+/// The (name, type) schema of a request, taken from its first row;
+/// requests merge into one model batch only when this matches exactly.
+type SchemaKey<'a> = Vec<(&'a str, DataType)>;
 
-    fn handle(predictor: &dyn Servable, payload: &str, stats: &ServerStats) -> Response {
-        let req = match decode_request(payload) {
-            Ok(r) => r,
-            Err(e) => {
-                return Response {
-                    id: 0,
-                    scores: Vec::new(),
-                    error: Some(e.to_string()),
-                }
+fn request_schema(req: &Request) -> SchemaKey<'_> {
+    req.rows.first().map_or_else(Vec::new, |row| {
+        row.iter()
+            .map(|(n, v)| (n.as_str(), v.data_type()))
+            .collect()
+    })
+}
+
+/// Encode and send one response, falling back to the escaping
+/// last-resort encoder when the real one fails (e.g. NaN scores).
+fn respond(env: &WireEnvelope, resp: &Response) {
+    let wire = encode_response(resp)
+        .unwrap_or_else(|e| error_wire(resp.id, &format!("response encoding failed: {e}")));
+    let _ = env.reply.send(wire);
+}
+
+/// Serve one already-decoded request individually (the per-request
+/// dispatch path, also the fallback when a coalesced batch fails).
+fn handle_one(predictor: &dyn Servable, req: &Request, stats: &ServerStats) -> Response {
+    let table = match rows_to_table(&req.rows) {
+        Ok(t) => t,
+        Err(e) => {
+            return Response {
+                id: req.id,
+                scores: Vec::new(),
+                error: Some(e.to_string()),
             }
-        };
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        stats
-            .rows
-            .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
-        let table = match rows_to_table(&req.rows) {
-            Ok(t) => t,
-            Err(e) => {
-                return Response {
-                    id: req.id,
-                    scores: Vec::new(),
-                    error: Some(e.to_string()),
-                }
-            }
-        };
-        match predictor.predict_table(&table) {
-            Ok(scores) => Response {
+        }
+    };
+    match predictor.predict_table(&table) {
+        Ok(scores) => {
+            stats
+                .max_batch_rows
+                .fetch_max(req.rows.len() as u64, Ordering::Relaxed);
+            Response {
                 id: req.id,
                 scores,
                 error: None,
-            },
-            Err(e) => Response {
-                id: req.id,
-                scores: Vec::new(),
-                error: Some(e),
-            },
+            }
+        }
+        Err(e) => Response {
+            id: req.id,
+            scores: Vec::new(),
+            error: Some(e),
+        },
+    }
+}
+
+/// Serve a group of same-schema requests as one merged model batch,
+/// scattering scores back per request; falls back to per-request
+/// dispatch when the merge or the batched prediction fails, so one bad
+/// request cannot poison its groupmates.
+fn serve_group(predictor: &dyn Servable, group: &[&(WireEnvelope, Request)], stats: &ServerStats) {
+    // A lone request gains nothing from the merge path; dispatch it
+    // directly so a failing prediction is not pointlessly retried.
+    if let [(env, req)] = group {
+        respond(env, &handle_one(predictor, req, stats));
+        return;
+    }
+    let merged: Vec<&WireRow> = group.iter().flat_map(|(_, req)| req.rows.iter()).collect();
+    let total = merged.len();
+    let batched = rows_to_table_refs(&merged)
+        .map_err(|e| e.to_string())
+        .and_then(|table| predictor.predict_table(&table))
+        .ok()
+        .filter(|scores| scores.len() == total);
+    match batched {
+        Some(scores) => {
+            stats
+                .max_batch_rows
+                .fetch_max(total as u64, Ordering::Relaxed);
+            // The early single-request return above guarantees this
+            // batch merged >= 2 requests, so all its rows count as
+            // coalesced.
+            stats
+                .coalesced_rows
+                .fetch_add(total as u64, Ordering::Relaxed);
+            let mut offset = 0;
+            for (env, req) in group {
+                let n = req.rows.len();
+                respond(
+                    env,
+                    &Response {
+                        id: req.id,
+                        scores: scores[offset..offset + n].to_vec(),
+                        error: None,
+                    },
+                );
+                offset += n;
+            }
+        }
+        None => {
+            for (env, req) in group {
+                respond(env, &handle_one(predictor, req, stats));
+            }
+        }
+    }
+}
+
+/// One worker iteration over a drained batch of envelopes: decode,
+/// group by schema, serve each group coalesced (or per-request when
+/// coalescing is off).
+fn process_batch(
+    predictor: &dyn Servable,
+    envelopes: Vec<WireEnvelope>,
+    stats: &ServerStats,
+    coalesce: bool,
+) {
+    stats
+        .requests
+        .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
+    let mut decoded: Vec<(WireEnvelope, Request)> = Vec::with_capacity(envelopes.len());
+    for env in envelopes {
+        match decode_request(&env.payload) {
+            Ok(req) => {
+                stats
+                    .rows
+                    .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
+                decoded.push((env, req));
+            }
+            Err(e) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &env,
+                    &Response {
+                        id: ERROR_RESPONSE_ID,
+                        scores: Vec::new(),
+                        error: Some(e.to_string()),
+                    },
+                );
+            }
+        }
+    }
+    if !coalesce {
+        for (env, req) in &decoded {
+            respond(env, &handle_one(predictor, req, stats));
+        }
+        return;
+    }
+    // Group by schema, preserving arrival order within each group.
+    let mut groups: Vec<(SchemaKey<'_>, Vec<&(WireEnvelope, Request)>)> = Vec::new();
+    for pair in &decoded {
+        let key = request_schema(&pair.1);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(pair),
+            None => groups.push((key, vec![pair])),
+        }
+    }
+    for (_, members) in &groups {
+        serve_group(predictor, members, stats);
+    }
+}
+
+impl ClipperServer {
+    /// Start a server over the given predictor.
+    pub fn start(predictor: Arc<dyn Servable>, config: ServerConfig) -> ClipperServer {
+        let n_workers = config.workers.max(1);
+        let max_batch = config.max_batch_requests.max(1);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(config.queue_capacity.max(1));
+        let stats = Arc::new(ServerStats::new(n_workers));
+        let mut workers = Vec::with_capacity(n_workers);
+        for wi in 0..n_workers {
+            let rx = rx.clone();
+            let stats = stats.clone();
+            let predictor = predictor.clone();
+            workers.push(std::thread::spawn(move || {
+                loop {
+                    let first = match rx.recv() {
+                        Ok(Job::Request(env)) => env,
+                        // A sentinel (or a fully-dropped channel) ends
+                        // this worker; each sentinel is consumed by
+                        // exactly one worker.
+                        Ok(Job::Shutdown) | Err(_) => return,
+                    };
+                    // Adaptive batching: drain whatever else is queued,
+                    // stopping at a sentinel so sibling workers still
+                    // receive theirs.
+                    let mut envelopes = vec![first];
+                    let mut shutting_down = false;
+                    while envelopes.len() < max_batch {
+                        match rx.try_recv() {
+                            Ok(Job::Request(env)) => envelopes.push(env),
+                            Ok(Job::Shutdown) => {
+                                shutting_down = true;
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    stats.batches.fetch_add(1, Ordering::Relaxed);
+                    stats.worker_batches[wi].fetch_add(1, Ordering::Relaxed);
+                    process_batch(&*predictor, envelopes, &stats, config.coalesce);
+                    if shutting_down {
+                        return;
+                    }
+                }
+            }));
+        }
+        ClipperServer {
+            gate: Arc::new(Mutex::new(Gate {
+                sender: tx,
+                closed: false,
+            })),
+            stats,
+            workers,
         }
     }
 
@@ -218,30 +459,58 @@ impl ClipperServer {
         &self.stats
     }
 
+    /// Number of executor threads.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
     /// A client handle for this server.
     pub fn client(&self) -> ClipperClient {
         ClipperClient {
-            sender: self.sender.clone(),
+            gate: self.gate.clone(),
             next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Shut the server down: close the admission gate, signal every
+    /// worker, and join them. Idempotent; invoked automatically on
+    /// drop. Requests admitted before the call are still answered;
+    /// later `predict` calls return [`ServeError::Disconnected`].
+    /// Takes the same admission lock clients enqueue under, so it may
+    /// briefly wait behind in-flight sends (workers keep draining, so
+    /// that wait is bounded by queue drain, not by client lifetime).
+    pub fn shutdown(&mut self) {
+        {
+            let mut gate = self.gate.lock();
+            if !gate.closed {
+                gate.closed = true;
+                for _ in 0..self.workers.len() {
+                    // send only fails if every worker already exited,
+                    // in which case there is nobody left to signal.
+                    let _ = gate.sender.send(Job::Shutdown);
+                }
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
         }
     }
 }
 
 impl Drop for ClipperServer {
     fn drop(&mut self) {
-        // Close the queue, then wait for the worker to finish draining.
-        let (tx, _) = unbounded();
-        drop(std::mem::replace(&mut self.sender, tx));
-        if let Some(h) = self.worker.take() {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
 /// A client for a [`ClipperServer`].
+///
+/// Clients stay valid across server shutdown: once the server is shut
+/// down (or dropped), calls return [`ServeError::Disconnected`]
+/// instead of blocking.
 #[derive(Debug)]
 pub struct ClipperClient {
-    sender: Sender<WireEnvelope>,
+    gate: Arc<Mutex<Gate>>,
     next_id: AtomicU64,
 }
 
@@ -251,24 +520,49 @@ impl ClipperClient {
     /// serialized response).
     ///
     /// # Errors
-    /// Returns [`ServeError`] on codec failures, a dead server, or a
-    /// predictor error.
+    /// Returns [`ServeError`] on codec failures, a shut-down server,
+    /// or a predictor error.
     pub fn predict(&self, rows: Vec<WireRow>) -> Result<Vec<f64>, ServeError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let payload = encode_request(&Request { id, rows })?;
-        let (reply_tx, reply_rx) = bounded(1);
-        self.sender
-            .send(WireEnvelope {
-                payload,
-                reply: reply_tx,
-            })
-            .map_err(|_| ServeError::Disconnected)?;
-        let wire = reply_rx.recv().map_err(|_| ServeError::Disconnected)?;
+        let wire = self.call_raw(payload)?;
         let resp = decode_response(&wire)?;
         if let Some(err) = resp.error {
             return Err(ServeError::Predictor(err));
         }
         Ok(resp.scores)
+    }
+
+    /// Send a raw wire payload and return the raw wire response,
+    /// bypassing client-side encoding (useful for testing the server's
+    /// handling of malformed frames).
+    ///
+    /// Admission happens under a shared lock (the same one
+    /// [`ClipperServer::shutdown`] takes), which is what makes the
+    /// close/send ordering airtight. The lock is held across the
+    /// enqueue, so when the queue is at
+    /// [`ServerConfig::queue_capacity`] a blocked sender briefly
+    /// stalls other clients' admissions too; size the queue for the
+    /// expected burst if that matters.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Disconnected`] when the server has shut
+    /// down.
+    pub fn call_raw(&self, payload: String) -> Result<String, ServeError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        {
+            let gate = self.gate.lock();
+            if gate.closed {
+                return Err(ServeError::Disconnected);
+            }
+            gate.sender
+                .send(Job::Request(WireEnvelope {
+                    payload,
+                    reply: reply_tx,
+                }))
+                .map_err(|_| ServeError::Disconnected)?;
+        }
+        reply_rx.recv().map_err(|_| ServeError::Disconnected)
     }
 }
 
@@ -292,6 +586,7 @@ pub fn table_row_to_wire(table: &Table, r: usize) -> Result<WireRow, ServeError>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use willump_data::Value;
 
     /// A trivial predictor: score = 2 * x.
@@ -304,6 +599,16 @@ mod tests {
                 .to_f64_vec()
                 .map_err(|e| e.to_string())?;
             Ok(col.into_iter().map(|v| v * 2.0).collect())
+        }
+    }
+
+    /// A Doubler that also sleeps, to force requests to pile up behind
+    /// the worker so batching tests are deterministic.
+    struct SlowDoubler(Duration);
+    impl Servable for SlowDoubler {
+        fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+            std::thread::sleep(self.0);
+            Doubler.predict_table(table)
         }
     }
 
@@ -345,6 +650,200 @@ mod tests {
     }
 
     #[test]
+    fn multi_worker_round_trip() {
+        let server = ClipperServer::start(
+            Arc::new(Doubler),
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(server.n_workers(), 4);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let client = server.client();
+                s.spawn(move || {
+                    for i in 0..20 {
+                        let x = (t * 20 + i) as f64;
+                        assert_eq!(client.predict(wire_rows(&[x])).unwrap(), vec![2.0 * x]);
+                    }
+                });
+            }
+        });
+        assert_eq!(server.stats().requests(), 160);
+        let per_worker = server.stats().worker_batches();
+        assert_eq!(per_worker.len(), 4);
+        assert_eq!(per_worker.iter().sum::<u64>(), server.stats().batches());
+    }
+
+    #[test]
+    fn coalesced_batches_match_sequential_scores() {
+        // Pin the single worker down with a slow first request so the
+        // other clients' requests pile up and must be coalesced.
+        let server = ClipperServer::start(
+            Arc::new(SlowDoubler(Duration::from_millis(500))),
+            ServerConfig::default(),
+        );
+        std::thread::scope(|s| {
+            let blocker = server.client();
+            s.spawn(move || {
+                blocker.predict(wire_rows(&[0.0])).unwrap();
+            });
+            // Generous margin: the blocker holds the worker for 500ms
+            // while these clients only need to enqueue (a JSON encode
+            // plus a channel send each), so even a heavily loaded
+            // machine coalesces them.
+            std::thread::sleep(Duration::from_millis(100));
+            for t in 1..7 {
+                let client = server.client();
+                s.spawn(move || {
+                    let xs = [t as f64, t as f64 + 0.5];
+                    let scores = client.predict(wire_rows(&xs)).unwrap();
+                    assert_eq!(scores, vec![2.0 * xs[0], 2.0 * xs[1]]);
+                });
+            }
+        });
+        assert_eq!(server.stats().requests(), 7);
+        // The six queued requests were merged into (at least one)
+        // multi-request model batch.
+        assert!(
+            server.stats().coalesced_rows() >= 4,
+            "expected coalescing, stats: {:?}",
+            server.stats()
+        );
+        assert!(server.stats().max_batch_rows() >= 4);
+        assert!(server.stats().batches() < 7);
+    }
+
+    #[test]
+    fn drop_with_live_client_does_not_deadlock() {
+        // Regression: the seed server's Drop joined the worker while
+        // cloned client senders kept the channel open, hanging forever.
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let server = ClipperServer::start(Arc::new(Doubler), ServerConfig::default());
+            let client = server.client();
+            assert_eq!(client.predict(wire_rows(&[1.0])).unwrap(), vec![2.0]);
+            drop(server); // client is still alive
+            assert!(matches!(
+                client.predict(wire_rows(&[2.0])),
+                Err(ServeError::Disconnected)
+            ));
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("server drop deadlocked with a live client");
+    }
+
+    #[test]
+    fn shutdown_is_explicit_and_idempotent() {
+        let mut server = ClipperServer::start(
+            Arc::new(Doubler),
+            ServerConfig {
+                workers: 3,
+                ..ServerConfig::default()
+            },
+        );
+        let client = server.client();
+        assert!(client.predict(wire_rows(&[1.0])).is_ok());
+        server.shutdown();
+        server.shutdown();
+        assert!(matches!(
+            client.predict(wire_rows(&[1.0])),
+            Err(ServeError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn decode_errors_are_counted_and_answered_with_reserved_id() {
+        let server = ClipperServer::start(Arc::new(Doubler), ServerConfig::default());
+        let client = server.client();
+        let wire = client.call_raw("this is not json".to_string()).unwrap();
+        let resp = decode_response(&wire).expect("error response is valid JSON");
+        assert_eq!(resp.id, ERROR_RESPONSE_ID);
+        assert!(resp.error.is_some());
+        // Arrivals are counted even when they fail to decode.
+        assert_eq!(server.stats().requests(), 1);
+        assert_eq!(server.stats().decode_errors(), 1);
+        assert_eq!(server.stats().rows(), 0);
+    }
+
+    #[test]
+    fn hostile_predictor_error_round_trips() {
+        struct Hostile;
+        impl Servable for Hostile {
+            fn predict_table(&self, _t: &Table) -> Result<Vec<f64>, String> {
+                Err("bad \"quotes\" and \\slashes\\\nand newlines".to_string())
+            }
+        }
+        let server = ClipperServer::start(Arc::new(Hostile), ServerConfig::default());
+        let client = server.client();
+        match client.predict(wire_rows(&[1.0])) {
+            Err(ServeError::Predictor(msg)) => {
+                assert_eq!(msg, "bad \"quotes\" and \\slashes\\\nand newlines");
+            }
+            other => panic!("expected predictor error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_scores_produce_valid_error_wire() {
+        struct NanPredictor;
+        impl Servable for NanPredictor {
+            fn predict_table(&self, _t: &Table) -> Result<Vec<f64>, String> {
+                Ok(vec![f64::NAN])
+            }
+        }
+        let server = ClipperServer::start(Arc::new(NanPredictor), ServerConfig::default());
+        let client = server.client();
+        // encode_response cannot represent NaN; the fallback must
+        // still be well-formed JSON the client can decode.
+        match client.predict(wire_rows(&[1.0])) {
+            Err(ServeError::Predictor(msg)) => {
+                assert!(msg.contains("encoding failed"), "got: {msg}");
+            }
+            other => panic!("expected encoding-failure error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_schema_batches_fall_back_per_request() {
+        // Pile up requests with two different schemas behind a slow
+        // worker; each group must still be answered correctly.
+        struct SlowSummer;
+        impl Servable for SlowSummer {
+            fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+                std::thread::sleep(Duration::from_millis(300));
+                let names = table.column_names();
+                let first = names.first().ok_or("empty table")?.to_string();
+                table
+                    .column(&first)
+                    .ok_or("missing column")?
+                    .to_f64_vec()
+                    .map_err(|e| e.to_string())
+            }
+        }
+        let server = ClipperServer::start(Arc::new(SlowSummer), ServerConfig::default());
+        std::thread::scope(|s| {
+            let blocker = server.client();
+            s.spawn(move || {
+                blocker.predict(wire_rows(&[0.0])).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(60));
+            for t in 0..4 {
+                let client = server.client();
+                s.spawn(move || {
+                    let name = if t % 2 == 0 { "x" } else { "y" };
+                    let rows = vec![vec![(name.to_string(), Value::Float(t as f64))]];
+                    assert_eq!(client.predict(rows).unwrap(), vec![t as f64]);
+                });
+            }
+        });
+        assert_eq!(server.stats().requests(), 5);
+    }
+
+    #[test]
     fn predictor_error_propagates() {
         struct Failing;
         impl Servable for Failing {
@@ -358,6 +857,24 @@ mod tests {
             client.predict(wire_rows(&[1.0])),
             Err(ServeError::Predictor(_))
         ));
+    }
+
+    #[test]
+    fn failing_single_request_predicts_only_once() {
+        // A lone request must not pay the coalesced-path fallback: a
+        // failing prediction runs exactly once, not merge-then-retry.
+        struct CountingFailer(std::sync::atomic::AtomicU64);
+        impl Servable for CountingFailer {
+            fn predict_table(&self, _t: &Table) -> Result<Vec<f64>, String> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Err("nope".to_string())
+            }
+        }
+        let predictor = Arc::new(CountingFailer(AtomicU64::new(0)));
+        let server = ClipperServer::start(predictor.clone(), ServerConfig::default());
+        let client = server.client();
+        assert!(client.predict(wire_rows(&[1.0])).is_err());
+        assert_eq!(predictor.0.load(Ordering::Relaxed), 1);
     }
 
     #[test]

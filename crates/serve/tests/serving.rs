@@ -1,0 +1,207 @@
+//! Integration tests for the serving layer: wire-protocol round-trip
+//! properties and coalesced-vs-sequential serving equivalence.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+use willump_data::{Table, Value};
+use willump_serve::{
+    decode_request, decode_response, encode_request, encode_response, ClipperServer, Request,
+    Response, Servable, ServerConfig, WireRow,
+};
+
+/// Build a request whose rows exercise every wire-representable value
+/// shape: strings (arbitrary printable content), finite floats, ints,
+/// and bools.
+fn build_request(id: u64, cells: Vec<(String, f64, i64, bool)>) -> Request {
+    let rows = cells
+        .into_iter()
+        .map(|(s, f, i, b)| {
+            vec![
+                ("text".to_string(), Value::from(s.as_str())),
+                ("score".to_string(), Value::Float(f)),
+                ("count".to_string(), Value::Int(i)),
+                ("flag".to_string(), Value::Bool(b)),
+            ]
+        })
+        .collect();
+    Request { id, rows }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Request wire round-trip is lossless for arbitrary strings,
+    /// finite floats, ints, and bools.
+    #[test]
+    fn request_wire_round_trip_is_lossless(
+        id in 1u64..u64::MAX,
+        cells in prop::collection::vec(
+            (".{0,24}", -1e12f64..1e12, any::<i64>(), any::<bool>()),
+            1..6,
+        ),
+    ) {
+        let req = build_request(id, cells);
+        let wire = encode_request(&req).expect("encodable");
+        let back = decode_request(&wire).expect("decodable");
+        prop_assert_eq!(req, back);
+    }
+
+    /// Response wire round-trip is lossless for arbitrary scores and
+    /// error strings (including quotes/backslashes the seed's
+    /// hand-built fallback JSON used to mangle).
+    #[test]
+    fn response_wire_round_trip_is_lossless(
+        id in 0u64..u64::MAX,
+        scores in prop::collection::vec(-1e12f64..1e12, 0..8),
+        error in ".{0,48}",
+        has_error in any::<bool>(),
+    ) {
+        let resp = Response {
+            id,
+            scores,
+            error: if has_error { Some(error) } else { None },
+        };
+        let wire = encode_response(&resp).expect("encodable");
+        let back = decode_response(&wire).expect("decodable");
+        prop_assert_eq!(resp, back);
+    }
+}
+
+/// A predictor with a visible formula, so expected scores can be
+/// computed independently of the serving path.
+struct AffineSummer;
+impl Servable for AffineSummer {
+    fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+        let xs = table
+            .column("x")
+            .ok_or_else(|| "missing x".to_string())?
+            .to_f64_vec()
+            .map_err(|e| e.to_string())?;
+        let ys = table
+            .column("y")
+            .ok_or_else(|| "missing y".to_string())?
+            .to_f64_vec()
+            .map_err(|e| e.to_string())?;
+        Ok(xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| 3.0 * x - 0.5 * y + 1.0)
+            .collect())
+    }
+}
+
+fn wire_row(x: f64, y: f64) -> WireRow {
+    vec![
+        ("x".to_string(), Value::Float(x)),
+        ("y".to_string(), Value::Float(y)),
+    ]
+}
+
+/// Coalesced multi-request batches must score identically to
+/// sequential single-request serving: pile concurrent requests behind
+/// a slow first call so they merge, then compare every score against
+/// the sequential answer bit-for-bit.
+#[test]
+fn coalesced_batches_equal_sequential_serving() {
+    struct Slowed<S>(S, Duration);
+    impl<S: Servable> Servable for Slowed<S> {
+        fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+            std::thread::sleep(self.1);
+            self.0.predict_table(table)
+        }
+    }
+
+    // Sequential reference: one request at a time, coalescing moot.
+    let sequential = ClipperServer::start(Arc::new(AffineSummer), ServerConfig::default());
+    let seq_client = sequential.client();
+    let inputs: Vec<Vec<(f64, f64)>> = (0..12)
+        .map(|t| {
+            (0..=(t % 3))
+                .map(|r| (t as f64 + r as f64 * 0.25, 2.0 - t as f64 * 0.5))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<f64>> = inputs
+        .iter()
+        .map(|req| {
+            seq_client
+                .predict(req.iter().map(|&(x, y)| wire_row(x, y)).collect())
+                .expect("sequential serving succeeds")
+        })
+        .collect();
+
+    // Concurrent: same requests, forced to pile up and coalesce.
+    let server = ClipperServer::start(
+        Arc::new(Slowed(AffineSummer, Duration::from_millis(400))),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let blocker = server.client();
+        let warm = s.spawn(move || blocker.predict(vec![wire_row(0.0, 0.0)]));
+        // Generous margin: the 12 clients only need to enqueue while
+        // the blocker holds a worker for 400ms.
+        std::thread::sleep(Duration::from_millis(100));
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|req| {
+                let client = server.client();
+                s.spawn(move || {
+                    client
+                        .predict(req.iter().map(|&(x, y)| wire_row(x, y)).collect())
+                        .expect("concurrent serving succeeds")
+                })
+            })
+            .collect();
+        warm.join().unwrap().unwrap();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(results, expected);
+    // The pile-up really did merge requests into model-level batches.
+    assert!(
+        server.stats().coalesced_rows() > 0,
+        "no coalescing happened: {:?}",
+        server.stats()
+    );
+}
+
+/// Shutting down under load: every admitted request is answered, and
+/// late requests fail cleanly with `Disconnected` instead of hanging.
+#[test]
+fn shutdown_under_load_answers_admitted_requests() {
+    let mut server = ClipperServer::start(
+        Arc::new(AffineSummer),
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    );
+    let clients: Vec<_> = (0..6).map(|_| server.client()).collect();
+    std::thread::scope(|s| {
+        for (t, client) in clients.iter().enumerate() {
+            s.spawn(move || {
+                for i in 0..10 {
+                    let x = (t * 10 + i) as f64;
+                    match client.predict(vec![wire_row(x, 1.0)]) {
+                        Ok(scores) => assert_eq!(scores, vec![3.0 * x - 0.5 + 1.0]),
+                        // Acceptable once the gate has closed — but it
+                        // must be an error, never a hang.
+                        Err(willump_serve::ServeError::Disconnected) => {}
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        server.shutdown();
+    });
+    assert!(matches!(
+        clients[0].predict(vec![wire_row(1.0, 1.0)]),
+        Err(willump_serve::ServeError::Disconnected)
+    ));
+}

@@ -1,5 +1,8 @@
 //! Serving a Willump-optimized pipeline through the Clipper-like
 //! layer (paper §6.3, Table 6): same RPC boundary, faster pipeline.
+//! Then scaling the server itself: a worker sweep showing how
+//! coalesced batching and multiple executor threads lift throughput
+//! under concurrent clients.
 //!
 //! ```text
 //! cargo run --release --example clipper_integration
@@ -69,5 +72,40 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     println!("\nfixed RPC overheads amortize with batch size, so the");
     println!("speedup grows as batches get larger (paper Table 6).");
+
+    // Scale-out sweep: the same optimized pipeline behind servers with
+    // 1/2/4 workers and coalesced batching, against the pre-coalescing
+    // single-worker configuration, under concurrent clients.
+    let optimized: Arc<dyn Servable> = Arc::new(Willump::new(WillumpConfig::default()).optimize(
+        &w.pipeline,
+        &w.train,
+        &w.train_y,
+        &w.valid,
+        &w.valid_y,
+    )?);
+    println!("\nworker sweep (4 concurrent clients, batch 10):\n");
+    println!("config                  | throughput");
+    println!("------------------------|------------");
+    let configs = [
+        ("seed (1w, no coalesce)", 1usize, false),
+        ("1 worker, coalescing  ", 1, true),
+        ("2 workers, coalescing ", 2, true),
+        ("4 workers, coalescing ", 4, true),
+    ];
+    for (label, workers, coalesce) in configs {
+        let server = ClipperServer::start(
+            optimized.clone(),
+            ServerConfig {
+                workers,
+                coalesce,
+                ..ServerConfig::default()
+            },
+        );
+        // The same harness the recorded EXPERIMENTS.md sweep uses.
+        let tput = willump_bench::serving_throughput(&server, &w.test, 10, 4, 40);
+        println!("{label}  | {tput:>7.0} rows/s");
+    }
+    println!("\ncoalescing merges concurrent same-schema requests into one");
+    println!("model-level batch; extra workers overlap request handling.");
     Ok(())
 }
