@@ -2,22 +2,41 @@
 //! queries on Music and Tracking with remote tables, under four
 //! optimization combinations (end-to-end caching, feature-level
 //! caching, cascades, and feature caching + cascades).
+//!
+//! Every configuration is a lowered `ServingPlan`: the end-to-end
+//! cache rows compose `with_e2e_cache` onto the plain compiled plan
+//! instead of wrapping a bespoke cached predictor, and the cascade
+//! rows run the cascade plan the optimizer lowered.
+//!
+//! Flags (mirroring `table6`):
+//!
+//! - `--smoke`: tiny workloads — a CI-speed sanity pass over the full
+//!   code path that also checks EXPERIMENTS.md carries this binary's
+//!   schema header (never writes the file).
+//! - `--record`: rewrite this binary's EXPERIMENTS.md section with
+//!   the measured table.
 
-use std::sync::Arc;
-
-use willump::{CachingConfig, QueryMode};
-use willump_bench::{generate, optimize_level, print_table, OptLevel};
+use willump::{CachingConfig, QueryMode, ServingPlan};
+use willump_bench::{
+    assert_experiments_schema, format_table, generate_remote, optimize_level,
+    record_experiments_section, smoke_record_flags, OptLevel,
+};
 use willump_graph::InputRow;
-use willump_serve::E2eCachedPredictor;
 use willump_workloads::{Workload, WorkloadKind};
 
-/// Serve the test set one input at a time, returning store round trips.
-fn serve_and_count(w: &Workload, mut predict: impl FnMut(&InputRow)) -> u64 {
+/// The schema header CI greps for in EXPERIMENTS.md; bump the version
+/// when the recorded table shape changes.
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table2-remote-requests v1 -->";
+const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin table2 -- --record";
+
+/// Serve the test set one input at a time through a plan, returning
+/// the feature store's round trips.
+fn serve_and_count(w: &Workload, plan: &ServingPlan) -> u64 {
     let store = w.store.clone().expect("lookup workload has a store");
     store.stats().reset();
     for r in 0..w.test.n_rows() {
         let input = InputRow::from_table(&w.test, r).expect("row in range");
-        predict(&input);
+        plan.predict_one(&input).expect("prediction succeeds");
     }
     store.stats().round_trips()
 }
@@ -26,7 +45,7 @@ fn reduction(baseline: u64, observed: u64) -> String {
     format!("{:.1}%", 100.0 * (1.0 - observed as f64 / baseline as f64))
 }
 
-fn main() {
+fn remote_request_table(smoke: bool) -> String {
     let kinds = [WorkloadKind::Music, WorkloadKind::Tracking];
     let mut results: Vec<Vec<String>> = vec![
         vec!["End-to-end Caching + No Cascades".to_string()],
@@ -36,33 +55,22 @@ fn main() {
     ];
 
     for kind in kinds {
-        let w = generate(kind, true);
+        let w = generate_remote(kind, smoke);
 
-        // Baseline: compiled, no caching, no cascades.
+        // Baseline: the plain compiled plan — no caching, no cascades.
         let plain = optimize_level(&w, OptLevel::Compiled, QueryMode::ExampleAtATime, None, 1);
-        let base_requests = serve_and_count(&w, |input| {
-            plain.predict_one(input).expect("prediction succeeds");
-        });
+        let base_requests = serve_and_count(&w, &plain.serving_plan());
 
-        // 1. End-to-end caching (Clipper-style), no cascades.
-        let sources: Vec<String> = plain
-            .executor()
-            .graph()
-            .source_columns()
-            .into_iter()
-            .map(str::to_string)
-            .collect();
-        let inner = Arc::new(plain.clone());
-        let e2e = E2eCachedPredictor::new(
-            move |input| inner.predict_one(input).map_err(|e| e.to_string()),
-            sources,
-            None,
-        );
-        let e2e_requests = serve_and_count(&w, |input| {
-            e2e.predict_one(input).expect("prediction succeeds");
-        });
+        // 1. End-to-end caching (Clipper-style): the same plan with
+        //    cache_lookup/cache_fill stages composed around it.
+        let e2e = plain
+            .serving_plan()
+            .with_e2e_cache(w.source_columns(), None)
+            .expect("cache composes onto the plain plan");
+        let e2e_requests = serve_and_count(&w, &e2e);
 
-        // 2. Feature-level caching, no cascades.
+        // 2. Feature-level caching, no cascades (executor-level
+        //    per-IFV caches; the plan is otherwise the plain one).
         let feat = optimize_level(
             &w,
             OptLevel::Compiled,
@@ -70,15 +78,11 @@ fn main() {
             Some(CachingConfig { capacity: None }),
             1,
         );
-        let feat_requests = serve_and_count(&w, |input| {
-            feat.predict_one(input).expect("prediction succeeds");
-        });
+        let feat_requests = serve_and_count(&w, &feat.serving_plan());
 
-        // 3. Cascades, no caching.
+        // 3. Cascades, no caching: the lowered cascade plan.
         let casc = optimize_level(&w, OptLevel::Cascades, QueryMode::ExampleAtATime, None, 1);
-        let casc_requests = serve_and_count(&w, |input| {
-            casc.predict_one(input).expect("prediction succeeds");
-        });
+        let casc_requests = serve_and_count(&w, &casc.serving_plan());
 
         // 4. Feature-level caching + cascades.
         let both = optimize_level(
@@ -88,9 +92,7 @@ fn main() {
             Some(CachingConfig { capacity: None }),
             1,
         );
-        let both_requests = serve_and_count(&w, |input| {
-            both.predict_one(input).expect("prediction succeeds");
-        });
+        let both_requests = serve_and_count(&w, &both.serving_plan());
 
         results[0].push(reduction(base_requests, e2e_requests));
         results[1].push(reduction(base_requests, feat_requests));
@@ -98,9 +100,27 @@ fn main() {
         results[3].push(reduction(base_requests, both_requests));
     }
 
-    print_table(
+    format_table(
         "Table 2: percent reduction in remote requests (per-input queries, remote tables)",
         &["configuration", "music", "tracking"],
         &results,
-    );
+    )
+}
+
+fn main() {
+    let (smoke, record) = smoke_record_flags();
+    let table = remote_request_table(smoke);
+    print!("{table}");
+
+    if smoke {
+        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
+    }
+    if record && !smoke {
+        let body = format!(
+            "Remote-request reduction per serving configuration; every\n\
+             configuration is a lowered/composed `ServingPlan` run row-wise.\n\
+             Regenerate with `{RECORD_CMD}`.\n{table}"
+        );
+        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
+    }
 }

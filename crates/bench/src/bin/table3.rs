@@ -1,19 +1,34 @@
 //! Table 3: average per-input latency on Music and Tracking with
 //! remote tables under the same configurations as Table 2, plus the
 //! unoptimized (interpreted) pipeline.
-
-use std::sync::Arc;
+//!
+//! As in `table2`, every optimized configuration is a lowered
+//! `ServingPlan` run row-wise; the end-to-end cache rows compose
+//! `with_e2e_cache` onto the plain compiled plan.
+//!
+//! Flags (mirroring `table6`):
+//!
+//! - `--smoke`: tiny workloads and input counts — a CI-speed sanity
+//!   pass that also checks EXPERIMENTS.md carries this binary's
+//!   schema header (never writes the file).
+//! - `--record`: rewrite this binary's EXPERIMENTS.md section with
+//!   the measured table.
 
 use willump::{CachingConfig, QueryMode};
 use willump_bench::{
-    baseline, fmt_latency, generate, optimize_level, per_input_latency, print_table, OptLevel,
+    assert_experiments_schema, baseline, fmt_latency, format_table, generate_remote,
+    optimize_level, per_input_latency, record_experiments_section, smoke_record_flags, OptLevel,
 };
-use willump_serve::E2eCachedPredictor;
 use willump_workloads::WorkloadKind;
 
-fn main() {
+/// The schema header CI greps for in EXPERIMENTS.md; bump the version
+/// when the recorded table shape changes.
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table3-per-input-latency v1 -->";
+const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin table3 -- --record";
+
+fn latency_table(smoke: bool) -> String {
     let kinds = [WorkloadKind::Music, WorkloadKind::Tracking];
-    let n = 500;
+    let n = if smoke { 100 } else { 500 };
     let mut results: Vec<Vec<String>> = vec![
         vec!["Unoptimized".to_string()],
         vec!["End-to-end Caching + No Cascades".to_string()],
@@ -23,7 +38,7 @@ fn main() {
     ];
 
     for kind in kinds {
-        let w = generate(kind, true);
+        let w = generate_remote(kind, smoke);
 
         let python = baseline(&w);
         let lat_unopt = per_input_latency(&w, n, |input| {
@@ -31,19 +46,10 @@ fn main() {
         });
 
         let plain = optimize_level(&w, OptLevel::Compiled, QueryMode::ExampleAtATime, None, 1);
-        let sources: Vec<String> = plain
-            .executor()
-            .graph()
-            .source_columns()
-            .into_iter()
-            .map(str::to_string)
-            .collect();
-        let inner = Arc::new(plain.clone());
-        let e2e = E2eCachedPredictor::new(
-            move |input| inner.predict_one(input).map_err(|e| e.to_string()),
-            sources,
-            None,
-        );
+        let e2e = plain
+            .serving_plan()
+            .with_e2e_cache(w.source_columns(), None)
+            .expect("cache composes onto the plain plan");
         let lat_e2e = per_input_latency(&w, n, |input| {
             e2e.predict_one(input).expect("prediction succeeds")
         });
@@ -54,12 +60,14 @@ fn main() {
             QueryMode::ExampleAtATime,
             Some(CachingConfig { capacity: None }),
             1,
-        );
+        )
+        .serving_plan();
         let lat_feat = per_input_latency(&w, n, |input| {
             feat.predict_one(input).expect("prediction succeeds")
         });
 
-        let casc = optimize_level(&w, OptLevel::Cascades, QueryMode::ExampleAtATime, None, 1);
+        let casc = optimize_level(&w, OptLevel::Cascades, QueryMode::ExampleAtATime, None, 1)
+            .serving_plan();
         let lat_casc = per_input_latency(&w, n, |input| {
             casc.predict_one(input).expect("prediction succeeds")
         });
@@ -70,7 +78,8 @@ fn main() {
             QueryMode::ExampleAtATime,
             Some(CachingConfig { capacity: None }),
             1,
-        );
+        )
+        .serving_plan();
         let lat_both = per_input_latency(&w, n, |input| {
             both.predict_one(input).expect("prediction succeeds")
         });
@@ -83,9 +92,28 @@ fn main() {
         }
     }
 
-    print_table(
+    format_table(
         "Table 3: average per-input latency (remote tables; effective = wall + simulated network)",
         &["configuration", "music", "tracking"],
         &results,
-    );
+    )
+}
+
+fn main() {
+    let (smoke, record) = smoke_record_flags();
+    let table = latency_table(smoke);
+    print!("{table}");
+
+    if smoke {
+        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
+    }
+    if record && !smoke {
+        let body = format!(
+            "Per-input latency per serving configuration (effective time =\n\
+             wall + simulated network wait); optimized configurations are\n\
+             lowered/composed `ServingPlan`s run row-wise.\n\
+             Regenerate with `{RECORD_CMD}`.\n{table}"
+        );
+        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
+    }
 }

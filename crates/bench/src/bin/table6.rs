@@ -23,8 +23,9 @@ use std::time::Instant;
 
 use willump::QueryMode;
 use willump_bench::{
-    baseline, fmt_latency, fmt_speedup, fmt_throughput, format_table, generate, optimize_level,
-    serving_throughput, OptLevel,
+    assert_experiments_schema, baseline, fmt_latency, fmt_speedup, fmt_throughput, format_table,
+    generate, optimize_level, record_experiments_section, serving_throughput, smoke_record_flags,
+    OptLevel,
 };
 use willump_serve::{table_row_to_wire, ClipperServer, Servable, ServerConfig};
 use willump_store::LatencyModel;
@@ -33,6 +34,7 @@ use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 /// The schema header CI greps for in EXPERIMENTS.md; bump the version
 /// when the recorded table shapes change.
 const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table6-serving-sweep v1 -->";
+const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin table6 -- --record";
 
 /// Mean request latency through the serving boundary at one batch
 /// size.
@@ -254,15 +256,7 @@ fn sweep_table(smoke: bool) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let record = args.iter().any(|a| a == "--record");
-    for a in &args {
-        assert!(
-            a == "--smoke" || a == "--record",
-            "unknown flag {a}; supported: --smoke --record"
-        );
-    }
+    let (smoke, record) = smoke_record_flags();
 
     let latency = latency_table(smoke);
     print!("{latency}");
@@ -270,31 +264,17 @@ fn main() {
     print!("{sweep}");
 
     if smoke {
-        // CI's perf-trajectory check: the committed EXPERIMENTS.md
-        // must carry the schema header this binary records (single
-        // source of truth — bump both together).
-        let recorded = std::fs::read_to_string("EXPERIMENTS.md")
-            .expect("EXPERIMENTS.md missing; run `table6 --record` and commit it");
-        assert!(
-            recorded.contains(EXPERIMENTS_SCHEMA),
-            "EXPERIMENTS.md lacks schema header {EXPERIMENTS_SCHEMA:?}; \
-             re-record with `table6 --record`"
-        );
-        println!("\nEXPERIMENTS.md schema header OK");
+        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
     }
-
     if record && !smoke {
         let body = format!(
-            "# EXPERIMENTS\n\n{EXPERIMENTS_SCHEMA}\n\n\
-             Benchmark-trajectory capture for the serving layer \
-             (ROADMAP item): regenerate with\n\
-             `cargo run --release -p willump-bench --bin table6 -- --record`.\n\
+            "Serving-layer latency and worker sweep: regenerate with\n\
+             `{RECORD_CMD}`.\n\
              Throughput rows compare the multi-worker coalescing server \
              against the seed configuration\n\
              (single worker, per-request dispatch) on the same optimized \
              pipeline and machine.\n{latency}{sweep}"
         );
-        std::fs::write("EXPERIMENTS.md", body).expect("write EXPERIMENTS.md");
-        println!("\nrecorded -> EXPERIMENTS.md");
+        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
     }
 }

@@ -179,6 +179,106 @@ pub fn per_input_latency(w: &Workload, n: usize, mut predict: impl FnMut(&InputR
     secs / n as f64
 }
 
+/// Where the benchmark-trajectory capture lives, relative to the
+/// working directory the experiment binaries run from (the repository
+/// root under `cargo run`).
+pub const EXPERIMENTS_PATH: &str = "EXPERIMENTS.md";
+
+/// Preamble written when EXPERIMENTS.md does not exist yet.
+const EXPERIMENTS_PREAMBLE: &str = "# EXPERIMENTS\n\n\
+Benchmark-trajectory capture (ROADMAP item). Each section below is\n\
+recorded by one experiment binary's `--record` flag, delimited by its\n\
+`<!-- schema: ... -->` marker, and schema-checked by that binary's\n\
+`--smoke` run in CI. Re-recording one binary leaves the other\n\
+sections untouched.\n";
+
+/// Pure section-replacement: a section spans from its
+/// `<!-- schema: ... -->` marker line to the next marker (or EOF).
+/// Replaces the `schema` section's content with `body`, or appends a
+/// new section when the marker is absent.
+fn upsert_section(existing: &str, schema: &str, body: &str) -> String {
+    let section = format!("{schema}\n\n{}\n", body.trim_matches('\n'));
+    let mut out = String::new();
+    let mut replaced = false;
+    let mut skipping = false;
+    for line in existing.lines() {
+        let is_marker = line.trim_start().starts_with("<!-- schema:");
+        if is_marker {
+            if line.trim() == schema {
+                // The blank line that separated the old section from
+                // the next marker is inside the skipped span, so emit
+                // a fresh one to keep re-records byte-stable.
+                out.push_str(&section);
+                out.push('\n');
+                replaced = true;
+                skipping = true;
+                continue;
+            }
+            skipping = false;
+        }
+        if !skipping {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if !replaced {
+        while !out.is_empty() && !out.ends_with("\n\n") {
+            out.push('\n');
+        }
+        out.push_str(&section);
+    }
+    // A replaced final section would otherwise leave a trailing blank.
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+/// Record one experiment's section of `EXPERIMENTS.md`, preserving
+/// every other binary's section (see [`upsert_section`] semantics).
+///
+/// # Panics
+/// Panics when the file cannot be written.
+pub fn record_experiments_section(schema: &str, body: &str) {
+    let existing = std::fs::read_to_string(EXPERIMENTS_PATH)
+        .unwrap_or_else(|_| EXPERIMENTS_PREAMBLE.to_string());
+    std::fs::write(EXPERIMENTS_PATH, upsert_section(&existing, schema, body))
+        .expect("write EXPERIMENTS.md");
+    println!("\nrecorded section {schema} -> {EXPERIMENTS_PATH}");
+}
+
+/// The CI smoke check: the committed EXPERIMENTS.md must carry the
+/// schema marker this binary records (single source of truth is the
+/// binary's schema constant — bump both together).
+///
+/// # Panics
+/// Panics when the file is missing or lacks the marker.
+pub fn assert_experiments_schema(schema: &str, record_cmd: &str) {
+    let recorded = std::fs::read_to_string(EXPERIMENTS_PATH)
+        .unwrap_or_else(|_| panic!("EXPERIMENTS.md missing; run `{record_cmd}` and commit it"));
+    assert!(
+        recorded.contains(schema),
+        "EXPERIMENTS.md lacks schema header {schema:?}; re-record with `{record_cmd}`"
+    );
+    println!("\nEXPERIMENTS.md schema header OK: {schema}");
+}
+
+/// Parse the `--smoke` / `--record` flags every recording experiment
+/// binary shares; panics on unknown arguments.
+pub fn smoke_record_flags() -> (bool, bool) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        assert!(
+            a == "--smoke" || a == "--record",
+            "unknown flag {a}; supported: --smoke --record"
+        );
+    }
+    (
+        args.iter().any(|a| a == "--smoke"),
+        args.iter().any(|a| a == "--record"),
+    )
+}
+
 /// Render a markdown table (title as an `##` heading, aligned cells).
 pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -308,6 +408,28 @@ pub fn generate(kind: WorkloadKind, remote: bool) -> Workload {
     kind.generate(&cfg).expect("workload generates")
 }
 
+/// Generate a remote-tables workload at experiment size, or at a tiny
+/// smoke size for CI-speed passes (shared by the `table2`/`table3`
+/// recording binaries).
+///
+/// # Panics
+/// Panics on generation failure.
+pub fn generate_remote(kind: WorkloadKind, smoke: bool) -> Workload {
+    let base = if smoke {
+        WorkloadConfig {
+            n_train: 300,
+            n_valid: 150,
+            n_test: 200,
+            seed: 42,
+            remote: None,
+        }
+    } else {
+        experiment_config()
+    };
+    kind.generate(&base.with_remote_tables())
+        .expect("workload generates")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +460,31 @@ mod tests {
             store.clock().advance(50_000_000); // 50ms of virtual wait
         });
         assert!(secs >= 0.05, "effective {secs}");
+    }
+
+    #[test]
+    fn upsert_section_replaces_and_appends() {
+        let s1 = "<!-- schema: alpha v1 -->";
+        let s2 = "<!-- schema: beta v1 -->";
+        // Append to a fresh preamble.
+        let one = upsert_section("# EXPERIMENTS\n", s1, "alpha body\n");
+        assert!(one.starts_with("# EXPERIMENTS\n"));
+        assert!(one.contains("alpha body"));
+        // Append a second section; the first survives.
+        let two = upsert_section(&one, s2, "beta body");
+        assert!(two.contains("alpha body") && two.contains("beta body"));
+        // Replace the first section only.
+        let three = upsert_section(&two, s1, "alpha v2 body");
+        assert!(!three.contains("alpha body\n"), "{three}");
+        assert!(three.contains("alpha v2 body") && three.contains("beta body"));
+        // Section order is stable and markers appear exactly once.
+        assert_eq!(three.matches(s1).count(), 1);
+        assert_eq!(three.matches(s2).count(), 1);
+        assert!(three.find(s1).unwrap() < three.find(s2).unwrap());
+        // Re-recording identical content is byte-stable, for every
+        // section position (middle and last).
+        assert_eq!(upsert_section(&three, s1, "alpha v2 body"), three);
+        assert_eq!(upsert_section(&three, s2, "beta body"), three);
     }
 
     #[test]

@@ -1,22 +1,27 @@
 //! Automatic end-to-end cascades (paper §4.2).
 //!
-//! A [`CascadePredictor`] holds a *small* model over the efficient IFVs
-//! and the *full* model over all IFVs. Serving first computes only the
-//! efficient features and predicts with the small model; if the small
-//! model's confidence exceeds the cascade threshold the prediction is
-//! returned, otherwise the *inefficient* features are computed, merged
-//! with the already-computed efficient features, and the full model
-//! predicts (paper Figure 3 — escalation never recomputes the
-//! efficient features, which is what cuts remote requests in Table 2).
+//! A [`CascadePredictor`] serves with a *small* model over the
+//! efficient IFVs first; if the small model's confidence exceeds the
+//! cascade threshold the prediction is returned, otherwise the
+//! *inefficient* features are computed, merged with the
+//! already-computed efficient features, and the full model predicts
+//! (paper Figure 3 — escalation never recomputes the efficient
+//! features, which is what cuts remote requests in Table 2).
+//!
+//! Since the plan-IR refactor the predictor is a thin shim over a
+//! lowered [`ServingPlan`] (`compute_features(efficient)` →
+//! `predict(small)` → `confidence_gate` → `escalate` →
+//! `predict(full)`); the executor logic, including the
+//! efficient/inefficient feature merge, lives in [`crate::plan`].
 
 use std::sync::Arc;
 
-use willump_data::{SparseRowBuilder, Table};
+use willump_data::Table;
 use willump_graph::{Executor, InputRow};
 use willump_models::{metrics, IsotonicCalibrator, PlattScaler, Task, TrainedModel};
 
 use crate::config::Calibration;
-use crate::layout::Remapper;
+use crate::plan::ServingPlan;
 use crate::WillumpError;
 
 /// A fitted small-model score calibrator (see
@@ -202,23 +207,15 @@ impl CascadeServeStats {
     }
 }
 
-/// A deployed end-to-end cascade.
+/// A deployed end-to-end cascade: a thin shim over a lowered
+/// [`ServingPlan`].
 #[derive(Debug, Clone)]
 pub struct CascadePredictor {
-    exec: Executor,
-    small: Arc<TrainedModel>,
-    full: Arc<TrainedModel>,
-    threshold: f64,
-    efficient: Vec<usize>,
-    inefficient: Vec<usize>,
-    eff_remap: Remapper,
-    ineff_remap: Remapper,
-    full_width: usize,
-    calibrator: Option<ScoreCalibrator>,
+    plan: ServingPlan,
 }
 
 impl CascadePredictor {
-    /// Assemble a cascade from its parts.
+    /// Assemble a cascade from its parts by lowering them into a plan.
     ///
     /// # Errors
     /// Returns [`WillumpError`] if the task is not classification, the
@@ -235,32 +232,29 @@ impl CascadePredictor {
                 reason: "end-to-end cascades apply only to classification pipelines".into(),
             });
         }
-        let n_fgs = exec.analysis().generators.len();
-        if efficient.is_empty() || efficient.len() >= n_fgs {
-            return Err(WillumpError::Unsupported {
-                reason: format!(
-                    "cascades need a proper non-empty efficient subset ({} of {} IFVs)",
-                    efficient.len(),
-                    n_fgs
-                ),
+        CascadePredictor::from_plan(ServingPlan::cascade(
+            exec, small, full, threshold, efficient,
+        )?)
+    }
+
+    /// Wrap an already-lowered cascade plan (it must contain a
+    /// confidence gate).
+    ///
+    /// # Errors
+    /// Returns [`WillumpError::BadConfig`] when the plan has no
+    /// [`crate::plan::PlanStage::ConfidenceGate`] stage.
+    pub fn from_plan(plan: ServingPlan) -> Result<CascadePredictor, WillumpError> {
+        if plan.threshold().is_none() {
+            return Err(WillumpError::BadConfig {
+                reason: "cascade predictors need a plan with a confidence gate".into(),
             });
         }
-        let inefficient: Vec<usize> = (0..n_fgs).filter(|g| !efficient.contains(g)).collect();
-        let eff_remap = Remapper::new(exec.graph(), exec.analysis(), &efficient)?;
-        let ineff_remap = Remapper::new(exec.graph(), exec.analysis(), &inefficient)?;
-        let full_width = eff_remap.full_width();
-        Ok(CascadePredictor {
-            exec,
-            small,
-            full,
-            threshold,
-            efficient,
-            inefficient,
-            eff_remap,
-            ineff_remap,
-            full_width,
-            calibrator: None,
-        })
+        Ok(CascadePredictor { plan })
+    }
+
+    /// The lowered serving plan backing this cascade.
+    pub fn plan(&self) -> &ServingPlan {
+        &self.plan
     }
 
     /// Attach a fitted score calibrator: small-model scores are mapped
@@ -268,41 +262,35 @@ impl CascadePredictor {
     /// returned as predictions.
     #[must_use]
     pub fn with_calibrator(mut self, calibrator: Option<ScoreCalibrator>) -> CascadePredictor {
-        self.calibrator = calibrator;
+        self.plan = self.plan.with_calibrator(calibrator);
         self
     }
 
     /// The attached calibrator, if any.
     pub fn calibrator(&self) -> Option<&ScoreCalibrator> {
-        self.calibrator.as_ref()
-    }
-
-    /// Apply the calibrator (identity when none is attached).
-    fn calibrated(&self, score: f64) -> f64 {
-        match &self.calibrator {
-            Some(c) => c.calibrate(score),
-            None => score,
-        }
+        self.plan.calibrator()
     }
 
     /// The cascade threshold in effect.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.plan.threshold().expect("validated confidence gate")
     }
 
     /// Override the cascade threshold (used by the Figure 7 sweep).
     pub fn set_threshold(&mut self, tc: f64) {
-        self.threshold = tc;
+        self.plan.set_threshold(tc);
     }
 
     /// The efficient generator subset.
     pub fn efficient_set(&self) -> &[usize] {
-        &self.efficient
+        self.plan
+            .efficient_set()
+            .expect("cascade plans have an efficient subset")
     }
 
     /// The executor used for feature computation.
     pub fn executor(&self) -> &Executor {
-        &self.exec
+        self.plan.executor()
     }
 
     /// Predict scores for a batch, cascading per input.
@@ -313,62 +301,12 @@ impl CascadePredictor {
         &self,
         table: &Table,
     ) -> Result<(Vec<f64>, CascadeServeStats), WillumpError> {
-        let eff = self.exec.features_batch(table, Some(&self.efficient))?;
-        let small_scores: Vec<f64> = self
-            .small
-            .predict_scores(&eff)
-            .into_iter()
-            .map(|s| self.calibrated(s))
-            .collect();
-        let mut escalated: Vec<usize> = Vec::new();
-        for (i, s) in small_scores.iter().enumerate() {
-            if s.max(1.0 - s) <= self.threshold {
-                escalated.push(i);
-            }
-        }
-        let mut scores = small_scores.clone();
-        if !escalated.is_empty() {
-            let sub = table.take_rows(&escalated);
-            let ineff = self.exec.features_batch(&sub, Some(&self.inefficient))?;
-            // Merge efficient + inefficient blocks into the full layout
-            // for the escalated rows only. Dense inputs (narrow lookup
-            // pipelines) take a block-copy fast path; anything sparse
-            // goes through entry remapping.
-            let full_feats = match (&eff, &ineff) {
-                (
-                    willump_data::FeatureMatrix::Dense(eff_m),
-                    willump_data::FeatureMatrix::Dense(ineff_m),
-                ) => {
-                    let mut merged = willump_data::Matrix::zeros(escalated.len(), self.full_width);
-                    for (j, &orig) in escalated.iter().enumerate() {
-                        let dst = merged.row_mut(j);
-                        self.eff_remap.copy_into_dense(eff_m.row(orig), dst);
-                        self.ineff_remap.copy_into_dense(ineff_m.row(j), dst);
-                    }
-                    willump_data::FeatureMatrix::Dense(merged)
-                }
-                _ => {
-                    let mut b = SparseRowBuilder::new(self.full_width);
-                    for (j, &orig) in escalated.iter().enumerate() {
-                        let merged = Remapper::merge_full(
-                            self.eff_remap.to_full(&eff.row_entries(orig)),
-                            self.ineff_remap.to_full(&ineff.row_entries(j)),
-                        );
-                        b.push_row(&merged);
-                    }
-                    willump_data::FeatureMatrix::Sparse(b.finish())
-                }
-            };
-            let full_scores = self.full.predict_scores(&full_feats);
-            for (j, &orig) in escalated.iter().enumerate() {
-                scores[orig] = full_scores[j];
-            }
-        }
+        let out = self.plan.run_batch(table)?;
         let stats = CascadeServeStats {
-            resolved_small: table.n_rows() - escalated.len(),
-            escalated: escalated.len(),
+            resolved_small: out.report.gate_resolved,
+            escalated: out.report.escalated,
         };
-        Ok((scores, stats))
+        Ok((out.scores, stats))
     }
 
     /// Predict the score for one input, cascading if needed. Returns
@@ -377,18 +315,8 @@ impl CascadePredictor {
     /// # Errors
     /// Propagates feature-computation failures.
     pub fn predict_one(&self, input: &InputRow) -> Result<(f64, bool), WillumpError> {
-        let eff = self.exec.features_one(input, Some(&self.efficient))?;
-        let eff_width = eff.width;
-        let s = self.calibrated(self.small.predict_score_row(&eff.entries, eff_width));
-        if s.max(1.0 - s) > self.threshold {
-            return Ok((s, false));
-        }
-        let ineff = self.exec.features_one(input, Some(&self.inefficient))?;
-        let merged = Remapper::merge_full(
-            self.eff_remap.to_full(&eff.entries),
-            self.ineff_remap.to_full(&ineff.entries),
-        );
-        Ok((self.full.predict_score_row(&merged, self.full_width), true))
+        let row = self.plan.run_one(input)?;
+        Ok((row.score, row.escalated))
     }
 }
 
@@ -521,7 +449,7 @@ mod tests {
         let cascade = CascadePredictor::new(exec, small, full.clone(), 1.0, vec![0]).unwrap();
         let (scores, stats) = cascade.predict_batch(&t).unwrap();
         assert_eq!(stats.resolved_small, 0);
-        let fullf = cascade.exec.features_batch(&t, None).unwrap();
+        let fullf = cascade.executor().features_batch(&t, None).unwrap();
         let full_scores = full.predict_scores(&fullf);
         for (a, b) in scores.iter().zip(&full_scores) {
             assert!((a - b).abs() < 1e-9);

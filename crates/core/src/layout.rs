@@ -6,6 +6,7 @@
 //! entries from a subset layout into the full layout so escalation
 //! never recomputes features it already has (paper Figure 3).
 
+use willump_data::{FeatureMatrix, Matrix, SparseRowBuilder};
 use willump_graph::analysis::{subset_layout, IfvAnalysis};
 use willump_graph::TransformGraph;
 
@@ -91,12 +92,57 @@ impl Remapper {
     }
 }
 
+/// Merge efficient and inefficient feature blocks into full-layout
+/// rows: output row `j` combines row `eff_pick[j]` of `eff` with row
+/// `j` of `ineff`. This is the subset-merge step every escalating
+/// optimization shares (cascades on low-confidence inputs, top-K
+/// filters on surviving candidates); it lives here so the plan
+/// executor is its single caller instead of each predictor carrying a
+/// copy. Dense input pairs take a block-copy fast path (narrow lookup
+/// pipelines, where sparse entry shuffling would dominate); anything
+/// sparse goes through sorted entry remapping.
+///
+/// # Panics
+/// Panics if an index in `eff_pick` is out of range for `eff` or the
+/// matrices are narrower than their remappers' layouts.
+pub fn merge_subset_rows(
+    eff_remap: &Remapper,
+    ineff_remap: &Remapper,
+    eff: &FeatureMatrix,
+    eff_pick: &[usize],
+    ineff: &FeatureMatrix,
+    full_width: usize,
+) -> FeatureMatrix {
+    match (eff, ineff) {
+        (FeatureMatrix::Dense(eff_m), FeatureMatrix::Dense(ineff_m)) => {
+            let mut merged = Matrix::zeros(eff_pick.len(), full_width);
+            for (j, &orig) in eff_pick.iter().enumerate() {
+                let dst = merged.row_mut(j);
+                eff_remap.copy_into_dense(eff_m.row(orig), dst);
+                ineff_remap.copy_into_dense(ineff_m.row(j), dst);
+            }
+            FeatureMatrix::Dense(merged)
+        }
+        _ => {
+            let mut b = SparseRowBuilder::new(full_width);
+            for (j, &orig) in eff_pick.iter().enumerate() {
+                let merged = Remapper::merge_full(
+                    eff_remap.to_full(&eff.row_entries(orig)),
+                    ineff_remap.to_full(&ineff.row_entries(j)),
+                );
+                b.push_row(&merged);
+            }
+            FeatureMatrix::Sparse(b.finish())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
     use willump_graph::analysis::identify_ifvs;
-    use willump_graph::{GraphBuilder, Operator};
+    use willump_graph::{EngineMode, Executor, GraphBuilder, Operator};
 
     fn three_fg_graph() -> Arc<TransformGraph> {
         let mut b = GraphBuilder::new();
@@ -138,6 +184,47 @@ mod tests {
             Remapper::merge_full(a, b),
             vec![(0, 1.0), (8, 3.0), (16, 2.0)]
         );
+    }
+
+    #[test]
+    fn merge_subset_rows_rebuilds_full_rows() {
+        let g = three_fg_graph();
+        let an = identify_ifvs(&g).unwrap();
+        let exec = Executor::new(g.clone(), EngineMode::Compiled).unwrap();
+        let mut t = willump_data::Table::new();
+        for col in ["a", "b", "c"] {
+            t.add_column(
+                col,
+                willump_data::Column::from(vec![
+                    format!("{col} text one!"),
+                    format!("{col}!!"),
+                    format!("longer {col} body"),
+                ]),
+            )
+            .unwrap();
+        }
+        let efficient = vec![0, 2];
+        let inefficient = vec![1];
+        let eff_remap = Remapper::new(&g, &an, &efficient).unwrap();
+        let ineff_remap = Remapper::new(&g, &an, &inefficient).unwrap();
+        let eff = exec.features_batch(&t, Some(&efficient)).unwrap();
+        let full = exec.features_batch(&t, None).unwrap();
+        // Merge a scrambled picked subset: rows 2 and 0.
+        let pick = vec![2usize, 0];
+        let sub = t.take_rows(&pick);
+        let ineff = exec.features_batch(&sub, Some(&inefficient)).unwrap();
+        let merged = merge_subset_rows(
+            &eff_remap,
+            &ineff_remap,
+            &eff,
+            &pick,
+            &ineff,
+            eff_remap.full_width(),
+        );
+        assert_eq!(merged.n_rows(), 2);
+        for (j, &orig) in pick.iter().enumerate() {
+            assert_eq!(merged.row_entries(j), full.row_entries(orig));
+        }
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   the compiled engine; the original runs on the interpreted
 //!   engine (`Pipeline::baseline`).
 //!
+//! Every optimization lowers into the [`plan`] module's
+//! [`ServingPlan`] IR — an explicit stage sequence run by one
+//! [`plan::PlanExecutor`] — so cascades, top-K filters, end-to-end
+//! caching, and model selection *compose* instead of living in
+//! separate wrapper structs. [`CascadePredictor`] and [`TopKFilter`]
+//! are thin shims over lowered plans.
+//!
 //! See `willump-workloads` for ready-made benchmark pipelines and
 //! `examples/` at the repository root for usage.
 
@@ -34,6 +41,7 @@ mod error;
 mod layout;
 mod optimize;
 mod pipeline;
+pub mod plan;
 pub mod stats;
 pub mod topk;
 
@@ -42,5 +50,9 @@ pub use config::{CachingConfig, Calibration, QueryMode, TopKConfig, WillumpConfi
 pub use error::WillumpError;
 pub use optimize::{OptimizationReport, OptimizedPipeline, Willump};
 pub use pipeline::{BaselinePipeline, Pipeline};
+pub use plan::{
+    FeatureSet, ModelSlot, PlanExecutor, PlanOutcome, PlanRunReport, PlanStage, RowOutcome,
+    ServingPlan, StageProfile, StageTrace,
+};
 pub use stats::IfvStats;
 pub use topk::TopKFilter;

@@ -14,6 +14,7 @@ use crate::cascade::{
 use crate::config::{QueryMode, WillumpConfig};
 use crate::efficient::{select_efficient_ifvs, SelectionStrategy};
 use crate::pipeline::Pipeline;
+use crate::plan::ServingPlan;
 use crate::stats::{compute_ifv_stats_with_basis, CostBasis, IfvStats};
 use crate::topk::{TopKFilter, TopKServeStats};
 use crate::WillumpError;
@@ -200,7 +201,10 @@ impl Willump {
                 }
             };
             if deploy {
-                let predictor = CascadePredictor::new(
+                // Lower the decisions (efficient subset, threshold,
+                // calibration) into a serving plan; the predictor is a
+                // thin shim over it.
+                let plan = ServingPlan::cascade(
                     exec.clone(),
                     small,
                     full_model.clone(),
@@ -209,7 +213,7 @@ impl Willump {
                 )?
                 .with_calibrator(calibrator);
                 threshold = Some(sel);
-                Some(predictor)
+                Some(CascadePredictor::from_plan(plan)?)
             } else {
                 None
             }
@@ -217,16 +221,18 @@ impl Willump {
             None
         };
 
-        // Top-K filter deployment (any task).
-        let filter = if matches!(cfg.mode, QueryMode::TopK { .. }) && proper {
+        // Top-K filter deployment (any task), lowered the same way.
+        let filter = if let (QueryMode::TopK { k }, true) = (cfg.mode, proper) {
             let small = small_model.clone().expect("proper subset has small model");
-            Some(TopKFilter::new(
+            let plan = ServingPlan::top_k_filter(
                 exec.clone(),
                 small,
                 full_model.clone(),
+                k,
                 cfg.topk,
                 efficient.clone(),
-            )?)
+            )?;
+            Some(TopKFilter::from_plan(plan)?)
         } else {
             None
         };
@@ -240,11 +246,23 @@ impl Willump {
             filter_deployed: filter.is_some(),
             ifv_stats,
         };
+        // The lowered plan this pipeline serves with: filter plan for
+        // top-K query modes, else the cascade plan, else the plain
+        // compiled full-model plan. Built once so every
+        // `serving_plan()` clone shares its counters.
+        let plan = if let Some(f) = &filter {
+            f.plan().clone()
+        } else if let Some(c) = &cascade {
+            c.plan().clone()
+        } else {
+            ServingPlan::full_model_plan(exec.clone(), full_model.clone())
+        };
         Ok(OptimizedPipeline {
             exec,
             full_model,
             cascade,
             filter,
+            plan,
             report,
         })
     }
@@ -258,6 +276,7 @@ pub struct OptimizedPipeline {
     full_model: Arc<TrainedModel>,
     cascade: Option<CascadePredictor>,
     filter: Option<TopKFilter>,
+    plan: ServingPlan,
     report: OptimizationReport,
 }
 
@@ -290,6 +309,17 @@ impl OptimizedPipeline {
     /// The deployed top-K filter, if any.
     pub fn filter(&self) -> Option<&TopKFilter> {
         self.filter.as_ref()
+    }
+
+    /// The lowered [`ServingPlan`] this pipeline serves with: the
+    /// top-K plan when a filter deployed (the pipeline was optimized
+    /// for top-K queries), otherwise the cascade plan when cascades
+    /// deployed, otherwise the plain compiled full-model plan.
+    /// The returned plan is a clone sharing the deployed plan's
+    /// counters and executor — compose freely (e.g.
+    /// [`ServingPlan::with_e2e_cache`]) and serve it directly.
+    pub fn serving_plan(&self) -> ServingPlan {
+        self.plan.clone()
     }
 
     /// Mutable access to the deployed filter (subset-size sweeps).

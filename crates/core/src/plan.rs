@@ -1,0 +1,1609 @@
+//! The `ServingPlan` IR: one composable representation for every
+//! statistically-aware serving-path optimization (paper §4), run by a
+//! single [`PlanExecutor`].
+//!
+//! Willump's optimizations — end-to-end cascades (§4.2), top-K filter
+//! models (§4.3), and prediction caching (§4.5) — all share the same
+//! skeleton: compute a cheap subset of features, score it with a cheap
+//! model, decide per input whether that answer suffices, and escalate
+//! the rest to the full pipeline without recomputing what is already
+//! in hand. Historically each optimization was a bespoke wrapper
+//! struct with its own predict path; the plan IR makes the skeleton
+//! explicit as a sequence of [`PlanStage`]s over shared resources
+//! (executor, models, layouts, cache), so optimizations *compose*: a
+//! cascade behind an end-to-end cache, a top-K filter with a
+//! confidence gate, an arm-selected full model — all execute through
+//! the same [`PlanExecutor`], batch-wise or row-wise, and all report
+//! per-stage cost and row counters the serving layer can inspect.
+//!
+//! [`crate::Willump::optimize`] lowers its decisions into a plan;
+//! [`crate::CascadePredictor`] and [`crate::TopKFilter`] are thin
+//! shims over lowered plans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use willump_data::{FeatureMatrix, Table};
+use willump_graph::{Executor, InputRow};
+use willump_models::{metrics, Task, TrainedModel};
+use willump_store::LruCache;
+
+use crate::cascade::ScoreCalibrator;
+use crate::config::TopKConfig;
+use crate::layout::{merge_subset_rows, Remapper};
+use crate::WillumpError;
+
+/// Which feature subset a [`PlanStage::ComputeFeatures`] stage
+/// computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureSet {
+    /// The efficient IFV subset selected by Algorithm 1.
+    Efficient,
+    /// All feature generators (the canonical full layout).
+    Full,
+}
+
+/// Which trained model a [`PlanStage::PredictModel`] stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSlot {
+    /// The small/filter model trained on the efficient features.
+    Small,
+    /// The full model trained on the complete feature layout.
+    Full,
+    /// The arm chosen by the nearest preceding
+    /// [`PlanStage::SelectArm`] (full-layout models).
+    Selected,
+}
+
+/// One stage of a [`ServingPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanStage {
+    /// Compute features for the rows still in flight.
+    ComputeFeatures {
+        /// Which generator subset to compute.
+        subset: FeatureSet,
+    },
+    /// Look each in-flight row up in the end-to-end prediction cache;
+    /// hits resolve immediately with the cached score.
+    CacheLookup,
+    /// Write the scores of rows that missed [`PlanStage::CacheLookup`]
+    /// back into the cache (place after the final predict stage).
+    /// Rows dropped by a [`PlanStage::TopKFilter`] are *not* filled —
+    /// their filter score means "not in the top K", not an answer.
+    CacheFill,
+    /// Score the rows still in flight with a model.
+    PredictModel {
+        /// Which model to run.
+        slot: ModelSlot,
+    },
+    /// Resolve rows whose confidence `max(s, 1-s)` exceeds the
+    /// threshold with their current score (paper §4.2); the rest stay
+    /// in flight for escalation.
+    ConfidenceGate {
+        /// The cascade threshold t_c.
+        threshold: f64,
+    },
+    /// Keep only the top filter-scored candidates in flight (paper
+    /// §4.3); dropped rows resolve with their current (filter) score.
+    TopKFilter {
+        /// Default K when the query does not supply one.
+        k: usize,
+        /// Subset-size tuning (`ck`, minimum fraction).
+        config: TopKConfig,
+    },
+    /// Compute the inefficient features for the rows still in flight
+    /// and merge them with the already-computed efficient block into
+    /// the full layout (paper Figure 3: escalation never recomputes).
+    Escalate,
+    /// Pick which arm model subsequent
+    /// [`ModelSlot::Selected`] predictions use (deterministic
+    /// epsilon-greedy over reward feedback; see
+    /// [`ServingPlan::reward`]).
+    SelectArm,
+}
+
+impl PlanStage {
+    /// Short human-readable label (stage traces, profiles, logs).
+    pub fn label(&self) -> String {
+        match self {
+            PlanStage::ComputeFeatures {
+                subset: FeatureSet::Efficient,
+            } => "compute_features(efficient)".to_string(),
+            PlanStage::ComputeFeatures {
+                subset: FeatureSet::Full,
+            } => "compute_features(full)".to_string(),
+            PlanStage::CacheLookup => "cache_lookup".to_string(),
+            PlanStage::CacheFill => "cache_fill".to_string(),
+            PlanStage::PredictModel { slot } => match slot {
+                ModelSlot::Small => "predict(small)".to_string(),
+                ModelSlot::Full => "predict(full)".to_string(),
+                ModelSlot::Selected => "predict(selected)".to_string(),
+            },
+            PlanStage::ConfidenceGate { threshold } => {
+                format!("confidence_gate(t={threshold})")
+            }
+            PlanStage::TopKFilter { k, config } => {
+                format!("topk_filter(k={k}, ck={})", config.ck)
+            }
+            PlanStage::Escalate => "escalate".to_string(),
+            PlanStage::SelectArm => "select_arm".to_string(),
+        }
+    }
+}
+
+/// Subset layouts shared by every escalating stage.
+#[derive(Debug, Clone)]
+struct SubsetLayouts {
+    efficient: Vec<usize>,
+    inefficient: Vec<usize>,
+    eff_remap: Remapper,
+    ineff_remap: Remapper,
+    full_width: usize,
+}
+
+impl SubsetLayouts {
+    fn new(exec: &Executor, efficient: Vec<usize>) -> Result<SubsetLayouts, WillumpError> {
+        let n_fgs = exec.analysis().generators.len();
+        if efficient.is_empty() || efficient.len() >= n_fgs {
+            return Err(WillumpError::Unsupported {
+                reason: format!(
+                    "subset stages need a proper non-empty efficient subset ({} of {} IFVs)",
+                    efficient.len(),
+                    n_fgs
+                ),
+            });
+        }
+        let inefficient = exec.complement_subset(&efficient);
+        let eff_remap = Remapper::new(exec.graph(), exec.analysis(), &efficient)?;
+        let ineff_remap = Remapper::new(exec.graph(), exec.analysis(), &inefficient)?;
+        let full_width = eff_remap.full_width();
+        Ok(SubsetLayouts {
+            efficient,
+            inefficient,
+            eff_remap,
+            ineff_remap,
+            full_width,
+        })
+    }
+}
+
+/// The end-to-end prediction cache of a plan (paper §4.5's baseline,
+/// now a composable pair of stages). Keys are the stringified values
+/// of the pipeline's source columns, exactly like
+/// Clipper-style end-to-end caching.
+#[derive(Clone)]
+struct PlanCache {
+    sources: Vec<String>,
+    store: Arc<Mutex<LruCache<Vec<String>, f64>>>,
+}
+
+/// Deterministic epsilon-greedy bandit state for
+/// [`PlanStage::SelectArm`]: every `explore_every`-th pick plays arms
+/// round-robin; all other picks exploit the best empirical mean.
+/// Deterministic (no RNG) so serving runs are reproducible.
+#[derive(Debug)]
+struct ArmState {
+    pulls: Vec<u64>,
+    rewards: Vec<f64>,
+    explore_every: u64,
+    total: u64,
+}
+
+impl ArmState {
+    fn pick(&mut self) -> usize {
+        self.total += 1;
+        let n = self.pulls.len();
+        let arm = if let Some(unplayed) = self.pulls.iter().position(|&p| p == 0) {
+            unplayed
+        } else if self.explore_every > 0 && self.total.is_multiple_of(self.explore_every) {
+            ((self.total / self.explore_every) % n as u64) as usize
+        } else {
+            let mut best = 0;
+            let mut best_mean = f64::NEG_INFINITY;
+            for i in 0..n {
+                let mean = self.rewards[i] / self.pulls[i] as f64;
+                if mean > best_mean {
+                    best_mean = mean;
+                    best = i;
+                }
+            }
+            best
+        };
+        self.pulls[arm] += 1;
+        arm
+    }
+}
+
+/// Cumulative serving counters of a plan, shared by every clone (the
+/// per-stage introspection the serving layer reads for scheduling
+/// decisions).
+#[derive(Debug, Default)]
+pub struct PlanCounters {
+    rows: AtomicU64,
+    gate_resolved: AtomicU64,
+    escalated: AtomicU64,
+    filter_dropped: AtomicU64,
+}
+
+impl PlanCounters {
+    /// Total input rows run through the plan.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Rows resolved early by a [`PlanStage::ConfidenceGate`].
+    pub fn gate_resolved(&self) -> u64 {
+        self.gate_resolved.load(Ordering::Relaxed)
+    }
+
+    /// Rows escalated to the full feature layout.
+    pub fn escalated(&self) -> u64 {
+        self.escalated.load(Ordering::Relaxed)
+    }
+
+    /// Rows dropped from candidacy by a [`PlanStage::TopKFilter`].
+    pub fn filter_dropped(&self) -> u64 {
+        self.filter_dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-stage cumulative meters (time and rows), shared by clones.
+#[derive(Debug)]
+struct StageMeters {
+    nanos: Vec<AtomicU64>,
+    rows_in: Vec<AtomicU64>,
+    runs: Vec<AtomicU64>,
+}
+
+impl StageMeters {
+    fn new(n: usize) -> StageMeters {
+        StageMeters {
+            nanos: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            rows_in: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            runs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, stage: usize, rows: usize, nanos: u64) {
+        self.nanos[stage].fetch_add(nanos, Ordering::Relaxed);
+        self.rows_in[stage].fetch_add(rows as u64, Ordering::Relaxed);
+        self.runs[stage].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A stage's cumulative execution profile (see
+/// [`ServingPlan::stage_profiles`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageProfile {
+    /// Stage label ([`PlanStage::label`]).
+    pub label: String,
+    /// Times the stage executed.
+    pub runs: u64,
+    /// Total rows entering the stage.
+    pub rows_in: u64,
+    /// Total wall-clock seconds spent in the stage.
+    pub seconds: f64,
+}
+
+/// One stage's trace within a single run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTrace {
+    /// Stage label ([`PlanStage::label`]).
+    pub label: String,
+    /// Rows in flight when the stage started.
+    pub rows_in: usize,
+    /// Rows still in flight afterwards.
+    pub rows_out: usize,
+    /// Wall-clock seconds the stage took.
+    pub seconds: f64,
+}
+
+/// What one batch run did, stage by stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanRunReport {
+    /// Per-stage traces in execution order.
+    pub stages: Vec<StageTrace>,
+    /// Rows resolved by a confidence gate (small-model answers).
+    pub gate_resolved: usize,
+    /// Rows escalated to the full layout.
+    pub escalated: usize,
+    /// Rows answered from the end-to-end cache.
+    pub cache_hits: usize,
+    /// Rows that missed the end-to-end cache.
+    pub cache_misses: usize,
+    /// Rows entering the top-K filter, when one ran.
+    pub filter_batch: Option<usize>,
+    /// Candidates the top-K filter kept, when one ran.
+    pub filter_kept: Option<usize>,
+    /// The arm a [`PlanStage::SelectArm`] picked, when one ran.
+    pub selected_arm: Option<usize>,
+}
+
+/// The result of one batch run.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// Final score per input row.
+    pub scores: Vec<f64>,
+    /// Predicted top-K row indices, best first (present when the plan
+    /// contains a [`PlanStage::TopKFilter`]).
+    pub ranked: Option<Vec<usize>>,
+    /// Stage-by-stage report.
+    pub report: PlanRunReport,
+}
+
+/// The result of one row-wise run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowOutcome {
+    /// The final score.
+    pub score: f64,
+    /// Whether the input escalated to the full layout.
+    pub escalated: bool,
+    /// Whether the end-to-end cache answered the input.
+    pub cache_hit: bool,
+    /// The arm a [`PlanStage::SelectArm`] picked, when one ran.
+    pub selected_arm: Option<usize>,
+}
+
+/// An executable serving plan: stages plus the shared resources they
+/// reference.
+///
+/// Clones share the cache, bandit state, and counters (they are views
+/// of one serving artifact); stage lists are cloned by value, so
+/// [`set_threshold`](ServingPlan::set_threshold)-style edits are
+/// per-clone.
+#[derive(Clone)]
+pub struct ServingPlan {
+    exec: Executor,
+    full: Arc<TrainedModel>,
+    small: Option<Arc<TrainedModel>>,
+    arms: Vec<Arc<TrainedModel>>,
+    arm_state: Option<Arc<Mutex<ArmState>>>,
+    calibrator: Option<ScoreCalibrator>,
+    subsets: Option<SubsetLayouts>,
+    cache: Option<PlanCache>,
+    stages: Vec<PlanStage>,
+    counters: Arc<PlanCounters>,
+    meters: Arc<StageMeters>,
+}
+
+impl std::fmt::Debug for ServingPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingPlan")
+            .field("stages", &self.describe())
+            .field("arms", &self.arms.len())
+            .field("cached", &self.cache.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingPlan {
+    fn assemble(
+        exec: Executor,
+        full: Arc<TrainedModel>,
+        small: Option<Arc<TrainedModel>>,
+        subsets: Option<SubsetLayouts>,
+        stages: Vec<PlanStage>,
+    ) -> Result<ServingPlan, WillumpError> {
+        let meters = Arc::new(StageMeters::new(stages.len()));
+        let plan = ServingPlan {
+            exec,
+            full,
+            small,
+            arms: Vec::new(),
+            arm_state: None,
+            calibrator: None,
+            subsets,
+            cache: None,
+            stages,
+            counters: Arc::new(PlanCounters::default()),
+            meters,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// The trivial plan: compute all features, predict with the full
+    /// model (compiled execution with no statistical optimization).
+    pub fn full_model_plan(exec: Executor, full: Arc<TrainedModel>) -> ServingPlan {
+        ServingPlan::assemble(
+            exec,
+            full,
+            None,
+            None,
+            vec![
+                PlanStage::ComputeFeatures {
+                    subset: FeatureSet::Full,
+                },
+                PlanStage::PredictModel {
+                    slot: ModelSlot::Full,
+                },
+            ],
+        )
+        .expect("the full-model plan is always valid")
+    }
+
+    /// Lower an end-to-end cascade (paper §4.2) into a plan:
+    /// efficient features → small model → confidence gate → escalate →
+    /// full model.
+    ///
+    /// # Errors
+    /// Returns [`WillumpError`] when the efficient subset is not a
+    /// proper non-empty subset or layouts cannot be built.
+    pub fn cascade(
+        exec: Executor,
+        small: Arc<TrainedModel>,
+        full: Arc<TrainedModel>,
+        threshold: f64,
+        efficient: Vec<usize>,
+    ) -> Result<ServingPlan, WillumpError> {
+        let subsets = SubsetLayouts::new(&exec, efficient)?;
+        ServingPlan::assemble(
+            exec,
+            full,
+            Some(small),
+            Some(subsets),
+            vec![
+                PlanStage::ComputeFeatures {
+                    subset: FeatureSet::Efficient,
+                },
+                PlanStage::PredictModel {
+                    slot: ModelSlot::Small,
+                },
+                PlanStage::ConfidenceGate { threshold },
+                PlanStage::Escalate,
+                PlanStage::PredictModel {
+                    slot: ModelSlot::Full,
+                },
+            ],
+        )
+    }
+
+    /// Lower a top-K filter (paper §4.3) into a plan: efficient
+    /// features → filter model → keep top candidates → escalate →
+    /// full model reranks.
+    ///
+    /// `default_k` is used when a query does not supply its own K
+    /// (row-wise runs, plain `predict_batch`).
+    ///
+    /// # Errors
+    /// Returns [`WillumpError`] for `default_k == 0`, an improper
+    /// efficient subset, or layout failures.
+    pub fn top_k_filter(
+        exec: Executor,
+        filter: Arc<TrainedModel>,
+        full: Arc<TrainedModel>,
+        default_k: usize,
+        config: TopKConfig,
+        efficient: Vec<usize>,
+    ) -> Result<ServingPlan, WillumpError> {
+        let subsets = SubsetLayouts::new(&exec, efficient)?;
+        ServingPlan::assemble(
+            exec,
+            full,
+            Some(filter),
+            Some(subsets),
+            vec![
+                PlanStage::ComputeFeatures {
+                    subset: FeatureSet::Efficient,
+                },
+                PlanStage::PredictModel {
+                    slot: ModelSlot::Small,
+                },
+                PlanStage::TopKFilter {
+                    k: default_k,
+                    config,
+                },
+                PlanStage::Escalate,
+                PlanStage::PredictModel {
+                    slot: ModelSlot::Full,
+                },
+            ],
+        )
+    }
+
+    /// Attach a fitted score calibrator: small-model scores map
+    /// through it before gates and when returned as predictions.
+    #[must_use]
+    pub fn with_calibrator(mut self, calibrator: Option<ScoreCalibrator>) -> ServingPlan {
+        self.calibrator = calibrator;
+        self
+    }
+
+    /// Compose an end-to-end prediction cache around the plan:
+    /// a [`PlanStage::CacheLookup`] runs first (hits skip the whole
+    /// pipeline, including remote feature requests) and a
+    /// [`PlanStage::CacheFill`] stores every missed row's final score.
+    /// `sources` are the input columns forming the key; `capacity`
+    /// bounds the LRU (`None` = unbounded, the paper's setting).
+    ///
+    /// # Errors
+    /// Returns [`WillumpError::BadConfig`] when the plan is already
+    /// cached.
+    pub fn with_e2e_cache(
+        mut self,
+        sources: Vec<String>,
+        capacity: Option<usize>,
+    ) -> Result<ServingPlan, WillumpError> {
+        if self.cache.is_some() {
+            return Err(WillumpError::BadConfig {
+                reason: "plan already has an end-to-end cache".into(),
+            });
+        }
+        let store = match capacity {
+            Some(c) => LruCache::with_capacity(c),
+            None => LruCache::unbounded(),
+        };
+        self.cache = Some(PlanCache {
+            sources,
+            store: Arc::new(Mutex::new(store)),
+        });
+        let mut stages = Vec::with_capacity(self.stages.len() + 2);
+        stages.push(PlanStage::CacheLookup);
+        stages.append(&mut self.stages);
+        stages.push(PlanStage::CacheFill);
+        self.stages = stages;
+        self.meters = Arc::new(StageMeters::new(self.stages.len()));
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Compose a cascade confidence gate into an escalating plan,
+    /// inserted directly before the first [`PlanStage::Escalate`]
+    /// (e.g. a top-K plan gains cascade semantics: confident
+    /// candidates keep their filter score and skip the full model).
+    ///
+    /// # Errors
+    /// Returns [`WillumpError::BadConfig`] when the plan has no
+    /// escalation stage or no small model.
+    pub fn with_confidence_gate(mut self, threshold: f64) -> Result<ServingPlan, WillumpError> {
+        let Some(pos) = self
+            .stages
+            .iter()
+            .position(|s| matches!(s, PlanStage::Escalate))
+        else {
+            return Err(WillumpError::BadConfig {
+                reason: "confidence gate needs an escalating plan".into(),
+            });
+        };
+        self.stages
+            .insert(pos, PlanStage::ConfidenceGate { threshold });
+        self.meters = Arc::new(StageMeters::new(self.stages.len()));
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Compose arm selection over full-layout model variants: a
+    /// [`PlanStage::SelectArm`] runs first and every
+    /// [`ModelSlot::Full`] prediction is rebound to
+    /// [`ModelSlot::Selected`]. Selection is deterministic
+    /// epsilon-greedy: every `explore_every`-th query explores arms
+    /// round-robin (0 disables exploration after the initial sweep);
+    /// feed accuracy feedback through [`reward`](ServingPlan::reward).
+    ///
+    /// # Errors
+    /// Returns [`WillumpError::BadConfig`] when `arms` is empty.
+    pub fn with_arms(
+        mut self,
+        arms: Vec<Arc<TrainedModel>>,
+        explore_every: u64,
+    ) -> Result<ServingPlan, WillumpError> {
+        if arms.is_empty() {
+            return Err(WillumpError::BadConfig {
+                reason: "arm selection needs at least one arm".into(),
+            });
+        }
+        let n = arms.len();
+        self.arms = arms;
+        self.arm_state = Some(Arc::new(Mutex::new(ArmState {
+            pulls: vec![0; n],
+            rewards: vec![0.0; n],
+            explore_every,
+            total: 0,
+        })));
+        for stage in &mut self.stages {
+            if matches!(
+                stage,
+                PlanStage::PredictModel {
+                    slot: ModelSlot::Full
+                }
+            ) {
+                *stage = PlanStage::PredictModel {
+                    slot: ModelSlot::Selected,
+                };
+            }
+        }
+        self.stages.insert(0, PlanStage::SelectArm);
+        self.meters = Arc::new(StageMeters::new(self.stages.len()));
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Structural validation: every stage's prerequisites must be
+    /// satisfied by the stages before it and the attached resources.
+    fn validate(&self) -> Result<(), WillumpError> {
+        let bad = |reason: String| -> WillumpError { WillumpError::BadConfig { reason } };
+        if self.stages.is_empty() {
+            return Err(bad("a serving plan needs at least one stage".into()));
+        }
+        let mut has_feats = false;
+        let mut has_eff = false;
+        let mut has_scores = false;
+        let mut arm_selected = false;
+        let mut last_slot: Option<ModelSlot> = None;
+        for stage in &self.stages {
+            match stage {
+                PlanStage::ComputeFeatures { subset } => {
+                    if *subset == FeatureSet::Efficient && self.subsets.is_none() {
+                        return Err(bad("efficient features need a subset plan".into()));
+                    }
+                    has_feats = true;
+                    has_eff = *subset == FeatureSet::Efficient;
+                }
+                PlanStage::CacheLookup | PlanStage::CacheFill => {
+                    if self.cache.is_none() {
+                        return Err(bad(format!(
+                            "{} needs an attached cache (with_e2e_cache)",
+                            stage.label()
+                        )));
+                    }
+                    if matches!(stage, PlanStage::CacheFill) && !has_scores {
+                        return Err(bad("cache_fill must follow a predict stage".into()));
+                    }
+                }
+                PlanStage::PredictModel { slot } => {
+                    if !has_feats {
+                        return Err(bad(format!(
+                            "{} has no computed features to read",
+                            stage.label()
+                        )));
+                    }
+                    match slot {
+                        ModelSlot::Small if self.small.is_none() => {
+                            return Err(bad("predict(small) needs a small model".into()));
+                        }
+                        ModelSlot::Selected if !arm_selected => {
+                            return Err(bad(
+                                "predict(selected) needs a preceding select_arm".into()
+                            ));
+                        }
+                        _ => {}
+                    }
+                    has_scores = true;
+                    last_slot = Some(*slot);
+                }
+                PlanStage::ConfidenceGate { threshold } => {
+                    if !has_scores {
+                        return Err(bad("confidence_gate must follow a predict stage".into()));
+                    }
+                    if !(0.0..=1.0).contains(threshold) {
+                        return Err(bad(format!("threshold {threshold} not in [0, 1]")));
+                    }
+                    // `max(s, 1 - s)` only means confidence for
+                    // classification probabilities; gating unbounded
+                    // regression scores would silently "pass" anything
+                    // far from [0, 1].
+                    let gated = match last_slot.expect("has_scores implies a predict ran") {
+                        ModelSlot::Small => self.small.as_ref().expect("validated small model"),
+                        ModelSlot::Full => &self.full,
+                        ModelSlot::Selected => &self.arms[0],
+                    };
+                    if gated.task() != Task::BinaryClassification {
+                        return Err(bad("confidence gates require classification scores".into()));
+                    }
+                }
+                PlanStage::TopKFilter { k, config } => {
+                    if !has_scores {
+                        return Err(bad("topk_filter must follow a predict stage".into()));
+                    }
+                    if *k == 0 || config.ck == 0 {
+                        return Err(bad("top-K stages require k >= 1 and ck >= 1".into()));
+                    }
+                    if !(0.0..=1.0).contains(&config.min_subset_frac) {
+                        return Err(bad(format!(
+                            "min_subset_frac {} not in [0, 1]",
+                            config.min_subset_frac
+                        )));
+                    }
+                }
+                PlanStage::Escalate => {
+                    if !has_eff || self.subsets.is_none() {
+                        return Err(bad(
+                            "escalate needs previously computed efficient features".into()
+                        ));
+                    }
+                    has_feats = true;
+                }
+                PlanStage::SelectArm => {
+                    if self.arms.is_empty() {
+                        return Err(bad("select_arm needs attached arms (with_arms)".into()));
+                    }
+                    arm_selected = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- accessors & mutators ------------------------------------
+
+    /// The stage sequence.
+    pub fn stages(&self) -> &[PlanStage] {
+        &self.stages
+    }
+
+    /// Stage labels in execution order (debugging, docs, logs).
+    pub fn describe(&self) -> Vec<String> {
+        self.stages.iter().map(PlanStage::label).collect()
+    }
+
+    /// The executor used for feature computation.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The full model.
+    pub fn full_model(&self) -> &Arc<TrainedModel> {
+        &self.full
+    }
+
+    /// The small/filter model, when the plan has one.
+    pub fn small_model(&self) -> Option<&Arc<TrainedModel>> {
+        self.small.as_ref()
+    }
+
+    /// The attached calibrator, if any.
+    pub fn calibrator(&self) -> Option<&ScoreCalibrator> {
+        self.calibrator.as_ref()
+    }
+
+    /// The efficient generator subset, when the plan has one.
+    pub fn efficient_set(&self) -> Option<&[usize]> {
+        self.subsets.as_ref().map(|s| s.efficient.as_slice())
+    }
+
+    /// The first confidence-gate threshold, when the plan has one.
+    pub fn threshold(&self) -> Option<f64> {
+        self.stages.iter().find_map(|s| match s {
+            PlanStage::ConfidenceGate { threshold } => Some(*threshold),
+            _ => None,
+        })
+    }
+
+    /// Override every confidence-gate threshold (threshold sweeps).
+    /// Returns whether any gate was present.
+    pub fn set_threshold(&mut self, tc: f64) -> bool {
+        let mut found = false;
+        for stage in &mut self.stages {
+            if let PlanStage::ConfidenceGate { threshold } = stage {
+                *threshold = tc;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// The first top-K filter configuration, when the plan has one.
+    pub fn topk_config(&self) -> Option<TopKConfig> {
+        self.stages.iter().find_map(|s| match s {
+            PlanStage::TopKFilter { config, .. } => Some(*config),
+            _ => None,
+        })
+    }
+
+    /// Override every top-K filter configuration (subset-size sweeps).
+    /// Returns whether any filter stage was present.
+    pub fn set_topk_config(&mut self, new: TopKConfig) -> bool {
+        let mut found = false;
+        for stage in &mut self.stages {
+            if let PlanStage::TopKFilter { config, .. } = stage {
+                *config = new;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Cumulative counters (shared across clones).
+    pub fn counters(&self) -> &PlanCounters {
+        &self.counters
+    }
+
+    /// Cumulative per-stage execution profiles (shared across clones).
+    pub fn stage_profiles(&self) -> Vec<StageProfile> {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StageProfile {
+                label: s.label(),
+                runs: self.meters.runs[i].load(Ordering::Relaxed),
+                rows_in: self.meters.rows_in[i].load(Ordering::Relaxed),
+                seconds: self.meters.nanos[i].load(Ordering::Relaxed) as f64 / 1e9,
+            })
+            .collect()
+    }
+
+    /// End-to-end cache hits so far (0 without a cache).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.store.lock().hits())
+    }
+
+    /// End-to-end cache misses so far (0 without a cache).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.store.lock().misses())
+    }
+
+    /// End-to-end cache hit rate (0 without a cache or lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache
+            .as_ref()
+            .map_or(0.0, |c| c.store.lock().hit_rate())
+    }
+
+    /// Clear the end-to-end cache's contents and counters.
+    pub fn clear_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.store.lock().clear();
+        }
+    }
+
+    /// Feed reward in `[0, 1]` (clamped) for `arm` back into the
+    /// selection policy.
+    ///
+    /// # Panics
+    /// Panics when the plan has no arms or `arm` is out of range.
+    pub fn reward(&self, arm: usize, reward: f64) {
+        let state = self
+            .arm_state
+            .as_ref()
+            .expect("reward requires a plan with arms");
+        let mut st = state.lock();
+        assert!(arm < st.pulls.len(), "arm {arm} out of range");
+        st.rewards[arm] += reward.clamp(0.0, 1.0);
+    }
+
+    /// Per-arm pull counts (empty without arms).
+    pub fn arm_pulls(&self) -> Vec<u64> {
+        self.arm_state
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.lock().pulls.clone())
+    }
+
+    // ----- execution conveniences ----------------------------------
+
+    /// Run the plan over a batch, returning the scores.
+    ///
+    /// # Errors
+    /// Propagates execution failures.
+    pub fn predict_batch(&self, table: &Table) -> Result<Vec<f64>, WillumpError> {
+        Ok(self.run_batch(table)?.scores)
+    }
+
+    /// Run the plan over a batch with the full outcome (scores,
+    /// ranking, stage report).
+    ///
+    /// # Errors
+    /// Propagates execution failures.
+    pub fn run_batch(&self, table: &Table) -> Result<PlanOutcome, WillumpError> {
+        PlanExecutor::new(self).run_batch(table, None)
+    }
+
+    /// Run the plan row-wise for one input, returning the score.
+    ///
+    /// # Errors
+    /// Propagates execution failures.
+    pub fn predict_one(&self, input: &InputRow) -> Result<f64, WillumpError> {
+        Ok(self.run_one(input)?.score)
+    }
+
+    /// Run the plan row-wise for one input with the full outcome.
+    ///
+    /// # Errors
+    /// Propagates execution failures.
+    pub fn run_one(&self, input: &InputRow) -> Result<RowOutcome, WillumpError> {
+        PlanExecutor::new(self).run_row(input)
+    }
+
+    /// Answer a top-`k` query: the plan's filter stage runs with this
+    /// K, and the returned indices are the final candidates ranked
+    /// best-first by their last predicted score.
+    ///
+    /// # Errors
+    /// Errors when `k == 0` or the plan has no
+    /// [`PlanStage::TopKFilter`]; propagates execution failures.
+    pub fn top_k(
+        &self,
+        table: &Table,
+        k: usize,
+    ) -> Result<(Vec<usize>, PlanRunReport), WillumpError> {
+        if k == 0 {
+            return Err(WillumpError::BadConfig {
+                reason: "top-K requires k >= 1".into(),
+            });
+        }
+        let out = PlanExecutor::new(self).run_batch(table, Some(k))?;
+        let ranked = out.ranked.ok_or_else(|| WillumpError::BadConfig {
+            reason: "plan has no topk_filter stage".into(),
+        })?;
+        Ok((ranked, out.report))
+    }
+
+    fn cache_key_row(&self, table: &Table, r: usize) -> Result<Vec<String>, WillumpError> {
+        let cache = self.cache.as_ref().expect("validated cache");
+        cache
+            .sources
+            .iter()
+            .map(|s| {
+                table
+                    .value(r, s)
+                    .map(|v| v.to_string())
+                    .ok_or_else(|| WillumpError::BadData {
+                        reason: format!("input missing source column `{s}`"),
+                    })
+            })
+            .collect()
+    }
+
+    fn cache_key_input(&self, input: &InputRow) -> Result<Vec<String>, WillumpError> {
+        let cache = self.cache.as_ref().expect("validated cache");
+        cache
+            .sources
+            .iter()
+            .map(|s| {
+                input
+                    .get(s)
+                    .map(std::string::ToString::to_string)
+                    .ok_or_else(|| WillumpError::BadData {
+                        reason: format!("input missing source column `{s}`"),
+                    })
+            })
+            .collect()
+    }
+
+    fn model(&self, slot: ModelSlot, selected: Option<usize>) -> &Arc<TrainedModel> {
+        match slot {
+            ModelSlot::Small => self.small.as_ref().expect("validated small model"),
+            ModelSlot::Full => &self.full,
+            ModelSlot::Selected => {
+                let arm = selected.expect("validated select_arm precedes predict(selected)");
+                &self.arms[arm]
+            }
+        }
+    }
+
+    fn calibrated(&self, score: f64) -> f64 {
+        match &self.calibrator {
+            Some(c) => c.calibrate(score),
+            None => score,
+        }
+    }
+}
+
+/// Which feature matrix is current for the next predict stage.
+#[derive(Clone, Copy, PartialEq)]
+enum CurrentFeats {
+    None,
+    Efficient,
+    Other,
+}
+
+/// Runs any [`ServingPlan`] batch-wise ([`run_batch`]) or row-wise
+/// ([`run_row`]) over the existing [`Executor`]/engine machinery.
+///
+/// [`run_batch`]: PlanExecutor::run_batch
+/// [`run_row`]: PlanExecutor::run_row
+#[derive(Debug, Clone, Copy)]
+pub struct PlanExecutor<'p> {
+    plan: &'p ServingPlan,
+}
+
+impl<'p> PlanExecutor<'p> {
+    /// An executor over one plan.
+    pub fn new(plan: &'p ServingPlan) -> PlanExecutor<'p> {
+        PlanExecutor { plan }
+    }
+
+    /// Run the plan over a batch. `k_override` replaces every
+    /// [`PlanStage::TopKFilter`]'s default K for this run.
+    ///
+    /// # Errors
+    /// Propagates feature computation and cache-key failures.
+    pub fn run_batch(
+        &self,
+        table: &Table,
+        k_override: Option<usize>,
+    ) -> Result<PlanOutcome, WillumpError> {
+        let plan = self.plan;
+        let n = table.n_rows();
+        let mut scores = vec![0.0; n];
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut is_active = vec![true; n];
+
+        // Efficient-feature block (kept for escalation merges) and
+        // the current feature matrix, each with the original-row list
+        // it is aligned to.
+        let mut eff_m: Option<FeatureMatrix> = None;
+        let mut eff_index: Vec<Option<usize>> = Vec::new();
+        let mut other_m: Option<FeatureMatrix> = None;
+        let mut other_rows: Vec<usize> = Vec::new();
+        let mut eff_rows: Vec<usize> = Vec::new();
+        let mut current = CurrentFeats::None;
+
+        let mut missed: Vec<(usize, Vec<String>)> = Vec::new();
+        let mut dropped_by_filter = vec![false; n];
+        let mut cache_resolved: Vec<usize> = Vec::new();
+        let mut selected_arm: Option<usize> = None;
+        let mut ranked_k: Option<usize> = None;
+        // Candidate list captured by the (last) top-K filter, in kept
+        // (descending filter-score) order. Rows that resolve early —
+        // by gate or cache — stay ranked; only filter-dropped rows
+        // leave the candidate set.
+        let mut candidates: Option<Vec<usize>> = None;
+        let mut report = PlanRunReport::default();
+
+        for (si, stage) in plan.stages.iter().enumerate() {
+            let rows_in = active.len();
+            let started = Instant::now();
+            match stage {
+                PlanStage::ComputeFeatures { subset } => {
+                    let cols: Option<&[usize]> = match subset {
+                        FeatureSet::Efficient => {
+                            Some(&plan.subsets.as_ref().expect("validated subsets").efficient)
+                        }
+                        FeatureSet::Full => None,
+                    };
+                    let m = if active.len() == n {
+                        plan.exec.features_batch(table, cols)?
+                    } else {
+                        plan.exec.features_batch(&table.take_rows(&active), cols)?
+                    };
+                    match subset {
+                        FeatureSet::Efficient => {
+                            eff_index = vec![None; n];
+                            for (j, &r) in active.iter().enumerate() {
+                                eff_index[r] = Some(j);
+                            }
+                            eff_rows = active.clone();
+                            eff_m = Some(m);
+                            current = CurrentFeats::Efficient;
+                        }
+                        FeatureSet::Full => {
+                            other_rows = active.clone();
+                            other_m = Some(m);
+                            current = CurrentFeats::Other;
+                        }
+                    }
+                }
+                PlanStage::CacheLookup => {
+                    let cache = plan.cache.as_ref().expect("validated cache");
+                    let mut still = Vec::with_capacity(active.len());
+                    let mut store = cache.store.lock();
+                    for &r in &active {
+                        let key = plan.cache_key_row(table, r)?;
+                        if let Some(v) = store.get(&key) {
+                            scores[r] = *v;
+                            is_active[r] = false;
+                            cache_resolved.push(r);
+                            report.cache_hits += 1;
+                        } else {
+                            missed.push((r, key));
+                            still.push(r);
+                        }
+                    }
+                    report.cache_misses += still.len();
+                    active = still;
+                }
+                PlanStage::CacheFill => {
+                    let cache = plan.cache.as_ref().expect("validated cache");
+                    let mut store = cache.store.lock();
+                    for (r, key) in missed.drain(..) {
+                        // Filter-dropped rows never reached a final
+                        // predict — their score means "not in the
+                        // top K", not an answer; caching it would
+                        // poison later queries with filter-model
+                        // scores.
+                        if !dropped_by_filter[r] {
+                            store.put(key, scores[r]);
+                        }
+                    }
+                }
+                PlanStage::PredictModel { slot } => {
+                    let (m, rows) = match current {
+                        CurrentFeats::Efficient => (eff_m.as_ref(), &eff_rows),
+                        CurrentFeats::Other => (other_m.as_ref(), &other_rows),
+                        CurrentFeats::None => (None, &other_rows),
+                    };
+                    if let Some(m) = m {
+                        if m.n_rows() > 0 {
+                            let model = plan.model(*slot, selected_arm);
+                            let mut s = model.predict_scores(m);
+                            if *slot == ModelSlot::Small {
+                                for v in &mut s {
+                                    *v = plan.calibrated(*v);
+                                }
+                            }
+                            for (j, &r) in rows.iter().enumerate() {
+                                if is_active[r] {
+                                    scores[r] = s[j];
+                                }
+                            }
+                        }
+                    }
+                }
+                PlanStage::ConfidenceGate { threshold } => {
+                    let before = active.len();
+                    active.retain(|&r| {
+                        let s = scores[r];
+                        if s.max(1.0 - s) > *threshold {
+                            is_active[r] = false;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    let resolved = before - active.len();
+                    report.gate_resolved += resolved;
+                    plan.counters
+                        .gate_resolved
+                        .fetch_add(resolved as u64, Ordering::Relaxed);
+                }
+                PlanStage::TopKFilter { k, config } => {
+                    let k = k_override.unwrap_or(*k);
+                    let nn = active.len();
+                    let by_ck = config.ck.saturating_mul(k);
+                    let by_frac = (config.min_subset_frac * nn as f64).ceil() as usize;
+                    let subset_size = by_ck.max(by_frac).min(nn);
+                    let active_scores: Vec<f64> = active.iter().map(|&r| scores[r]).collect();
+                    let kept_pos = metrics::top_k_indices(&active_scores, subset_size);
+                    for &r in &active {
+                        is_active[r] = false;
+                        dropped_by_filter[r] = true;
+                    }
+                    let kept: Vec<usize> = kept_pos.into_iter().map(|p| active[p]).collect();
+                    for &r in &kept {
+                        is_active[r] = true;
+                        dropped_by_filter[r] = false;
+                    }
+                    plan.counters
+                        .filter_dropped
+                        .fetch_add((nn - kept.len()) as u64, Ordering::Relaxed);
+                    report.filter_batch = Some(nn);
+                    report.filter_kept = Some(subset_size);
+                    ranked_k = Some(k);
+                    candidates = Some(kept.clone());
+                    active = kept;
+                }
+                PlanStage::Escalate => {
+                    let subsets = plan.subsets.as_ref().expect("validated subsets");
+                    report.escalated += active.len();
+                    plan.counters
+                        .escalated
+                        .fetch_add(active.len() as u64, Ordering::Relaxed);
+                    if active.is_empty() {
+                        other_m = None;
+                        other_rows.clear();
+                        current = CurrentFeats::Other;
+                    } else {
+                        let sub = table.take_rows(&active);
+                        let ineff = plan.exec.features_batch(&sub, Some(&subsets.inefficient))?;
+                        let eff = eff_m.as_ref().expect("validated efficient features");
+                        let pick: Vec<usize> = active
+                            .iter()
+                            .map(|&r| eff_index[r].expect("active rows have efficient features"))
+                            .collect();
+                        let merged = merge_subset_rows(
+                            &subsets.eff_remap,
+                            &subsets.ineff_remap,
+                            eff,
+                            &pick,
+                            &ineff,
+                            subsets.full_width,
+                        );
+                        other_m = Some(merged);
+                        other_rows = active.clone();
+                        current = CurrentFeats::Other;
+                    }
+                }
+                PlanStage::SelectArm => {
+                    let state = plan.arm_state.as_ref().expect("validated arms");
+                    let arm = state.lock().pick();
+                    selected_arm = Some(arm);
+                    report.selected_arm = Some(arm);
+                }
+            }
+            let seconds = started.elapsed().as_secs_f64();
+            plan.meters.record(si, rows_in, (seconds * 1e9) as u64);
+            report.stages.push(StageTrace {
+                label: stage.label(),
+                rows_in,
+                rows_out: active.len(),
+                seconds,
+            });
+        }
+        plan.counters.rows.fetch_add(n as u64, Ordering::Relaxed);
+
+        let ranked = ranked_k.map(|k| {
+            // All filter candidates rank, including ones that resolved
+            // early via a confidence gate; rows answered straight from
+            // the cache (they never reached the filter) rank too, with
+            // their cached final score.
+            let mut pool = candidates.take().unwrap_or_default();
+            pool.extend(cache_resolved.iter().copied());
+            let pool_scores: Vec<f64> = pool.iter().map(|&r| scores[r]).collect();
+            metrics::top_k_indices(&pool_scores, k.min(pool.len()))
+                .into_iter()
+                .map(|p| pool[p])
+                .collect()
+        });
+        Ok(PlanOutcome {
+            scores,
+            ranked,
+            report,
+        })
+    }
+
+    /// Run the plan row-wise for one input (the example-at-a-time
+    /// serving path: per-input parallelism and feature-level caches in
+    /// the executor still apply).
+    ///
+    /// [`PlanStage::TopKFilter`] is a no-op row-wise — a single input
+    /// is always its own candidate.
+    ///
+    /// # Errors
+    /// Propagates feature computation and cache-key failures.
+    pub fn run_row(&self, input: &InputRow) -> Result<RowOutcome, WillumpError> {
+        let plan = self.plan;
+        let mut score = 0.0;
+        let mut resolved = false;
+        let mut escalated = false;
+        let mut cache_hit = false;
+        let mut missed_key: Option<Vec<String>> = None;
+        let mut selected_arm: Option<usize> = None;
+
+        let mut eff_entries: Vec<(usize, f64)> = Vec::new();
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        let mut width = 0usize;
+
+        for (si, stage) in plan.stages.iter().enumerate() {
+            let started = Instant::now();
+            let rows_in = usize::from(!resolved);
+            // Stages after resolution (except the cache fill) do not
+            // execute and are not metered.
+            if resolved && !matches!(stage, PlanStage::CacheFill) {
+                continue;
+            }
+            match stage {
+                PlanStage::ComputeFeatures { subset } => {
+                    let cols: Option<&[usize]> = match subset {
+                        FeatureSet::Efficient => {
+                            Some(&plan.subsets.as_ref().expect("validated subsets").efficient)
+                        }
+                        FeatureSet::Full => None,
+                    };
+                    let rf = plan.exec.features_one(input, cols)?;
+                    if *subset == FeatureSet::Efficient {
+                        eff_entries.clone_from(&rf.entries);
+                    }
+                    entries = rf.entries;
+                    width = rf.width;
+                }
+                PlanStage::CacheLookup => {
+                    let cache = plan.cache.as_ref().expect("validated cache");
+                    let key = plan.cache_key_input(input)?;
+                    if let Some(v) = cache.store.lock().get(&key) {
+                        score = *v;
+                        resolved = true;
+                        cache_hit = true;
+                    } else {
+                        missed_key = Some(key);
+                    }
+                }
+                PlanStage::CacheFill => {
+                    if let Some(key) = missed_key.take() {
+                        let cache = plan.cache.as_ref().expect("validated cache");
+                        cache.store.lock().put(key, score);
+                    }
+                }
+                PlanStage::PredictModel { slot } => {
+                    let model = plan.model(*slot, selected_arm);
+                    score = model.predict_score_row(&entries, width);
+                    if *slot == ModelSlot::Small {
+                        score = plan.calibrated(score);
+                    }
+                }
+                PlanStage::ConfidenceGate { threshold } => {
+                    if score.max(1.0 - score) > *threshold {
+                        resolved = true;
+                        plan.counters.gate_resolved.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                PlanStage::TopKFilter { .. } => {
+                    // A single row is always within its own top-K
+                    // candidate set: nothing to drop.
+                }
+                PlanStage::Escalate => {
+                    let subsets = plan.subsets.as_ref().expect("validated subsets");
+                    let ineff = plan.exec.features_one(input, Some(&subsets.inefficient))?;
+                    entries = Remapper::merge_full(
+                        subsets.eff_remap.to_full(&eff_entries),
+                        subsets.ineff_remap.to_full(&ineff.entries),
+                    );
+                    width = subsets.full_width;
+                    escalated = true;
+                    plan.counters.escalated.fetch_add(1, Ordering::Relaxed);
+                }
+                PlanStage::SelectArm => {
+                    let state = plan.arm_state.as_ref().expect("validated arms");
+                    selected_arm = Some(state.lock().pick());
+                }
+            }
+            plan.meters
+                .record(si, rows_in, started.elapsed().as_nanos() as u64);
+        }
+        plan.counters.rows.fetch_add(1, Ordering::Relaxed);
+        Ok(RowOutcome {
+            score,
+            escalated,
+            cache_hit,
+            selected_arm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_data::{Column, Value};
+    use willump_graph::{EngineMode, GraphBuilder, Operator};
+    use willump_models::{LinearParams, LogisticParams, ModelSpec};
+
+    /// Two numeric FGs; FG0 alone classifies "easy" inputs, FG1 is
+    /// needed for the hard ones (same shape as the cascade tests).
+    fn setup() -> (Executor, Table, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        let a = b.source("a");
+        let c = b.source("b");
+        let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
+        let f1 = b.add("f1", Operator::NumericColumn, [c]).unwrap();
+        let g = Arc::new(b.finish_with_concat("cat", [f0, f1]).unwrap());
+        let exec = Executor::new(g, EngineMode::Compiled).unwrap();
+        let mut avals = Vec::new();
+        let mut bvals = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..240 {
+            let easy = i % 3 != 0;
+            let y = (i % 2) as f64;
+            if easy {
+                avals.push(if y > 0.5 { 3.0 } else { -3.0 });
+                bvals.push(0.0);
+            } else {
+                avals.push(0.0);
+                bvals.push(if y > 0.5 { 2.0 } else { -2.0 });
+            }
+            labels.push(y);
+        }
+        let mut t = Table::new();
+        t.add_column("a", Column::from(avals)).unwrap();
+        t.add_column("b", Column::from(bvals)).unwrap();
+        (exec, t, labels)
+    }
+
+    fn train(exec: &Executor, t: &Table, y: &[f64]) -> (Arc<TrainedModel>, Arc<TrainedModel>) {
+        let full_feats = exec.features_batch(t, None).unwrap();
+        let full = ModelSpec::Logistic(LogisticParams::default())
+            .fit(&full_feats, y, 1)
+            .unwrap();
+        let eff_feats = exec.features_batch(t, Some(&[0])).unwrap();
+        let small = ModelSpec::Logistic(LogisticParams::default())
+            .fit(&eff_feats, y, 1)
+            .unwrap();
+        (Arc::new(small), Arc::new(full))
+    }
+
+    #[test]
+    fn full_plan_matches_direct_prediction() {
+        let (exec, t, y) = setup();
+        let (_, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::full_model_plan(exec.clone(), full.clone());
+        assert_eq!(
+            plan.describe(),
+            vec!["compute_features(full)", "predict(full)"]
+        );
+        let scores = plan.predict_batch(&t).unwrap();
+        let direct = full.predict_scores(&exec.features_batch(&t, None).unwrap());
+        assert_eq!(scores, direct);
+        // Row-wise agrees with batch.
+        for r in (0..t.n_rows()).step_by(37) {
+            let input = InputRow::from_table(&t, r).unwrap();
+            assert!((plan.predict_one(&input).unwrap() - scores[r]).abs() < 1e-9);
+        }
+        assert_eq!(plan.counters().rows() as usize, t.n_rows() + 7);
+    }
+
+    #[test]
+    fn cascade_plan_gates_and_escalates() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::cascade(exec, small, full, 0.8, vec![0]).unwrap();
+        assert_eq!(plan.threshold(), Some(0.8));
+        let out = plan.run_batch(&t).unwrap();
+        assert_eq!(out.scores.len(), t.n_rows());
+        assert!(out.report.gate_resolved > 0, "{:?}", out.report);
+        assert!(out.report.escalated > 0);
+        assert_eq!(out.report.gate_resolved + out.report.escalated, t.n_rows());
+        // Accuracy is preserved for this easy synthetic data.
+        let acc = metrics::accuracy(&out.scores, &y);
+        assert!(acc > 0.95, "accuracy {acc}");
+        // Row-wise agrees with batch.
+        for r in (0..t.n_rows()).step_by(29) {
+            let input = InputRow::from_table(&t, r).unwrap();
+            let row = plan.run_one(&input).unwrap();
+            assert!((row.score - out.scores[r]).abs() < 1e-9, "row {r}");
+        }
+        // Stage profiles accumulated for every stage.
+        let profiles = plan.stage_profiles();
+        assert_eq!(profiles.len(), 5);
+        assert!(profiles.iter().all(|p| p.runs > 0));
+    }
+
+    #[test]
+    fn cached_plan_hits_skip_computation() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::cascade(exec.clone(), small, full, 0.8, vec![0])
+            .unwrap()
+            .with_e2e_cache(vec!["a".to_string(), "b".to_string()], None)
+            .unwrap();
+        let generators_before = exec.stats().generators_computed();
+        let first = plan.predict_batch(&t).unwrap();
+        let computed_first = exec.stats().generators_computed() - generators_before;
+        assert!(computed_first > 0);
+        let second = plan.predict_batch(&t).unwrap();
+        assert_eq!(first, second);
+        // The synthetic data has many duplicate (a, b) rows, so even
+        // the first pass hits; the second pass must hit fully.
+        assert!(plan.cache_hits() >= t.n_rows() as u64);
+        assert!(plan.cache_hit_rate() >= 0.5);
+        // Row-wise cache path.
+        let input = InputRow::new([("a", Value::Float(3.0)), ("b", Value::Float(0.0))]);
+        let row = plan.run_one(&input).unwrap();
+        assert!(row.cache_hit);
+        plan.clear_cache();
+        assert_eq!(plan.cache_hits(), 0);
+        let row = plan.run_one(&input).unwrap();
+        assert!(!row.cache_hit);
+    }
+
+    #[test]
+    fn composed_gate_and_filter_plan_runs() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::top_k_filter(exec, small, full, 10, TopKConfig::default(), vec![0])
+            .unwrap()
+            .with_confidence_gate(0.9)
+            .unwrap()
+            .with_e2e_cache(vec!["a".to_string(), "b".to_string()], None)
+            .unwrap();
+        assert_eq!(
+            plan.describe(),
+            vec![
+                "cache_lookup",
+                "compute_features(efficient)",
+                "predict(small)",
+                "topk_filter(k=10, ck=10)",
+                "confidence_gate(t=0.9)",
+                "escalate",
+                "predict(full)",
+                "cache_fill",
+            ]
+        );
+        let (ranked, report) = plan.top_k(&t, 5).unwrap();
+        assert_eq!(ranked.len(), 5);
+        assert!(report.filter_batch.is_some());
+        let _ = y;
+    }
+
+    #[test]
+    fn select_arm_converges_on_rewarded_arm() {
+        let (exec, t, y) = setup();
+        let (_, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::full_model_plan(exec, full.clone())
+            .with_arms(vec![full.clone(), full], 8)
+            .unwrap();
+        let input = InputRow::from_table(&t, 0).unwrap();
+        for _ in 0..100 {
+            let out = plan.run_one(&input).unwrap();
+            let arm = out.selected_arm.unwrap();
+            plan.reward(arm, if arm == 1 { 0.9 } else { 0.1 });
+        }
+        let pulls = plan.arm_pulls();
+        assert_eq!(pulls.iter().sum::<u64>(), 100);
+        assert!(pulls[1] > pulls[0], "pulls {pulls:?}");
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        // Improper efficient subsets.
+        assert!(
+            ServingPlan::cascade(exec.clone(), small.clone(), full.clone(), 0.8, vec![]).is_err()
+        );
+        assert!(
+            ServingPlan::cascade(exec.clone(), small.clone(), full.clone(), 0.8, vec![0, 1])
+                .is_err()
+        );
+        // Out-of-range threshold.
+        assert!(
+            ServingPlan::cascade(exec.clone(), small.clone(), full.clone(), 1.5, vec![0]).is_err()
+        );
+        // k = 0 filter.
+        assert!(ServingPlan::top_k_filter(
+            exec.clone(),
+            small.clone(),
+            full.clone(),
+            0,
+            TopKConfig::default(),
+            vec![0]
+        )
+        .is_err());
+        // Gate on a non-escalating plan.
+        assert!(ServingPlan::full_model_plan(exec.clone(), full.clone())
+            .with_confidence_gate(0.5)
+            .is_err());
+        // Double cache.
+        assert!(ServingPlan::full_model_plan(exec.clone(), full.clone())
+            .with_e2e_cache(vec!["a".into()], None)
+            .unwrap()
+            .with_e2e_cache(vec!["a".into()], None)
+            .is_err());
+        // Empty arms.
+        assert!(ServingPlan::full_model_plan(exec.clone(), full.clone())
+            .with_arms(vec![], 4)
+            .is_err());
+        // Top-K queries need a filter stage and k >= 1.
+        let plain = ServingPlan::full_model_plan(exec.clone(), full.clone());
+        assert!(plain.top_k(&t, 5).is_err());
+        assert!(plain.top_k(&t, 0).is_err());
+        assert_eq!(full.task(), willump_models::Task::BinaryClassification);
+        // Confidence gates over regression scores are rejected.
+        let lin_full = Arc::new(
+            ModelSpec::Linear(LinearParams::default())
+                .fit(&exec.features_batch(&t, None).unwrap(), &y, 1)
+                .unwrap(),
+        );
+        let lin_small = Arc::new(
+            ModelSpec::Linear(LinearParams::default())
+                .fit(&exec.features_batch(&t, Some(&[0])).unwrap(), &y, 1)
+                .unwrap(),
+        );
+        assert!(ServingPlan::cascade(exec, lin_small, lin_full, 0.8, vec![0]).is_err());
+    }
+
+    #[test]
+    fn threshold_and_config_mutators() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let mut plan =
+            ServingPlan::cascade(exec.clone(), small.clone(), full.clone(), 0.8, vec![0]).unwrap();
+        assert!(plan.set_threshold(1.0));
+        assert_eq!(plan.threshold(), Some(1.0));
+        // Threshold 1.0 escalates everything: plan equals full model.
+        let out = plan.run_batch(&t).unwrap();
+        assert_eq!(out.report.gate_resolved, 0);
+        let direct = full.predict_scores(&exec.features_batch(&t, None).unwrap());
+        for (a, b) in out.scores.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let mut filter =
+            ServingPlan::top_k_filter(exec, small, full, 10, TopKConfig::default(), vec![0])
+                .unwrap();
+        assert!(filter.set_topk_config(TopKConfig {
+            ck: 2,
+            min_subset_frac: 0.0,
+        }));
+        assert_eq!(filter.topk_config().unwrap().ck, 2);
+        assert!(!filter.set_threshold(0.5));
+    }
+}

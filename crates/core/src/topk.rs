@@ -7,15 +7,21 @@
 //! those are scored by the full model (reusing the already-computed
 //! efficient features). The returned ranking is the full model's
 //! ordering of the surviving candidates.
+//!
+//! Since the plan-IR refactor the filter is a thin shim over a
+//! lowered [`ServingPlan`] (`compute_features(efficient)` →
+//! `predict(small)` → `topk_filter` → `escalate` → `predict(full)`);
+//! the executor logic, including the efficient/inefficient feature
+//! merge, lives in [`crate::plan`].
 
 use std::sync::Arc;
 
-use willump_data::{SparseRowBuilder, Table};
+use willump_data::Table;
 use willump_graph::Executor;
 use willump_models::{metrics, TrainedModel};
 
 use crate::config::TopKConfig;
-use crate::layout::Remapper;
+use crate::plan::ServingPlan;
 use crate::WillumpError;
 
 /// Statistics from one top-K query.
@@ -27,22 +33,16 @@ pub struct TopKServeStats {
     pub subset_size: usize,
 }
 
-/// A deployed top-K filter.
+/// A deployed top-K filter: a thin shim over a lowered
+/// [`ServingPlan`].
 #[derive(Debug, Clone)]
 pub struct TopKFilter {
-    exec: Executor,
-    filter: Arc<TrainedModel>,
-    full: Arc<TrainedModel>,
-    config: TopKConfig,
-    efficient: Vec<usize>,
-    inefficient: Vec<usize>,
-    eff_remap: Remapper,
-    ineff_remap: Remapper,
-    full_width: usize,
+    plan: ServingPlan,
 }
 
 impl TopKFilter {
-    /// Assemble a top-K filter from its parts.
+    /// Assemble a top-K filter from its parts by lowering them into a
+    /// plan.
     ///
     /// # Errors
     /// Returns [`WillumpError::Unsupported`] when the efficient subset
@@ -54,53 +54,54 @@ impl TopKFilter {
         config: TopKConfig,
         efficient: Vec<usize>,
     ) -> Result<TopKFilter, WillumpError> {
-        let n_fgs = exec.analysis().generators.len();
-        if efficient.is_empty() || efficient.len() >= n_fgs {
-            return Err(WillumpError::Unsupported {
-                reason: format!(
-                    "top-K filtering needs a proper non-empty efficient subset ({} of {} IFVs)",
-                    efficient.len(),
-                    n_fgs
-                ),
+        TopKFilter::from_plan(ServingPlan::top_k_filter(
+            exec, filter, full, 1, config, efficient,
+        )?)
+    }
+
+    /// Wrap an already-lowered top-K plan (it must contain a filter
+    /// stage).
+    ///
+    /// # Errors
+    /// Returns [`WillumpError::BadConfig`] when the plan has no
+    /// [`crate::plan::PlanStage::TopKFilter`] stage.
+    pub fn from_plan(plan: ServingPlan) -> Result<TopKFilter, WillumpError> {
+        if plan.topk_config().is_none() {
+            return Err(WillumpError::BadConfig {
+                reason: "top-K filters need a plan with a topk_filter stage".into(),
             });
         }
-        let inefficient: Vec<usize> = (0..n_fgs).filter(|g| !efficient.contains(g)).collect();
-        let eff_remap = Remapper::new(exec.graph(), exec.analysis(), &efficient)?;
-        let ineff_remap = Remapper::new(exec.graph(), exec.analysis(), &inefficient)?;
-        let full_width = eff_remap.full_width();
-        Ok(TopKFilter {
-            exec,
-            filter,
-            full,
-            config,
-            efficient,
-            inefficient,
-            eff_remap,
-            ineff_remap,
-            full_width,
-        })
+        Ok(TopKFilter { plan })
+    }
+
+    /// The lowered serving plan backing this filter.
+    pub fn plan(&self) -> &ServingPlan {
+        &self.plan
     }
 
     /// The filter configuration.
     pub fn config(&self) -> TopKConfig {
-        self.config
+        self.plan.topk_config().expect("validated filter stage")
     }
 
     /// Override the configuration (used by the Table 7 subset-size
     /// sweep).
     pub fn set_config(&mut self, config: TopKConfig) {
-        self.config = config;
+        self.plan.set_topk_config(config);
     }
 
     /// The efficient generator subset the filter model reads.
     pub fn efficient_set(&self) -> &[usize] {
-        &self.efficient
+        self.plan
+            .efficient_set()
+            .expect("top-K plans have an efficient subset")
     }
 
     /// The subset size used for a batch of `n` when requesting top-`k`.
     pub fn subset_size(&self, n: usize, k: usize) -> usize {
-        let by_ck = self.config.ck.saturating_mul(k);
-        let by_frac = (self.config.min_subset_frac * n as f64).ceil() as usize;
+        let config = self.config();
+        let by_ck = config.ck.saturating_mul(k);
+        let by_frac = (config.min_subset_frac * n as f64).ceil() as usize;
         by_ck.max(by_frac).min(n)
     }
 
@@ -114,55 +115,12 @@ impl TopKFilter {
         table: &Table,
         k: usize,
     ) -> Result<(Vec<usize>, TopKServeStats), WillumpError> {
-        if k == 0 {
-            return Err(WillumpError::BadConfig {
-                reason: "top-K requires k >= 1".into(),
-            });
-        }
-        let n = table.n_rows();
-        let eff = self.exec.features_batch(table, Some(&self.efficient))?;
-        let filter_scores = self.filter.predict_scores(&eff);
-        let subset_size = self.subset_size(n, k);
-        let candidates = metrics::top_k_indices(&filter_scores, subset_size);
-
-        // Score the candidates with the full model, computing only the
-        // inefficient features for them. Dense inputs take a block-copy
-        // fast path, mirroring `CascadePredictor::predict_batch`.
-        let sub = table.take_rows(&candidates);
-        let ineff = self.exec.features_batch(&sub, Some(&self.inefficient))?;
-        let full_feats = match (&eff, &ineff) {
-            (
-                willump_data::FeatureMatrix::Dense(eff_m),
-                willump_data::FeatureMatrix::Dense(ineff_m),
-            ) => {
-                let mut merged = willump_data::Matrix::zeros(candidates.len(), self.full_width);
-                for (j, &orig) in candidates.iter().enumerate() {
-                    let dst = merged.row_mut(j);
-                    self.eff_remap.copy_into_dense(eff_m.row(orig), dst);
-                    self.ineff_remap.copy_into_dense(ineff_m.row(j), dst);
-                }
-                willump_data::FeatureMatrix::Dense(merged)
-            }
-            _ => {
-                let mut b = SparseRowBuilder::new(self.full_width);
-                for (j, &orig) in candidates.iter().enumerate() {
-                    let merged = Remapper::merge_full(
-                        self.eff_remap.to_full(&eff.row_entries(orig)),
-                        self.ineff_remap.to_full(&ineff.row_entries(j)),
-                    );
-                    b.push_row(&merged);
-                }
-                willump_data::FeatureMatrix::Sparse(b.finish())
-            }
-        };
-        let full_scores = self.full.predict_scores(&full_feats);
-        let ranked_within = metrics::top_k_indices(&full_scores, k.min(candidates.len()));
-        let result: Vec<usize> = ranked_within.into_iter().map(|j| candidates[j]).collect();
+        let (ranked, report) = self.plan.top_k(table, k)?;
         Ok((
-            result,
+            ranked,
             TopKServeStats {
-                batch_size: n,
-                subset_size,
+                batch_size: report.filter_batch.expect("filter stage ran"),
+                subset_size: report.filter_kept.expect("filter stage ran"),
             },
         ))
     }

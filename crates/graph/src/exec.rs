@@ -170,6 +170,15 @@ impl Executor {
         (0..self.analysis.generators.len()).collect()
     }
 
+    /// The complement of a generator subset, in canonical order — the
+    /// "inefficient" set a cascade escalates to. Out-of-range indices
+    /// in `subset` are ignored (they never match a generator).
+    pub fn complement_subset(&self, subset: &[usize]) -> Vec<usize> {
+        (0..self.analysis.generators.len())
+            .filter(|g| !subset.contains(g))
+            .collect()
+    }
+
     /// Total feature width of a generator subset (`None` = all).
     ///
     /// # Errors
@@ -550,6 +559,15 @@ mod tests {
                 .collect();
             assert_eq!(sub, full_right);
         }
+    }
+
+    #[test]
+    fn complement_subset_covers_rest() {
+        let exec = Executor::new(sample_graph(), EngineMode::Compiled).unwrap();
+        assert_eq!(exec.complement_subset(&[0]), vec![1]);
+        assert_eq!(exec.complement_subset(&[1]), vec![0]);
+        assert_eq!(exec.complement_subset(&[]), vec![0, 1]);
+        assert!(exec.complement_subset(&[0, 1]).is_empty());
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! between different data inputs." The cache key here is the *entire*
 //! input row, so two queries sharing only a user id (but differing in
 //! song id) always miss.
+//!
+//! [`E2eCachedPredictor`] wraps an *arbitrary* prediction closure.
+//! When the predictor is a Willump pipeline, prefer composing the
+//! cache into its plan instead —
+//! [`willump::ServingPlan::with_e2e_cache`] adds `cache_lookup` /
+//! `cache_fill` stages with identical key semantics, batch-aware
+//! lookups, and per-stage introspection, and the cached plan stays a
+//! single [`Servable`].
 
 use parking_lot::Mutex;
 use std::sync::Arc;

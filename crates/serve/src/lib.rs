@@ -24,6 +24,12 @@
 //! (paper §7): [`ModelSelector`] routes queries across several
 //! [`Servable`]s with a multi-armed bandit ([`SelectionPolicy`]),
 //! learning over time which model predicts a session's inputs best.
+//!
+//! Every `willump::ServingPlan` is [`Servable`], so any lowered
+//! optimization — or composition of optimizations (a cascade behind
+//! an end-to-end cache with a top-K filter, say) — serves through the
+//! multi-worker coalescing [`ClipperServer`] as one predictor, and
+//! [`ModelSelector::from_plans`] bandit-routes across whole plans.
 
 #![warn(missing_docs)]
 

@@ -152,6 +152,28 @@ impl ModelSelector {
         })
     }
 
+    /// A selector whose arms are lowered [`willump::ServingPlan`]s:
+    /// bandit-routed selection *across* whole serving plans, the
+    /// coarse-grained complement of the within-plan `SelectArm` stage
+    /// (which picks among full-model variants inside one plan).
+    ///
+    /// # Errors
+    /// Same conditions as [`ModelSelector::new`].
+    pub fn from_plans(
+        plans: Vec<(String, willump::ServingPlan)>,
+        policy: SelectionPolicy,
+        seed: u64,
+    ) -> Result<ModelSelector, ServeError> {
+        ModelSelector::new(
+            plans
+                .into_iter()
+                .map(|(name, plan)| (name, Arc::new(plan) as Arc<dyn Servable>))
+                .collect(),
+            policy,
+            seed,
+        )
+    }
+
     /// Number of models.
     pub fn n_models(&self) -> usize {
         self.models.len()

@@ -54,6 +54,16 @@ impl Servable for willump::OptimizedPipeline {
     }
 }
 
+/// Any [`willump::ServingPlan`] is servable, so every lowered
+/// optimization — and any *composition* of them (cascade + end-to-end
+/// cache + top-K filter in one plan) — runs behind the multi-worker
+/// coalescing server as a single predictor.
+impl Servable for willump::ServingPlan {
+    fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+        self.predict_batch(table).map_err(|e| e.to_string())
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {

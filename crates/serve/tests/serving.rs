@@ -170,6 +170,179 @@ fn coalesced_batches_equal_sequential_serving() {
     );
 }
 
+/// A composed serving plan — cascade confidence gate + end-to-end
+/// cache + top-K filter in ONE plan — served through the Clipper-like
+/// server as a single `Servable`. This is the composition the
+/// pre-plan wrapper structs could not express: scores round-trip the
+/// JSON boundary, repeats hit the shared cache, and the batch answer
+/// matches a direct local run bit-for-bit.
+#[test]
+fn composed_plan_serves_through_clipper_server() {
+    use willump::{ServingPlan, TopKConfig};
+    use willump_data::Column;
+    use willump_graph::{EngineMode, Executor, GraphBuilder, Operator};
+    use willump_models::{LogisticParams, ModelSpec};
+    use willump_serve::table_row_to_wire;
+
+    // Two numeric feature generators; FG0 carries the easy signal.
+    let mut b = GraphBuilder::new();
+    let a = b.source("a");
+    let c = b.source("b");
+    let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
+    let f1 = b.add("f1", Operator::NumericColumn, [c]).unwrap();
+    let graph = Arc::new(b.finish_with_concat("cat", [f0, f1]).unwrap());
+    let exec = Executor::new(graph, EngineMode::Compiled).unwrap();
+
+    // Every row gets a unique (a, b) pair, so the end-to-end cache
+    // keys are one-per-row (duplicate keys would be legitimate but
+    // make per-row repeat expectations ambiguous).
+    let mut avals = Vec::new();
+    let mut bvals = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..200 {
+        let y = (i % 2) as f64;
+        let jitter = i as f64 * 1e-4;
+        if i % 3 != 0 {
+            avals.push(if y > 0.5 { 3.0 + jitter } else { -3.0 - jitter });
+            bvals.push(jitter);
+        } else {
+            avals.push(jitter * 0.1);
+            bvals.push(if y > 0.5 { 2.0 + jitter } else { -2.0 - jitter });
+        }
+        labels.push(y);
+    }
+    let mut t = Table::new();
+    t.add_column("a", Column::from(avals)).unwrap();
+    t.add_column("b", Column::from(bvals)).unwrap();
+
+    let full_feats = exec.features_batch(&t, None).unwrap();
+    let full = Arc::new(
+        ModelSpec::Logistic(LogisticParams::default())
+            .fit(&full_feats, &labels, 1)
+            .unwrap(),
+    );
+    let eff_feats = exec.features_batch(&t, Some(&[0])).unwrap();
+    let small = Arc::new(
+        ModelSpec::Logistic(LogisticParams::default())
+            .fit(&eff_feats, &labels, 1)
+            .unwrap(),
+    );
+
+    // Cascade + e2e cache + top-K: one composed plan.
+    let plan = ServingPlan::top_k_filter(exec, small, full, 10, TopKConfig::default(), vec![0])
+        .unwrap()
+        .with_confidence_gate(0.9)
+        .unwrap()
+        .with_e2e_cache(vec!["a".to_string(), "b".to_string()], None)
+        .unwrap();
+
+    // Local reference run, then serve the same batch through the
+    // server (the plan clone shares the cache, so clear it first to
+    // make the served run's hit pattern match the local one's).
+    let local = plan.predict_batch(&t).unwrap();
+    plan.clear_cache();
+
+    let served_plan = plan.clone();
+    let server = ClipperServer::start(
+        Arc::new(served_plan),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let client = server.client();
+    let rows: Vec<WireRow> = (0..t.n_rows())
+        .map(|r| table_row_to_wire(&t, r).unwrap())
+        .collect();
+    let scores = client.predict(rows.clone()).unwrap();
+    assert_eq!(scores, local);
+
+    // The composed plan resolved rows through every mechanism.
+    assert!(plan.counters().filter_dropped() > 0, "filter never ran");
+    assert!(plan.counters().escalated() > 0, "nothing escalated");
+
+    // Rows the filter kept were cached with their final (gate or full)
+    // scores; filter-dropped rows were deliberately NOT cached (their
+    // filter score is "not in the top K", not an answer). Warm the
+    // remainder with a local run through the shared cache, then a
+    // repeat request through the server must be answered entirely
+    // from cache and match that warmed run exactly.
+    let hits_before_warm = plan.cache_hits();
+    let warmed = plan.predict_batch(&t).unwrap();
+    assert!(
+        plan.cache_hits() > hits_before_warm,
+        "warm run should hit the kept candidates' cached scores"
+    );
+    let hits_before_repeat = plan.cache_hits();
+    let again = client.predict(rows).unwrap();
+    assert_eq!(again, warmed);
+    assert!(
+        plan.cache_hits() >= hits_before_repeat + t.n_rows() as u64,
+        "repeat batch should hit the e2e cache for every row"
+    );
+    assert_eq!(server.stats().requests(), 2);
+}
+
+/// Bandit-routed selection across whole serving plans: two lowered
+/// full-model plans behind a `ModelSelector`, served as one
+/// `Servable`.
+#[test]
+fn model_selector_routes_across_plans() {
+    use willump::ServingPlan;
+    use willump_data::Column;
+    use willump_graph::{EngineMode, Executor, GraphBuilder, Operator};
+    use willump_models::{LogisticParams, ModelSpec};
+    use willump_serve::{table_row_to_wire, ModelSelector, SelectionPolicy};
+
+    let mut b = GraphBuilder::new();
+    let a = b.source("a");
+    let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
+    let graph = Arc::new(b.finish_with_concat("cat", [f0]).unwrap());
+    let exec = Executor::new(graph, EngineMode::Compiled).unwrap();
+
+    let mut t = Table::new();
+    let avals: Vec<f64> = (0..80)
+        .map(|i| if i % 2 == 0 { -1.0 } else { 1.0 })
+        .collect();
+    let y: Vec<f64> = (0..80).map(|i| (i % 2) as f64).collect();
+    let y_flip: Vec<f64> = y.iter().map(|v| 1.0 - v).collect();
+    t.add_column("a", Column::from(avals)).unwrap();
+
+    let feats = exec.features_batch(&t, None).unwrap();
+    let good = Arc::new(
+        ModelSpec::Logistic(LogisticParams::default())
+            .fit(&feats, &y, 1)
+            .unwrap(),
+    );
+    let bad = Arc::new(
+        ModelSpec::Logistic(LogisticParams::default())
+            .fit(&feats, &y_flip, 1)
+            .unwrap(),
+    );
+    let selector = ModelSelector::from_plans(
+        vec![
+            (
+                "good".to_string(),
+                ServingPlan::full_model_plan(exec.clone(), good),
+            ),
+            ("bad".to_string(), ServingPlan::full_model_plan(exec, bad)),
+        ],
+        SelectionPolicy::Ucb1,
+        7,
+    )
+    .unwrap();
+    assert_eq!(selector.n_models(), 2);
+
+    let server = ClipperServer::start(Arc::new(selector), ServerConfig::default());
+    let client = server.client();
+    let rows: Vec<WireRow> = (0..4).map(|r| table_row_to_wire(&t, r).unwrap()).collect();
+    for _ in 0..3 {
+        let scores = client.predict(rows.clone()).unwrap();
+        assert_eq!(scores.len(), 4);
+    }
+    assert_eq!(server.stats().requests(), 3);
+}
+
 /// Shutting down under load: every admitted request is answered, and
 /// late requests fail cleanly with `Disconnected` instead of hanging.
 #[test]

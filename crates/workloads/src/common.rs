@@ -82,6 +82,20 @@ pub struct Workload {
     pub store: Option<Store>,
 }
 
+impl Workload {
+    /// The pipeline's raw source column names, in graph order — the
+    /// key columns an end-to-end prediction cache uses (see
+    /// `willump::ServingPlan::with_e2e_cache`).
+    pub fn source_columns(&self) -> Vec<String> {
+        self.pipeline
+            .graph()
+            .source_columns()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

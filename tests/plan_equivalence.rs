@@ -1,0 +1,322 @@
+//! Plan-equivalence properties: a lowered `ServingPlan` must produce
+//! outputs identical to the optimization it was lowered from, on
+//! arbitrary generated batches.
+//!
+//! Each property checks three implementations against each other:
+//! an independently-coded *reference* of the paper semantics (computed
+//! straight from the executor and models), the lowered plan run by the
+//! `PlanExecutor`, and the legacy wrapper shim (`CascadePredictor` /
+//! `TopKFilter` / `E2eCachedPredictor`).
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+use willump::cascade::THRESHOLD_CANDIDATES;
+use willump::{CascadePredictor, ServingPlan, TopKConfig, TopKFilter};
+use willump_data::{Column, Table};
+use willump_graph::{EngineMode, Executor, GraphBuilder, InputRow, TransformGraph};
+use willump_models::{metrics, LinearParams, LogisticParams, ModelSpec, TrainedModel};
+use willump_serve::E2eCachedPredictor;
+
+/// Two numeric feature generators over sources `a` and `b`.
+fn two_fg_graph() -> Arc<TransformGraph> {
+    let mut b = GraphBuilder::new();
+    let a = b.source("a");
+    let c = b.source("b");
+    let f0 = b
+        .add("f0", willump_graph::Operator::NumericColumn, [a])
+        .unwrap();
+    let f1 = b
+        .add("f1", willump_graph::Operator::NumericColumn, [c])
+        .unwrap();
+    Arc::new(b.finish_with_concat("cat", [f0, f1]).unwrap())
+}
+
+fn table_from_pairs(rows: &[(f64, f64)]) -> Table {
+    let mut t = Table::new();
+    t.add_column(
+        "a",
+        Column::from(rows.iter().map(|r| r.0).collect::<Vec<_>>()),
+    )
+    .unwrap();
+    t.add_column(
+        "b",
+        Column::from(rows.iter().map(|r| r.1).collect::<Vec<_>>()),
+    )
+    .unwrap();
+    t
+}
+
+struct Fixture {
+    exec: Executor,
+    /// Classification pair (cascades).
+    small: Arc<TrainedModel>,
+    full: Arc<TrainedModel>,
+    /// Regression pair (top-K).
+    filter: Arc<TrainedModel>,
+    ranker: Arc<TrainedModel>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let exec = Executor::new(two_fg_graph(), EngineMode::Compiled).unwrap();
+        // Classification data: FG0 signals easy rows, FG1 hard ones.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..300 {
+            let y = (i % 2) as f64;
+            if i % 3 != 0 {
+                rows.push((if y > 0.5 { 3.0 } else { -3.0 }, 0.0));
+            } else {
+                rows.push((0.0, if y > 0.5 { 2.0 } else { -2.0 }));
+            }
+            labels.push(y);
+        }
+        let t = table_from_pairs(&rows);
+        let full_feats = exec.features_batch(&t, None).unwrap();
+        let eff_feats = exec.features_batch(&t, Some(&[0])).unwrap();
+        let full = Arc::new(
+            ModelSpec::Logistic(LogisticParams::default())
+                .fit(&full_feats, &labels, 1)
+                .unwrap(),
+        );
+        let small = Arc::new(
+            ModelSpec::Logistic(LogisticParams::default())
+                .fit(&eff_feats, &labels, 1)
+                .unwrap(),
+        );
+        // Regression data: score dominated by FG0, corrected by FG1.
+        let targets: Vec<f64> = rows.iter().map(|(a, b)| 2.0 * a + 0.3 * b).collect();
+        let params = LinearParams {
+            epochs: 120,
+            learning_rate: 0.05,
+            decay: 0.001,
+            l2: 0.0,
+        };
+        let ranker = Arc::new(
+            ModelSpec::Linear(params.clone())
+                .fit(&full_feats, &targets, 1)
+                .unwrap(),
+        );
+        let filter = Arc::new(
+            ModelSpec::Linear(params)
+                .fit(&eff_feats, &targets, 1)
+                .unwrap(),
+        );
+        Fixture {
+            exec,
+            small,
+            full,
+            filter,
+            ranker,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The lowered cascade plan matches both an independent reference
+    /// of the paper's cascade semantics and the legacy wrapper shim,
+    /// batch-wise and row-wise, on arbitrary batches and thresholds.
+    #[test]
+    fn cascade_plan_matches_reference_and_shim(
+        rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..40),
+        t_idx in 0usize..THRESHOLD_CANDIDATES.len(),
+    ) {
+        let fx = fixture();
+        let threshold = THRESHOLD_CANDIDATES[t_idx];
+        let t = table_from_pairs(&rows);
+
+        // Reference: small scores on efficient features, full scores
+        // on the complete layout, per-row threshold arbitration.
+        let eff = fx.exec.features_batch(&t, Some(&[0])).unwrap();
+        let small_scores = fx.small.predict_scores(&eff);
+        let full_feats = fx.exec.features_batch(&t, None).unwrap();
+        let full_scores = fx.full.predict_scores(&full_feats);
+        let reference: Vec<f64> = small_scores
+            .iter()
+            .zip(&full_scores)
+            .map(|(&s, &f)| if s.max(1.0 - s) > threshold { s } else { f })
+            .collect();
+
+        let plan = ServingPlan::cascade(
+            fx.exec.clone(),
+            fx.small.clone(),
+            fx.full.clone(),
+            threshold,
+            vec![0],
+        )
+        .unwrap();
+        let out = plan.run_batch(&t).unwrap();
+        prop_assert_eq!(out.scores.len(), reference.len());
+        for (i, (p, r)) in out.scores.iter().zip(&reference).enumerate() {
+            prop_assert!((p - r).abs() <= 1e-12, "row {}: plan {} vs reference {}", i, p, r);
+        }
+        let escalated_ref = reference
+            .iter()
+            .zip(&small_scores)
+            .filter(|(_, &s)| s.max(1.0 - s) <= threshold)
+            .count();
+        prop_assert_eq!(out.report.escalated, escalated_ref);
+
+        // Legacy shim agrees (batch and row paths).
+        let shim = CascadePredictor::new(
+            fx.exec.clone(),
+            fx.small.clone(),
+            fx.full.clone(),
+            threshold,
+            vec![0],
+        )
+        .unwrap();
+        let (shim_scores, stats) = shim.predict_batch(&t).unwrap();
+        prop_assert_eq!(&shim_scores, &out.scores);
+        prop_assert_eq!(stats.escalated, escalated_ref);
+        for (r, &s) in small_scores.iter().enumerate().take(5) {
+            let input = InputRow::from_table(&t, r).unwrap();
+            let (one, escalated) = shim.predict_one(&input).unwrap();
+            prop_assert!((one - out.scores[r]).abs() <= 1e-9);
+            prop_assert_eq!(escalated, s.max(1.0 - s) <= threshold);
+        }
+    }
+
+    /// The lowered top-K plan returns exactly the indices the paper's
+    /// filter semantics prescribe, and the legacy wrapper shim agrees
+    /// including its serving statistics.
+    #[test]
+    fn topk_plan_matches_reference_and_shim(
+        rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 2..50),
+        k in 1usize..8,
+        ck in 1usize..5,
+        frac_pct in 0usize..30,
+    ) {
+        let fx = fixture();
+        let config = TopKConfig {
+            ck,
+            min_subset_frac: frac_pct as f64 / 100.0,
+        };
+        let t = table_from_pairs(&rows);
+        let n = t.n_rows();
+
+        // Reference: filter scores -> top subset -> full rerank.
+        let eff = fx.exec.features_batch(&t, Some(&[0])).unwrap();
+        let filter_scores = fx.filter.predict_scores(&eff);
+        let by_ck = ck.saturating_mul(k);
+        let by_frac = (config.min_subset_frac * n as f64).ceil() as usize;
+        let subset_size = by_ck.max(by_frac).min(n);
+        let candidates = metrics::top_k_indices(&filter_scores, subset_size);
+        let sub = t.take_rows(&candidates);
+        let sub_full = fx.exec.features_batch(&sub, None).unwrap();
+        let sub_scores = fx.ranker.predict_scores(&sub_full);
+        let reference: Vec<usize> = metrics::top_k_indices(&sub_scores, k.min(candidates.len()))
+            .into_iter()
+            .map(|j| candidates[j])
+            .collect();
+
+        let plan = ServingPlan::top_k_filter(
+            fx.exec.clone(),
+            fx.filter.clone(),
+            fx.ranker.clone(),
+            k,
+            config,
+            vec![0],
+        )
+        .unwrap();
+        let (ranked, report) = plan.top_k(&t, k).unwrap();
+        prop_assert_eq!(&ranked, &reference);
+        prop_assert_eq!(report.filter_batch, Some(n));
+        prop_assert_eq!(report.filter_kept, Some(subset_size));
+
+        let shim = TopKFilter::new(
+            fx.exec.clone(),
+            fx.filter.clone(),
+            fx.ranker.clone(),
+            config,
+            vec![0],
+        )
+        .unwrap();
+        let (shim_ranked, stats) = shim.top_k(&t, k).unwrap();
+        prop_assert_eq!(&shim_ranked, &reference);
+        prop_assert_eq!(stats.batch_size, n);
+        prop_assert_eq!(stats.subset_size, subset_size);
+    }
+
+    /// A plan with composed cache stages behaves exactly like the
+    /// legacy `E2eCachedPredictor` wrapped around the same plan: same
+    /// scores, same hit/miss counts, on query streams with repeats.
+    #[test]
+    fn cached_plan_matches_legacy_cache_wrapper(
+        queries in prop::collection::vec((0u8..5, 0u8..5), 1..60),
+    ) {
+        let fx = fixture();
+        let base = ServingPlan::full_model_plan(fx.exec.clone(), fx.full.clone());
+        let cached_plan = base
+            .clone()
+            .with_e2e_cache(vec!["a".to_string(), "b".to_string()], None)
+            .unwrap();
+        let inner = base.clone();
+        let legacy = E2eCachedPredictor::new(
+            move |input| inner.predict_one(input).map_err(|e| e.to_string()),
+            vec!["a".to_string(), "b".to_string()],
+            None,
+        );
+        for &(qa, qb) in &queries {
+            let input = InputRow::new([
+                ("a", willump_data::Value::Float(f64::from(qa))),
+                ("b", willump_data::Value::Float(f64::from(qb))),
+            ]);
+            let from_plan = cached_plan.run_one(&input).unwrap();
+            let from_legacy = legacy.predict_one(&input).unwrap();
+            prop_assert!((from_plan.score - from_legacy).abs() <= 1e-12);
+        }
+        prop_assert_eq!(cached_plan.cache_hits(), legacy.hits());
+        prop_assert_eq!(cached_plan.cache_misses(), legacy.misses());
+    }
+}
+
+/// The optimizer's deployed serving plan is the same object the
+/// legacy accessors expose, and its batch path equals the
+/// `OptimizedPipeline` prediction path.
+#[test]
+fn optimizer_lowered_plan_matches_pipeline_path() {
+    use willump::{QueryMode, Willump, WillumpConfig};
+    use willump_workloads::{WorkloadConfig, WorkloadKind};
+
+    let w = WorkloadKind::Product
+        .generate(&WorkloadConfig::small())
+        .expect("generates");
+    let opt = Willump::new(WillumpConfig {
+        cascade_gate: false,
+        ..WillumpConfig::default()
+    })
+    .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+    .expect("optimizes");
+
+    let plan = opt.serving_plan();
+    let via_plan = plan.predict_batch(&w.test).expect("plan predicts");
+    let via_pipeline = opt.predict_batch(&w.test).expect("pipeline predicts");
+    assert_eq!(via_plan, via_pipeline);
+    if opt.report().cascades_deployed {
+        assert!(plan.threshold().is_some(), "cascade plan carries its gate");
+        assert_eq!(
+            plan.efficient_set().unwrap(),
+            opt.cascade().unwrap().efficient_set()
+        );
+    }
+
+    // Top-K mode lowers a filter plan.
+    let opt = Willump::new(WillumpConfig {
+        mode: QueryMode::TopK { k: 10 },
+        ..WillumpConfig::default()
+    })
+    .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
+    .expect("optimizes");
+    if opt.report().filter_deployed {
+        let plan = opt.serving_plan();
+        assert!(plan.topk_config().is_some());
+        let (via_plan, _) = plan.top_k(&w.test, 10).expect("plan top-k");
+        let (via_pipeline, _) = opt.top_k(&w.test, 10).expect("pipeline top-k");
+        assert_eq!(via_plan, via_pipeline);
+    }
+}
