@@ -24,10 +24,10 @@ use std::time::Instant;
 use willump::QueryMode;
 use willump_bench::{
     assert_experiments_schema, baseline, fmt_latency, fmt_speedup, fmt_throughput, format_table,
-    generate, optimize_level, record_experiments_section, serving_throughput, smoke_record_flags,
-    OptLevel,
+    generate, generate_smoke, optimize_level, record_experiments_section, serving_throughput,
+    smoke_record_flags, OptLevel,
 };
-use willump_serve::{table_row_to_wire, ClipperServer, Servable, ServerConfig};
+use willump_serve::{table_row_to_wire, Servable, ServerConfig, ServingRuntime};
 use willump_store::LatencyModel;
 use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 
@@ -36,24 +36,39 @@ use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table6-serving-sweep v1 -->";
 const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin table6 -- --record";
 
+/// A single-endpoint runtime over one predictor (the modern spelling
+/// of the old one-predictor `ClipperServer`), sharded across its
+/// workers.
+fn single_endpoint_runtime(predictor: Arc<dyn Servable>, config: ServerConfig) -> ServingRuntime {
+    let workers = config.workers.max(1);
+    let mut builder = ServingRuntime::builder();
+    builder.config(config);
+    builder.endpoint("bench", predictor).shards(workers);
+    builder.build().expect("runtime builds")
+}
+
 /// Mean request latency through the serving boundary at one batch
 /// size.
 fn request_latency(w: &Workload, predictor: Arc<dyn Servable>, batch: usize, reqs: usize) -> f64 {
-    let server = ClipperServer::start(predictor, ServerConfig::default());
-    let client = server.client();
+    let runtime = single_endpoint_runtime(predictor, ServerConfig::default());
+    let client = runtime.client();
     let n = w.test.n_rows();
     // Warm-up request.
     let rows: Vec<_> = (0..batch)
         .map(|i| table_row_to_wire(&w.test, i % n).expect("row"))
         .collect();
-    client.predict(rows).expect("serving succeeds");
+    client
+        .predict_endpoint("bench", rows)
+        .expect("serving succeeds");
 
     let start = Instant::now();
     for r in 0..reqs {
         let rows: Vec<_> = (0..batch)
             .map(|i| table_row_to_wire(&w.test, (r * batch + i) % n).expect("row"))
             .collect();
-        client.predict(rows).expect("serving succeeds");
+        client
+            .predict_endpoint("bench", rows)
+            .expect("serving succeeds");
     }
     start.elapsed().as_secs_f64() / reqs as f64
 }
@@ -62,19 +77,14 @@ fn request_latency(w: &Workload, predictor: Arc<dyn Servable>, batch: usize, req
 /// seed behavior (one worker, per-request dispatch); the rest add
 /// coalesced batching and scale worker count.
 fn sweep_configs() -> Vec<(&'static str, ServerConfig)> {
-    let base = ServerConfig::default();
     vec![
         (
             "seed (1w, no coalesce)",
-            ServerConfig {
-                workers: 1,
-                coalesce: false,
-                ..base
-            },
+            ServerConfig::builder().workers(1).coalesce(false).build(),
         ),
-        ("1 worker", ServerConfig { workers: 1, ..base }),
-        ("2 workers", ServerConfig { workers: 2, ..base }),
-        ("4 workers", ServerConfig { workers: 4, ..base }),
+        ("1 worker", ServerConfig::builder().workers(1).build()),
+        ("2 workers", ServerConfig::builder().workers(2).build()),
+        ("4 workers", ServerConfig::builder().workers(4).build()),
     ]
 }
 
@@ -136,14 +146,7 @@ fn latency_table(smoke: bool) -> String {
 
 fn gen_workload(kind: WorkloadKind, smoke: bool) -> Workload {
     if smoke {
-        let cfg = WorkloadConfig {
-            n_train: 300,
-            n_valid: 150,
-            n_test: 200,
-            seed: 42,
-            remote: None,
-        };
-        kind.generate(&cfg).expect("workload generates")
+        generate_smoke(kind, false)
     } else {
         generate(kind, false)
     }
@@ -214,11 +217,18 @@ fn sweep_table(smoke: bool) -> String {
                 (scale.req_budget / budget_divisor / batch).clamp(scale.req_min, scale.req_max);
             let mut seed_tput = None;
             for (label, config) in sweep_configs() {
-                let server = ClipperServer::start(optimized.clone(), config);
-                let tput = serving_throughput(&server, &w.test, batch, scale.clients, reqs);
-                let coalesced = server.stats().coalesced_rows();
-                let max_rows = server.stats().max_batch_rows();
-                drop(server);
+                let runtime = single_endpoint_runtime(optimized.clone(), config);
+                let tput = serving_throughput(
+                    &runtime,
+                    Some("bench"),
+                    &w.test,
+                    batch,
+                    scale.clients,
+                    reqs,
+                );
+                let coalesced = runtime.stats().coalesced_rows();
+                let max_rows = runtime.stats().max_batch_rows();
+                drop(runtime);
                 let vs_seed = match seed_tput {
                     None => {
                         seed_tput = Some(tput);

@@ -2,6 +2,15 @@
 //! Product and Toxic — Willump's cost-effectiveness greedy
 //! (Algorithm 1) versus most-important, cheapest, and a brute-force
 //! oracle over all proper subsets.
+//!
+//! Flags (mirroring `table6`):
+//!
+//! - `--smoke`: tiny workloads — a CI-speed sanity pass over the full
+//!   code path (including the oracle enumeration) that also checks
+//!   EXPERIMENTS.md carries this binary's schema header (never writes
+//!   the file).
+//! - `--record`: rewrite this binary's EXPERIMENTS.md section with
+//!   the measured table.
 
 use std::sync::Arc;
 
@@ -10,10 +19,16 @@ use willump::efficient::{enumerate_proper_subsets, select_efficient_ifvs, Select
 use willump::stats::compute_ifv_stats;
 use willump::QueryMode;
 use willump_bench::{
-    batch_throughput, fmt_throughput, generate, optimize_level, print_table, OptLevel,
+    assert_experiments_schema, batch_throughput, fmt_throughput, format_table, generate,
+    generate_smoke, optimize_level, record_experiments_section, smoke_record_flags, OptLevel,
 };
 use willump_models::metrics;
 use willump_workloads::{Workload, WorkloadKind};
+
+/// The schema header CI greps for in EXPERIMENTS.md; bump the version
+/// when the recorded table shape changes.
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table8-ifv-strategies v1 -->";
+const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin table8 -- --record";
 
 /// Throughput of a cascade built over a forced subset, or `None` when
 /// the cascade's test accuracy misses the target.
@@ -52,11 +67,19 @@ fn subset_throughput(
     }))
 }
 
-fn main() {
+fn gen_workload(kind: WorkloadKind, smoke: bool) -> Workload {
+    if smoke {
+        generate_smoke(kind, false)
+    } else {
+        generate(kind, false)
+    }
+}
+
+fn strategy_table(smoke: bool) -> String {
     let kinds = [WorkloadKind::Product, WorkloadKind::Toxic];
     let mut rows = Vec::new();
     for kind in kinds {
-        let w = generate(kind, false);
+        let w = gen_workload(kind, smoke);
         let opt = optimize_level(&w, OptLevel::Compiled, QueryMode::Batch, None, 1);
         let orig_tp = batch_throughput(&w, 3, || {
             opt.predict_batch(&w.test).expect("compiled predicts");
@@ -133,7 +156,7 @@ fn main() {
         });
         rows.push(cells);
     }
-    print_table(
+    format_table(
         "Table 8: cascade throughput by efficient-IFV selection strategy (subset in brackets)",
         &[
             "benchmark",
@@ -144,5 +167,23 @@ fn main() {
             "oracle",
         ],
         &rows,
-    );
+    )
+}
+
+fn main() {
+    let (smoke, record) = smoke_record_flags();
+    let table = strategy_table(smoke);
+    print!("{table}");
+
+    if smoke {
+        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
+    }
+    if record && !smoke {
+        let body = format!(
+            "Efficient-IFV selection strategy comparison, incl. the\n\
+             brute-force oracle over all proper subsets (paper Table 8).\n\
+             Regenerate with `{RECORD_CMD}`.\n{table}"
+        );
+        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
+    }
 }

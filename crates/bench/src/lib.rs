@@ -23,7 +23,7 @@ use std::time::Instant;
 use willump::{CachingConfig, OptimizedPipeline, QueryMode, Willump, WillumpConfig};
 use willump_data::Table;
 use willump_graph::InputRow;
-use willump_serve::{table_row_to_wire, ClipperServer, WireRow};
+use willump_serve::{table_row_to_wire, ServingRuntime, WireRow};
 use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 
 /// Default experiment sizes (larger than unit-test sizes, small enough
@@ -341,18 +341,23 @@ pub fn fmt_speedup(x: f64) -> String {
     format!("{x:.1}x")
 }
 
-/// Serving throughput (rows/s, wall-clock) through a [`ClipperServer`]
-/// under `clients` closed-loop concurrent client threads, each sending
-/// `reqs` requests of `batch` rows drawn cyclically from `test` at a
-/// per-client offset. Request payloads are pre-serialized into wire
-/// rows before the clock starts and each client sends one warm-up
-/// request, so the measurement covers the serving boundary (JSON
-/// codec, queueing, batching, prediction), not test-harness setup.
+/// Serving throughput (rows/s, wall-clock) through a
+/// [`ServingRuntime`] under `clients` closed-loop concurrent client
+/// threads, each sending `reqs` requests of `batch` rows drawn
+/// cyclically from `test` at a per-client offset. Requests address
+/// `endpoint` when given (`None` measures the default endpoint, which
+/// is also what the legacy `ClipperServer` shim serves — reach its
+/// runtime via `ClipperServer::runtime`). Request payloads are
+/// pre-serialized into wire rows before the clock starts and each
+/// client sends one warm-up request, so the measurement covers the
+/// serving boundary (JSON codec, routing, queueing, batching,
+/// prediction), not test-harness setup.
 ///
 /// # Panics
 /// Panics if serving fails or `test` is empty.
 pub fn serving_throughput(
-    server: &ClipperServer,
+    runtime: &ServingRuntime,
+    endpoint: Option<&str>,
     test: &Table,
     batch: usize,
     clients: usize,
@@ -376,15 +381,17 @@ pub fn serving_throughput(
     let barrier = std::sync::Barrier::new(clients + 1);
     let start = std::thread::scope(|s| {
         for requests in &per_client {
-            let client = server.client();
+            let client = runtime.client();
             let barrier = &barrier;
+            let send = move |rows: Vec<WireRow>| match endpoint {
+                Some(name) => client.predict_endpoint(name, rows),
+                None => client.predict(rows),
+            };
             s.spawn(move || {
-                client
-                    .predict(requests[0].clone())
-                    .expect("warm-up succeeds");
+                send(requests[0].clone()).expect("warm-up succeeds");
                 barrier.wait();
                 for rows in requests {
-                    client.predict(rows.clone()).expect("serving succeeds");
+                    send(rows.clone()).expect("serving succeeds");
                 }
             });
         }
@@ -408,6 +415,31 @@ pub fn generate(kind: WorkloadKind, remote: bool) -> Workload {
     kind.generate(&cfg).expect("workload generates")
 }
 
+/// The shared tiny workload config every `--smoke` binary uses.
+fn smoke_config() -> WorkloadConfig {
+    WorkloadConfig {
+        n_train: 300,
+        n_valid: 150,
+        n_test: 200,
+        seed: 42,
+        remote: None,
+    }
+}
+
+/// Generate one workload at the shared CI-speed smoke size,
+/// optionally with remote tables (shared by every recording binary's
+/// `--smoke` pass).
+///
+/// # Panics
+/// Panics on generation failure.
+pub fn generate_smoke(kind: WorkloadKind, remote: bool) -> Workload {
+    let mut cfg = smoke_config();
+    if remote {
+        cfg = cfg.with_remote_tables();
+    }
+    kind.generate(&cfg).expect("workload generates")
+}
+
 /// Generate a remote-tables workload at experiment size, or at a tiny
 /// smoke size for CI-speed passes (shared by the `table2`/`table3`
 /// recording binaries).
@@ -416,13 +448,7 @@ pub fn generate(kind: WorkloadKind, remote: bool) -> Workload {
 /// Panics on generation failure.
 pub fn generate_remote(kind: WorkloadKind, smoke: bool) -> Workload {
     let base = if smoke {
-        WorkloadConfig {
-            n_train: 300,
-            n_valid: 150,
-            n_test: 200,
-            seed: 42,
-            remote: None,
-        }
+        smoke_config()
     } else {
         experiment_config()
     };

@@ -247,6 +247,19 @@ impl PlanCounters {
     pub fn filter_dropped(&self) -> u64 {
         self.filter_dropped.load(Ordering::Relaxed)
     }
+
+    /// Fraction of rows escalated to the full feature layout
+    /// (0 before any rows have run). This is the statistic a serving
+    /// scheduler reads to give escalation-heavy plans dedicated
+    /// workers.
+    pub fn escalation_rate(&self) -> f64 {
+        let rows = self.rows();
+        if rows == 0 {
+            0.0
+        } else {
+            self.escalated() as f64 / rows as f64
+        }
+    }
 }
 
 /// Per-stage cumulative meters (time and rows), shared by clones.
@@ -808,6 +821,14 @@ impl ServingPlan {
     /// Cumulative counters (shared across clones).
     pub fn counters(&self) -> &PlanCounters {
         &self.counters
+    }
+
+    /// An owning handle to the shared counters, outliving this clone.
+    ///
+    /// The serving layer attaches this to an endpoint so its scheduler
+    /// can read escalation statistics without holding the plan itself.
+    pub fn counters_handle(&self) -> Arc<PlanCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Cumulative per-stage execution profiles (shared across clones).

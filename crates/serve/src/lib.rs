@@ -1,41 +1,62 @@
 //! # willump-serve
 //!
-//! A Clipper-like model serving layer for the Willump reproduction
-//! (see DESIGN.md's substitution table): an RPC-style boundary with
-//! real JSON serialization overhead, a request queue with adaptive
-//! batching, and an optional end-to-end prediction cache (the
-//! pipeline-agnostic caching the paper compares feature-level caching
-//! against).
+//! The serving layer for the Willump reproduction (see DESIGN.md's
+//! substitution table): an RPC-style boundary with real JSON
+//! serialization overhead, per-worker request queues with adaptive
+//! coalescing batching, and a **multi-endpoint runtime** —
+//! [`ServingRuntime`] — serving named, versioned, shard-routed
+//! deployments behind one worker pool.
 //!
 //! Paper Table 6 serves Willump-optimized pipelines through Clipper
 //! and observes that (a) fixed per-request overheads amortize with
 //! batch size, and (b) variable serialization overheads remain. Both
 //! effects are real here: every request and response passes through
-//! `serde_json`, and the server runs [`ServerConfig::workers`]
-//! executor threads behind a shared channel. Workers *coalesce*: all
+//! `serde_json`, and workers *coalesce* — all same-endpoint,
 //! same-schema requests drained in one iteration merge into a single
-//! model-level batch (one `predict_table` call), so concurrent
-//! small requests amortize per-call fixed overheads exactly the way
-//! client-side batching does in Table 6. Shutdown is explicit and
-//! deadlock-free even while client handles are still alive (see
-//! [`ClipperServer::shutdown`]).
+//! model-level batch (one `predict_table` call), so concurrent small
+//! requests amortize per-call fixed overheads exactly the way
+//! client-side batching does in Table 6.
+//!
+//! The runtime goes beyond the paper's single-predictor Clipper
+//! substrate:
+//!
+//! - **Named, versioned endpoints** ([`RuntimeBuilder::endpoint`]):
+//!   all six paper workloads — and several plan variants of each —
+//!   share one runtime, one worker pool, and one client. Unpinned
+//!   traffic splits across versions by weight (canary) or via a
+//!   [`ModelSelector`] bandit ([`RuntimeBuilder::version_policy`]);
+//!   **shadow** versions mirror traffic with responses discarded.
+//! - **Key-hash shard routing**: equal [`Request::key`]s always land
+//!   on the same shard ([`shard_for_key`]), and shards map onto
+//!   workers.
+//! - **Statistics-aware scheduling** ([`SchedulerPolicy`]): the
+//!   scheduler reads each plan's `PlanCounters` (the `ServingPlan`
+//!   IR's per-stage introspection) and gives escalation-heavy
+//!   endpoints a dedicated tail of the worker pool.
+//!
+//! The legacy single-predictor surface — [`ClipperServer`] /
+//! [`ClipperClient`] — is a thin shim over a single-endpoint runtime
+//! and stays fully supported, including legacy wire frames without
+//! endpoint fields. Shutdown is explicit and deadlock-free even while
+//! client handles are still alive (see [`ServingRuntime::shutdown`]).
 //!
 //! The crate also reproduces Clipper's *model selection layer*
 //! (paper §7): [`ModelSelector`] routes queries across several
-//! [`Servable`]s with a multi-armed bandit ([`SelectionPolicy`]),
-//! learning over time which model predicts a session's inputs best.
+//! [`Servable`]s with a multi-armed bandit ([`SelectionPolicy`]) —
+//! standalone, or wired into the runtime as a version router.
 //!
 //! Every `willump::ServingPlan` is [`Servable`], so any lowered
 //! optimization — or composition of optimizations (a cascade behind
-//! an end-to-end cache with a top-K filter, say) — serves through the
-//! multi-worker coalescing [`ClipperServer`] as one predictor, and
-//! [`ModelSelector::from_plans`] bandit-routes across whole plans.
+//! an end-to-end cache with a top-K filter, say) — serves as one
+//! endpoint, and [`ModelSelector::from_plans`] bandit-routes across
+//! whole plans.
 
 #![warn(missing_docs)]
 
 mod e2e_cache;
 mod error;
 mod protocol;
+mod runtime;
 mod selection;
 mod server;
 
@@ -45,7 +66,9 @@ pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, error_wire,
     escape_json_string, Request, Response, WireRow, ERROR_RESPONSE_ID,
 };
-pub use selection::{ArmStats, ModelSelector, SelectionPolicy};
-pub use server::{
-    table_row_to_wire, ClipperClient, ClipperServer, Servable, ServerConfig, ServerStats,
+pub use runtime::{
+    shard_for_key, table_row_to_wire, Endpoint, EndpointBuilder, EndpointStats, RuntimeBuilder,
+    RuntimeClient, SchedulerPolicy, ServerStats, ServingRuntime, DEFAULT_ENDPOINT,
 };
+pub use selection::{ArmStats, ModelSelector, SelectionPolicy};
+pub use server::{ClipperClient, ClipperServer, Servable, ServerConfig, ServerConfigBuilder};

@@ -4,6 +4,20 @@
 //! residual overhead to "large variable overheads (serialization time,
 //! etc.) which Willump cannot reduce". Encoding/decoding here costs
 //! genuine CPU proportional to payload size.
+//!
+//! # Addressing and back-compat
+//!
+//! Since the multi-endpoint [`crate::ServingRuntime`], a request may
+//! address a **named endpoint** ([`Request::endpoint`]), pin a
+//! specific **version** of it ([`Request::version`]), and carry a
+//! **routing key** ([`Request::key`]) that the runtime hashes to pick
+//! a shard. All three fields are optional and `#[serde(default)]`:
+//! a *legacy frame* — the pre-runtime wire form carrying only `id`
+//! and `rows` — still decodes, with every routing field `None`, and
+//! the runtime routes it to the default endpoint. Responses echo the
+//! endpoint name and version that served them ([`Response::endpoint`],
+//! [`Response::version`]), `None` on error paths that never resolved
+//! an endpoint.
 
 use serde::{Deserialize, Serialize};
 use willump_data::Value;
@@ -15,14 +29,16 @@ use crate::ServeError;
 /// The server echoes the request's own id in every response it can,
 /// but a request that fails [`decode_request`] has no recoverable id.
 /// Such responses carry `ERROR_RESPONSE_ID` instead. To keep the two
-/// distinguishable, [`crate::ClipperClient`] assigns real request ids
-/// starting at 1 and never uses 0; custom clients should do the same.
+/// distinguishable, [`crate::RuntimeClient`] (and the legacy
+/// [`crate::ClipperClient`] shim) assign real request ids starting at
+/// 1 and never use 0; custom clients should do the same.
 pub const ERROR_RESPONSE_ID: u64 = 0;
 
 /// One named raw-input value in a request row.
 pub type WireRow = Vec<(String, Value)>;
 
-/// A prediction request: a batch of raw-input rows.
+/// A prediction request: a batch of raw-input rows, optionally
+/// addressed to a named, versioned endpoint with a routing key.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Client-assigned request id, echoed in the response. Must be
@@ -31,6 +47,34 @@ pub struct Request {
     pub id: u64,
     /// The batch of input rows (name/value pairs, consistent schema).
     pub rows: Vec<WireRow>,
+    /// Target endpoint name; `None` (or a legacy frame without the
+    /// field) routes to the runtime's default endpoint.
+    #[serde(default)]
+    pub endpoint: Option<String>,
+    /// Pin a specific endpoint version; `None` lets the endpoint's
+    /// version router (weighted canary split or bandit) choose.
+    #[serde(default)]
+    pub version: Option<u32>,
+    /// Shard-routing key: requests with equal keys always land on the
+    /// same shard of the target endpoint. `None` spreads requests
+    /// round-robin across the endpoint's shards.
+    #[serde(default)]
+    pub key: Option<String>,
+}
+
+impl Request {
+    /// A plain request: rows for the default endpoint, no version pin,
+    /// no explicit routing key (the legacy single-predictor form).
+    #[must_use]
+    pub fn new(id: u64, rows: Vec<WireRow>) -> Request {
+        Request {
+            id,
+            rows,
+            endpoint: None,
+            version: None,
+            key: None,
+        }
+    }
 }
 
 /// A prediction response.
@@ -43,6 +87,27 @@ pub struct Response {
     pub scores: Vec<f64>,
     /// Error message when prediction failed.
     pub error: Option<String>,
+    /// The endpoint that served this response (`None` when the
+    /// request never resolved to one, e.g. decode/routing errors).
+    #[serde(default)]
+    pub endpoint: Option<String>,
+    /// The endpoint version that served this response.
+    #[serde(default)]
+    pub version: Option<u32>,
+}
+
+impl Response {
+    /// An error response with no serving endpoint attached.
+    #[must_use]
+    pub fn failure(id: u64, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            scores: Vec::new(),
+            error: Some(message.into()),
+            endpoint: None,
+            version: None,
+        }
+    }
 }
 
 /// Serialize a request to its JSON wire form.
@@ -53,7 +118,8 @@ pub fn encode_request(req: &Request) -> Result<String, ServeError> {
     serde_json::to_string(req).map_err(|e| ServeError::Codec(e.to_string()))
 }
 
-/// Parse a request from its JSON wire form.
+/// Parse a request from its JSON wire form. Legacy frames without the
+/// `endpoint`/`version`/`key` fields decode with those fields `None`.
 ///
 /// # Errors
 /// Returns [`ServeError::Codec`] on malformed input.
@@ -69,7 +135,8 @@ pub fn encode_response(resp: &Response) -> Result<String, ServeError> {
     serde_json::to_string(resp).map_err(|e| ServeError::Codec(e.to_string()))
 }
 
-/// Parse a response from its JSON wire form.
+/// Parse a response from its JSON wire form. Legacy frames without
+/// the `endpoint`/`version` fields decode with those fields `None`.
 ///
 /// # Errors
 /// Returns [`ServeError::Codec`] on malformed input.
@@ -86,11 +153,7 @@ pub fn decode_response(wire: &str) -> Result<Response, ServeError> {
 /// control characters — stays valid JSON; if even that fails the
 /// string is hand-escaped via [`escape_json_string`].
 pub fn error_wire(id: u64, message: &str) -> String {
-    let resp = Response {
-        id,
-        scores: Vec::new(),
-        error: Some(message.to_string()),
-    };
+    let resp = Response::failure(id, message);
     encode_response(&resp).unwrap_or_else(|_| {
         format!(
             "{{\"id\":{id},\"scores\":[],\"error\":\"{}\"}}",
@@ -124,9 +187,9 @@ mod tests {
     use super::*;
 
     fn sample() -> Request {
-        Request {
-            id: 7,
-            rows: vec![
+        Request::new(
+            7,
+            vec![
                 vec![
                     ("title".to_string(), Value::from("hello")),
                     ("n".to_string(), Value::Int(3)),
@@ -136,7 +199,7 @@ mod tests {
                     ("n".to_string(), Value::Int(4)),
                 ],
             ],
-        }
+        )
     }
 
     #[test]
@@ -148,11 +211,48 @@ mod tests {
     }
 
     #[test]
+    fn addressed_request_round_trip() {
+        let req = Request {
+            endpoint: Some("music".to_string()),
+            version: Some(2),
+            key: Some("user-17".to_string()),
+            ..sample()
+        };
+        let wire = encode_request(&req).unwrap();
+        assert_eq!(decode_request(&wire).unwrap(), req);
+    }
+
+    #[test]
+    fn legacy_request_frame_decodes_with_default_routing() {
+        // The pre-runtime wire form: no endpoint/version/key fields at
+        // all. It must decode, with every routing field None.
+        let wire = r#"{"id":3,"rows":[[["x",{"Float":1.5}]]]}"#;
+        let req = decode_request(wire).expect("legacy frame decodes");
+        assert_eq!(req.id, 3);
+        assert_eq!(req.rows.len(), 1);
+        assert_eq!(req.endpoint, None);
+        assert_eq!(req.version, None);
+        assert_eq!(req.key, None);
+    }
+
+    #[test]
+    fn legacy_response_frame_decodes_without_endpoint_echo() {
+        let wire = r#"{"id":4,"scores":[0.5],"error":null}"#;
+        let resp = decode_response(wire).expect("legacy frame decodes");
+        assert_eq!(resp.id, 4);
+        assert_eq!(resp.scores, vec![0.5]);
+        assert_eq!(resp.endpoint, None);
+        assert_eq!(resp.version, None);
+    }
+
+    #[test]
     fn response_round_trip() {
         let resp = Response {
             id: 7,
             scores: vec![0.25, 0.75],
             error: None,
+            endpoint: Some("music".to_string()),
+            version: Some(1),
         };
         let wire = encode_response(&resp).unwrap();
         assert_eq!(decode_response(&wire).unwrap(), resp);
@@ -172,6 +272,7 @@ mod tests {
         assert_eq!(resp.id, 9);
         assert!(resp.scores.is_empty());
         assert_eq!(resp.error.as_deref(), Some(hostile));
+        assert_eq!(resp.endpoint, None);
     }
 
     #[test]
@@ -194,10 +295,7 @@ mod tests {
 
     #[test]
     fn float_values_survive() {
-        let req = Request {
-            id: 1,
-            rows: vec![vec![("x".to_string(), Value::Float(1.5))]],
-        };
+        let req = Request::new(1, vec![vec![("x".to_string(), Value::Float(1.5))]]);
         let back = decode_request(&encode_request(&req).unwrap()).unwrap();
         assert_eq!(back.rows[0][0].1, Value::Float(1.5));
     }

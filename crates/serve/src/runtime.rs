@@ -1,0 +1,1698 @@
+//! The multi-endpoint serving runtime: named, versioned, shard-routed
+//! deployments behind one worker pool.
+//!
+//! The legacy [`crate::ClipperServer`] deployed exactly one anonymous
+//! [`Servable`] per server, so the paper's six workloads — and the
+//! cascade / top-K / cached plan variants of each — could not share a
+//! runtime, be A/B'd, or be scheduled by their cost profiles. A
+//! [`ServingRuntime`] instead serves a **registry of endpoints**:
+//!
+//! - each endpoint has a **name** and a **version** (several versions
+//!   of one name coexist; unpinned traffic splits across them by
+//!   weight, or via a [`ModelSelector`] bandit — Clipper's selection
+//!   layer reused as a canary router);
+//! - each endpoint is divided into **shards**: the runtime hashes a
+//!   request's routing key ([`crate::Request::key`]) so equal keys
+//!   always land on the same shard (unkeyed requests spread
+//!   round-robin), and shards map onto workers;
+//! - a **statistics-aware scheduler** ([`SchedulerPolicy`]) reads
+//!   each plan's [`PlanCounters`] (the per-stage introspection the
+//!   `ServingPlan` IR accumulates) and routes escalation-heavy
+//!   endpoints to a dedicated tail of the worker pool, so their
+//!   expensive full-model traffic cannot starve cheap endpoints;
+//! - **shadow** endpoints receive a mirrored copy of their group's
+//!   traffic with the response discarded — deployment validation at
+//!   serving time.
+//!
+//! Workers keep the coalescing behavior paper Table 6 measures: each
+//! worker drains its queue up to [`ServerConfig::max_batch_requests`]
+//! envelopes and merges same-endpoint, same-schema requests into one
+//! model-level `predict_table` call.
+//!
+//! Build a runtime with [`ServingRuntime::builder`]:
+//!
+//! ```text
+//! let mut b = ServingRuntime::builder();
+//! b.config(ServerConfig::builder().workers(4).build());
+//! b.plan("music", cascade_plan).shards(4);
+//! b.plan("music", canary_plan).version(2).weight(0.25);
+//! b.plan("toxic", topk_plan).shards(2);
+//! let runtime = b.build()?;
+//! let client = runtime.client();
+//! let scores = client.predict_endpoint("music", rows)?;
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use willump::PlanCounters;
+use willump_data::{Column, DataType, Table};
+
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, error_wire, Request,
+    Response, WireRow, ERROR_RESPONSE_ID,
+};
+use crate::selection::{ModelSelector, SelectionPolicy};
+use crate::server::{Servable, ServerConfig};
+use crate::ServeError;
+
+/// The endpoint name the [`RuntimeBuilder`] assigns when the caller
+/// does not pick one, and the name the [`crate::ClipperServer`] shim
+/// registers its single predictor under.
+pub const DEFAULT_ENDPOINT: &str = "default";
+
+/// Deterministic shard routing: hash a key onto one of `shards`
+/// shards. Equal keys always map to equal shards; `shards <= 1`
+/// always maps to shard 0.
+#[must_use]
+pub fn shard_for_key(key: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+// ---- statistics ----------------------------------------------------
+
+/// Global server-side counters for a [`ServingRuntime`].
+#[derive(Debug)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    rows: AtomicU64,
+    batches: AtomicU64,
+    decode_errors: AtomicU64,
+    route_errors: AtomicU64,
+    coalesced_rows: AtomicU64,
+    max_batch_rows: AtomicU64,
+    worker_batches: Vec<AtomicU64>,
+}
+
+impl ServerStats {
+    fn new(workers: usize) -> ServerStats {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            route_errors: AtomicU64::new(0),
+            coalesced_rows: AtomicU64::new(0),
+            max_batch_rows: AtomicU64::new(0),
+            worker_batches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Requests received, including ones that failed to decode or
+    /// route. Shadow-mirrored copies are *not* counted here (they are
+    /// counted on the shadow endpoint's own [`EndpointStats`]).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total input rows across successfully decoded *and routed*
+    /// requests (rows of requests addressing an unknown endpoint or
+    /// version are not counted — see
+    /// [`route_errors`](ServerStats::route_errors)).
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Worker iterations (each handling >= 1 coalesced requests).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose payload failed [`decode_request`]; these are
+    /// counted in [`requests`](ServerStats::requests) too and are
+    /// answered with [`ERROR_RESPONSE_ID`].
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Well-formed requests addressing an unknown endpoint or version;
+    /// counted in [`requests`](ServerStats::requests) too and answered
+    /// with an error response echoing the request id.
+    pub fn route_errors(&self) -> u64 {
+        self.route_errors.load(Ordering::Relaxed)
+    }
+
+    /// Rows served through merged model batches spanning more than
+    /// one request (0 until concurrency actually coalesces).
+    pub fn coalesced_rows(&self) -> u64 {
+        self.coalesced_rows.load(Ordering::Relaxed)
+    }
+
+    /// Largest number of rows handed to a single successful
+    /// `predict_table` call.
+    pub fn max_batch_rows(&self) -> u64 {
+        self.max_batch_rows.load(Ordering::Relaxed)
+    }
+
+    /// Worker-iteration counts, one entry per worker thread.
+    pub fn worker_batches(&self) -> Vec<u64> {
+        self.worker_batches
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Per-endpoint (name + version) serving counters.
+#[derive(Debug)]
+pub struct EndpointStats {
+    requests: AtomicU64,
+    rows: AtomicU64,
+    coalesced_rows: AtomicU64,
+    max_batch_rows: AtomicU64,
+    shard_requests: Vec<AtomicU64>,
+}
+
+impl EndpointStats {
+    fn new(shards: usize) -> EndpointStats {
+        EndpointStats {
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            coalesced_rows: AtomicU64::new(0),
+            max_batch_rows: AtomicU64::new(0),
+            shard_requests: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Requests routed to this endpoint (shadow copies included on
+    /// shadow endpoints).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Input rows routed to this endpoint.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Rows served through merged multi-request model batches.
+    pub fn coalesced_rows(&self) -> u64 {
+        self.coalesced_rows.load(Ordering::Relaxed)
+    }
+
+    /// Largest successful `predict_table` batch for this endpoint.
+    pub fn max_batch_rows(&self) -> u64 {
+        self.max_batch_rows.load(Ordering::Relaxed)
+    }
+
+    /// Requests per shard (shard-routing observability: equal keys
+    /// increment exactly one entry).
+    pub fn shard_requests(&self) -> Vec<u64> {
+        self.shard_requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+// ---- endpoints -----------------------------------------------------
+
+/// One registered endpoint: a named, versioned, sharded deployment of
+/// a [`Servable`].
+pub struct Endpoint {
+    name: String,
+    version: u32,
+    servable: Arc<dyn Servable>,
+    counters: Option<Arc<PlanCounters>>,
+    shards: usize,
+    weight: f64,
+    shadow: bool,
+    /// Shard -> worker index, rewritten by the scheduler.
+    assignment: Vec<AtomicUsize>,
+    /// Round-robin cursor for requests without a routing key.
+    next_shard: AtomicUsize,
+    stats: EndpointStats,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("shards", &self.shards)
+            .field("weight", &self.weight)
+            .field("shadow", &self.shadow)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Endpoint {
+    /// The endpoint name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The endpoint version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Traffic weight among unpinned requests to this endpoint name.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Whether this endpoint only receives mirrored shadow traffic.
+    pub fn is_shadow(&self) -> bool {
+        self.shadow
+    }
+
+    /// Serving counters for this endpoint.
+    pub fn stats(&self) -> &EndpointStats {
+        &self.stats
+    }
+
+    /// The current shard -> worker assignment.
+    pub fn assignment(&self) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Escalation rate read from the attached [`PlanCounters`]
+    /// (0 when the endpoint has none or no rows ran yet).
+    pub fn escalation_rate(&self) -> f64 {
+        self.counters.as_ref().map_or(0.0, |c| c.escalation_rate())
+    }
+}
+
+/// Smooth weighted round-robin state (the nginx algorithm):
+/// deterministic and exactly proportional over any window.
+struct Wrr {
+    current: Vec<f64>,
+}
+
+enum Router {
+    /// A single primary version: nothing to route.
+    Single,
+    /// Weighted canary split across versions.
+    Weighted(Mutex<Wrr>),
+    /// Bandit-routed canary: the [`ModelSelector`]'s arms are the
+    /// versions; feed rewards through the selector handle.
+    Bandit(Arc<ModelSelector>),
+}
+
+struct Group {
+    name: String,
+    primaries: Vec<Arc<Endpoint>>,
+    shadows: Vec<Arc<Endpoint>>,
+    router: Router,
+}
+
+impl Group {
+    fn pick_version(&self) -> usize {
+        match &self.router {
+            Router::Single => 0,
+            Router::Weighted(wrr) => {
+                let mut st = wrr.lock();
+                let total: f64 = self.primaries.iter().map(|e| e.weight).sum();
+                let mut best = 0;
+                let mut best_v = f64::NEG_INFINITY;
+                for (i, e) in self.primaries.iter().enumerate() {
+                    st.current[i] += e.weight;
+                    if st.current[i] > best_v {
+                        best_v = st.current[i];
+                        best = i;
+                    }
+                }
+                st.current[best] -= total;
+                best
+            }
+            Router::Bandit(sel) => sel.select_pull(),
+        }
+    }
+}
+
+// ---- scheduling ----------------------------------------------------
+
+/// How the runtime maps (endpoint, shard) pairs onto workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerPolicy {
+    /// Spread every endpoint's shards round-robin across all workers.
+    Static,
+    /// Statistics-aware: endpoints whose [`PlanCounters`] escalation
+    /// rate exceeds `threshold` get the dedicated tail set of
+    /// `dedicated_workers` workers (capped to leave at least one
+    /// shared worker); everyone else shares the head of the pool.
+    /// Falls back to [`SchedulerPolicy::Static`] while no endpoint is
+    /// heavy, the pool has a single worker, or `dedicated_workers`
+    /// is 0.
+    EscalationAware {
+        /// Escalation-rate threshold in `[0, 1]` above which an
+        /// endpoint counts as heavy.
+        threshold: f64,
+        /// Workers reserved for heavy endpoints (0 disables the
+        /// reservation entirely).
+        dedicated_workers: usize,
+    },
+}
+
+// ---- plumbing ------------------------------------------------------
+
+struct RoutedJob {
+    req: Request,
+    entry: Arc<Endpoint>,
+    /// `None` for shadow-mirrored copies (response discarded).
+    reply: Option<Sender<String>>,
+}
+
+enum Job {
+    Request(RoutedJob),
+    Shutdown,
+}
+
+/// Admission gate shared by the runtime and every client: sends
+/// happen under the lock, so once `closed` flips no message can slip
+/// into any worker queue after that worker's shutdown sentinel (FIFO
+/// order then guarantees every admitted request is answered before
+/// the workers exit).
+struct GateState {
+    senders: Vec<Sender<Job>>,
+    closed: bool,
+}
+
+struct Shared {
+    groups: Vec<Group>,
+    default_group: usize,
+    config: ServerConfig,
+    scheduler: SchedulerPolicy,
+    rebalance_every: u64,
+    admitted: AtomicU64,
+    gate: Mutex<GateState>,
+    stats: ServerStats,
+    n_workers: usize,
+}
+
+enum Admitted {
+    /// Answered at admission time (decode/route errors).
+    Immediate(String),
+    /// Queued; the response arrives on this channel.
+    Pending(Receiver<String>),
+}
+
+impl Shared {
+    fn find_group(&self, name: Option<&str>) -> Option<&Group> {
+        match name {
+            None => self.groups.get(self.default_group),
+            Some(n) => self.groups.iter().find(|g| g.name == n),
+        }
+    }
+
+    /// Recompute every endpoint's shard -> worker assignment from the
+    /// scheduler policy and current plan statistics.
+    fn rebalance(&self) {
+        let entries: Vec<&Arc<Endpoint>> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.primaries.iter().chain(g.shadows.iter()))
+            .collect();
+        let n = self.n_workers;
+        let heavy: Vec<bool> = match self.scheduler {
+            SchedulerPolicy::Static => vec![false; entries.len()],
+            SchedulerPolicy::EscalationAware { threshold, .. } => entries
+                .iter()
+                .map(|e| e.escalation_rate() > threshold)
+                .collect(),
+        };
+        let dedicated = match self.scheduler {
+            // `dedicated_workers: 0` means "detect but never reserve";
+            // otherwise always leave at least one shared worker.
+            SchedulerPolicy::EscalationAware {
+                dedicated_workers, ..
+            } if n > 1 && dedicated_workers > 0 && heavy.iter().any(|&h| h) => {
+                dedicated_workers.min(n - 1)
+            }
+            _ => 0,
+        };
+        // Heavy endpoints round-robin over the dedicated tail
+        // [n - dedicated, n); everyone else over the shared head.
+        let shared_workers = n - dedicated;
+        let mut next_shared = 0usize;
+        let mut next_dedicated = 0usize;
+        for (e, &is_heavy) in entries.iter().zip(&heavy) {
+            for shard in 0..e.shards {
+                let w = if is_heavy && dedicated > 0 {
+                    let w = shared_workers + (next_dedicated % dedicated);
+                    next_dedicated += 1;
+                    w
+                } else {
+                    let w = next_shared % shared_workers.max(1);
+                    next_shared += 1;
+                    w
+                };
+                e.assignment[shard].store(w, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Decode, route, and enqueue one wire payload.
+    fn admit(&self, payload: &str) -> Result<Admitted, ServeError> {
+        // Fast-fail before any side effects: a closed runtime admits
+        // nothing and records nothing — post-shutdown retries must not
+        // skew stats or version-router state.
+        if self.gate.lock().closed {
+            return Err(ServeError::Disconnected);
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match decode_request(payload) {
+            Ok(req) => req,
+            Err(e) => {
+                self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return Ok(Admitted::Immediate(error_wire(
+                    ERROR_RESPONSE_ID,
+                    &e.to_string(),
+                )));
+            }
+        };
+        let Some(group) = self.find_group(req.endpoint.as_deref()) else {
+            self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
+            let name = req.endpoint.as_deref().unwrap_or(DEFAULT_ENDPOINT);
+            return Ok(Admitted::Immediate(error_wire(
+                req.id,
+                &format!("unknown endpoint `{name}`"),
+            )));
+        };
+        let entry = match req.version {
+            Some(v) => match group.primaries.iter().find(|e| e.version == v) {
+                Some(e) => Arc::clone(e),
+                None => {
+                    self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Admitted::Immediate(error_wire(
+                        req.id,
+                        &format!("endpoint `{}` has no version {v}", group.name),
+                    )));
+                }
+            },
+            None => Arc::clone(&group.primaries[group.pick_version()]),
+        };
+        self.stats
+            .rows
+            .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
+
+        let key = req.key.clone();
+        let (reply_tx, reply_rx) = bounded(1);
+        // Route (and record per-endpoint stats) once, before the send
+        // loop; shadow jobs are built first so the primary can take
+        // `req` by move.
+        let mut shadow_jobs: Vec<(usize, RoutedJob)> = group
+            .shadows
+            .iter()
+            .map(|shadow| {
+                (
+                    route_to_worker(shadow, key.as_deref(), &req),
+                    RoutedJob {
+                        req: req.clone(),
+                        entry: Arc::clone(shadow),
+                        reply: None,
+                    },
+                )
+            })
+            .collect();
+        let worker = route_to_worker(&entry, key.as_deref(), &req);
+        let mut primary = RoutedJob {
+            req,
+            entry,
+            reply: Some(reply_tx),
+        };
+        loop {
+            let gate = self.gate.lock();
+            if gate.closed {
+                return Err(ServeError::Disconnected);
+            }
+            // Shadow mirrors are best-effort: a full shadow queue
+            // drops the copy rather than stalling primary admission.
+            for (w, job) in shadow_jobs.drain(..) {
+                let _ = gate.senders[w].try_send(Job::Request(job));
+            }
+            // Sends happen only under the gate lock with the gate
+            // open, so no job can land behind a shutdown sentinel —
+            // but a *full* target queue releases the lock and retries,
+            // so one slow endpoint cannot stall admissions to every
+            // other endpoint. Under sustained saturation the retry is
+            // a sleep-poll with no FIFO fairness among blocked
+            // senders; that is the price of not holding the global
+            // gate while a queue is full.
+            match gate.senders[worker].try_send(Job::Request(primary)) {
+                Ok(()) => break,
+                Err(crossbeam::channel::TrySendError::Full(Job::Request(job))) => {
+                    primary = job;
+                    drop(gate);
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+                Err(_) => return Err(ServeError::Disconnected),
+            }
+        }
+        self.maybe_rebalance();
+        Ok(Admitted::Pending(reply_rx))
+    }
+
+    fn maybe_rebalance(&self) {
+        if !matches!(self.scheduler, SchedulerPolicy::EscalationAware { .. }) {
+            return;
+        }
+        let n = self.admitted.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.rebalance_every > 0 && n.is_multiple_of(self.rebalance_every) {
+            self.rebalance();
+        }
+    }
+}
+
+/// Record per-endpoint request/rows/shard counters and pick the
+/// worker currently owning the target shard. Keyed requests hash to a
+/// sticky shard; unkeyed requests spread round-robin (preserving the
+/// old shared-queue load balancing for legacy clients, whose hot
+/// identical requests must not all pile onto one worker).
+fn route_to_worker(entry: &Endpoint, key: Option<&str>, req: &Request) -> usize {
+    let shard = match key {
+        Some(k) => shard_for_key(k, entry.shards),
+        None => entry.next_shard.fetch_add(1, Ordering::Relaxed) % entry.shards,
+    };
+    entry.stats.requests.fetch_add(1, Ordering::Relaxed);
+    entry
+        .stats
+        .rows
+        .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
+    entry.stats.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
+    entry.assignment[shard].load(Ordering::Relaxed)
+}
+
+// ---- worker-side serving -------------------------------------------
+
+/// Build a table from wire rows; all rows must share the first row's
+/// schema.
+pub(crate) fn rows_to_table(rows: &[WireRow]) -> Result<Table, ServeError> {
+    rows_to_table_refs(&rows.iter().collect::<Vec<_>>())
+}
+
+/// Like [`rows_to_table`] but over borrowed rows, so coalesced batches
+/// can merge rows from several requests without cloning them.
+fn rows_to_table_refs(rows: &[&WireRow]) -> Result<Table, ServeError> {
+    let Some(first) = rows.first() else {
+        return Ok(Table::new());
+    };
+    let mut table = Table::new();
+    for (name, proto) in first.iter() {
+        let dt = proto.data_type();
+        let mut col = Column::empty(dt).ok_or_else(|| ServeError::BadRequest {
+            reason: format!("column `{name}` has null prototype value"),
+        })?;
+        for row in rows {
+            let v = row
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| ServeError::BadRequest {
+                    reason: format!("row missing column `{name}`"),
+                })?;
+            col.push(v).map_err(|e| ServeError::BadRequest {
+                reason: format!("column `{name}`: {e}"),
+            })?;
+        }
+        table
+            .add_column(name.clone(), col)
+            .map_err(|e| ServeError::BadRequest {
+                reason: e.to_string(),
+            })?;
+    }
+    Ok(table)
+}
+
+/// The (name, type) schema of a request, taken from its first row;
+/// requests merge into one model batch only when this — and the
+/// target endpoint — match exactly.
+type SchemaKey<'a> = Vec<(&'a str, DataType)>;
+
+fn request_schema(req: &Request) -> SchemaKey<'_> {
+    req.rows.first().map_or_else(Vec::new, |row| {
+        row.iter()
+            .map(|(n, v)| (n.as_str(), v.data_type()))
+            .collect()
+    })
+}
+
+/// Encode and send one response, falling back to the escaping
+/// last-resort encoder when the real one fails (e.g. NaN scores).
+/// Shadow jobs (no reply channel) skip encoding entirely.
+fn respond(job: &RoutedJob, resp: &Response) {
+    let Some(reply) = &job.reply else { return };
+    let wire = encode_response(resp)
+        .unwrap_or_else(|e| error_wire(resp.id, &format!("response encoding failed: {e}")));
+    let _ = reply.send(wire);
+}
+
+/// Serve one already-decoded request individually (the per-request
+/// dispatch path, also the fallback when a coalesced batch fails).
+fn handle_one(job: &RoutedJob, stats: &ServerStats) -> Response {
+    let entry = &job.entry;
+    let req = &job.req;
+    let table = match rows_to_table(&req.rows) {
+        Ok(t) => t,
+        Err(e) => return endpoint_failure(entry, req.id, e.to_string()),
+    };
+    match entry.servable.predict_table(&table) {
+        Ok(scores) => {
+            let n = req.rows.len() as u64;
+            stats.max_batch_rows.fetch_max(n, Ordering::Relaxed);
+            entry.stats.max_batch_rows.fetch_max(n, Ordering::Relaxed);
+            Response {
+                id: req.id,
+                scores,
+                error: None,
+                endpoint: Some(entry.name.clone()),
+                version: Some(entry.version),
+            }
+        }
+        Err(e) => endpoint_failure(entry, req.id, e),
+    }
+}
+
+fn endpoint_failure(entry: &Endpoint, id: u64, message: String) -> Response {
+    Response {
+        id,
+        scores: Vec::new(),
+        error: Some(message),
+        endpoint: Some(entry.name.clone()),
+        version: Some(entry.version),
+    }
+}
+
+/// Serve a group of same-endpoint, same-schema requests as one merged
+/// model batch, scattering scores back per request; falls back to
+/// per-request dispatch when the merge or the batched prediction
+/// fails, so one bad request cannot poison its groupmates.
+fn serve_group(group: &[&RoutedJob], stats: &ServerStats) {
+    // A lone request gains nothing from the merge path; dispatch it
+    // directly so a failing prediction is not pointlessly retried.
+    if let [job] = group {
+        respond(job, &handle_one(job, stats));
+        return;
+    }
+    let entry = &group[0].entry;
+    let merged: Vec<&WireRow> = group.iter().flat_map(|j| j.req.rows.iter()).collect();
+    let total = merged.len();
+    let batched = rows_to_table_refs(&merged)
+        .map_err(|e| e.to_string())
+        .and_then(|table| entry.servable.predict_table(&table))
+        .ok()
+        .filter(|scores| scores.len() == total);
+    match batched {
+        Some(scores) => {
+            stats
+                .max_batch_rows
+                .fetch_max(total as u64, Ordering::Relaxed);
+            entry
+                .stats
+                .max_batch_rows
+                .fetch_max(total as u64, Ordering::Relaxed);
+            // The early single-request return above guarantees this
+            // batch merged >= 2 requests, so all its rows count as
+            // coalesced.
+            stats
+                .coalesced_rows
+                .fetch_add(total as u64, Ordering::Relaxed);
+            entry
+                .stats
+                .coalesced_rows
+                .fetch_add(total as u64, Ordering::Relaxed);
+            let mut offset = 0;
+            for job in group {
+                let n = job.req.rows.len();
+                respond(
+                    job,
+                    &Response {
+                        id: job.req.id,
+                        scores: scores[offset..offset + n].to_vec(),
+                        error: None,
+                        endpoint: Some(entry.name.clone()),
+                        version: Some(entry.version),
+                    },
+                );
+                offset += n;
+            }
+        }
+        None => {
+            for job in group {
+                respond(job, &handle_one(job, stats));
+            }
+        }
+    }
+}
+
+/// One worker iteration over a drained batch of routed jobs: group by
+/// (endpoint, schema), serve each group coalesced (or per-request when
+/// coalescing is off).
+fn process_batch(jobs: &[RoutedJob], stats: &ServerStats, coalesce: bool) {
+    if !coalesce {
+        for job in jobs {
+            respond(job, &handle_one(job, stats));
+        }
+        return;
+    }
+    // Group by endpoint identity + schema, preserving arrival order
+    // within each group.
+    type GroupKey<'a> = (*const Endpoint, SchemaKey<'a>);
+    let mut groups: Vec<(GroupKey<'_>, Vec<&RoutedJob>)> = Vec::new();
+    for job in jobs {
+        let key: GroupKey<'_> = (Arc::as_ptr(&job.entry), request_schema(&job.req));
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+    for (_, members) in &groups {
+        serve_group(members, stats);
+    }
+}
+
+fn worker_loop(shared: &Shared, wi: usize, rx: &Receiver<Job>) {
+    let max_batch = shared.config.max_batch_requests.max(1);
+    loop {
+        let first = match rx.recv() {
+            Ok(Job::Request(job)) => job,
+            // The sentinel (or a fully-dropped channel) ends this
+            // worker; each worker's queue carries exactly one.
+            Ok(Job::Shutdown) | Err(_) => return,
+        };
+        // Adaptive batching: drain whatever else is queued, stopping
+        // at the shutdown sentinel (FIFO guarantees every admitted
+        // request precedes it).
+        let mut jobs = vec![first];
+        let mut shutting_down = false;
+        while jobs.len() < max_batch {
+            match rx.try_recv() {
+                Ok(Job::Request(job)) => jobs.push(job),
+                Ok(Job::Shutdown) => {
+                    shutting_down = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared.stats.worker_batches[wi].fetch_add(1, Ordering::Relaxed);
+        process_batch(&jobs, &shared.stats, shared.config.coalesce);
+        if shutting_down {
+            return;
+        }
+    }
+}
+
+// ---- builder -------------------------------------------------------
+
+struct EndpointSpec {
+    name: String,
+    version: u32,
+    servable: Arc<dyn Servable>,
+    counters: Option<Arc<PlanCounters>>,
+    shards: usize,
+    weight: f64,
+    shadow: bool,
+}
+
+/// Builder for a [`ServingRuntime`]: register named, versioned,
+/// sharded endpoints, then [`build`](RuntimeBuilder::build).
+#[must_use]
+pub struct RuntimeBuilder {
+    config: ServerConfig,
+    scheduler: SchedulerPolicy,
+    rebalance_every: u64,
+    endpoints: Vec<EndpointSpec>,
+    default_endpoint: Option<String>,
+    version_policies: Vec<(String, SelectionPolicy, u64)>,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder {
+            config: ServerConfig::default(),
+            scheduler: SchedulerPolicy::Static,
+            rebalance_every: 256,
+            endpoints: Vec::new(),
+            default_endpoint: None,
+            version_policies: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("config", &self.config)
+            .field("scheduler", &self.scheduler)
+            .field("endpoints", &self.endpoints.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeBuilder {
+    /// A fresh builder with default configuration.
+    pub fn new() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Set the worker-pool / batching configuration.
+    pub fn config(&mut self, config: ServerConfig) -> &mut RuntimeBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Set the shard -> worker scheduling policy (default
+    /// [`SchedulerPolicy::Static`]).
+    pub fn scheduler(&mut self, policy: SchedulerPolicy) -> &mut RuntimeBuilder {
+        self.scheduler = policy;
+        self
+    }
+
+    /// Under [`SchedulerPolicy::EscalationAware`], re-read plan
+    /// statistics and rebalance assignments every `every` admitted
+    /// requests (0 disables automatic rebalancing; default 256).
+    /// [`ServingRuntime::rebalance`] always works manually.
+    pub fn rebalance_every(&mut self, every: u64) -> &mut RuntimeBuilder {
+        self.rebalance_every = every;
+        self
+    }
+
+    /// Route requests without an explicit endpoint to `name`
+    /// (default: the first registered endpoint).
+    pub fn default_endpoint(&mut self, name: &str) -> &mut RuntimeBuilder {
+        self.default_endpoint = Some(name.to_string());
+        self
+    }
+
+    /// Route unpinned traffic for endpoint `name` across its versions
+    /// with a [`ModelSelector`] bandit instead of the weighted split.
+    /// Read the selector back with [`ServingRuntime::version_selector`]
+    /// to feed rewards.
+    pub fn version_policy(
+        &mut self,
+        name: &str,
+        policy: SelectionPolicy,
+        seed: u64,
+    ) -> &mut RuntimeBuilder {
+        self.version_policies.push((name.to_string(), policy, seed));
+        self
+    }
+
+    /// Register an endpoint serving `servable` under `name`; chain
+    /// [`EndpointBuilder`] calls to set version, shards, and weight.
+    pub fn endpoint(&mut self, name: &str, servable: Arc<dyn Servable>) -> EndpointBuilder<'_> {
+        self.endpoints.push(EndpointSpec {
+            name: name.to_string(),
+            version: 1,
+            servable,
+            counters: None,
+            shards: 1,
+            weight: 1.0,
+            shadow: false,
+        });
+        EndpointBuilder {
+            spec: self.endpoints.last_mut().expect("just pushed"),
+        }
+    }
+
+    /// Register a [`willump::ServingPlan`] endpoint, automatically
+    /// attaching its [`PlanCounters`] so the escalation-aware
+    /// scheduler can read the plan's statistics.
+    pub fn plan(&mut self, name: &str, plan: willump::ServingPlan) -> EndpointBuilder<'_> {
+        let counters = plan.counters_handle();
+        self.endpoint(name, Arc::new(plan)).counters(counters)
+    }
+
+    /// Build and start the runtime.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::BadRequest`] when no endpoints are
+    /// registered, a (name, version) pair repeats, a weight is
+    /// invalid, a version policy names an unknown endpoint, or the
+    /// default endpoint does not exist.
+    pub fn build(self) -> Result<ServingRuntime, ServeError> {
+        let bad = |reason: String| ServeError::BadRequest { reason };
+        if self.endpoints.is_empty() {
+            return Err(bad("a serving runtime needs at least one endpoint".into()));
+        }
+        let n_workers = self.config.workers.max(1);
+
+        // Assemble groups in registration order.
+        let mut groups: Vec<Group> = Vec::new();
+        for spec in self.endpoints {
+            let weight_ok = spec.weight.is_finite() && spec.weight > 0.0;
+            if !weight_ok && !spec.shadow {
+                return Err(bad(format!(
+                    "endpoint `{}` v{} has non-positive weight {}",
+                    spec.name, spec.version, spec.weight
+                )));
+            }
+            let shards = spec.shards.max(1);
+            let entry = Arc::new(Endpoint {
+                name: spec.name.clone(),
+                version: spec.version,
+                servable: spec.servable,
+                counters: spec.counters,
+                shards,
+                weight: spec.weight,
+                shadow: spec.shadow,
+                assignment: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+                next_shard: AtomicUsize::new(0),
+                stats: EndpointStats::new(shards),
+            });
+            let group = match groups.iter_mut().find(|g| g.name == spec.name) {
+                Some(g) => g,
+                None => {
+                    groups.push(Group {
+                        name: spec.name.clone(),
+                        primaries: Vec::new(),
+                        shadows: Vec::new(),
+                        router: Router::Single,
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            if group
+                .primaries
+                .iter()
+                .chain(group.shadows.iter())
+                .any(|e| e.version == entry.version)
+            {
+                return Err(bad(format!(
+                    "endpoint `{}` v{} registered twice",
+                    entry.name, entry.version
+                )));
+            }
+            if entry.shadow {
+                group.shadows.push(entry);
+            } else {
+                group.primaries.push(entry);
+            }
+        }
+        for g in &groups {
+            if g.primaries.is_empty() {
+                return Err(bad(format!(
+                    "endpoint `{}` has only shadow versions",
+                    g.name
+                )));
+            }
+        }
+
+        // Version routers: explicit bandit policies first, weighted
+        // splits for any remaining multi-version group.
+        for (name, policy, seed) in self.version_policies {
+            let group = groups
+                .iter_mut()
+                .find(|g| g.name == name)
+                .ok_or_else(|| bad(format!("version policy for unknown endpoint `{name}`")))?;
+            let arms = group
+                .primaries
+                .iter()
+                .map(|e| {
+                    (
+                        format!("{}@v{}", e.name, e.version),
+                        Arc::clone(&e.servable),
+                    )
+                })
+                .collect();
+            group.router = Router::Bandit(Arc::new(ModelSelector::new(arms, policy, seed)?));
+        }
+        for g in &mut groups {
+            if g.primaries.len() > 1 && matches!(g.router, Router::Single) {
+                g.router = Router::Weighted(Mutex::new(Wrr {
+                    current: vec![0.0; g.primaries.len()],
+                }));
+            }
+        }
+
+        let default_group = match &self.default_endpoint {
+            None => 0,
+            Some(name) => groups
+                .iter()
+                .position(|g| g.name == *name)
+                .ok_or_else(|| bad(format!("default endpoint `{name}` is not registered")))?,
+        };
+
+        let mut senders = Vec::with_capacity(n_workers);
+        let mut receivers = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx) = bounded(self.config.queue_capacity.max(1));
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            groups,
+            default_group,
+            config: self.config,
+            scheduler: self.scheduler,
+            rebalance_every: self.rebalance_every,
+            admitted: AtomicU64::new(0),
+            gate: Mutex::new(GateState {
+                senders,
+                closed: false,
+            }),
+            stats: ServerStats::new(n_workers),
+            n_workers,
+        });
+        // Initial placement before any request can be admitted.
+        shared.rebalance();
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(wi, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, wi, &rx))
+            })
+            .collect();
+        Ok(ServingRuntime { shared, workers })
+    }
+}
+
+/// Chained per-endpoint configuration (returned by
+/// [`RuntimeBuilder::endpoint`] / [`RuntimeBuilder::plan`]).
+#[derive(Debug)]
+pub struct EndpointBuilder<'b> {
+    spec: &'b mut EndpointSpec,
+}
+
+impl std::fmt::Debug for EndpointSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EndpointSpec")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EndpointBuilder<'_> {
+    /// Set the endpoint version (default 1).
+    pub fn version(self, version: u32) -> Self {
+        self.spec.version = version;
+        self
+    }
+
+    /// Set the shard count (default 1; values below 1 are treated
+    /// as 1).
+    pub fn shards(self, shards: usize) -> Self {
+        self.spec.shards = shards;
+        self
+    }
+
+    /// Set the traffic weight among unpinned requests to this
+    /// endpoint name (default 1.0; must be finite and positive).
+    pub fn weight(self, weight: f64) -> Self {
+        self.spec.weight = weight;
+        self
+    }
+
+    /// Mark this version as a shadow: it receives a mirrored copy of
+    /// every request admitted to its endpoint name, and its responses
+    /// are discarded. Shadows serve no primary traffic and cannot be
+    /// pinned by [`crate::Request::version`].
+    pub fn shadow(self) -> Self {
+        self.spec.shadow = true;
+        self
+    }
+
+    /// Attach [`PlanCounters`] the escalation-aware scheduler should
+    /// read for this endpoint ([`RuntimeBuilder::plan`] does this
+    /// automatically).
+    pub fn counters(self, counters: Arc<PlanCounters>) -> Self {
+        self.spec.counters = Some(counters);
+        self
+    }
+}
+
+// ---- the runtime ---------------------------------------------------
+
+/// A multi-endpoint model serving runtime.
+///
+/// Requests cross a real serialization boundary (JSON in, JSON out),
+/// are routed by endpoint name, version, and shard key at admission,
+/// and are handled by [`ServerConfig::workers`] executor threads with
+/// adaptive, coalescing batching (per endpoint + schema).
+///
+/// # Shutdown semantics
+///
+/// [`shutdown`](ServingRuntime::shutdown) (idempotent, also invoked by
+/// `Drop`) closes the admission gate, enqueues one sentinel per
+/// worker, and joins the workers. Requests admitted before the gate
+/// closed are all answered; client calls issued afterwards return
+/// [`ServeError::Disconnected`]. Live clients never prevent the
+/// runtime from shutting down.
+pub struct ServingRuntime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServingRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingRuntime")
+            .field("endpoints", &self.endpoints())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingRuntime {
+    /// A fresh [`RuntimeBuilder`].
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// Global server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Number of executor threads.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The name unaddressed requests route to.
+    pub fn default_endpoint(&self) -> &str {
+        &self.shared.groups[self.shared.default_group].name
+    }
+
+    /// Every registered endpoint (primaries then shadows per group,
+    /// groups in registration order).
+    pub fn endpoints(&self) -> Vec<Arc<Endpoint>> {
+        self.shared
+            .groups
+            .iter()
+            .flat_map(|g| g.primaries.iter().chain(g.shadows.iter()))
+            .map(Arc::clone)
+            .collect()
+    }
+
+    /// Look up one primary endpoint by name and version.
+    pub fn endpoint(&self, name: &str, version: u32) -> Option<Arc<Endpoint>> {
+        self.shared
+            .groups
+            .iter()
+            .find(|g| g.name == name)?
+            .primaries
+            .iter()
+            .find(|e| e.version == version)
+            .map(Arc::clone)
+    }
+
+    /// The bandit selector routing unpinned traffic for `name`, when
+    /// a [`RuntimeBuilder::version_policy`] was installed. Arms are
+    /// the endpoint's primary versions in registration order; feed
+    /// rewards through [`ModelSelector::reward`].
+    pub fn version_selector(&self, name: &str) -> Option<Arc<ModelSelector>> {
+        let group = self.shared.groups.iter().find(|g| g.name == name)?;
+        match &group.router {
+            Router::Bandit(sel) => Some(Arc::clone(sel)),
+            _ => None,
+        }
+    }
+
+    /// Recompute every endpoint's shard -> worker assignment from the
+    /// scheduler policy and the plans' current [`PlanCounters`].
+    /// Under [`SchedulerPolicy::EscalationAware`] this also runs
+    /// automatically every [`RuntimeBuilder::rebalance_every`]
+    /// admitted requests.
+    pub fn rebalance(&self) {
+        self.shared.rebalance();
+    }
+
+    /// A client handle for this runtime.
+    pub fn client(&self) -> RuntimeClient {
+        RuntimeClient {
+            shared: Arc::clone(&self.shared),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Shut the runtime down: close the admission gate, signal every
+    /// worker, and join them. Idempotent; invoked automatically on
+    /// drop. Requests admitted before the call are still answered;
+    /// later client calls return [`ServeError::Disconnected`].
+    pub fn shutdown(&mut self) {
+        {
+            let mut gate = self.shared.gate.lock();
+            if !gate.closed {
+                gate.closed = true;
+                for sender in &gate.senders {
+                    // send only fails if the worker already exited, in
+                    // which case there is nobody left to signal.
+                    let _ = sender.send(Job::Shutdown);
+                }
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServingRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---- client --------------------------------------------------------
+
+/// A client for a [`ServingRuntime`].
+///
+/// Clients stay valid across runtime shutdown: once the runtime is
+/// shut down (or dropped), calls return [`ServeError::Disconnected`]
+/// instead of blocking.
+pub struct RuntimeClient {
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for RuntimeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeClient")
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeClient {
+    fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Predict through the runtime's default endpoint.
+    ///
+    /// # Errors
+    /// Returns [`ServeError`] on codec failures, a shut-down runtime,
+    /// or a predictor error.
+    pub fn predict(&self, rows: Vec<WireRow>) -> Result<Vec<f64>, ServeError> {
+        self.call(Request::new(self.next_id(), rows))
+            .and_then(Self::scores)
+    }
+
+    /// Predict through a named endpoint (version chosen by its
+    /// router).
+    ///
+    /// # Errors
+    /// Same conditions as [`predict`](RuntimeClient::predict), plus an
+    /// unknown endpoint name.
+    pub fn predict_endpoint(
+        &self,
+        endpoint: &str,
+        rows: Vec<WireRow>,
+    ) -> Result<Vec<f64>, ServeError> {
+        self.call(Request {
+            endpoint: Some(endpoint.to_string()),
+            ..Request::new(self.next_id(), rows)
+        })
+        .and_then(Self::scores)
+    }
+
+    /// Predict through a named endpoint with an explicit shard-routing
+    /// key: equal keys always land on the same shard.
+    ///
+    /// # Errors
+    /// Same conditions as
+    /// [`predict_endpoint`](RuntimeClient::predict_endpoint).
+    pub fn predict_keyed(
+        &self,
+        endpoint: &str,
+        key: &str,
+        rows: Vec<WireRow>,
+    ) -> Result<Vec<f64>, ServeError> {
+        self.call(Request {
+            endpoint: Some(endpoint.to_string()),
+            key: Some(key.to_string()),
+            ..Request::new(self.next_id(), rows)
+        })
+        .and_then(Self::scores)
+    }
+
+    /// Predict through one pinned version of a named endpoint,
+    /// bypassing the version router.
+    ///
+    /// # Errors
+    /// Same conditions as
+    /// [`predict_endpoint`](RuntimeClient::predict_endpoint), plus an
+    /// unknown version.
+    pub fn predict_version(
+        &self,
+        endpoint: &str,
+        version: u32,
+        rows: Vec<WireRow>,
+    ) -> Result<Vec<f64>, ServeError> {
+        self.call(Request {
+            endpoint: Some(endpoint.to_string()),
+            version: Some(version),
+            ..Request::new(self.next_id(), rows)
+        })
+        .and_then(Self::scores)
+    }
+
+    /// Send a fully-specified [`Request`] and return the decoded
+    /// [`Response`] (including the endpoint/version echo). The
+    /// request's `id` is used as given — assign nonzero ids.
+    ///
+    /// # Errors
+    /// Returns [`ServeError`] on codec failures or a shut-down
+    /// runtime. A predictor-side failure is *not* an `Err` here; it
+    /// arrives as [`Response::error`].
+    pub fn call(&self, req: Request) -> Result<Response, ServeError> {
+        let payload = encode_request(&req)?;
+        let wire = self.call_raw(payload)?;
+        decode_response(&wire)
+    }
+
+    /// Send a raw wire payload and return the raw wire response,
+    /// bypassing client-side encoding (useful for testing the
+    /// runtime's handling of malformed or legacy frames).
+    ///
+    /// Enqueues happen under a shared lock (the same one
+    /// [`ServingRuntime::shutdown`] takes), which is what makes the
+    /// close/send ordering airtight — but a *full* target queue
+    /// releases the lock between retries, so a saturated endpoint
+    /// delays only its own callers, not other endpoints' admissions.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Disconnected`] when the runtime has shut
+    /// down.
+    pub fn call_raw(&self, payload: String) -> Result<String, ServeError> {
+        match self.shared.admit(&payload)? {
+            Admitted::Immediate(wire) => Ok(wire),
+            Admitted::Pending(rx) => rx.recv().map_err(|_| ServeError::Disconnected),
+        }
+    }
+
+    fn scores(resp: Response) -> Result<Vec<f64>, ServeError> {
+        match resp.error {
+            Some(err) => Err(ServeError::Predictor(err)),
+            None => Ok(resp.scores),
+        }
+    }
+}
+
+/// Build a wire row from a table row (helper for clients and
+/// experiments).
+///
+/// # Errors
+/// Returns [`ServeError::BadRequest`] for out-of-range rows.
+pub fn table_row_to_wire(table: &Table, r: usize) -> Result<WireRow, ServeError> {
+    let values = table.row(r).map_err(|e| ServeError::BadRequest {
+        reason: e.to_string(),
+    })?;
+    Ok(table
+        .column_names()
+        .into_iter()
+        .map(str::to_string)
+        .zip(values)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_data::Value;
+
+    /// A trivial predictor: score = factor * x.
+    struct Scaler(f64);
+    impl Servable for Scaler {
+        fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+            let col = table
+                .column("x")
+                .ok_or_else(|| "missing x".to_string())?
+                .to_f64_vec()
+                .map_err(|e| e.to_string())?;
+            Ok(col.into_iter().map(|v| v * self.0).collect())
+        }
+    }
+
+    fn wire_rows(xs: &[f64]) -> Vec<WireRow> {
+        xs.iter()
+            .map(|&x| vec![("x".to_string(), Value::Float(x))])
+            .collect()
+    }
+
+    fn two_endpoint_runtime(workers: usize) -> ServingRuntime {
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(workers).build());
+        b.endpoint("double", Arc::new(Scaler(2.0))).shards(2);
+        b.endpoint("triple", Arc::new(Scaler(3.0))).shards(2);
+        b.build().expect("runtime builds")
+    }
+
+    #[test]
+    fn routes_by_endpoint_name() {
+        let rt = two_endpoint_runtime(2);
+        let client = rt.client();
+        assert_eq!(
+            client
+                .predict_endpoint("double", wire_rows(&[2.0]))
+                .unwrap(),
+            vec![4.0]
+        );
+        assert_eq!(
+            client
+                .predict_endpoint("triple", wire_rows(&[2.0]))
+                .unwrap(),
+            vec![6.0]
+        );
+        // Unaddressed requests go to the first registered endpoint.
+        assert_eq!(rt.default_endpoint(), "double");
+        assert_eq!(client.predict(wire_rows(&[5.0])).unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn unknown_endpoint_and_version_are_route_errors() {
+        let rt = two_endpoint_runtime(1);
+        let client = rt.client();
+        let err = client
+            .predict_endpoint("nonesuch", wire_rows(&[1.0]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Predictor(ref m) if m.contains("unknown endpoint")));
+        let err = client
+            .predict_version("double", 9, wire_rows(&[1.0]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Predictor(ref m) if m.contains("no version 9")));
+        assert_eq!(rt.stats().route_errors(), 2);
+        assert_eq!(rt.stats().requests(), 2);
+    }
+
+    #[test]
+    fn response_echoes_endpoint_and_version() {
+        let rt = two_endpoint_runtime(1);
+        let client = rt.client();
+        let resp = client
+            .call(Request {
+                endpoint: Some("triple".to_string()),
+                ..Request::new(41, wire_rows(&[1.0]))
+            })
+            .unwrap();
+        assert_eq!(resp.id, 41);
+        assert_eq!(resp.endpoint.as_deref(), Some("triple"));
+        assert_eq!(resp.version, Some(1));
+    }
+
+    #[test]
+    fn same_key_same_shard() {
+        for shards in [1usize, 2, 3, 8] {
+            let a = shard_for_key("user-42", shards);
+            for _ in 0..10 {
+                assert_eq!(shard_for_key("user-42", shards), a);
+                assert!(shard_for_key("user-42", shards) < shards.max(1));
+            }
+        }
+        // Different keys spread: over many keys, more than one shard
+        // is hit (probabilistic but astronomically safe).
+        let hit: std::collections::HashSet<usize> = (0..64)
+            .map(|i| shard_for_key(&format!("k{i}"), 8))
+            .collect();
+        assert!(hit.len() > 1);
+    }
+
+    #[test]
+    fn keyed_requests_stick_to_one_shard() {
+        let rt = two_endpoint_runtime(4);
+        let client = rt.client();
+        for i in 0..12 {
+            client
+                .predict_keyed("double", "session-7", wire_rows(&[i as f64]))
+                .unwrap();
+        }
+        let ep = rt.endpoint("double", 1).unwrap();
+        let per_shard = ep.stats().shard_requests();
+        assert_eq!(per_shard.iter().sum::<u64>(), 12);
+        assert_eq!(
+            per_shard.iter().filter(|&&c| c > 0).count(),
+            1,
+            "one key must land on exactly one shard: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_canary_split_is_proportional() {
+        let mut b = ServingRuntime::builder();
+        b.endpoint("m", Arc::new(Scaler(1.0))).weight(3.0);
+        b.endpoint("m", Arc::new(Scaler(10.0)))
+            .version(2)
+            .weight(1.0);
+        let rt = b.build().unwrap();
+        let client = rt.client();
+        for _ in 0..200 {
+            client.predict_endpoint("m", wire_rows(&[1.0])).unwrap();
+        }
+        let v1 = rt.endpoint("m", 1).unwrap().stats().requests();
+        let v2 = rt.endpoint("m", 2).unwrap().stats().requests();
+        assert_eq!(v1 + v2, 200);
+        assert_eq!(v1, 150, "smooth WRR is exactly proportional");
+        assert_eq!(v2, 50);
+        // Pinning bypasses the router.
+        assert_eq!(
+            client.predict_version("m", 2, wire_rows(&[2.0])).unwrap(),
+            vec![20.0]
+        );
+    }
+
+    #[test]
+    fn bandit_version_policy_routes_and_rewards() {
+        let mut b = ServingRuntime::builder();
+        b.endpoint("m", Arc::new(Scaler(0.0)));
+        b.endpoint("m", Arc::new(Scaler(1.0))).version(2);
+        b.version_policy("m", SelectionPolicy::EpsilonGreedy { epsilon: 0.1 }, 7);
+        let rt = b.build().unwrap();
+        let sel = rt.version_selector("m").expect("bandit installed");
+        let client = rt.client();
+        let mut late_v2 = 0;
+        for i in 0..300 {
+            let resp = client
+                .call(Request {
+                    endpoint: Some("m".to_string()),
+                    ..Request::new(i + 1, wire_rows(&[1.0]))
+                })
+                .unwrap();
+            let v = resp.version.unwrap();
+            let arm = (v - 1) as usize;
+            sel.reward(arm, if v == 2 { 0.9 } else { 0.1 });
+            if i >= 150 && v == 2 {
+                late_v2 += 1;
+            }
+        }
+        assert!(
+            late_v2 > 120,
+            "bandit should converge to the rewarded version, got {late_v2}/150"
+        );
+        assert_eq!(sel.arm_stats().iter().map(|a| a.pulls).sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn shadow_versions_mirror_traffic_without_serving() {
+        struct Failing;
+        impl Servable for Failing {
+            fn predict_table(&self, _t: &Table) -> Result<Vec<f64>, String> {
+                Err("shadow failure must stay invisible".to_string())
+            }
+        }
+        let mut b = ServingRuntime::builder();
+        b.endpoint("m", Arc::new(Scaler(2.0)));
+        b.endpoint("m", Arc::new(Failing)).version(2).shadow();
+        let rt = b.build().unwrap();
+        let client = rt.client();
+        for i in 0..10 {
+            // Shadow failures never affect the primary answer.
+            assert_eq!(
+                client
+                    .predict_endpoint("m", wire_rows(&[i as f64]))
+                    .unwrap(),
+                vec![2.0 * i as f64]
+            );
+        }
+        // Both endpoints saw the traffic; only the primary counted
+        // globally.
+        let eps = rt.endpoints();
+        let shadow = eps.iter().find(|e| e.is_shadow()).unwrap();
+        assert_eq!(shadow.stats().requests(), 10);
+        assert_eq!(rt.endpoint("m", 1).unwrap().stats().requests(), 10);
+        assert_eq!(rt.stats().requests(), 10);
+    }
+
+    #[test]
+    fn builder_rejects_bad_registrations() {
+        // No endpoints.
+        assert!(ServingRuntime::builder().build().is_err());
+        // Duplicate (name, version).
+        let mut b = ServingRuntime::builder();
+        b.endpoint("m", Arc::new(Scaler(1.0)));
+        b.endpoint("m", Arc::new(Scaler(2.0)));
+        assert!(b.build().is_err());
+        // Bad weight.
+        let mut b = ServingRuntime::builder();
+        b.endpoint("m", Arc::new(Scaler(1.0))).weight(0.0);
+        assert!(b.build().is_err());
+        // Unknown default endpoint.
+        let mut b = ServingRuntime::builder();
+        b.endpoint("m", Arc::new(Scaler(1.0)));
+        b.default_endpoint("nope");
+        assert!(b.build().is_err());
+        // Version policy for unknown endpoint.
+        let mut b = ServingRuntime::builder();
+        b.endpoint("m", Arc::new(Scaler(1.0)));
+        b.version_policy("other", SelectionPolicy::Ucb1, 1);
+        assert!(b.build().is_err());
+        // Shadow-only group.
+        let mut b = ServingRuntime::builder();
+        b.endpoint("m", Arc::new(Scaler(1.0))).shadow();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn static_scheduler_spreads_shards_over_workers() {
+        let rt = two_endpoint_runtime(4);
+        let eps = rt.endpoints();
+        let all: Vec<usize> = eps.iter().flat_map(|e| e.assignment()).collect();
+        // 2 endpoints x 2 shards round-robin over 4 workers.
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unkeyed_requests_spread_round_robin() {
+        let rt = two_endpoint_runtime(4);
+        let client = rt.client();
+        for i in 0..8 {
+            // Identical content every time: a hot unkeyed request must
+            // still spread over the shards (old shared-queue behavior),
+            // not pile onto one worker.
+            let _ = i;
+            client
+                .predict_endpoint("double", wire_rows(&[7.0]))
+                .unwrap();
+        }
+        let per_shard = rt.endpoint("double", 1).unwrap().stats().shard_requests();
+        assert_eq!(per_shard, vec![4, 4]);
+    }
+
+    #[test]
+    fn shutdown_disconnects_clients() {
+        let mut rt = two_endpoint_runtime(2);
+        let client = rt.client();
+        assert!(client.predict(wire_rows(&[1.0])).is_ok());
+        rt.shutdown();
+        rt.shutdown();
+        let before = rt.stats().requests();
+        assert!(matches!(
+            client.predict(wire_rows(&[1.0])),
+            Err(ServeError::Disconnected)
+        ));
+        // Rejected post-shutdown calls leave no trace in the stats.
+        assert_eq!(rt.stats().requests(), before);
+    }
+}

@@ -241,6 +241,21 @@ impl ModelSelector {
         }
     }
 
+    /// Pick an arm *and record the pull*, without serving through the
+    /// selector. For callers that dispatch the prediction themselves —
+    /// the multi-endpoint [`crate::ServingRuntime`] uses this as its
+    /// canary router between endpoint versions: the selector's arms
+    /// are the versions, `select_pull` picks which version serves the
+    /// next unpinned request, and accuracy feedback flows back through
+    /// [`reward`](ModelSelector::reward) once ground truth arrives.
+    pub fn select_pull(&self) -> usize {
+        let arm = self.select();
+        let mut st = self.state.lock();
+        st.arms[arm].pulls += 1;
+        st.total_pulls += 1;
+        arm
+    }
+
     /// Serve a batch through the policy-chosen model; returns the
     /// scores and the arm that served them (pass it to [`reward`]).
     ///

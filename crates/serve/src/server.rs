@@ -1,33 +1,30 @@
-//! The Clipper-like server: a shared queue, a pool of worker threads,
-//! coalesced adaptive batching, and a JSON serialization boundary.
+//! The single-predictor Clipper-like serving surface, now a thin shim
+//! over the multi-endpoint [`ServingRuntime`].
 //!
-//! Each worker drains the queue up to [`ServerConfig::max_batch_requests`]
-//! envelopes per iteration and — when [`ServerConfig::coalesce`] is on —
-//! **merges** the rows of all same-schema requests into a single
-//! [`Table`], runs one model-level `predict_table` call, and scatters
-//! the scores back to each request's reply channel. Coalescing
-//! amortizes per-call fixed overheads across concurrent requests, the
-//! effect paper Table 6 measures via batch size.
+//! [`ClipperServer::start`] registers its one predictor as the
+//! runtime's [`DEFAULT_ENDPOINT`] (sharded across the worker pool)
+//! and [`ClipperClient`] sends unaddressed requests, which the
+//! runtime routes to that default endpoint — the API, wire protocol
+//! (including legacy frames without endpoint fields), stats, and
+//! shutdown semantics of every legacy caller keep working. One
+//! behavioral difference from the old shared-queue server: requests
+//! are now pinned to a worker queue at admission (unkeyed traffic
+//! round-robins), so under strongly heterogeneous request costs a
+//! queued request no longer migrates to whichever worker frees up
+//! first. New code should use [`ServingRuntime::builder`] directly:
+//! it serves many named, versioned, sharded endpoints behind one
+//! worker pool and one client.
 //!
-//! Shutdown is explicit: [`ClipperServer::shutdown`] (also run on
-//! drop) closes an admission gate and hands each worker a sentinel, so
-//! the server winds down cleanly even while [`ClipperClient`] handles
-//! are still alive — clients observe [`ServeError::Disconnected`]
-//! afterwards instead of deadlocking the drop.
+//! This module also defines the [`Servable`] trait (the serving-side
+//! predictor abstraction) and [`ServerConfig`] (the worker-pool and
+//! batching knobs, shared by the shim and the runtime).
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use willump_data::{Column, DataType, Table};
+use willump_data::Table;
 
-use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, error_wire, Request,
-    Response, WireRow, ERROR_RESPONSE_ID,
-};
-use crate::ServeError;
+use crate::runtime::{ServerStats, ServingRuntime};
+use crate::{RuntimeClient, ServeError, WireRow, DEFAULT_ENDPOINT};
 
 /// Anything that can serve batch predictions for raw-input tables.
 ///
@@ -57,30 +54,37 @@ impl Servable for willump::OptimizedPipeline {
 /// Any [`willump::ServingPlan`] is servable, so every lowered
 /// optimization — and any *composition* of them (cascade + end-to-end
 /// cache + top-K filter in one plan) — runs behind the multi-worker
-/// coalescing server as a single predictor.
+/// coalescing runtime as a single endpoint.
 impl Servable for willump::ServingPlan {
     fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
         self.predict_batch(table).map_err(|e| e.to_string())
     }
 }
 
-/// Server configuration.
+/// Server configuration: worker-pool and batching knobs shared by
+/// [`ServingRuntime`] and the [`ClipperServer`] shim.
+///
+/// Construct with [`ServerConfig::builder`] (the struct is
+/// `#[non_exhaustive]`, so future fields — scheduler knobs, shard
+/// defaults — are non-breaking) or start from
+/// [`ServerConfig::default`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Maximum requests coalesced into one worker iteration (adaptive
     /// batching: the queue is drained up to this bound without
     /// waiting). Values below 1 are treated as 1.
     pub max_batch_requests: usize,
-    /// Queue capacity before senders block.
+    /// Per-worker queue capacity before senders block.
     pub queue_capacity: usize,
-    /// Number of executor threads pulling from the shared queue.
+    /// Number of executor threads pulling from the worker queues.
     /// Values below 1 are treated as 1.
     pub workers: usize,
-    /// Merge same-schema requests drained in one iteration into a
-    /// single model-level batch (one `predict_table` call), scattering
-    /// scores back per request. When off, every request is dispatched
-    /// individually (the pre-coalescing behavior, kept for A/B
-    /// benchmarking).
+    /// Merge same-endpoint, same-schema requests drained in one
+    /// iteration into a single model-level batch (one `predict_table`
+    /// call), scattering scores back per request. When off, every
+    /// request is dispatched individually (the pre-coalescing
+    /// behavior, kept for A/B benchmarking).
     pub coalesce: bool,
 }
 
@@ -95,421 +99,121 @@ impl Default for ServerConfig {
     }
 }
 
-/// Server-side counters.
-#[derive(Debug)]
-pub struct ServerStats {
-    requests: AtomicU64,
-    rows: AtomicU64,
-    batches: AtomicU64,
-    decode_errors: AtomicU64,
-    coalesced_rows: AtomicU64,
-    max_batch_rows: AtomicU64,
-    worker_batches: Vec<AtomicU64>,
-}
-
-impl ServerStats {
-    fn new(workers: usize) -> ServerStats {
-        ServerStats {
-            requests: AtomicU64::new(0),
-            rows: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            decode_errors: AtomicU64::new(0),
-            coalesced_rows: AtomicU64::new(0),
-            max_batch_rows: AtomicU64::new(0),
-            worker_batches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+impl ServerConfig {
+    /// A builder starting from [`ServerConfig::default`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
         }
     }
+}
 
-    /// Requests received, including ones that failed to decode.
-    pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+/// Builder for [`ServerConfig`] (see [`ServerConfig::builder`]).
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Set [`ServerConfig::max_batch_requests`].
+    pub fn max_batch_requests(mut self, n: usize) -> Self {
+        self.config.max_batch_requests = n;
+        self
     }
 
-    /// Total input rows across successfully decoded requests.
-    pub fn rows(&self) -> u64 {
-        self.rows.load(Ordering::Relaxed)
+    /// Set [`ServerConfig::queue_capacity`].
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n;
+        self
     }
 
-    /// Worker iterations (each handling >= 1 coalesced requests).
-    pub fn batches(&self) -> u64 {
-        self.batches.load(Ordering::Relaxed)
+    /// Set [`ServerConfig::workers`].
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
     }
 
-    /// Requests whose payload failed [`decode_request`]; these are
-    /// counted in [`requests`](ServerStats::requests) too and are
-    /// answered with [`ERROR_RESPONSE_ID`].
-    pub fn decode_errors(&self) -> u64 {
-        self.decode_errors.load(Ordering::Relaxed)
+    /// Set [`ServerConfig::coalesce`].
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.config.coalesce = on;
+        self
     }
 
-    /// Rows served through merged model batches spanning more than
-    /// one request (0 until concurrency actually coalesces).
-    pub fn coalesced_rows(&self) -> u64 {
-        self.coalesced_rows.load(Ordering::Relaxed)
-    }
-
-    /// Largest number of rows handed to a single successful
-    /// `predict_table` call.
-    pub fn max_batch_rows(&self) -> u64 {
-        self.max_batch_rows.load(Ordering::Relaxed)
-    }
-
-    /// Worker-iteration counts, one entry per worker thread.
-    pub fn worker_batches(&self) -> Vec<u64> {
-        self.worker_batches
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect()
+    /// Finish the configuration.
+    #[must_use]
+    pub fn build(self) -> ServerConfig {
+        self.config
     }
 }
 
-struct WireEnvelope {
-    payload: String,
-    reply: Sender<String>,
-}
-
-enum Job {
-    Request(WireEnvelope),
-    Shutdown,
-}
-
-/// The admission gate shared by the server and every client: sends
-/// happen under the lock, so once `closed` flips no message can slip
-/// into the queue after the shutdown sentinels (FIFO order then
-/// guarantees every admitted request is answered before the workers
-/// exit).
-#[derive(Debug)]
-struct Gate {
-    sender: Sender<Job>,
-    closed: bool,
-}
-
-/// An in-process Clipper-like model server.
+/// An in-process Clipper-like model server over a single anonymous
+/// predictor — the legacy surface, kept as a shim over
+/// [`ServingRuntime`].
 ///
-/// Requests cross a real serialization boundary (JSON in, JSON out)
-/// and are handled by [`ServerConfig::workers`] executor threads that
-/// drain the shared queue with adaptive, coalescing batching.
-///
-/// # Shutdown semantics
-///
-/// [`shutdown`](ClipperServer::shutdown) (idempotent, also invoked by
-/// `Drop`) closes the admission gate, enqueues one sentinel per
-/// worker, and joins the workers. Requests admitted before the gate
-/// closed are all answered; [`ClipperClient::predict`] calls issued
-/// afterwards return [`ServeError::Disconnected`]. Live clients never
-/// prevent the server from shutting down.
+/// Deprecated in spirit (new code should build a runtime with named
+/// endpoints); kept green because the paper experiments and the
+/// original examples speak this API. Identical semantics: JSON
+/// serialization boundary, [`ServerConfig::workers`] executors,
+/// coalescing, explicit deadlock-free shutdown.
 pub struct ClipperServer {
-    gate: Arc<Mutex<Gate>>,
-    stats: Arc<ServerStats>,
-    workers: Vec<JoinHandle<()>>,
+    runtime: ServingRuntime,
 }
 
 impl std::fmt::Debug for ClipperServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClipperServer")
-            .field("stats", &self.stats)
-            .field("workers", &self.workers.len())
+            .field("runtime", &self.runtime)
             .finish_non_exhaustive()
     }
 }
 
-/// Build a table from wire rows; all rows must share the first row's
-/// schema.
-fn rows_to_table(rows: &[WireRow]) -> Result<Table, ServeError> {
-    rows_to_table_refs(&rows.iter().collect::<Vec<_>>())
-}
-
-/// Like [`rows_to_table`] but over borrowed rows, so coalesced batches
-/// can merge rows from several requests without cloning them.
-fn rows_to_table_refs(rows: &[&WireRow]) -> Result<Table, ServeError> {
-    let Some(first) = rows.first() else {
-        return Ok(Table::new());
-    };
-    let mut table = Table::new();
-    for (name, proto) in first.iter() {
-        let dt = proto.data_type();
-        let mut col = Column::empty(dt).ok_or_else(|| ServeError::BadRequest {
-            reason: format!("column `{name}` has null prototype value"),
-        })?;
-        for row in rows {
-            let v = row
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, v)| v.clone())
-                .ok_or_else(|| ServeError::BadRequest {
-                    reason: format!("row missing column `{name}`"),
-                })?;
-            col.push(v).map_err(|e| ServeError::BadRequest {
-                reason: format!("column `{name}`: {e}"),
-            })?;
-        }
-        table
-            .add_column(name.clone(), col)
-            .map_err(|e| ServeError::BadRequest {
-                reason: e.to_string(),
-            })?;
-    }
-    Ok(table)
-}
-
-/// The (name, type) schema of a request, taken from its first row;
-/// requests merge into one model batch only when this matches exactly.
-type SchemaKey<'a> = Vec<(&'a str, DataType)>;
-
-fn request_schema(req: &Request) -> SchemaKey<'_> {
-    req.rows.first().map_or_else(Vec::new, |row| {
-        row.iter()
-            .map(|(n, v)| (n.as_str(), v.data_type()))
-            .collect()
-    })
-}
-
-/// Encode and send one response, falling back to the escaping
-/// last-resort encoder when the real one fails (e.g. NaN scores).
-fn respond(env: &WireEnvelope, resp: &Response) {
-    let wire = encode_response(resp)
-        .unwrap_or_else(|e| error_wire(resp.id, &format!("response encoding failed: {e}")));
-    let _ = env.reply.send(wire);
-}
-
-/// Serve one already-decoded request individually (the per-request
-/// dispatch path, also the fallback when a coalesced batch fails).
-fn handle_one(predictor: &dyn Servable, req: &Request, stats: &ServerStats) -> Response {
-    let table = match rows_to_table(&req.rows) {
-        Ok(t) => t,
-        Err(e) => {
-            return Response {
-                id: req.id,
-                scores: Vec::new(),
-                error: Some(e.to_string()),
-            }
-        }
-    };
-    match predictor.predict_table(&table) {
-        Ok(scores) => {
-            stats
-                .max_batch_rows
-                .fetch_max(req.rows.len() as u64, Ordering::Relaxed);
-            Response {
-                id: req.id,
-                scores,
-                error: None,
-            }
-        }
-        Err(e) => Response {
-            id: req.id,
-            scores: Vec::new(),
-            error: Some(e),
-        },
-    }
-}
-
-/// Serve a group of same-schema requests as one merged model batch,
-/// scattering scores back per request; falls back to per-request
-/// dispatch when the merge or the batched prediction fails, so one bad
-/// request cannot poison its groupmates.
-fn serve_group(predictor: &dyn Servable, group: &[&(WireEnvelope, Request)], stats: &ServerStats) {
-    // A lone request gains nothing from the merge path; dispatch it
-    // directly so a failing prediction is not pointlessly retried.
-    if let [(env, req)] = group {
-        respond(env, &handle_one(predictor, req, stats));
-        return;
-    }
-    let merged: Vec<&WireRow> = group.iter().flat_map(|(_, req)| req.rows.iter()).collect();
-    let total = merged.len();
-    let batched = rows_to_table_refs(&merged)
-        .map_err(|e| e.to_string())
-        .and_then(|table| predictor.predict_table(&table))
-        .ok()
-        .filter(|scores| scores.len() == total);
-    match batched {
-        Some(scores) => {
-            stats
-                .max_batch_rows
-                .fetch_max(total as u64, Ordering::Relaxed);
-            // The early single-request return above guarantees this
-            // batch merged >= 2 requests, so all its rows count as
-            // coalesced.
-            stats
-                .coalesced_rows
-                .fetch_add(total as u64, Ordering::Relaxed);
-            let mut offset = 0;
-            for (env, req) in group {
-                let n = req.rows.len();
-                respond(
-                    env,
-                    &Response {
-                        id: req.id,
-                        scores: scores[offset..offset + n].to_vec(),
-                        error: None,
-                    },
-                );
-                offset += n;
-            }
-        }
-        None => {
-            for (env, req) in group {
-                respond(env, &handle_one(predictor, req, stats));
-            }
-        }
-    }
-}
-
-/// One worker iteration over a drained batch of envelopes: decode,
-/// group by schema, serve each group coalesced (or per-request when
-/// coalescing is off).
-fn process_batch(
-    predictor: &dyn Servable,
-    envelopes: Vec<WireEnvelope>,
-    stats: &ServerStats,
-    coalesce: bool,
-) {
-    stats
-        .requests
-        .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
-    let mut decoded: Vec<(WireEnvelope, Request)> = Vec::with_capacity(envelopes.len());
-    for env in envelopes {
-        match decode_request(&env.payload) {
-            Ok(req) => {
-                stats
-                    .rows
-                    .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
-                decoded.push((env, req));
-            }
-            Err(e) => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                respond(
-                    &env,
-                    &Response {
-                        id: ERROR_RESPONSE_ID,
-                        scores: Vec::new(),
-                        error: Some(e.to_string()),
-                    },
-                );
-            }
-        }
-    }
-    if !coalesce {
-        for (env, req) in &decoded {
-            respond(env, &handle_one(predictor, req, stats));
-        }
-        return;
-    }
-    // Group by schema, preserving arrival order within each group.
-    let mut groups: Vec<(SchemaKey<'_>, Vec<&(WireEnvelope, Request)>)> = Vec::new();
-    for pair in &decoded {
-        let key = request_schema(&pair.1);
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, members)) => members.push(pair),
-            None => groups.push((key, vec![pair])),
-        }
-    }
-    for (_, members) in &groups {
-        serve_group(predictor, members, stats);
-    }
-}
-
 impl ClipperServer {
-    /// Start a server over the given predictor.
+    /// Start a server over the given predictor: a single-endpoint
+    /// [`ServingRuntime`] serving it as [`DEFAULT_ENDPOINT`], with
+    /// one shard per worker.
     pub fn start(predictor: Arc<dyn Servable>, config: ServerConfig) -> ClipperServer {
-        let n_workers = config.workers.max(1);
-        let max_batch = config.max_batch_requests.max(1);
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(config.queue_capacity.max(1));
-        let stats = Arc::new(ServerStats::new(n_workers));
-        let mut workers = Vec::with_capacity(n_workers);
-        for wi in 0..n_workers {
-            let rx = rx.clone();
-            let stats = stats.clone();
-            let predictor = predictor.clone();
-            workers.push(std::thread::spawn(move || {
-                loop {
-                    let first = match rx.recv() {
-                        Ok(Job::Request(env)) => env,
-                        // A sentinel (or a fully-dropped channel) ends
-                        // this worker; each sentinel is consumed by
-                        // exactly one worker.
-                        Ok(Job::Shutdown) | Err(_) => return,
-                    };
-                    // Adaptive batching: drain whatever else is queued,
-                    // stopping at a sentinel so sibling workers still
-                    // receive theirs.
-                    let mut envelopes = vec![first];
-                    let mut shutting_down = false;
-                    while envelopes.len() < max_batch {
-                        match rx.try_recv() {
-                            Ok(Job::Request(env)) => envelopes.push(env),
-                            Ok(Job::Shutdown) => {
-                                shutting_down = true;
-                                break;
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    stats.batches.fetch_add(1, Ordering::Relaxed);
-                    stats.worker_batches[wi].fetch_add(1, Ordering::Relaxed);
-                    process_batch(&*predictor, envelopes, &stats, config.coalesce);
-                    if shutting_down {
-                        return;
-                    }
-                }
-            }));
-        }
+        let workers = config.workers.max(1);
+        let mut builder = ServingRuntime::builder();
+        builder.config(config);
+        builder
+            .endpoint(DEFAULT_ENDPOINT, predictor)
+            .shards(workers);
         ClipperServer {
-            gate: Arc::new(Mutex::new(Gate {
-                sender: tx,
-                closed: false,
-            })),
-            stats,
-            workers,
+            runtime: builder
+                .build()
+                .expect("a single-endpoint runtime is always valid"),
         }
     }
 
     /// Server counters.
     pub fn stats(&self) -> &ServerStats {
-        &self.stats
+        self.runtime.stats()
     }
 
     /// Number of executor threads.
     pub fn n_workers(&self) -> usize {
-        self.workers.len()
+        self.runtime.n_workers()
+    }
+
+    /// The underlying multi-endpoint runtime (for callers migrating
+    /// incrementally to the endpoint API).
+    pub fn runtime(&self) -> &ServingRuntime {
+        &self.runtime
     }
 
     /// A client handle for this server.
     pub fn client(&self) -> ClipperClient {
         ClipperClient {
-            gate: self.gate.clone(),
-            next_id: AtomicU64::new(1),
+            inner: self.runtime.client(),
         }
     }
 
-    /// Shut the server down: close the admission gate, signal every
-    /// worker, and join them. Idempotent; invoked automatically on
-    /// drop. Requests admitted before the call are still answered;
-    /// later `predict` calls return [`ServeError::Disconnected`].
-    /// Takes the same admission lock clients enqueue under, so it may
-    /// briefly wait behind in-flight sends (workers keep draining, so
-    /// that wait is bounded by queue drain, not by client lifetime).
+    /// Shut the server down (see [`ServingRuntime::shutdown`]):
+    /// idempotent, also run on drop, answers everything admitted
+    /// before the gate closed, and never deadlocks on live clients.
     pub fn shutdown(&mut self) {
-        {
-            let mut gate = self.gate.lock();
-            if !gate.closed {
-                gate.closed = true;
-                for _ in 0..self.workers.len() {
-                    // send only fails if every worker already exited,
-                    // in which case there is nobody left to signal.
-                    let _ = gate.sender.send(Job::Shutdown);
-                }
-            }
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-impl Drop for ClipperServer {
-    fn drop(&mut self) {
-        self.shutdown();
+        self.runtime.shutdown();
     }
 }
 
@@ -520,84 +224,43 @@ impl Drop for ClipperServer {
 /// instead of blocking.
 #[derive(Debug)]
 pub struct ClipperClient {
-    gate: Arc<Mutex<Gate>>,
-    next_id: AtomicU64,
+    inner: RuntimeClient,
 }
 
 impl ClipperClient {
     /// Predict scores for a batch of raw-input rows through the
-    /// serving boundary (serialize request → queue → worker →
-    /// serialized response).
+    /// serving boundary (serialize request → route → queue → worker →
+    /// serialized response). Requests are unaddressed, so the runtime
+    /// routes them to the default endpoint.
     ///
     /// # Errors
     /// Returns [`ServeError`] on codec failures, a shut-down server,
     /// or a predictor error.
     pub fn predict(&self, rows: Vec<WireRow>) -> Result<Vec<f64>, ServeError> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let payload = encode_request(&Request { id, rows })?;
-        let wire = self.call_raw(payload)?;
-        let resp = decode_response(&wire)?;
-        if let Some(err) = resp.error {
-            return Err(ServeError::Predictor(err));
-        }
-        Ok(resp.scores)
+        self.inner.predict(rows)
     }
 
     /// Send a raw wire payload and return the raw wire response,
     /// bypassing client-side encoding (useful for testing the server's
-    /// handling of malformed frames).
-    ///
-    /// Admission happens under a shared lock (the same one
-    /// [`ClipperServer::shutdown`] takes), which is what makes the
-    /// close/send ordering airtight. The lock is held across the
-    /// enqueue, so when the queue is at
-    /// [`ServerConfig::queue_capacity`] a blocked sender briefly
-    /// stalls other clients' admissions too; size the queue for the
-    /// expected burst if that matters.
+    /// handling of malformed or legacy frames). See
+    /// [`RuntimeClient::call_raw`] for admission semantics.
     ///
     /// # Errors
     /// Returns [`ServeError::Disconnected`] when the server has shut
     /// down.
     pub fn call_raw(&self, payload: String) -> Result<String, ServeError> {
-        let (reply_tx, reply_rx) = bounded(1);
-        {
-            let gate = self.gate.lock();
-            if gate.closed {
-                return Err(ServeError::Disconnected);
-            }
-            gate.sender
-                .send(Job::Request(WireEnvelope {
-                    payload,
-                    reply: reply_tx,
-                }))
-                .map_err(|_| ServeError::Disconnected)?;
-        }
-        reply_rx.recv().map_err(|_| ServeError::Disconnected)
+        self.inner.call_raw(payload)
     }
-}
-
-/// Build a wire row from a table row (helper for clients and
-/// experiments).
-///
-/// # Errors
-/// Returns [`ServeError::BadRequest`] for out-of-range rows.
-pub fn table_row_to_wire(table: &Table, r: usize) -> Result<WireRow, ServeError> {
-    let values = table.row(r).map_err(|e| ServeError::BadRequest {
-        reason: e.to_string(),
-    })?;
-    Ok(table
-        .column_names()
-        .into_iter()
-        .map(str::to_string)
-        .zip(values)
-        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{decode_response, ERROR_RESPONSE_ID};
+    use crate::runtime::{rows_to_table, table_row_to_wire};
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Duration;
-    use willump_data::Value;
+    use willump_data::{Column, Value};
 
     /// A trivial predictor: score = 2 * x.
     struct Doubler;
@@ -626,6 +289,21 @@ mod tests {
         xs.iter()
             .map(|&x| vec![("x".to_string(), Value::Float(x))])
             .collect()
+    }
+
+    #[test]
+    fn config_builder_sets_every_field() {
+        let cfg = ServerConfig::builder()
+            .max_batch_requests(9)
+            .queue_capacity(77)
+            .workers(3)
+            .coalesce(false)
+            .build();
+        assert_eq!(cfg.max_batch_requests, 9);
+        assert_eq!(cfg.queue_capacity, 77);
+        assert_eq!(cfg.workers, 3);
+        assert!(!cfg.coalesce);
+        assert_eq!(ServerConfig::builder().build(), ServerConfig::default());
     }
 
     #[test]
@@ -663,10 +341,7 @@ mod tests {
     fn multi_worker_round_trip() {
         let server = ClipperServer::start(
             Arc::new(Doubler),
-            ServerConfig {
-                workers: 4,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder().workers(4).build(),
         );
         assert_eq!(server.n_workers(), 4);
         std::thread::scope(|s| {
@@ -684,6 +359,10 @@ mod tests {
         let per_worker = server.stats().worker_batches();
         assert_eq!(per_worker.len(), 4);
         assert_eq!(per_worker.iter().sum::<u64>(), server.stats().batches());
+        // The shim shards its default endpoint across the pool and
+        // unkeyed requests spread round-robin, so more than one
+        // worker serves.
+        assert!(per_worker.iter().filter(|&&b| b > 0).count() > 1);
     }
 
     #[test]
@@ -750,10 +429,7 @@ mod tests {
     fn shutdown_is_explicit_and_idempotent() {
         let mut server = ClipperServer::start(
             Arc::new(Doubler),
-            ServerConfig {
-                workers: 3,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder().workers(3).build(),
         );
         let client = server.client();
         assert!(client.predict(wire_rows(&[1.0])).is_ok());
@@ -777,6 +453,22 @@ mod tests {
         assert_eq!(server.stats().requests(), 1);
         assert_eq!(server.stats().decode_errors(), 1);
         assert_eq!(server.stats().rows(), 0);
+    }
+
+    #[test]
+    fn legacy_wire_frame_routes_to_default_endpoint() {
+        // A pre-runtime frame: no endpoint/version/key fields. The
+        // shim's default endpoint must still answer it.
+        let server = ClipperServer::start(Arc::new(Doubler), ServerConfig::default());
+        let client = server.client();
+        let wire = client
+            .call_raw(r#"{"id":1,"rows":[[["x",{"Float":4.0}]]]}"#.to_string())
+            .unwrap();
+        let resp = decode_response(&wire).expect("response decodes");
+        assert_eq!(resp.error, None);
+        assert_eq!(resp.scores, vec![8.0]);
+        assert_eq!(resp.endpoint.as_deref(), Some(DEFAULT_ENDPOINT));
+        assert_eq!(resp.version, Some(1));
     }
 
     #[test]

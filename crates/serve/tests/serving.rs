@@ -1,5 +1,7 @@
 //! Integration tests for the serving layer: wire-protocol round-trip
-//! properties and coalesced-vs-sequential serving equivalence.
+//! properties (including the multi-endpoint addressing fields),
+//! coalesced-vs-sequential serving equivalence, and the
+//! `ServingRuntime`'s routing, sharding, and scheduling behavior.
 
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -8,7 +10,7 @@ use std::time::Duration;
 use willump_data::{Table, Value};
 use willump_serve::{
     decode_request, decode_response, encode_request, encode_response, ClipperServer, Request,
-    Response, Servable, ServerConfig, WireRow,
+    Response, Servable, ServerConfig, ServingRuntime, WireRow,
 };
 
 /// Build a request whose rows exercise every wire-representable value
@@ -26,14 +28,15 @@ fn build_request(id: u64, cells: Vec<(String, f64, i64, bool)>) -> Request {
             ]
         })
         .collect();
-    Request { id, rows }
+    Request::new(id, rows)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Request wire round-trip is lossless for arbitrary strings,
-    /// finite floats, ints, and bools.
+    /// finite floats, ints, and bools — with or without the endpoint
+    /// addressing fields (endpoint name, version pin, routing key).
     #[test]
     fn request_wire_round_trip_is_lossless(
         id in 1u64..u64::MAX,
@@ -41,8 +44,14 @@ proptest! {
             (".{0,24}", -1e12f64..1e12, any::<i64>(), any::<bool>()),
             1..6,
         ),
+        endpoint in (any::<bool>(), ".{0,16}"),
+        version in (any::<bool>(), 0u32..u32::MAX),
+        key in (any::<bool>(), ".{0,16}"),
     ) {
-        let req = build_request(id, cells);
+        let mut req = build_request(id, cells);
+        req.endpoint = endpoint.0.then_some(endpoint.1);
+        req.version = version.0.then_some(version.1);
+        req.key = key.0.then_some(key.1);
         let wire = encode_request(&req).expect("encodable");
         let back = decode_request(&wire).expect("decodable");
         prop_assert_eq!(req, back);
@@ -50,22 +59,54 @@ proptest! {
 
     /// Response wire round-trip is lossless for arbitrary scores and
     /// error strings (including quotes/backslashes the seed's
-    /// hand-built fallback JSON used to mangle).
+    /// hand-built fallback JSON used to mangle), with or without the
+    /// endpoint/version echo.
     #[test]
     fn response_wire_round_trip_is_lossless(
         id in 0u64..u64::MAX,
         scores in prop::collection::vec(-1e12f64..1e12, 0..8),
-        error in ".{0,48}",
-        has_error in any::<bool>(),
+        error in (any::<bool>(), ".{0,48}"),
+        endpoint in (any::<bool>(), ".{0,16}"),
+        version in (any::<bool>(), 0u32..u32::MAX),
     ) {
         let resp = Response {
             id,
             scores,
-            error: if has_error { Some(error) } else { None },
+            error: error.0.then_some(error.1),
+            endpoint: endpoint.0.then_some(endpoint.1),
+            version: version.0.then_some(version.1),
         };
         let wire = encode_response(&resp).expect("encodable");
         let back = decode_response(&wire).expect("decodable");
         prop_assert_eq!(resp, back);
+    }
+
+    /// Every encoded addressed request, re-encoded after stripping the
+    /// addressing fields the way a legacy client would have sent it,
+    /// still decodes — and the stripped frame routes exactly like
+    /// `Request::new` (all addressing fields `None`).
+    #[test]
+    fn legacy_frames_always_decode(
+        id in 1u64..u64::MAX,
+        cells in prop::collection::vec(
+            (".{0,12}", -1e6f64..1e6, any::<i64>(), any::<bool>()),
+            1..4,
+        ),
+    ) {
+        let req = build_request(id, cells);
+        // The modern encoder emits endpoint/version/key (as null); a
+        // legacy frame omits the fields entirely. Rebuild the legacy
+        // wire form by dropping them textually.
+        let legacy = encode_request(&req)
+            .expect("encodable")
+            .replace(",\"endpoint\":null", "")
+            .replace(",\"version\":null", "")
+            .replace(",\"key\":null", "");
+        let back = decode_request(&legacy).expect("legacy frame decodes");
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(back.endpoint, None);
+        prop_assert_eq!(back.version, None);
+        prop_assert_eq!(back.key, None);
     }
 }
 
@@ -132,19 +173,17 @@ fn coalesced_batches_equal_sequential_serving() {
         })
         .collect();
 
-    // Concurrent: same requests, forced to pile up and coalesce.
+    // Concurrent: same requests, forced to pile up and coalesce. A
+    // single worker guarantees the pile-up lands on one queue.
     let server = ClipperServer::start(
         Arc::new(Slowed(AffineSummer, Duration::from_millis(400))),
-        ServerConfig {
-            workers: 2,
-            ..ServerConfig::default()
-        },
+        ServerConfig::default(),
     );
     let results: Vec<Vec<f64>> = std::thread::scope(|s| {
         let blocker = server.client();
         let warm = s.spawn(move || blocker.predict(vec![wire_row(0.0, 0.0)]));
         // Generous margin: the 12 clients only need to enqueue while
-        // the blocker holds a worker for 400ms.
+        // the blocker holds the worker for 400ms.
         std::thread::sleep(Duration::from_millis(100));
         let handles: Vec<_> = inputs
             .iter()
@@ -170,63 +209,336 @@ fn coalesced_batches_equal_sequential_serving() {
     );
 }
 
+/// Synthetic two-feature-generator workload shared by the plan-serving
+/// tests: FG0 carries the easy signal, FG1 is needed for hard rows.
+mod plan_fixture {
+    use std::sync::Arc;
+    use willump::ServingPlan;
+    use willump_data::{Column, Table};
+    use willump_graph::{EngineMode, Executor, GraphBuilder, Operator};
+    use willump_models::{LogisticParams, ModelSpec, TrainedModel};
+
+    pub fn executor() -> Executor {
+        let mut b = GraphBuilder::new();
+        let a = b.source("a");
+        let c = b.source("b");
+        let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
+        let f1 = b.add("f1", Operator::NumericColumn, [c]).unwrap();
+        let graph = Arc::new(b.finish_with_concat("cat", [f0, f1]).unwrap());
+        Executor::new(graph, EngineMode::Compiled).unwrap()
+    }
+
+    pub fn table(n: usize) -> (Table, Vec<f64>) {
+        let mut avals = Vec::new();
+        let mut bvals = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let y = (i % 2) as f64;
+            let jitter = i as f64 * 1e-4;
+            if i % 3 != 0 {
+                avals.push(if y > 0.5 { 3.0 + jitter } else { -3.0 - jitter });
+                bvals.push(jitter);
+            } else {
+                avals.push(jitter * 0.1);
+                bvals.push(if y > 0.5 { 2.0 + jitter } else { -2.0 - jitter });
+            }
+            labels.push(y);
+        }
+        let mut t = Table::new();
+        t.add_column("a", Column::from(avals)).unwrap();
+        t.add_column("b", Column::from(bvals)).unwrap();
+        (t, labels)
+    }
+
+    pub fn models(exec: &Executor, t: &Table, y: &[f64]) -> (Arc<TrainedModel>, Arc<TrainedModel>) {
+        let full_feats = exec.features_batch(t, None).unwrap();
+        let full = Arc::new(
+            ModelSpec::Logistic(LogisticParams::default())
+                .fit(&full_feats, y, 1)
+                .unwrap(),
+        );
+        let eff_feats = exec.features_batch(t, Some(&[0])).unwrap();
+        let small = Arc::new(
+            ModelSpec::Logistic(LogisticParams::default())
+                .fit(&eff_feats, y, 1)
+                .unwrap(),
+        );
+        (small, full)
+    }
+
+    /// A cascade plan with the given confidence threshold.
+    pub fn cascade(threshold: f64) -> (ServingPlan, Table) {
+        let exec = executor();
+        let (t, y) = table(120);
+        let (small, full) = models(&exec, &t, &y);
+        let plan = ServingPlan::cascade(exec, small, full, threshold, vec![0]).unwrap();
+        (plan, t)
+    }
+}
+
+/// THE acceptance test for the multi-endpoint redesign: one
+/// `ServingRuntime` serves a cascade plan and a top-K plan as two
+/// named endpoints with two shards each, behind one client — and for
+/// each, the legacy `ClipperServer` shim (wrapping a clone of the
+/// same plan) returns bit-identical predictions.
+#[test]
+fn runtime_serves_two_endpoints_identically_to_clipper_shims() {
+    use willump::{ServingPlan, TopKConfig};
+
+    let exec = plan_fixture::executor();
+    let (t, y) = plan_fixture::table(200);
+    let (small, full) = plan_fixture::models(&exec, &t, &y);
+
+    let cascade =
+        ServingPlan::cascade(exec.clone(), small.clone(), full.clone(), 0.9, vec![0]).unwrap();
+    let topk =
+        ServingPlan::top_k_filter(exec, small, full, 10, TopKConfig::default(), vec![0]).unwrap();
+
+    // One runtime, two named endpoints, two shards each.
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(2).build());
+    b.plan("cascade", cascade.clone()).shards(2);
+    b.plan("topk", topk.clone()).shards(2);
+    let runtime = b.build().expect("runtime builds");
+    assert_eq!(runtime.endpoints().len(), 2);
+    assert!(runtime.endpoints().iter().all(|e| e.shards() == 2));
+
+    // Legacy shims over clones of the same plans.
+    let shim_cascade = ClipperServer::start(Arc::new(cascade), ServerConfig::default());
+    let shim_topk = ClipperServer::start(Arc::new(topk), ServerConfig::default());
+
+    let client = runtime.client();
+    let rows: Vec<WireRow> = (0..t.n_rows())
+        .map(|r| willump_serve::table_row_to_wire(&t, r).unwrap())
+        .collect();
+
+    let rt_cascade = client
+        .predict_endpoint("cascade", rows.clone())
+        .expect("runtime cascade serves");
+    let rt_topk = client
+        .predict_endpoint("topk", rows.clone())
+        .expect("runtime topk serves");
+    let shim_cascade_scores = shim_cascade.client().predict(rows.clone()).unwrap();
+    let shim_topk_scores = shim_topk.client().predict(rows).unwrap();
+
+    assert_eq!(rt_cascade, shim_cascade_scores);
+    assert_eq!(rt_topk, shim_topk_scores);
+
+    // Both endpoints really served through the one runtime.
+    assert_eq!(runtime.stats().requests(), 2);
+    assert_eq!(
+        runtime.endpoint("cascade", 1).unwrap().stats().requests(),
+        1
+    );
+    assert_eq!(runtime.endpoint("topk", 1).unwrap().stats().requests(), 1);
+}
+
+/// The statistics-aware scheduler: an endpoint whose `PlanCounters`
+/// show heavy escalation is moved onto the dedicated worker tail,
+/// disjoint from the light endpoint's workers.
+#[test]
+fn escalation_heavy_endpoint_gets_dedicated_workers() {
+    use willump_serve::SchedulerPolicy;
+
+    // Threshold 1.0: the gate `max(s, 1-s) > 1` never fires, so every
+    // row escalates (rate 1.0). Threshold 0.0: every row resolves at
+    // the gate (rate 0.0).
+    let (heavy_plan, heavy_t) = plan_fixture::cascade(1.0);
+    let (light_plan, light_t) = plan_fixture::cascade(0.0);
+
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(4).build());
+    b.scheduler(SchedulerPolicy::EscalationAware {
+        threshold: 0.5,
+        dedicated_workers: 2,
+    });
+    b.rebalance_every(0); // manual rebalance only, for determinism
+    b.plan("heavy", heavy_plan.clone()).shards(2);
+    b.plan("light", light_plan.clone()).shards(2);
+    let runtime = b.build().unwrap();
+
+    // Before any statistics: nobody is heavy, shards spread over the
+    // whole pool.
+    let initial: Vec<usize> = runtime
+        .endpoints()
+        .iter()
+        .flat_map(|e| e.assignment())
+        .collect();
+    assert_eq!(initial, vec![0, 1, 2, 3]);
+
+    // Drive traffic so the shared counters fill (plan clones share
+    // their `PlanCounters`, so running the local clones is equivalent
+    // to serving through the runtime).
+    heavy_plan.predict_batch(&heavy_t).unwrap();
+    light_plan.predict_batch(&light_t).unwrap();
+    let heavy_ep = runtime.endpoint("heavy", 1).unwrap();
+    let light_ep = runtime.endpoint("light", 1).unwrap();
+    assert!(heavy_ep.escalation_rate() > 0.99, "all rows escalate");
+    assert!(light_ep.escalation_rate() < 0.01, "no rows escalate");
+
+    runtime.rebalance();
+
+    // Heavy shards now live on the dedicated tail {2, 3}; light
+    // shards on the shared head {0, 1}; the sets are disjoint.
+    let heavy_workers = heavy_ep.assignment();
+    let light_workers = light_ep.assignment();
+    assert!(
+        heavy_workers.iter().all(|&w| w >= 2),
+        "heavy endpoint must use the dedicated tail, got {heavy_workers:?}"
+    );
+    assert!(
+        light_workers.iter().all(|&w| w < 2),
+        "light endpoint must stay on the shared head, got {light_workers:?}"
+    );
+
+    // Serving still works after the rebalance, on both endpoints.
+    let client = runtime.client();
+    let rows: Vec<WireRow> = (0..4)
+        .map(|r| willump_serve::table_row_to_wire(&heavy_t, r).unwrap())
+        .collect();
+    assert_eq!(
+        client
+            .predict_endpoint("heavy", rows.clone())
+            .unwrap()
+            .len(),
+        4
+    );
+    assert_eq!(client.predict_endpoint("light", rows).unwrap().len(), 4);
+}
+
+/// Per-endpoint counters must sum to the global counters under
+/// concurrent clients hitting different endpoints.
+#[test]
+fn endpoint_stats_sum_to_global_stats_under_concurrency() {
+    struct Scale(f64);
+    impl Servable for Scale {
+        fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+            let xs = table
+                .column("x")
+                .ok_or("missing x")?
+                .to_f64_vec()
+                .map_err(|e| e.to_string())?;
+            Ok(xs.into_iter().map(|x| x * self.0).collect())
+        }
+    }
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(3).build());
+    b.endpoint("double", Arc::new(Scale(2.0))).shards(3);
+    b.endpoint("triple", Arc::new(Scale(3.0))).shards(2);
+    let runtime = b.build().unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..6 {
+            let client = runtime.client();
+            s.spawn(move || {
+                let (name, factor) = if t % 2 == 0 {
+                    ("double", 2.0)
+                } else {
+                    ("triple", 3.0)
+                };
+                for i in 0..20 {
+                    let x = (t * 20 + i) as f64;
+                    let rows = vec![vec![("x".to_string(), Value::Float(x))]];
+                    let scores = client
+                        .predict_keyed(name, &format!("k{t}-{i}"), rows)
+                        .unwrap();
+                    assert_eq!(scores, vec![factor * x]);
+                }
+            });
+        }
+    });
+
+    let global = runtime.stats();
+    assert_eq!(global.requests(), 120);
+    assert_eq!(global.rows(), 120);
+    let per_endpoint: Vec<_> = runtime.endpoints();
+    let req_sum: u64 = per_endpoint.iter().map(|e| e.stats().requests()).sum();
+    let row_sum: u64 = per_endpoint.iter().map(|e| e.stats().rows()).sum();
+    assert_eq!(req_sum, global.requests());
+    assert_eq!(row_sum, global.rows());
+    // Shard counters sum to their endpoint's request counter.
+    for e in &per_endpoint {
+        assert_eq!(
+            e.stats().shard_requests().iter().sum::<u64>(),
+            e.stats().requests(),
+            "endpoint {}",
+            e.name()
+        );
+    }
+    // Worker iteration counters stay consistent too.
+    assert_eq!(
+        global.worker_batches().iter().sum::<u64>(),
+        global.batches()
+    );
+}
+
+/// Same routing key, same shard — across many concurrent requests —
+/// while distinct keys spread over multiple shards.
+#[test]
+fn shard_routing_is_sticky_per_key() {
+    struct Echo;
+    impl Servable for Echo {
+        fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+            Ok(vec![1.0; table.n_rows()])
+        }
+    }
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(4).build());
+    b.endpoint("e", Arc::new(Echo)).shards(4);
+    let runtime = b.build().unwrap();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let client = runtime.client();
+            s.spawn(move || {
+                for i in 0..10 {
+                    let rows = vec![vec![("x".to_string(), Value::Float(i as f64))]];
+                    client.predict_keyed("e", "sticky-key", rows).unwrap();
+                }
+            });
+        }
+    });
+    let ep = runtime.endpoint("e", 1).unwrap();
+    let per_shard = ep.stats().shard_requests();
+    assert_eq!(per_shard.iter().sum::<u64>(), 40);
+    assert_eq!(
+        per_shard.iter().filter(|&&c| c > 0).count(),
+        1,
+        "one key must stick to one shard: {per_shard:?}"
+    );
+
+    // Distinct keys spread: 64 keys over 4 shards hit more than one.
+    let client = runtime.client();
+    for i in 0..64 {
+        let rows = vec![vec![("x".to_string(), Value::Float(i as f64))]];
+        client
+            .predict_keyed("e", &format!("key-{i}"), rows)
+            .unwrap();
+    }
+    let per_shard = ep.stats().shard_requests();
+    assert!(
+        per_shard.iter().filter(|&&c| c > 0).count() > 1,
+        "distinct keys should spread: {per_shard:?}"
+    );
+}
+
 /// A composed serving plan — cascade confidence gate + end-to-end
-/// cache + top-K filter in ONE plan — served through the Clipper-like
-/// server as a single `Servable`. This is the composition the
-/// pre-plan wrapper structs could not express: scores round-trip the
-/// JSON boundary, repeats hit the shared cache, and the batch answer
+/// cache + top-K filter in ONE plan — served through the legacy shim
+/// as a single `Servable`. This is the composition the pre-plan
+/// wrapper structs could not express: scores round-trip the JSON
+/// boundary, repeats hit the shared cache, and the batch answer
 /// matches a direct local run bit-for-bit.
 #[test]
 fn composed_plan_serves_through_clipper_server() {
     use willump::{ServingPlan, TopKConfig};
-    use willump_data::Column;
-    use willump_graph::{EngineMode, Executor, GraphBuilder, Operator};
-    use willump_models::{LogisticParams, ModelSpec};
     use willump_serve::table_row_to_wire;
 
-    // Two numeric feature generators; FG0 carries the easy signal.
-    let mut b = GraphBuilder::new();
-    let a = b.source("a");
-    let c = b.source("b");
-    let f0 = b.add("f0", Operator::NumericColumn, [a]).unwrap();
-    let f1 = b.add("f1", Operator::NumericColumn, [c]).unwrap();
-    let graph = Arc::new(b.finish_with_concat("cat", [f0, f1]).unwrap());
-    let exec = Executor::new(graph, EngineMode::Compiled).unwrap();
-
+    let exec = plan_fixture::executor();
     // Every row gets a unique (a, b) pair, so the end-to-end cache
     // keys are one-per-row (duplicate keys would be legitimate but
     // make per-row repeat expectations ambiguous).
-    let mut avals = Vec::new();
-    let mut bvals = Vec::new();
-    let mut labels = Vec::new();
-    for i in 0..200 {
-        let y = (i % 2) as f64;
-        let jitter = i as f64 * 1e-4;
-        if i % 3 != 0 {
-            avals.push(if y > 0.5 { 3.0 + jitter } else { -3.0 - jitter });
-            bvals.push(jitter);
-        } else {
-            avals.push(jitter * 0.1);
-            bvals.push(if y > 0.5 { 2.0 + jitter } else { -2.0 - jitter });
-        }
-        labels.push(y);
-    }
-    let mut t = Table::new();
-    t.add_column("a", Column::from(avals)).unwrap();
-    t.add_column("b", Column::from(bvals)).unwrap();
-
-    let full_feats = exec.features_batch(&t, None).unwrap();
-    let full = Arc::new(
-        ModelSpec::Logistic(LogisticParams::default())
-            .fit(&full_feats, &labels, 1)
-            .unwrap(),
-    );
-    let eff_feats = exec.features_batch(&t, Some(&[0])).unwrap();
-    let small = Arc::new(
-        ModelSpec::Logistic(LogisticParams::default())
-            .fit(&eff_feats, &labels, 1)
-            .unwrap(),
-    );
+    let (t, y) = plan_fixture::table(200);
+    let (small, full) = plan_fixture::models(&exec, &t, &y);
 
     // Cascade + e2e cache + top-K: one composed plan.
     let plan = ServingPlan::top_k_filter(exec, small, full, 10, TopKConfig::default(), vec![0])
@@ -245,10 +557,7 @@ fn composed_plan_serves_through_clipper_server() {
     let served_plan = plan.clone();
     let server = ClipperServer::start(
         Arc::new(served_plan),
-        ServerConfig {
-            workers: 2,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder().workers(2).build(),
     );
     let client = server.client();
     let rows: Vec<WireRow> = (0..t.n_rows())
@@ -349,10 +658,7 @@ fn model_selector_routes_across_plans() {
 fn shutdown_under_load_answers_admitted_requests() {
     let mut server = ClipperServer::start(
         Arc::new(AffineSummer),
-        ServerConfig {
-            workers: 3,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder().workers(3).build(),
     );
     let clients: Vec<_> = (0..6).map(|_| server.client()).collect();
     std::thread::scope(|s| {

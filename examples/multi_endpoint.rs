@@ -1,0 +1,138 @@
+//! The multi-endpoint `ServingRuntime`: several paper workloads —
+//! and several *versions* of one of them — served as named, sharded
+//! endpoints behind a single worker pool and client.
+//!
+//! Demonstrates the full builder surface:
+//! - named endpoints (`product`, `toxic`) with shard counts,
+//! - a weighted canary (`product` v2 takes ~25% of unpinned traffic),
+//! - key-hash shard routing (equal keys stick to one shard),
+//! - the statistics-aware scheduler reading each plan's
+//!   `PlanCounters` and giving the escalation-heavy endpoint a
+//!   dedicated worker tail.
+//!
+//! ```text
+//! cargo run --release --example multi_endpoint
+//! ```
+
+use std::error::Error;
+
+use willump_repro::prelude::*;
+
+fn optimize(w: &Workload, cascades: bool) -> Result<ServingPlan, Box<dyn Error>> {
+    let cfg = WillumpConfig {
+        cascades,
+        ..WillumpConfig::default()
+    };
+    let opt =
+        Willump::new(cfg).optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)?;
+    Ok(opt.serving_plan())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Small workloads: this example doubles as a CI smoke.
+    let cfg = WorkloadConfig {
+        n_train: 400,
+        n_valid: 200,
+        n_test: 200,
+        ..WorkloadConfig::default()
+    };
+    let product = WorkloadKind::Product.generate(&cfg)?;
+    let toxic = WorkloadKind::Toxic.generate(&cfg)?;
+
+    // Two plan variants of the product pipeline: the compiled plan
+    // (v1) and the cascade plan (v2, canary at 25% of traffic).
+    let product_v1 = optimize(&product, false)?;
+    let product_v2 = optimize(&product, true)?;
+    let mut toxic_plan = optimize(&toxic, true)?;
+    // Tighten the toxic cascade's confidence gate so most rows
+    // escalate to the full model: a deliberately escalation-heavy
+    // endpoint the scheduler should isolate.
+    toxic_plan.set_threshold(0.995);
+
+    let mut builder = ServingRuntime::builder();
+    builder.config(ServerConfig::builder().workers(4).build());
+    builder.scheduler(SchedulerPolicy::EscalationAware {
+        threshold: 0.25,
+        dedicated_workers: 2,
+    });
+    builder.rebalance_every(0); // rebalance manually below
+    builder.plan("product", product_v1).shards(2).weight(3.0);
+    builder
+        .plan("product", product_v2)
+        .version(2)
+        .shards(2)
+        .weight(1.0);
+    builder.plan("toxic", toxic_plan).shards(2);
+    let runtime = builder.build()?;
+    let client = runtime.client();
+
+    println!("one runtime, three endpoint deployments:\n");
+    for e in runtime.endpoints() {
+        println!(
+            "  {}@v{}  shards={} weight={}",
+            e.name(),
+            e.version(),
+            e.shards(),
+            e.weight()
+        );
+    }
+
+    // Unpinned traffic splits 3:1 across product versions; pinned
+    // traffic bypasses the router; keyed traffic sticks to a shard.
+    for r in 0..120 {
+        let row = table_row_to_wire(&product.test, r % product.test.n_rows())?;
+        client.predict_keyed("product", &format!("user-{}", r % 10), vec![row])?;
+    }
+    for r in 0..40 {
+        let row = table_row_to_wire(&product.test, r)?;
+        client.predict_version("product", 2, vec![row])?;
+    }
+    for r in 0..60 {
+        let row = table_row_to_wire(&toxic.test, r)?;
+        client.predict_endpoint("toxic", vec![row])?;
+    }
+
+    println!("\ntraffic after 120 canary-split + 40 pinned + 60 toxic requests:\n");
+    for e in runtime.endpoints() {
+        println!(
+            "  {}@v{}  requests={:<4} rows={:<4} per-shard={:?}  escalation={:.2}",
+            e.name(),
+            e.version(),
+            e.stats().requests(),
+            e.stats().rows(),
+            e.stats().shard_requests(),
+            e.escalation_rate(),
+        );
+    }
+
+    // The scheduler moves escalation-heavy endpoints onto a dedicated
+    // worker tail once their PlanCounters show heavy escalation.
+    println!("\nshard->worker assignment before rebalance:");
+    for e in runtime.endpoints() {
+        println!("  {}@v{}: {:?}", e.name(), e.version(), e.assignment());
+    }
+    runtime.rebalance();
+    println!("after rebalance (escalation-aware, 2 dedicated workers):");
+    for e in runtime.endpoints() {
+        println!(
+            "  {}@v{}: {:?}{}",
+            e.name(),
+            e.version(),
+            e.assignment(),
+            if e.escalation_rate() > 0.25 {
+                "  <- dedicated tail"
+            } else {
+                ""
+            }
+        );
+    }
+
+    println!(
+        "\nglobal: requests={} rows={} batches={} coalesced_rows={}",
+        runtime.stats().requests(),
+        runtime.stats().rows(),
+        runtime.stats().batches(),
+        runtime.stats().coalesced_rows(),
+    );
+    Ok(())
+}

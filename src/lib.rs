@@ -4,9 +4,10 @@
 //! 2020): re-exports every subsystem under one roof so examples and
 //! integration tests can depend on a single crate.
 //!
-//! Start with [`willump::Willump`] and [`willump::Pipeline`] (the
-//! optimizer), [`willump_workloads`] (the six paper benchmarks), and
-//! the repository README for a tour.
+//! Start with [`prelude`] (the optimizer + serving surface most
+//! programs need), [`willump::Willump`] and [`willump::Pipeline`]
+//! (the optimizer), [`willump_workloads`] (the six paper benchmarks),
+//! and the repository README for a tour.
 
 #![warn(missing_docs)]
 
@@ -18,3 +19,46 @@ pub use willump_models;
 pub use willump_serve;
 pub use willump_store;
 pub use willump_workloads;
+
+/// The one-import surface: optimizer, plan IR, and the multi-endpoint
+/// serving runtime.
+///
+/// ```no_run
+/// use willump_repro::prelude::*;
+///
+/// # fn demo(cascade_plan: ServingPlan, topk_plan: ServingPlan)
+/// # -> Result<(), Box<dyn std::error::Error>> {
+/// // Register named, versioned, sharded endpoints on one runtime.
+/// let mut builder = ServingRuntime::builder();
+/// builder.config(ServerConfig::builder().workers(4).build());
+/// builder.plan("music", cascade_plan).shards(4);
+/// builder.plan("toxic", topk_plan).shards(2);
+/// let runtime = builder.build()?;
+/// let client = runtime.client();
+/// # let rows = Vec::new();
+/// let scores = client.predict_endpoint("music", rows)?;
+/// # let _ = scores;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Migrating from the deprecated single-predictor `ClipperServer`:
+/// `ClipperServer::start(p, cfg)` is now literally a one-endpoint
+/// runtime (`builder.endpoint(DEFAULT_ENDPOINT, p)`), so replace the
+/// server with a [`RuntimeBuilder`] and `client.predict(rows)` with
+/// [`RuntimeClient::predict`] (identical unaddressed-request
+/// semantics) or the explicit
+/// [`RuntimeClient::predict_endpoint`] family.
+pub mod prelude {
+    pub use willump::{
+        OptimizedPipeline, PlanCounters, PlanRunReport, QueryMode, ServingPlan, TopKConfig,
+        Willump, WillumpConfig,
+    };
+    pub use willump_data::{Table, Value};
+    pub use willump_serve::{
+        shard_for_key, table_row_to_wire, ClipperClient, ClipperServer, Endpoint, ModelSelector,
+        Request, Response, RuntimeBuilder, RuntimeClient, SchedulerPolicy, SelectionPolicy,
+        Servable, ServeError, ServerConfig, ServingRuntime, WireRow, DEFAULT_ENDPOINT,
+    };
+    pub use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
+}

@@ -40,6 +40,27 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]. Carries the unsent
+    /// message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every [`Receiver`] has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +176,28 @@ pub mod channel {
                             .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                     _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue `msg` without blocking.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] when a bounded channel is at
+        /// capacity, [`TrySendError::Disconnected`] when every
+        /// [`Receiver`] has been dropped; both return the message.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = lock(&self.shared);
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = st.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             st.queue.push_back(msg);
@@ -378,6 +421,18 @@ mod tests {
         assert_eq!(rx.recv(), Ok(3));
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! The derive macros (enabled by the `derive` feature, re-exported
 //! from `serde_derive`) support non-generic structs and enums with
 //! serde's externally-tagged representation, plus `#[serde(skip)]`
-//! on struct fields.
+//! and `#[serde(default)]` on struct fields.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;

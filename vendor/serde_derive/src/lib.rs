@@ -9,14 +9,18 @@
 //! non-generic enums (unit, tuple, and struct variants) in serde's
 //! externally-tagged representation, plus `#[serde(skip)]` on named
 //! struct fields (skipped on serialize, `Default::default()` on
-//! deserialize).
+//! deserialize) and `#[serde(default)]` (a field absent from the
+//! serialized map deserializes to `Default::default()` instead of
+//! erroring — the back-compat hook wire protocols evolve through).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One named field: its identifier and whether `#[serde(skip)]` applies.
+/// One named field: its identifier plus whether `#[serde(skip)]` and
+/// `#[serde(default)]` apply.
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 enum VariantKind {
@@ -153,15 +157,18 @@ fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
 }
 
 /// Scan a field/variant chunk: drop leading attributes (noting
-/// `#[serde(skip)]`) and visibility, and return the remaining tokens.
-fn strip_attrs_and_vis(chunk: &[TokenTree]) -> (bool, &[TokenTree]) {
+/// `#[serde(skip)]` / `#[serde(default)]`) and visibility, and return
+/// the remaining tokens.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> ((bool, bool), &[TokenTree]) {
     let mut skip = false;
+    let mut default = false;
     let mut i = 0;
     while i < chunk.len() {
         match &chunk[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
-                    skip |= attr_is_serde_skip(g);
+                    skip |= attr_has_serde_flag(g, "skip");
+                    default |= attr_has_serde_flag(g, "default");
                 }
                 i += 2;
             }
@@ -177,10 +184,10 @@ fn strip_attrs_and_vis(chunk: &[TokenTree]) -> (bool, &[TokenTree]) {
             _ => break,
         }
     }
-    (skip, &chunk[i..])
+    ((skip, default), &chunk[i..])
 }
 
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+fn attr_has_serde_flag(group: &proc_macro::Group, flag: &str) -> bool {
     let mut tokens = group.stream().into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
@@ -190,17 +197,18 @@ fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
         Some(TokenTree::Group(inner)) => inner
             .stream()
             .into_iter()
-            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == flag)),
         _ => false,
     }
 }
 
 fn parse_field(chunk: &[TokenTree]) -> Field {
-    let (skip, rest) = strip_attrs_and_vis(chunk);
+    let ((skip, default), rest) = strip_attrs_and_vis(chunk);
     match rest.first() {
         Some(TokenTree::Ident(id)) => Field {
             name: id.to_string(),
             skip,
+            default,
         },
         other => panic!("serde_derive: expected field name, found {other:?}"),
     }
@@ -319,6 +327,14 @@ fn named_fields_de(fields: &[Field], source: &str) -> String {
         .map(|f| {
             if f.skip {
                 format!("{}: ::std::default::Default::default()", f.name)
+            } else if f.default {
+                format!(
+                    "{}: match {source}.get({:?}) {{\n\
+                        ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                        ::std::option::Option::None => ::std::default::Default::default(),\n\
+                    }}",
+                    f.name, f.name
+                )
             } else {
                 format!(
                     "{}: ::serde::Deserialize::from_content({source}.get({:?}).ok_or_else(|| ::serde::DeError::custom(concat!(\"missing field `\", {:?}, \"`\")))?)?",
