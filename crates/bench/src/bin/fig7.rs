@@ -1,22 +1,46 @@
 //! Figure 7: throughput versus accuracy on the classification
 //! benchmarks while sweeping the cascade threshold. The full model
 //! and the small model alone are the two endpoints.
+//!
+//! Flags:
+//!
+//! - `--smoke`: tiny workloads and a single rep — a CI-speed sanity
+//!   pass that also validates the committed EXPERIMENTS.md schema
+//!   header (never rewrites the file). Workloads whose cascades do
+//!   not deploy at smoke size are reported as such, which is itself a
+//!   valid exercise of the gate-off path.
+//! - `--record`: re-measure at full experiment size and rewrite this
+//!   binary's EXPERIMENTS.md section.
 
 use willump::cascade::THRESHOLD_CANDIDATES;
 use willump::{Willump, WillumpConfig};
-use willump_bench::{batch_throughput, fmt_throughput, generate, print_table};
+use willump_bench::{
+    batch_throughput, fmt_throughput, format_table, generate, generate_smoke,
+    run_recorded_experiment,
+};
 use willump_models::metrics;
 use willump_workloads::WorkloadKind;
 
-fn main() {
+/// The schema header CI greps for in EXPERIMENTS.md; bump the version
+/// when the recorded table shape changes.
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: fig7-threshold-sweep v1 -->";
+const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin fig7 -- --record";
+
+fn sweep_tables(smoke: bool) -> String {
+    let reps = if smoke { 1 } else { 3 };
     let kinds = [
         WorkloadKind::Product,
         WorkloadKind::Toxic,
         WorkloadKind::Music,
         WorkloadKind::Tracking,
     ];
+    let mut out = String::new();
     for kind in kinds {
-        let w = generate(kind, false);
+        let w = if smoke {
+            generate_smoke(kind, false)
+        } else {
+            generate(kind, false)
+        };
         // Force deployment (gate off): the sweep wants the whole
         // throughput/accuracy curve even where cascades would not pay.
         let cfg = WillumpConfig {
@@ -27,7 +51,10 @@ fn main() {
             .optimize(&w.pipeline, &w.train, &w.train_y, &w.valid, &w.valid_y)
             .expect("optimization succeeds");
         if !opt.report().cascades_deployed {
-            println!("\n## Figure 7 ({}): cascades not deployed (feature computation too cheap to cascade)", kind.name());
+            out.push_str(&format!(
+                "\n## Figure 7 ({}): cascades not deployed (feature computation too cheap to cascade)\n",
+                kind.name()
+            ));
             continue;
         }
         let chosen = opt.report().threshold.clone().expect("threshold chosen");
@@ -38,7 +65,7 @@ fn main() {
             let cascade = opt.cascade_mut().expect("cascade deployed");
             cascade.set_threshold(1.0);
         }
-        let tp_full = batch_throughput(&w, 3, || {
+        let tp_full = batch_throughput(&w, reps, || {
             opt.predict_batch(&w.test).expect("prediction succeeds");
         });
         let scores = opt.predict_batch(&w.test).expect("prediction succeeds");
@@ -56,7 +83,7 @@ fn main() {
                 let cascade = opt.cascade_mut().expect("cascade deployed");
                 cascade.set_threshold(tc);
             }
-            let tp = batch_throughput(&w, 3, || {
+            let tp = batch_throughput(&w, reps, || {
                 opt.predict_batch(&w.test).expect("prediction succeeds");
             });
             let scores = opt.predict_batch(&w.test).expect("prediction succeeds");
@@ -79,7 +106,7 @@ fn main() {
             let cascade = opt.cascade_mut().expect("cascade deployed");
             cascade.set_threshold(0.49);
         }
-        let tp_small = batch_throughput(&w, 3, || {
+        let tp_small = batch_throughput(&w, reps, || {
             opt.predict_batch(&w.test).expect("prediction succeeds");
         });
         let scores = opt.predict_batch(&w.test).expect("prediction succeeds");
@@ -90,13 +117,27 @@ fn main() {
             format!("{:.4}", metrics::accuracy(&scores, &w.test_y)),
         ]);
 
-        print_table(
+        out.push_str(&format_table(
             &format!(
                 "Figure 7 ({}): throughput vs accuracy across cascade thresholds",
                 kind.name()
             ),
             &["point", "threshold", "throughput", "accuracy"],
             &rows,
-        );
+        ));
     }
+    out
+}
+
+fn main() {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, |smoke| {
+        let table = sweep_tables(smoke);
+        let body = format!(
+            "Cascade-threshold sweep, throughput vs accuracy (paper \
+             Figure 7), with the gate forced open so\nthe full curve is \
+             visible even where cascades would not deploy: regenerate \
+             with\n`{RECORD_CMD}`.\n{table}"
+        );
+        (table, body)
+    });
 }

@@ -2,16 +2,29 @@
 //! (Product, Toxic), where one dominant IFV Amdahl-limits the gains.
 //! Right: a synthetic pipeline of four identical TF-IDF feature
 //! generators, which parallelizes nearly linearly.
+//!
+//! Flags:
+//!
+//! - `--smoke`: tiny workloads, corpora, and input counts — a
+//!   CI-speed sanity pass that also validates the committed
+//!   EXPERIMENTS.md schema header (never rewrites the file).
+//! - `--record`: re-measure at full experiment size and rewrite this
+//!   binary's EXPERIMENTS.md section.
 
 use std::sync::Arc;
 
-use willump_bench::{fmt_speedup, generate, print_table};
+use willump_bench::{fmt_speedup, format_table, generate, generate_smoke, run_recorded_experiment};
 use willump_data::text::SyntheticVocab;
 use willump_data::{Column, Table};
 use willump_featurize::{Analyzer, TfIdfVectorizer, VectorizerConfig};
 use willump_graph::cost::measure_costs;
 use willump_graph::{EngineMode, Executor, GraphBuilder, InputRow, Operator, Parallelism};
 use willump_workloads::WorkloadKind;
+
+/// The schema header CI greps for in EXPERIMENTS.md; bump the version
+/// when the recorded table shape changes.
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: fig8-parallel-speedup v1 -->";
+const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin fig8 -- --record";
 
 /// Mean feature-computation latency over `n` inputs at a parallelism
 /// level.
@@ -28,19 +41,24 @@ fn latency(exec: &Executor, table: &Table, n: usize) -> f64 {
     start.elapsed().as_secs_f64() / n as f64
 }
 
-fn bench_real(kind: WorkloadKind, rows: &mut Vec<Vec<String>>) {
-    let w = generate(kind, false);
+fn bench_real(kind: WorkloadKind, smoke: bool, rows: &mut Vec<Vec<String>>) {
+    let w = if smoke {
+        generate_smoke(kind, false)
+    } else {
+        generate(kind, false)
+    };
+    let n = if smoke { 40 } else { 200 };
     let base_exec =
         Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).expect("executor builds");
     let costs = measure_costs(&base_exec, &w.train).expect("costs measured");
     let n_fgs = base_exec.analysis().generators.len();
-    let serial = latency(&base_exec, &w.test, 200);
+    let serial = latency(&base_exec, &w.test, n);
     for threads in 1..=n_fgs {
         let exec = base_exec
             .clone()
             .with_generator_costs(costs.per_generator.clone())
             .with_parallelism(Parallelism::PerInput(threads));
-        let lat = latency(&exec, &w.test, 200);
+        let lat = latency(&exec, &w.test, n);
         rows.push(vec![
             kind.name().to_string(),
             threads.to_string(),
@@ -52,14 +70,18 @@ fn bench_real(kind: WorkloadKind, rows: &mut Vec<Vec<String>>) {
 /// The paper's synthetic benchmark: the same TF-IDF operator four
 /// times over four independent inputs, concatenated, then a linear
 /// model — embarrassingly parallel across IFVs.
-fn bench_synthetic(rows: &mut Vec<Vec<String>>) {
+fn bench_synthetic(smoke: bool, rows: &mut Vec<Vec<String>>) {
+    let (corpus_docs, col_docs, doc_words, n_inputs) = if smoke {
+        (80, 50, 80, 30)
+    } else {
+        (300, 200, 220, 150)
+    };
     let vocab = SyntheticVocab::new(2_000);
     let mut rng = willump_data::rng::seeded(11);
     // Long documents so each TF-IDF generator does ~100 us of work per
     // input — the regime the paper's synthetic benchmark targets,
     // where per-generator compute dominates dispatch overhead.
-    let doc_words = 220;
-    let corpus: Vec<String> = (0..300)
+    let corpus: Vec<String> = (0..corpus_docs)
         .map(|_| vocab.document(&mut rng, doc_words, None, 0.0))
         .collect();
     let mut tfidf = TfIdfVectorizer::new(VectorizerConfig {
@@ -91,7 +113,7 @@ fn bench_synthetic(rows: &mut Vec<Vec<String>>) {
 
     let mut table = Table::new();
     for i in 0..4 {
-        let docs: Vec<String> = (0..200)
+        let docs: Vec<String> = (0..col_docs)
             .map(|_| vocab.document(&mut rng, doc_words, None, 0.0))
             .collect();
         table
@@ -100,13 +122,13 @@ fn bench_synthetic(rows: &mut Vec<Vec<String>>) {
     }
 
     let base = Executor::new(graph, EngineMode::Compiled).expect("executor builds");
-    let serial = latency(&base, &table, 150);
+    let serial = latency(&base, &table, n_inputs);
     for threads in 1..=4 {
         let exec = base
             .clone()
             .with_generator_costs(vec![1.0; 4])
             .with_parallelism(Parallelism::PerInput(threads));
-        let lat = latency(&exec, &table, 150);
+        let lat = latency(&exec, &table, n_inputs);
         rows.push(vec![
             "synthetic-4xTFIDF".to_string(),
             threads.to_string(),
@@ -115,14 +137,27 @@ fn bench_synthetic(rows: &mut Vec<Vec<String>>) {
     }
 }
 
-fn main() {
+fn speedup_table(smoke: bool) -> String {
     let mut rows = Vec::new();
-    bench_real(WorkloadKind::Product, &mut rows);
-    bench_real(WorkloadKind::Toxic, &mut rows);
-    bench_synthetic(&mut rows);
-    print_table(
+    bench_real(WorkloadKind::Product, smoke, &mut rows);
+    bench_real(WorkloadKind::Toxic, smoke, &mut rows);
+    bench_synthetic(smoke, &mut rows);
+    format_table(
         "Figure 8: per-input parallelization speedup (feature computation latency)",
         &["pipeline", "threads", "speedup"],
         &rows,
-    );
+    )
+}
+
+fn main() {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, |smoke| {
+        let table = speedup_table(smoke);
+        let body = format!(
+            "Per-input parallelization speedup (paper Figure 8): real \
+             benchmarks are Amdahl-limited by one\ndominant IFV, the \
+             synthetic 4x-TF-IDF pipeline parallelizes nearly linearly. \
+             Regenerate with\n`{RECORD_CMD}`.\n{table}"
+        );
+        (table, body)
+    });
 }

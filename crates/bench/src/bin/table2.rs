@@ -18,8 +18,7 @@
 
 use willump::{CachingConfig, QueryMode, ServingPlan};
 use willump_bench::{
-    assert_experiments_schema, format_table, generate_remote, optimize_level,
-    record_experiments_section, smoke_record_flags, OptLevel,
+    format_table, generate_remote, optimize_level, run_recorded_experiment, OptLevel,
 };
 use willump_graph::InputRow;
 use willump_workloads::{Workload, WorkloadKind};
@@ -108,19 +107,13 @@ fn remote_request_table(smoke: bool) -> String {
 }
 
 fn main() {
-    let (smoke, record) = smoke_record_flags();
-    let table = remote_request_table(smoke);
-    print!("{table}");
-
-    if smoke {
-        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
-    }
-    if record && !smoke {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, |smoke| {
+        let table = remote_request_table(smoke);
         let body = format!(
             "Remote-request reduction per serving configuration; every\n\
              configuration is a lowered/composed `ServingPlan` run row-wise.\n\
              Regenerate with `{RECORD_CMD}`.\n{table}"
         );
-        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
-    }
+        (table, body)
+    });
 }

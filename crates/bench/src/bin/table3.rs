@@ -16,8 +16,8 @@
 
 use willump::{CachingConfig, QueryMode};
 use willump_bench::{
-    assert_experiments_schema, baseline, fmt_latency, format_table, generate_remote,
-    optimize_level, per_input_latency, record_experiments_section, smoke_record_flags, OptLevel,
+    baseline, fmt_latency, format_table, generate_remote, optimize_level, per_input_latency,
+    run_recorded_experiment, OptLevel,
 };
 use willump_workloads::WorkloadKind;
 
@@ -100,20 +100,14 @@ fn latency_table(smoke: bool) -> String {
 }
 
 fn main() {
-    let (smoke, record) = smoke_record_flags();
-    let table = latency_table(smoke);
-    print!("{table}");
-
-    if smoke {
-        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
-    }
-    if record && !smoke {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, |smoke| {
+        let table = latency_table(smoke);
         let body = format!(
             "Per-input latency per serving configuration (effective time =\n\
              wall + simulated network wait); optimized configurations are\n\
              lowered/composed `ServingPlan`s run row-wise.\n\
              Regenerate with `{RECORD_CMD}`.\n{table}"
         );
-        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
-    }
+        (table, body)
+    });
 }

@@ -1,6 +1,6 @@
 //! Table 6: end-to-end serving through the Clipper-like layer.
 //!
-//! Two experiments:
+//! Three experiments:
 //!
 //! 1. **Latency** (the paper's Table 6 shape): mean request latency
 //!    for Product and Toxic, with and without Willump optimization,
@@ -9,6 +9,11 @@
 //!    the optimized pipeline under concurrent closed-loop clients,
 //!    sweeping worker counts {1, 2, 4} with coalesced batching
 //!    against the single-worker seed configuration (no coalescing).
+//! 3. **Local-vs-remote shard sweep** (cross-process sharding): the
+//!    same optimized endpoint deployed as 4 local shards, 2 local +
+//!    2 remote, and 4 remote — the remote shards served by a
+//!    `RemoteRuntimeNode` over real loopback TCP — measuring what
+//!    the `WorkerTransport` hop costs relative to in-process queues.
 //!
 //! Flags:
 //!
@@ -23,17 +28,16 @@ use std::time::Instant;
 
 use willump::QueryMode;
 use willump_bench::{
-    assert_experiments_schema, baseline, fmt_latency, fmt_speedup, fmt_throughput, format_table,
-    generate, generate_smoke, optimize_level, record_experiments_section, serving_throughput,
-    smoke_record_flags, OptLevel,
+    baseline, fmt_latency, fmt_speedup, fmt_throughput, format_table, generate, generate_smoke,
+    optimize_level, run_recorded_experiment, serving_throughput, OptLevel,
 };
-use willump_serve::{table_row_to_wire, Servable, ServerConfig, ServingRuntime};
+use willump_serve::{table_row_to_wire, RemoteRuntimeNode, Servable, ServerConfig, ServingRuntime};
 use willump_store::LatencyModel;
 use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 
 /// The schema header CI greps for in EXPERIMENTS.md; bump the version
 /// when the recorded table shapes change.
-const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table6-serving-sweep v1 -->";
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table6-serving-sweep v2 -->";
 const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin table6 -- --record";
 
 /// A single-endpoint runtime over one predictor (the modern spelling
@@ -265,26 +269,127 @@ fn sweep_table(smoke: bool) -> String {
     )
 }
 
-fn main() {
-    let (smoke, record) = smoke_record_flags();
-
-    let latency = latency_table(smoke);
-    print!("{latency}");
-    let sweep = sweep_table(smoke);
-    print!("{sweep}");
-
-    if smoke {
-        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
+/// The cross-process shard sweep: one optimized Product endpoint
+/// deployed over mixes of local worker-queue shards and TCP-remote
+/// shards served by a `RemoteRuntimeNode` child runtime on loopback
+/// (same machine, so the delta isolates the transport: JSON
+/// re-encode + TCP round trip + the node's own admission path).
+fn remote_shard_table(smoke: bool) -> String {
+    let w = gen_workload(WorkloadKind::Product, smoke);
+    let optimized: Arc<dyn Servable> = Arc::new(optimize_level(
+        &w,
+        OptLevel::Cascades,
+        QueryMode::Batch,
+        None,
+        1,
+    ));
+    let (clients, reqs, batches): (usize, usize, Vec<usize>) = if smoke {
+        (2, 4, vec![4])
+    } else {
+        (8, 100, vec![1, 10, 100])
+    };
+    let deployments: &[(&str, usize, usize)] = &[
+        ("4 local shards", 4, 0),
+        ("2 local + 2 remote", 2, 2),
+        ("4 remote shards", 0, 4),
+    ];
+    let mut rows = Vec::new();
+    for &batch in &batches {
+        let mut base_tput = None;
+        for &(label, local, remote) in deployments {
+            // The child node serves the same plan behind its own
+            // 2-worker pool; one node hosts all remote shards.
+            let node = (remote > 0).then(|| {
+                let mut nb = ServingRuntime::builder();
+                nb.config(ServerConfig::builder().workers(2).build());
+                nb.endpoint("bench", optimized.clone()).shards(2);
+                RemoteRuntimeNode::bind("127.0.0.1:0", nb.build().expect("node runtime builds"))
+                    .expect("node binds")
+            });
+            let mut b = ServingRuntime::builder();
+            b.config(ServerConfig::builder().workers(2).build());
+            let mut eb = b.endpoint("bench", optimized.clone()).shards(local);
+            if let Some(node) = &node {
+                let addr = node.local_addr().to_string();
+                for _ in 0..remote {
+                    eb = eb.shard_remote(&addr);
+                }
+            }
+            let _ = eb;
+            let runtime = b.build().expect("runtime builds");
+            let tput = serving_throughput(&runtime, Some("bench"), &w.test, batch, clients, reqs);
+            let forwards = runtime.stats().remote_forwards();
+            let errors = runtime.stats().transport_errors();
+            let ep = runtime.endpoint("bench", 1).expect("registered");
+            let tstats = ep.transport_stats();
+            let (f_sum, n_sum) = tstats.iter().fold((0u64, 0u64), |(f, n), t| {
+                (f + t.forwards, n + t.total_nanos)
+            });
+            let mean_forward = if f_sum == 0 {
+                "-".to_string()
+            } else {
+                fmt_latency(n_sum as f64 / f_sum as f64 / 1e9)
+            };
+            if remote > 0 {
+                assert!(
+                    forwards > 0,
+                    "the remote shards must actually serve traffic"
+                );
+                assert_eq!(errors, 0, "loopback transport must not fail");
+            }
+            let vs_base = match base_tput {
+                None => {
+                    base_tput = Some(tput);
+                    "1.0x (baseline)".to_string()
+                }
+                Some(b) => fmt_speedup(tput / b),
+            };
+            rows.push(vec![
+                batch.to_string(),
+                label.to_string(),
+                format!("{} rows/s", fmt_throughput(tput)),
+                vs_base,
+                forwards.to_string(),
+                mean_forward,
+            ]);
+        }
     }
-    if record && !smoke {
+    format_table(
+        "Table 6c: local-vs-remote shard sweep (cross-process serving, product)",
+        &[
+            "batch size",
+            "deployment",
+            "throughput",
+            "vs 4-local",
+            "remote forwards",
+            "mean forward RTT",
+        ],
+        &rows,
+    )
+}
+
+fn main() {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, |smoke| {
+        let latency = latency_table(smoke);
+        print!("{latency}");
+        let sweep = sweep_table(smoke);
+        print!("{sweep}");
+        let remote = remote_shard_table(smoke);
         let body = format!(
-            "Serving-layer latency and worker sweep: regenerate with\n\
+            "Serving-layer latency, worker sweep, and cross-process shard \
+             sweep: regenerate with\n\
              `{RECORD_CMD}`.\n\
              Throughput rows compare the multi-worker coalescing server \
              against the seed configuration\n\
              (single worker, per-request dispatch) on the same optimized \
-             pipeline and machine.\n{latency}{sweep}"
+             pipeline and machine; the\n\
+             local-vs-remote sweep serves the same endpoint over \
+             in-process shards, a 2+2 mix, and\n\
+             all-remote shards hosted by a `RemoteRuntimeNode` child \
+             runtime over loopback TCP.\n{latency}{sweep}{remote}"
         );
-        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
-    }
+        // The first two tables were printed as they finished (the full
+        // sweep takes minutes); only the remote table is left to print.
+        (remote, body)
+    });
 }

@@ -13,9 +13,8 @@
 
 use willump::{QueryMode, TopKConfig};
 use willump_bench::{
-    assert_experiments_schema, baseline, effective_seconds, fmt_throughput, format_table, generate,
-    generate_smoke, optimize_level, record_experiments_section, smoke_record_flags, test_sample,
-    OptLevel, PYTHON_SAMPLE_ROWS,
+    baseline, effective_seconds, fmt_throughput, format_table, generate, generate_smoke,
+    optimize_level, run_recorded_experiment, test_sample, OptLevel, PYTHON_SAMPLE_ROWS,
 };
 use willump_models::metrics;
 use willump_workloads::{Workload, WorkloadKind};
@@ -116,18 +115,12 @@ fn subset_tables(smoke: bool) -> String {
 }
 
 fn main() {
-    let (smoke, record) = smoke_record_flags();
-    let tables = subset_tables(smoke);
-    print!("{tables}");
-
-    if smoke {
-        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
-    }
-    if record && !smoke {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, |smoke| {
+        let table = subset_tables(smoke);
         let body = format!(
             "Top-K filtered subset size vs throughput and ranking accuracy\n\
-             (paper Table 7). Regenerate with `{RECORD_CMD}`.\n{tables}"
+             (paper Table 7). Regenerate with `{RECORD_CMD}`.\n{table}"
         );
-        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
-    }
+        (table, body)
+    });
 }

@@ -19,8 +19,8 @@ use willump::efficient::{enumerate_proper_subsets, select_efficient_ifvs, Select
 use willump::stats::compute_ifv_stats;
 use willump::QueryMode;
 use willump_bench::{
-    assert_experiments_schema, batch_throughput, fmt_throughput, format_table, generate,
-    generate_smoke, optimize_level, record_experiments_section, smoke_record_flags, OptLevel,
+    batch_throughput, fmt_throughput, format_table, generate, generate_smoke, optimize_level,
+    run_recorded_experiment, OptLevel,
 };
 use willump_models::metrics;
 use willump_workloads::{Workload, WorkloadKind};
@@ -171,19 +171,13 @@ fn strategy_table(smoke: bool) -> String {
 }
 
 fn main() {
-    let (smoke, record) = smoke_record_flags();
-    let table = strategy_table(smoke);
-    print!("{table}");
-
-    if smoke {
-        assert_experiments_schema(EXPERIMENTS_SCHEMA, RECORD_CMD);
-    }
-    if record && !smoke {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, |smoke| {
+        let table = strategy_table(smoke);
         let body = format!(
             "Efficient-IFV selection strategy comparison, incl. the\n\
              brute-force oracle over all proper subsets (paper Table 8).\n\
              Regenerate with `{RECORD_CMD}`.\n{table}"
         );
-        record_experiments_section(EXPERIMENTS_SCHEMA, &body);
-    }
+        (table, body)
+    });
 }

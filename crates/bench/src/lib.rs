@@ -235,7 +235,9 @@ fn upsert_section(existing: &str, schema: &str, body: &str) -> String {
 }
 
 /// Record one experiment's section of `EXPERIMENTS.md`, preserving
-/// every other binary's section (see [`upsert_section`] semantics).
+/// every other binary's section (a section spans from its
+/// `<!-- schema: ... -->` marker to the next marker or EOF, and is
+/// replaced in place; a new marker appends).
 ///
 /// # Panics
 /// Panics when the file cannot be written.
@@ -261,6 +263,33 @@ pub fn assert_experiments_schema(schema: &str, record_cmd: &str) {
         "EXPERIMENTS.md lacks schema header {schema:?}; re-record with `{record_cmd}`"
     );
     println!("\nEXPERIMENTS.md schema header OK: {schema}");
+}
+
+/// The whole `--smoke`/`--record` workflow every recording binary
+/// shares: parse the flags, run the measurement (`run(smoke)` returns
+/// the printed output and the full EXPERIMENTS.md section body),
+/// print it, validate the committed schema header on `--smoke`, and
+/// rewrite this binary's section on `--record`. Keeping the flag
+/// semantics here means a workflow change edits one function, not
+/// nine `main`s.
+///
+/// # Panics
+/// Panics on unknown flags, a missing/stale schema header during
+/// `--smoke`, or an unwritable EXPERIMENTS.md during `--record`.
+pub fn run_recorded_experiment(
+    schema: &str,
+    record_cmd: &str,
+    run: impl FnOnce(bool) -> (String, String),
+) {
+    let (smoke, record) = smoke_record_flags();
+    let (output, record_body) = run(smoke);
+    print!("{output}");
+    if smoke {
+        assert_experiments_schema(schema, record_cmd);
+    }
+    if record && !smoke {
+        record_experiments_section(schema, &record_body);
+    }
 }
 
 /// Parse the `--smoke` / `--record` flags every recording experiment

@@ -25,7 +25,7 @@ use crate::plan::ServingPlan;
 use crate::WillumpError;
 
 /// A fitted small-model score calibrator (see
-/// [`Calibration`](crate::Calibration)).
+/// [`crate::Calibration`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScoreCalibrator {
     /// Fitted Platt scaler.

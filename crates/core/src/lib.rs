@@ -51,8 +51,8 @@ pub use error::WillumpError;
 pub use optimize::{OptimizationReport, OptimizedPipeline, Willump};
 pub use pipeline::{BaselinePipeline, Pipeline};
 pub use plan::{
-    FeatureSet, ModelSlot, PlanCounters, PlanExecutor, PlanOutcome, PlanRunReport, PlanStage,
-    RowOutcome, ServingPlan, StageProfile, StageTrace,
+    FeatureSet, ModelSlot, PlanCounters, PlanCountersSnapshot, PlanExecutor, PlanOutcome,
+    PlanRunReport, PlanStage, RowOutcome, ServingPlan, StageProfile, StageTrace,
 };
 pub use stats::IfvStats;
 pub use topk::TopKFilter;

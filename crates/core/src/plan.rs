@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use willump_data::{FeatureMatrix, Table};
 use willump_graph::{Executor, InputRow};
 use willump_models::{metrics, Task, TrainedModel};
@@ -260,6 +261,86 @@ impl PlanCounters {
             self.escalated() as f64 / rows as f64
         }
     }
+
+    /// A serializable point-in-time copy of these counters (see
+    /// [`PlanCountersSnapshot`]).
+    pub fn snapshot(&self) -> PlanCountersSnapshot {
+        PlanCountersSnapshot {
+            rows: self.rows(),
+            gate_resolved: self.gate_resolved(),
+            escalated: self.escalated(),
+            filter_dropped: self.filter_dropped(),
+        }
+    }
+}
+
+/// A wire-friendly, point-in-time copy of a [`PlanCounters`].
+///
+/// [`PlanCounters`] itself is a block of shared atomics — clones of a
+/// plan in one process update it in place, but it cannot cross a
+/// process boundary. A snapshot is plain integers with serde derives:
+/// a remote serving node reports its plans' statistics to a parent
+/// router as snapshots, and the parent's escalation-aware scheduler
+/// folds them into its own view with [`merged`](Self::merged).
+///
+/// Every field is `#[serde(default)]`, so frames from an older node
+/// that lacks a counter still decode (missing counters read 0).
+///
+/// # Examples
+///
+/// ```
+/// use willump::{PlanCounters, PlanCountersSnapshot};
+///
+/// let local = PlanCounters::default().snapshot();
+/// let remote = PlanCountersSnapshot {
+///     rows: 100,
+///     escalated: 40,
+///     ..PlanCountersSnapshot::default()
+/// };
+/// let combined = local.merged(remote);
+/// assert_eq!(combined.rows, 100);
+/// assert!((combined.escalation_rate() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCountersSnapshot {
+    /// Total input rows run through the plan.
+    #[serde(default)]
+    pub rows: u64,
+    /// Rows resolved early by a [`PlanStage::ConfidenceGate`].
+    #[serde(default)]
+    pub gate_resolved: u64,
+    /// Rows escalated to the full feature layout.
+    #[serde(default)]
+    pub escalated: u64,
+    /// Rows dropped from candidacy by a [`PlanStage::TopKFilter`].
+    #[serde(default)]
+    pub filter_dropped: u64,
+}
+
+impl PlanCountersSnapshot {
+    /// Fraction of rows escalated to the full feature layout
+    /// (0 when no rows ran) — the same statistic as
+    /// [`PlanCounters::escalation_rate`], computed over the snapshot.
+    pub fn escalation_rate(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.escalated as f64 / self.rows as f64
+        }
+    }
+
+    /// Field-wise sum of two snapshots: fold a remote node's counters
+    /// into a local view so rates are computed over the combined
+    /// traffic.
+    #[must_use]
+    pub fn merged(self, other: PlanCountersSnapshot) -> PlanCountersSnapshot {
+        PlanCountersSnapshot {
+            rows: self.rows + other.rows,
+            gate_resolved: self.gate_resolved + other.gate_resolved,
+            escalated: self.escalated + other.escalated,
+            filter_dropped: self.filter_dropped + other.filter_dropped,
+        }
+    }
 }
 
 /// Per-stage cumulative meters (time and rows), shared by clones.
@@ -366,6 +447,47 @@ pub struct RowOutcome {
 /// of one serving artifact); stage lists are cloned by value, so
 /// [`set_threshold`](ServingPlan::set_threshold)-style edits are
 /// per-clone.
+///
+/// # Examples
+///
+/// Assemble the trivial full-model plan by hand (the optimizer's
+/// [`crate::Willump::optimize`] lowers its decisions into richer
+/// plans automatically — see
+/// [`crate::OptimizedPipeline::serving_plan`]), then compose an
+/// end-to-end cache onto it:
+///
+/// ```
+/// use std::sync::Arc;
+/// use willump::ServingPlan;
+/// use willump_data::{Column, Table};
+/// use willump_graph::{EngineMode, Executor, GraphBuilder, Operator};
+/// use willump_models::{LogisticParams, ModelSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A one-feature pipeline graph and a model fitted on it.
+/// let mut b = GraphBuilder::new();
+/// let src = b.source("x");
+/// let f = b.add("f", Operator::NumericColumn, [src])?;
+/// let graph = Arc::new(b.finish_with_concat("features", [f])?);
+/// let exec = Executor::new(graph, EngineMode::Compiled)?;
+///
+/// let mut train = Table::new();
+/// train.add_column("x", Column::from(vec![-2.0, -1.0, 1.0, 2.0]))?;
+/// let y = vec![0.0, 0.0, 1.0, 1.0];
+/// let feats = exec.features_batch(&train, None)?;
+/// let model = Arc::new(ModelSpec::Logistic(LogisticParams::default()).fit(&feats, &y, 1)?);
+///
+/// // The plan, with a composed end-to-end cache keyed on `x`.
+/// let plan = ServingPlan::full_model_plan(exec, model)
+///     .with_e2e_cache(vec!["x".to_string()], None)?;
+/// let first = plan.predict_batch(&train)?;
+/// let again = plan.predict_batch(&train)?;
+/// assert_eq!(first, again);
+/// assert_eq!(plan.cache_hits(), 4, "repeat batch served from cache");
+/// assert_eq!(plan.counters().rows(), 8);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Clone)]
 pub struct ServingPlan {
     exec: Executor,
@@ -1011,6 +1133,28 @@ enum CurrentFeats {
 
 /// Runs any [`ServingPlan`] batch-wise ([`run_batch`]) or row-wise
 /// ([`run_row`]) over the existing [`Executor`]/engine machinery.
+///
+/// [`ServingPlan::predict_batch`] / [`ServingPlan::predict_one`] are
+/// sugar over this; use the executor directly when you want the
+/// stage-by-stage [`PlanRunReport`] or a per-run top-K override.
+///
+/// # Examples
+///
+/// ```no_run
+/// use willump::{PlanExecutor, ServingPlan};
+/// # fn demo(plan: &ServingPlan, table: &willump_data::Table)
+/// # -> Result<(), willump::WillumpError> {
+/// let outcome = PlanExecutor::new(plan).run_batch(table, Some(20))?;
+/// for trace in &outcome.report.stages {
+///     println!(
+///         "{:<16} {:>6} -> {:>6} rows  {:.1}ms",
+///         trace.label, trace.rows_in, trace.rows_out,
+///         trace.seconds * 1e3,
+///     );
+/// }
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// [`run_batch`]: PlanExecutor::run_batch
 /// [`run_row`]: PlanExecutor::run_row

@@ -99,8 +99,8 @@ const PROXY_MAX_FEATURES: usize = 256;
 /// paper's fallback for neural nets): train a GBDT on `(x, y)` and
 /// return its gain importances.
 ///
-/// Proxy training is bounded — at most [`PROXY_MAX_ROWS`] rows and the
-/// [`PROXY_MAX_FEATURES`] columns with the largest absolute mass
+/// Proxy training is bounded — at most `PROXY_MAX_ROWS` (1 000) rows
+/// and the `PROXY_MAX_FEATURES` (256) columns with the largest mass
 /// (other columns report zero importance). Feature selection by proxy
 /// is routinely done on subsamples; unbounded proxy training on a
 /// wide TF-IDF matrix would cost more than the model being optimized.

@@ -17,6 +17,9 @@ pub enum ServeError {
         /// Why the request was rejected.
         reason: String,
     },
+    /// A cross-process worker transport failed (connect, send, or
+    /// receive) — see `RemoteWorker`.
+    Transport(String),
 }
 
 impl fmt::Display for ServeError {
@@ -26,6 +29,7 @@ impl fmt::Display for ServeError {
             ServeError::Disconnected => f.write_str("server disconnected"),
             ServeError::Predictor(m) => write!(f, "prediction failed: {m}"),
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::Transport(m) => write!(f, "transport failed: {m}"),
         }
     }
 }

@@ -29,6 +29,14 @@
 //! - **Key-hash shard routing**: equal [`Request::key`]s always land
 //!   on the same shard ([`shard_for_key`]), and shards map onto
 //!   workers.
+//! - **Cross-process sharding** ([`WorkerTransport`]): a shard can be
+//!   served by a *remote runtime* — an [`RemoteRuntimeNode`]-hosted
+//!   process reached over TCP by a [`RemoteWorker`]
+//!   ([`EndpointBuilder::shard_remote`]) — behind the same admission
+//!   path, with per-shard transport latency in [`EndpointStats`],
+//!   automatic fail-over to surviving shards, and remote plan
+//!   counters folded into the scheduler's view
+//!   ([`ServingRuntime::refresh_remote_counters`]).
 //! - **Statistics-aware scheduling** ([`SchedulerPolicy`]): the
 //!   scheduler reads each plan's `PlanCounters` (the `ServingPlan`
 //!   IR's per-stage introspection) and gives escalation-heavy
@@ -56,6 +64,7 @@
 mod e2e_cache;
 mod error;
 mod protocol;
+mod remote;
 mod runtime;
 mod selection;
 mod server;
@@ -64,7 +73,12 @@ pub use e2e_cache::E2eCachedPredictor;
 pub use error::ServeError;
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, error_wire,
-    escape_json_string, Request, Response, WireRow, ERROR_RESPONSE_ID,
+    escape_json_string, ControlRequest, EndpointCounters, Request, Response, WireRow,
+    ERROR_RESPONSE_ID,
+};
+pub use remote::{
+    InProcessWorker, RemoteRuntimeNode, RemoteWorker, TransportStats, WorkerTransport,
+    REMOTE_WORKER_BREAKER_COOLDOWN, REMOTE_WORKER_BREAKER_FAILURES, REMOTE_WORKER_TIMEOUT,
 };
 pub use runtime::{
     shard_for_key, table_row_to_wire, Endpoint, EndpointBuilder, EndpointStats, RuntimeBuilder,

@@ -18,8 +18,28 @@
 //! endpoint name and version that served them ([`Response::endpoint`],
 //! [`Response::version`]), `None` on error paths that never resolved
 //! an endpoint.
+//!
+//! # Shard-forwarding and control frames
+//!
+//! Cross-process sharding (see [`crate::RemoteWorker`]) reuses this
+//! same protocol between a parent router and a remote node, with two
+//! additions — both `#[serde(default)]`, so every pre-existing frame
+//! still decodes:
+//!
+//! - **Shard-forwarding frames** set [`Request::forwarded`]: the
+//!   parent already resolved endpoint, version, and shard, so the
+//!   receiving node must serve the request on its *local* shards and
+//!   never forward it onward (the forwarding-loop guard).
+//! - **Control frames** set [`Request::control`] instead of carrying
+//!   rows: [`ControlRequest::Counters`] asks the node for a
+//!   [`Response::counters`] report — one [`EndpointCounters`] per
+//!   registered endpoint, carrying that plan's
+//!   [`willump::PlanCountersSnapshot`] — which is how a parent's
+//!   escalation-aware scheduler reads statistics that accumulated in
+//!   another process.
 
 use serde::{Deserialize, Serialize};
+use willump::PlanCountersSnapshot;
 use willump_data::Value;
 
 use crate::ServeError;
@@ -60,6 +80,17 @@ pub struct Request {
     /// round-robin across the endpoint's shards.
     #[serde(default)]
     pub key: Option<String>,
+    /// Marks a shard-forwarding frame: the sending router already
+    /// resolved endpoint, version, and shard, so the receiving node
+    /// must serve the request on its own local shards and never
+    /// forward it to a further remote (forwarding-loop guard). Plain
+    /// clients leave this `false`.
+    #[serde(default)]
+    pub forwarded: bool,
+    /// Control operation instead of a prediction (see
+    /// [`ControlRequest`]); `None` for ordinary prediction requests.
+    #[serde(default)]
+    pub control: Option<ControlRequest>,
 }
 
 impl Request {
@@ -73,8 +104,43 @@ impl Request {
             endpoint: None,
             version: None,
             key: None,
+            forwarded: false,
+            control: None,
         }
     }
+
+    /// A [`ControlRequest::Counters`] probe: asks the serving runtime
+    /// for every endpoint's [`EndpointCounters`] instead of a
+    /// prediction.
+    #[must_use]
+    pub fn counters_probe(id: u64) -> Request {
+        Request {
+            control: Some(ControlRequest::Counters),
+            ..Request::new(id, Vec::new())
+        }
+    }
+}
+
+/// A non-prediction operation carried by [`Request::control`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlRequest {
+    /// Report every endpoint's [`PlanCountersSnapshot`] in
+    /// [`Response::counters`] — the cross-process statistics feed for
+    /// the escalation-aware scheduler.
+    Counters,
+}
+
+/// One endpoint's plan statistics in a [`ControlRequest::Counters`]
+/// response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointCounters {
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Endpoint version.
+    pub version: u32,
+    /// Point-in-time copy of the endpoint plan's counters (all zero
+    /// for endpoints without attached [`willump::PlanCounters`]).
+    pub counters: PlanCountersSnapshot,
 }
 
 /// A prediction response.
@@ -94,6 +160,10 @@ pub struct Response {
     /// The endpoint version that served this response.
     #[serde(default)]
     pub version: Option<u32>,
+    /// Per-endpoint plan statistics, present only on responses to
+    /// [`ControlRequest::Counters`] probes.
+    #[serde(default)]
+    pub counters: Option<Vec<EndpointCounters>>,
 }
 
 impl Response {
@@ -106,6 +176,7 @@ impl Response {
             error: Some(message.into()),
             endpoint: None,
             version: None,
+            counters: None,
         }
     }
 }
@@ -253,9 +324,62 @@ mod tests {
             error: None,
             endpoint: Some("music".to_string()),
             version: Some(1),
+            counters: None,
         };
         let wire = encode_response(&resp).unwrap();
         assert_eq!(decode_response(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn forwarding_frame_round_trip() {
+        let req = Request {
+            endpoint: Some("music".to_string()),
+            version: Some(2),
+            key: Some("user-17".to_string()),
+            forwarded: true,
+            ..sample()
+        };
+        let wire = encode_request(&req).unwrap();
+        let back = decode_request(&wire).unwrap();
+        assert!(back.forwarded);
+        assert_eq!(back, req);
+        // Legacy frames decode with the forwarding flag off.
+        let legacy = r#"{"id":3,"rows":[[["x",{"Float":1.5}]]]}"#;
+        let back = decode_request(legacy).unwrap();
+        assert!(!back.forwarded);
+        assert_eq!(back.control, None);
+    }
+
+    #[test]
+    fn counters_control_frame_round_trip() {
+        let probe = Request::counters_probe(9);
+        assert_eq!(probe.control, Some(ControlRequest::Counters));
+        assert!(probe.rows.is_empty());
+        let back = decode_request(&encode_request(&probe).unwrap()).unwrap();
+        assert_eq!(back, probe);
+
+        let resp = Response {
+            counters: Some(vec![EndpointCounters {
+                endpoint: "music".to_string(),
+                version: 2,
+                counters: willump::PlanCountersSnapshot {
+                    rows: 10,
+                    gate_resolved: 6,
+                    escalated: 4,
+                    filter_dropped: 0,
+                },
+            }]),
+            ..Response::failure(9, "unused")
+        };
+        let resp = Response {
+            error: None,
+            ..resp
+        };
+        let back = decode_response(&encode_response(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        let report = back.counters.unwrap();
+        assert_eq!(report[0].counters.escalated, 4);
+        assert!((report[0].counters.escalation_rate() - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,1040 @@
+//! Cross-process sharding: the [`WorkerTransport`] layer.
+//!
+//! The [`crate::ServingRuntime`] routes every admitted request to a
+//! shard of its target endpoint. Through PR 4 a shard was always an
+//! in-process worker queue; this module makes the shard → execution
+//! hop **pluggable**, so one endpoint can mix in-process shards with
+//! shards served by *other runtimes* — in the same process or across
+//! a TCP boundary in another process — behind the same admission
+//! path, key-hash routing, canary/version selection, and
+//! [`crate::EndpointStats`] accounting.
+//!
+//! Three pieces:
+//!
+//! - [`WorkerTransport`]: the trait a shard's execution backend
+//!   implements — take one encoded wire frame, return the encoded
+//!   response. Implementations report [`TransportStats`] (forwards,
+//!   failures, reconnects, cumulative latency), which the runtime
+//!   surfaces per shard.
+//! - [`RemoteWorker`]: the TCP implementation. Speaks the existing
+//!   JSON wire protocol, newline-delimited (the protocol's encoder
+//!   escapes control characters inside strings, so one frame is
+//!   always exactly one line), pools connections so concurrent
+//!   forwards overlap their round trips, and transparently retries
+//!   once on a fresh connection after a connection-level failure —
+//!   but never after a read timeout, which would re-execute the
+//!   request on a node that may simply be slow.
+//! - [`RemoteRuntimeNode`]: the host side. Binds a listener and
+//!   exposes a whole [`crate::ServingRuntime`] — all of its endpoints
+//!   — to parent routers; each accepted connection is served by a
+//!   thread that feeds frames through a regular runtime client.
+//!
+//! The **local queue** implementation of the trait is
+//! [`InProcessWorker`]: it forwards frames to another runtime in the
+//! same process through its client handle — the same code path as
+//! [`RemoteWorker`] minus the socket, which makes transport behavior
+//! testable without networking and documents that the native
+//! in-process shard path is just the degenerate transport whose
+//! "wire" is a channel send.
+//!
+//! Forwarded frames set [`crate::Request::forwarded`], which pins
+//! them to the receiving node's *local* shards — a node can itself
+//! have remote shards without ever creating a forwarding loop.
+//!
+//! # Examples
+//!
+//! Serve an endpoint from a child runtime over TCP:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use willump_serve::{
+//!     RemoteRuntimeNode, Servable, ServingRuntime, WireRow,
+//! };
+//! use willump_data::{Table, Value};
+//!
+//! struct Doubler;
+//! impl Servable for Doubler {
+//!     fn predict_table(&self, t: &Table) -> Result<Vec<f64>, String> {
+//!         let xs = t.column("x").ok_or("missing x")?;
+//!         Ok(xs.to_f64_vec().map_err(|e| e.to_string())?
+//!             .into_iter().map(|x| 2.0 * x).collect())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Child: a runtime exposed on a TCP port.
+//! let mut child = ServingRuntime::builder();
+//! child.endpoint("double", Arc::new(Doubler));
+//! let node = RemoteRuntimeNode::bind("127.0.0.1:0", child.build()?)?;
+//!
+//! // Parent: one local shard plus one shard served by the child.
+//! let mut parent = ServingRuntime::builder();
+//! parent
+//!     .endpoint("double", Arc::new(Doubler))
+//!     .shard_remote(&node.local_addr().to_string());
+//! let runtime = parent.build()?;
+//! let client = runtime.client();
+//! let rows: Vec<WireRow> = vec![vec![("x".to_string(), Value::Float(3.0))]];
+//! assert_eq!(client.predict_endpoint("double", rows)?, vec![6.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use willump::PlanCountersSnapshot;
+
+use crate::protocol::{decode_response, encode_request, Request, Response};
+use crate::runtime::{RuntimeClient, ServingRuntime};
+use crate::ServeError;
+
+/// Where a shard's work is executed: the boundary between the
+/// runtime's routing layer and a worker that may live in another
+/// process.
+///
+/// A transport takes one already-encoded wire frame (the JSON
+/// [`crate::encode_request`] produces) and returns the encoded
+/// response — exactly a client's view of a serving runtime. The
+/// runtime measures each forward and folds the latency into the
+/// endpoint's per-shard counters; implementations additionally keep
+/// their own [`TransportStats`].
+pub trait WorkerTransport: Send + Sync {
+    /// Forward one encoded request frame; return the raw wire
+    /// response.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Transport`] (or
+    /// [`ServeError::Disconnected`]) when the backing worker cannot
+    /// be reached; the runtime then fails the request over to a
+    /// surviving shard.
+    fn forward(&self, frame: &str) -> Result<String, ServeError>;
+
+    /// Human-readable backend description (`"tcp://127.0.0.1:9001"`,
+    /// `"in-process"`), used in stats dumps and error messages.
+    fn describe(&self) -> String;
+
+    /// Cumulative transport counters.
+    fn stats(&self) -> TransportStats;
+
+    /// Forward a control/probe frame. Defaults to [`forward`]
+    /// (probes then count as ordinary forwards); implementations
+    /// whose stats feed latency dashboards should override this to
+    /// keep probe round trips out of [`TransportStats`], as
+    /// [`RemoteWorker`] does.
+    ///
+    /// [`forward`]: WorkerTransport::forward
+    ///
+    /// # Errors
+    /// Same conditions as [`forward`](WorkerTransport::forward).
+    fn forward_probe(&self, frame: &str) -> Result<String, ServeError> {
+        self.forward(frame)
+    }
+
+    /// Ask the backing runtime for one endpoint's
+    /// [`PlanCountersSnapshot`] via a
+    /// [`crate::ControlRequest::Counters`] probe frame.
+    ///
+    /// This is how a parent's escalation-aware scheduler reads plan
+    /// statistics that accumulated in another process (see
+    /// [`ServingRuntime::refresh_remote_counters`]).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Transport`] when the probe cannot be
+    /// delivered or the reply names no such endpoint.
+    fn probe_counters(
+        &self,
+        endpoint: &str,
+        version: u32,
+    ) -> Result<PlanCountersSnapshot, ServeError> {
+        let frame = encode_request(&Request::counters_probe(1))?;
+        let resp = decode_response(&self.forward_probe(&frame)?)?;
+        extract_counters(resp, endpoint, version, &self.describe())
+    }
+}
+
+/// Pull one endpoint's snapshot out of a counters control response.
+fn extract_counters(
+    resp: Response,
+    endpoint: &str,
+    version: u32,
+    who: &str,
+) -> Result<PlanCountersSnapshot, ServeError> {
+    if let Some(err) = resp.error {
+        return Err(ServeError::Transport(format!(
+            "counters probe failed: {err}"
+        )));
+    }
+    resp.counters
+        .unwrap_or_default()
+        .into_iter()
+        .find(|c| c.endpoint == endpoint && c.version == version)
+        .map(|c| c.counters)
+        .ok_or_else(|| {
+            ServeError::Transport(format!(
+                "node {who} reports no endpoint `{endpoint}` v{version}"
+            ))
+        })
+}
+
+/// Point-in-time counters of one [`WorkerTransport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames forwarded successfully.
+    pub forwards: u64,
+    /// Forwards that ultimately failed (after any reconnect attempt).
+    pub failures: u64,
+    /// Connections re-established after a drop (the first-ever
+    /// connection does not count).
+    pub reconnects: u64,
+    /// Cumulative round-trip nanoseconds of successful forwards.
+    pub total_nanos: u64,
+}
+
+impl TransportStats {
+    /// Mean round-trip seconds per successful forward (0 before the
+    /// first success).
+    pub fn mean_latency(&self) -> f64 {
+        if self.forwards == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.forwards as f64 / 1e9
+        }
+    }
+}
+
+/// Shared atomic counters behind a [`TransportStats`] snapshot.
+#[derive(Debug, Default)]
+struct TransportCounters {
+    forwards: AtomicU64,
+    failures: AtomicU64,
+    reconnects: AtomicU64,
+    total_nanos: AtomicU64,
+}
+
+impl TransportCounters {
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            forwards: self.forwards.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            total_nanos: self.total_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_success(&self, elapsed: Duration) {
+        self.forwards.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+// ---- the local-queue transport -------------------------------------
+
+/// The local implementation of [`WorkerTransport`]: forwards frames
+/// to another [`ServingRuntime`] *in the same process* through a
+/// regular client handle (whose sends land on the target runtime's
+/// worker queues).
+///
+/// Functionally identical to [`RemoteWorker`] minus the socket:
+/// useful for testing transport routing without networking, and for
+/// composing runtimes inside one process (e.g. giving a tenant's
+/// endpoint its own isolated worker pool).
+pub struct InProcessWorker {
+    client: RuntimeClient,
+    counters: TransportCounters,
+}
+
+impl std::fmt::Debug for InProcessWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcessWorker")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl InProcessWorker {
+    /// A transport forwarding to `runtime`'s worker queues.
+    #[must_use]
+    pub fn new(runtime: &ServingRuntime) -> InProcessWorker {
+        InProcessWorker {
+            client: runtime.client(),
+            counters: TransportCounters::default(),
+        }
+    }
+}
+
+impl WorkerTransport for InProcessWorker {
+    fn forward(&self, frame: &str) -> Result<String, ServeError> {
+        let start = Instant::now();
+        match self.client.call_raw(frame.to_string()) {
+            Ok(wire) => {
+                self.counters.record_success(start.elapsed());
+                Ok(wire)
+            }
+            Err(e) => {
+                self.counters.failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        // The runtime id distinguishes two in-process backends, so
+        // per-backend deduplication (counter merging) stays correct.
+        format!("in-process:{:x}", self.client.runtime_id())
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+}
+
+// ---- the TCP transport ---------------------------------------------
+
+/// One half-open connection: the write side and a buffered read side
+/// of the same stream.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A TCP [`WorkerTransport`]: forwards wire frames to a
+/// [`RemoteRuntimeNode`] (typically in another process), one
+/// newline-delimited JSON frame per request.
+///
+/// Connections are **pooled** — concurrent forwards each check a
+/// connection out of an idle pool (dialing a fresh one when the pool
+/// is empty), so parallel requests to one shard overlap their round
+/// trips instead of serializing on a single socket — **lazy**
+/// (nothing is dialed until the first forward) and **self-healing**:
+/// a connect, send, or connection-drop failure retries once on a
+/// fresh connection before the error is reported, so a restarted
+/// node is picked back up without intervention. A **read timeout**
+/// is deliberately *not* retried: the node may be alive and still
+/// executing the request, and resending the frame would execute it
+/// a second time exactly when the node is at its most loaded — the
+/// error surfaces instead, and the runtime's shard fail-over decides
+/// what to do.
+pub struct RemoteWorker {
+    addr: String,
+    timeout: Duration,
+    idle: Mutex<Vec<Conn>>,
+    /// A failure happened since the last successful dial (drives
+    /// reconnect accounting: a dial that clears this counts as a
+    /// reconnect, a dial that merely grows the pool does not).
+    broken: AtomicBool,
+    /// Circuit breaker: consecutive failed forwards, and when the
+    /// last one happened. Once `consecutive_failures` reaches
+    /// `breaker_threshold`, forwards fail fast (no dial, no timeout
+    /// wait) until `breaker_cooldown` has elapsed since the last
+    /// failure; then one trial forward is let through (half-open).
+    consecutive_failures: AtomicU64,
+    last_failure: Mutex<Option<Instant>>,
+    breaker_threshold: u64,
+    breaker_cooldown: Duration,
+    counters: TransportCounters,
+}
+
+/// Idle connections kept per [`RemoteWorker`]; checkouts beyond this
+/// still dial (concurrency is unbounded), the surplus is just not
+/// pooled on return.
+const REMOTE_WORKER_POOL: usize = 8;
+
+/// Default consecutive-failure threshold that opens a
+/// [`RemoteWorker`]'s circuit breaker (see
+/// [`RemoteWorker::with_breaker`]).
+pub const REMOTE_WORKER_BREAKER_FAILURES: u64 = 3;
+
+/// Default cool-down an open [`RemoteWorker`] breaker waits before
+/// letting a half-open trial forward through.
+pub const REMOTE_WORKER_BREAKER_COOLDOWN: Duration = Duration::from_secs(1);
+
+/// An I/O failure, classified by whether it was a read timeout (the
+/// request may still be executing remotely — never resent) or a
+/// connection-level failure (safe to retry on a fresh connection).
+struct IoFailure {
+    timed_out: bool,
+    error: ServeError,
+}
+
+impl std::fmt::Debug for RemoteWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteWorker")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default I/O timeout for [`RemoteWorker`] connections: generous
+/// enough for a loaded node serving a large batch, short enough that
+/// a wedged node triggers fail-over rather than hanging clients.
+pub const REMOTE_WORKER_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl RemoteWorker {
+    /// A transport to the node at `addr` (`"host:port"`). No
+    /// connection is attempted until the first forward.
+    #[must_use]
+    pub fn new(addr: &str) -> RemoteWorker {
+        RemoteWorker {
+            addr: addr.to_string(),
+            timeout: REMOTE_WORKER_TIMEOUT,
+            idle: Mutex::new(Vec::new()),
+            broken: AtomicBool::new(false),
+            consecutive_failures: AtomicU64::new(0),
+            last_failure: Mutex::new(None),
+            breaker_threshold: REMOTE_WORKER_BREAKER_FAILURES,
+            breaker_cooldown: REMOTE_WORKER_BREAKER_COOLDOWN,
+            counters: TransportCounters::default(),
+        }
+    }
+
+    /// Override the circuit breaker (default
+    /// [`REMOTE_WORKER_BREAKER_FAILURES`] consecutive failures, then
+    /// fail fast for [`REMOTE_WORKER_BREAKER_COOLDOWN`] per failure).
+    /// `threshold` 0 disables the breaker entirely: every forward to
+    /// a dead node then pays its full dial/timeout cost before the
+    /// runtime fails over.
+    #[must_use]
+    pub fn with_breaker(mut self, threshold: u64, cooldown: Duration) -> RemoteWorker {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Override the connect/read/write timeout (default
+    /// [`REMOTE_WORKER_TIMEOUT`]).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> RemoteWorker {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The target address this transport forwards to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&self) -> Result<Conn, ServeError> {
+        let io = |e: std::io::Error| ServeError::Transport(format!("{}: {e}", self.addr));
+        let sockaddr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(io)?
+            .next()
+            .ok_or_else(|| {
+                ServeError::Transport(format!("{}: address resolves to nothing", self.addr))
+            })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.timeout).map_err(io)?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(io)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(io)?;
+        stream.set_nodelay(true).map_err(io)?;
+        let reader = BufReader::new(stream.try_clone().map_err(io)?);
+        Ok(Conn {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// One write + read round trip on an established connection.
+    fn round_trip(&self, conn: &mut Conn, frame: &str) -> Result<String, IoFailure> {
+        let io = |e: std::io::Error| IoFailure {
+            timed_out: matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            error: ServeError::Transport(format!("{}: {e}", self.addr)),
+        };
+        conn.writer.write_all(frame.as_bytes()).map_err(io)?;
+        conn.writer.write_all(b"\n").map_err(io)?;
+        conn.writer.flush().map_err(io)?;
+        // Read raw bytes (a timeout mid-frame must not be confused
+        // with a UTF-8 boundary), then decode once the line is whole.
+        let mut buf = Vec::new();
+        let n = conn.reader.read_until(b'\n', &mut buf).map_err(io)?;
+        if n == 0 {
+            return Err(IoFailure {
+                timed_out: false,
+                error: ServeError::Transport(format!("{}: node closed the connection", self.addr)),
+            });
+        }
+        while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+            buf.pop();
+        }
+        String::from_utf8(buf).map_err(|e| IoFailure {
+            timed_out: false,
+            error: ServeError::Transport(format!("{}: response is not UTF-8: {e}", self.addr)),
+        })
+    }
+
+    /// Fail this forward: remember the transport is broken (the next
+    /// successful dial counts as a reconnect) and, for counted
+    /// (non-probe) forwards, feed the stats and the circuit breaker.
+    fn fail(&self, error: ServeError, record: bool) -> ServeError {
+        self.broken.store(true, Ordering::Relaxed);
+        if record {
+            self.counters.failures.fetch_add(1, Ordering::Relaxed);
+            self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+            *self.last_failure.lock() = Some(Instant::now());
+        }
+        error
+    }
+
+    /// Record a counted forward's success and close the breaker.
+    fn succeed(&self, start: Instant) {
+        self.counters.record_success(start.elapsed());
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether the circuit breaker currently rejects forwards: at or
+    /// past the threshold, and still inside the cool-down since the
+    /// last failure. Past the cool-down the breaker goes half-open —
+    /// forwards proceed, and the first success closes it.
+    fn breaker_open(&self) -> bool {
+        if self.breaker_threshold == 0
+            || self.consecutive_failures.load(Ordering::Relaxed) < self.breaker_threshold
+        {
+            return false;
+        }
+        self.last_failure
+            .lock()
+            .is_some_and(|t| t.elapsed() < self.breaker_cooldown)
+    }
+
+    /// Return a healthy connection to the idle pool (bounded).
+    fn check_in(&self, conn: Conn) {
+        let mut idle = self.idle.lock();
+        if idle.len() < REMOTE_WORKER_POOL {
+            idle.push(conn);
+        }
+    }
+}
+
+impl RemoteWorker {
+    /// The shared forward path; `record: false` (counters probes)
+    /// skips the stats counters and breaker accounting, so periodic
+    /// probes cannot dilute the mean forward latency or flap the
+    /// breaker.
+    fn forward_impl(&self, frame: &str, record: bool) -> Result<String, ServeError> {
+        // The JSON encoder escapes control characters inside strings,
+        // so a well-formed frame is always newline-free; reject
+        // anything else rather than desynchronize the stream.
+        if frame.contains('\n') {
+            if record {
+                self.counters.failures.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(ServeError::Transport(
+                "frame contains a raw newline".to_string(),
+            ));
+        }
+        // Circuit breaker: a shard that keeps failing fails fast —
+        // no dial, no timeout wait — so keyed traffic sticky to a
+        // dead node degrades by one cheap error instead of a full
+        // connect timeout per request.
+        if self.breaker_open() {
+            if record {
+                self.counters.failures.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(ServeError::Transport(format!(
+                "{}: circuit open after {} consecutive failures",
+                self.addr,
+                self.consecutive_failures.load(Ordering::Relaxed)
+            )));
+        }
+        let start = Instant::now();
+        // Attempt 1: a pooled idle connection, held OUTSIDE the pool
+        // lock so concurrent forwards overlap their round trips (the
+        // pop is bound to a `let` first — an `if let` scrutinee would
+        // keep the pool locked for the whole block).
+        let pooled = self.idle.lock().pop();
+        if let Some(mut conn) = pooled {
+            match self.round_trip(&mut conn, frame) {
+                Ok(line) => {
+                    if record {
+                        self.succeed(start);
+                    }
+                    self.check_in(conn);
+                    return Ok(line);
+                }
+                // The node may still be executing this request: do
+                // NOT resend it (that would double-execute exactly
+                // when the node is most loaded). Fail and let the
+                // runtime's shard fail-over decide.
+                Err(f) if f.timed_out => return Err(self.fail(f.error, record)),
+                // A dropped/stale pooled connection (e.g. the node
+                // restarted): the response cannot arrive on it, so a
+                // single fresh-connection retry is safe. Mark the
+                // transport broken — the fresh dial below counts as
+                // a reconnect — and fall through.
+                Err(_) => self.broken.store(true, Ordering::Relaxed),
+            }
+        }
+        // Attempt 2: a fresh connection.
+        let mut conn = match self.connect() {
+            Ok(conn) => {
+                if self.broken.swap(false, Ordering::Relaxed) {
+                    self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                conn
+            }
+            Err(e) => return Err(self.fail(e, record)),
+        };
+        match self.round_trip(&mut conn, frame) {
+            Ok(line) => {
+                if record {
+                    self.succeed(start);
+                }
+                self.check_in(conn);
+                Ok(line)
+            }
+            Err(f) => Err(self.fail(f.error, record)),
+        }
+    }
+}
+
+impl WorkerTransport for RemoteWorker {
+    fn forward(&self, frame: &str) -> Result<String, ServeError> {
+        self.forward_impl(frame, true)
+    }
+
+    fn describe(&self) -> String {
+        format!("tcp://{}", self.addr)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+
+    /// Probes ride the same pool/retry path but are *not* counted as
+    /// forwards, so periodic [`ServingRuntime::refresh_remote_counters`]
+    /// polling cannot dilute the mean forward latency or desync
+    /// `TransportStats::forwards` from the runtime's own
+    /// `remote_forwards`.
+    fn forward_probe(&self, frame: &str) -> Result<String, ServeError> {
+        self.forward_impl(frame, false)
+    }
+}
+
+// ---- the host side -------------------------------------------------
+
+/// How often a node connection handler wakes from a blocked read to
+/// check the shutdown flag.
+const NODE_POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// The host side of cross-process sharding: a TCP listener exposing a
+/// whole [`ServingRuntime`] — every endpoint it serves — to parent
+/// routers.
+///
+/// Each accepted connection is handled by a dedicated thread reading
+/// newline-delimited wire frames, answering each through a regular
+/// runtime client (so forwarded frames get the exact admission,
+/// routing, batching, and stats treatment local requests do).
+///
+/// Shutdown is explicit and idempotent ([`shutdown`](Self::shutdown),
+/// also run on drop): the runtime's admission gate closes first, then
+/// the accept loop and every connection handler are joined. Handlers
+/// poll a shutdown flag between reads, so a parent that keeps its
+/// connection open cannot pin the node alive.
+pub struct RemoteRuntimeNode {
+    runtime: ServingRuntime,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for RemoteRuntimeNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteRuntimeNode")
+            .field("addr", &self.addr)
+            .field("runtime", &self.runtime)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteRuntimeNode {
+    /// Bind `addr` (`"host:port"`; port 0 picks a free one — read it
+    /// back with [`local_addr`](Self::local_addr)) and start serving
+    /// `runtime` to connecting routers.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Transport`] when the listener cannot be
+    /// bound.
+    pub fn bind(addr: &str, runtime: ServingRuntime) -> Result<RemoteRuntimeNode, ServeError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Transport(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServeError::Transport(format!("bind {addr}: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        // A non-blocking accept loop: the thread polls the shutdown
+        // flag between accepts, so shutdown/Drop can always join it —
+        // even when the bound address (wildcard, downed interface)
+        // cannot be self-connected to wake a blocking accept.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Transport(format!("bind {addr}: {e}")))?;
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let handlers = Arc::clone(&handlers);
+            let client_source = runtime.client();
+            std::thread::spawn(move || loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(NODE_POLL_INTERVAL);
+                        continue;
+                    }
+                    Err(_) => continue,
+                };
+                // Accepted sockets may inherit non-blocking mode on
+                // some platforms; handlers expect blocking reads
+                // bounded by their own read timeout.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let client = client_source.fork();
+                let shutdown = Arc::clone(&shutdown);
+                let handle =
+                    std::thread::spawn(move || serve_connection(stream, &client, &shutdown));
+                // Reap finished handlers as connections churn, so
+                // a long-lived node's handle list stays bounded.
+                let mut guard = handlers.lock();
+                guard.retain(|h: &JoinHandle<()>| !h.is_finished());
+                guard.push(handle);
+            })
+        };
+        Ok(RemoteRuntimeNode {
+            runtime,
+            addr: local,
+            shutdown,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+
+    /// The bound listen address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hosted runtime (for stats and endpoint inspection).
+    pub fn runtime(&self) -> &ServingRuntime {
+        &self.runtime
+    }
+
+    /// Stop accepting, shut the hosted runtime down, and join every
+    /// connection handler. Idempotent; also run on drop.
+    pub fn shutdown(&mut self) {
+        if !self.shutdown.swap(true, Ordering::Relaxed) {
+            self.runtime.shutdown();
+            // Best-effort wake: the accept loop also polls the flag,
+            // so shutdown completes within one poll interval even if
+            // this self-connect cannot reach the bound address.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handlers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RemoteRuntimeNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One node connection: read newline-delimited frames, answer each
+/// through the runtime client, until the peer hangs up, the runtime
+/// shuts down, or the node's shutdown flag flips.
+fn serve_connection(stream: TcpStream, client: &RuntimeClient, shutdown: &AtomicBool) {
+    // A finite read timeout turns a quiet connection into a periodic
+    // shutdown-flag poll instead of an indefinite block; NODELAY
+    // matters because every response is one small write that must
+    // not sit in Nagle's buffer while the router blocks on it.
+    if stream.set_read_timeout(Some(NODE_POLL_INTERVAL)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let Ok(read_side) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_side);
+    let mut writer = stream;
+    // Frames accumulate as raw bytes: read_until appends whatever
+    // arrived before a poll timeout, so a frame split across reads —
+    // even mid-UTF-8-character — reassembles losslessly (a String
+    // buffer could not hold the partial character).
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {
+                while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+                    buf.pop();
+                }
+                // Invalid UTF-8 cannot be a valid frame; decode lossily
+                // and let the runtime answer with its codec error.
+                let payload = String::from_utf8_lossy(&buf).into_owned();
+                buf.clear();
+                let Ok(wire) = client.call_raw(payload) else {
+                    return; // runtime shut down
+                };
+                if writer
+                    .write_all(wire.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Partial bytes stay in `buf`; the next pass
+                // completes the frame.
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Consume (and discard) the rest of a reader — used by tests to hold
+/// a connection open without reading.
+#[cfg(test)]
+fn drain<R: std::io::Read>(mut r: R) {
+    let mut buf = [0u8; 256];
+    while matches!(r.read(&mut buf), Ok(n) if n > 0) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Servable, ServerConfig};
+    use willump_data::{Table, Value};
+
+    struct Scaler(f64);
+    impl Servable for Scaler {
+        fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+            let col = table
+                .column("x")
+                .ok_or_else(|| "missing x".to_string())?
+                .to_f64_vec()
+                .map_err(|e| e.to_string())?;
+            Ok(col.into_iter().map(|v| v * self.0).collect())
+        }
+    }
+
+    fn runtime(factor: f64) -> ServingRuntime {
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(1).build());
+        b.endpoint("scale", Arc::new(Scaler(factor)));
+        b.build().expect("runtime builds")
+    }
+
+    fn frame(id: u64, x: f64) -> String {
+        encode_request(&Request {
+            endpoint: Some("scale".to_string()),
+            ..Request::new(id, vec![vec![("x".to_string(), Value::Float(x))]])
+        })
+        .expect("encodable")
+    }
+
+    #[test]
+    fn remote_worker_round_trips_through_node() {
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(2.0)).expect("binds");
+        let worker = RemoteWorker::new(&node.local_addr().to_string());
+        let resp = decode_response(&worker.forward(&frame(7, 3.0)).unwrap()).unwrap();
+        assert_eq!(resp.id, 7);
+        assert_eq!(resp.scores, vec![6.0]);
+        let stats = worker.stats();
+        assert_eq!(stats.forwards, 1);
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.reconnects, 0);
+        assert!(stats.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn remote_worker_reconnects_after_node_restart() {
+        let mut node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(2.0)).expect("binds");
+        let addr = node.local_addr().to_string();
+        let worker = RemoteWorker::new(&addr).with_timeout(Duration::from_secs(2));
+        assert!(worker.forward(&frame(1, 1.0)).is_ok());
+        node.shutdown();
+
+        // Node down: the forward fails (counted), connection dropped.
+        assert!(matches!(
+            worker.forward(&frame(2, 1.0)),
+            Err(ServeError::Transport(_))
+        ));
+        assert_eq!(worker.stats().failures, 1);
+
+        // Node back (same port): the next forward reconnects.
+        let mut node2 = RemoteRuntimeNode::bind(&addr, runtime(2.0)).expect("rebinds");
+        let resp = decode_response(&worker.forward(&frame(3, 5.0)).unwrap()).unwrap();
+        assert_eq!(resp.scores, vec![10.0]);
+        assert_eq!(worker.stats().reconnects, 1);
+
+        // Restart again while the pool holds an idle connection: the
+        // stale pooled socket falls through to a fresh dial, which
+        // must ALSO count as a reconnect — and not as a failure,
+        // since the forward succeeds.
+        node2.shutdown();
+        let _node3 = RemoteRuntimeNode::bind(&addr, runtime(2.0)).expect("rebinds again");
+        let resp = decode_response(&worker.forward(&frame(4, 7.0)).unwrap()).unwrap();
+        assert_eq!(resp.scores, vec![14.0]);
+        assert_eq!(worker.stats().reconnects, 2);
+        assert_eq!(worker.stats().failures, 1);
+    }
+
+    #[test]
+    fn circuit_breaker_fails_fast_then_recovers() {
+        let mut node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(2.0)).expect("binds");
+        let addr = node.local_addr().to_string();
+        let worker = RemoteWorker::new(&addr)
+            .with_timeout(Duration::from_secs(2))
+            .with_breaker(2, Duration::from_millis(100));
+        assert!(worker.forward(&frame(1, 1.0)).is_ok());
+        node.shutdown();
+
+        // Two real failures open the breaker…
+        assert!(worker.forward(&frame(2, 1.0)).is_err());
+        assert!(worker.forward(&frame(3, 1.0)).is_err());
+        // …after which forwards fail fast without dialing.
+        match worker.forward(&frame(4, 1.0)) {
+            Err(ServeError::Transport(msg)) => {
+                assert!(msg.contains("circuit open"), "got: {msg}");
+            }
+            other => panic!("expected open-circuit error, got {other:?}"),
+        }
+        assert_eq!(worker.stats().failures, 3);
+
+        // The node comes back; once the cool-down elapses, the
+        // half-open trial succeeds and closes the breaker.
+        let _node2 = RemoteRuntimeNode::bind(&addr, runtime(2.0)).expect("rebinds");
+        std::thread::sleep(Duration::from_millis(150));
+        let resp = decode_response(&worker.forward(&frame(5, 3.0)).unwrap()).unwrap();
+        assert_eq!(resp.scores, vec![6.0]);
+        assert!(worker.forward(&frame(6, 1.0)).is_ok(), "breaker closed");
+    }
+
+    #[test]
+    fn counter_probes_do_not_count_as_forwards() {
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(2.0)).expect("binds");
+        let worker = RemoteWorker::new(&node.local_addr().to_string());
+        assert!(worker.forward(&frame(1, 1.0)).is_ok());
+        let before = worker.stats();
+        // Probes must not inflate forwards or dilute mean latency.
+        assert!(worker.probe_counters("scale", 1).is_ok());
+        assert!(worker.probe_counters("nonesuch", 1).is_err());
+        let after = worker.stats();
+        assert_eq!(after.forwards, before.forwards);
+        assert_eq!(after.total_nanos, before.total_nanos);
+        assert_eq!(after.failures, before.failures);
+    }
+
+    #[test]
+    fn concurrent_forwards_overlap_via_the_pool() {
+        struct SlowScaler(Duration);
+        impl Servable for SlowScaler {
+            fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+                std::thread::sleep(self.0);
+                Scaler(2.0).predict_table(table)
+            }
+        }
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(4).build());
+        b.endpoint("scale", Arc::new(SlowScaler(Duration::from_millis(200))))
+            .shards(4);
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", b.build().unwrap()).expect("binds");
+        let worker = Arc::new(RemoteWorker::new(&node.local_addr().to_string()));
+
+        // 4 concurrent forwards through ONE transport: a single
+        // serialized connection would need >= 800ms; the pool dials
+        // parallel connections and overlaps the round trips.
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let worker = Arc::clone(&worker);
+                s.spawn(move || {
+                    let resp =
+                        decode_response(&worker.forward(&frame(i + 1, i as f64)).unwrap()).unwrap();
+                    assert_eq!(resp.scores, vec![2.0 * i as f64]);
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(600),
+            "4 x 200ms forwards must overlap, took {elapsed:?}"
+        );
+        assert_eq!(worker.stats().forwards, 4);
+        assert_eq!(worker.stats().failures, 0);
+    }
+
+    #[test]
+    fn in_process_worker_forwards_and_counts() {
+        let target = runtime(3.0);
+        let worker = InProcessWorker::new(&target);
+        // Descriptions identify the backend runtime, so two workers
+        // for one runtime dedupe while distinct runtimes do not.
+        assert!(worker.describe().starts_with("in-process:"));
+        assert_eq!(worker.describe(), InProcessWorker::new(&target).describe());
+        let resp = decode_response(&worker.forward(&frame(4, 2.0)).unwrap()).unwrap();
+        assert_eq!(resp.scores, vec![6.0]);
+        assert_eq!(worker.stats().forwards, 1);
+        drop(target);
+        assert!(worker.forward(&frame(5, 1.0)).is_err());
+        assert_eq!(worker.stats().failures, 1);
+    }
+
+    #[test]
+    fn newline_frames_are_rejected_not_sent() {
+        let worker = RemoteWorker::new("127.0.0.1:1");
+        assert!(matches!(
+            worker.forward("{\"id\":1}\n{\"id\":2}"),
+            Err(ServeError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn node_shutdown_survives_parked_connections() {
+        let mut node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(1.0)).expect("binds");
+        // Open a connection and never send anything: the handler must
+        // not pin shutdown.
+        let parked = TcpStream::connect(node.local_addr()).expect("connects");
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            drain(&parked);
+            let _ = tx.send(());
+        });
+        node.shutdown();
+        node.shutdown(); // idempotent
+                         // The handler dropped our connection (read side saw EOF)
+                         // within the poll interval, despite us never sending a frame.
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("node shutdown must close parked connections");
+    }
+}

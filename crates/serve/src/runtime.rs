@@ -50,13 +50,14 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use willump::PlanCounters;
+use willump::{PlanCounters, PlanCountersSnapshot};
 use willump_data::{Column, DataType, Table};
 
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, error_wire, Request,
-    Response, WireRow, ERROR_RESPONSE_ID,
+    decode_request, decode_response, encode_request, encode_response, error_wire, ControlRequest,
+    EndpointCounters, Request, Response, WireRow, ERROR_RESPONSE_ID,
 };
+use crate::remote::{RemoteWorker, TransportStats, WorkerTransport};
 use crate::selection::{ModelSelector, SelectionPolicy};
 use crate::server::{Servable, ServerConfig};
 use crate::ServeError;
@@ -91,6 +92,9 @@ pub struct ServerStats {
     route_errors: AtomicU64,
     coalesced_rows: AtomicU64,
     max_batch_rows: AtomicU64,
+    remote_forwards: AtomicU64,
+    transport_errors: AtomicU64,
+    failovers: AtomicU64,
     worker_batches: Vec<AtomicU64>,
 }
 
@@ -104,6 +108,9 @@ impl ServerStats {
             route_errors: AtomicU64::new(0),
             coalesced_rows: AtomicU64::new(0),
             max_batch_rows: AtomicU64::new(0),
+            remote_forwards: AtomicU64::new(0),
+            transport_errors: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
             worker_batches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -154,6 +161,25 @@ impl ServerStats {
         self.max_batch_rows.load(Ordering::Relaxed)
     }
 
+    /// Requests answered by a remote shard (successful
+    /// [`crate::WorkerTransport`] forwards, including ones that
+    /// succeeded only after fail-over to another remote shard).
+    pub fn remote_forwards(&self) -> u64 {
+        self.remote_forwards.load(Ordering::Relaxed)
+    }
+
+    /// Transport forwards that failed (each triggers fail-over; a
+    /// request can count more than once when several shards fail).
+    pub fn transport_errors(&self) -> u64 {
+        self.transport_errors.load(Ordering::Relaxed)
+    }
+
+    /// Requests re-routed to a surviving shard after their routed
+    /// shard's transport failed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
     /// Worker-iteration counts, one entry per worker thread.
     pub fn worker_batches(&self) -> Vec<u64> {
         self.worker_batches
@@ -171,6 +197,9 @@ pub struct EndpointStats {
     coalesced_rows: AtomicU64,
     max_batch_rows: AtomicU64,
     shard_requests: Vec<AtomicU64>,
+    shard_transport_nanos: Vec<AtomicU64>,
+    transport_errors: AtomicU64,
+    failovers: AtomicU64,
 }
 
 impl EndpointStats {
@@ -181,6 +210,9 @@ impl EndpointStats {
             coalesced_rows: AtomicU64::new(0),
             max_batch_rows: AtomicU64::new(0),
             shard_requests: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_transport_nanos: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            transport_errors: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
         }
     }
 
@@ -213,24 +245,66 @@ impl EndpointStats {
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Cumulative transport round-trip nanoseconds per shard. Local
+    /// shards (whose "transport" is an in-process queue hop measured
+    /// inside worker batching instead) always read 0; remote shards
+    /// accumulate the full forward latency.
+    pub fn shard_transport_nanos(&self) -> Vec<u64> {
+        self.shard_transport_nanos
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Failed transport forwards to this endpoint's remote shards.
+    pub fn transport_errors(&self) -> u64 {
+        self.transport_errors.load(Ordering::Relaxed)
+    }
+
+    /// Requests re-routed to a surviving shard after a transport
+    /// failure.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
 }
 
 // ---- endpoints -----------------------------------------------------
 
 /// One registered endpoint: a named, versioned, sharded deployment of
 /// a [`Servable`].
+///
+/// Shards `0..local_shards` run on the runtime's own worker pool;
+/// shards `local_shards..shards` are **remote**, each backed by a
+/// [`WorkerTransport`] (typically a [`RemoteWorker`] pointing at a
+/// [`crate::RemoteRuntimeNode`] in another process). Key-hash routing
+/// is uniform over all shards, so a key can stick to a remote shard
+/// exactly as it sticks to a local one.
 pub struct Endpoint {
     name: String,
     version: u32,
     servable: Arc<dyn Servable>,
     counters: Option<Arc<PlanCounters>>,
+    /// Total shard count (local + remote).
     shards: usize,
+    /// Shards served by the runtime's own worker pool.
+    local_shards: usize,
+    /// One transport per remote shard (index `s - local_shards`).
+    transports: Vec<Arc<dyn WorkerTransport>>,
+    /// Last [`PlanCountersSnapshot`] fetched from each remote shard
+    /// (see [`ServingRuntime::refresh_remote_counters`]).
+    remote_counters: Vec<Mutex<PlanCountersSnapshot>>,
     weight: f64,
     shadow: bool,
-    /// Shard -> worker index, rewritten by the scheduler.
+    /// Local shard -> worker index, rewritten by the scheduler.
     assignment: Vec<AtomicUsize>,
-    /// Round-robin cursor for requests without a routing key.
+    /// Round-robin cursor for unkeyed plain requests (full domain).
     next_shard: AtomicUsize,
+    /// Round-robin cursor for unkeyed forwarded frames (local-shard
+    /// domain; separate so the two rotations cannot skew each other).
+    next_forwarded: AtomicUsize,
+    /// Round-robin cursor for fail-over re-routes onto local shards.
+    next_failover: AtomicUsize,
     stats: EndpointStats,
 }
 
@@ -257,9 +331,32 @@ impl Endpoint {
         self.version
     }
 
-    /// Number of shards.
+    /// Total number of shards (local + remote).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Shards served by this runtime's own worker pool (shard indices
+    /// `0..local_shards()`).
+    pub fn local_shards(&self) -> usize {
+        self.local_shards
+    }
+
+    /// Shards served through a [`WorkerTransport`] (shard indices
+    /// `local_shards()..shards()`).
+    pub fn remote_shards(&self) -> usize {
+        self.shards - self.local_shards
+    }
+
+    /// Per-remote-shard transport counters, in shard order (empty for
+    /// all-local endpoints).
+    pub fn transport_stats(&self) -> Vec<TransportStats> {
+        self.transports.iter().map(|t| t.stats()).collect()
+    }
+
+    /// Per-remote-shard transport descriptions, in shard order.
+    pub fn transport_descriptions(&self) -> Vec<String> {
+        self.transports.iter().map(|t| t.describe()).collect()
     }
 
     /// Traffic weight among unpinned requests to this endpoint name.
@@ -277,7 +374,8 @@ impl Endpoint {
         &self.stats
     }
 
-    /// The current shard -> worker assignment.
+    /// The current local-shard -> worker assignment (one entry per
+    /// local shard; remote shards have no worker).
     pub fn assignment(&self) -> Vec<usize> {
         self.assignment
             .iter()
@@ -285,10 +383,36 @@ impl Endpoint {
             .collect()
     }
 
-    /// Escalation rate read from the attached [`PlanCounters`]
+    /// This endpoint's plan counters as seen by the scheduler: the
+    /// attached local [`PlanCounters`] merged with the last snapshot
+    /// fetched from each remote shard (see
+    /// [`ServingRuntime::refresh_remote_counters`]).
+    pub fn merged_counters(&self) -> PlanCountersSnapshot {
+        let local = self
+            .counters
+            .as_ref()
+            .map_or_else(PlanCountersSnapshot::default, |c| c.snapshot());
+        // Several shards may point at the SAME node (a node-wide
+        // counters report per probe), so merge one snapshot per
+        // distinct backend, not per shard — otherwise an N-shard
+        // node's traffic would be weighed N-fold.
+        let mut seen: Vec<String> = Vec::new();
+        let mut acc = local;
+        for (transport, snapshot) in self.transports.iter().zip(&self.remote_counters) {
+            let who = transport.describe();
+            if seen.contains(&who) {
+                continue;
+            }
+            acc = acc.merged(*snapshot.lock());
+            seen.push(who);
+        }
+        acc
+    }
+
+    /// Escalation rate over the merged local + remote counters
     /// (0 when the endpoint has none or no rows ran yet).
     pub fn escalation_rate(&self) -> f64 {
-        self.counters.as_ref().map_or(0.0, |c| c.escalation_rate())
+        self.merged_counters().escalation_rate()
     }
 }
 
@@ -442,11 +566,13 @@ impl Shared {
         };
         // Heavy endpoints round-robin over the dedicated tail
         // [n - dedicated, n); everyone else over the shared head.
+        // Only local shards have workers; remote shards are placed by
+        // their own node's scheduler.
         let shared_workers = n - dedicated;
         let mut next_shared = 0usize;
         let mut next_dedicated = 0usize;
         for (e, &is_heavy) in entries.iter().zip(&heavy) {
-            for shard in 0..e.shards {
+            for shard in 0..e.local_shards {
                 let w = if is_heavy && dedicated > 0 {
                     let w = shared_workers + (next_dedicated % dedicated);
                     next_dedicated += 1;
@@ -459,6 +585,32 @@ impl Shared {
                 e.assignment[shard].store(w, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Answer a [`ControlRequest::Counters`] probe: every endpoint's
+    /// merged plan-counter snapshot (zeros for endpoints without
+    /// attached counters).
+    fn counters_report(&self, id: u64) -> String {
+        let report: Vec<EndpointCounters> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.primaries.iter().chain(g.shadows.iter()))
+            .map(|e| EndpointCounters {
+                endpoint: e.name.clone(),
+                version: e.version,
+                counters: e.merged_counters(),
+            })
+            .collect();
+        let resp = Response {
+            id,
+            scores: Vec::new(),
+            error: None,
+            endpoint: None,
+            version: None,
+            counters: Some(report),
+        };
+        encode_response(&resp)
+            .unwrap_or_else(|e| error_wire(id, &format!("counters report encoding failed: {e}")))
     }
 
     /// Decode, route, and enqueue one wire payload.
@@ -480,6 +632,11 @@ impl Shared {
                 )));
             }
         };
+        // Control frames are answered at admission — they never touch
+        // worker queues or row counters.
+        if let Some(ControlRequest::Counters) = req.control {
+            return Ok(Admitted::Immediate(self.counters_report(req.id)));
+        }
         let Some(group) = self.find_group(req.endpoint.as_deref()) else {
             self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
             let name = req.endpoint.as_deref().unwrap_or(DEFAULT_ENDPOINT);
@@ -501,21 +658,20 @@ impl Shared {
             },
             None => Arc::clone(&group.primaries[group.pick_version()]),
         };
-        self.stats
-            .rows
-            .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
 
         let key = req.key.clone();
-        let (reply_tx, reply_rx) = bounded(1);
-        // Route (and record per-endpoint stats) once, before the send
-        // loop; shadow jobs are built first so the primary can take
-        // `req` by move.
-        let mut shadow_jobs: Vec<(usize, RoutedJob)> = group
+        // Shadow mirrors route over their *local* shards only (a
+        // remote mirror would stall admission on a network round
+        // trip); an all-remote shadow drops the copy.
+        let shadow_jobs: Vec<(usize, RoutedJob)> = group
             .shadows
             .iter()
+            .filter(|shadow| shadow.local_shards > 0)
             .map(|shadow| {
+                let shard = pick_shard(shadow, key.as_deref(), shadow.local_shards, false);
+                record_route(shadow, shard, &req);
                 (
-                    route_to_worker(shadow, key.as_deref(), &req),
+                    shadow.assignment[shard].load(Ordering::Relaxed),
                     RoutedJob {
                         req: req.clone(),
                         entry: Arc::clone(shadow),
@@ -524,7 +680,66 @@ impl Shared {
                 )
             })
             .collect();
-        let worker = route_to_worker(&entry, key.as_deref(), &req);
+
+        // Forwarded frames stay on local shards (the forwarding-loop
+        // guard); plain frames route uniformly over local + remote.
+        let domain = if req.forwarded {
+            entry.local_shards
+        } else {
+            entry.shards
+        };
+        if domain == 0 {
+            self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
+            return Ok(Admitted::Immediate(error_wire(
+                req.id,
+                &format!(
+                    "endpoint `{}` has no local shards to serve a forwarded frame",
+                    entry.name
+                ),
+            )));
+        }
+        let shard = pick_shard(&entry, key.as_deref(), domain, req.forwarded);
+        record_route(&entry, shard, &req);
+        self.stats
+            .rows
+            .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
+
+        let worker = if shard < entry.local_shards {
+            entry.assignment[shard].load(Ordering::Relaxed)
+        } else {
+            match self.forward_remote(&entry, shard, &req) {
+                RemoteOutcome::Served(wire) => {
+                    // The remote node already executed this request;
+                    // its answer must reach the caller even when the
+                    // gate closed mid-round-trip, so the (best-effort
+                    // anyway) shadow mirrors cannot fail it.
+                    self.send_shadows(shadow_jobs);
+                    self.maybe_rebalance();
+                    return Ok(Admitted::Immediate(wire));
+                }
+                RemoteOutcome::AllFailed if entry.local_shards == 0 => {
+                    self.send_shadows(shadow_jobs);
+                    return Ok(Admitted::Immediate(error_wire(
+                        req.id,
+                        &format!(
+                            "endpoint `{}`: every remote shard's transport failed",
+                            entry.name
+                        ),
+                    )));
+                }
+                RemoteOutcome::AllFailed => {
+                    // Fail over onto the local shards, round-robin.
+                    entry.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                    let fallback =
+                        entry.next_failover.fetch_add(1, Ordering::Relaxed) % entry.local_shards;
+                    entry.assignment[fallback].load(Ordering::Relaxed)
+                }
+            }
+        };
+
+        self.send_shadows(shadow_jobs);
+        let (reply_tx, reply_rx) = bounded(1);
         let mut primary = RoutedJob {
             req,
             entry,
@@ -534,11 +749,6 @@ impl Shared {
             let gate = self.gate.lock();
             if gate.closed {
                 return Err(ServeError::Disconnected);
-            }
-            // Shadow mirrors are best-effort: a full shadow queue
-            // drops the copy rather than stalling primary admission.
-            for (w, job) in shadow_jobs.drain(..) {
-                let _ = gate.senders[w].try_send(Job::Request(job));
             }
             // Sends happen only under the gate lock with the gate
             // open, so no job can land behind a shutdown sentinel —
@@ -562,6 +772,75 @@ impl Shared {
         Ok(Admitted::Pending(reply_rx))
     }
 
+    /// Enqueue shadow-mirror copies, best-effort: a full shadow
+    /// queue — or a gate that closed while the primary was in
+    /// flight — drops the copy rather than failing or stalling the
+    /// primary.
+    fn send_shadows(&self, shadow_jobs: Vec<(usize, RoutedJob)>) {
+        if shadow_jobs.is_empty() {
+            return;
+        }
+        let gate = self.gate.lock();
+        if gate.closed {
+            return;
+        }
+        for (w, job) in shadow_jobs {
+            let _ = gate.senders[w].try_send(Job::Request(job));
+        }
+    }
+
+    /// Forward a request to remote shard `shard` of `entry`,
+    /// failing over across the endpoint's other remote shards when
+    /// the routed one's transport errors. Forward latency lands in
+    /// the endpoint's per-shard transport counters.
+    fn forward_remote(&self, entry: &Endpoint, shard: usize, req: &Request) -> RemoteOutcome {
+        let frame = Request {
+            id: req.id,
+            rows: req.rows.clone(),
+            endpoint: Some(entry.name.clone()),
+            version: Some(entry.version),
+            key: req.key.clone(),
+            forwarded: true,
+            control: None,
+        };
+        let encoded = match encode_request(&frame) {
+            Ok(e) => e,
+            // Undeliverable anywhere: report instead of retrying.
+            Err(e) => {
+                return RemoteOutcome::Served(error_wire(
+                    req.id,
+                    &format!("forwarding frame encoding failed: {e}"),
+                ))
+            }
+        };
+        let n_remote = entry.transports.len();
+        let first = shard - entry.local_shards;
+        for i in 0..n_remote {
+            let idx = (first + i) % n_remote;
+            if i > 0 {
+                // Trying a shard other than the routed one is a
+                // fail-over re-route.
+                entry.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            let start = std::time::Instant::now();
+            match entry.transports[idx].forward(&encoded) {
+                Ok(wire) => {
+                    let nanos = start.elapsed().as_nanos() as u64;
+                    entry.stats.shard_transport_nanos[entry.local_shards + idx]
+                        .fetch_add(nanos, Ordering::Relaxed);
+                    self.stats.remote_forwards.fetch_add(1, Ordering::Relaxed);
+                    return RemoteOutcome::Served(wire);
+                }
+                Err(_) => {
+                    entry.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+                    self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        RemoteOutcome::AllFailed
+    }
+
     fn maybe_rebalance(&self) {
         if !matches!(self.scheduler, SchedulerPolicy::EscalationAware { .. }) {
             return;
@@ -573,23 +852,43 @@ impl Shared {
     }
 }
 
-/// Record per-endpoint request/rows/shard counters and pick the
-/// worker currently owning the target shard. Keyed requests hash to a
-/// sticky shard; unkeyed requests spread round-robin (preserving the
-/// old shared-queue load balancing for legacy clients, whose hot
-/// identical requests must not all pile onto one worker).
-fn route_to_worker(entry: &Endpoint, key: Option<&str>, req: &Request) -> usize {
-    let shard = match key {
-        Some(k) => shard_for_key(k, entry.shards),
-        None => entry.next_shard.fetch_add(1, Ordering::Relaxed) % entry.shards,
+/// What forwarding a request to an endpoint's remote shards produced.
+enum RemoteOutcome {
+    /// A remote shard answered: the raw response wire to relay.
+    Served(String),
+    /// Every remote shard's transport failed; the caller should fail
+    /// over to a local shard (or report total failure).
+    AllFailed,
+}
+
+/// Pick a shard within `domain` (the first `domain` shards of
+/// `entry`). Keyed requests hash to a sticky shard; unkeyed requests
+/// spread round-robin (preserving the old shared-queue load balancing
+/// for legacy clients, whose hot identical requests must not all pile
+/// onto one worker). Forwarded frames advance their own cursor: one
+/// cursor taken modulo two different domains would skew both
+/// rotations when plain and forwarded traffic mix.
+fn pick_shard(entry: &Endpoint, key: Option<&str>, domain: usize, forwarded: bool) -> usize {
+    let cursor = if forwarded {
+        &entry.next_forwarded
+    } else {
+        &entry.next_shard
     };
+    match key {
+        Some(k) => shard_for_key(k, domain),
+        None => cursor.fetch_add(1, Ordering::Relaxed) % domain,
+    }
+}
+
+/// Record per-endpoint request/rows/shard counters for one routed
+/// request.
+fn record_route(entry: &Endpoint, shard: usize, req: &Request) {
     entry.stats.requests.fetch_add(1, Ordering::Relaxed);
     entry
         .stats
         .rows
         .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
     entry.stats.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
-    entry.assignment[shard].load(Ordering::Relaxed)
 }
 
 // ---- worker-side serving -------------------------------------------
@@ -676,6 +975,7 @@ fn handle_one(job: &RoutedJob, stats: &ServerStats) -> Response {
                 error: None,
                 endpoint: Some(entry.name.clone()),
                 version: Some(entry.version),
+                counters: None,
             }
         }
         Err(e) => endpoint_failure(entry, req.id, e),
@@ -689,6 +989,7 @@ fn endpoint_failure(entry: &Endpoint, id: u64, message: String) -> Response {
         error: Some(message),
         endpoint: Some(entry.name.clone()),
         version: Some(entry.version),
+        counters: None,
     }
 }
 
@@ -741,6 +1042,7 @@ fn serve_group(group: &[&RoutedJob], stats: &ServerStats) {
                         error: None,
                         endpoint: Some(entry.name.clone()),
                         version: Some(entry.version),
+                        counters: None,
                     },
                 );
                 offset += n;
@@ -821,12 +1123,49 @@ struct EndpointSpec {
     servable: Arc<dyn Servable>,
     counters: Option<Arc<PlanCounters>>,
     shards: usize,
+    transports: Vec<Arc<dyn WorkerTransport>>,
     weight: f64,
     shadow: bool,
 }
 
 /// Builder for a [`ServingRuntime`]: register named, versioned,
 /// sharded endpoints, then [`build`](RuntimeBuilder::build).
+///
+/// # Examples
+///
+/// Two endpoints — one canaried across two versions, one mixing
+/// local and remote shards:
+///
+/// ```
+/// use std::sync::Arc;
+/// use willump_serve::{Servable, ServerConfig, ServingRuntime};
+/// use willump_data::Table;
+///
+/// struct Constant(f64);
+/// impl Servable for Constant {
+///     fn predict_table(&self, t: &Table) -> Result<Vec<f64>, String> {
+///         Ok(vec![self.0; t.n_rows()])
+///     }
+/// }
+///
+/// # fn main() -> Result<(), willump_serve::ServeError> {
+/// let mut b = ServingRuntime::builder();
+/// b.config(ServerConfig::builder().workers(2).build());
+/// b.endpoint("stable", Arc::new(Constant(1.0))).shards(2).weight(9.0);
+/// b.endpoint("stable", Arc::new(Constant(2.0))).version(2).weight(1.0);
+/// // Remote shards live behind `RemoteRuntimeNode`s; see
+/// // `shard_remote` for the TCP form.
+/// b.endpoint("experimental", Arc::new(Constant(0.0)));
+/// let runtime = b.build()?;
+///
+/// let client = runtime.client();
+/// let rows = vec![vec![("x".to_string(), willump_data::Value::Float(0.0))]];
+/// // ~10% of unpinned `stable` traffic reaches version 2.
+/// let score = client.predict_endpoint("stable", rows)?[0];
+/// assert!(score == 1.0 || score == 2.0);
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub struct RuntimeBuilder {
     config: ServerConfig,
@@ -918,6 +1257,7 @@ impl RuntimeBuilder {
             servable,
             counters: None,
             shards: 1,
+            transports: Vec::new(),
             weight: 1.0,
             shadow: false,
         });
@@ -958,17 +1298,34 @@ impl RuntimeBuilder {
                     spec.name, spec.version, spec.weight
                 )));
             }
-            let shards = spec.shards.max(1);
+            // Remote shards allow an all-remote endpoint (0 local
+            // shards); without them at least one local shard exists.
+            let local_shards = if spec.transports.is_empty() {
+                spec.shards.max(1)
+            } else {
+                spec.shards
+            };
+            let shards = local_shards + spec.transports.len();
+            let remote_counters = spec
+                .transports
+                .iter()
+                .map(|_| Mutex::new(PlanCountersSnapshot::default()))
+                .collect();
             let entry = Arc::new(Endpoint {
                 name: spec.name.clone(),
                 version: spec.version,
                 servable: spec.servable,
                 counters: spec.counters,
                 shards,
+                local_shards,
+                transports: spec.transports,
+                remote_counters,
                 weight: spec.weight,
                 shadow: spec.shadow,
-                assignment: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+                assignment: (0..local_shards).map(|_| AtomicUsize::new(0)).collect(),
                 next_shard: AtomicUsize::new(0),
+                next_forwarded: AtomicUsize::new(0),
+                next_failover: AtomicUsize::new(0),
                 stats: EndpointStats::new(shards),
             });
             let group = match groups.iter_mut().find(|g| g.name == spec.name) {
@@ -1102,10 +1459,34 @@ impl EndpointBuilder<'_> {
         self
     }
 
-    /// Set the shard count (default 1; values below 1 are treated
-    /// as 1).
+    /// Set the **local** shard count (default 1). Values below 1 are
+    /// treated as 1, unless the endpoint also has remote shards
+    /// ([`shard_remote`](Self::shard_remote)), in which case 0 local
+    /// shards is a valid all-remote configuration.
     pub fn shards(self, shards: usize) -> Self {
         self.spec.shards = shards;
+        self
+    }
+
+    /// Append a **remote shard** served by the
+    /// [`crate::RemoteRuntimeNode`] at `addr` (`"host:port"`), via a
+    /// TCP [`RemoteWorker`]. Remote shards share the endpoint's
+    /// key-hash routing domain with its local shards, so a routing
+    /// key can stick to a remote shard; their forward latency and
+    /// failure counts land in the endpoint's [`EndpointStats`], and a
+    /// failed transport fails over to surviving shards.
+    ///
+    /// The connection is lazy: nothing is dialed until the first
+    /// request routes there.
+    pub fn shard_remote(self, addr: &str) -> Self {
+        self.shard_transport(Arc::new(RemoteWorker::new(addr)))
+    }
+
+    /// Append a remote shard served by an arbitrary
+    /// [`WorkerTransport`] (e.g. an [`crate::InProcessWorker`]
+    /// forwarding to another runtime in this process).
+    pub fn shard_transport(self, transport: Arc<dyn WorkerTransport>) -> Self {
+        self.spec.transports.push(transport);
         self
     }
 
@@ -1141,7 +1522,42 @@ impl EndpointBuilder<'_> {
 /// Requests cross a real serialization boundary (JSON in, JSON out),
 /// are routed by endpoint name, version, and shard key at admission,
 /// and are handled by [`ServerConfig::workers`] executor threads with
-/// adaptive, coalescing batching (per endpoint + schema).
+/// adaptive, coalescing batching (per endpoint + schema). Shards may
+/// also be **remote** — served by a [`crate::RemoteRuntimeNode`] in
+/// another process via a [`WorkerTransport`] — behind the same
+/// admission path.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use willump_serve::{Servable, ServingRuntime};
+/// use willump_data::Table;
+///
+/// struct Count;
+/// impl Servable for Count {
+///     fn predict_table(&self, t: &Table) -> Result<Vec<f64>, String> {
+///         Ok((0..t.n_rows()).map(|i| i as f64).collect())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), willump_serve::ServeError> {
+/// let mut b = ServingRuntime::builder();
+/// b.endpoint("count", Arc::new(Count)).shards(2);
+/// let runtime = b.build()?;
+///
+/// let client = runtime.client();
+/// let row = vec![("x".to_string(), willump_data::Value::Int(1))];
+/// // Equal keys stick to one shard; stats record the routing.
+/// client.predict_keyed("count", "user-7", vec![row.clone()])?;
+/// client.predict_keyed("count", "user-7", vec![row])?;
+/// let ep = runtime.endpoint("count", 1).expect("registered");
+/// let per_shard = ep.stats().shard_requests();
+/// assert_eq!(per_shard.iter().sum::<u64>(), 2);
+/// assert_eq!(per_shard.iter().filter(|&&c| c > 0).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// # Shutdown semantics
 ///
@@ -1230,6 +1646,32 @@ impl ServingRuntime {
         self.shared.rebalance();
     }
 
+    /// Poll every remote shard for its node's plan counters
+    /// ([`crate::ControlRequest::Counters`] probes) and cache the
+    /// snapshots, so [`Endpoint::escalation_rate`] — and therefore
+    /// the escalation-aware scheduler — sees statistics that
+    /// accumulated in other processes. Returns how many shards
+    /// answered.
+    ///
+    /// Best-effort and synchronous: each probe is one transport round
+    /// trip, and unreachable shards are skipped (their last snapshot
+    /// stays). Automatic [`rebalance`](Self::rebalance) does *not*
+    /// poll remotes — call this first (e.g. from a periodic
+    /// maintenance thread) when remote counters should influence
+    /// placement.
+    pub fn refresh_remote_counters(&self) -> usize {
+        let mut updated = 0;
+        for e in self.endpoints() {
+            for (i, transport) in e.transports.iter().enumerate() {
+                if let Ok(snap) = transport.probe_counters(&e.name, e.version) {
+                    *e.remote_counters[i].lock() = snap;
+                    updated += 1;
+                }
+            }
+        }
+        updated
+    }
+
     /// A client handle for this runtime.
     pub fn client(&self) -> RuntimeClient {
         RuntimeClient {
@@ -1289,6 +1731,27 @@ impl std::fmt::Debug for RuntimeClient {
 impl RuntimeClient {
     fn next_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A stable identity for the runtime this client talks to (equal
+    /// for clients of one runtime, distinct across runtimes). Lets
+    /// transports describe which backend they reach, so per-backend
+    /// deduplication (e.g. in counter merging) works in-process too.
+    #[must_use]
+    pub fn runtime_id(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
+    /// An independent client over the same runtime (fresh request-id
+    /// counter). Useful for handing each connection or thread its own
+    /// handle when the runtime value itself is out of reach — e.g.
+    /// the accept loop of a [`crate::RemoteRuntimeNode`].
+    #[must_use]
+    pub fn fork(&self) -> RuntimeClient {
+        RuntimeClient {
+            shared: Arc::clone(&self.shared),
+            next_id: AtomicU64::new(1),
+        }
     }
 
     /// Predict through the runtime's default endpoint.

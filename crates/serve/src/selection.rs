@@ -97,6 +97,40 @@ struct SelectorState {
 /// arm, and `reward` feeds accuracy feedback (e.g. `1 - loss` once
 /// ground truth arrives) back into the policy. Thread-safe: state is
 /// behind a mutex, matching Clipper's shared selection state.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use willump_serve::{ModelSelector, Servable, SelectionPolicy};
+/// use willump_data::Table;
+///
+/// struct Constant(f64);
+/// impl Servable for Constant {
+///     fn predict_table(&self, t: &Table) -> Result<Vec<f64>, String> {
+///         Ok(vec![self.0; t.n_rows()])
+///     }
+/// }
+///
+/// # fn main() -> Result<(), willump_serve::ServeError> {
+/// let selector = ModelSelector::new(
+///     vec![
+///         ("good".to_string(), Arc::new(Constant(1.0)) as Arc<dyn Servable>),
+///         ("bad".to_string(), Arc::new(Constant(0.0)) as Arc<dyn Servable>),
+///     ],
+///     SelectionPolicy::EpsilonGreedy { epsilon: 0.1 },
+///     42,
+/// )?;
+/// // Route queries, then feed back rewards for the pulled arm.
+/// for _ in 0..50 {
+///     let arm = selector.select_pull();
+///     selector.reward(arm, if arm == 0 { 0.9 } else { 0.1 });
+/// }
+/// let pulls: Vec<u64> = selector.arm_stats().iter().map(|a| a.pulls).collect();
+/// assert!(pulls[0] > pulls[1], "the rewarded arm dominates: {pulls:?}");
+/// # Ok(())
+/// # }
+/// ```
 pub struct ModelSelector {
     models: Vec<Arc<dyn Servable>>,
     names: Vec<String>,

@@ -12,8 +12,10 @@
 //! round-robins), so under strongly heterogeneous request costs a
 //! queued request no longer migrates to whichever worker frees up
 //! first. New code should use [`ServingRuntime::builder`] directly:
-//! it serves many named, versioned, sharded endpoints behind one
-//! worker pool and one client.
+//! it serves many named, versioned, sharded endpoints — local or
+//! cross-process via [`crate::WorkerTransport`] — behind one worker
+//! pool and one client. The README's "Migrating from `ClipperServer`"
+//! section is the single consolidated migration guide.
 //!
 //! This module also defines the [`Servable`] trait (the serving-side
 //! predictor abstraction) and [`ServerConfig`] (the worker-pool and

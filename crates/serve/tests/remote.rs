@@ -1,0 +1,477 @@
+//! Integration tests for cross-process sharding: shard-forwarding
+//! frame round-trips (property-based), local-vs-remote prediction
+//! equivalence over real TCP, kill-the-node fail-over, the
+//! forwarding-loop guard, and the remote plan-counters feed for the
+//! escalation-aware scheduler.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+use willump_data::{Table, Value};
+use willump_serve::{
+    decode_request, decode_response, encode_request, encode_response, EndpointCounters,
+    InProcessWorker, RemoteRuntimeNode, RemoteWorker, Request, Response, Servable, ServeError,
+    ServerConfig, ServingRuntime, WireRow, WorkerTransport,
+};
+
+/// A deterministic predictor with a visible formula, so local and
+/// remote shards can be proven to answer identically.
+struct Affine;
+impl Servable for Affine {
+    fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+        let xs = table
+            .column("x")
+            .ok_or_else(|| "missing x".to_string())?
+            .to_f64_vec()
+            .map_err(|e| e.to_string())?;
+        Ok(xs.into_iter().map(|x| 3.0 * x - 1.0).collect())
+    }
+}
+
+fn wire_rows(xs: &[f64]) -> Vec<WireRow> {
+    xs.iter()
+        .map(|&x| vec![("x".to_string(), Value::Float(x))])
+        .collect()
+}
+
+/// A child runtime serving `Affine` under `name`, exposed on a free
+/// loopback port.
+fn spawn_node(name: &str, shards: usize) -> RemoteRuntimeNode {
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(2).build());
+    b.endpoint(name, Arc::new(Affine)).shards(shards);
+    RemoteRuntimeNode::bind("127.0.0.1:0", b.build().expect("child builds")).expect("node binds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Shard-forwarding frames — the wire form a parent router sends a
+    /// remote node, with the `forwarded` loop guard and resolved
+    /// endpoint/version — round-trip losslessly, and stripping the
+    /// new fields textually (an old router's frame) still decodes
+    /// with the guard off.
+    #[test]
+    fn forwarding_frame_round_trip_is_lossless(
+        id in 1u64..u64::MAX,
+        xs in prop::collection::vec(-1e9f64..1e9, 1..5),
+        endpoint in ".{1,12}",
+        version in 0u32..u32::MAX,
+        key in (any::<bool>(), ".{0,12}"),
+        forwarded in any::<bool>(),
+    ) {
+        let req = Request {
+            endpoint: Some(endpoint),
+            version: Some(version),
+            key: key.0.then_some(key.1),
+            forwarded,
+            ..Request::new(id, wire_rows(&xs))
+        };
+        let wire = encode_request(&req).expect("encodable");
+        let back = decode_request(&wire).expect("decodable");
+        prop_assert_eq!(&back, &req);
+
+        // An old frame without the new fields decodes with the guard
+        // off and no control op.
+        let legacy = wire
+            .replace(",\"forwarded\":false", "")
+            .replace(",\"forwarded\":true", "")
+            .replace(",\"control\":null", "");
+        let back = decode_request(&legacy).expect("legacy frame decodes");
+        prop_assert!(!back.forwarded);
+        prop_assert_eq!(back.control, None);
+    }
+
+    /// Counters control responses round-trip losslessly for arbitrary
+    /// endpoint reports.
+    #[test]
+    fn counters_response_round_trip_is_lossless(
+        id in 0u64..u64::MAX,
+        reports in prop::collection::vec(
+            (".{0,12}", 0u32..64, (any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
+            0..4,
+        ),
+    ) {
+        let counters = reports
+            .into_iter()
+            .map(|(endpoint, version, (rows, gate_resolved), (escalated, filter_dropped))| {
+                EndpointCounters {
+                    endpoint,
+                    version,
+                    counters: willump::PlanCountersSnapshot {
+                        rows,
+                        gate_resolved,
+                        escalated,
+                        filter_dropped,
+                    },
+                }
+            })
+            .collect();
+        let resp = Response {
+            id,
+            scores: Vec::new(),
+            error: None,
+            endpoint: None,
+            version: None,
+            counters: Some(counters),
+        };
+        let wire = encode_response(&resp).expect("encodable");
+        prop_assert_eq!(decode_response(&wire).expect("decodable"), resp);
+    }
+}
+
+/// THE acceptance test for cross-process sharding: an endpoint with 2
+/// local + 2 TCP-remote shards returns predictions identical to a
+/// 4-local endpoint, for keyed and unkeyed traffic, while the remote
+/// shards really serve (child-side request counters move and the
+/// parent records transport latency).
+#[test]
+fn two_local_two_remote_matches_four_local() {
+    let node = spawn_node("affine", 2);
+    let addr = node.local_addr().to_string();
+
+    let mut all_local = ServingRuntime::builder();
+    all_local.config(ServerConfig::builder().workers(2).build());
+    all_local.endpoint("affine", Arc::new(Affine)).shards(4);
+    let all_local = all_local.build().expect("4-local builds");
+
+    let mut mixed = ServingRuntime::builder();
+    mixed.config(ServerConfig::builder().workers(2).build());
+    mixed
+        .endpoint("affine", Arc::new(Affine))
+        .shards(2)
+        .shard_remote(&addr)
+        .shard_remote(&addr);
+    let mixed = mixed.build().expect("mixed builds");
+
+    let local_client = all_local.client();
+    let mixed_client = mixed.client();
+    // Keyed traffic (sticky shards, some keys land remote) and
+    // unkeyed traffic (round-robin over all four shards).
+    for i in 0..24 {
+        let rows = wire_rows(&[i as f64, i as f64 * 0.5 - 3.0]);
+        let expected = local_client
+            .predict_keyed("affine", &format!("user-{i}"), rows.clone())
+            .expect("4-local serves");
+        let got = mixed_client
+            .predict_keyed("affine", &format!("user-{i}"), rows)
+            .expect("2+2 serves");
+        assert_eq!(got, expected, "keyed request {i} diverged");
+    }
+    for i in 0..16 {
+        let rows = wire_rows(&[-(i as f64)]);
+        let expected = local_client
+            .predict_endpoint("affine", rows.clone())
+            .unwrap();
+        let got = mixed_client.predict_endpoint("affine", rows).unwrap();
+        assert_eq!(got, expected, "unkeyed request {i} diverged");
+    }
+
+    // The remote shards actually served: the child saw traffic, the
+    // parent counted remote forwards and per-shard transport latency.
+    let ep = mixed.endpoint("affine", 1).unwrap();
+    assert_eq!(ep.local_shards(), 2);
+    assert_eq!(ep.remote_shards(), 2);
+    let per_shard = ep.stats().shard_requests();
+    assert_eq!(per_shard.len(), 4);
+    assert_eq!(per_shard.iter().sum::<u64>(), 40);
+    assert!(
+        per_shard[2] + per_shard[3] > 0,
+        "remote shards never routed: {per_shard:?}"
+    );
+    assert!(node.runtime().stats().requests() > 0, "child never served");
+    assert_eq!(
+        mixed.stats().remote_forwards(),
+        per_shard[2] + per_shard[3],
+        "every remote-routed request was forwarded"
+    );
+    let nanos = ep.stats().shard_transport_nanos();
+    assert_eq!(nanos[0], 0, "local shards record no transport latency");
+    assert!(
+        nanos[2] + nanos[3] > 0,
+        "remote forwards must record latency"
+    );
+    assert_eq!(mixed.stats().transport_errors(), 0);
+    // Transport-level stats agree.
+    let tstats = ep.transport_stats();
+    assert_eq!(tstats.len(), 2);
+    assert_eq!(
+        tstats.iter().map(|t| t.forwards).sum::<u64>(),
+        per_shard[2] + per_shard[3]
+    );
+}
+
+/// Kill-the-node fail-over: requests keyed to a dead remote shard are
+/// re-routed to a surviving local shard, the failure is counted, and
+/// service never degrades to an error.
+#[test]
+fn dead_remote_shard_fails_over_to_local() {
+    let mut node = spawn_node("affine", 1);
+    let addr = node.local_addr().to_string();
+
+    let mut b = ServingRuntime::builder();
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(1)
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr).with_timeout(Duration::from_secs(2)),
+        ));
+    let runtime = b.build().expect("runtime builds");
+    let client = runtime.client();
+
+    // Find a key that routes to the remote shard (index 1 of 2).
+    let remote_key = (0..1000)
+        .map(|i| format!("key-{i}"))
+        .find(|k| willump_serve::shard_for_key(k, 2) == 1)
+        .expect("some key hashes to shard 1");
+
+    // Remote shard serves while the node lives.
+    assert_eq!(
+        client
+            .predict_keyed("affine", &remote_key, wire_rows(&[2.0]))
+            .expect("remote shard serves"),
+        vec![5.0]
+    );
+    assert_eq!(runtime.stats().remote_forwards(), 1);
+    assert_eq!(runtime.stats().failovers(), 0);
+
+    node.shutdown();
+
+    // Same key, dead node: the request must still be answered — by
+    // the surviving local shard — and the failure counted.
+    for i in 0..3 {
+        assert_eq!(
+            client
+                .predict_keyed("affine", &remote_key, wire_rows(&[i as f64]))
+                .expect("fail-over must keep serving"),
+            vec![3.0 * i as f64 - 1.0]
+        );
+    }
+    assert!(runtime.stats().transport_errors() >= 3);
+    assert!(runtime.stats().failovers() >= 3);
+    let ep = runtime.endpoint("affine", 1).unwrap();
+    assert!(ep.stats().failovers() >= 3);
+    assert!(ep.stats().transport_errors() >= 3);
+}
+
+/// An all-remote endpoint (0 local shards) serves through its
+/// transports; when every transport is dead the client gets a clean
+/// predictor error, not a hang.
+#[test]
+fn all_remote_endpoint_serves_and_fails_cleanly() {
+    let mut node = spawn_node("affine", 2);
+    let addr = node.local_addr().to_string();
+
+    let mut b = ServingRuntime::builder();
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(0)
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr).with_timeout(Duration::from_secs(2)),
+        ))
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr).with_timeout(Duration::from_secs(2)),
+        ));
+    let runtime = b.build().expect("runtime builds");
+    let ep = runtime.endpoint("affine", 1).unwrap();
+    assert_eq!(ep.local_shards(), 0);
+    assert_eq!(ep.shards(), 2);
+
+    let client = runtime.client();
+    assert_eq!(
+        client
+            .predict_endpoint("affine", wire_rows(&[4.0]))
+            .expect("all-remote endpoint serves"),
+        vec![11.0]
+    );
+
+    node.shutdown();
+    match client.predict_endpoint("affine", wire_rows(&[1.0])) {
+        Err(ServeError::Predictor(msg)) => {
+            assert!(
+                msg.contains("every remote shard"),
+                "unexpected message: {msg}"
+            );
+        }
+        other => panic!("expected total-failure error, got {other:?}"),
+    }
+    // Both transports were tried before giving up.
+    assert!(runtime.stats().transport_errors() >= 2);
+}
+
+/// The forwarding-loop guard: a frame already marked `forwarded` must
+/// never leave the receiving runtime. On a node with local shards it
+/// is served locally; on an all-remote endpoint it is a route error
+/// rather than a second hop.
+#[test]
+fn forwarded_frames_never_forward_again() {
+    let node = spawn_node("affine", 1);
+    let addr = node.local_addr().to_string();
+
+    // An all-remote endpoint: plain frames forward, forwarded frames
+    // must not.
+    let mut b = ServingRuntime::builder();
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(0)
+        .shard_remote(&addr);
+    let runtime = b.build().expect("runtime builds");
+    let client = runtime.client();
+
+    let forwarded = Request {
+        endpoint: Some("affine".to_string()),
+        version: Some(1),
+        forwarded: true,
+        ..Request::new(41, wire_rows(&[1.0]))
+    };
+    let wire = client
+        .call_raw(encode_request(&forwarded).unwrap())
+        .expect("admission answers");
+    let resp = decode_response(&wire).unwrap();
+    assert_eq!(resp.id, 41);
+    let err = resp.error.expect("forwarded frame must not hop again");
+    assert!(err.contains("no local shards"), "unexpected error: {err}");
+    assert_eq!(runtime.stats().remote_forwards(), 0);
+    assert_eq!(runtime.stats().route_errors(), 1);
+    // The child never saw the frame.
+    assert_eq!(node.runtime().stats().requests(), 0);
+}
+
+/// The local-queue transport: `InProcessWorker` puts another
+/// runtime's worker queues behind the same shard/transport machinery,
+/// with identical predictions and working stats.
+#[test]
+fn in_process_transport_behaves_like_a_remote_shard() {
+    let mut backend = ServingRuntime::builder();
+    backend.endpoint("affine", Arc::new(Affine)).shards(2);
+    let backend = backend.build().expect("backend builds");
+
+    let mut front = ServingRuntime::builder();
+    front
+        .endpoint("affine", Arc::new(Affine))
+        .shards(1)
+        .shard_transport(Arc::new(InProcessWorker::new(&backend)));
+    let front = front.build().expect("front builds");
+    let client = front.client();
+
+    for i in 0..10 {
+        assert_eq!(
+            client
+                .predict_endpoint("affine", wire_rows(&[i as f64]))
+                .unwrap(),
+            vec![3.0 * i as f64 - 1.0]
+        );
+    }
+    // Round-robin over 1 local + 1 transport shard: half the traffic
+    // crossed into the backend runtime.
+    assert_eq!(backend.stats().requests(), 5);
+    assert_eq!(front.stats().remote_forwards(), 5);
+}
+
+/// Remote plan counters feed the parent: a child whose cascade plan
+/// escalates every row reports its `PlanCountersSnapshot` through a
+/// counters control frame, and after `refresh_remote_counters` the
+/// parent endpoint's escalation rate reflects traffic that ran in
+/// the child runtime.
+#[test]
+fn remote_counters_reach_the_parent_scheduler() {
+    use willump::ServingPlan;
+    use willump_data::Column;
+    use willump_graph::{EngineMode, Executor, GraphBuilder, Operator};
+    use willump_models::{LogisticParams, ModelSpec};
+
+    // A tiny two-feature cascade fixture (FG0 is the efficient
+    // subset); threshold 1.0 escalates every row, threshold 0.0 none.
+    let build_cascade = |threshold: f64| -> (ServingPlan, Table) {
+        let mut gb = GraphBuilder::new();
+        let a = gb.source("a");
+        let c = gb.source("b");
+        let f0 = gb.add("f0", Operator::NumericColumn, [a]).unwrap();
+        let f1 = gb.add("f1", Operator::NumericColumn, [c]).unwrap();
+        let graph = Arc::new(gb.finish_with_concat("cat", [f0, f1]).unwrap());
+        let exec = Executor::new(graph, EngineMode::Compiled).unwrap();
+
+        let mut t = Table::new();
+        let avals: Vec<f64> = (0..60)
+            .map(|i| if i % 2 == 0 { -2.0 } else { 2.0 })
+            .collect();
+        let bvals: Vec<f64> = (0..60).map(|i| i as f64 * 0.01).collect();
+        let y: Vec<f64> = (0..60).map(|i| (i % 2) as f64).collect();
+        t.add_column("a", Column::from(avals)).unwrap();
+        t.add_column("b", Column::from(bvals)).unwrap();
+
+        let full_feats = exec.features_batch(&t, None).unwrap();
+        let full = Arc::new(
+            ModelSpec::Logistic(LogisticParams::default())
+                .fit(&full_feats, &y, 1)
+                .unwrap(),
+        );
+        let eff_feats = exec.features_batch(&t, Some(&[0])).unwrap();
+        let small = Arc::new(
+            ModelSpec::Logistic(LogisticParams::default())
+                .fit(&eff_feats, &y, 1)
+                .unwrap(),
+        );
+        let plan = ServingPlan::cascade(exec, small, full, threshold, vec![0]).unwrap();
+        (plan, t)
+    };
+
+    // Child: an always-escalating cascade, exposed over TCP.
+    let (child_plan, table) = build_cascade(1.0);
+    let mut child = ServingRuntime::builder();
+    child.plan("m", child_plan);
+    let node =
+        RemoteRuntimeNode::bind("127.0.0.1:0", child.build().expect("child builds")).unwrap();
+    let addr = node.local_addr().to_string();
+
+    // Parent: a never-escalating local shard plus the child as TWO
+    // remote shards (same node — its node-wide counters must merge
+    // once, not once per shard).
+    let (parent_plan, _) = build_cascade(0.0);
+    let mut parent = ServingRuntime::builder();
+    parent
+        .plan("m", parent_plan)
+        .shards(1)
+        .shard_remote(&addr)
+        .shard_remote(&addr);
+    let parent = parent.build().expect("parent builds");
+    let client = parent.client();
+
+    // Unkeyed traffic round-robins over both shards, so roughly half
+    // the rows escalate — but only inside the child process's plan.
+    let rows: Vec<WireRow> = (0..table.n_rows())
+        .map(|r| willump_serve::table_row_to_wire(&table, r).unwrap())
+        .collect();
+    for chunk in rows.chunks(6) {
+        client.predict_endpoint("m", chunk.to_vec()).unwrap();
+    }
+
+    let ep = parent.endpoint("m", 1).unwrap();
+    let local_only = ep.merged_counters();
+    assert_eq!(
+        local_only.escalated, 0,
+        "parent's local plan never escalates"
+    );
+
+    // A direct probe through the transport sees the child's counters…
+    let probe = RemoteWorker::new(&addr);
+    let snap = probe.probe_counters("m", 1).expect("probe answers");
+    assert!(snap.rows > 0, "child plan ran rows");
+    assert_eq!(snap.escalated, snap.rows, "child escalates everything");
+
+    // …and refreshing folds them into the parent's scheduler view.
+    // Both remote shards answer, but they are ONE node: its counters
+    // must merge once, not once per shard.
+    assert_eq!(parent.refresh_remote_counters(), 2);
+    let merged = ep.merged_counters();
+    assert_eq!(
+        merged.escalated, snap.escalated,
+        "same-node shards must not double-count"
+    );
+    assert!(
+        ep.escalation_rate() > 0.3,
+        "remote escalations must raise the merged rate, got {}",
+        ep.escalation_rate()
+    );
+
+    // Unknown endpoints are a clean probe error.
+    assert!(probe.probe_counters("nonesuch", 1).is_err());
+}

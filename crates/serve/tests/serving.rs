@@ -75,6 +75,7 @@ proptest! {
             error: error.0.then_some(error.1),
             endpoint: endpoint.0.then_some(endpoint.1),
             version: version.0.then_some(version.1),
+            counters: None,
         };
         let wire = encode_response(&resp).expect("encodable");
         let back = decode_response(&wire).expect("decodable");

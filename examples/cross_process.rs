@@ -1,0 +1,162 @@
+//! Cross-process sharding: a parent `ServingRuntime` routing one
+//! endpoint over local shards *and* shards served by a child process.
+//!
+//! This example really crosses a process boundary: it re-executes its
+//! own binary with `--node`, and the child hosts a runtime behind a
+//! `RemoteRuntimeNode` TCP listener on a free loopback port. The
+//! parent then:
+//!
+//! 1. serves `affine` with 2 local shards + 2 remote shards (the
+//!    child), behind the ordinary admission path — keyed requests
+//!    stick to shards that may live in the other process;
+//! 2. proves the mixed deployment answers exactly like a 4-local one;
+//! 3. kills the child and keeps serving: transport failures are
+//!    counted and traffic fails over to the surviving local shards.
+//!
+//! ```text
+//! cargo run --release --example cross_process
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+
+use willump_repro::prelude::*;
+
+/// The deterministic predictor both processes serve: 3x - 1.
+struct Affine;
+impl Servable for Affine {
+    fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+        let xs = table
+            .column("x")
+            .ok_or("missing x")?
+            .to_f64_vec()
+            .map_err(|e| e.to_string())?;
+        Ok(xs.into_iter().map(|x| 3.0 * x - 1.0).collect())
+    }
+}
+
+fn wire_rows(xs: &[f64]) -> Vec<WireRow> {
+    xs.iter()
+        .map(|&x| vec![("x".to_string(), Value::Float(x))])
+        .collect()
+}
+
+/// Child mode: host a runtime on a free port, announce the address on
+/// stdout, and serve until the parent closes our stdin.
+fn run_node() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(2).build());
+    b.endpoint("affine", Arc::new(Affine)).shards(2);
+    let node = RemoteRuntimeNode::bind("127.0.0.1:0", b.build()?)?;
+    println!("NODE_ADDR {}", node.local_addr());
+    // Park until the parent exits (its death closes the stdin pipe).
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().lock().read_to_end(&mut sink);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--node") {
+        return run_node();
+    }
+
+    // ---- spawn the child node and learn its address ----------------
+    let mut child = Command::new(std::env::current_exe()?)
+        .arg("--node")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let child_stdout = child.stdout.take().expect("child stdout piped");
+    let mut lines = BufReader::new(child_stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("child announces its address")?;
+        if let Some(addr) = line.strip_prefix("NODE_ADDR ") {
+            break addr.to_string();
+        }
+    };
+    println!("child node listening on {addr}\n");
+
+    // ---- a mixed 2-local + 2-remote endpoint vs a 4-local one ------
+    let mut mixed = ServingRuntime::builder();
+    mixed.config(ServerConfig::builder().workers(2).build());
+    mixed
+        .endpoint("affine", Arc::new(Affine))
+        .shards(2)
+        .shard_remote(&addr)
+        .shard_remote(&addr);
+    let mixed = mixed.build()?;
+
+    let mut reference = ServingRuntime::builder();
+    reference.config(ServerConfig::builder().workers(2).build());
+    reference.endpoint("affine", Arc::new(Affine)).shards(4);
+    let reference = reference.build()?;
+
+    let mixed_client = mixed.client();
+    let reference_client = reference.client();
+    let mut diverged = 0;
+    for i in 0..40 {
+        let rows = wire_rows(&[i as f64, 0.5 - i as f64]);
+        let key = format!("user-{}", i % 13);
+        let a = mixed_client.predict_keyed("affine", &key, rows.clone())?;
+        let b = reference_client.predict_keyed("affine", &key, rows)?;
+        if a != b {
+            diverged += 1;
+        }
+    }
+    let ep = mixed.endpoint("affine", 1).expect("registered");
+    let per_shard = ep.stats().shard_requests();
+    println!("40 keyed requests through 2 local + 2 remote shards:");
+    println!("  diverging answers vs 4-local reference: {diverged}");
+    println!("  per-shard requests  {per_shard:?}  (shards 2,3 live in the child)");
+    println!(
+        "  remote forwards     {}  transport errors {}",
+        mixed.stats().remote_forwards(),
+        mixed.stats().transport_errors()
+    );
+    for (i, t) in ep.transport_stats().iter().enumerate() {
+        println!(
+            "  remote shard {}: {} forwards, mean round trip {:.0}us over {}",
+            ep.local_shards() + i,
+            t.forwards,
+            t.mean_latency() * 1e6,
+            ep.transport_descriptions()[i],
+        );
+    }
+    assert_eq!(diverged, 0, "mixed deployment must match the reference");
+    assert!(
+        per_shard[2] + per_shard[3] > 0,
+        "remote shards must have served"
+    );
+
+    // ---- kill the child: fail-over keeps the endpoint serving ------
+    println!("\nkilling the child node…");
+    child.kill()?;
+    child.wait()?;
+    // Also drop the stdin handle so nothing lingers.
+    drop(child.stdin.take());
+
+    let mut still_ok = 0;
+    for i in 0..20 {
+        let rows = wire_rows(&[i as f64]);
+        let key = format!("user-{}", i % 13);
+        if mixed_client.predict_keyed("affine", &key, rows).is_ok() {
+            still_ok += 1;
+        }
+    }
+    println!("20 more keyed requests with the node dead:");
+    println!("  answered: {still_ok}/20 (fail-over to the 2 surviving local shards)");
+    println!(
+        "  transport errors {}  failovers {}",
+        mixed.stats().transport_errors(),
+        mixed.stats().failovers()
+    );
+    assert_eq!(still_ok, 20, "fail-over must keep every request served");
+    assert!(
+        mixed.stats().failovers() > 0,
+        "some requests must have failed over"
+    );
+    let _ = std::io::stdout().flush();
+    println!("\ncross-process sharding OK");
+    Ok(())
+}

@@ -29,9 +29,14 @@ pub use willump_workloads;
 /// # fn demo(cascade_plan: ServingPlan, topk_plan: ServingPlan)
 /// # -> Result<(), Box<dyn std::error::Error>> {
 /// // Register named, versioned, sharded endpoints on one runtime.
+/// // Shards can be local (this worker pool) or remote — served by a
+/// // `RemoteRuntimeNode` in another process over TCP.
 /// let mut builder = ServingRuntime::builder();
 /// builder.config(ServerConfig::builder().workers(4).build());
-/// builder.plan("music", cascade_plan).shards(4);
+/// builder
+///     .plan("music", cascade_plan)
+///     .shards(4)
+///     .shard_remote("127.0.0.1:7878");
 /// builder.plan("toxic", topk_plan).shards(2);
 /// let runtime = builder.build()?;
 /// let client = runtime.client();
@@ -45,20 +50,23 @@ pub use willump_workloads;
 /// Migrating from the deprecated single-predictor `ClipperServer`:
 /// `ClipperServer::start(p, cfg)` is now literally a one-endpoint
 /// runtime (`builder.endpoint(DEFAULT_ENDPOINT, p)`), so replace the
-/// server with a [`RuntimeBuilder`] and `client.predict(rows)` with
-/// [`RuntimeClient::predict`] (identical unaddressed-request
-/// semantics) or the explicit
-/// [`RuntimeClient::predict_endpoint`] family.
+/// server with a [`willump_serve::RuntimeBuilder`] and
+/// `client.predict(rows)` with
+/// [`willump_serve::RuntimeClient::predict`] (identical
+/// unaddressed-request semantics) or the explicit
+/// [`predict_endpoint`](willump_serve::RuntimeClient::predict_endpoint)
+/// family.
 pub mod prelude {
     pub use willump::{
-        OptimizedPipeline, PlanCounters, PlanRunReport, QueryMode, ServingPlan, TopKConfig,
-        Willump, WillumpConfig,
+        OptimizedPipeline, PlanCounters, PlanCountersSnapshot, PlanRunReport, QueryMode,
+        ServingPlan, TopKConfig, Willump, WillumpConfig,
     };
     pub use willump_data::{Table, Value};
     pub use willump_serve::{
-        shard_for_key, table_row_to_wire, ClipperClient, ClipperServer, Endpoint, ModelSelector,
-        Request, Response, RuntimeBuilder, RuntimeClient, SchedulerPolicy, SelectionPolicy,
-        Servable, ServeError, ServerConfig, ServingRuntime, WireRow, DEFAULT_ENDPOINT,
+        shard_for_key, table_row_to_wire, ClipperClient, ClipperServer, Endpoint, InProcessWorker,
+        ModelSelector, RemoteRuntimeNode, RemoteWorker, Request, Response, RuntimeBuilder,
+        RuntimeClient, SchedulerPolicy, SelectionPolicy, Servable, ServeError, ServerConfig,
+        ServingRuntime, TransportStats, WireRow, WorkerTransport, DEFAULT_ENDPOINT,
     };
     pub use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 }
