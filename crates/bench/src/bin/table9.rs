@@ -1,0 +1,276 @@
+//! Table 9 (repo extension): statistically-aware admission control
+//! under open-loop Poisson overload.
+//!
+//! An open-loop generator offers Poisson traffic at 0.5x, 1x, and 2x
+//! of an endpoint's nominal service capacity, against two otherwise
+//! identical runtimes: one plain, one with an [`AdmissionPolicy`]
+//! (degrade to the small-model plan form past the SLO, shed past
+//! `shed_factor` x SLO). Latency is measured from each request's
+//! *scheduled* arrival time — not its send time — so queue-induced
+//! send delay counts (no coordinated omission). A second cell replays
+//! a single heavy-hitter key and reports how the hot-key sketch
+//! spreads it round-robin across shards.
+//!
+//! Flags (mirroring the other recording binaries):
+//!
+//! - `--smoke`: tiny CI-speed sweep + EXPERIMENTS.md schema check.
+//! - `--record`: rewrite this binary's EXPERIMENTS.md section.
+//! - `--check-schemas`: validate every recorded section, run nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::Arc;
+use willump_bench::{format_table, run_recorded_experiment};
+use willump_data::{Table, Value};
+use willump_serve::{AdmissionPolicy, Request, Servable, ServerConfig, ServingRuntime, WireRow};
+
+/// The schema header CI greps for in EXPERIMENTS.md; bump the version
+/// when the recorded table shape changes.
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table9-admission-overload v1 -->";
+const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin table9 -- --record";
+
+/// Per-request full service time: 5 ms (long against scheduler wake
+/// jitter), so two workers give a nominal capacity of 400 rows/s and
+/// the load multipliers below are honest.
+const SERVICE: Duration = Duration::from_millis(5);
+/// The degraded (small-model) form answers 5x faster.
+const DEGRADED_SERVICE: Duration = Duration::from_millis(1);
+/// Target p99 SLO handed to the admission policy.
+const SLO: Duration = Duration::from_millis(25);
+const WORKERS: usize = 2;
+const SHARDS: usize = 2;
+
+/// A predictor with a fixed, known service time (score = 2x).
+struct FixedService(Duration);
+impl Servable for FixedService {
+    fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+        std::thread::sleep(self.0);
+        let xs = table
+            .column("x")
+            .ok_or_else(|| "missing x".to_string())?
+            .to_f64_vec()
+            .map_err(|e| e.to_string())?;
+        Ok(xs.into_iter().map(|x| 2.0 * x).collect())
+    }
+}
+
+/// One runtime per sweep cell, so queue state never leaks between
+/// cells. Coalescing is off: every request pays the full service
+/// time, keeping the nominal capacity exact.
+fn build_runtime(admission: bool) -> ServingRuntime {
+    let mut b = ServingRuntime::builder();
+    b.config(
+        ServerConfig::builder()
+            .workers(WORKERS)
+            .coalesce(false)
+            .build(),
+    );
+    if admission {
+        b.admission(
+            AdmissionPolicy::with_slo_p99(SLO)
+                .shed_factor(2.0)
+                .min_samples(16),
+        );
+    }
+    b.endpoint("model", Arc::new(FixedService(SERVICE)))
+        .shards(SHARDS)
+        .degraded_servable(Arc::new(FixedService(DEGRADED_SERVICE)));
+    b.build().expect("runtime builds")
+}
+
+fn one_row(x: f64) -> Vec<WireRow> {
+    vec![vec![("x".to_string(), Value::Float(x))]]
+}
+
+/// A pre-drawn Poisson arrival schedule: `n` offsets (seconds from
+/// test start) with exponential inter-arrivals at `rate_per_sec`.
+fn poisson_schedule(rate_per_sec: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            // Uniform in (0, 1]: never ln(0).
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            t += -(1.0 - u).ln() / rate_per_sec;
+            t
+        })
+        .collect()
+}
+
+struct CellResult {
+    served: u64,
+    shed: u64,
+    degraded: u64,
+    p50: f64,
+    p99: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Drive one open-loop cell: `threads` senders share the arrival
+/// schedule round-robin; each sleeps until a request's scheduled
+/// time, sends it, and charges the full scheduled-to-response time as
+/// its latency. Shed responses count separately and contribute no
+/// latency sample (nothing was served).
+fn open_loop(runtime: &ServingRuntime, arrivals: &[f64], threads: usize) -> CellResult {
+    let latencies = Mutex::new(Vec::with_capacity(arrivals.len()));
+    let shed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let client = runtime.client();
+            let latencies = &latencies;
+            let shed = &shed;
+            s.spawn(move || {
+                let mut i = tid;
+                while i < arrivals.len() {
+                    let at = arrivals[i];
+                    let now = start.elapsed().as_secs_f64();
+                    if at > now {
+                        std::thread::sleep(Duration::from_secs_f64(at - now));
+                    }
+                    let resp = client
+                        .call(Request {
+                            endpoint: Some("model".to_string()),
+                            ..Request::new(i as u64, one_row(i as f64))
+                        })
+                        .expect("serving succeeds");
+                    let done = start.elapsed().as_secs_f64();
+                    if resp.overloaded {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        assert!(resp.error.is_none(), "unexpected error: {:?}", resp.error);
+                        latencies.lock().unwrap().push(done - at);
+                    }
+                    i += threads;
+                }
+            });
+        }
+    });
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    CellResult {
+        served: lat.len() as u64,
+        shed: shed.load(Ordering::Relaxed),
+        degraded: runtime.stats().degraded(),
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+    }
+}
+
+/// Replay one heavy-hitter key through an admission runtime and
+/// report how its traffic spread over the endpoint's shards.
+fn hot_key_spread(n: usize) -> (Vec<u64>, u64) {
+    let runtime = build_runtime(true);
+    let client = runtime.client();
+    for i in 0..n {
+        client
+            .predict_keyed("model", "viral-item", one_row(i as f64))
+            .expect("hot-key request serves");
+    }
+    let ep = runtime.endpoint("model", 1).expect("endpoint exists");
+    let spread = ep.stats().shard_requests();
+    (spread, runtime.stats().hot_keys())
+}
+
+fn fmt_ms(seconds: f64) -> String {
+    format!("{:.1}ms", seconds * 1e3)
+}
+
+fn sweep(smoke: bool) -> (String, String) {
+    let capacity = WORKERS as f64 / SERVICE.as_secs_f64();
+    let (multipliers, duration, threads): (&[f64], f64, usize) = if smoke {
+        (&[0.5, 2.0], 0.25, 32)
+    } else {
+        (&[0.5, 1.0, 2.0], 2.0, 128)
+    };
+
+    let mut rows = Vec::new();
+    let mut worst: Option<(f64, f64)> = None; // (plain p99, admission p99)
+    for &mult in multipliers {
+        let rate = capacity * mult;
+        let n = (rate * duration).ceil() as usize;
+        let mut pair = (0.0, 0.0);
+        for admission in [false, true] {
+            let runtime = build_runtime(admission);
+            let arrivals = poisson_schedule(rate, n, 42 + mult as u64);
+            let cell = open_loop(&runtime, &arrivals, threads);
+            if admission {
+                pair.1 = cell.p99;
+            } else {
+                pair.0 = cell.p99;
+            }
+            rows.push(vec![
+                format!("{mult}x"),
+                if admission { "on" } else { "off" }.to_string(),
+                cell.served.to_string(),
+                cell.shed.to_string(),
+                cell.degraded.to_string(),
+                fmt_ms(cell.p50),
+                fmt_ms(cell.p99),
+            ]);
+        }
+        worst = Some(pair);
+    }
+
+    // THE acceptance check: at the highest offered load, admission
+    // control must at least halve the open-loop p99.
+    let (plain_p99, admission_p99) = worst.expect("sweep ran");
+    if !smoke {
+        assert!(
+            admission_p99 <= 0.5 * plain_p99,
+            "admission p99 {admission_p99:.4}s not <= 0.5x plain p99 {plain_p99:.4}s"
+        );
+    }
+
+    let hot_n = if smoke { 100 } else { 400 };
+    let (spread, hot_hits) = hot_key_spread(hot_n);
+    let spread_shards = spread.iter().filter(|&&c| c > 0).count();
+    assert!(
+        spread_shards >= 2,
+        "hot key never spread: {spread:?} (sketch hits {hot_hits})"
+    );
+
+    let table = format_table(
+        "Table 9: open-loop Poisson overload, admission control on/off",
+        &[
+            "offered load",
+            "admission",
+            "served",
+            "shed",
+            "degraded",
+            "p50",
+            "p99",
+        ],
+        &rows,
+    );
+    let hot_line = format!(
+        "\nHot-key telemetry: one key, {hot_n} requests -> shard spread \
+         {spread:?} ({spread_shards}/{SHARDS} shards, {hot_hits} sketch hits).\n"
+    );
+    let output = format!("{table}{hot_line}");
+    let body = format!(
+        "Statistically-aware admission control (repo extension beyond\n\
+         the paper): open-loop Poisson traffic at fractions of nominal\n\
+         capacity ({capacity:.0} rows/s = {WORKERS} workers x {SERVICE:?}\n\
+         service), SLO p99 {SLO:?}, shed factor 2.0. Latency is measured\n\
+         from scheduled arrival (coordinated-omission-safe); shed\n\
+         responses serve no rows and record no latency.\n\
+         Regenerate with `{RECORD_CMD}`.\n{output}"
+    );
+    (output, body)
+}
+
+fn main() {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, sweep);
+}

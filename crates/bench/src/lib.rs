@@ -249,6 +249,83 @@ pub fn record_experiments_section(schema: &str, body: &str) {
     println!("\nrecorded section {schema} -> {EXPERIMENTS_PATH}");
 }
 
+/// Every recording binary's `(schema header, record command)` pair —
+/// the registry behind [`check_all_schemas`]. A binary whose schema
+/// constant drifts from this table fails its own `--smoke` run (see
+/// [`run_recorded_experiment`]), so the registry cannot silently go
+/// stale.
+pub const RECORDED_SCHEMAS: &[(&str, &str)] = &[
+    (
+        "<!-- schema: table2-remote-requests v1 -->",
+        "cargo run --release -p willump-bench --bin table2 -- --record",
+    ),
+    (
+        "<!-- schema: table3-per-input-latency v1 -->",
+        "cargo run --release -p willump-bench --bin table3 -- --record",
+    ),
+    (
+        "<!-- schema: table6-serving-sweep v2 -->",
+        "cargo run --release -p willump-bench --bin table6 -- --record",
+    ),
+    (
+        "<!-- schema: table7-topk-subset v1 -->",
+        "cargo run --release -p willump-bench --bin table7 -- --record",
+    ),
+    (
+        "<!-- schema: table8-ifv-strategies v1 -->",
+        "cargo run --release -p willump-bench --bin table8 -- --record",
+    ),
+    (
+        "<!-- schema: table9-admission-overload v1 -->",
+        "cargo run --release -p willump-bench --bin table9 -- --record",
+    ),
+    (
+        "<!-- schema: fig5-batch-throughput v1 -->",
+        "cargo run --release -p willump-bench --bin fig5 -- --record",
+    ),
+    (
+        "<!-- schema: fig6-per-input-latency v1 -->",
+        "cargo run --release -p willump-bench --bin fig6 -- --record",
+    ),
+    (
+        "<!-- schema: fig7-threshold-sweep v1 -->",
+        "cargo run --release -p willump-bench --bin fig7 -- --record",
+    ),
+    (
+        "<!-- schema: fig8-parallel-speedup v1 -->",
+        "cargo run --release -p willump-bench --bin fig8 -- --record",
+    ),
+];
+
+/// One-pass validation of *every* registered EXPERIMENTS.md schema
+/// header (the `--check-schemas` mode, wired into the CI lint job):
+/// reads the file once and reports **all** missing/stale sections
+/// together, instead of failing one smoke binary at a time.
+///
+/// # Panics
+/// Panics when the file is missing or any registered header is absent,
+/// listing every violation and its re-record command.
+pub fn check_all_schemas() {
+    let recorded = std::fs::read_to_string(EXPERIMENTS_PATH).unwrap_or_else(|_| {
+        panic!("EXPERIMENTS.md missing; record the experiment binaries and commit it")
+    });
+    let missing: Vec<String> = RECORDED_SCHEMAS
+        .iter()
+        .filter(|(schema, _)| !recorded.contains(schema))
+        .map(|(schema, cmd)| format!("  {schema}  (re-record: `{cmd}`)"))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "EXPERIMENTS.md is missing {} schema header(s):\n{}",
+        missing.len(),
+        missing.join("\n")
+    );
+    println!(
+        "EXPERIMENTS.md schema headers OK: all {} sections present",
+        RECORDED_SCHEMAS.len()
+    );
+}
+
 /// The CI smoke check: the committed EXPERIMENTS.md must carry the
 /// schema marker this binary records (single source of truth is the
 /// binary's schema constant — bump both together).
@@ -265,47 +342,72 @@ pub fn assert_experiments_schema(schema: &str, record_cmd: &str) {
     println!("\nEXPERIMENTS.md schema header OK: {schema}");
 }
 
-/// The whole `--smoke`/`--record` workflow every recording binary
-/// shares: parse the flags, run the measurement (`run(smoke)` returns
-/// the printed output and the full EXPERIMENTS.md section body),
-/// print it, validate the committed schema header on `--smoke`, and
-/// rewrite this binary's section on `--record`. Keeping the flag
-/// semantics here means a workflow change edits one function, not
-/// nine `main`s.
+/// The whole `--smoke`/`--record`/`--check-schemas` workflow every
+/// recording binary shares: parse the flags, run the measurement
+/// (`run(smoke)` returns the printed output and the full
+/// EXPERIMENTS.md section body), print it, validate the committed
+/// schema header on `--smoke`, and rewrite this binary's section on
+/// `--record`. `--check-schemas` skips the measurement entirely and
+/// validates every registered section in one pass
+/// ([`check_all_schemas`]). Keeping the flag semantics here means a
+/// workflow change edits one function, not ten `main`s.
 ///
 /// # Panics
-/// Panics on unknown flags, a missing/stale schema header during
-/// `--smoke`, or an unwritable EXPERIMENTS.md during `--record`.
+/// Panics on unknown flags, a schema constant missing from
+/// [`RECORDED_SCHEMAS`], a missing/stale schema header during
+/// `--smoke` or `--check-schemas`, or an unwritable EXPERIMENTS.md
+/// during `--record`.
 pub fn run_recorded_experiment(
     schema: &str,
     record_cmd: &str,
     run: impl FnOnce(bool) -> (String, String),
 ) {
-    let (smoke, record) = smoke_record_flags();
-    let (output, record_body) = run(smoke);
+    assert!(
+        RECORDED_SCHEMAS.iter().any(|(s, _)| *s == schema),
+        "schema {schema:?} is not in RECORDED_SCHEMAS; register it so \
+         `--check-schemas` covers this binary"
+    );
+    let flags = experiment_flags();
+    if flags.check_schemas {
+        check_all_schemas();
+        return;
+    }
+    let (output, record_body) = run(flags.smoke);
     print!("{output}");
-    if smoke {
+    if flags.smoke {
         assert_experiments_schema(schema, record_cmd);
     }
-    if record && !smoke {
+    if flags.record && !flags.smoke {
         record_experiments_section(schema, &record_body);
     }
 }
 
-/// Parse the `--smoke` / `--record` flags every recording experiment
-/// binary shares; panics on unknown arguments.
-pub fn smoke_record_flags() -> (bool, bool) {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    for a in &args {
-        assert!(
-            a == "--smoke" || a == "--record",
-            "unknown flag {a}; supported: --smoke --record"
-        );
+/// Parsed command-line flags shared by every recording experiment
+/// binary (see [`experiment_flags`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExperimentFlags {
+    /// `--smoke`: tiny CI-speed pass + schema-header assertion.
+    pub smoke: bool,
+    /// `--record`: rewrite this binary's EXPERIMENTS.md section.
+    pub record: bool,
+    /// `--check-schemas`: validate every registered section, run
+    /// nothing.
+    pub check_schemas: bool,
+}
+
+/// Parse the `--smoke` / `--record` / `--check-schemas` flags every
+/// recording experiment binary shares; panics on unknown arguments.
+pub fn experiment_flags() -> ExperimentFlags {
+    let mut flags = ExperimentFlags::default();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => flags.smoke = true,
+            "--record" => flags.record = true,
+            "--check-schemas" => flags.check_schemas = true,
+            other => panic!("unknown flag {other}; supported: --smoke --record --check-schemas"),
+        }
     }
-    (
-        args.iter().any(|a| a == "--smoke"),
-        args.iter().any(|a| a == "--record"),
-    )
+    flags
 }
 
 /// Render a markdown table (title as an `##` heading, aligned cells).
@@ -540,6 +642,28 @@ mod tests {
         // section position (middle and last).
         assert_eq!(upsert_section(&three, s1, "alpha v2 body"), three);
         assert_eq!(upsert_section(&three, s2, "beta body"), three);
+    }
+
+    #[test]
+    fn recorded_schema_registry_is_consistent() {
+        let mut seen = std::collections::HashSet::new();
+        for (schema, cmd) in RECORDED_SCHEMAS {
+            assert!(
+                schema.starts_with("<!-- schema: ") && schema.ends_with(" -->"),
+                "malformed marker {schema:?}"
+            );
+            assert!(seen.insert(schema), "duplicate schema {schema:?}");
+            // Each record command targets the binary the schema names.
+            let bin = schema
+                .trim_start_matches("<!-- schema: ")
+                .split('-')
+                .next()
+                .unwrap();
+            assert!(
+                cmd.contains(&format!("--bin {bin} ")) && cmd.ends_with("--record"),
+                "command {cmd:?} does not record {bin}"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod layout;
 mod optimize;
 mod pipeline;
 pub mod plan;
+pub mod sketch;
 pub mod stats;
 pub mod topk;
 
@@ -54,5 +55,6 @@ pub use plan::{
     FeatureSet, ModelSlot, PlanCounters, PlanCountersSnapshot, PlanExecutor, PlanOutcome,
     PlanRunReport, PlanStage, RowOutcome, ServingPlan, StageProfile, StageTrace,
 };
-pub use stats::IfvStats;
+pub use sketch::CountMinSketch;
+pub use stats::{IfvStats, LatencyHistogram, RateEstimator};
 pub use topk::TopKFilter;

@@ -755,6 +755,70 @@ impl ServingPlan {
         Ok(self)
     }
 
+    /// Whether [`degraded`](ServingPlan::degraded) can produce a
+    /// cheaper form of this plan.
+    pub fn can_degrade(&self) -> bool {
+        self.small.is_some()
+            && self.subsets.is_some()
+            && self.stages.iter().any(|s| {
+                matches!(
+                    s,
+                    PlanStage::PredictModel {
+                        slot: ModelSlot::Full | ModelSlot::Selected,
+                    }
+                )
+            })
+    }
+
+    /// Lower the plan to its degraded (load-shedding) form: the
+    /// cascade short-circuits at the small model, so every row is
+    /// answered from the efficient features without ever escalating
+    /// to the full layout or full model.
+    ///
+    /// The degraded plan is a *view* of the same serving artifact —
+    /// it shares the original's end-to-end cache and counters — with
+    /// a rewritten stage list: an attached cache still answers
+    /// lookups (hits are full-quality scores), but degraded answers
+    /// are **not** written back, so the cache is never poisoned with
+    /// small-model scores that would outlive the overload. A top-K
+    /// filter stage is kept, ranking by filter score without the
+    /// full-model rerank.
+    ///
+    /// Returns `None` when the plan has no cheaper form to fall back
+    /// to (no small model, no efficient subset, or no full-model
+    /// predict stage to cut) — see
+    /// [`can_degrade`](ServingPlan::can_degrade). The admission layer
+    /// uses this under SLO pressure: degrade first, shed only when
+    /// degrading is not enough (or not possible).
+    pub fn degraded(&self) -> Option<ServingPlan> {
+        if !self.can_degrade() {
+            return None;
+        }
+        let mut p = self.clone();
+        let mut stages = Vec::with_capacity(4);
+        if p.cache.is_some() {
+            stages.push(PlanStage::CacheLookup);
+        }
+        stages.push(PlanStage::ComputeFeatures {
+            subset: FeatureSet::Efficient,
+        });
+        stages.push(PlanStage::PredictModel {
+            slot: ModelSlot::Small,
+        });
+        if let Some(filter) = self
+            .stages
+            .iter()
+            .find(|s| matches!(s, PlanStage::TopKFilter { .. }))
+        {
+            stages.push(filter.clone());
+        }
+        p.stages = stages;
+        p.meters = Arc::new(StageMeters::new(p.stages.len()));
+        p.validate()
+            .expect("the degraded lowering is structurally valid");
+        Some(p)
+    }
+
     /// Structural validation: every stage's prerequisites must be
     /// satisfied by the stages before it and the attached resources.
     fn validate(&self) -> Result<(), WillumpError> {
@@ -989,6 +1053,36 @@ impl ServingPlan {
         if let Some(c) = &self.cache {
             c.store.lock().clear();
         }
+    }
+
+    /// Pin the end-to-end cache entries backing `table`'s rows against
+    /// LRU eviction, returning how many entries were newly pinned.
+    ///
+    /// The serving runtime calls this for rows belonging to
+    /// heavy-hitter routing keys, so a burst of cold traffic cannot
+    /// evict the answers the hottest keys keep asking for. A no-op
+    /// without a cache, for rows not currently cached, and for rows
+    /// missing a cache source column.
+    pub fn pin_cache_rows(&self, table: &Table) -> usize {
+        let Some(cache) = &self.cache else { return 0 };
+        let mut store = cache.store.lock();
+        let mut pinned = 0;
+        for r in 0..table.n_rows() {
+            let Ok(key) = self.cache_key_row(table, r) else {
+                continue;
+            };
+            if !store.is_pinned(&key) && store.pin(&key) {
+                pinned += 1;
+            }
+        }
+        pinned
+    }
+
+    /// End-to-end cache entries currently pinned (0 without a cache).
+    pub fn cache_pinned(&self) -> usize {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.store.lock().pinned_len())
     }
 
     /// Feed reward in `[0, 1]` (clamped) for `arm` back into the
@@ -1610,6 +1704,121 @@ mod tests {
         let profiles = plan.stage_profiles();
         assert_eq!(profiles.len(), 5);
         assert!(profiles.iter().all(|p| p.runs > 0));
+    }
+
+    #[test]
+    fn degraded_cascade_never_escalates() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::cascade(exec.clone(), small.clone(), full, 0.8, vec![0]).unwrap();
+        assert!(plan.can_degrade());
+        let degraded = plan.degraded().expect("cascades degrade");
+        assert_eq!(
+            degraded.describe(),
+            vec!["compute_features(efficient)", "predict(small)"]
+        );
+        let out = degraded.run_batch(&t).unwrap();
+        assert_eq!(out.report.escalated, 0, "degraded plans never escalate");
+        // Every score is the small model's answer over the efficient
+        // subset.
+        let eff = exec.features_batch(&t, Some(&[0])).unwrap();
+        assert_eq!(out.scores, small.predict_scores(&eff));
+        // Counters are shared: the degraded view's rows land in the
+        // original plan's statistics.
+        assert_eq!(plan.counters().rows() as usize, t.n_rows());
+    }
+
+    #[test]
+    fn degraded_plan_reads_but_never_fills_the_cache() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::cascade(exec, small, full, 0.8, vec![0])
+            .unwrap()
+            .with_e2e_cache(vec!["a".to_string(), "b".to_string()], None)
+            .unwrap();
+        let degraded = plan.degraded().unwrap();
+        assert_eq!(
+            degraded.describe(),
+            vec![
+                "cache_lookup",
+                "compute_features(efficient)",
+                "predict(small)",
+            ]
+        );
+        // Degraded answers are not written back…
+        let input = InputRow::new([("a", Value::Float(3.0)), ("b", Value::Float(0.0))]);
+        let d = degraded.run_one(&input).unwrap();
+        assert!(!d.cache_hit);
+        assert!(!degraded.run_one(&input).unwrap().cache_hit);
+        // …but full-quality answers cached before (or between)
+        // overloads are served from the shared cache.
+        let f = plan.run_one(&input).unwrap();
+        assert!(!f.cache_hit);
+        let d2 = degraded.run_one(&input).unwrap();
+        assert!(d2.cache_hit, "degraded view shares the plan's cache");
+        assert!((d2.score - f.score).abs() < 1e-12);
+        let _ = d;
+    }
+
+    #[test]
+    fn pinned_hot_rows_survive_cache_churn() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::cascade(exec, small, full, 0.8, vec![0])
+            .unwrap()
+            .with_e2e_cache(vec!["a".to_string(), "b".to_string()], Some(2))
+            .unwrap();
+        let row = |a: f64, b: f64| {
+            let mut one = Table::new();
+            one.add_column("a", Column::from(vec![a])).unwrap();
+            one.add_column("b", Column::from(vec![b])).unwrap();
+            one
+        };
+        let hot = row(3.0, 0.0);
+        // Pinning before the row is cached is a no-op…
+        assert_eq!(plan.pin_cache_rows(&hot), 0);
+        let first = plan.predict_batch(&hot).unwrap()[0];
+        // …once cached, the pin takes, exactly once.
+        assert_eq!(plan.pin_cache_rows(&hot), 1);
+        assert_eq!(plan.pin_cache_rows(&hot), 0);
+        assert_eq!(plan.cache_pinned(), 1);
+        // Churn the 2-entry cache well past capacity with cold rows.
+        for i in 0..8 {
+            let _ = plan.predict_batch(&row(-3.0, f64::from(i))).unwrap();
+        }
+        let hits = plan.cache_hits();
+        assert!((plan.predict_batch(&hot).unwrap()[0] - first).abs() < 1e-12);
+        assert_eq!(plan.cache_hits(), hits + 1, "pinned hot row was evicted");
+    }
+
+    #[test]
+    fn degraded_topk_keeps_ranking() {
+        let (exec, t, y) = setup();
+        let (small, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::top_k_filter(exec, small, full, 10, TopKConfig::default(), vec![0])
+            .unwrap();
+        let degraded = plan.degraded().unwrap();
+        assert_eq!(
+            degraded.describe(),
+            vec![
+                "compute_features(efficient)",
+                "predict(small)",
+                "topk_filter(k=10, ck=10)",
+            ]
+        );
+        let (ranked, report) = degraded.top_k(&t, 5).unwrap();
+        assert_eq!(ranked.len(), 5);
+        assert!(report.filter_batch.is_some());
+        assert_eq!(report.escalated, 0);
+    }
+
+    #[test]
+    fn full_model_plans_cannot_degrade() {
+        let (exec, t, y) = setup();
+        let (_, full) = train(&exec, &t, &y);
+        let plan = ServingPlan::full_model_plan(exec, full);
+        assert!(!plan.can_degrade());
+        assert!(plan.degraded().is_none());
     }
 
     #[test]

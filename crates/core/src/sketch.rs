@@ -1,0 +1,278 @@
+//! Count-Min Sketch: sublinear per-key frequency estimation for
+//! hot-key (heavy-hitter) detection at admission time.
+//!
+//! Willump's thesis is that serving should exploit workload
+//! statistics; the serving runtime uses this sketch to notice when a
+//! handful of keys dominate traffic, so it can pin their cache
+//! entries and spread them across shards instead of letting key-hash
+//! routing concentrate them on one worker. A sketch (Cormode &
+//! Muthukrishnan 2005) does this in O(width x depth) memory for an
+//! unbounded key space, with one-sided error: estimates never
+//! undercount, and overcount by at most `ε x total` with probability
+//! `1 - δ` for `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`.
+
+use std::hash::{Hash, Hasher};
+
+/// A Count-Min Sketch over hashable keys.
+///
+/// ```
+/// use willump::CountMinSketch;
+///
+/// let mut sketch = CountMinSketch::new(256, 4);
+/// for _ in 0..90 {
+///     sketch.record(&"hot");
+/// }
+/// for i in 0..10 {
+///     sketch.record(&format!("cold-{i}"));
+/// }
+/// assert!(sketch.estimate(&"hot") >= 90); // never undercounts
+/// assert!(sketch.is_heavy(&"hot", 0.5));
+/// assert!(!sketch.is_heavy(&"cold-3", 0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth x width` counter matrix.
+    counts: Vec<u64>,
+    /// Total increments recorded (the stream length `N`).
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// A sketch with `depth` hash rows of `width` counters each.
+    ///
+    /// # Panics
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize) -> CountMinSketch {
+        assert!(width > 0, "width must be positive");
+        assert!(depth > 0, "depth must be positive");
+        CountMinSketch {
+            width,
+            depth,
+            counts: vec![0; width * depth],
+            total: 0,
+        }
+    }
+
+    /// A sketch sized from accuracy targets: estimates overcount by at
+    /// most `epsilon x total` with probability `1 - delta`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+    pub fn with_error(epsilon: f64, delta: f64) -> CountMinSketch {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0, 1), got {delta}"
+        );
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::new(width, depth)
+    }
+
+    /// Counters per hash row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of independent hash rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total increments recorded since creation (or [`clear`]).
+    ///
+    /// [`clear`]: CountMinSketch::clear
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Column index of `key` in hash row `row`.
+    ///
+    /// Each row seeds the hasher differently (splitmix64 of the row
+    /// index), giving `depth` near-independent hash functions from one
+    /// hasher family.
+    fn column<K: Hash + ?Sized>(&self, row: usize, key: &K) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        splitmix64(row as u64 + 1).hash(&mut h);
+        key.hash(&mut h);
+        (h.finish() % self.width as u64) as usize
+    }
+
+    /// Record one occurrence of `key`; returns the new estimate.
+    pub fn record<K: Hash + ?Sized>(&mut self, key: &K) -> u64 {
+        self.total += 1;
+        let mut min = u64::MAX;
+        for row in 0..self.depth {
+            let col = self.column(row, key);
+            let cell = &mut self.counts[row * self.width + col];
+            *cell = cell.saturating_add(1);
+            min = min.min(*cell);
+        }
+        min
+    }
+
+    /// Estimated occurrence count of `key` (never an undercount).
+    pub fn estimate<K: Hash + ?Sized>(&self, key: &K) -> u64 {
+        (0..self.depth)
+            .map(|row| self.counts[row * self.width + self.column(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether `key` accounts for at least `fraction` of all recorded
+    /// traffic — the heavy-hitter test. Always `false` on an empty
+    /// sketch or for `fraction <= 0`.
+    pub fn is_heavy<K: Hash + ?Sized>(&self, key: &K, fraction: f64) -> bool {
+        if self.total == 0 || fraction <= 0.0 {
+            return false;
+        }
+        self.estimate(key) as f64 >= fraction * self.total as f64
+    }
+
+    /// Halve every counter (and the total), aging out stale history.
+    ///
+    /// Calling this periodically turns the sketch into an
+    /// exponentially-decayed frequency estimate, so a key that *was*
+    /// hot an hour ago stops looking hot once its traffic moves on.
+    pub fn halve(&mut self) {
+        for c in &mut self.counts {
+            *c >>= 1;
+        }
+        self.total >>= 1;
+    }
+
+    /// Reset all counters and the total.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
+/// splitmix64 finalizer: decorrelates sequential row indices into
+/// well-mixed per-row hash seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_never_undercount() {
+        let mut s = CountMinSketch::new(64, 4);
+        for i in 0..1000u32 {
+            s.record(&(i % 50));
+        }
+        for k in 0..50u32 {
+            assert!(s.estimate(&k) >= 20, "key {k} undercounted");
+        }
+        assert_eq!(s.total(), 1000);
+    }
+
+    #[test]
+    fn small_streams_are_exact() {
+        // Far fewer distinct keys than width: collisions are unlikely
+        // in every row, so estimates are exact.
+        let mut s = CountMinSketch::new(1024, 4);
+        for k in 0..10u64 {
+            for _ in 0..=k {
+                s.record(&k);
+            }
+        }
+        for k in 0..10u64 {
+            assert_eq!(s.estimate(&k), k + 1);
+        }
+        assert_eq!(s.total(), 55);
+    }
+
+    #[test]
+    fn heavy_hitter_detection() {
+        let mut s = CountMinSketch::with_error(0.01, 0.01);
+        // One key takes 60% of traffic, the rest spread thin.
+        for i in 0..1000u32 {
+            if i % 5 < 3 {
+                s.record("dominant");
+            } else {
+                s.record(&format!("tail-{}", i % 97));
+            }
+        }
+        assert!(s.is_heavy("dominant", 0.5));
+        for i in 0..97u32 {
+            assert!(
+                !s.is_heavy(&format!("tail-{i}"), 0.5),
+                "tail key {i} misflagged"
+            );
+        }
+    }
+
+    #[test]
+    fn unseen_keys_estimate_near_zero() {
+        let mut s = CountMinSketch::with_error(0.001, 0.01);
+        for i in 0..100u32 {
+            s.record(&i);
+        }
+        // ε=0.001, N=100: overcount is below one count.
+        assert_eq!(s.estimate(&12345u32), 0);
+        assert!(!s.is_heavy(&12345u32, 0.01));
+    }
+
+    #[test]
+    fn halving_ages_out_old_traffic() {
+        let mut s = CountMinSketch::new(256, 4);
+        for _ in 0..800 {
+            s.record("was-hot");
+        }
+        assert!(s.is_heavy("was-hot", 0.5));
+        // Traffic moves on; periodic halving forgets the old regime.
+        for _ in 0..4 {
+            s.halve();
+            for i in 0..200u32 {
+                s.record(&i);
+            }
+        }
+        assert!(
+            !s.is_heavy("was-hot", 0.5),
+            "stale key still heavy: {} of {}",
+            s.estimate("was-hot"),
+            s.total()
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = CountMinSketch::new(16, 2);
+        s.record(&1u32);
+        s.clear();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.estimate(&1u32), 0);
+    }
+
+    #[test]
+    fn with_error_sizes_rows() {
+        let s = CountMinSketch::with_error(0.01, 0.05);
+        assert!(s.width() >= 272, "width {}", s.width());
+        assert_eq!(s.depth(), 3);
+    }
+
+    #[test]
+    fn empty_sketch_is_never_heavy() {
+        let s = CountMinSketch::new(8, 2);
+        assert!(!s.is_heavy(&0u32, 0.0));
+        assert_eq!(s.estimate(&0u32), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = CountMinSketch::new(0, 2);
+    }
+}

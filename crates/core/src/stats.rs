@@ -1,5 +1,8 @@
 //! IFV statistics: prediction importance and computational cost
-//! (paper §4.2, "Computing IFV Statistics").
+//! (paper §4.2, "Computing IFV Statistics"), plus the streaming
+//! telemetry primitives — a windowed-EWMA arrival-rate estimator and
+//! a fixed-bucket latency histogram — that the serving runtime's
+//! statistical admission layer builds its shed/degrade decisions on.
 
 use willump_data::{FeatureMatrix, Table};
 use willump_graph::analysis::subset_layout;
@@ -170,6 +173,231 @@ pub fn compute_ifv_stats_with_basis(
     })
 }
 
+/// Streaming arrival-rate estimator: a windowed EWMA over event
+/// counts.
+///
+/// Events are binned into fixed wall-clock windows; each completed
+/// window's instantaneous rate (`count / window`) folds into an
+/// exponentially-weighted moving average with smoothing `alpha`.
+/// Windows with no events decay the average toward zero, so a burst
+/// that ended a while ago stops inflating the estimate. Timestamps
+/// are caller-supplied nanoseconds, keeping the estimator
+/// deterministic under test and compatible with virtual clocks.
+///
+/// ```
+/// use willump::stats::RateEstimator;
+///
+/// let mut r = RateEstimator::new(1_000_000_000, 0.5); // 1s windows
+/// for i in 0..10u64 {
+///     r.record(i * 100_000_000); // 10 events/s for 1s
+/// }
+/// r.record(1_000_000_000); // closes the first window
+/// assert!(r.rate_per_sec() > 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    window_nanos: u64,
+    alpha: f64,
+    window_start: u64,
+    in_window: u64,
+    rate: f64,
+    primed: bool,
+}
+
+impl RateEstimator {
+    /// An estimator with `window_nanos`-wide bins and EWMA smoothing
+    /// factor `alpha` (weight of the newest window).
+    ///
+    /// # Panics
+    /// Panics unless `window_nanos > 0` and `0 < alpha <= 1`.
+    pub fn new(window_nanos: u64, alpha: f64) -> RateEstimator {
+        assert!(window_nanos > 0, "window must be positive");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        RateEstimator {
+            window_nanos,
+            alpha,
+            window_start: 0,
+            in_window: 0,
+            rate: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Record one event at `now_nanos` (monotonic; out-of-order
+    /// timestamps count into the current window).
+    pub fn record(&mut self, now_nanos: u64) {
+        if !self.primed {
+            self.primed = true;
+            self.window_start = now_nanos;
+        }
+        self.roll_to(now_nanos);
+        self.in_window += 1;
+    }
+
+    /// The smoothed arrival rate in events per second, as of
+    /// `now_nanos` (events in the still-open window are not counted;
+    /// windows that elapsed empty decay the estimate first).
+    pub fn rate_at(&mut self, now_nanos: u64) -> f64 {
+        if self.primed {
+            self.roll_to(now_nanos);
+        }
+        self.rate
+    }
+
+    /// The smoothed arrival rate in events per second as of the last
+    /// recorded event.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate
+    }
+
+    /// Fold every window completed before `now_nanos` into the EWMA.
+    fn roll_to(&mut self, now_nanos: u64) {
+        while now_nanos.saturating_sub(self.window_start) >= self.window_nanos {
+            let inst = self.in_window as f64 * 1e9 / self.window_nanos as f64;
+            self.rate = self.alpha * inst + (1.0 - self.alpha) * self.rate;
+            self.in_window = 0;
+            self.window_start += self.window_nanos;
+        }
+    }
+}
+
+/// A fixed-bucket latency histogram with quantile estimation.
+///
+/// Buckets have exponentially-growing upper bounds, so one small
+/// array covers microseconds through seconds at bounded relative
+/// error. Quantiles interpolate linearly inside the covering bucket;
+/// samples beyond the last bound clamp to it. [`halve`] ages out old
+/// samples so a long-running server's p99 tracks *recent* service
+/// times.
+///
+/// ```
+/// use willump::stats::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::exponential(1_000, 2.0, 20);
+/// for i in 1..=100u64 {
+///     h.record(i * 1_000); // 1..100 µs
+/// }
+/// let p99 = h.quantile(0.99).unwrap();
+/// assert!(p99 >= 64_000 && p99 <= 128_000);
+/// ```
+///
+/// [`halve`]: LatencyHistogram::halve
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Ascending bucket upper bounds in nanoseconds; bucket `i` counts
+    /// samples in `(bounds[i-1], bounds[i]]`.
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// A histogram of `n_buckets` buckets whose upper bounds start at
+    /// `first_bound_nanos` and grow by `factor` per bucket.
+    ///
+    /// # Panics
+    /// Panics unless `first_bound_nanos > 0`, `factor > 1`, and
+    /// `n_buckets > 0`.
+    pub fn exponential(first_bound_nanos: u64, factor: f64, n_buckets: usize) -> LatencyHistogram {
+        assert!(first_bound_nanos > 0, "first bound must be positive");
+        assert!(factor > 1.0, "factor must exceed 1, got {factor}");
+        assert!(n_buckets > 0, "need at least one bucket");
+        let mut bounds = Vec::with_capacity(n_buckets);
+        let mut b = first_bound_nanos as f64;
+        for _ in 0..n_buckets {
+            bounds.push(b.min(u64::MAX as f64) as u64);
+            b *= factor;
+        }
+        bounds.dedup();
+        LatencyHistogram::with_bounds(bounds)
+    }
+
+    /// A histogram over explicit ascending upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: Vec<u64>) -> LatencyHistogram {
+        assert!(!bounds.is_empty(), "need at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        LatencyHistogram {
+            bounds,
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Record one sample; values past the last bound clamp into the
+    /// final bucket.
+    pub fn record(&mut self, nanos: u64) {
+        let idx = self.bounds.partition_point(|&b| b < nanos);
+        let idx = idx.min(self.bounds.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated latency at quantile `q` in `[0, 1]`; `None` when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let within = (rank - seen) as f64 / c as f64;
+                return Some(lower + ((upper - lower) as f64 * within) as u64);
+            }
+            seen += c;
+        }
+        Some(*self.bounds.last().expect("non-empty bounds"))
+    }
+
+    /// Estimated median latency in nanoseconds.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// Estimated 99th-percentile latency in nanoseconds.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Halve every bucket count, aging out stale samples (the
+    /// exponential-decay trick shared with the admission sketch).
+    pub fn halve(&mut self) {
+        self.total = 0;
+        for c in &mut self.counts {
+            *c >>= 1;
+            self.total += *c;
+        }
+    }
+
+    /// Reset all buckets.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +470,87 @@ mod tests {
         };
         assert!(stats.cost_effectiveness(0).is_infinite());
         assert_eq!(stats.cost_effectiveness(1), 0.0);
+    }
+
+    #[test]
+    fn rate_estimator_converges_to_steady_rate() {
+        let mut r = RateEstimator::new(1_000_000_000, 0.3);
+        // 50 events/s for 20 seconds.
+        for i in 0..1000u64 {
+            r.record(i * 20_000_000);
+        }
+        let rate = r.rate_at(20_000_000_000);
+        assert!((rate - 50.0).abs() < 2.0, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_estimator_decays_when_traffic_stops() {
+        let mut r = RateEstimator::new(1_000_000_000, 0.5);
+        for i in 0..100u64 {
+            r.record(i * 10_000_000); // 100/s burst inside 1s
+        }
+        r.record(1_000_000_000); // close the burst window
+        let peak = r.rate_per_sec();
+        assert!(peak > 40.0, "peak {peak}");
+        // 10 silent seconds: the estimate must collapse toward zero.
+        let later = r.rate_at(11_000_000_000);
+        assert!(later < peak / 100.0, "decayed rate {later} vs {peak}");
+    }
+
+    #[test]
+    fn rate_estimator_is_quiet_before_any_event() {
+        let mut r = RateEstimator::new(1_000_000, 0.5);
+        assert_eq!(r.rate_per_sec(), 0.0);
+        assert_eq!(r.rate_at(5_000_000_000), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_known_distribution() {
+        let mut h = LatencyHistogram::exponential(1_000, 2.0, 24);
+        // Uniform 1..=1000 µs: p50 ≈ 500µs, p99 ≈ 990µs.
+        for i in 1..=1000u64 {
+            h.record(i * 1_000);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.p50().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!((256_000..=1_024_000).contains(&p50), "p50 {p50}");
+        assert!((512_000..=2_048_000).contains(&p99), "p99 {p99}");
+        assert!(p99 > p50);
+    }
+
+    #[test]
+    fn histogram_clamps_overflow_and_handles_empty() {
+        let mut h = LatencyHistogram::with_bounds(vec![10, 100]);
+        assert_eq!(h.quantile(0.5), None);
+        h.record(1_000_000); // far past the last bound
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), Some(100));
+        h.clear();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_halving_ages_out_slow_past() {
+        let mut h = LatencyHistogram::exponential(1_000, 2.0, 20);
+        for _ in 0..512 {
+            h.record(400_000); // a slow regime: p99 ≈ 400µs
+        }
+        assert!(h.p99().unwrap() >= 256_000);
+        // The service recovers; decay forgets the slow era.
+        for _ in 0..10 {
+            h.halve();
+            for _ in 0..64 {
+                h.record(2_000);
+            }
+        }
+        assert!(h.p99().unwrap() <= 16_000, "p99 {:?}", h.p99());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_panic() {
+        let _ = LatencyHistogram::with_bounds(vec![100, 10]);
     }
 
     #[test]

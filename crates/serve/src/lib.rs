@@ -73,16 +73,16 @@ pub use e2e_cache::E2eCachedPredictor;
 pub use error::ServeError;
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, error_wire,
-    escape_json_string, ControlRequest, EndpointCounters, Request, Response, WireRow,
-    ERROR_RESPONSE_ID,
+    escape_json_string, is_overloaded_wire, ControlRequest, EndpointCounters, Request, Response,
+    WireRow, ERROR_RESPONSE_ID,
 };
 pub use remote::{
     InProcessWorker, RemoteRuntimeNode, RemoteWorker, TransportStats, WorkerTransport,
     REMOTE_WORKER_BREAKER_COOLDOWN, REMOTE_WORKER_BREAKER_FAILURES, REMOTE_WORKER_TIMEOUT,
 };
 pub use runtime::{
-    shard_for_key, table_row_to_wire, Endpoint, EndpointBuilder, EndpointStats, RuntimeBuilder,
-    RuntimeClient, SchedulerPolicy, ServerStats, ServingRuntime, DEFAULT_ENDPOINT,
+    shard_for_key, table_row_to_wire, AdmissionPolicy, Endpoint, EndpointBuilder, EndpointStats,
+    RuntimeBuilder, RuntimeClient, SchedulerPolicy, ServerStats, ServingRuntime, DEFAULT_ENDPOINT,
 };
 pub use selection::{ArmStats, ModelSelector, SelectionPolicy};
 pub use server::{ClipperClient, ClipperServer, Servable, ServerConfig, ServerConfigBuilder};

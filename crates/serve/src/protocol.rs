@@ -37,6 +37,21 @@
 //!   [`willump::PlanCountersSnapshot`] — which is how a parent's
 //!   escalation-aware scheduler reads statistics that accumulated in
 //!   another process.
+//!
+//! # Admission-control markers
+//!
+//! The runtime's statistical admission layer (see
+//! [`crate::AdmissionPolicy`]) adds two response markers, again both
+//! `#[serde(default)]` so legacy frames keep decoding:
+//!
+//! - [`Response::degraded`]: the answer was served by the endpoint's
+//!   *degraded* plan lowering (small model only, no escalation) to
+//!   protect the latency SLO under load.
+//! - [`Response::overloaded`]: the request was **shed** at admission
+//!   — no prediction ran. Shed responses also carry
+//!   [`Response::error`], so legacy clients that predate the marker
+//!   still observe an explicit failure rather than silent empty
+//!   scores.
 
 use serde::{Deserialize, Serialize};
 use willump::PlanCountersSnapshot;
@@ -164,6 +179,18 @@ pub struct Response {
     /// [`ControlRequest::Counters`] probes.
     #[serde(default)]
     pub counters: Option<Vec<EndpointCounters>>,
+    /// The answer was served by the endpoint's *degraded* plan
+    /// lowering (small model, no escalation) because admission
+    /// control judged the endpoint's latency SLO at risk. Scores are
+    /// real predictions, just cheaper ones.
+    #[serde(default)]
+    pub degraded: bool,
+    /// The request was **shed** by admission control before any
+    /// prediction ran. Shed responses also set [`Response::error`],
+    /// so clients predating this marker still see an explicit
+    /// failure.
+    #[serde(default)]
+    pub overloaded: bool,
 }
 
 impl Response {
@@ -177,6 +204,24 @@ impl Response {
             endpoint: None,
             version: None,
             counters: None,
+            degraded: false,
+            overloaded: false,
+        }
+    }
+
+    /// An admission-shed response: [`Response::overloaded`] set, plus
+    /// an explicit error naming the overloaded endpoint for legacy
+    /// clients.
+    #[must_use]
+    pub fn shed(id: u64, endpoint: &str, version: u32) -> Response {
+        Response {
+            endpoint: Some(endpoint.to_string()),
+            version: Some(version),
+            overloaded: true,
+            ..Response::failure(
+                id,
+                format!("endpoint `{endpoint}` overloaded: request shed by admission control"),
+            )
         }
     }
 }
@@ -213,6 +258,20 @@ pub fn encode_response(resp: &Response) -> Result<String, ServeError> {
 /// Returns [`ServeError::Codec`] on malformed input.
 pub fn decode_response(wire: &str) -> Result<Response, ServeError> {
     serde_json::from_str(wire).map_err(|e| ServeError::Codec(e.to_string()))
+}
+
+/// Whether a raw response wire is an admission-shed
+/// ([`Response::overloaded`]) marker.
+///
+/// Forwarding paths relay response wires without decoding them; this
+/// check lets them exclude shed responses from per-shard transport
+/// latency accounting (a shed round-trip measures no prediction
+/// work). The substring scan is a fast pre-filter — only frames that
+/// could plausibly carry the marker pay for a real decode, so
+/// error messages *containing* the marker text cannot spoof it.
+#[must_use]
+pub fn is_overloaded_wire(wire: &str) -> bool {
+    wire.contains("\"overloaded\":true") && decode_response(wire).is_ok_and(|r| r.overloaded)
 }
 
 /// Build a guaranteed-well-formed error response wire string.
@@ -325,9 +384,45 @@ mod tests {
             endpoint: Some("music".to_string()),
             version: Some(1),
             counters: None,
+            degraded: false,
+            overloaded: false,
         };
         let wire = encode_response(&resp).unwrap();
         assert_eq!(decode_response(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn shed_response_round_trip() {
+        let resp = Response::shed(11, "music", 2);
+        assert!(resp.overloaded);
+        assert!(resp.scores.is_empty());
+        let err = resp.error.as_deref().expect("shed carries an error");
+        assert!(err.contains("music"), "error names the endpoint: {err}");
+        let wire = encode_response(&resp).unwrap();
+        assert!(is_overloaded_wire(&wire));
+        assert_eq!(decode_response(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn legacy_response_frames_are_not_overloaded() {
+        // Frames predating the admission markers decode with both
+        // markers off.
+        let wire = r#"{"id":4,"scores":[0.5],"error":null}"#;
+        let resp = decode_response(wire).unwrap();
+        assert!(!resp.degraded);
+        assert!(!resp.overloaded);
+        assert!(!is_overloaded_wire(wire));
+    }
+
+    #[test]
+    fn overloaded_marker_cannot_be_spoofed_from_error_text() {
+        // A hostile error *message* containing the marker text must
+        // not read as a shed response: the pre-filter is confirmed by
+        // a real decode of the frame.
+        let wire = error_wire(3, "looks shed: \"overloaded\":true");
+        let resp = decode_response(&wire).expect("hostile wire still parses");
+        assert!(!resp.overloaded);
+        assert!(!is_overloaded_wire(&wire));
     }
 
     #[test]

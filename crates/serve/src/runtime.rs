@@ -22,7 +22,20 @@
 //!   expensive full-model traffic cannot starve cheap endpoints;
 //! - **shadow** endpoints receive a mirrored copy of their group's
 //!   traffic with the response discarded — deployment validation at
-//!   serving time.
+//!   serving time;
+//! - a **statistical admission layer** ([`AdmissionPolicy`], set with
+//!   [`RuntimeBuilder::admission`]) keeps per-endpoint streaming
+//!   telemetry — arrival rate (windowed EWMA), service-time quantiles
+//!   (fixed-bucket latency histogram), and worker queue depth — and,
+//!   when the estimated p99 breaches the configured SLO, first
+//!   **degrades** plan endpoints to their small-model lowering
+//!   ([`willump::ServingPlan::degraded`]) and only past the shed
+//!   threshold **sheds** with an explicit
+//!   [`Response::overloaded`] marker. A Count-Min Sketch tracks
+//!   per-key frequency at admission: heavy-hitter keys are routed
+//!   round-robin across shards instead of key-hash (one worker cannot
+//!   absorb a viral key) and get their end-to-end cache entries
+//!   pinned against LRU eviction.
 //!
 //! Workers keep the coalescing behavior paper Table 6 measures: each
 //! worker drains its queue up to [`ServerConfig::max_batch_requests`]
@@ -47,15 +60,19 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use willump::{PlanCounters, PlanCountersSnapshot};
+use willump::{
+    CountMinSketch, LatencyHistogram, PlanCounters, PlanCountersSnapshot, RateEstimator,
+};
 use willump_data::{Column, DataType, Table};
 
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, error_wire, ControlRequest,
-    EndpointCounters, Request, Response, WireRow, ERROR_RESPONSE_ID,
+    decode_request, decode_response, encode_request, encode_response, error_wire,
+    is_overloaded_wire, ControlRequest, EndpointCounters, Request, Response, WireRow,
+    ERROR_RESPONSE_ID,
 };
 use crate::remote::{RemoteWorker, TransportStats, WorkerTransport};
 use crate::selection::{ModelSelector, SelectionPolicy};
@@ -95,6 +112,9 @@ pub struct ServerStats {
     remote_forwards: AtomicU64,
     transport_errors: AtomicU64,
     failovers: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    hot_keys: AtomicU64,
     worker_batches: Vec<AtomicU64>,
 }
 
@@ -111,6 +131,9 @@ impl ServerStats {
             remote_forwards: AtomicU64::new(0),
             transport_errors: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            hot_keys: AtomicU64::new(0),
             worker_batches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -180,6 +203,26 @@ impl ServerStats {
         self.failovers.load(Ordering::Relaxed)
     }
 
+    /// Requests served by an endpoint's *degraded* plan lowering
+    /// because admission control judged the latency SLO at risk.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed at admission with a [`Response::overloaded`]
+    /// marker (no prediction ran; not counted in
+    /// [`rows`](ServerStats::rows)).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose routing key tested as a heavy hitter at
+    /// admission (routed round-robin instead of key-hash, cache
+    /// entries pinned).
+    pub fn hot_keys(&self) -> u64 {
+        self.hot_keys.load(Ordering::Relaxed)
+    }
+
     /// Worker-iteration counts, one entry per worker thread.
     pub fn worker_batches(&self) -> Vec<u64> {
         self.worker_batches
@@ -200,6 +243,9 @@ pub struct EndpointStats {
     shard_transport_nanos: Vec<AtomicU64>,
     transport_errors: AtomicU64,
     failovers: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    hot_keys: AtomicU64,
 }
 
 impl EndpointStats {
@@ -213,6 +259,9 @@ impl EndpointStats {
             shard_transport_nanos: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             transport_errors: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            hot_keys: AtomicU64::new(0),
         }
     }
 
@@ -267,6 +316,165 @@ impl EndpointStats {
     pub fn failovers(&self) -> u64 {
         self.failovers.load(Ordering::Relaxed)
     }
+
+    /// Requests served by this endpoint's *degraded* plan lowering.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed at admission (answered with
+    /// [`Response::overloaded`], no prediction ran).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose routing key tested as a heavy hitter at
+    /// admission.
+    pub fn hot_keys(&self) -> u64 {
+        self.hot_keys.load(Ordering::Relaxed)
+    }
+}
+
+// ---- admission control ---------------------------------------------
+
+/// Statistical admission control for a [`ServingRuntime`] (install
+/// with [`RuntimeBuilder::admission`]).
+///
+/// The runtime keeps per-endpoint streaming telemetry — arrival rate
+/// (windowed EWMA), service-time quantiles (fixed-bucket latency
+/// histogram), and the routed worker's queue depth — and estimates
+/// each request's p99 latency as `service_p99 x (queue_depth + 1)`
+/// (every queued request is served before this one). Against the
+/// configured SLO the policy acts in two bands:
+///
+/// 1. **Degrade** (`slo < estimate <= slo x shed_factor`): endpoints
+///    with a degraded lowering ([`willump::ServingPlan::degraded`],
+///    attached automatically by [`RuntimeBuilder::plan`]) serve the
+///    request with the small model only — cheaper, never escalating —
+///    and mark the response [`Response::degraded`].
+/// 2. **Shed** (`estimate > slo x shed_factor`): the request is
+///    answered immediately with [`Response::overloaded`] and an
+///    explicit error; no prediction runs.
+///
+/// Independently, a Count-Min Sketch tracks routing-key frequency:
+/// keys above [`hot_key_fraction`](Self::hot_key_fraction) of an
+/// endpoint's traffic are routed round-robin across shards instead of
+/// key-hash, and their end-to-end cache entries are pinned against
+/// LRU eviction ([`willump::ServingPlan::pin_cache_rows`]).
+///
+/// Decisions apply to locally-served traffic; requests routed to a
+/// remote shard are forwarded and subject to the *remote* node's own
+/// admission policy instead (its shed responses relay back verbatim).
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    slo_p99_nanos: u64,
+    shed_factor: f64,
+    hot_key_fraction: f64,
+    min_samples: u64,
+}
+
+impl AdmissionPolicy {
+    /// A policy targeting the given p99 latency SLO, with defaults:
+    /// shed factor 2.0, hot-key fraction 0.5, 32 minimum samples.
+    ///
+    /// # Panics
+    /// Panics on a zero SLO.
+    #[must_use]
+    pub fn with_slo_p99(slo: Duration) -> AdmissionPolicy {
+        let nanos = u64::try_from(slo.as_nanos()).unwrap_or(u64::MAX);
+        assert!(nanos > 0, "the p99 SLO must be positive");
+        AdmissionPolicy {
+            slo_p99_nanos: nanos,
+            shed_factor: 2.0,
+            hot_key_fraction: 0.5,
+            min_samples: 32,
+        }
+    }
+
+    /// Shed when the estimated p99 exceeds `factor x` the SLO
+    /// (between 1x and `factor x`, degrade instead). Default 2.0.
+    ///
+    /// # Panics
+    /// Panics for `factor < 1.0` (the shed band may not start below
+    /// the degrade band).
+    #[must_use]
+    pub fn shed_factor(mut self, factor: f64) -> AdmissionPolicy {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "shed_factor must be >= 1.0, got {factor}"
+        );
+        self.shed_factor = factor;
+        self
+    }
+
+    /// Fraction of an endpoint's traffic above which a routing key
+    /// counts as a heavy hitter. Default 0.5.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fraction <= 1`.
+    #[must_use]
+    pub fn hot_key_fraction(mut self, fraction: f64) -> AdmissionPolicy {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "hot_key_fraction must be in (0, 1], got {fraction}"
+        );
+        self.hot_key_fraction = fraction;
+        self
+    }
+
+    /// Minimum telemetry samples (service-time observations for SLO
+    /// decisions, sketch increments for heavy-hitter tests) before
+    /// the policy acts. Default 32.
+    #[must_use]
+    pub fn min_samples(mut self, n: u64) -> AdmissionPolicy {
+        self.min_samples = n;
+        self
+    }
+
+    /// The configured p99 SLO in nanoseconds.
+    #[must_use]
+    pub fn slo_p99_nanos(&self) -> u64 {
+        self.slo_p99_nanos
+    }
+}
+
+/// Service-time histograms halve at this sample count, so quantiles
+/// track the recent regime instead of averaging over all history.
+const SERVICE_HISTORY_LIMIT: u64 = 8192;
+
+/// Key-frequency sketches halve at this total, aging out keys whose
+/// traffic moved on.
+const SKETCH_DECAY_EVERY: u64 = 65536;
+
+/// Per-endpoint streaming telemetry backing admission decisions
+/// (allocated only when the runtime has an [`AdmissionPolicy`]).
+struct Telemetry {
+    /// Arrival rate: windowed EWMA over admission timestamps.
+    arrivals: Mutex<RateEstimator>,
+    /// Service-time distribution of completed local predictions.
+    service: Mutex<LatencyHistogram>,
+    /// Routing-key frequency sketch for heavy-hitter detection.
+    sketch: Mutex<CountMinSketch>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        Telemetry {
+            // 100ms windows, EWMA alpha 0.3: fast enough to track a
+            // load spike, smooth enough to ignore single-batch jitter.
+            arrivals: Mutex::new(RateEstimator::new(100_000_000, 0.3)),
+            // 26 exponential buckets from 1µs: covers ~1µs..34s.
+            service: Mutex::new(LatencyHistogram::exponential(1_000, 2.0, 26)),
+            sketch: Mutex::new(CountMinSketch::new(512, 4)),
+        }
+    }
+}
+
+/// What the admission policy decided for one locally-routed request.
+enum AdmissionDecision {
+    Accept,
+    Degrade,
+    Shed,
 }
 
 // ---- endpoints -----------------------------------------------------
@@ -284,6 +492,12 @@ pub struct Endpoint {
     name: String,
     version: u32,
     servable: Arc<dyn Servable>,
+    /// Cheaper fallback (typically the plan's small-model lowering)
+    /// served when admission control is in the degrade band.
+    degraded_servable: Option<Arc<dyn Servable>>,
+    /// Admission telemetry; present only when the runtime has an
+    /// [`AdmissionPolicy`].
+    telemetry: Option<Telemetry>,
     counters: Option<Arc<PlanCounters>>,
     /// Total shard count (local + remote).
     shards: usize,
@@ -414,6 +628,37 @@ impl Endpoint {
     pub fn escalation_rate(&self) -> f64 {
         self.merged_counters().escalation_rate()
     }
+
+    /// Whether admission control can degrade this endpoint instead of
+    /// shedding (a degraded lowering is attached — automatic for
+    /// [`RuntimeBuilder::plan`] endpoints whose plan
+    /// [`can_degrade`](willump::ServingPlan::can_degrade)).
+    pub fn can_degrade(&self) -> bool {
+        self.degraded_servable.is_some()
+    }
+
+    /// Observed p99 service time of local predictions in nanoseconds
+    /// (`None` without admission telemetry or completed predictions).
+    pub fn service_p99_nanos(&self) -> Option<u64> {
+        self.telemetry.as_ref().and_then(|t| t.service.lock().p99())
+    }
+
+    /// Smoothed arrival rate in requests/sec as of the last admitted
+    /// request (0.0 without admission telemetry).
+    pub fn arrival_rate(&self) -> f64 {
+        self.telemetry
+            .as_ref()
+            .map_or(0.0, |t| t.arrivals.lock().rate_per_sec())
+    }
+
+    /// The servable that handles a job, honoring its degrade marker.
+    fn active_servable(&self, degraded: bool) -> &Arc<dyn Servable> {
+        if degraded {
+            self.degraded_servable.as_ref().unwrap_or(&self.servable)
+        } else {
+            &self.servable
+        }
+    }
 }
 
 /// Smooth weighted round-robin state (the nginx algorithm):
@@ -494,6 +739,10 @@ struct RoutedJob {
     entry: Arc<Endpoint>,
     /// `None` for shadow-mirrored copies (response discarded).
     reply: Option<Sender<String>>,
+    /// Admission control put this request in the degrade band: serve
+    /// it with the endpoint's degraded lowering. Only ever `true`
+    /// when the endpoint has one.
+    degraded: bool,
 }
 
 enum Job {
@@ -517,6 +766,12 @@ struct Shared {
     config: ServerConfig,
     scheduler: SchedulerPolicy,
     rebalance_every: u64,
+    admission: Option<AdmissionPolicy>,
+    /// Monotonic origin for admission telemetry timestamps.
+    started: Instant,
+    /// Sender clones used only to read queue depths lock-free (the
+    /// authoritative senders live behind the gate).
+    queue_probes: Vec<Sender<Job>>,
     admitted: AtomicU64,
     gate: Mutex<GateState>,
     stats: ServerStats,
@@ -608,6 +863,8 @@ impl Shared {
             endpoint: None,
             version: None,
             counters: Some(report),
+            degraded: false,
+            overloaded: false,
         };
         encode_response(&resp)
             .unwrap_or_else(|e| error_wire(id, &format!("counters report encoding failed: {e}")))
@@ -659,7 +916,35 @@ impl Shared {
             None => Arc::clone(&group.primaries[group.pick_version()]),
         };
 
-        let key = req.key.clone();
+        // ---- statistical admission telemetry -----------------------
+        // Record the arrival and test the routing key for heat. A hot
+        // key routes round-robin (key = None below) so one worker
+        // cannot absorb a viral key, and its cached answers get
+        // pinned against eviction.
+        let mut hot = false;
+        if let (Some(policy), Some(tel)) = (&self.admission, &entry.telemetry) {
+            let now = self.started.elapsed().as_nanos() as u64;
+            tel.arrivals.lock().record(now);
+            if let Some(k) = req.key.as_deref() {
+                let mut sketch = tel.sketch.lock();
+                sketch.record(k);
+                if sketch.total() >= SKETCH_DECAY_EVERY {
+                    sketch.halve();
+                }
+                hot = sketch.total() >= policy.min_samples
+                    && sketch.is_heavy(k, policy.hot_key_fraction);
+                drop(sketch);
+                if hot {
+                    self.stats.hot_keys.fetch_add(1, Ordering::Relaxed);
+                    entry.stats.hot_keys.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(table) = rows_to_table(&req.rows) {
+                        let _ = entry.servable.pin_hot_rows(&table);
+                    }
+                }
+            }
+        }
+
+        let key = if hot { None } else { req.key.clone() };
         // Shadow mirrors route over their *local* shards only (a
         // remote mirror would stall admission on a network round
         // trip); an all-remote shadow drops the copy.
@@ -676,6 +961,7 @@ impl Shared {
                         req: req.clone(),
                         entry: Arc::clone(shadow),
                         reply: None,
+                        degraded: false,
                     },
                 )
             })
@@ -699,6 +985,41 @@ impl Shared {
             )));
         }
         let shard = pick_shard(&entry, key.as_deref(), domain, req.forwarded);
+
+        // ---- degrade-then-shed decision ----------------------------
+        // Locally-routed requests pass the admission policy before
+        // anything is enqueued: the degrade band swaps in the
+        // endpoint's cheaper lowering, the shed band answers with an
+        // explicit Overloaded marker and runs nothing. Remote-routed
+        // requests are judged by the remote node's own policy.
+        let mut degraded = false;
+        if shard < entry.local_shards {
+            let routed_worker = entry.assignment[shard].load(Ordering::Relaxed);
+            match self.admission_decision(&entry, routed_worker) {
+                AdmissionDecision::Accept => {}
+                AdmissionDecision::Degrade => {
+                    // Endpoints without a degraded lowering stay on
+                    // the full path until the shed threshold.
+                    if entry.can_degrade() {
+                        degraded = true;
+                        self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                        entry.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                AdmissionDecision::Shed => {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    entry.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    // Shed requests are not routed (no row counters)
+                    // and not mirrored: shadows exist to validate
+                    // serving, and nothing was served.
+                    let resp = Response::shed(req.id, &entry.name, entry.version);
+                    return Ok(Admitted::Immediate(encode_response(&resp).unwrap_or_else(
+                        |e| error_wire(req.id, &format!("shed response encoding failed: {e}")),
+                    )));
+                }
+            }
+        }
+
         record_route(&entry, shard, &req);
         self.stats
             .rows
@@ -744,6 +1065,7 @@ impl Shared {
             req,
             entry,
             reply: Some(reply_tx),
+            degraded,
         };
         loop {
             let gate = self.gate.lock();
@@ -827,8 +1149,14 @@ impl Shared {
             match entry.transports[idx].forward(&encoded) {
                 Ok(wire) => {
                     let nanos = start.elapsed().as_nanos() as u64;
-                    entry.stats.shard_transport_nanos[entry.local_shards + idx]
-                        .fetch_add(nanos, Ordering::Relaxed);
+                    // A shed (Overloaded) answer measured no
+                    // prediction work — mirroring the counters-probe
+                    // exclusion, it must not skew per-shard transport
+                    // latency.
+                    if !is_overloaded_wire(&wire) {
+                        entry.stats.shard_transport_nanos[entry.local_shards + idx]
+                            .fetch_add(nanos, Ordering::Relaxed);
+                    }
                     self.stats.remote_forwards.fetch_add(1, Ordering::Relaxed);
                     return RemoteOutcome::Served(wire);
                 }
@@ -848,6 +1176,40 @@ impl Shared {
         let n = self.admitted.fetch_add(1, Ordering::Relaxed) + 1;
         if self.rebalance_every > 0 && n.is_multiple_of(self.rebalance_every) {
             self.rebalance();
+        }
+    }
+
+    /// Judge one locally-routed request against the admission policy:
+    /// estimate its p99 latency as the endpoint's observed service-time
+    /// p99 scaled by the routed worker's queue depth (every queued
+    /// request is served before this one), and compare against the
+    /// SLO's degrade and shed bands. Accepts everything until
+    /// [`AdmissionPolicy::min_samples`] service times are observed.
+    fn admission_decision(&self, entry: &Endpoint, worker: usize) -> AdmissionDecision {
+        let Some(policy) = &self.admission else {
+            return AdmissionDecision::Accept;
+        };
+        let Some(tel) = &entry.telemetry else {
+            return AdmissionDecision::Accept;
+        };
+        let (count, p99) = {
+            let service = tel.service.lock();
+            (service.count(), service.p99())
+        };
+        if count < policy.min_samples {
+            return AdmissionDecision::Accept;
+        }
+        let Some(p99) = p99 else {
+            return AdmissionDecision::Accept;
+        };
+        let depth = self.queue_probes[worker].len() as u64;
+        let estimate = p99.saturating_mul(depth + 1);
+        if estimate as f64 > policy.slo_p99_nanos as f64 * policy.shed_factor {
+            AdmissionDecision::Shed
+        } else if estimate > policy.slo_p99_nanos {
+            AdmissionDecision::Degrade
+        } else {
+            AdmissionDecision::Accept
         }
     }
 }
@@ -955,6 +1317,20 @@ fn respond(job: &RoutedJob, resp: &Response) {
     let _ = reply.send(wire);
 }
 
+/// Feed one completed local prediction's wall time into the
+/// endpoint's service-time histogram (no-op without admission
+/// telemetry), halving at [`SERVICE_HISTORY_LIMIT`] so quantiles
+/// track the recent regime.
+fn record_service(entry: &Endpoint, nanos: u64) {
+    if let Some(tel) = &entry.telemetry {
+        let mut service = tel.service.lock();
+        service.record(nanos);
+        if service.count() >= SERVICE_HISTORY_LIMIT {
+            service.halve();
+        }
+    }
+}
+
 /// Serve one already-decoded request individually (the per-request
 /// dispatch path, also the fallback when a coalesced batch fails).
 fn handle_one(job: &RoutedJob, stats: &ServerStats) -> Response {
@@ -964,8 +1340,10 @@ fn handle_one(job: &RoutedJob, stats: &ServerStats) -> Response {
         Ok(t) => t,
         Err(e) => return endpoint_failure(entry, req.id, e.to_string()),
     };
-    match entry.servable.predict_table(&table) {
+    let started = Instant::now();
+    match entry.active_servable(job.degraded).predict_table(&table) {
         Ok(scores) => {
+            record_service(entry, started.elapsed().as_nanos() as u64);
             let n = req.rows.len() as u64;
             stats.max_batch_rows.fetch_max(n, Ordering::Relaxed);
             entry.stats.max_batch_rows.fetch_max(n, Ordering::Relaxed);
@@ -976,6 +1354,8 @@ fn handle_one(job: &RoutedJob, stats: &ServerStats) -> Response {
                 endpoint: Some(entry.name.clone()),
                 version: Some(entry.version),
                 counters: None,
+                degraded: job.degraded,
+                overloaded: false,
             }
         }
         Err(e) => endpoint_failure(entry, req.id, e),
@@ -990,6 +1370,8 @@ fn endpoint_failure(entry: &Endpoint, id: u64, message: String) -> Response {
         endpoint: Some(entry.name.clone()),
         version: Some(entry.version),
         counters: None,
+        degraded: false,
+        overloaded: false,
     }
 }
 
@@ -1007,13 +1389,22 @@ fn serve_group(group: &[&RoutedJob], stats: &ServerStats) {
     let entry = &group[0].entry;
     let merged: Vec<&WireRow> = group.iter().flat_map(|j| j.req.rows.iter()).collect();
     let total = merged.len();
+    // Grouping keys on the degrade marker, so the whole group shares
+    // the first job's servable choice.
+    let degraded = group[0].degraded;
+    let started = Instant::now();
     let batched = rows_to_table_refs(&merged)
         .map_err(|e| e.to_string())
-        .and_then(|table| entry.servable.predict_table(&table))
+        .and_then(|table| entry.active_servable(degraded).predict_table(&table))
         .ok()
         .filter(|scores| scores.len() == total);
     match batched {
         Some(scores) => {
+            // Every member experienced the batch's service time.
+            let nanos = started.elapsed().as_nanos() as u64;
+            for _ in 0..group.len() {
+                record_service(entry, nanos);
+            }
             stats
                 .max_batch_rows
                 .fetch_max(total as u64, Ordering::Relaxed);
@@ -1043,6 +1434,8 @@ fn serve_group(group: &[&RoutedJob], stats: &ServerStats) {
                         endpoint: Some(entry.name.clone()),
                         version: Some(entry.version),
                         counters: None,
+                        degraded: job.degraded,
+                        overloaded: false,
                     },
                 );
                 offset += n;
@@ -1066,12 +1459,18 @@ fn process_batch(jobs: &[RoutedJob], stats: &ServerStats, coalesce: bool) {
         }
         return;
     }
-    // Group by endpoint identity + schema, preserving arrival order
-    // within each group.
-    type GroupKey<'a> = (*const Endpoint, SchemaKey<'a>);
+    // Group by endpoint identity + degrade marker + schema,
+    // preserving arrival order within each group (degraded and full
+    // jobs of one endpoint run different servables, so they must not
+    // merge).
+    type GroupKey<'a> = (*const Endpoint, bool, SchemaKey<'a>);
     let mut groups: Vec<(GroupKey<'_>, Vec<&RoutedJob>)> = Vec::new();
     for job in jobs {
-        let key: GroupKey<'_> = (Arc::as_ptr(&job.entry), request_schema(&job.req));
+        let key: GroupKey<'_> = (
+            Arc::as_ptr(&job.entry),
+            job.degraded,
+            request_schema(&job.req),
+        );
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, members)) => members.push(job),
             None => groups.push((key, vec![job])),
@@ -1121,6 +1520,7 @@ struct EndpointSpec {
     name: String,
     version: u32,
     servable: Arc<dyn Servable>,
+    degraded: Option<Arc<dyn Servable>>,
     counters: Option<Arc<PlanCounters>>,
     shards: usize,
     transports: Vec<Arc<dyn WorkerTransport>>,
@@ -1171,6 +1571,7 @@ pub struct RuntimeBuilder {
     config: ServerConfig,
     scheduler: SchedulerPolicy,
     rebalance_every: u64,
+    admission: Option<AdmissionPolicy>,
     endpoints: Vec<EndpointSpec>,
     default_endpoint: Option<String>,
     version_policies: Vec<(String, SelectionPolicy, u64)>,
@@ -1182,6 +1583,7 @@ impl Default for RuntimeBuilder {
             config: ServerConfig::default(),
             scheduler: SchedulerPolicy::Static,
             rebalance_every: 256,
+            admission: None,
             endpoints: Vec::new(),
             default_endpoint: None,
             version_policies: Vec::new(),
@@ -1227,6 +1629,18 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Install a statistical [`AdmissionPolicy`]: the runtime keeps
+    /// per-endpoint telemetry (arrival rate, service-time quantiles,
+    /// queue depth) and degrades — then sheds — requests whose
+    /// estimated p99 latency breaches the policy's SLO. Heavy-hitter
+    /// routing keys spread round-robin across shards and get their
+    /// cache entries pinned. Without a policy (the default), every
+    /// request is accepted and no telemetry is recorded.
+    pub fn admission(&mut self, policy: AdmissionPolicy) -> &mut RuntimeBuilder {
+        self.admission = Some(policy);
+        self
+    }
+
     /// Route requests without an explicit endpoint to `name`
     /// (default: the first registered endpoint).
     pub fn default_endpoint(&mut self, name: &str) -> &mut RuntimeBuilder {
@@ -1255,6 +1669,7 @@ impl RuntimeBuilder {
             name: name.to_string(),
             version: 1,
             servable,
+            degraded: None,
             counters: None,
             shards: 1,
             transports: Vec::new(),
@@ -1268,10 +1683,18 @@ impl RuntimeBuilder {
 
     /// Register a [`willump::ServingPlan`] endpoint, automatically
     /// attaching its [`PlanCounters`] so the escalation-aware
-    /// scheduler can read the plan's statistics.
+    /// scheduler can read the plan's statistics — and, when the plan
+    /// [`can_degrade`](willump::ServingPlan::can_degrade), its
+    /// [`degraded`](willump::ServingPlan::degraded) lowering so
+    /// admission control can degrade before shedding.
     pub fn plan(&mut self, name: &str, plan: willump::ServingPlan) -> EndpointBuilder<'_> {
         let counters = plan.counters_handle();
-        self.endpoint(name, Arc::new(plan)).counters(counters)
+        let degraded = plan.degraded().map(|p| Arc::new(p) as Arc<dyn Servable>);
+        let mut eb = self.endpoint(name, Arc::new(plan)).counters(counters);
+        if let Some(d) = degraded {
+            eb = eb.degraded_servable(d);
+        }
+        eb
     }
 
     /// Build and start the runtime.
@@ -1287,6 +1710,7 @@ impl RuntimeBuilder {
             return Err(bad("a serving runtime needs at least one endpoint".into()));
         }
         let n_workers = self.config.workers.max(1);
+        let with_admission = self.admission.is_some();
 
         // Assemble groups in registration order.
         let mut groups: Vec<Group> = Vec::new();
@@ -1315,6 +1739,8 @@ impl RuntimeBuilder {
                 name: spec.name.clone(),
                 version: spec.version,
                 servable: spec.servable,
+                degraded_servable: spec.degraded,
+                telemetry: with_admission.then(Telemetry::new),
                 counters: spec.counters,
                 shards,
                 local_shards,
@@ -1414,6 +1840,9 @@ impl RuntimeBuilder {
             config: self.config,
             scheduler: self.scheduler,
             rebalance_every: self.rebalance_every,
+            admission: self.admission,
+            started: Instant::now(),
+            queue_probes: senders.clone(),
             admitted: AtomicU64::new(0),
             gate: Mutex::new(GateState {
                 senders,
@@ -1511,6 +1940,17 @@ impl EndpointBuilder<'_> {
     /// automatically).
     pub fn counters(self, counters: Arc<PlanCounters>) -> Self {
         self.spec.counters = Some(counters);
+        self
+    }
+
+    /// Attach a cheaper fallback servable that admission control
+    /// serves instead of the primary while the estimated p99 sits in
+    /// the degrade band ([`RuntimeBuilder::plan`] attaches the plan's
+    /// [`degraded`](willump::ServingPlan::degraded) lowering
+    /// automatically). Endpoints without one skip straight from full
+    /// service to shedding.
+    pub fn degraded_servable(self, servable: Arc<dyn Servable>) -> Self {
+        self.spec.degraded = Some(servable);
         self
     }
 }
@@ -2141,6 +2581,219 @@ mod tests {
         }
         let per_shard = rt.endpoint("double", 1).unwrap().stats().shard_requests();
         assert_eq!(per_shard, vec![4, 4]);
+    }
+
+    /// A predictor with a controllable service time, for driving the
+    /// admission estimator into its degrade/shed bands.
+    struct SlowScaler(Duration, f64);
+    impl Servable for SlowScaler {
+        fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+            std::thread::sleep(self.0);
+            Scaler(self.1).predict_table(table)
+        }
+    }
+
+    #[test]
+    fn admission_sheds_when_estimated_p99_breaches_slo() {
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(1).build());
+        b.admission(AdmissionPolicy::with_slo_p99(Duration::from_micros(10)).min_samples(4));
+        b.endpoint("slow", Arc::new(SlowScaler(Duration::from_millis(3), 2.0)));
+        let rt = b.build().unwrap();
+        let client = rt.client();
+        // Below `min_samples` observed service times, everything is
+        // admitted — the estimator refuses to act on thin data.
+        for _ in 0..4 {
+            assert_eq!(
+                client.predict_endpoint("slow", wire_rows(&[1.0])).unwrap(),
+                vec![2.0]
+            );
+        }
+        // With observed p99 around 3 ms against a 10 µs SLO (and no
+        // degraded form registered), the next request is shed.
+        let resp = client
+            .call(Request {
+                endpoint: Some("slow".to_string()),
+                ..Request::new(99, wire_rows(&[1.0]))
+            })
+            .unwrap();
+        assert!(resp.overloaded, "expected shed, got {resp:?}");
+        assert!(resp.scores.is_empty());
+        assert!(resp
+            .error
+            .as_deref()
+            .unwrap_or_default()
+            .contains("overloaded"));
+        assert_eq!(resp.endpoint.as_deref(), Some("slow"));
+        assert_eq!(resp.version, Some(1));
+        let ep = rt.endpoint("slow", 1).unwrap();
+        assert_eq!(rt.stats().shed(), 1);
+        assert_eq!(ep.stats().shed(), 1);
+        assert!(ep.service_p99_nanos().unwrap() >= 2_000_000);
+        // Shed requests count as requests but never as served rows.
+        assert_eq!(rt.stats().requests(), 5);
+        assert_eq!(rt.stats().rows(), 4);
+        // The arrival-rate EWMA reports only completed windows: let
+        // the 100 ms bin close, then one more (shed) arrival seals it.
+        std::thread::sleep(Duration::from_millis(120));
+        let resp = client
+            .call(Request {
+                endpoint: Some("slow".to_string()),
+                ..Request::new(100, wire_rows(&[1.0]))
+            })
+            .unwrap();
+        assert!(resp.overloaded);
+        assert!(ep.arrival_rate() > 0.0);
+    }
+
+    #[test]
+    fn admission_degrades_before_shedding() {
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(1).build());
+        // An effectively infinite shed factor keeps the overload
+        // estimate inside the degrade band.
+        b.admission(
+            AdmissionPolicy::with_slo_p99(Duration::from_micros(10))
+                .shed_factor(1e12)
+                .min_samples(4),
+        );
+        b.endpoint("slow", Arc::new(SlowScaler(Duration::from_millis(3), 2.0)))
+            .degraded_servable(Arc::new(Scaler(10.0)));
+        let rt = b.build().unwrap();
+        assert!(rt.endpoint("slow", 1).unwrap().can_degrade());
+        let client = rt.client();
+        for _ in 0..4 {
+            assert_eq!(
+                client.predict_endpoint("slow", wire_rows(&[1.0])).unwrap(),
+                vec![2.0]
+            );
+        }
+        // Past the SLO but below the shed line: served by the degraded
+        // servable (scale 10), marked `degraded`, never `overloaded`.
+        let resp = client
+            .call(Request {
+                endpoint: Some("slow".to_string()),
+                ..Request::new(7, wire_rows(&[1.0]))
+            })
+            .unwrap();
+        assert!(resp.degraded, "expected degraded service, got {resp:?}");
+        assert!(!resp.overloaded);
+        assert_eq!(resp.scores, vec![10.0]);
+        assert_eq!(rt.stats().degraded(), 1);
+        assert_eq!(rt.endpoint("slow", 1).unwrap().stats().degraded(), 1);
+        assert_eq!(rt.stats().shed(), 0);
+    }
+
+    #[test]
+    fn degrade_band_without_lowering_serves_full() {
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(1).build());
+        b.admission(
+            AdmissionPolicy::with_slo_p99(Duration::from_micros(10))
+                .shed_factor(1e12)
+                .min_samples(4),
+        );
+        // No degraded servable registered: the degrade band must fall
+        // back to full service rather than shedding.
+        b.endpoint("slow", Arc::new(SlowScaler(Duration::from_millis(3), 2.0)));
+        let rt = b.build().unwrap();
+        assert!(!rt.endpoint("slow", 1).unwrap().can_degrade());
+        let client = rt.client();
+        for _ in 0..6 {
+            assert_eq!(
+                client.predict_endpoint("slow", wire_rows(&[1.0])).unwrap(),
+                vec![2.0]
+            );
+        }
+        assert_eq!(rt.stats().degraded(), 0);
+        assert_eq!(rt.stats().shed(), 0);
+    }
+
+    /// A servable that counts how often the admission layer asks it to
+    /// pin hot rows.
+    struct PinProbe {
+        pins: AtomicU64,
+    }
+    impl Servable for PinProbe {
+        fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+            Ok(vec![1.0; table.n_rows()])
+        }
+        fn pin_hot_rows(&self, table: &Table) -> usize {
+            self.pins.fetch_add(1, Ordering::Relaxed);
+            table.n_rows()
+        }
+    }
+
+    #[test]
+    fn hot_keys_spread_across_shards_and_pin() {
+        let probe = Arc::new(PinProbe {
+            pins: AtomicU64::new(0),
+        });
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(2).build());
+        // A far-away SLO: only the hot-key logic is active.
+        b.admission(
+            AdmissionPolicy::with_slo_p99(Duration::from_secs(60))
+                .min_samples(4)
+                .hot_key_fraction(0.5),
+        );
+        b.endpoint("hot", probe.clone() as Arc<dyn Servable>)
+            .shards(2);
+        let rt = b.build().unwrap();
+        let client = rt.client();
+        // One key dominating the stream: key-hash routing would pin it
+        // to a single shard, so the admission layer must flip it to
+        // round-robin once the sketch flags it heavy.
+        for i in 0..40 {
+            client
+                .predict_keyed("hot", "viral-item", wire_rows(&[i as f64]))
+                .unwrap();
+        }
+        let ep = rt.endpoint("hot", 1).unwrap();
+        let per_shard = ep.stats().shard_requests();
+        assert_eq!(per_shard.iter().sum::<u64>(), 40);
+        assert!(
+            per_shard.iter().all(|&c| c > 0),
+            "hot key stuck to one shard: {per_shard:?}"
+        );
+        assert!(rt.stats().hot_keys() >= 36);
+        assert!(ep.stats().hot_keys() >= 36);
+        assert!(
+            probe.pins.load(Ordering::Relaxed) > 0,
+            "hot rows were never offered for cache pinning"
+        );
+        assert_eq!(rt.stats().shed(), 0);
+        assert_eq!(rt.stats().degraded(), 0);
+    }
+
+    #[test]
+    fn cold_keys_keep_key_hash_affinity_under_admission() {
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(2).build());
+        b.admission(
+            AdmissionPolicy::with_slo_p99(Duration::from_secs(60))
+                .min_samples(4)
+                .hot_key_fraction(0.9),
+        );
+        b.endpoint("m", Arc::new(Scaler(2.0))).shards(2);
+        let rt = b.build().unwrap();
+        let client = rt.client();
+        // A spread of distinct keys: none crosses the 90% heavy-hitter
+        // bar, so every one keeps deterministic key-hash affinity.
+        for i in 0..24 {
+            client
+                .predict_keyed("m", &format!("user-{}", i % 6), wire_rows(&[1.0]))
+                .unwrap();
+        }
+        assert_eq!(rt.stats().hot_keys(), 0);
+        // Replaying one of those keys lands on its key-hash shard.
+        let expect = shard_for_key("user-3", 2);
+        let before = rt.endpoint("m", 1).unwrap().stats().shard_requests();
+        client
+            .predict_keyed("m", "user-3", wire_rows(&[1.0]))
+            .unwrap();
+        let after = rt.endpoint("m", 1).unwrap().stats().shard_requests();
+        assert_eq!(after[expect], before[expect] + 1);
     }
 
     #[test]

@@ -10,9 +10,9 @@ use std::time::Duration;
 
 use willump_data::{Table, Value};
 use willump_serve::{
-    decode_request, decode_response, encode_request, encode_response, EndpointCounters,
-    InProcessWorker, RemoteRuntimeNode, RemoteWorker, Request, Response, Servable, ServeError,
-    ServerConfig, ServingRuntime, WireRow, WorkerTransport,
+    decode_request, decode_response, encode_request, encode_response, is_overloaded_wire,
+    EndpointCounters, InProcessWorker, RemoteRuntimeNode, RemoteWorker, Request, Response,
+    Servable, ServeError, ServerConfig, ServingRuntime, TransportStats, WireRow, WorkerTransport,
 };
 
 /// A deterministic predictor with a visible formula, so local and
@@ -115,6 +115,8 @@ proptest! {
             endpoint: None,
             version: None,
             counters: Some(counters),
+            degraded: false,
+            overloaded: false,
         };
         let wire = encode_response(&resp).expect("encodable");
         prop_assert_eq!(decode_response(&wire).expect("decodable"), resp);
@@ -474,4 +476,111 @@ fn remote_counters_reach_the_parent_scheduler() {
 
     // Unknown endpoints are a clean probe error.
     assert!(probe.probe_counters("nonesuch", 1).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Shed responses — the `Overloaded` wire form admission control
+    /// emits — round-trip the wire encoder losslessly for arbitrary
+    /// endpoint names, and a legacy frame for the same request never
+    /// reads as shed.
+    #[test]
+    fn shed_responses_round_trip_the_wire(
+        id in 0u64..u64::MAX,
+        endpoint in "[a-z0-9./ -]{0,16}",
+        version in 0u32..u32::MAX,
+    ) {
+        let resp = Response::shed(id, &endpoint, version);
+        let wire = encode_response(&resp).expect("shed response encodes");
+        prop_assert!(is_overloaded_wire(&wire));
+        let back = decode_response(&wire).expect("shed response decodes");
+        prop_assert!(back.overloaded);
+        prop_assert!(!back.degraded);
+        prop_assert!(back.scores.is_empty());
+        prop_assert_eq!(&back, &resp);
+        // A legacy frame (no admission-era fields at all) for the same
+        // id decodes with the markers defaulted off.
+        let legacy = format!("{{\"id\":{id},\"scores\":[1.5],\"error\":null}}");
+        let old = decode_response(&legacy).expect("legacy frame decodes");
+        prop_assert!(!old.overloaded);
+        prop_assert!(!old.degraded);
+        prop_assert!(!is_overloaded_wire(&legacy));
+    }
+}
+
+/// A transport standing in for an overloaded remote node: every
+/// forwarded frame comes back as an admission-control shed response.
+#[derive(Default)]
+struct SheddingTransport {
+    forwards: std::sync::atomic::AtomicU64,
+}
+impl WorkerTransport for SheddingTransport {
+    fn forward(&self, frame: &str) -> Result<String, ServeError> {
+        self.forwards
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let req = decode_request(frame)?;
+        encode_response(&Response::shed(req.id, "affine", 1))
+    }
+    fn describe(&self) -> String {
+        "always-shedding".to_string()
+    }
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            forwards: self.forwards.load(std::sync::atomic::Ordering::Relaxed),
+            ..TransportStats::default()
+        }
+    }
+}
+
+/// A remote node's shed responses relay to the caller verbatim but
+/// are *excluded* from `shard_transport_nanos` — a shed round trip
+/// measures the remote's admission gate, not its service latency, so
+/// counting it would drag the per-shard latency signal toward zero
+/// exactly when the remote is overloaded (mirrors the counters-probe
+/// exclusion).
+#[test]
+fn remote_shed_responses_skip_transport_latency_accounting() {
+    let mut b = ServingRuntime::builder();
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(1)
+        .shard_transport(Arc::new(SheddingTransport::default()));
+    let runtime = b.build().expect("runtime builds");
+    let client = runtime.client();
+
+    // A key that routes to the transport shard (index 1 of 2).
+    let remote_key = (0..1000)
+        .map(|i| format!("key-{i}"))
+        .find(|k| willump_serve::shard_for_key(k, 2) == 1)
+        .expect("some key hashes to shard 1");
+
+    let resp = client
+        .call(Request {
+            endpoint: Some("affine".to_string()),
+            key: Some(remote_key.clone()),
+            ..Request::new(11, wire_rows(&[4.0]))
+        })
+        .expect("shed response still decodes");
+    assert!(resp.overloaded, "remote shed must relay: {resp:?}");
+    assert!(resp.scores.is_empty());
+
+    let ep = runtime.endpoint("affine", 1).unwrap();
+    assert_eq!(runtime.stats().remote_forwards(), 1);
+    assert_eq!(
+        ep.stats().shard_transport_nanos()[1],
+        0,
+        "shed round trips must not count as transport latency"
+    );
+
+    // A local request on the same endpoint still serves normally.
+    let local_key = (0..1000)
+        .map(|i| format!("key-{i}"))
+        .find(|k| willump_serve::shard_for_key(k, 2) == 0)
+        .expect("some key hashes to shard 0");
+    assert_eq!(
+        client
+            .predict_keyed("affine", &local_key, wire_rows(&[2.0]))
+            .unwrap(),
+        vec![5.0]
+    );
 }

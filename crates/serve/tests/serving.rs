@@ -68,6 +68,8 @@ proptest! {
         error in (any::<bool>(), ".{0,48}"),
         endpoint in (any::<bool>(), ".{0,16}"),
         version in (any::<bool>(), 0u32..u32::MAX),
+        degraded in any::<bool>(),
+        overloaded in any::<bool>(),
     ) {
         let resp = Response {
             id,
@@ -76,6 +78,8 @@ proptest! {
             endpoint: endpoint.0.then_some(endpoint.1),
             version: version.0.then_some(version.1),
             counters: None,
+            degraded,
+            overloaded,
         };
         let wire = encode_response(&resp).expect("encodable");
         let back = decode_response(&wire).expect("decodable");

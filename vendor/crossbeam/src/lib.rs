@@ -205,6 +205,17 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Number of messages currently queued in the channel
+        /// (matching crossbeam-channel's `Sender::len`).
+        pub fn len(&self) -> usize {
+            lock(&self.shared).queue.len()
+        }
+
+        /// Whether the channel currently holds no messages.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
