@@ -15,7 +15,9 @@
 //!
 //! - `--smoke`: tiny CI-speed sweep + EXPERIMENTS.md schema check.
 //! - `--record`: rewrite this binary's EXPERIMENTS.md section.
-//! - `--check-schemas`: validate every recorded section, run nothing.
+//!
+//! (Registry-wide section validation lives in `cargo run -p xtask --
+//! lint`, rule WL004, which replaced the old `--check-schemas` mode.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;

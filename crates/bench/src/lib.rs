@@ -250,10 +250,13 @@ pub fn record_experiments_section(schema: &str, body: &str) {
 }
 
 /// Every recording binary's `(schema header, record command)` pair —
-/// the registry behind [`check_all_schemas`]. A binary whose schema
-/// constant drifts from this table fails its own `--smoke` run (see
-/// [`run_recorded_experiment`]), so the registry cannot silently go
-/// stale.
+/// the registry audited by `xtask lint` rule WL004
+/// (schema-registration): every recording binary's schema must be
+/// listed here, every entry must map to a live binary, and every
+/// registered section must exist in the committed EXPERIMENTS.md. A
+/// binary whose schema constant drifts from this table also fails its
+/// own `--smoke` run (see [`run_recorded_experiment`]), so the
+/// registry cannot silently go stale.
 pub const RECORDED_SCHEMAS: &[(&str, &str)] = &[
     (
         "<!-- schema: table2-remote-requests v1 -->",
@@ -297,35 +300,6 @@ pub const RECORDED_SCHEMAS: &[(&str, &str)] = &[
     ),
 ];
 
-/// One-pass validation of *every* registered EXPERIMENTS.md schema
-/// header (the `--check-schemas` mode, wired into the CI lint job):
-/// reads the file once and reports **all** missing/stale sections
-/// together, instead of failing one smoke binary at a time.
-///
-/// # Panics
-/// Panics when the file is missing or any registered header is absent,
-/// listing every violation and its re-record command.
-pub fn check_all_schemas() {
-    let recorded = std::fs::read_to_string(EXPERIMENTS_PATH).unwrap_or_else(|_| {
-        panic!("EXPERIMENTS.md missing; record the experiment binaries and commit it")
-    });
-    let missing: Vec<String> = RECORDED_SCHEMAS
-        .iter()
-        .filter(|(schema, _)| !recorded.contains(schema))
-        .map(|(schema, cmd)| format!("  {schema}  (re-record: `{cmd}`)"))
-        .collect();
-    assert!(
-        missing.is_empty(),
-        "EXPERIMENTS.md is missing {} schema header(s):\n{}",
-        missing.len(),
-        missing.join("\n")
-    );
-    println!(
-        "EXPERIMENTS.md schema headers OK: all {} sections present",
-        RECORDED_SCHEMAS.len()
-    );
-}
-
 /// The CI smoke check: the committed EXPERIMENTS.md must carry the
 /// schema marker this binary records (single source of truth is the
 /// binary's schema constant — bump both together).
@@ -342,21 +316,20 @@ pub fn assert_experiments_schema(schema: &str, record_cmd: &str) {
     println!("\nEXPERIMENTS.md schema header OK: {schema}");
 }
 
-/// The whole `--smoke`/`--record`/`--check-schemas` workflow every
-/// recording binary shares: parse the flags, run the measurement
-/// (`run(smoke)` returns the printed output and the full
-/// EXPERIMENTS.md section body), print it, validate the committed
-/// schema header on `--smoke`, and rewrite this binary's section on
-/// `--record`. `--check-schemas` skips the measurement entirely and
-/// validates every registered section in one pass
-/// ([`check_all_schemas`]). Keeping the flag semantics here means a
-/// workflow change edits one function, not ten `main`s.
+/// The whole `--smoke`/`--record` workflow every recording binary
+/// shares: parse the flags, run the measurement (`run(smoke)` returns
+/// the printed output and the full EXPERIMENTS.md section body),
+/// print it, validate the committed schema header on `--smoke`, and
+/// rewrite this binary's section on `--record`. Keeping the flag
+/// semantics here means a workflow change edits one function, not ten
+/// `main`s. (Registry-wide validation — every registered section
+/// present in EXPERIMENTS.md, no stale entries — lives in `xtask
+/// lint` rule WL004, which subsumed the old `--check-schemas` mode.)
 ///
 /// # Panics
 /// Panics on unknown flags, a schema constant missing from
 /// [`RECORDED_SCHEMAS`], a missing/stale schema header during
-/// `--smoke` or `--check-schemas`, or an unwritable EXPERIMENTS.md
-/// during `--record`.
+/// `--smoke`, or an unwritable EXPERIMENTS.md during `--record`.
 pub fn run_recorded_experiment(
     schema: &str,
     record_cmd: &str,
@@ -365,13 +338,9 @@ pub fn run_recorded_experiment(
     assert!(
         RECORDED_SCHEMAS.iter().any(|(s, _)| *s == schema),
         "schema {schema:?} is not in RECORDED_SCHEMAS; register it so \
-         `--check-schemas` covers this binary"
+         `xtask lint` (WL004) covers this binary"
     );
     let flags = experiment_flags();
-    if flags.check_schemas {
-        check_all_schemas();
-        return;
-    }
     let (output, record_body) = run(flags.smoke);
     print!("{output}");
     if flags.smoke {
@@ -390,21 +359,17 @@ pub struct ExperimentFlags {
     pub smoke: bool,
     /// `--record`: rewrite this binary's EXPERIMENTS.md section.
     pub record: bool,
-    /// `--check-schemas`: validate every registered section, run
-    /// nothing.
-    pub check_schemas: bool,
 }
 
-/// Parse the `--smoke` / `--record` / `--check-schemas` flags every
-/// recording experiment binary shares; panics on unknown arguments.
+/// Parse the `--smoke` / `--record` flags every recording experiment
+/// binary shares; panics on unknown arguments.
 pub fn experiment_flags() -> ExperimentFlags {
     let mut flags = ExperimentFlags::default();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--smoke" => flags.smoke = true,
             "--record" => flags.record = true,
-            "--check-schemas" => flags.check_schemas = true,
-            other => panic!("unknown flag {other}; supported: --smoke --record --check-schemas"),
+            other => panic!("unknown flag {other}; supported: --smoke --record"),
         }
     }
     flags

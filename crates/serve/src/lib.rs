@@ -82,7 +82,8 @@ pub use remote::{
 };
 pub use runtime::{
     shard_for_key, table_row_to_wire, AdmissionPolicy, Endpoint, EndpointBuilder, EndpointStats,
-    RuntimeBuilder, RuntimeClient, SchedulerPolicy, ServerStats, ServingRuntime, DEFAULT_ENDPOINT,
+    EndpointStatsSnapshot, RuntimeBuilder, RuntimeClient, SchedulerPolicy, ServerStats,
+    ServingRuntime, DEFAULT_ENDPOINT,
 };
 pub use selection::{ArmStats, ModelSelector, SelectionPolicy};
 pub use server::{ClipperClient, ClipperServer, Servable, ServerConfig, ServerConfigBuilder};

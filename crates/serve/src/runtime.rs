@@ -64,6 +64,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use willump::{
     CountMinSketch, LatencyHistogram, PlanCounters, PlanCountersSnapshot, RateEstimator,
 };
@@ -332,6 +333,92 @@ impl EndpointStats {
     /// admission.
     pub fn hot_keys(&self) -> u64 {
         self.hot_keys.load(Ordering::Relaxed)
+    }
+
+    /// A coherent point-in-time copy of every counter, for export or
+    /// cross-endpoint aggregation. Every numeric counter on
+    /// [`EndpointStats`] MUST be folded here — `xtask lint` rule
+    /// WL002 (stats-completeness) enforces it.
+    pub fn snapshot(&self) -> EndpointStatsSnapshot {
+        EndpointStatsSnapshot {
+            requests: self.requests(),
+            rows: self.rows(),
+            coalesced_rows: self.coalesced_rows(),
+            max_batch_rows: self.max_batch_rows(),
+            shard_requests: self.shard_requests().iter().sum(),
+            shard_transport_nanos: self.shard_transport_nanos().iter().sum(),
+            transport_errors: self.transport_errors(),
+            failovers: self.failovers(),
+            degraded: self.degraded(),
+            shed: self.shed(),
+            hot_keys: self.hot_keys(),
+        }
+    }
+}
+
+/// Owned point-in-time copy of [`EndpointStats`], additive across
+/// endpoints via [`merged`](EndpointStatsSnapshot::merged) (see
+/// [`ServingRuntime::summed_endpoint_stats`]). Per-shard vectors are
+/// collapsed to totals so snapshots from endpoints with different
+/// shard counts still merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointStatsSnapshot {
+    /// Requests routed to the endpoint (shadow copies included).
+    #[serde(default)]
+    pub requests: u64,
+    /// Input rows routed to the endpoint.
+    #[serde(default)]
+    pub rows: u64,
+    /// Rows served through merged multi-request model batches.
+    #[serde(default)]
+    pub coalesced_rows: u64,
+    /// Largest successful `predict_table` batch.
+    #[serde(default)]
+    pub max_batch_rows: u64,
+    /// Shard-routed requests summed across shards.
+    #[serde(default)]
+    pub shard_requests: u64,
+    /// Cumulative transport round-trip nanoseconds summed across
+    /// shards.
+    #[serde(default)]
+    pub shard_transport_nanos: u64,
+    /// Failed transport forwards to remote shards.
+    #[serde(default)]
+    pub transport_errors: u64,
+    /// Requests re-routed to a surviving shard after a transport
+    /// failure.
+    #[serde(default)]
+    pub failovers: u64,
+    /// Requests served by the degraded plan lowering.
+    #[serde(default)]
+    pub degraded: u64,
+    /// Requests shed at admission.
+    #[serde(default)]
+    pub shed: u64,
+    /// Requests whose routing key tested as a heavy hitter.
+    #[serde(default)]
+    pub hot_keys: u64,
+}
+
+impl EndpointStatsSnapshot {
+    /// Field-wise combination of two snapshots: counters add,
+    /// high-water marks take the max. Every counter field MUST be
+    /// folded here — `xtask lint` rule WL002 enforces it.
+    #[must_use]
+    pub fn merged(self, other: EndpointStatsSnapshot) -> EndpointStatsSnapshot {
+        EndpointStatsSnapshot {
+            requests: self.requests + other.requests,
+            rows: self.rows + other.rows,
+            coalesced_rows: self.coalesced_rows + other.coalesced_rows,
+            max_batch_rows: self.max_batch_rows.max(other.max_batch_rows),
+            shard_requests: self.shard_requests + other.shard_requests,
+            shard_transport_nanos: self.shard_transport_nanos + other.shard_transport_nanos,
+            transport_errors: self.transport_errors + other.transport_errors,
+            failovers: self.failovers + other.failovers,
+            degraded: self.degraded + other.degraded,
+            shed: self.shed + other.shed,
+            hot_keys: self.hot_keys + other.hot_keys,
+        }
     }
 }
 
@@ -2051,6 +2138,18 @@ impl ServingRuntime {
             .flat_map(|g| g.primaries.iter().chain(g.shadows.iter()))
             .map(Arc::clone)
             .collect()
+    }
+
+    /// Every endpoint's counters merged into one workload-wide
+    /// [`EndpointStatsSnapshot`] (shadows included — their traffic is
+    /// real work even though their responses are discarded). The
+    /// additive fields of the result reconcile with the global
+    /// [`stats`](Self::stats) view; high-water marks take the max.
+    pub fn summed_endpoint_stats(&self) -> EndpointStatsSnapshot {
+        self.endpoints()
+            .iter()
+            .map(|e| e.stats().snapshot())
+            .fold(EndpointStatsSnapshot::default(), |acc, s| acc.merged(s))
     }
 
     /// Look up one primary endpoint by name and version.

@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use willump_data::{Table, Value};
 use willump_serve::{
-    decode_request, decode_response, encode_request, encode_response, ClipperServer, Request,
-    Response, Servable, ServerConfig, ServingRuntime, WireRow,
+    decode_request, decode_response, encode_request, encode_response, ClipperServer,
+    EndpointStatsSnapshot, Request, Response, Servable, ServerConfig, ServingRuntime, WireRow,
 };
 
 /// Build a request whose rows exercise every wire-representable value
@@ -474,6 +474,28 @@ fn endpoint_stats_sum_to_global_stats_under_concurrency() {
     assert_eq!(
         global.worker_batches().iter().sum::<u64>(),
         global.batches()
+    );
+
+    // The one-call aggregate view reconciles with both the global
+    // counters and a hand-rolled per-endpoint merge.
+    let summed = runtime.summed_endpoint_stats();
+    assert_eq!(summed.requests, global.requests());
+    assert_eq!(summed.rows, global.rows());
+    assert_eq!(summed.shard_requests, global.requests());
+    assert_eq!(summed.shed, 0);
+    let by_hand = per_endpoint
+        .iter()
+        .map(|e| e.stats().snapshot())
+        .fold(EndpointStatsSnapshot::default(), |acc, s| acc.merged(s));
+    assert_eq!(summed, by_hand);
+    assert_eq!(
+        summed.max_batch_rows,
+        per_endpoint
+            .iter()
+            .map(|e| e.stats().max_batch_rows())
+            .max()
+            .unwrap_or(0),
+        "max_batch_rows merges as a high-water mark, not a sum"
     );
 }
 

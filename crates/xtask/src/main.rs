@@ -1,0 +1,110 @@
+//! `cargo run -p xtask -- lint [--fix] [--root PATH]`
+//!
+//! Exit code 0 when the workspace satisfies every invariant, 1 when
+//! violations remain (after `--fix` applied what it could), 2 on
+//! usage or I/O errors.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--fix] [--root PATH]");
+    eprintln!();
+    eprintln!("rules:");
+    for r in xtask::RULES {
+        eprintln!("  {} {:<20} {}", r.id, r.name, r.summary);
+    }
+    ExitCode::from(2)
+}
+
+/// The workspace root: `--root` override, else the directory cargo
+/// launched us from (cargo sets the cwd to the invocation dir; `cargo
+/// run -p xtask` from anywhere inside the repo still compiles with
+/// the manifest dir baked in as a fallback).
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    if let Ok(cwd) = env::current_dir() {
+        for dir in cwd.ancestors() {
+            if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    // Compiled-in fallback: crates/xtask/../..
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "lint" {
+        return usage();
+    }
+    let mut fix = false;
+    let mut root_arg: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fix" => fix = true,
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let root = workspace_root(root_arg);
+    let mut violations = match xtask::lint(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix && violations.iter().any(|v| v.fix.is_some()) {
+        match xtask::apply_fixes(&root, &violations) {
+            Ok(n) => {
+                eprintln!("xtask lint: applied {n} fix(es), re-checking");
+                violations = match xtask::lint(&root) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("xtask lint: I/O error: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            Err(e) => {
+                eprintln!("xtask lint: failed to apply fixes: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "xtask lint: clean ({} rules checked against {})",
+            xtask::RULES.len(),
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!(
+            "xtask lint: {} violation(s); suppress with a `lint:allow(WLxxx: reason)` \
+             comment only when the invariant genuinely does not apply",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

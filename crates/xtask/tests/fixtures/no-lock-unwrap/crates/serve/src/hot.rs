@@ -1,0 +1,36 @@
+//! WL003 fixture: one `.lock().unwrap()` and one `.send(..).expect()`
+//! on the hot path fire; the test-module copy, the allow-marked line,
+//! the string literal, and the argument-taking `read` call all stay
+//! silent — exactly two violations.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn hot_path(m: &Mutex<u64>, tx: &Sender<u64>) -> u64 {
+    let v = *m.lock().unwrap();
+    tx.send(v).expect("worker channel closed");
+    v
+}
+
+pub fn allowed_path(m: &Mutex<u64>) -> u64 {
+    // lint:allow(WL003: fixture demonstrates the escape hatch)
+    *m.lock().unwrap()
+}
+
+pub fn not_a_lock(s: &str) -> String {
+    // A string mentioning m.lock().unwrap() must not fire.
+    let mut buf = [0u8; 4];
+    let _ = std::io::Read::read(&mut s.as_bytes(), &mut buf).unwrap();
+    "m.lock().unwrap()".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let m = Mutex::new(7);
+        assert_eq!(*m.lock().unwrap(), 7);
+    }
+}

@@ -1,0 +1,9 @@
+//! Unregistered recording binary: declares a schema missing from
+//! `RECORDED_SCHEMAS` — one violation fires on the const below.
+
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table2-unregistered v1 -->";
+const RECORD_CMD: &str = "cargo run --bin table2 -- --record";
+
+fn main() {
+    willump_bench::run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, || {});
+}

@@ -1,0 +1,19 @@
+//! WL004 fixture registry: `table1` is healthy, `table9-stale` is
+//! registered but declared by no binary (and absent from
+//! EXPERIMENTS.md) — two of the fixture's three violations come from
+//! here.
+
+pub const RECORDED_SCHEMAS: &[(&str, &str)] = &[
+    (
+        "<!-- schema: table1-good v1 -->",
+        "cargo run --bin table1 -- --record",
+    ),
+    (
+        "<!-- schema: table9-stale v1 -->",
+        "cargo run --bin table9 -- --record",
+    ),
+];
+
+pub fn run_recorded_experiment(_schema: &str, _cmd: &str, run: impl FnOnce()) {
+    run();
+}

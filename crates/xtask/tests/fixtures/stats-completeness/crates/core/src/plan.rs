@@ -1,0 +1,30 @@
+//! WL002 fixture: `gate_resolved` is declared on `PlanCounters` but
+//! neither folded by `snapshot()` nor mirrored on
+//! `PlanCountersSnapshot` — exactly two violations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct PlanCounters {
+    rows: AtomicU64,
+    gate_resolved: AtomicU64,
+}
+
+pub struct PlanCountersSnapshot {
+    pub rows: u64,
+}
+
+impl PlanCounters {
+    pub fn snapshot(&self) -> PlanCountersSnapshot {
+        PlanCountersSnapshot {
+            rows: self.rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl PlanCountersSnapshot {
+    pub fn merged(self, other: PlanCountersSnapshot) -> PlanCountersSnapshot {
+        PlanCountersSnapshot {
+            rows: self.rows + other.rows,
+        }
+    }
+}

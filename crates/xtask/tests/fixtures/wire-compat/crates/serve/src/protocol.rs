@@ -1,0 +1,20 @@
+//! WL001 fixture: `endpoint` is beyond the frozen v1 set (`id`,
+//! `rows`) and lacks `#[serde(default)]` — exactly one violation.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+pub struct Request {
+    pub id: u64,
+    pub rows: Vec<u32>,
+    pub endpoint: Option<String>,
+    #[serde(default)]
+    pub version: Option<u32>,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct Response {
+    pub id: u64,
+    pub scores: Vec<f64>,
+    pub error: Option<String>,
+}

@@ -1,0 +1,178 @@
+//! Fixture-backed coverage for every lint rule: each rule fires in
+//! its own known-bad fixture tree (and only there), the real tree is
+//! clean, `--fix` round-trips, and the binary's exit codes match.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lint a fixture and return the set of rule IDs that fired plus the
+/// violations themselves.
+fn lint_fixture(name: &str) -> (BTreeSet<&'static str>, Vec<xtask::Violation>) {
+    let violations = xtask::lint(&fixture(name)).expect("lint fixture");
+    let ids = violations.iter().map(|v| v.rule).collect();
+    (ids, violations)
+}
+
+/// The real tree satisfies every invariant — the PR that breaks one
+/// must either fix the code or add a reasoned `lint:allow`.
+#[test]
+fn real_tree_is_clean() {
+    let violations = xtask::lint(&repo_root()).expect("lint repo");
+    assert!(
+        violations.is_empty(),
+        "real tree has violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn wire_compat_fixture_fires_exactly_wl001() {
+    let (ids, violations) = lint_fixture("wire-compat");
+    assert_eq!(ids, BTreeSet::from(["WL001"]), "{violations:?}");
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let v = &violations[0];
+    assert!(v.message.contains("Request::endpoint"), "{v}");
+    assert!(v.fix.is_some(), "WL001 must offer a mechanical fix");
+}
+
+#[test]
+fn stats_completeness_fixture_fires_exactly_wl002() {
+    let (ids, violations) = lint_fixture("stats-completeness");
+    assert_eq!(ids, BTreeSet::from(["WL002"]), "{violations:?}");
+    // `gate_resolved` is both unfolded in snapshot() and missing from
+    // the mirror struct.
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(violations
+        .iter()
+        .all(|v| v.message.contains("gate_resolved")));
+}
+
+#[test]
+fn no_lock_unwrap_fixture_fires_exactly_wl003() {
+    let (ids, violations) = lint_fixture("no-lock-unwrap");
+    assert_eq!(ids, BTreeSet::from(["WL003"]), "{violations:?}");
+    // The hot-path unwrap and expect fire; the allow-marked line, the
+    // #[cfg(test)] copy, the string literal, and `read(&mut buf)` do
+    // not.
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(violations.iter().any(|v| v.message.contains(".lock(")));
+    assert!(violations.iter().any(|v| v.message.contains(".send(")));
+}
+
+#[test]
+fn schema_registration_fixture_fires_exactly_wl004() {
+    let (ids, violations) = lint_fixture("schema-registration");
+    assert_eq!(ids, BTreeSet::from(["WL004"]), "{violations:?}");
+    // Unregistered binary schema + stale registry entry + registered
+    // schema missing from EXPERIMENTS.md.
+    assert_eq!(violations.len(), 3, "{violations:?}");
+    assert!(violations
+        .iter()
+        .any(|v| v.file.ends_with("table2.rs") && v.message.contains("not registered")));
+    assert!(violations
+        .iter()
+        .any(|v| v.file.ends_with("lib.rs") && v.message.contains("stale")));
+    assert!(violations
+        .iter()
+        .any(|v| v.file == "EXPERIMENTS.md" && v.message.contains("missing recorded section")));
+}
+
+#[test]
+fn vendor_hygiene_fixture_fires_exactly_wl005() {
+    let (ids, violations) = lint_fixture("vendor-hygiene");
+    assert_eq!(ids, BTreeSet::from(["WL005"]), "{violations:?}");
+    // `rand = "0.8"` fires; the git dep is suppressed by its
+    // lint:allow marker.
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(violations[0].message.contains("rand"), "{violations:?}");
+}
+
+/// `--fix` inserts `#[serde(default)]` and the tree lints clean
+/// afterwards (run against a scratch copy, never the fixture itself).
+#[test]
+fn wire_compat_fix_round_trips() {
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("wire-compat-fix");
+    let proto_dir = scratch.join("crates/serve/src");
+    std::fs::create_dir_all(&proto_dir).expect("scratch dirs");
+    std::fs::copy(
+        fixture("wire-compat").join("crates/serve/src/protocol.rs"),
+        proto_dir.join("protocol.rs"),
+    )
+    .expect("copy fixture");
+
+    let before = xtask::lint(&scratch).expect("lint scratch");
+    assert_eq!(before.len(), 1);
+    let applied = xtask::apply_fixes(&scratch, &before).expect("apply fixes");
+    assert_eq!(applied, 1);
+    let after = xtask::lint(&scratch).expect("re-lint scratch");
+    assert!(after.is_empty(), "{after:?}");
+    let fixed = std::fs::read_to_string(proto_dir.join("protocol.rs")).expect("read fixed");
+    assert!(
+        fixed.contains("#[serde(default)]\n    pub endpoint: Option<String>,"),
+        "attribute inserted with field indentation:\n{fixed}"
+    );
+}
+
+/// The shipped binary exits 0 on the real tree and nonzero on every
+/// fixture — the exact contract the CI lint job relies on.
+#[test]
+fn binary_exit_codes_match_contract() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let ok = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("run xtask");
+    assert!(
+        ok.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+    for name in [
+        "wire-compat",
+        "stats-completeness",
+        "no-lock-unwrap",
+        "schema-registration",
+        "vendor-hygiene",
+    ] {
+        let out = Command::new(bin)
+            .args(["lint", "--root"])
+            .arg(fixture(name))
+            .output()
+            .expect("run xtask on fixture");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture {name}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+/// Rule metadata stays well-formed: ids unique, sequential, named.
+#[test]
+fn rule_table_is_consistent() {
+    let ids: Vec<&str> = xtask::RULES.iter().map(|r| r.id).collect();
+    assert_eq!(ids, ["WL001", "WL002", "WL003", "WL004", "WL005"]);
+    let names: BTreeSet<&str> = xtask::RULES.iter().map(|r| r.name).collect();
+    assert_eq!(names.len(), xtask::RULES.len());
+    assert!(xtask::RULES.iter().all(|r| !r.summary.is_empty()));
+}

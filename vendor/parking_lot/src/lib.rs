@@ -4,22 +4,225 @@
 //! API: `lock()`, `read()`, and `write()` return guards directly. A
 //! poisoned std lock (a thread panicked while holding it) is treated
 //! as still-usable, matching parking_lot's no-poisoning semantics.
+//!
+//! With the `lock-order-tracking` feature (debug builds only), every
+//! acquisition is run past a lockdep-style detector: see the
+//! private `order` module below.
 
 use std::sync::PoisonError;
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+use std::sync::atomic::AtomicU64;
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+mod order {
+    //! Lock-order deadlock detector (lockdep-style).
+    //!
+    //! Every lock instance gets a unique id on first acquisition
+    //! (lazily, via a global counter — NOT its address, which could
+    //! be reused after drop and alias an unrelated lock). Each thread
+    //! keeps a stack of held ids; acquiring lock `b` while holding
+    //! `a` records the directed edge `a -> b` with the acquisition
+    //! site in a global graph. An acquisition that would close a
+    //! cycle (`b -> … -> a` already exists) panics with both the
+    //! current site and the site that established the opposite
+    //! ordering — turning the whole test suite into a deadlock
+    //! regression net without ever needing the deadlock to fire.
+
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+    /// Assign (or read) the stable id of one lock instance. Ids start
+    /// at 1 so the atomic's zero-init means "unassigned" and
+    /// `Mutex::new` can stay `const fn`.
+    pub(crate) fn lock_id(slot: &AtomicU64) -> u64 {
+        let id = slot.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => fresh,
+            Err(raced) => raced,
+        }
+    }
+
+    /// The global acquisition-order graph: edge `a -> b` means some
+    /// thread acquired `b` while holding `a`; the value is the site
+    /// of that `b` acquisition.
+    struct Graph {
+        sites: HashMap<(u64, u64), String>,
+        succ: HashMap<u64, Vec<u64>>,
+    }
+
+    impl Graph {
+        /// Is there a path `from -> … -> to`? Returns the recorded
+        /// site of the path's first edge (an acquisition made while
+        /// `from` was held — the other half of the inversion) and the
+        /// path length in edges.
+        fn find_path(&self, from: u64, to: u64) -> Option<(String, usize)> {
+            fn dfs(
+                g: &Graph,
+                cur: u64,
+                to: u64,
+                visited: &mut Vec<u64>,
+                depth: usize,
+            ) -> Option<usize> {
+                if cur == to {
+                    return Some(depth);
+                }
+                if visited.contains(&cur) {
+                    return None;
+                }
+                visited.push(cur);
+                for &n in g.succ.get(&cur).into_iter().flatten() {
+                    if let Some(d) = dfs(g, n, to, visited, depth + 1) {
+                        return Some(d);
+                    }
+                }
+                None
+            }
+            for &first in self.succ.get(&from).into_iter().flatten() {
+                let mut visited = vec![from];
+                if let Some(d) = dfs(self, first, to, &mut visited, 1) {
+                    let site = self
+                        .sites
+                        .get(&(from, first))
+                        .cloned()
+                        .unwrap_or_else(|| "<unknown>".to_string());
+                    return Some((site, d));
+                }
+            }
+            None
+        }
+    }
+
+    fn graph() -> &'static StdMutex<Graph> {
+        static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| {
+            StdMutex::new(Graph {
+                sites: HashMap::new(),
+                succ: HashMap::new(),
+            })
+        })
+    }
+
+    thread_local! {
+        /// Ids of the locks this thread currently holds, in
+        /// acquisition order.
+        static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Record (and check) the ordering edges this acquisition implies.
+    /// Called BEFORE blocking on the underlying lock, so a detected
+    /// inversion panics instead of deadlocking.
+    pub(crate) fn before_acquire(id: u64, site: &Location<'static>) {
+        let held = HELD.try_with(|h| h.borrow().clone()).unwrap_or_default();
+        if held.is_empty() {
+            return;
+        }
+        let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        for &h in &held {
+            // Re-acquisition of a held lock (id == h) is a plain
+            // self-deadlock, not an ordering problem; std already
+            // makes that loud. Skip rather than special-case it.
+            if h == id || g.sites.contains_key(&(h, id)) {
+                continue;
+            }
+            if let Some((prior_site, edges)) = g.find_path(id, h) {
+                panic!(
+                    "lock-order inversion: acquiring lock #{id} at {site} while holding \
+                     lock #{h}, but the opposite ordering already exists ({hops}): while \
+                     lock #{id} was held, a conflicting acquisition was made at {prior_site}",
+                    hops = if edges == 1 {
+                        "direct".to_string()
+                    } else {
+                        format!("via {edges} edges")
+                    },
+                );
+            }
+            g.sites.insert((h, id), site.to_string());
+            g.succ.entry(h).or_default().push(id);
+        }
+    }
+
+    /// Push onto the held stack once the underlying lock is actually
+    /// owned.
+    pub(crate) fn after_acquire(id: u64) {
+        let _ = HELD.try_with(|h| h.borrow_mut().push(id));
+    }
+
+    /// Remove from the held stack on guard drop. Guards can drop in
+    /// any order, so remove by id (latest occurrence), not pop.
+    pub(crate) fn on_release(id: u64) {
+        let _ = HELD.try_with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&x| x == id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
 
 /// A mutual-exclusion lock whose `lock` cannot fail.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+    id: AtomicU64,
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard returned by [`Mutex::lock`].
+#[cfg(not(all(feature = "lock-order-tracking", debug_assertions)))]
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// RAII guard returned by [`Mutex::lock`] (lock-order tracking
+/// build: releases the detector's held-stack entry on drop).
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    id: u64,
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex holding `value`.
     pub const fn new(value: T) -> Self {
         Mutex {
+            #[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+            id: AtomicU64::new(0),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -34,8 +237,20 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+        {
+            let id = order::lock_id(&self.id);
+            order::before_acquire(id, std::panic::Location::caller());
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            order::after_acquire(id);
+            MutexGuard { inner, id }
+        }
+        #[cfg(not(all(feature = "lock-order-tracking", debug_assertions)))]
+        {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -47,19 +262,92 @@ impl<T: ?Sized> Mutex<T> {
 /// A readers-writer lock whose `read`/`write` cannot fail.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+    id: AtomicU64,
     inner: std::sync::RwLock<T>,
 }
 
 /// RAII guard returned by [`RwLock::read`].
+#[cfg(not(all(feature = "lock-order-tracking", debug_assertions)))]
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 
 /// RAII guard returned by [`RwLock::write`].
+#[cfg(not(all(feature = "lock-order-tracking", debug_assertions)))]
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// RAII guard returned by [`RwLock::read`] (lock-order tracking
+/// build).
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    id: u64,
+}
+
+/// RAII guard returned by [`RwLock::write`] (lock-order tracking
+/// build).
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    id: u64,
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+#[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new lock holding `value`.
     pub const fn new(value: T) -> Self {
         RwLock {
+            #[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+            id: AtomicU64::new(0),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -73,14 +361,41 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquire shared read access.
+    /// Acquire shared read access. Under lock-order tracking, read
+    /// acquisitions feed the same ordering graph as writes
+    /// (conservative: a read-then-write inversion can still deadlock
+    /// against a writer, so ordering is enforced uniformly).
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+        {
+            let id = order::lock_id(&self.id);
+            order::before_acquire(id, std::panic::Location::caller());
+            let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            order::after_acquire(id);
+            RwLockReadGuard { inner, id }
+        }
+        #[cfg(not(all(feature = "lock-order-tracking", debug_assertions)))]
+        {
+            self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        }
     }
 
     /// Acquire exclusive write access.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+        {
+            let id = order::lock_id(&self.id);
+            order::before_acquire(id, std::panic::Location::caller());
+            let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            order::after_acquire(id);
+            RwLockWriteGuard { inner, id }
+        }
+        #[cfg(not(all(feature = "lock-order-tracking", debug_assertions)))]
+        {
+            self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -106,5 +421,90 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[cfg(all(feature = "lock-order-tracking", debug_assertions))]
+    mod tracking {
+        use super::super::{Mutex, RwLock};
+
+        /// A consistent a-then-b discipline never trips the detector,
+        /// however often it repeats and across threads.
+        #[test]
+        fn consistent_order_is_silent() {
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            for _ in 0..100 {
+                let ga = a.lock();
+                let mut gb = b.lock();
+                *gb += *ga;
+            }
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..50 {
+                            let _ga = a.lock();
+                            let _gb = b.lock();
+                        }
+                    });
+                }
+            });
+        }
+
+        /// Guards dropped out of acquisition order keep the held
+        /// stack consistent (remove-by-id, not pop). `y` is released
+        /// while `x` — acquired later — stays held; the subsequent
+        /// `w` acquisition must therefore record the edge `x -> w`.
+        /// The probe then deliberately inverts w/x: it can only fire
+        /// if `x` was still on the held stack after `y`'s drop.
+        #[test]
+        fn out_of_order_guard_drop_keeps_held_stack() {
+            let x = Mutex::new(0u32);
+            let y = Mutex::new(0u32);
+            let w = Mutex::new(0u32);
+            let gy = y.lock();
+            let gx = x.lock(); // edge y -> x
+            drop(gy); // y released first; held stack must now be [x]
+            let gw = w.lock(); // must record x -> w
+            drop(gx);
+            drop(gw);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gw = w.lock();
+                let _gx = x.lock(); // cycle against the x -> w edge
+            }))
+            .expect_err("x -> w was not recorded: held stack lost x on out-of-order drop");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("lock-order inversion"), "got: {msg}");
+        }
+
+        /// The deliberate inversion: a->b established, then b->a
+        /// attempted. The panic carries both acquisition sites.
+        #[test]
+        fn inversion_panics_with_both_sites() {
+            let a = RwLock::new(0u32);
+            let b = Mutex::new(0u32);
+            {
+                let _ga = a.write();
+                let _gb = b.lock(); // establishes a -> b, site recorded here
+            }
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.read(); // inversion: b held, acquiring a
+            }))
+            .expect_err("inversion must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("panic payload should be a string");
+            assert!(
+                msg.contains("lock-order inversion"),
+                "unexpected message: {msg}"
+            );
+            // Both acquisition sites are in this file.
+            assert!(
+                msg.matches("vendor/parking_lot/src/lib.rs").count() >= 2,
+                "expected both sites in: {msg}"
+            );
+        }
     }
 }
