@@ -259,6 +259,10 @@ pub fn record_experiments_section(schema: &str, body: &str) {
 /// registry cannot silently go stale.
 pub const RECORDED_SCHEMAS: &[(&str, &str)] = &[
     (
+        "<!-- schema: micro-wirecodec v1 -->",
+        "cargo run --release -p willump-bench --bin micro -- --record",
+    ),
+    (
         "<!-- schema: table2-remote-requests v1 -->",
         "cargo run --release -p willump-bench --bin table2 -- --record",
     ),
@@ -267,7 +271,7 @@ pub const RECORDED_SCHEMAS: &[(&str, &str)] = &[
         "cargo run --release -p willump-bench --bin table3 -- --record",
     ),
     (
-        "<!-- schema: table6-serving-sweep v2 -->",
+        "<!-- schema: table6-serving-sweep v3 -->",
         "cargo run --release -p willump-bench --bin table6 -- --record",
     ),
     (

@@ -68,6 +68,7 @@ mod remote;
 mod runtime;
 mod selection;
 mod server;
+pub mod wire2;
 
 pub use e2e_cache::E2eCachedPredictor;
 pub use error::ServeError;
@@ -77,8 +78,9 @@ pub use protocol::{
     WireRow, ERROR_RESPONSE_ID,
 };
 pub use remote::{
-    InProcessWorker, RemoteRuntimeNode, RemoteWorker, TransportStats, WorkerTransport,
-    REMOTE_WORKER_BREAKER_COOLDOWN, REMOTE_WORKER_BREAKER_FAILURES, REMOTE_WORKER_TIMEOUT,
+    ForwardReply, InProcessWorker, RemoteRuntimeNode, RemoteWorker, TransportStats,
+    WorkerTransport, REMOTE_WORKER_BREAKER_COOLDOWN, REMOTE_WORKER_BREAKER_FAILURES,
+    REMOTE_WORKER_TIMEOUT,
 };
 pub use runtime::{
     shard_for_key, table_row_to_wire, AdmissionPolicy, Endpoint, EndpointBuilder, EndpointStats,

@@ -5,6 +5,13 @@
 //! etc.) which Willump cannot reduce". Encoding/decoding here costs
 //! genuine CPU proportional to payload size.
 //!
+//! This newline-delimited JSON form is the *client boundary* and the
+//! legacy peer format. Between current shard-forwarding peers the same
+//! [`Request`]/[`Response`] structs travel as compact binary frames
+//! instead — see [`crate::wire2`] for the frame layout, version
+//! negotiation, and the JSON fallback (the `micro` bench's
+//! `wirecodec` section records the per-frame cost of each).
+//!
 //! # Addressing and back-compat
 //!
 //! Since the multi-endpoint [`crate::ServingRuntime`], a request may

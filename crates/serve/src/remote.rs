@@ -12,26 +12,41 @@
 //! Three pieces:
 //!
 //! - [`WorkerTransport`]: the trait a shard's execution backend
-//!   implements — take one encoded wire frame, return the encoded
-//!   response. Implementations report [`TransportStats`] (forwards,
-//!   failures, reconnects, cumulative latency), which the runtime
-//!   surfaces per shard.
-//! - [`RemoteWorker`]: the TCP implementation. Speaks the existing
-//!   JSON wire protocol, newline-delimited (the protocol's encoder
-//!   escapes control characters inside strings, so one frame is
-//!   always exactly one line), pools connections so concurrent
-//!   forwards overlap their round trips, and transparently retries
-//!   once on a fresh connection after a connection-level failure —
-//!   but never after a read timeout, which would re-execute the
-//!   request on a node that may simply be slow.
+//!   implements — take one request, return the response.
+//!   Implementations report [`TransportStats`] (forwards, failures,
+//!   reconnects, cumulative latency, bytes on the wire, peak
+//!   in-flight depth, decode errors), which the runtime surfaces per
+//!   shard.
+//! - [`RemoteWorker`]: the TCP implementation. It negotiates the
+//!   [`crate::wire2`] binary protocol and **multiplexes** every
+//!   in-flight forward onto one socket: each forward is tagged with a
+//!   mux request id, written without waiting, and parked until a
+//!   demultiplexing reader thread routes the matching response frame
+//!   back to it — so concurrent forwards overlap on one connection
+//!   instead of checking out pooled sockets. Peers that do not speak
+//!   v2 (an older node answers the negotiation preamble with a JSON
+//!   error line) transparently fall back to the legacy pooled
+//!   newline-JSON path. Both paths preserve the same failure
+//!   semantics: one transparent retry on a *connection-level* failure
+//!   (the response can no longer arrive), but **never** after a read
+//!   timeout — the node may still be executing the request, and
+//!   resending would double-execute it exactly when the node is most
+//!   loaded — plus a consecutive-failure circuit breaker that fails
+//!   fast while a shard stays dead.
 //! - [`RemoteRuntimeNode`]: the host side. Binds a listener and
 //!   exposes a whole [`crate::ServingRuntime`] — all of its endpoints
-//!   — to parent routers; each accepted connection is served by a
-//!   thread that feeds frames through a regular runtime client.
+//!   — to parent routers. A single **poll-based event loop** over
+//!   nonblocking sockets owns every accepted connection (no
+//!   thread-per-connection): it sniffs each connection's first line
+//!   to pick v2-binary or legacy-JSON mode, reassembles frames with a
+//!   bounded read (an oversized or corrupt length prefix is counted
+//!   in `decode_errors` and refused, never trusted), and dispatches
+//!   decoded requests to a small fixed worker pool whose completions
+//!   are demultiplexed back onto the right connection by mux id.
 //!
 //! The **local queue** implementation of the trait is
-//! [`InProcessWorker`]: it forwards frames to another runtime in the
-//! same process through its client handle — the same code path as
+//! [`InProcessWorker`]: it forwards requests to another runtime in
+//! the same process through its client handle — the same code path as
 //! [`RemoteWorker`] minus the socket, which makes transport behavior
 //! testable without networking and documents that the native
 //! in-process shard path is just the degenerate transport whose
@@ -80,33 +95,42 @@
 //! # }
 //! ```
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use willump::PlanCountersSnapshot;
 
-use crate::protocol::{decode_response, encode_request, Request, Response};
+use crate::protocol::{decode_response, encode_request, Request, Response, ERROR_RESPONSE_ID};
 use crate::runtime::{RuntimeClient, ServingRuntime};
+use crate::wire2::{
+    decode_header, decode_request_payload, decode_response_payload, encode_frame,
+    encode_request_payload, encode_response_payload, read_frame, FrameReadError, FrameType,
+    WIRE2_HEADER_LEN, WIRE2_MAGIC, WIRE2_PREAMBLE, WIRE2_PREAMBLE_LINE, WIRE2_VERSION,
+};
 use crate::ServeError;
 
 /// Where a shard's work is executed: the boundary between the
 /// runtime's routing layer and a worker that may live in another
 /// process.
 ///
-/// A transport takes one already-encoded wire frame (the JSON
-/// [`crate::encode_request`] produces) and returns the encoded
-/// response — exactly a client's view of a serving runtime. The
-/// runtime measures each forward and folds the latency into the
-/// endpoint's per-shard counters; implementations additionally keep
-/// their own [`TransportStats`].
+/// A transport takes one request and returns the response — exactly a
+/// client's view of a serving runtime. The runtime measures each
+/// forward and folds the latency into the endpoint's per-shard
+/// counters; implementations additionally keep their own
+/// [`TransportStats`].
 pub trait WorkerTransport: Send + Sync {
-    /// Forward one encoded request frame; return the raw wire
-    /// response.
+    /// Forward one encoded legacy JSON request frame; return the raw
+    /// wire response. This is the lowest common denominator every
+    /// transport speaks; [`forward_request`] rides on it by default.
+    ///
+    /// [`forward_request`]: WorkerTransport::forward_request
     ///
     /// # Errors
     /// Returns [`ServeError::Transport`] (or
@@ -121,6 +145,32 @@ pub trait WorkerTransport: Send + Sync {
 
     /// Cumulative transport counters.
     fn stats(&self) -> TransportStats;
+
+    /// Forward one structured [`Request`]; return the decoded
+    /// [`Response`] plus the bytes that crossed the wire. The default
+    /// encodes to the legacy JSON frame and rides
+    /// [`forward`](WorkerTransport::forward); [`RemoteWorker`]
+    /// overrides it to skip JSON entirely and ship the compact
+    /// [`crate::wire2`] binary payload over its multiplexed
+    /// connection.
+    ///
+    /// # Errors
+    /// [`ServeError::Transport`]/[`ServeError::Disconnected`] when
+    /// the backing worker cannot be reached, [`ServeError::Codec`]
+    /// when the request cannot be encoded or the reply cannot be
+    /// decoded.
+    fn forward_request(&self, req: &Request) -> Result<ForwardReply, ServeError> {
+        let frame = encode_request(req)?;
+        let bytes_sent = frame.len() as u64;
+        let wire = self.forward(&frame)?;
+        let bytes_received = wire.len() as u64;
+        let response = decode_response(&wire)?;
+        Ok(ForwardReply {
+            response,
+            bytes_sent,
+            bytes_received,
+        })
+    }
 
     /// Forward a control/probe frame. Defaults to [`forward`]
     /// (probes then count as ordinary forwards); implementations
@@ -156,6 +206,20 @@ pub trait WorkerTransport: Send + Sync {
         let resp = decode_response(&self.forward_probe(&frame)?)?;
         extract_counters(resp, endpoint, version, &self.describe())
     }
+}
+
+/// The result of one [`WorkerTransport::forward_request`] round trip:
+/// the decoded response plus how many bytes crossed the transport in
+/// each direction (0/0 for in-process transports, whose "wire" is a
+/// channel send).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardReply {
+    /// The decoded response.
+    pub response: Response,
+    /// Bytes written to the transport for this request.
+    pub bytes_sent: u64,
+    /// Bytes read from the transport for this response.
+    pub bytes_received: u64,
 }
 
 /// Pull one endpoint's snapshot out of a counters control response.
@@ -194,6 +258,16 @@ pub struct TransportStats {
     pub reconnects: u64,
     /// Cumulative round-trip nanoseconds of successful forwards.
     pub total_nanos: u64,
+    /// Bytes written to the transport (frame headers included).
+    pub bytes_sent: u64,
+    /// Bytes read from the transport.
+    pub bytes_received: u64,
+    /// Peak number of requests simultaneously in flight.
+    pub max_in_flight: u64,
+    /// Frames rejected as oversized or corrupt (bad magic/version,
+    /// unknown frame type, length prefix past the bound, undecodable
+    /// payload).
+    pub decode_errors: u64,
 }
 
 impl TransportStats {
@@ -206,6 +280,22 @@ impl TransportStats {
             self.total_nanos as f64 / self.forwards as f64 / 1e9
         }
     }
+
+    /// Combine two snapshots (e.g. across an endpoint's shards):
+    /// counters add, peak in-flight depth takes the max.
+    #[must_use]
+    pub fn merged(&self, other: &TransportStats) -> TransportStats {
+        TransportStats {
+            forwards: self.forwards + other.forwards,
+            failures: self.failures + other.failures,
+            reconnects: self.reconnects + other.reconnects,
+            total_nanos: self.total_nanos + other.total_nanos,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+            max_in_flight: self.max_in_flight.max(other.max_in_flight),
+            decode_errors: self.decode_errors + other.decode_errors,
+        }
+    }
 }
 
 /// Shared atomic counters behind a [`TransportStats`] snapshot.
@@ -215,6 +305,10 @@ struct TransportCounters {
     failures: AtomicU64,
     reconnects: AtomicU64,
     total_nanos: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    max_in_flight: AtomicU64,
+    decode_errors: AtomicU64,
 }
 
 impl TransportCounters {
@@ -224,6 +318,10 @@ impl TransportCounters {
             failures: self.failures.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             total_nanos: self.total_nanos.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -232,6 +330,26 @@ impl TransportCounters {
         self.total_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
+}
+
+/// Decrements an in-flight gauge when the tracked forward completes
+/// (on any exit path).
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Bump an in-flight gauge, fold the new depth into
+/// `max_in_flight`, and return the guard that undoes the bump.
+fn enter_in_flight<'a>(gauge: &'a AtomicUsize, counters: &TransportCounters) -> InFlightGuard<'a> {
+    let depth = gauge.fetch_add(1, Ordering::Relaxed) + 1;
+    counters
+        .max_in_flight
+        .fetch_max(depth as u64, Ordering::Relaxed);
+    InFlightGuard(gauge)
 }
 
 // ---- the local-queue transport -------------------------------------
@@ -247,6 +365,7 @@ impl TransportCounters {
 /// endpoint its own isolated worker pool).
 pub struct InProcessWorker {
     client: RuntimeClient,
+    in_flight: AtomicUsize,
     counters: TransportCounters,
 }
 
@@ -264,6 +383,7 @@ impl InProcessWorker {
     pub fn new(runtime: &ServingRuntime) -> InProcessWorker {
         InProcessWorker {
             client: runtime.client(),
+            in_flight: AtomicUsize::new(0),
             counters: TransportCounters::default(),
         }
     }
@@ -272,10 +392,33 @@ impl InProcessWorker {
 impl WorkerTransport for InProcessWorker {
     fn forward(&self, frame: &str) -> Result<String, ServeError> {
         let start = Instant::now();
+        let _guard = enter_in_flight(&self.in_flight, &self.counters);
         match self.client.call_raw(frame.to_string()) {
             Ok(wire) => {
                 self.counters.record_success(start.elapsed());
                 Ok(wire)
+            }
+            Err(e) => {
+                self.counters.failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Skips the JSON boundary entirely: the request reaches the
+    /// target runtime's admission path as a struct (the "wire" is a
+    /// channel send, so both byte counts are 0).
+    fn forward_request(&self, req: &Request) -> Result<ForwardReply, ServeError> {
+        let start = Instant::now();
+        let _guard = enter_in_flight(&self.in_flight, &self.counters);
+        match self.client.call_request(req.clone()) {
+            Ok(response) => {
+                self.counters.record_success(start.elapsed());
+                Ok(ForwardReply {
+                    response,
+                    bytes_sent: 0,
+                    bytes_received: 0,
+                })
             }
             Err(e) => {
                 self.counters.failures.fetch_add(1, Ordering::Relaxed);
@@ -297,34 +440,173 @@ impl WorkerTransport for InProcessWorker {
 
 // ---- the TCP transport ---------------------------------------------
 
-/// One half-open connection: the write side and a buffered read side
-/// of the same stream.
+/// One half-open legacy connection: the write side and a buffered
+/// read side of the same stream.
 struct Conn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
-/// A TCP [`WorkerTransport`]: forwards wire frames to a
-/// [`RemoteRuntimeNode`] (typically in another process), one
-/// newline-delimited JSON frame per request.
+/// One response (or drop notice) routed to a parked mux waiter.
+enum MuxEvent {
+    /// A response frame arrived for this waiter's mux id.
+    Frame(FrameType, Vec<u8>),
+    /// The connection died before the response arrived; the response
+    /// can no longer arrive here, so a fresh-connection retry is safe.
+    Dropped,
+}
+
+/// One multiplexed v2 connection: many in-flight forwards share the
+/// socket, each tagged with a mux request id; a dedicated reader
+/// thread demultiplexes response frames back to the parked waiters.
+struct MuxConn {
+    /// Write half. Locked per frame write only — never across a round
+    /// trip — so concurrent forwards interleave their frames.
+    writer: Mutex<TcpStream>,
+    /// Extra handle used to `shutdown()` the socket: the reader
+    /// thread blocks without a read timeout (a timeout mid-frame
+    /// would tear the stream for every in-flight request), so socket
+    /// shutdown is how it is woken for teardown.
+    wake: TcpStream,
+    /// Parked forwards by mux id.
+    waiters: Mutex<HashMap<u32, Sender<MuxEvent>>>,
+    /// Next mux correlation id (wraps; ids are transient).
+    next_id: AtomicU32,
+    /// Set once the reader exits (EOF, I/O error, corrupt frame) or
+    /// the connection is killed; no new forwards board after this.
+    dead: AtomicBool,
+}
+
+impl MuxConn {
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        let _ = self.wake.shutdown(Shutdown::Both);
+    }
+}
+
+/// Demultiplexing reader loop: routes each response frame to the
+/// waiter registered under its mux id. An id with no waiter is a
+/// response that arrived after its forward timed out — dropped by
+/// design, because the forward was never resent. On exit every parked
+/// waiter is notified that the connection dropped.
+fn mux_reader(
+    conn: &Arc<MuxConn>,
+    reader: &mut BufReader<TcpStream>,
+    counters: &TransportCounters,
+) {
+    loop {
+        if conn.dead.load(Ordering::Relaxed) {
+            break;
+        }
+        match read_frame(reader) {
+            Ok(Some((hdr, payload))) => {
+                counters
+                    .bytes_received
+                    .fetch_add((WIRE2_HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
+                match hdr.frame_type {
+                    FrameType::BinResponse | FrameType::JsonResponse => {
+                        let waiter = conn.waiters.lock().remove(&hdr.request_id);
+                        if let Some(tx) = waiter {
+                            let _ = tx.send(MuxEvent::Frame(hdr.frame_type, payload));
+                        }
+                    }
+                    FrameType::HelloAck => {}
+                    FrameType::BinRequest | FrameType::JsonRequest => {
+                        // A node must answer with response frames;
+                        // request frames here mean the stream is torn.
+                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(FrameReadError::Corrupt(_)) => {
+                counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(FrameReadError::Io(_)) => break,
+        }
+    }
+    // Order matters: `dead` is set before the drain (both sides
+    // touch the waiters map under its lock), so a forward either
+    // boards in time to be drained or observes `dead` after boarding.
+    conn.dead.store(true, Ordering::Relaxed);
+    let waiters: Vec<(u32, Sender<MuxEvent>)> = conn.waiters.lock().drain().collect();
+    for (_, tx) in waiters {
+        let _ = tx.send(MuxEvent::Dropped);
+    }
+}
+
+/// What a fresh dial negotiated.
+enum Negotiated {
+    /// The peer speaks wire2: a live multiplexed connection.
+    Mux(Arc<MuxConn>),
+    /// The peer answered the preamble with a JSON line: a legacy
+    /// newline-JSON connection.
+    Legacy(Conn),
+}
+
+/// How one mux round trip failed.
+struct MuxFailure {
+    /// Connection-level: the response can no longer arrive on this
+    /// connection, so one fresh-connection retry is safe. Never set
+    /// for a timeout (the node may still be executing the request).
+    retryable: bool,
+    timed_out: bool,
+    error: ServeError,
+}
+
+/// What a mux forward produced.
+enum MuxServed {
+    /// A response frame (type, payload, bytes sent, bytes received).
+    Frame(FrameType, Vec<u8>, u64, u64),
+    /// The dial discovered a legacy peer mid-forward: the connection
+    /// went to the idle pool and the caller should take the legacy
+    /// JSON path.
+    PeerIsLegacy,
+}
+
+/// A TCP [`WorkerTransport`]: forwards requests to a
+/// [`RemoteRuntimeNode`] (typically in another process) over the
+/// [`crate::wire2`] binary protocol.
 ///
-/// Connections are **pooled** — concurrent forwards each check a
-/// connection out of an idle pool (dialing a fresh one when the pool
-/// is empty), so parallel requests to one shard overlap their round
-/// trips instead of serializing on a single socket — **lazy**
-/// (nothing is dialed until the first forward) and **self-healing**:
-/// a connect, send, or connection-drop failure retries once on a
-/// fresh connection before the error is reported, so a restarted
-/// node is picked back up without intervention. A **read timeout**
-/// is deliberately *not* retried: the node may be alive and still
-/// executing the request, and resending the frame would execute it
-/// a second time exactly when the node is at its most loaded — the
+/// The connection is **multiplexed**: every concurrent forward shares
+/// one socket, tagged with a mux request id and parked until the
+/// demux reader routes its response frame back — so parallel requests
+/// to one shard overlap their round trips without per-request
+/// sockets. Dialing is **lazy** (nothing until the first forward) and
+/// **negotiated**: a peer that does not speak v2 is detected on the
+/// first dial and served over the legacy pooled newline-JSON path for
+/// the life of this worker
+/// ([`with_legacy_json`](Self::with_legacy_json) forces that path
+/// without probing).
+///
+/// Failure semantics match the legacy transport exactly: a connect,
+/// send, or connection-drop failure retries once on a fresh
+/// connection before the error is reported, so a restarted node is
+/// picked back up without intervention. A **read timeout** is
+/// deliberately *not* retried: the node may be alive and still
+/// executing the request, and resending the frame would execute it a
+/// second time exactly when the node is at its most loaded — the
 /// error surfaces instead, and the runtime's shard fail-over decides
-/// what to do.
+/// what to do. (Unlike a drop, a timeout leaves the multiplexed
+/// connection in service: other in-flight forwards are unaffected,
+/// and a response arriving after its waiter gave up is discarded by
+/// mux id.)
 pub struct RemoteWorker {
     addr: String,
     timeout: Duration,
+    /// Never negotiate v2 (forced by [`Self::with_legacy_json`]).
+    force_legacy: bool,
+    /// The peer answered the v2 preamble with a JSON line: stop
+    /// negotiating and speak legacy for the life of this worker.
+    peer_legacy: AtomicBool,
+    /// The live multiplexed connection, if any.
+    mux: Mutex<Option<Arc<MuxConn>>>,
+    /// Idle legacy connections (only used against legacy peers).
     idle: Mutex<Vec<Conn>>,
+    /// Current in-flight depth (feeds `TransportStats::max_in_flight`).
+    in_flight: AtomicUsize,
     /// A failure happened since the last successful dial (drives
     /// reconnect accounting: a dial that clears this counts as a
     /// reconnect, a dial that merely grows the pool does not).
@@ -338,12 +620,13 @@ pub struct RemoteWorker {
     last_failure: Mutex<Option<Instant>>,
     breaker_threshold: u64,
     breaker_cooldown: Duration,
-    counters: TransportCounters,
+    counters: Arc<TransportCounters>,
 }
 
-/// Idle connections kept per [`RemoteWorker`]; checkouts beyond this
-/// still dial (concurrency is unbounded), the surplus is just not
-/// pooled on return.
+/// Idle legacy connections kept per [`RemoteWorker`]; checkouts
+/// beyond this still dial (concurrency is unbounded), the surplus is
+/// just not pooled on return. Only the legacy-JSON fallback path
+/// pools connections — the v2 path multiplexes one socket.
 const REMOTE_WORKER_POOL: usize = 8;
 
 /// Default consecutive-failure threshold that opens a
@@ -385,13 +668,17 @@ impl RemoteWorker {
         RemoteWorker {
             addr: addr.to_string(),
             timeout: REMOTE_WORKER_TIMEOUT,
+            force_legacy: false,
+            peer_legacy: AtomicBool::new(false),
+            mux: Mutex::new(None),
             idle: Mutex::new(Vec::new()),
+            in_flight: AtomicUsize::new(0),
             broken: AtomicBool::new(false),
             consecutive_failures: AtomicU64::new(0),
             last_failure: Mutex::new(None),
             breaker_threshold: REMOTE_WORKER_BREAKER_FAILURES,
             breaker_cooldown: REMOTE_WORKER_BREAKER_COOLDOWN,
-            counters: TransportCounters::default(),
+            counters: Arc::new(TransportCounters::default()),
         }
     }
 
@@ -416,12 +703,32 @@ impl RemoteWorker {
         self
     }
 
+    /// Skip v2 negotiation entirely and speak the legacy pooled
+    /// newline-JSON protocol (what [`RemoteWorker`] falls back to
+    /// automatically when the peer rejects the preamble). Useful for
+    /// pinning interop behavior in tests or against intermediaries
+    /// that cannot pass unknown bytes through.
+    #[must_use]
+    pub fn with_legacy_json(mut self) -> RemoteWorker {
+        self.force_legacy = true;
+        self
+    }
+
     /// The target address this transport forwards to.
     pub fn addr(&self) -> &str {
         &self.addr
     }
 
-    fn connect(&self) -> Result<Conn, ServeError> {
+    fn legacy_peer(&self) -> bool {
+        self.force_legacy || self.peer_legacy.load(Ordering::Relaxed)
+    }
+
+    /// Dial and negotiate. Sends the v2 preamble (unless this worker
+    /// is pinned legacy) and sniffs the first reply byte: the frame
+    /// magic means a v2 node (consume its `HelloAck`, start the demux
+    /// reader); anything else is a legacy node answering with a JSON
+    /// error line (consume the line, remember the peer is legacy).
+    fn dial(&self) -> Result<Negotiated, ServeError> {
         let io = |e: std::io::Error| ServeError::Transport(format!("{}: {e}", self.addr));
         let sockaddr = self
             .addr
@@ -435,14 +742,76 @@ impl RemoteWorker {
         stream.set_read_timeout(Some(self.timeout)).map_err(io)?;
         stream.set_write_timeout(Some(self.timeout)).map_err(io)?;
         stream.set_nodelay(true).map_err(io)?;
-        let reader = BufReader::new(stream.try_clone().map_err(io)?);
-        Ok(Conn {
-            writer: stream,
-            reader,
-        })
+        let mut writer = stream;
+        let mut reader = BufReader::new(writer.try_clone().map_err(io)?);
+        if self.legacy_peer() {
+            return Ok(Negotiated::Legacy(Conn { writer, reader }));
+        }
+        writer.write_all(WIRE2_PREAMBLE).map_err(io)?;
+        writer.flush().map_err(io)?;
+        let first = loop {
+            match reader.fill_buf() {
+                Ok([]) => {
+                    return Err(ServeError::Transport(format!(
+                        "{}: node closed the connection during negotiation",
+                        self.addr
+                    )))
+                }
+                Ok(buf) => break buf[0],
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io(e)),
+            }
+        };
+        if first == WIRE2_MAGIC {
+            match read_frame(&mut reader) {
+                Ok(Some((hdr, _))) if hdr.frame_type == FrameType::HelloAck => {}
+                Ok(_) => {
+                    return Err(ServeError::Transport(format!(
+                        "{}: unexpected frame during negotiation",
+                        self.addr
+                    )))
+                }
+                Err(e) => return Err(ServeError::Transport(format!("{}: {e}", self.addr))),
+            }
+            // The demux reader blocks without a read timeout (a
+            // timeout mid-frame would tear the stream for every
+            // in-flight forward); per-forward timeouts live on the
+            // waiters, and teardown wakes the reader via shutdown.
+            writer.set_read_timeout(None).map_err(io)?;
+            let wake = writer.try_clone().map_err(io)?;
+            let conn = Arc::new(MuxConn {
+                writer: Mutex::new(writer),
+                wake,
+                waiters: Mutex::new(HashMap::new()),
+                next_id: AtomicU32::new(1),
+                dead: AtomicBool::new(false),
+            });
+            let thread_conn = Arc::clone(&conn);
+            let counters = Arc::clone(&self.counters);
+            std::thread::Builder::new()
+                .name("willump-mux-reader".to_string())
+                .spawn(move || mux_reader(&thread_conn, &mut reader, &counters))
+                .map_err(io)?;
+            Ok(Negotiated::Mux(conn))
+        } else {
+            // A legacy node answered the preamble with a JSON error
+            // line: consume it, then reuse the connection as a
+            // perfectly good legacy one.
+            let mut line = Vec::new();
+            let n = reader.read_until(b'\n', &mut line).map_err(io)?;
+            if n == 0 {
+                return Err(ServeError::Transport(format!(
+                    "{}: node closed the connection during negotiation",
+                    self.addr
+                )));
+            }
+            self.peer_legacy.store(true, Ordering::Relaxed);
+            Ok(Negotiated::Legacy(Conn { writer, reader }))
+        }
     }
 
-    /// One write + read round trip on an established connection.
+    /// One write + read round trip on an established legacy
+    /// connection.
     fn round_trip(&self, conn: &mut Conn, frame: &str) -> Result<String, IoFailure> {
         let io = |e: std::io::Error| IoFailure {
             timed_out: matches!(
@@ -454,6 +823,9 @@ impl RemoteWorker {
         conn.writer.write_all(frame.as_bytes()).map_err(io)?;
         conn.writer.write_all(b"\n").map_err(io)?;
         conn.writer.flush().map_err(io)?;
+        self.counters
+            .bytes_sent
+            .fetch_add(frame.len() as u64 + 1, Ordering::Relaxed);
         // Read raw bytes (a timeout mid-frame must not be confused
         // with a UTF-8 boundary), then decode once the line is whole.
         let mut buf = Vec::new();
@@ -464,6 +836,9 @@ impl RemoteWorker {
                 error: ServeError::Transport(format!("{}: node closed the connection", self.addr)),
             });
         }
+        self.counters
+            .bytes_received
+            .fetch_add(n as u64, Ordering::Relaxed);
         while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
             buf.pop();
         }
@@ -478,6 +853,13 @@ impl RemoteWorker {
     /// (non-probe) forwards, feed the stats and the circuit breaker.
     fn fail(&self, error: ServeError, record: bool) -> ServeError {
         self.broken.store(true, Ordering::Relaxed);
+        self.fail_keep(error, record)
+    }
+
+    /// Fail this forward *without* marking the transport broken —
+    /// used for mux timeouts, where the connection stays in service
+    /// for the other in-flight forwards.
+    fn fail_keep(&self, error: ServeError, record: bool) -> ServeError {
         if record {
             self.counters.failures.fetch_add(1, Ordering::Relaxed);
             self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
@@ -507,32 +889,186 @@ impl RemoteWorker {
             .is_some_and(|t| t.elapsed() < self.breaker_cooldown)
     }
 
-    /// Return a healthy connection to the idle pool (bounded).
+    /// Return a healthy legacy connection to the idle pool (bounded).
     fn check_in(&self, conn: Conn) {
         let mut idle = self.idle.lock();
         if idle.len() < REMOTE_WORKER_POOL {
             idle.push(conn);
         }
     }
-}
 
-impl RemoteWorker {
-    /// The shared forward path; `record: false` (counters probes)
-    /// skips the stats counters and breaker accounting, so periodic
-    /// probes cannot dilute the mean forward latency or flap the
-    /// breaker.
-    fn forward_impl(&self, frame: &str, record: bool) -> Result<String, ServeError> {
-        // The JSON encoder escapes control characters inside strings,
-        // so a well-formed frame is always newline-free; reject
-        // anything else rather than desynchronize the stream.
-        if frame.contains('\n') {
+    /// Get the live mux connection or dial one. `Ok(None)` means the
+    /// dial discovered a legacy peer (its connection went to the idle
+    /// pool and `peer_legacy` is now set).
+    fn mux_establish(&self) -> Result<Option<Arc<MuxConn>>, ServeError> {
+        let mut slot = self.mux.lock();
+        if let Some(conn) = slot.as_ref() {
+            if !conn.dead.load(Ordering::Relaxed) {
+                return Ok(Some(Arc::clone(conn)));
+            }
+            // The connection died since the last successful dial
+            // (node restart, reader error): like a stale pooled
+            // legacy connection, the fresh dial below must count as
+            // a reconnect even when no forward failed in between.
+            self.broken.store(true, Ordering::Relaxed);
+        }
+        match self.dial()? {
+            Negotiated::Mux(conn) => {
+                if self.broken.swap(false, Ordering::Relaxed) {
+                    self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                *slot = Some(Arc::clone(&conn));
+                Ok(Some(conn))
+            }
+            Negotiated::Legacy(conn) => {
+                if self.broken.swap(false, Ordering::Relaxed) {
+                    self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                self.check_in(conn);
+                Ok(None)
+            }
+        }
+    }
+
+    /// One tagged round trip on an established mux connection: board
+    /// a waiter, write the frame (the writer lock covers the write
+    /// only, never the wait), then park until the demux reader routes
+    /// the response back or the per-forward timeout fires.
+    fn mux_round(
+        &self,
+        conn: &Arc<MuxConn>,
+        ftype: FrameType,
+        payload: &[u8],
+    ) -> Result<(FrameType, Vec<u8>, u64, u64), MuxFailure> {
+        let id = conn.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = encode_frame(ftype, id, payload).map_err(|e| MuxFailure {
+            retryable: false,
+            timed_out: false,
+            error: e,
+        })?;
+        let (tx, rx) = bounded(1);
+        conn.waiters.lock().insert(id, tx);
+        // The reader sets `dead` before draining waiters (both under
+        // the waiters lock), so either it saw this waiter and will
+        // notify it, or this check observes `dead` — never neither.
+        if conn.dead.load(Ordering::Relaxed) {
+            conn.waiters.lock().remove(&id);
+            return Err(MuxFailure {
+                retryable: true,
+                timed_out: false,
+                error: ServeError::Transport(format!("{}: connection dropped", self.addr)),
+            });
+        }
+        let write_result = { conn.writer.lock().write_all(&frame) };
+        if let Err(e) = write_result {
+            conn.waiters.lock().remove(&id);
+            conn.kill();
+            let timed_out = matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            );
+            return Err(MuxFailure {
+                // A write timeout may have torn a partial frame onto
+                // the wire; like a read timeout it is never retried.
+                retryable: !timed_out,
+                timed_out,
+                error: ServeError::Transport(format!("{}: {e}", self.addr)),
+            });
+        }
+        let sent = frame.len() as u64;
+        self.counters.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+        match rx.recv_timeout(self.timeout) {
+            Ok(MuxEvent::Frame(frame_type, body)) => {
+                let received = (WIRE2_HEADER_LEN + body.len()) as u64;
+                Ok((frame_type, body, sent, received))
+            }
+            Ok(MuxEvent::Dropped) => Err(MuxFailure {
+                retryable: true,
+                timed_out: false,
+                error: ServeError::Transport(format!(
+                    "{}: connection dropped before the response arrived",
+                    self.addr
+                )),
+            }),
+            Err(_) => {
+                // The node may still be executing this request: do
+                // NOT resend it. Unpark, leave the connection in
+                // service; a late response is discarded by mux id.
+                conn.waiters.lock().remove(&id);
+                Err(MuxFailure {
+                    retryable: false,
+                    timed_out: true,
+                    error: ServeError::Transport(format!(
+                        "{}: read timed out after {:?}",
+                        self.addr, self.timeout
+                    )),
+                })
+            }
+        }
+    }
+
+    /// The shared mux forward path: breaker check, one round on the
+    /// live connection, and — only for connection-level failures —
+    /// one retry on a fresh dial. `record: false` (counters probes)
+    /// skips the stats counters and breaker accounting.
+    fn mux_forward(
+        &self,
+        ftype: FrameType,
+        payload: &[u8],
+        record: bool,
+    ) -> Result<MuxServed, ServeError> {
+        if self.breaker_open() {
             if record {
                 self.counters.failures.fetch_add(1, Ordering::Relaxed);
             }
-            return Err(ServeError::Transport(
-                "frame contains a raw newline".to_string(),
-            ));
+            return Err(ServeError::Transport(format!(
+                "{}: circuit open after {} consecutive failures",
+                self.addr,
+                self.consecutive_failures.load(Ordering::Relaxed)
+            )));
         }
+        let start = Instant::now();
+        // Attempt 1: the live multiplexed connection, if any.
+        let existing = { self.mux.lock().clone() };
+        if let Some(conn) = existing.filter(|c| !c.dead.load(Ordering::Relaxed)) {
+            match self.mux_round(&conn, ftype, payload) {
+                Ok((frame_type, body, sent, received)) => {
+                    if record {
+                        self.succeed(start);
+                    }
+                    return Ok(MuxServed::Frame(frame_type, body, sent, received));
+                }
+                Err(f) if !f.retryable => return Err(self.fail_keep(f.error, record)),
+                // The connection dropped mid-flight: the response
+                // cannot arrive on it, so a single fresh-connection
+                // retry is safe. Mark the transport broken — the
+                // fresh dial below counts as a reconnect.
+                Err(_) => self.broken.store(true, Ordering::Relaxed),
+            }
+        }
+        // Attempt 2: a fresh connection.
+        let conn = match self.mux_establish() {
+            Ok(Some(conn)) => conn,
+            Ok(None) => return Ok(MuxServed::PeerIsLegacy),
+            Err(e) => return Err(self.fail(e, record)),
+        };
+        match self.mux_round(&conn, ftype, payload) {
+            Ok((frame_type, body, sent, received)) => {
+                if record {
+                    self.succeed(start);
+                }
+                Ok(MuxServed::Frame(frame_type, body, sent, received))
+            }
+            Err(f) if f.timed_out => Err(self.fail_keep(f.error, record)),
+            Err(f) => Err(self.fail(f.error, record)),
+        }
+    }
+
+    /// The shared legacy-JSON forward path (pooled connections);
+    /// `record: false` (counters probes) skips the stats counters and
+    /// breaker accounting, so periodic probes cannot dilute the mean
+    /// forward latency or flap the breaker.
+    fn forward_impl(&self, frame: &str, record: bool) -> Result<String, ServeError> {
         // Circuit breaker: a shard that keeps failing fails fast —
         // no dial, no timeout wait — so keyed traffic sticky to a
         // dead node degrades by one cheap error instead of a full
@@ -576,12 +1112,25 @@ impl RemoteWorker {
             }
         }
         // Attempt 2: a fresh connection.
-        let mut conn = match self.connect() {
-            Ok(conn) => {
+        let mut conn = match self.dial() {
+            Ok(Negotiated::Legacy(conn)) => {
                 if self.broken.swap(false, Ordering::Relaxed) {
                     self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
                 }
                 conn
+            }
+            // Unreachable in practice: this path only runs once the
+            // peer is known legacy, and dial() then skips
+            // negotiation entirely.
+            Ok(Negotiated::Mux(mux)) => {
+                mux.kill();
+                return Err(self.fail(
+                    ServeError::Transport(format!(
+                        "{}: peer switched protocols between connections",
+                        self.addr
+                    )),
+                    record,
+                ));
             }
             Err(e) => return Err(self.fail(e, record)),
         };
@@ -596,11 +1145,119 @@ impl RemoteWorker {
             Err(f) => Err(self.fail(f.error, record)),
         }
     }
+
+    /// Forward one raw legacy JSON frame: over the mux (as an opaque
+    /// [`FrameType::JsonRequest`]) when the peer speaks v2, else over
+    /// the pooled legacy path.
+    fn forward_raw(&self, frame: &str, record: bool) -> Result<String, ServeError> {
+        // The JSON encoder escapes control characters inside strings,
+        // so a well-formed frame is always newline-free; reject
+        // anything else rather than desynchronize the stream.
+        if frame.contains('\n') {
+            if record {
+                self.counters.failures.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(ServeError::Transport(
+                "frame contains a raw newline".to_string(),
+            ));
+        }
+        let _guard = enter_in_flight(&self.in_flight, &self.counters);
+        if self.legacy_peer() {
+            return self.forward_impl(frame, record);
+        }
+        match self.mux_forward(FrameType::JsonRequest, frame.as_bytes(), record)? {
+            MuxServed::PeerIsLegacy => self.forward_impl(frame, record),
+            MuxServed::Frame(FrameType::JsonResponse, body, _, _) => String::from_utf8(body)
+                .map_err(|e| {
+                    self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    ServeError::Transport(format!("{}: response is not UTF-8: {e}", self.addr))
+                }),
+            MuxServed::Frame(other, _, _, _) => {
+                self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Transport(format!(
+                    "{}: unexpected {other:?} response to a JSON frame",
+                    self.addr
+                )))
+            }
+        }
+    }
+
+    /// Forward one structured request, binary end to end when the
+    /// peer speaks v2.
+    fn forward_request_impl(
+        &self,
+        req: &Request,
+        record: bool,
+    ) -> Result<ForwardReply, ServeError> {
+        let _guard = enter_in_flight(&self.in_flight, &self.counters);
+        if self.legacy_peer() {
+            return self.forward_request_legacy(req, record);
+        }
+        let payload = encode_request_payload(req);
+        match self.mux_forward(FrameType::BinRequest, &payload, record)? {
+            MuxServed::PeerIsLegacy => self.forward_request_legacy(req, record),
+            MuxServed::Frame(frame_type, body, bytes_sent, bytes_received) => {
+                let decoded = match frame_type {
+                    FrameType::BinResponse => decode_response_payload(&body),
+                    FrameType::JsonResponse => std::str::from_utf8(&body)
+                        .map_err(|e| ServeError::Codec(format!("response is not UTF-8: {e}")))
+                        .and_then(decode_response),
+                    other => Err(ServeError::Codec(format!(
+                        "unexpected {other:?} response to a binary request"
+                    ))),
+                };
+                match decoded {
+                    Ok(response) => Ok(ForwardReply {
+                        response,
+                        bytes_sent,
+                        bytes_received,
+                    }),
+                    Err(e) => {
+                        self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        Err(self.fail_keep(
+                            ServeError::Transport(format!("{}: {e}", self.addr)),
+                            record,
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The structured forward over the legacy pooled JSON path.
+    fn forward_request_legacy(
+        &self,
+        req: &Request,
+        record: bool,
+    ) -> Result<ForwardReply, ServeError> {
+        let frame = encode_request(req)?;
+        let wire = self.forward_impl(&frame, record)?;
+        let response = decode_response(&wire)?;
+        Ok(ForwardReply {
+            response,
+            bytes_sent: frame.len() as u64 + 1,
+            bytes_received: wire.len() as u64 + 1,
+        })
+    }
+}
+
+impl Drop for RemoteWorker {
+    fn drop(&mut self) {
+        // Wake the demux reader (it blocks without a read timeout) so
+        // its thread exits instead of outliving this worker.
+        if let Some(conn) = self.mux.lock().take() {
+            conn.kill();
+        }
+    }
 }
 
 impl WorkerTransport for RemoteWorker {
     fn forward(&self, frame: &str) -> Result<String, ServeError> {
-        self.forward_impl(frame, true)
+        self.forward_raw(frame, true)
+    }
+
+    fn forward_request(&self, req: &Request) -> Result<ForwardReply, ServeError> {
+        self.forward_request_impl(req, true)
     }
 
     fn describe(&self) -> String {
@@ -611,213 +1268,739 @@ impl WorkerTransport for RemoteWorker {
         self.counters.snapshot()
     }
 
-    /// Probes ride the same pool/retry path but are *not* counted as
+    /// Probes ride the same mux/retry path but are *not* counted as
     /// forwards, so periodic [`ServingRuntime::refresh_remote_counters`]
     /// polling cannot dilute the mean forward latency or desync
     /// `TransportStats::forwards` from the runtime's own
     /// `remote_forwards`.
     fn forward_probe(&self, frame: &str) -> Result<String, ServeError> {
-        self.forward_impl(frame, false)
+        self.forward_raw(frame, false)
     }
 }
 
 // ---- the host side -------------------------------------------------
 
-/// How often a node connection handler wakes from a blocked read to
-/// check the shutdown flag.
-const NODE_POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Upper bound on the first line read while sniffing a connection's
+/// protocol: a client that sends this much without a newline speaks
+/// neither wire2 nor newline-JSON and is dropped.
+const NODE_PROBE_LIMIT: usize = 64 * 1024;
 
-/// The host side of cross-process sharding: a TCP listener exposing a
-/// whole [`ServingRuntime`] — every endpoint it serves — to parent
-/// routers.
+/// How long after the last observed activity the event loop keeps
+/// spin-yielding (cheap, low-latency) before falling back to a
+/// blocking completion wait.
+const NODE_SPIN_WINDOW: Duration = Duration::from_micros(500);
+
+/// Blocking completion-wait slice once the loop is idle; also bounds
+/// how stale the shutdown-flag check can get.
+const NODE_IDLE_WAIT: Duration = Duration::from_millis(2);
+
+/// Per-call chunk size of the event loop's nonblocking reads.
+const NODE_READ_CHUNK: usize = 16 * 1024;
+
+/// Which protocol a node-side connection speaks.
+enum ConnMode {
+    /// First line not seen yet.
+    Probing,
+    /// Legacy newline-delimited JSON.
+    Json,
+    /// Multiplexed wire2 frames.
+    Wire2,
+}
+
+/// Per-connection state owned by the node's event loop.
+struct NodeConn {
+    stream: TcpStream,
+    /// Generation stamp carried by dispatched jobs, so a slot reused
+    /// by a later connection never receives a stale completion.
+    gen: u64,
+    mode: ConnMode,
+    /// Unparsed inbound bytes.
+    rbuf: Vec<u8>,
+    /// Outbound bytes not yet written.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has been written so far.
+    wpos: usize,
+    /// Requests dispatched to workers and not yet completed.
+    in_flight: usize,
+    /// Legacy lines waiting their turn: a pipelined legacy client
+    /// expects responses in request order (there are no mux ids on
+    /// that path), so Json-mode dispatch is serialized per
+    /// connection. Wire2 frames dispatch with unlimited parallelism.
+    json_queue: VecDeque<String>,
+    /// A Json-mode line is currently with a worker.
+    json_busy: bool,
+    /// Stop reading; close once in-flight work and writes drain.
+    draining: bool,
+    /// Drop the connection now (protocol violation or I/O error).
+    fatal: bool,
+}
+
+impl NodeConn {
+    fn new(stream: TcpStream, gen: u64) -> NodeConn {
+        NodeConn {
+            stream,
+            gen,
+            mode: ConnMode::Probing,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            in_flight: 0,
+            json_queue: VecDeque::new(),
+            json_busy: false,
+            draining: false,
+            fatal: false,
+        }
+    }
+}
+
+/// One unit of work dispatched from the event loop to the worker
+/// pool.
+enum NodeJob {
+    /// A legacy newline-JSON line.
+    Json { slot: usize, gen: u64, line: String },
+    /// A binary wire2 request payload.
+    Bin {
+        slot: usize,
+        gen: u64,
+        mux_id: u32,
+        payload: Vec<u8>,
+    },
+    /// A legacy JSON frame carried opaquely over the mux (a v2
+    /// client's raw-frame forward).
+    JsonFramed {
+        slot: usize,
+        gen: u64,
+        mux_id: u32,
+        payload: Vec<u8>,
+    },
+}
+
+/// A worker's completion, routed back to the owning connection.
+struct NodeDone {
+    slot: usize,
+    gen: u64,
+    /// Wire bytes to append to the connection's write buffer.
+    bytes: Vec<u8>,
+    /// Drain the connection after flushing (unservable request).
+    close: bool,
+    /// Finishes a serialized Json-mode line (unblocks the
+    /// connection's next queued line).
+    json_line: bool,
+}
+
+/// Encode a response into a `BinResponse` frame; a response so large
+/// it exceeds the frame bound degrades to an in-band error frame.
+fn response_frame(mux_id: u32, resp: &Response) -> Vec<u8> {
+    let payload = encode_response_payload(resp);
+    match encode_frame(FrameType::BinResponse, mux_id, &payload) {
+        Ok(bytes) => bytes,
+        Err(_) => {
+            let fallback = Response::failure(
+                resp.id,
+                format!(
+                    "response of {} bytes exceeds the frame bound",
+                    payload.len()
+                ),
+            );
+            encode_frame(
+                FrameType::BinResponse,
+                mux_id,
+                &encode_response_payload(&fallback),
+            )
+            .unwrap_or_default()
+        }
+    }
+}
+
+/// A node worker: executes decoded requests against the hosted
+/// runtime and sends completions back to the event loop. Exits when
+/// the job channel disconnects (the event loop owns the sender).
+fn node_worker(
+    jobs: &Receiver<NodeJob>,
+    done: &Sender<NodeDone>,
+    client: &RuntimeClient,
+    counters: &TransportCounters,
+) {
+    while let Ok(job) = jobs.recv() {
+        let start = Instant::now();
+        let completion = match job {
+            NodeJob::Json { slot, gen, line } => match client.call_raw(line) {
+                Ok(wire) => {
+                    counters.record_success(start.elapsed());
+                    let mut bytes = wire.into_bytes();
+                    bytes.push(b'\n');
+                    NodeDone {
+                        slot,
+                        gen,
+                        bytes,
+                        close: false,
+                        json_line: true,
+                    }
+                }
+                Err(_) => NodeDone {
+                    slot,
+                    gen,
+                    bytes: Vec::new(),
+                    close: true,
+                    json_line: true,
+                },
+            },
+            NodeJob::Bin {
+                slot,
+                gen,
+                mux_id,
+                payload,
+            } => match decode_request_payload(&payload) {
+                Ok(req) => match client.call_request(req) {
+                    Ok(resp) => {
+                        counters.record_success(start.elapsed());
+                        NodeDone {
+                            slot,
+                            gen,
+                            bytes: response_frame(mux_id, &resp),
+                            close: false,
+                            json_line: false,
+                        }
+                    }
+                    Err(_) => NodeDone {
+                        slot,
+                        gen,
+                        bytes: Vec::new(),
+                        close: true,
+                        json_line: false,
+                    },
+                },
+                Err(e) => {
+                    // The framing was intact — only this payload is
+                    // bad — so answer in band and keep the
+                    // connection in service.
+                    counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::failure(
+                        ERROR_RESPONSE_ID,
+                        format!("binary request decode failed: {e}"),
+                    );
+                    NodeDone {
+                        slot,
+                        gen,
+                        bytes: response_frame(mux_id, &resp),
+                        close: false,
+                        json_line: false,
+                    }
+                }
+            },
+            NodeJob::JsonFramed {
+                slot,
+                gen,
+                mux_id,
+                payload,
+            } => {
+                let line = String::from_utf8_lossy(&payload).into_owned();
+                match client.call_raw(line) {
+                    Ok(wire) => {
+                        match encode_frame(FrameType::JsonResponse, mux_id, wire.as_bytes()) {
+                            Ok(bytes) => {
+                                counters.record_success(start.elapsed());
+                                NodeDone {
+                                    slot,
+                                    gen,
+                                    bytes,
+                                    close: false,
+                                    json_line: false,
+                                }
+                            }
+                            Err(_) => NodeDone {
+                                slot,
+                                gen,
+                                bytes: Vec::new(),
+                                close: true,
+                                json_line: false,
+                            },
+                        }
+                    }
+                    Err(_) => NodeDone {
+                        slot,
+                        gen,
+                        bytes: Vec::new(),
+                        close: true,
+                        json_line: false,
+                    },
+                }
+            }
+        };
+        if done.send(completion).is_err() {
+            return;
+        }
+    }
+}
+
+/// Read whatever is ready on a nonblocking connection. Returns true
+/// when any bytes arrived.
+fn node_read(conn: &mut NodeConn, counters: &TransportCounters) -> bool {
+    let mut any = false;
+    let mut chunk = [0u8; NODE_READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.draining = true;
+                break;
+            }
+            Ok(n) => {
+                counters
+                    .bytes_received
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                any = true;
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.fatal = true;
+                break;
+            }
+        }
+    }
+    any
+}
+
+/// Dispatch one legacy JSON line, serialized per connection so a
+/// pipelined legacy client gets its responses in request order.
+fn node_dispatch_json(
+    conn: &mut NodeConn,
+    slot: usize,
+    line: String,
+    jobs: &Sender<NodeJob>,
+    in_flight_total: &mut usize,
+) {
+    if conn.json_busy {
+        conn.json_queue.push_back(line);
+        return;
+    }
+    conn.json_busy = true;
+    conn.in_flight += 1;
+    *in_flight_total += 1;
+    let _ = jobs.send(NodeJob::Json {
+        slot,
+        gen: conn.gen,
+        line,
+    });
+}
+
+/// Parse buffered bytes into jobs according to the connection's mode.
+fn node_parse(
+    conn: &mut NodeConn,
+    slot: usize,
+    jobs: &Sender<NodeJob>,
+    in_flight_total: &mut usize,
+    counters: &TransportCounters,
+) {
+    loop {
+        if conn.fatal || conn.draining && conn.rbuf.is_empty() {
+            return;
+        }
+        match conn.mode {
+            ConnMode::Probing | ConnMode::Json => {
+                let Some(nl) = conn.rbuf.iter().position(|&b| b == b'\n') else {
+                    if conn.rbuf.len() > NODE_PROBE_LIMIT {
+                        // Neither protocol produces a line this
+                        // long: wire2 opens with a 14-byte preamble,
+                        // and legacy frames are newline-delimited.
+                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.fatal = true;
+                    }
+                    return;
+                };
+                let mut line: Vec<u8> = conn.rbuf.drain(..=nl).collect();
+                line.pop();
+                while line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if matches!(conn.mode, ConnMode::Probing) {
+                    if line == WIRE2_PREAMBLE_LINE.as_bytes() {
+                        conn.mode = ConnMode::Wire2;
+                        if let Ok(ack) = encode_frame(FrameType::HelloAck, 0, &[]) {
+                            conn.wbuf.extend_from_slice(&ack);
+                        }
+                        continue;
+                    }
+                    conn.mode = ConnMode::Json;
+                }
+                let text = String::from_utf8_lossy(&line).into_owned();
+                node_dispatch_json(conn, slot, text, jobs, in_flight_total);
+            }
+            ConnMode::Wire2 => {
+                if conn.rbuf.len() < WIRE2_HEADER_LEN {
+                    return;
+                }
+                let mut header = [0u8; WIRE2_HEADER_LEN];
+                header.copy_from_slice(&conn.rbuf[..WIRE2_HEADER_LEN]);
+                let hdr = match decode_header(&header) {
+                    Ok(hdr) => hdr,
+                    Err(_) => {
+                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        // When the magic/version/type bytes are
+                        // intact only the length prefix is hostile
+                        // and the mux id is still trustworthy: the
+                        // client gets an in-band error before the
+                        // connection drains. Anything else means the
+                        // stream is desynchronized — drop it.
+                        if header[0] == WIRE2_MAGIC
+                            && header[1] == WIRE2_VERSION
+                            && FrameType::from_byte(header[2]).is_some()
+                        {
+                            let mux_id =
+                                u32::from_le_bytes([header[3], header[4], header[5], header[6]]);
+                            let resp = Response::failure(
+                                ERROR_RESPONSE_ID,
+                                "frame rejected: payload length exceeds the frame bound",
+                            );
+                            conn.wbuf.extend_from_slice(&response_frame(mux_id, &resp));
+                            conn.draining = true;
+                        } else {
+                            conn.fatal = true;
+                        }
+                        return;
+                    }
+                };
+                let total = WIRE2_HEADER_LEN + hdr.payload_len as usize;
+                if conn.rbuf.len() < total {
+                    return;
+                }
+                let payload: Vec<u8> = conn.rbuf[WIRE2_HEADER_LEN..total].to_vec();
+                conn.rbuf.drain(..total);
+                match hdr.frame_type {
+                    FrameType::BinRequest => {
+                        conn.in_flight += 1;
+                        *in_flight_total += 1;
+                        let _ = jobs.send(NodeJob::Bin {
+                            slot,
+                            gen: conn.gen,
+                            mux_id: hdr.request_id,
+                            payload,
+                        });
+                    }
+                    FrameType::JsonRequest => {
+                        conn.in_flight += 1;
+                        *in_flight_total += 1;
+                        let _ = jobs.send(NodeJob::JsonFramed {
+                            slot,
+                            gen: conn.gen,
+                            mux_id: hdr.request_id,
+                            payload,
+                        });
+                    }
+                    FrameType::BinResponse | FrameType::JsonResponse | FrameType::HelloAck => {
+                        // Clients send request frames; anything else
+                        // means the stream is desynchronized.
+                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.fatal = true;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flush as much buffered output as the socket accepts right now.
+fn node_flush(conn: &mut NodeConn, counters: &TransportCounters) {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.fatal = true;
+                return;
+            }
+            Ok(n) => {
+                counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                conn.wpos += n;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.fatal = true;
+                return;
+            }
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+}
+
+/// Route a worker completion back onto its connection. A completion
+/// whose generation does not match the slot's current occupant
+/// belongs to a connection that already closed and is dropped.
+fn node_complete(
+    conns: &mut [Option<NodeConn>],
+    done: NodeDone,
+    jobs: &Sender<NodeJob>,
+    in_flight_total: &mut usize,
+) {
+    *in_flight_total = in_flight_total.saturating_sub(1);
+    let slot = done.slot;
+    let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+        return;
+    };
+    if conn.gen != done.gen {
+        return;
+    }
+    conn.in_flight = conn.in_flight.saturating_sub(1);
+    conn.wbuf.extend_from_slice(&done.bytes);
+    if done.close {
+        conn.draining = true;
+        conn.json_queue.clear();
+    }
+    if done.json_line {
+        conn.json_busy = false;
+        if !conn.draining {
+            if let Some(line) = conn.json_queue.pop_front() {
+                conn.json_busy = true;
+                conn.in_flight += 1;
+                *in_flight_total += 1;
+                let _ = jobs.send(NodeJob::Json {
+                    slot,
+                    gen: conn.gen,
+                    line,
+                });
+            }
+        }
+    }
+}
+
+/// The node's single event loop: accepts connections, reads and
+/// parses ready sockets, dispatches decoded requests to the worker
+/// pool, and routes completions back onto the right connection.
+/// Adaptive idling: spin-yield briefly after activity (latency), then
+/// block on the completion channel in short slices (CPU).
+fn node_event_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    jobs: &Sender<NodeJob>,
+    done: &Receiver<NodeDone>,
+    counters: &TransportCounters,
+) {
+    let mut conns: Vec<Option<NodeConn>> = Vec::new();
+    let mut next_gen: u64 = 0;
+    let mut in_flight_total: usize = 0;
+    let mut last_activity = Instant::now();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut activity = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    next_gen += 1;
+                    let conn = NodeConn::new(stream, next_gen);
+                    match conns.iter_mut().position(|slot| slot.is_none()) {
+                        Some(slot) => conns[slot] = Some(conn),
+                        None => conns.push(Some(conn)),
+                    }
+                    activity = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        while let Ok(completion) = done.try_recv() {
+            node_complete(&mut conns, completion, jobs, &mut in_flight_total);
+            activity = true;
+        }
+        for (slot, entry) in conns.iter_mut().enumerate() {
+            let Some(conn) = entry.as_mut() else {
+                continue;
+            };
+            if !conn.fatal && !conn.draining && node_read(conn, counters) {
+                activity = true;
+            }
+            if !conn.fatal {
+                node_parse(conn, slot, jobs, &mut in_flight_total, counters);
+            }
+            if !conn.fatal {
+                node_flush(conn, counters);
+            }
+            let drop_now = conn.fatal
+                || (conn.draining
+                    && conn.in_flight == 0
+                    && conn.json_queue.is_empty()
+                    && conn.wpos >= conn.wbuf.len());
+            if drop_now {
+                *entry = None;
+                activity = true;
+            }
+        }
+        counters
+            .max_in_flight
+            .fetch_max(in_flight_total as u64, Ordering::Relaxed);
+        if activity {
+            last_activity = Instant::now();
+            continue;
+        }
+        if last_activity.elapsed() < NODE_SPIN_WINDOW {
+            std::thread::yield_now();
+        } else if let Ok(completion) = done.recv_timeout(NODE_IDLE_WAIT) {
+            node_complete(&mut conns, completion, jobs, &mut in_flight_total);
+            last_activity = Instant::now();
+        }
+    }
+}
+
+/// Hosts a whole [`ServingRuntime`] behind a TCP listener for
+/// [`RemoteWorker`] peers — the other process in the cross-process
+/// sharding story.
 ///
-/// Each accepted connection is handled by a dedicated thread reading
-/// newline-delimited wire frames, answering each through a regular
-/// runtime client (so forwarded frames get the exact admission,
-/// routing, batching, and stats treatment local requests do).
+/// A single poll-based event loop over nonblocking sockets owns every
+/// accepted connection: it sniffs each connection's first line to
+/// pick wire2 or legacy-JSON mode, reassembles frames with a bounded
+/// read, and dispatches decoded requests to a small fixed pool of
+/// dispatch workers (whose completions the loop demultiplexes back
+/// onto the right connection by mux id). There is no
+/// thread-per-connection: hundreds of idle multiplexed clients cost
+/// one thread total.
 ///
-/// Shutdown is explicit and idempotent ([`shutdown`](Self::shutdown),
-/// also run on drop): the runtime's admission gate closes first, then
-/// the accept loop and every connection handler are joined. Handlers
-/// poll a shutdown flag between reads, so a parent that keeps its
-/// connection open cannot pin the node alive.
+/// Frames the node serves run through the runtime's **full admission
+/// path** — shedding, canary split, key routing — exactly like local
+/// frames; the `forwarded` marker pins them to local shards so a node
+/// that itself has remote shards never creates a forwarding loop.
 pub struct RemoteRuntimeNode {
     runtime: ServingRuntime,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    event: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<TransportCounters>,
 }
 
 impl std::fmt::Debug for RemoteRuntimeNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteRuntimeNode")
             .field("addr", &self.addr)
-            .field("runtime", &self.runtime)
             .finish_non_exhaustive()
     }
 }
 
 impl RemoteRuntimeNode {
-    /// Bind `addr` (`"host:port"`; port 0 picks a free one — read it
-    /// back with [`local_addr`](Self::local_addr)) and start serving
-    /// `runtime` to connecting routers.
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// serving `runtime` with the default dispatch pool: twice the
+    /// runtime's worker count, at least 4 — enough that the node's
+    /// own workers stay fed even when some dispatchers sit in the
+    /// admission queue.
     ///
     /// # Errors
     /// Returns [`ServeError::Transport`] when the listener cannot be
-    /// bound.
+    /// bound or threads cannot be spawned.
     pub fn bind(addr: &str, runtime: ServingRuntime) -> Result<RemoteRuntimeNode, ServeError> {
-        let listener = TcpListener::bind(addr)
-            .map_err(|e| ServeError::Transport(format!("bind {addr}: {e}")))?;
-        let local = listener
-            .local_addr()
-            .map_err(|e| ServeError::Transport(format!("bind {addr}: {e}")))?;
+        let dispatchers = (runtime.n_workers() * 2).max(4);
+        RemoteRuntimeNode::bind_with_workers(addr, runtime, dispatchers)
+    }
+
+    /// [`bind`](Self::bind) with an explicit dispatch worker count
+    /// (minimum 1).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Transport`] when the listener cannot be
+    /// bound or threads cannot be spawned.
+    pub fn bind_with_workers(
+        addr: &str,
+        runtime: ServingRuntime,
+        workers: usize,
+    ) -> Result<RemoteRuntimeNode, ServeError> {
+        let io = |e: std::io::Error| ServeError::Transport(format!("bind {addr}: {e}"));
+        let listener = TcpListener::bind(addr).map_err(io)?;
+        let local = listener.local_addr().map_err(io)?;
+        listener.set_nonblocking(true).map_err(io)?;
+        let counters = Arc::new(TransportCounters::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        // A non-blocking accept loop: the thread polls the shutdown
-        // flag between accepts, so shutdown/Drop can always join it —
-        // even when the bound address (wildcard, downed interface)
-        // cannot be self-connected to wake a blocking accept.
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| ServeError::Transport(format!("bind {addr}: {e}")))?;
-        let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let handlers = Arc::clone(&handlers);
-            let client_source = runtime.client();
-            std::thread::spawn(move || loop {
-                if shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
-                let stream = match listener.accept() {
-                    Ok((stream, _)) => stream,
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(NODE_POLL_INTERVAL);
-                        continue;
-                    }
-                    Err(_) => continue,
-                };
-                // Accepted sockets may inherit non-blocking mode on
-                // some platforms; handlers expect blocking reads
-                // bounded by their own read timeout.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                let client = client_source.fork();
-                let shutdown = Arc::clone(&shutdown);
-                let handle =
-                    std::thread::spawn(move || serve_connection(stream, &client, &shutdown));
-                // Reap finished handlers as connections churn, so
-                // a long-lived node's handle list stays bounded.
-                let mut guard = handlers.lock();
-                guard.retain(|h: &JoinHandle<()>| !h.is_finished());
-                guard.push(handle);
+        let (jobs_tx, jobs_rx) = unbounded::<NodeJob>();
+        let (done_tx, done_rx) = unbounded::<NodeDone>();
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let jobs = jobs_rx.clone();
+            let done = done_tx.clone();
+            let client = runtime.client();
+            let worker_counters = Arc::clone(&counters);
+            let handle = std::thread::Builder::new()
+                .name(format!("willump-node-{i}"))
+                .spawn(move || node_worker(&jobs, &done, &client, &worker_counters))
+                .map_err(|e| ServeError::Transport(format!("spawn node worker: {e}")))?;
+            handles.push(handle);
+        }
+        // The event loop owns the only jobs sender and done receiver:
+        // its exit disconnects the channel and the workers drain out.
+        drop(done_tx);
+        drop(jobs_rx);
+        let loop_shutdown = Arc::clone(&shutdown);
+        let loop_counters = Arc::clone(&counters);
+        let event = std::thread::Builder::new()
+            .name("willump-node-events".to_string())
+            .spawn(move || {
+                node_event_loop(
+                    &listener,
+                    &loop_shutdown,
+                    &jobs_tx,
+                    &done_rx,
+                    &loop_counters,
+                );
             })
-        };
+            .map_err(|e| ServeError::Transport(format!("spawn node event loop: {e}")))?;
         Ok(RemoteRuntimeNode {
             runtime,
             addr: local,
             shutdown,
-            accept: Some(accept),
-            handlers,
+            event: Some(event),
+            workers: handles,
+            counters,
         })
     }
 
-    /// The bound listen address (resolves port 0 to the real port).
+    /// The bound address (with the real port when bound to port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// The hosted runtime (for stats and endpoint inspection).
+    /// The hosted runtime (for stats inspection).
     pub fn runtime(&self) -> &ServingRuntime {
         &self.runtime
     }
 
-    /// Stop accepting, shut the hosted runtime down, and join every
-    /// connection handler. Idempotent; also run on drop.
+    /// Node-side transport counters: frames served (`forwards`),
+    /// cumulative service nanoseconds, bytes in both directions,
+    /// frames rejected as oversized/corrupt (`decode_errors`), and
+    /// the peak number of requests simultaneously in flight across
+    /// all connections. `failures` and `reconnects` are client-side
+    /// concepts and stay 0 here.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+
+    /// Stop accepting, drain the dispatch workers, and shut the
+    /// hosted runtime down. Idempotent; also runs on drop. Parked
+    /// client connections are dropped, not waited for.
     pub fn shutdown(&mut self) {
-        if !self.shutdown.swap(true, Ordering::Relaxed) {
-            self.runtime.shutdown();
-            // Best-effort wake: the accept loop also polls the flag,
-            // so shutdown completes within one poll interval even if
-            // this self-connect cannot reach the bound address.
-            let _ = TcpStream::connect(self.addr);
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
         }
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // The event loop re-checks the flag at least every
+        // NODE_IDLE_WAIT, so no wake-up connection is needed.
+        if let Some(handle) = self.event.take() {
+            let _ = handle.join();
         }
-        let handlers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock());
-        for h in handlers {
-            let _ = h.join();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
         }
+        self.runtime.shutdown();
     }
 }
 
 impl Drop for RemoteRuntimeNode {
     fn drop(&mut self) {
         self.shutdown();
-    }
-}
-
-/// One node connection: read newline-delimited frames, answer each
-/// through the runtime client, until the peer hangs up, the runtime
-/// shuts down, or the node's shutdown flag flips.
-fn serve_connection(stream: TcpStream, client: &RuntimeClient, shutdown: &AtomicBool) {
-    // A finite read timeout turns a quiet connection into a periodic
-    // shutdown-flag poll instead of an indefinite block; NODELAY
-    // matters because every response is one small write that must
-    // not sit in Nagle's buffer while the router blocks on it.
-    if stream.set_read_timeout(Some(NODE_POLL_INTERVAL)).is_err()
-        || stream.set_nodelay(true).is_err()
-    {
-        return;
-    }
-    let Ok(read_side) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_side);
-    let mut writer = stream;
-    // Frames accumulate as raw bytes: read_until appends whatever
-    // arrived before a poll timeout, so a frame split across reads —
-    // even mid-UTF-8-character — reassembles losslessly (a String
-    // buffer could not hold the partial character).
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => return, // peer closed
-            Ok(_) => {
-                while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
-                    buf.pop();
-                }
-                // Invalid UTF-8 cannot be a valid frame; decode lossily
-                // and let the runtime answer with its codec error.
-                let payload = String::from_utf8_lossy(&buf).into_owned();
-                buf.clear();
-                let Ok(wire) = client.call_raw(payload) else {
-                    return; // runtime shut down
-                };
-                if writer
-                    .write_all(wire.as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"))
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    return;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Partial bytes stay in `buf`; the next pass
-                // completes the frame.
-                continue;
-            }
-            Err(_) => return,
-        }
     }
 }
 
@@ -832,7 +2015,9 @@ fn drain<R: std::io::Read>(mut r: R) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::decode_request;
     use crate::server::{Servable, ServerConfig};
+    use crate::wire2::{encode_header, MAX_FRAME_PAYLOAD};
     use willump_data::{Table, Value};
 
     struct Scaler(f64);
@@ -855,11 +2040,14 @@ mod tests {
     }
 
     fn frame(id: u64, x: f64) -> String {
-        encode_request(&Request {
+        encode_request(&request(id, x)).expect("encodable")
+    }
+
+    fn request(id: u64, x: f64) -> Request {
+        Request {
             endpoint: Some("scale".to_string()),
             ..Request::new(id, vec![vec![("x".to_string(), Value::Float(x))]])
-        })
-        .expect("encodable")
+        }
     }
 
     #[test]
@@ -874,6 +2062,28 @@ mod tests {
         assert_eq!(stats.failures, 0);
         assert_eq!(stats.reconnects, 0);
         assert!(stats.mean_latency() > 0.0);
+        assert!(stats.bytes_sent > 0);
+        assert!(stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn binary_forward_request_round_trips() {
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(2.0)).expect("binds");
+        let worker = RemoteWorker::new(&node.local_addr().to_string());
+        let reply = worker.forward_request(&request(7, 3.0)).unwrap();
+        assert_eq!(reply.response.id, 7);
+        assert_eq!(reply.response.scores, vec![6.0]);
+        assert!(reply.bytes_sent > 0);
+        assert!(reply.bytes_received > 0);
+        let stats = worker.stats();
+        assert_eq!(stats.forwards, 1);
+        assert_eq!(stats.max_in_flight, 1);
+        assert_eq!(stats.decode_errors, 0);
+        // The node's own counters see the same single frame.
+        let node_stats = node.transport_stats();
+        assert_eq!(node_stats.forwards, 1);
+        assert_eq!(node_stats.decode_errors, 0);
+        assert!(node_stats.bytes_sent > 0 && node_stats.bytes_received > 0);
     }
 
     #[test]
@@ -897,10 +2107,10 @@ mod tests {
         assert_eq!(resp.scores, vec![10.0]);
         assert_eq!(worker.stats().reconnects, 1);
 
-        // Restart again while the pool holds an idle connection: the
-        // stale pooled socket falls through to a fresh dial, which
-        // must ALSO count as a reconnect — and not as a failure,
-        // since the forward succeeds.
+        // Restart again while the worker holds a live-looking mux
+        // connection: the dead connection falls through to a fresh
+        // dial, which must ALSO count as a reconnect — and not as a
+        // failure, since the forward succeeds.
         node2.shutdown();
         let _node3 = RemoteRuntimeNode::bind(&addr, runtime(2.0)).expect("rebinds again");
         let resp = decode_response(&worker.forward(&frame(4, 7.0)).unwrap()).unwrap();
@@ -956,7 +2166,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_forwards_overlap_via_the_pool() {
+    fn concurrent_forwards_overlap_via_the_mux() {
         struct SlowScaler(Duration);
         impl Servable for SlowScaler {
             fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
@@ -971,17 +2181,16 @@ mod tests {
         let node = RemoteRuntimeNode::bind("127.0.0.1:0", b.build().unwrap()).expect("binds");
         let worker = Arc::new(RemoteWorker::new(&node.local_addr().to_string()));
 
-        // 4 concurrent forwards through ONE transport: a single
-        // serialized connection would need >= 800ms; the pool dials
-        // parallel connections and overlaps the round trips.
+        // 4 concurrent forwards through ONE transport: a serialized
+        // connection would need >= 800ms; the mux tags each forward
+        // and overlaps the round trips on a single socket.
         let start = Instant::now();
         std::thread::scope(|s| {
             for i in 0..4u64 {
                 let worker = Arc::clone(&worker);
                 s.spawn(move || {
-                    let resp =
-                        decode_response(&worker.forward(&frame(i + 1, i as f64)).unwrap()).unwrap();
-                    assert_eq!(resp.scores, vec![2.0 * i as f64]);
+                    let reply = worker.forward_request(&request(i + 1, i as f64)).unwrap();
+                    assert_eq!(reply.response.scores, vec![2.0 * i as f64]);
                 });
             }
         });
@@ -992,6 +2201,7 @@ mod tests {
         );
         assert_eq!(worker.stats().forwards, 4);
         assert_eq!(worker.stats().failures, 0);
+        assert!(worker.stats().max_in_flight >= 2, "forwards overlapped");
     }
 
     #[test]
@@ -1005,6 +2215,11 @@ mod tests {
         let resp = decode_response(&worker.forward(&frame(4, 2.0)).unwrap()).unwrap();
         assert_eq!(resp.scores, vec![6.0]);
         assert_eq!(worker.stats().forwards, 1);
+        // The struct-native path skips the JSON boundary entirely.
+        let reply = worker.forward_request(&request(6, 2.0)).unwrap();
+        assert_eq!(reply.response.scores, vec![6.0]);
+        assert_eq!((reply.bytes_sent, reply.bytes_received), (0, 0));
+        assert_eq!(worker.stats().forwards, 2);
         drop(target);
         assert!(worker.forward(&frame(5, 1.0)).is_err());
         assert_eq!(worker.stats().failures, 1);
@@ -1022,8 +2237,8 @@ mod tests {
     #[test]
     fn node_shutdown_survives_parked_connections() {
         let mut node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(1.0)).expect("binds");
-        // Open a connection and never send anything: the handler must
-        // not pin shutdown.
+        // Open a connection and never send anything: the event loop
+        // must not pin shutdown on it.
         let parked = TcpStream::connect(node.local_addr()).expect("connects");
         let (tx, rx) = std::sync::mpsc::channel();
         std::thread::spawn(move || {
@@ -1032,9 +2247,193 @@ mod tests {
         });
         node.shutdown();
         node.shutdown(); // idempotent
-                         // The handler dropped our connection (read side saw EOF)
-                         // within the poll interval, despite us never sending a frame.
+                         // The event loop dropped our connection (read side saw EOF)
+                         // despite us never sending a frame.
         rx.recv_timeout(Duration::from_secs(5))
             .expect("node shutdown must close parked connections");
+    }
+
+    /// A hand-rolled legacy node: speaks only newline-JSON and — like
+    /// a pre-wire2 node — answers the v2 preamble with a JSON error
+    /// line (its runtime would reject the preamble as unparseable).
+    fn spawn_legacy_node() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                std::thread::spawn(move || {
+                    let Ok(read_side) = stream.try_clone() else {
+                        return;
+                    };
+                    let mut reader = BufReader::new(read_side);
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                            return;
+                        }
+                        let resp = match decode_request(line.trim_end()) {
+                            Ok(req) => {
+                                let scores: Vec<f64> = req
+                                    .rows
+                                    .iter()
+                                    .filter_map(|row| {
+                                        row.iter().find_map(|(k, v)| match v {
+                                            Value::Float(x) if k == "x" => Some(2.0 * x),
+                                            _ => None,
+                                        })
+                                    })
+                                    .collect();
+                                Response {
+                                    scores,
+                                    error: None,
+                                    ..Response::failure(req.id, "")
+                                }
+                            }
+                            Err(e) => Response::failure(0, format!("bad frame: {e}")),
+                        };
+                        let wire = crate::protocol::encode_response(&resp).expect("encodable");
+                        if writer
+                            .write_all(wire.as_bytes())
+                            .and_then(|()| writer.write_all(b"\n"))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn v2_client_falls_back_to_a_legacy_node() {
+        let addr = spawn_legacy_node();
+        let worker = RemoteWorker::new(&addr.to_string());
+        // The structured path negotiates, discovers a legacy peer,
+        // and transparently rides the pooled JSON protocol.
+        let reply = worker.forward_request(&request(3, 4.0)).unwrap();
+        assert_eq!(reply.response.id, 3);
+        assert_eq!(reply.response.scores, vec![8.0]);
+        assert!(reply.bytes_sent > 0 && reply.bytes_received > 0);
+        // The raw path works too, and negotiation is remembered: no
+        // preamble is sent again (a second dial would otherwise eat
+        // the first real frame).
+        let resp = decode_response(&worker.forward(&frame(4, 1.5)).unwrap()).unwrap();
+        assert_eq!(resp.scores, vec![3.0]);
+        assert_eq!(worker.stats().forwards, 2);
+        assert_eq!(worker.stats().failures, 0);
+    }
+
+    #[test]
+    fn pinned_legacy_client_talks_to_a_v2_node() {
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(2.0)).expect("binds");
+        let worker = RemoteWorker::new(&node.local_addr().to_string()).with_legacy_json();
+        let reply = worker.forward_request(&request(9, 2.5)).unwrap();
+        assert_eq!(reply.response.scores, vec![5.0]);
+        let resp = decode_response(&worker.forward(&frame(10, 1.0)).unwrap()).unwrap();
+        assert_eq!(resp.scores, vec![2.0]);
+        assert_eq!(worker.stats().forwards, 2);
+    }
+
+    #[test]
+    fn v2_node_serves_pipelined_legacy_json_clients_in_order() {
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(2.0)).expect("binds");
+        let stream = TcpStream::connect(node.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        // Two pipelined frames before reading anything: a legacy
+        // client has no mux ids, so responses must come back in
+        // request order.
+        writer
+            .write_all(format!("{}\n{}\n", frame(1, 1.0), frame(2, 2.0)).as_bytes())
+            .expect("writes");
+        for expect in [(1u64, 2.0f64), (2, 4.0)] {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reads");
+            let resp = decode_response(line.trim_end()).expect("decodes");
+            assert_eq!(resp.id, expect.0);
+            assert_eq!(resp.scores, vec![expect.1]);
+        }
+    }
+
+    /// Connect a raw wire2 client: send the preamble, consume the
+    /// HelloAck, and return the negotiated stream halves.
+    fn raw_wire2_client(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(WIRE2_PREAMBLE).expect("preamble");
+        let (hdr, _) = read_frame(&mut reader).expect("ack").expect("not eof");
+        assert_eq!(hdr.frame_type, FrameType::HelloAck);
+        (writer, reader)
+    }
+
+    #[test]
+    fn oversized_frames_get_an_in_band_error_then_the_connection_drains() {
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(1.0)).expect("binds");
+        let (mut writer, mut reader) = raw_wire2_client(node.local_addr());
+        // A header whose magic/version/type are intact but whose
+        // length prefix exceeds the bound: the node must refuse to
+        // allocate, answer in band on the frame's mux id, and drain.
+        let header = encode_header(FrameType::BinRequest, 9, MAX_FRAME_PAYLOAD + 1);
+        writer.write_all(&header).expect("writes");
+        let (hdr, payload) = read_frame(&mut reader).expect("frame").expect("not eof");
+        assert_eq!(hdr.frame_type, FrameType::BinResponse);
+        assert_eq!(hdr.request_id, 9);
+        let resp = decode_response_payload(&payload).expect("decodes");
+        let err = resp.error.expect("is an error");
+        assert!(err.contains("exceeds"), "got: {err}");
+        // The connection drains after the error.
+        assert!(matches!(read_frame(&mut reader), Ok(None)));
+        assert_eq!(node.transport_stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn corrupt_frames_drop_the_connection() {
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(1.0)).expect("binds");
+        let (mut writer, mut reader) = raw_wire2_client(node.local_addr());
+        // Garbage where a header should be: the stream cannot be
+        // resynchronized, so the node hangs up.
+        writer
+            .write_all(&[0xFFu8; WIRE2_HEADER_LEN])
+            .expect("writes");
+        assert!(matches!(read_frame(&mut reader), Ok(None)));
+        assert_eq!(node.transport_stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn undecodable_binary_payloads_fail_in_band_without_dropping() {
+        let node = RemoteRuntimeNode::bind("127.0.0.1:0", runtime(2.0)).expect("binds");
+        let (mut writer, mut reader) = raw_wire2_client(node.local_addr());
+        // Framing intact, payload garbage: only this request fails.
+        let bad = encode_frame(FrameType::BinRequest, 5, &[0xAB; 16]).expect("encodes");
+        writer.write_all(&bad).expect("writes");
+        let (hdr, payload) = read_frame(&mut reader).expect("frame").expect("not eof");
+        assert_eq!(
+            (hdr.frame_type, hdr.request_id),
+            (FrameType::BinResponse, 5)
+        );
+        let resp = decode_response_payload(&payload).expect("decodes");
+        assert!(resp.error.expect("is an error").contains("decode failed"));
+        // The connection is still in service for well-formed frames.
+        let good = encode_frame(
+            FrameType::BinRequest,
+            6,
+            &encode_request_payload(&request(6, 3.0)),
+        )
+        .expect("encodes");
+        writer.write_all(&good).expect("writes");
+        let (hdr, payload) = read_frame(&mut reader).expect("frame").expect("not eof");
+        assert_eq!(hdr.request_id, 6);
+        let resp = decode_response_payload(&payload).expect("decodes");
+        assert_eq!(resp.scores, vec![6.0]);
+        assert_eq!(node.transport_stats().decode_errors, 1);
     }
 }

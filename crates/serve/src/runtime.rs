@@ -71,9 +71,8 @@ use willump::{
 use willump_data::{Column, DataType, Table};
 
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, error_wire,
-    is_overloaded_wire, ControlRequest, EndpointCounters, Request, Response, WireRow,
-    ERROR_RESPONSE_ID,
+    decode_request, decode_response, encode_request, encode_response, error_wire, ControlRequest,
+    EndpointCounters, Request, Response, WireRow, ERROR_RESPONSE_ID,
 };
 use crate::remote::{RemoteWorker, TransportStats, WorkerTransport};
 use crate::selection::{ModelSelector, SelectionPolicy};
@@ -111,6 +110,9 @@ pub struct ServerStats {
     coalesced_rows: AtomicU64,
     max_batch_rows: AtomicU64,
     remote_forwards: AtomicU64,
+    remote_bytes_sent: AtomicU64,
+    remote_bytes_received: AtomicU64,
+    remote_max_in_flight: AtomicU64,
     transport_errors: AtomicU64,
     failovers: AtomicU64,
     degraded: AtomicU64,
@@ -130,6 +132,9 @@ impl ServerStats {
             coalesced_rows: AtomicU64::new(0),
             max_batch_rows: AtomicU64::new(0),
             remote_forwards: AtomicU64::new(0),
+            remote_bytes_sent: AtomicU64::new(0),
+            remote_bytes_received: AtomicU64::new(0),
+            remote_max_in_flight: AtomicU64::new(0),
             transport_errors: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
@@ -192,6 +197,23 @@ impl ServerStats {
         self.remote_forwards.load(Ordering::Relaxed)
     }
 
+    /// Bytes written to remote-shard transports (0 for in-process
+    /// transports, whose "wire" is a channel send).
+    pub fn remote_bytes_sent(&self) -> u64 {
+        self.remote_bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read back from remote-shard transports.
+    pub fn remote_bytes_received(&self) -> u64 {
+        self.remote_bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Peak number of remote forwards simultaneously in flight across
+    /// all endpoints.
+    pub fn remote_max_in_flight(&self) -> u64 {
+        self.remote_max_in_flight.load(Ordering::Relaxed)
+    }
+
     /// Transport forwards that failed (each triggers fail-over; a
     /// request can count more than once when several shards fail).
     pub fn transport_errors(&self) -> u64 {
@@ -242,6 +264,9 @@ pub struct EndpointStats {
     max_batch_rows: AtomicU64,
     shard_requests: Vec<AtomicU64>,
     shard_transport_nanos: Vec<AtomicU64>,
+    remote_bytes_sent: AtomicU64,
+    remote_bytes_received: AtomicU64,
+    remote_max_in_flight: AtomicU64,
     transport_errors: AtomicU64,
     failovers: AtomicU64,
     degraded: AtomicU64,
@@ -258,6 +283,9 @@ impl EndpointStats {
             max_batch_rows: AtomicU64::new(0),
             shard_requests: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_transport_nanos: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            remote_bytes_sent: AtomicU64::new(0),
+            remote_bytes_received: AtomicU64::new(0),
+            remote_max_in_flight: AtomicU64::new(0),
             transport_errors: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
@@ -307,6 +335,23 @@ impl EndpointStats {
             .collect()
     }
 
+    /// Bytes written to this endpoint's remote-shard transports (0
+    /// for in-process transports, whose "wire" is a channel send).
+    pub fn remote_bytes_sent(&self) -> u64 {
+        self.remote_bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read back from this endpoint's remote-shard transports.
+    pub fn remote_bytes_received(&self) -> u64 {
+        self.remote_bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Peak number of this endpoint's remote forwards simultaneously
+    /// in flight.
+    pub fn remote_max_in_flight(&self) -> u64 {
+        self.remote_max_in_flight.load(Ordering::Relaxed)
+    }
+
     /// Failed transport forwards to this endpoint's remote shards.
     pub fn transport_errors(&self) -> u64 {
         self.transport_errors.load(Ordering::Relaxed)
@@ -347,6 +392,9 @@ impl EndpointStats {
             max_batch_rows: self.max_batch_rows(),
             shard_requests: self.shard_requests().iter().sum(),
             shard_transport_nanos: self.shard_transport_nanos().iter().sum(),
+            remote_bytes_sent: self.remote_bytes_sent(),
+            remote_bytes_received: self.remote_bytes_received(),
+            remote_max_in_flight: self.remote_max_in_flight(),
             transport_errors: self.transport_errors(),
             failovers: self.failovers(),
             degraded: self.degraded(),
@@ -382,6 +430,15 @@ pub struct EndpointStatsSnapshot {
     /// shards.
     #[serde(default)]
     pub shard_transport_nanos: u64,
+    /// Bytes written to remote-shard transports.
+    #[serde(default)]
+    pub remote_bytes_sent: u64,
+    /// Bytes read back from remote-shard transports.
+    #[serde(default)]
+    pub remote_bytes_received: u64,
+    /// Peak number of remote forwards simultaneously in flight.
+    #[serde(default)]
+    pub remote_max_in_flight: u64,
     /// Failed transport forwards to remote shards.
     #[serde(default)]
     pub transport_errors: u64,
@@ -413,6 +470,9 @@ impl EndpointStatsSnapshot {
             max_batch_rows: self.max_batch_rows.max(other.max_batch_rows),
             shard_requests: self.shard_requests + other.shard_requests,
             shard_transport_nanos: self.shard_transport_nanos + other.shard_transport_nanos,
+            remote_bytes_sent: self.remote_bytes_sent + other.remote_bytes_sent,
+            remote_bytes_received: self.remote_bytes_received + other.remote_bytes_received,
+            remote_max_in_flight: self.remote_max_in_flight.max(other.remote_max_in_flight),
             transport_errors: self.transport_errors + other.transport_errors,
             failovers: self.failovers + other.failovers,
             degraded: self.degraded + other.degraded,
@@ -606,6 +666,9 @@ pub struct Endpoint {
     next_forwarded: AtomicUsize,
     /// Round-robin cursor for fail-over re-routes onto local shards.
     next_failover: AtomicUsize,
+    /// Remote forwards currently in flight (feeds the endpoint's
+    /// `remote_max_in_flight` high-water mark).
+    remote_in_flight: AtomicUsize,
     stats: EndpointStats,
 }
 
@@ -825,7 +888,7 @@ struct RoutedJob {
     req: Request,
     entry: Arc<Endpoint>,
     /// `None` for shadow-mirrored copies (response discarded).
-    reply: Option<Sender<String>>,
+    reply: Option<Sender<Response>>,
     /// Admission control put this request in the degrade band: serve
     /// it with the endpoint's degraded lowering. Only ever `true`
     /// when the endpoint has one.
@@ -861,15 +924,19 @@ struct Shared {
     queue_probes: Vec<Sender<Job>>,
     admitted: AtomicU64,
     gate: Mutex<GateState>,
+    /// Remote forwards currently in flight runtime-wide (feeds the
+    /// global `remote_max_in_flight` high-water mark).
+    remote_in_flight: AtomicUsize,
     stats: ServerStats,
     n_workers: usize,
 }
 
 enum Admitted {
-    /// Answered at admission time (decode/route errors).
-    Immediate(String),
+    /// Answered at admission time (control frames, decode/route
+    /// errors, shed markers, remote-served requests).
+    Immediate(Response),
     /// Queued; the response arrives on this channel.
-    Pending(Receiver<String>),
+    Pending(Receiver<Response>),
 }
 
 impl Shared {
@@ -932,7 +999,7 @@ impl Shared {
     /// Answer a [`ControlRequest::Counters`] probe: every endpoint's
     /// merged plan-counter snapshot (zeros for endpoints without
     /// attached counters).
-    fn counters_report(&self, id: u64) -> String {
+    fn counters_report(&self, id: u64) -> Response {
         let report: Vec<EndpointCounters> = self
             .groups
             .iter()
@@ -943,7 +1010,7 @@ impl Shared {
                 counters: e.merged_counters(),
             })
             .collect();
-        let resp = Response {
+        Response {
             id,
             scores: Vec::new(),
             error: None,
@@ -952,12 +1019,11 @@ impl Shared {
             counters: Some(report),
             degraded: false,
             overloaded: false,
-        };
-        encode_response(&resp)
-            .unwrap_or_else(|e| error_wire(id, &format!("counters report encoding failed: {e}")))
+        }
     }
 
-    /// Decode, route, and enqueue one wire payload.
+    /// Decode, route, and enqueue one wire payload (the legacy JSON
+    /// boundary over [`admit_request`](Self::admit_request)).
     fn admit(&self, payload: &str) -> Result<Admitted, ServeError> {
         // Fast-fail before any side effects: a closed runtime admits
         // nothing and records nothing — post-shutdown retries must not
@@ -966,16 +1032,34 @@ impl Shared {
             return Err(ServeError::Disconnected);
         }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let req = match decode_request(payload) {
-            Ok(req) => req,
+        match decode_request(payload) {
+            Ok(req) => self.route_request(req),
             Err(e) => {
                 self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return Ok(Admitted::Immediate(error_wire(
+                Ok(Admitted::Immediate(Response::failure(
                     ERROR_RESPONSE_ID,
-                    &e.to_string(),
-                )));
+                    e.to_string(),
+                )))
             }
-        };
+        }
+    }
+
+    /// Route and enqueue one already-decoded request — the
+    /// struct-native admission boundary used by
+    /// [`RuntimeClient::call_request`] and (through it) the binary
+    /// wire path, which never pays a JSON encode/decode inside the
+    /// runtime.
+    fn admit_request(&self, req: Request) -> Result<Admitted, ServeError> {
+        if self.gate.lock().closed {
+            return Err(ServeError::Disconnected);
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.route_request(req)
+    }
+
+    /// The shared admission body: control frames, routing, admission
+    /// control, shadow mirroring, remote forwarding, and enqueueing.
+    fn route_request(&self, req: Request) -> Result<Admitted, ServeError> {
         // Control frames are answered at admission — they never touch
         // worker queues or row counters.
         if let Some(ControlRequest::Counters) = req.control {
@@ -984,9 +1068,9 @@ impl Shared {
         let Some(group) = self.find_group(req.endpoint.as_deref()) else {
             self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
             let name = req.endpoint.as_deref().unwrap_or(DEFAULT_ENDPOINT);
-            return Ok(Admitted::Immediate(error_wire(
+            return Ok(Admitted::Immediate(Response::failure(
                 req.id,
-                &format!("unknown endpoint `{name}`"),
+                format!("unknown endpoint `{name}`"),
             )));
         };
         let entry = match req.version {
@@ -994,9 +1078,9 @@ impl Shared {
                 Some(e) => Arc::clone(e),
                 None => {
                     self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Admitted::Immediate(error_wire(
+                    return Ok(Admitted::Immediate(Response::failure(
                         req.id,
-                        &format!("endpoint `{}` has no version {v}", group.name),
+                        format!("endpoint `{}` has no version {v}", group.name),
                     )));
                 }
             },
@@ -1063,9 +1147,9 @@ impl Shared {
         };
         if domain == 0 {
             self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
-            return Ok(Admitted::Immediate(error_wire(
+            return Ok(Admitted::Immediate(Response::failure(
                 req.id,
-                &format!(
+                format!(
                     "endpoint `{}` has no local shards to serve a forwarded frame",
                     entry.name
                 ),
@@ -1100,9 +1184,7 @@ impl Shared {
                     // and not mirrored: shadows exist to validate
                     // serving, and nothing was served.
                     let resp = Response::shed(req.id, &entry.name, entry.version);
-                    return Ok(Admitted::Immediate(encode_response(&resp).unwrap_or_else(
-                        |e| error_wire(req.id, &format!("shed response encoding failed: {e}")),
-                    )));
+                    return Ok(Admitted::Immediate(resp));
                 }
             }
         }
@@ -1116,20 +1198,20 @@ impl Shared {
             entry.assignment[shard].load(Ordering::Relaxed)
         } else {
             match self.forward_remote(&entry, shard, &req) {
-                RemoteOutcome::Served(wire) => {
+                RemoteOutcome::Served(response) => {
                     // The remote node already executed this request;
                     // its answer must reach the caller even when the
                     // gate closed mid-round-trip, so the (best-effort
                     // anyway) shadow mirrors cannot fail it.
                     self.send_shadows(shadow_jobs);
                     self.maybe_rebalance();
-                    return Ok(Admitted::Immediate(wire));
+                    return Ok(Admitted::Immediate(response));
                 }
                 RemoteOutcome::AllFailed if entry.local_shards == 0 => {
                     self.send_shadows(shadow_jobs);
-                    return Ok(Admitted::Immediate(error_wire(
+                    return Ok(Admitted::Immediate(Response::failure(
                         req.id,
-                        &format!(
+                        format!(
                             "endpoint `{}`: every remote shard's transport failed",
                             entry.name
                         ),
@@ -1201,8 +1283,25 @@ impl Shared {
     /// Forward a request to remote shard `shard` of `entry`,
     /// failing over across the endpoint's other remote shards when
     /// the routed one's transport errors. Forward latency lands in
-    /// the endpoint's per-shard transport counters.
+    /// the endpoint's per-shard transport counters; wire bytes and
+    /// peak in-flight depth land on both stats levels.
     fn forward_remote(&self, entry: &Endpoint, shard: usize, req: &Request) -> RemoteOutcome {
+        let depth = self.remote_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats
+            .remote_max_in_flight
+            .fetch_max(depth as u64, Ordering::Relaxed);
+        let entry_depth = entry.remote_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        entry
+            .stats
+            .remote_max_in_flight
+            .fetch_max(entry_depth as u64, Ordering::Relaxed);
+        let outcome = self.forward_remote_inner(entry, shard, req);
+        entry.remote_in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.remote_in_flight.fetch_sub(1, Ordering::Relaxed);
+        outcome
+    }
+
+    fn forward_remote_inner(&self, entry: &Endpoint, shard: usize, req: &Request) -> RemoteOutcome {
         let frame = Request {
             id: req.id,
             rows: req.rows.clone(),
@@ -1211,16 +1310,6 @@ impl Shared {
             key: req.key.clone(),
             forwarded: true,
             control: None,
-        };
-        let encoded = match encode_request(&frame) {
-            Ok(e) => e,
-            // Undeliverable anywhere: report instead of retrying.
-            Err(e) => {
-                return RemoteOutcome::Served(error_wire(
-                    req.id,
-                    &format!("forwarding frame encoding failed: {e}"),
-                ))
-            }
         };
         let n_remote = entry.transports.len();
         let first = shard - entry.local_shards;
@@ -1233,19 +1322,44 @@ impl Shared {
                 self.stats.failovers.fetch_add(1, Ordering::Relaxed);
             }
             let start = std::time::Instant::now();
-            match entry.transports[idx].forward(&encoded) {
-                Ok(wire) => {
+            match entry.transports[idx].forward_request(&frame) {
+                Ok(reply) => {
                     let nanos = start.elapsed().as_nanos() as u64;
                     // A shed (Overloaded) answer measured no
                     // prediction work — mirroring the counters-probe
                     // exclusion, it must not skew per-shard transport
                     // latency.
-                    if !is_overloaded_wire(&wire) {
+                    if !reply.response.overloaded {
                         entry.stats.shard_transport_nanos[entry.local_shards + idx]
                             .fetch_add(nanos, Ordering::Relaxed);
                     }
                     self.stats.remote_forwards.fetch_add(1, Ordering::Relaxed);
-                    return RemoteOutcome::Served(wire);
+                    self.stats
+                        .remote_bytes_sent
+                        .fetch_add(reply.bytes_sent, Ordering::Relaxed);
+                    self.stats
+                        .remote_bytes_received
+                        .fetch_add(reply.bytes_received, Ordering::Relaxed);
+                    entry
+                        .stats
+                        .remote_bytes_sent
+                        .fetch_add(reply.bytes_sent, Ordering::Relaxed);
+                    entry
+                        .stats
+                        .remote_bytes_received
+                        .fetch_add(reply.bytes_received, Ordering::Relaxed);
+                    return RemoteOutcome::Served(reply.response);
+                }
+                // A codec failure is not a connectivity failure: the
+                // peer may well have executed the request, so failing
+                // over would risk double-execution — report instead.
+                Err(ServeError::Codec(e)) => {
+                    entry.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+                    self.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+                    return RemoteOutcome::Served(Response::failure(
+                        req.id,
+                        format!("forwarding frame codec failure: {e}"),
+                    ));
                 }
                 Err(_) => {
                     entry.stats.transport_errors.fetch_add(1, Ordering::Relaxed);
@@ -1303,8 +1417,8 @@ impl Shared {
 
 /// What forwarding a request to an endpoint's remote shards produced.
 enum RemoteOutcome {
-    /// A remote shard answered: the raw response wire to relay.
-    Served(String),
+    /// A remote shard answered: the decoded response to relay.
+    Served(Response),
     /// Every remote shard's transport failed; the caller should fail
     /// over to a local shard (or report total failure).
     AllFailed,
@@ -1394,14 +1508,13 @@ fn request_schema(req: &Request) -> SchemaKey<'_> {
     })
 }
 
-/// Encode and send one response, falling back to the escaping
-/// last-resort encoder when the real one fails (e.g. NaN scores).
-/// Shadow jobs (no reply channel) skip encoding entirely.
-fn respond(job: &RoutedJob, resp: &Response) {
+/// Send one response back to the waiting caller as a decoded struct;
+/// the wire boundary (JSON or binary v2) encodes it only where the
+/// bytes actually leave the process. Shadow jobs (no reply channel)
+/// drop the response.
+fn respond(job: &RoutedJob, resp: Response) {
     let Some(reply) = &job.reply else { return };
-    let wire = encode_response(resp)
-        .unwrap_or_else(|e| error_wire(resp.id, &format!("response encoding failed: {e}")));
-    let _ = reply.send(wire);
+    let _ = reply.send(resp);
 }
 
 /// Feed one completed local prediction's wall time into the
@@ -1470,7 +1583,7 @@ fn serve_group(group: &[&RoutedJob], stats: &ServerStats) {
     // A lone request gains nothing from the merge path; dispatch it
     // directly so a failing prediction is not pointlessly retried.
     if let [job] = group {
-        respond(job, &handle_one(job, stats));
+        respond(job, handle_one(job, stats));
         return;
     }
     let entry = &group[0].entry;
@@ -1514,7 +1627,7 @@ fn serve_group(group: &[&RoutedJob], stats: &ServerStats) {
                 let n = job.req.rows.len();
                 respond(
                     job,
-                    &Response {
+                    Response {
                         id: job.req.id,
                         scores: scores[offset..offset + n].to_vec(),
                         error: None,
@@ -1530,7 +1643,7 @@ fn serve_group(group: &[&RoutedJob], stats: &ServerStats) {
         }
         None => {
             for job in group {
-                respond(job, &handle_one(job, stats));
+                respond(job, handle_one(job, stats));
             }
         }
     }
@@ -1542,7 +1655,7 @@ fn serve_group(group: &[&RoutedJob], stats: &ServerStats) {
 fn process_batch(jobs: &[RoutedJob], stats: &ServerStats, coalesce: bool) {
     if !coalesce {
         for job in jobs {
-            respond(job, &handle_one(job, stats));
+            respond(job, handle_one(job, stats));
         }
         return;
     }
@@ -1839,6 +1952,7 @@ impl RuntimeBuilder {
                 next_shard: AtomicUsize::new(0),
                 next_forwarded: AtomicUsize::new(0),
                 next_failover: AtomicUsize::new(0),
+                remote_in_flight: AtomicUsize::new(0),
                 stats: EndpointStats::new(shards),
             });
             let group = match groups.iter_mut().find(|g| g.name == spec.name) {
@@ -1935,6 +2049,7 @@ impl RuntimeBuilder {
                 senders,
                 closed: false,
             }),
+            remote_in_flight: AtomicUsize::new(0),
             stats: ServerStats::new(n_workers),
             n_workers,
         });
@@ -2376,6 +2491,23 @@ impl RuntimeClient {
         decode_response(&wire)
     }
 
+    /// Send a fully-specified [`Request`] and return the decoded
+    /// [`Response`] without ever touching the JSON wire form: the
+    /// request struct is routed and answered as structs end to end.
+    /// This is the hot path for the binary v2 remote transport, which
+    /// decodes frames straight into [`Request`] values.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Disconnected`] when the runtime has shut
+    /// down. A predictor-side failure is *not* an `Err` here; it
+    /// arrives as [`Response::error`].
+    pub fn call_request(&self, req: Request) -> Result<Response, ServeError> {
+        match self.shared.admit_request(req)? {
+            Admitted::Immediate(resp) => Ok(resp),
+            Admitted::Pending(rx) => rx.recv().map_err(|_| ServeError::Disconnected),
+        }
+    }
+
     /// Send a raw wire payload and return the raw wire response,
     /// bypassing client-side encoding (useful for testing the
     /// runtime's handling of malformed or legacy frames).
@@ -2390,10 +2522,12 @@ impl RuntimeClient {
     /// Returns [`ServeError::Disconnected`] when the runtime has shut
     /// down.
     pub fn call_raw(&self, payload: String) -> Result<String, ServeError> {
-        match self.shared.admit(&payload)? {
-            Admitted::Immediate(wire) => Ok(wire),
-            Admitted::Pending(rx) => rx.recv().map_err(|_| ServeError::Disconnected),
-        }
+        let resp = match self.shared.admit(&payload)? {
+            Admitted::Immediate(resp) => resp,
+            Admitted::Pending(rx) => rx.recv().map_err(|_| ServeError::Disconnected)?,
+        };
+        Ok(encode_response(&resp)
+            .unwrap_or_else(|e| error_wire(resp.id, &format!("response encoding failed: {e}"))))
     }
 
     fn scores(resp: Response) -> Result<Vec<f64>, ServeError> {

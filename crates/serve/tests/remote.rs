@@ -584,3 +584,227 @@ fn remote_shed_responses_skip_transport_latency_accounting() {
         vec![5.0]
     );
 }
+
+// ---- wire2 binary <-> legacy JSON equivalence ----------------------
+
+use willump_serve::wire2::{
+    decode_request_payload, decode_response_payload, encode_request_payload,
+    encode_response_payload,
+};
+use willump_serve::ControlRequest;
+
+/// A strategy over wire rows exercising every `Value` variant.
+fn arb_rows() -> impl Strategy<Value = Vec<WireRow>> {
+    let value = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        ".{0,8}".prop_map(|s| Value::str(s.as_str())),
+    ];
+    prop::collection::vec(
+        prop::collection::vec((".{1,6}", value), 0..4).prop_map(|cols| cols.into_iter().collect()),
+        0..3,
+    )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        1u64..u64::MAX,
+        arb_rows(),
+        prop::option::of(".{0,12}"),
+        prop::option::of(0u32..u32::MAX),
+        prop::option::of(".{0,12}"),
+        any::<bool>(),
+        prop::option::of(Just(ControlRequest::Counters)),
+    )
+        .prop_map(
+            |(id, rows, endpoint, version, key, forwarded, control)| Request {
+                id,
+                rows,
+                endpoint,
+                version,
+                key,
+                forwarded,
+                control,
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    let counters = prop::collection::vec(
+        (
+            ".{0,10}",
+            0u32..64,
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(
+                |(endpoint, version, (rows, gate_resolved, escalated, filter_dropped))| {
+                    EndpointCounters {
+                        endpoint,
+                        version,
+                        counters: willump::PlanCountersSnapshot {
+                            rows,
+                            gate_resolved,
+                            escalated,
+                            filter_dropped,
+                        },
+                    }
+                },
+            ),
+        0..3,
+    );
+    (
+        0u64..u64::MAX,
+        prop::collection::vec(-1e12f64..1e12, 0..4),
+        prop::option::of(".{0,16}"),
+        prop::option::of(".{0,12}"),
+        prop::option::of(0u32..u32::MAX),
+        prop::option::of(counters),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(id, scores, error, endpoint, version, counters, degraded, overloaded)| Response {
+                id,
+                scores,
+                error,
+                endpoint,
+                version,
+                counters,
+                degraded,
+                overloaded,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every request expressible on the legacy JSON wire round-trips
+    /// the binary v2 codec to the identical struct: the two encodings
+    /// are interchangeable views of the same `Request`.
+    #[test]
+    fn binary_and_json_request_encodings_are_equivalent(req in arb_request()) {
+        let json = encode_request(&req).expect("json encodes");
+        let via_json = decode_request(&json).expect("json decodes");
+        let bin = encode_request_payload(&req);
+        let via_bin = decode_request_payload(&bin).expect("binary decodes");
+        prop_assert_eq!(&via_json, &req);
+        prop_assert_eq!(&via_bin, &via_json);
+    }
+
+    /// Every response — including shed, degraded, error, and counters
+    /// frames — round-trips the binary v2 codec to exactly what the
+    /// legacy JSON codec produces.
+    #[test]
+    fn binary_and_json_response_encodings_are_equivalent(resp in arb_response()) {
+        let json = encode_response(&resp).expect("json encodes");
+        let via_json = decode_response(&json).expect("json decodes");
+        let bin = encode_response_payload(&resp);
+        let via_bin = decode_response_payload(&bin).expect("binary decodes");
+        prop_assert_eq!(&via_json, &resp);
+        prop_assert_eq!(&via_bin, &via_json);
+    }
+
+    /// Shed responses specifically survive the binary codec with the
+    /// overloaded marker intact (the admission gate depends on it).
+    #[test]
+    fn shed_responses_round_trip_the_binary_codec(
+        id in 0u64..u64::MAX,
+        endpoint in "[a-z0-9./ -]{0,16}",
+        version in 0u32..u32::MAX,
+    ) {
+        let resp = Response::shed(id, &endpoint, version);
+        let bin = encode_response_payload(&resp);
+        let back = decode_response_payload(&bin).expect("decodes");
+        prop_assert!(back.overloaded);
+        prop_assert_eq!(back, resp);
+    }
+}
+
+/// Mixed versions over real TCP, driven through the full runtime
+/// path: a parent pinned to the legacy JSON protocol
+/// (`with_legacy_json`) interoperates with a v2 node, and a v2 parent
+/// transparently falls back when its peer only speaks newline JSON.
+#[test]
+fn mixed_protocol_versions_interoperate_over_tcp() {
+    // Legacy-pinned client -> v2 node.
+    let node = spawn_node("affine", 1);
+    let addr = node.local_addr().to_string();
+    let mut b = ServingRuntime::builder();
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(0)
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr)
+                .with_legacy_json()
+                .with_timeout(Duration::from_secs(5)),
+        ));
+    let runtime = b.build().expect("parent builds");
+    assert_eq!(
+        runtime
+            .client()
+            .predict_endpoint("affine", wire_rows(&[2.0]))
+            .expect("legacy client serves through a v2 node"),
+        vec![5.0]
+    );
+
+    // v2 client -> legacy node (a raw newline-JSON server).
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+    let legacy_addr = listener.local_addr().expect("addr").to_string();
+    let legacy = std::thread::spawn(move || {
+        use std::io::{BufRead, BufReader, Write};
+        let (stream, _) = listener.accept().expect("accepts");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                return;
+            }
+            let trimmed = line.trim_end();
+            let reply = match decode_request(trimmed) {
+                Ok(req) => {
+                    let scores = req
+                        .rows
+                        .iter()
+                        .map(|row| match &row[0].1 {
+                            Value::Float(x) => 3.0 * x - 1.0,
+                            _ => f64::NAN,
+                        })
+                        .collect();
+                    Response {
+                        scores,
+                        error: None,
+                        ..Response::failure(req.id, "")
+                    }
+                }
+                // The v2 preamble is not JSON: a legacy node answers
+                // it with an in-band error line, which is exactly the
+                // signal the v2 client falls back on.
+                Err(e) => Response::failure(0, e.to_string()),
+            };
+            let wire = encode_response(&reply).expect("encodes");
+            if writer.write_all(wire.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+    });
+    let mut b = ServingRuntime::builder();
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(0)
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&legacy_addr).with_timeout(Duration::from_secs(5)),
+        ));
+    let runtime = b.build().expect("parent builds");
+    assert_eq!(
+        runtime
+            .client()
+            .predict_endpoint("affine", wire_rows(&[4.0]))
+            .expect("v2 client falls back to a legacy node"),
+        vec![11.0]
+    );
+    drop(runtime);
+    legacy.join().expect("legacy node thread exits");
+}

@@ -11,8 +11,8 @@
 //!
 //! | ID | name | invariant |
 //! |----|------|-----------|
-//! | WL001 | `wire-compat` | every field of the `crates/serve/src/protocol.rs` wire structs beyond the frozen v1 set carries `#[serde(default)]`, so legacy frames keep decoding |
-//! | WL002 | `stats-completeness` | every numeric counter on `EndpointStats`/`PlanCounters` (and their snapshot mirrors) folds into the corresponding `snapshot()`/`merged()` aggregation |
+//! | WL001 | `wire-compat` | every field of the `crates/serve/src/protocol.rs` wire structs beyond the frozen v1 set carries `#[serde(default)]`, so legacy frames keep decoding; and `wire2.rs`'s binary `WIRE2_LAYOUT` matches its frozen per-version copy, so layout changes must bump `WIRE2_VERSION` |
+//! | WL002 | `stats-completeness` | every numeric counter on `EndpointStats`/`PlanCounters`/`TransportStats` (and their snapshot mirrors) folds into the corresponding `snapshot()`/`merged()` aggregation |
 //! | WL003 | `no-lock-unwrap` | no `.unwrap()`/`.expect()` on lock or channel results in `crates/serve`/`crates/core` non-test code |
 //! | WL004 | `schema-registration` | every recording bench binary's schema header is registered in `RECORDED_SCHEMAS`, no registry entry is stale, and every registered section exists in `EXPERIMENTS.md` |
 //! | WL005 | `vendor-hygiene` | every dependency across workspace manifests resolves to a path inside `vendor/` or `crates/` (no registry/git deps — the build env is offline) |
@@ -47,7 +47,9 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "WL001",
         name: "wire-compat",
-        summary: "protocol.rs wire-struct fields beyond the frozen v1 set carry #[serde(default)]",
+        summary:
+            "protocol.rs wire-struct fields beyond the frozen v1 set carry #[serde(default)]; \
+                  wire2.rs binary layout changes bump WIRE2_VERSION",
     },
     Rule {
         id: "WL002",
@@ -516,8 +518,51 @@ const WIRE_STRUCTS: &[(&str, &[&str])] = &[
 ];
 
 const PROTOCOL_RS: &str = "crates/serve/src/protocol.rs";
+const WIRE2_RS: &str = "crates/serve/src/wire2.rs";
+
+/// The frozen v2 binary layout: `WIRE2_LAYOUT`'s string literals,
+/// flattened in declaration order (struct/enum names interleaved with
+/// their field/variant sequences). While `WIRE2_VERSION == 2`, the
+/// source constant must match this copy exactly — reordering, adding,
+/// or removing an entry is a wire break that requires bumping the
+/// negotiation version byte (at which point this copy is re-frozen).
+const WIRE2_V2_LAYOUT: &[&str] = &[
+    "Request",
+    "id",
+    "rows",
+    "endpoint",
+    "version",
+    "key",
+    "forwarded",
+    "control",
+    "Response",
+    "id",
+    "scores",
+    "error",
+    "endpoint",
+    "version",
+    "counters",
+    "degraded",
+    "overloaded",
+    "EndpointCounters",
+    "endpoint",
+    "version",
+    "counters",
+    "PlanCountersSnapshot",
+    "rows",
+    "gate_resolved",
+    "escalated",
+    "filter_dropped",
+    "Value",
+    "Null",
+    "Bool",
+    "Int",
+    "Float",
+    "Str",
+];
 
 fn rule_wire_compat(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    rule_wire2_layout(root, out)?;
     let Some(src) = SourceFile::load(root, PROTOCOL_RS)? else {
         return Ok(());
     };
@@ -551,6 +596,109 @@ fn rule_wire_compat(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
                 }),
             });
         }
+    }
+    Ok(())
+}
+
+/// The wire2 half of WL001: while the source's `WIRE2_VERSION` is
+/// still 2, its `WIRE2_LAYOUT` manifest must match the frozen
+/// [`WIRE2_V2_LAYOUT`] copy exactly; any drift means the binary
+/// encoding changed shape and the version byte must be bumped (a new
+/// version is accepted — its layout gets frozen in the PR that bumps).
+fn rule_wire2_layout(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let path = root.join(WIRE2_RS);
+    if !path.is_file() {
+        return Ok(());
+    }
+    let src = fs::read_to_string(&path)?;
+    let stripped = strip_source(&src);
+
+    let version: Option<u8> = stripped.find("WIRE2_VERSION").and_then(|p| {
+        let rest = &stripped[p..];
+        let eq = rest.find('=')?;
+        rest[eq + 1..].split(';').next()?.trim().parse::<u8>().ok()
+    });
+    let Some(version) = version else {
+        out.push(Violation {
+            rule: "WL001",
+            name: "wire-compat",
+            file: WIRE2_RS.to_string(),
+            line: 1,
+            message: "could not parse `WIRE2_VERSION: u8 = <n>;` — the layout freeze \
+                      cannot be checked"
+                .to_string(),
+            fix: None,
+        });
+        return Ok(());
+    };
+    if version > 2 {
+        // A bumped protocol version: the v2 freeze no longer applies
+        // (the bumping PR re-freezes the new layout here).
+        return Ok(());
+    }
+
+    // Anchor on the declaration, not the (earlier) doc-comment
+    // mentions of the constant's name.
+    let Some(layout_start) = src.find("const WIRE2_LAYOUT") else {
+        out.push(Violation {
+            rule: "WL001",
+            name: "wire-compat",
+            file: WIRE2_RS.to_string(),
+            line: 1,
+            message: "wire2.rs has no WIRE2_LAYOUT manifest to check the frozen binary \
+                      field order against"
+                .to_string(),
+            fix: None,
+        });
+        return Ok(());
+    };
+    let layout_end = src[layout_start..]
+        .find("];")
+        .map_or(src.len(), |e| layout_start + e);
+    let base_line = src[..layout_start].matches('\n').count();
+    let literals: Vec<(usize, String)> = string_literals(&src[layout_start..layout_end])
+        .into_iter()
+        .map(|(l, s)| (base_line + l, s))
+        .collect();
+    let declared: Vec<&str> = literals.iter().map(|(_, s)| s.as_str()).collect();
+    if declared != WIRE2_V2_LAYOUT {
+        // Anchor the finding at the first diverging entry when one
+        // exists, else at the manifest head (pure add/remove at the
+        // tail).
+        let (line, detail) = declared
+            .iter()
+            .zip(WIRE2_V2_LAYOUT)
+            .position(|(d, f)| d != f)
+            .map_or_else(
+                || {
+                    (
+                        base_line + 1,
+                        format!(
+                            "{} entries declared, {} frozen",
+                            declared.len(),
+                            WIRE2_V2_LAYOUT.len()
+                        ),
+                    )
+                },
+                |i| {
+                    (
+                        literals[i].0,
+                        format!("`{}` where v2 froze `{}`", declared[i], WIRE2_V2_LAYOUT[i]),
+                    )
+                },
+            );
+        out.push(Violation {
+            rule: "WL001",
+            name: "wire-compat",
+            file: WIRE2_RS.to_string(),
+            line,
+            message: format!(
+                "WIRE2_LAYOUT diverges from the frozen v2 binary layout ({detail}) but \
+                 WIRE2_VERSION is still 2 — layout changes must bump the version byte \
+                 so peers renegotiate instead of misdecoding frames"
+            ),
+            fix: None,
+        });
     }
     Ok(())
 }
@@ -594,6 +742,20 @@ const STATS_CHECKS: &[StatsCheck] = &[
         file: "crates/serve/src/runtime.rs",
         source: "EndpointStatsSnapshot",
         agg_impl: "EndpointStatsSnapshot",
+        agg_fn: "merged",
+        mirror: None,
+    },
+    StatsCheck {
+        file: "crates/serve/src/remote.rs",
+        source: "TransportCounters",
+        agg_impl: "TransportCounters",
+        agg_fn: "snapshot",
+        mirror: Some("TransportStats"),
+    },
+    StatsCheck {
+        file: "crates/serve/src/remote.rs",
+        source: "TransportStats",
+        agg_impl: "TransportStats",
         agg_fn: "merged",
         mirror: None,
     },

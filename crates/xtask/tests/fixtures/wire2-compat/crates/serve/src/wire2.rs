@@ -1,0 +1,40 @@
+//! Known-bad fixture for the wire2 half of WL001: the `Request`
+//! layout swaps `endpoint` and `version` relative to the frozen v2
+//! copy, but `WIRE2_VERSION` was left at 2 — exactly the silent wire
+//! break the rule exists to catch.
+
+pub const WIRE2_VERSION: u8 = 2;
+
+pub const WIRE2_LAYOUT: &[(&str, &[&str])] = &[
+    (
+        "Request",
+        &[
+            "id",
+            "rows",
+            "version",
+            "endpoint",
+            "key",
+            "forwarded",
+            "control",
+        ],
+    ),
+    (
+        "Response",
+        &[
+            "id",
+            "scores",
+            "error",
+            "endpoint",
+            "version",
+            "counters",
+            "degraded",
+            "overloaded",
+        ],
+    ),
+    ("EndpointCounters", &["endpoint", "version", "counters"]),
+    (
+        "PlanCountersSnapshot",
+        &["rows", "gate_resolved", "escalated", "filter_dropped"],
+    ),
+    ("Value", &["Null", "Bool", "Int", "Float", "Str"]),
+];

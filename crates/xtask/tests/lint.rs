@@ -54,6 +54,23 @@ fn wire_compat_fixture_fires_exactly_wl001() {
 }
 
 #[test]
+fn wire2_compat_fixture_fires_exactly_wl001() {
+    let (ids, violations) = lint_fixture("wire2-compat");
+    assert_eq!(ids, BTreeSet::from(["WL001"]), "{violations:?}");
+    // One finding, anchored at the first diverging layout entry, and
+    // no mechanical fix — a wire break needs a human version bump.
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let v = &violations[0];
+    assert!(v.file.ends_with("wire2.rs"), "{v}");
+    assert!(v.message.contains("WIRE2_VERSION is still 2"), "{v}");
+    assert!(
+        v.message.contains("`version` where v2 froze `endpoint`"),
+        "{v}"
+    );
+    assert!(v.fix.is_none(), "{v}");
+}
+
+#[test]
 fn stats_completeness_fixture_fires_exactly_wl002() {
     let (ids, violations) = lint_fixture("stats-completeness");
     assert_eq!(ids, BTreeSet::from(["WL002"]), "{violations:?}");
@@ -148,6 +165,7 @@ fn binary_exit_codes_match_contract() {
     );
     for name in [
         "wire-compat",
+        "wire2-compat",
         "stats-completeness",
         "no-lock-unwrap",
         "schema-registration",

@@ -84,6 +84,85 @@ pub trait Strategy {
 
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (proptest's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter applying a function to generated values — see
+/// [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A boxed branch generator, as collected by [`prop_oneof!`].
+pub type BranchFn<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Strategy choosing uniformly among boxed alternatives — the
+/// engine behind [`prop_oneof!`].
+pub struct OneOf<V> {
+    branches: Vec<BranchFn<V>>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.branches.len() as u64) as usize;
+        (self.branches[pick])(rng)
+    }
+}
+
+/// Build a [`OneOf`] from boxed branch generators (used by
+/// [`prop_oneof!`]; call the macro instead).
+#[must_use]
+pub fn one_of<V>(branches: Vec<BranchFn<V>>) -> OneOf<V> {
+    assert!(!branches.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { branches }
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type (real proptest's weighted form is not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$(
+            {
+                let s = $strategy;
+                ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }
+        ),+])
+    };
 }
 
 macro_rules! impl_range_strategy_int {
@@ -116,52 +195,25 @@ macro_rules! impl_range_strategy_float {
 
 impl_range_strategy_float!(f32, f64);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
 
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng))
-    }
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-        )
-    }
-}
-
-impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
-    type Value = (A::Value, B::Value, C::Value, D::Value);
-
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-            self.3.generate(rng),
-        )
-    }
-}
-
-impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
-    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
-
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-            self.3.generate(rng),
-            self.4.generate(rng),
-        )
-    }
-}
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
 
 /// String strategy from a pattern literal. Supports the `".{lo,hi}"`
 /// form (printable ASCII of length `lo..=hi`); any other pattern
@@ -255,16 +307,45 @@ pub mod collection {
     }
 }
 
+/// `Option` strategies, under proptest's `prop::option` path.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>` — see [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` or `Some` of a value from `inner`, with equal odds.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 /// The `prop::` namespace (`prop::collection::vec(..)`).
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
 }
 
 /// Everything the tests import.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestCaseError, TestRng,
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }
 
@@ -406,6 +487,24 @@ mod tests {
         #[test]
         fn string_pattern_lengths(s in ".{0,40}") {
             prop_assert!(s.len() <= 40);
+        }
+
+        #[test]
+        fn prop_map_applies(n in (0u8..10).prop_map(|x| i32::from(x) * 2)) {
+            prop_assert!(n % 2 == 0 && (0..20).contains(&n));
+        }
+
+        #[test]
+        fn one_of_picks_an_arm(v in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(matches!(v, 1u8 | 2 | 5 | 6));
+        }
+
+        #[test]
+        fn option_of_covers_both(o in prop::option::of(3u8..5)) {
+            match o {
+                None => prop_assert!(true),
+                Some(x) => prop_assert!((3..5).contains(&x)),
+            }
         }
     }
 
