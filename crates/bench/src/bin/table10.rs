@@ -1,0 +1,275 @@
+//! Table 10 (repo extension): cluster recovery under open-loop load —
+//! kill-and-recover a remote node with the control-plane prober on and
+//! off.
+//!
+//! One endpoint serves 2 local + 2 remote shards (a real
+//! `RemoteRuntimeNode` TCP child in this process). An open-loop
+//! generator offers uniform traffic for the whole run; one third in,
+//! the node is killed; two thirds in, it is restarted **at the same
+//! address**. Both cells use a long-cooldown circuit breaker (no
+//! in-band half-open), so re-admission can only come from the
+//! background health prober (`ServingRuntime::start_cluster`):
+//!
+//! - **prober off**: the recovered node is never re-admitted — every
+//!   keyed-to-remote request for the rest of the run fails over to a
+//!   local shard and the remote capacity is lost for good;
+//! - **prober on**: breakers close within a probe interval of
+//!   recovery, post-recovery failovers stop, and remote shards serve
+//!   again.
+//!
+//! Latency is measured from each request's *scheduled* arrival (no
+//! coordinated omission). Flags (mirroring the other recording
+//! binaries):
+//!
+//! - `--smoke`: tiny CI-speed run + EXPERIMENTS.md schema check.
+//! - `--record`: rewrite this binary's EXPERIMENTS.md section.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use willump_bench::{format_table, run_recorded_experiment};
+use willump_data::{Table, Value};
+use willump_serve::{
+    ClusterConfig, RemoteRuntimeNode, RemoteWorker, Servable, ServerConfig, ServingRuntime, WireRow,
+};
+
+/// The schema header CI greps for in EXPERIMENTS.md; bump the version
+/// when the recorded table shape changes.
+const EXPERIMENTS_SCHEMA: &str = "<!-- schema: table10-cluster-recovery v1 -->";
+const RECORD_CMD: &str = "cargo run --release -p willump-bench --bin table10 -- --record";
+
+/// Per-request service time on every shard, local or remote.
+const SERVICE: Duration = Duration::from_millis(1);
+/// Forward timeout: a dead-node forward costs at most this much.
+const TIMEOUT: Duration = Duration::from_millis(250);
+/// Breaker: open after 2 consecutive failures, and — the point of the
+/// experiment — never half-open in-band (10-minute cooldown), so only
+/// the background prober can re-admit a recovered node.
+const BREAKER_FAILURES: u64 = 2;
+const BREAKER_COOLDOWN: Duration = Duration::from_secs(600);
+const WORKERS: usize = 2;
+
+/// A predictor with a fixed, known service time (score = 2x).
+struct FixedService(Duration);
+impl Servable for FixedService {
+    fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+        std::thread::sleep(self.0);
+        let xs = table
+            .column("x")
+            .ok_or_else(|| "missing x".to_string())?
+            .to_f64_vec()
+            .map_err(|e| e.to_string())?;
+        Ok(xs.into_iter().map(|x| 2.0 * x).collect())
+    }
+}
+
+fn one_row(x: f64) -> Vec<WireRow> {
+    vec![vec![("x".to_string(), Value::Float(x))]]
+}
+
+/// A child node serving `model` on `addr` (`127.0.0.1:0` for a free
+/// port, or a pinned address for restarts — retried while the OS
+/// releases the port).
+fn bind_node(addr: &str) -> RemoteRuntimeNode {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(WORKERS).build());
+        b.endpoint("model", Arc::new(FixedService(SERVICE)))
+            .shards(2);
+        match RemoteRuntimeNode::bind(addr, b.build().expect("child builds")) {
+            Ok(node) => return node,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "could not bind node at {addr} within 10s: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+struct CellResult {
+    served: u64,
+    failovers: u64,
+    post_failovers: u64,
+    post_remote_forwards: u64,
+    probes_sent: u64,
+    probes_ok: u64,
+    p50: f64,
+    p99: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One kill-and-recover cell: open-loop keyed traffic at `rate` for
+/// `duration`, node killed at 1/3, restarted at 2/3. Returns overall
+/// stats plus the post-recovery deltas that show whether the node was
+/// ever re-admitted.
+fn kill_recover_cell(rate: f64, duration: f64, threads: usize, prober: bool) -> CellResult {
+    let mut node = bind_node("127.0.0.1:0");
+    let addr = node.local_addr().to_string();
+
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(WORKERS).build());
+    b.endpoint("model", Arc::new(FixedService(SERVICE)))
+        .shards(2)
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr)
+                .with_timeout(TIMEOUT)
+                .with_breaker(BREAKER_FAILURES, BREAKER_COOLDOWN),
+        ))
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr)
+                .with_timeout(TIMEOUT)
+                .with_breaker(BREAKER_FAILURES, BREAKER_COOLDOWN),
+        ));
+    let runtime = b.build().expect("runtime builds");
+    let cluster = prober.then(|| {
+        runtime.start_cluster(ClusterConfig {
+            probe_interval: Duration::from_millis(20),
+        })
+    });
+
+    let n = (rate * duration).ceil() as usize;
+    let latencies = Mutex::new(Vec::with_capacity(n));
+    let start = Instant::now();
+    let (post_failovers, post_remote) = std::thread::scope(|s| {
+        for tid in 0..threads {
+            let client = runtime.client();
+            let latencies = &latencies;
+            let start = &start;
+            s.spawn(move || {
+                let mut i = tid;
+                while i < n {
+                    let at = i as f64 / rate;
+                    let now = start.elapsed().as_secs_f64();
+                    if at > now {
+                        std::thread::sleep(Duration::from_secs_f64(at - now));
+                    }
+                    client
+                        .predict_keyed("model", &format!("key-{i}"), one_row(i as f64))
+                        .expect("fail-over keeps every request served");
+                    let done = start.elapsed().as_secs_f64();
+                    latencies.lock().unwrap().push(done - at);
+                    i += threads;
+                }
+            });
+        }
+
+        // The lifecycle runs on wall clock beside the load threads.
+        let third = Duration::from_secs_f64(duration / 3.0);
+        std::thread::sleep(third.saturating_sub(start.elapsed()));
+        node.shutdown();
+        std::thread::sleep((2 * third).saturating_sub(start.elapsed()));
+        node = bind_node(&addr);
+        // Everything from here is "post-recovery": a re-admitted node
+        // stops the failover growth and serves forwards again.
+        (
+            runtime.stats().failovers(),
+            runtime.stats().remote_forwards(),
+        )
+    });
+
+    let mut lat = latencies.into_inner().expect("no poisoned lock");
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let result = CellResult {
+        served: lat.len() as u64,
+        failovers: runtime.stats().failovers(),
+        post_failovers: runtime.stats().failovers() - post_failovers,
+        post_remote_forwards: runtime.stats().remote_forwards() - post_remote,
+        probes_sent: runtime.stats().probes_sent(),
+        probes_ok: runtime.stats().probes_ok(),
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+    };
+    drop(cluster);
+    result
+}
+
+fn fmt_ms(seconds: f64) -> String {
+    format!("{:.1}ms", seconds * 1e3)
+}
+
+fn sweep(smoke: bool) -> (String, String) {
+    let (rate, duration, threads) = if smoke {
+        (150.0, 1.2, 8)
+    } else {
+        (200.0, 4.5, 16)
+    };
+
+    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    for prober in [false, true] {
+        let cell = kill_recover_cell(rate, duration, threads, prober);
+        rows.push(vec![
+            if prober { "on" } else { "off" }.to_string(),
+            cell.served.to_string(),
+            cell.failovers.to_string(),
+            cell.post_failovers.to_string(),
+            cell.post_remote_forwards.to_string(),
+            format!("{}/{}", cell.probes_ok, cell.probes_sent),
+            fmt_ms(cell.p50),
+            fmt_ms(cell.p99),
+        ]);
+        cells.push(cell);
+    }
+
+    // THE acceptance checks: without the prober the recovered node is
+    // never re-admitted (zero post-recovery forwards, failovers keep
+    // growing); with it, remote shards serve again and the
+    // post-recovery failover count collapses.
+    let (without, with) = (&cells[0], &cells[1]);
+    assert_eq!(
+        without.post_remote_forwards, 0,
+        "long-cooldown breaker must stay open without the prober"
+    );
+    assert!(
+        with.post_remote_forwards > 0,
+        "prober failed to re-admit the recovered node"
+    );
+    assert!(
+        with.post_failovers < without.post_failovers,
+        "re-admission must stop the failover growth: {} vs {}",
+        with.post_failovers,
+        without.post_failovers
+    );
+    assert!(with.probes_ok > 0, "prober never reached the node");
+
+    let table = format_table(
+        "Table 10: kill-and-recover a remote node, health prober on/off",
+        &[
+            "prober",
+            "served",
+            "failovers",
+            "failovers post-recovery",
+            "remote fwd post-recovery",
+            "probes ok/sent",
+            "p50",
+            "p99",
+        ],
+        &rows,
+    );
+    let body = format!(
+        "Cluster recovery (repo extension beyond the paper): open-loop\n\
+         keyed traffic at {rate:.0} rows/s over 2 local + 2 remote shards\n\
+         for {duration}s; the remote node is killed at 1/3 and restarted at\n\
+         the same address at 2/3. Both cells use a {BREAKER_FAILURES}-failure breaker\n\
+         with a {BREAKER_COOLDOWN:?} cooldown, so only the background prober\n\
+         (`start_cluster`, 20ms interval) can re-admit the node. Latency is\n\
+         measured from scheduled arrival (coordinated-omission-safe).\n\
+         Regenerate with `{RECORD_CMD}`.\n{table}"
+    );
+    (table, body)
+}
+
+fn main() {
+    run_recorded_experiment(EXPERIMENTS_SCHEMA, RECORD_CMD, sweep);
+}

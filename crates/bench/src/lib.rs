@@ -287,6 +287,10 @@ pub const RECORDED_SCHEMAS: &[(&str, &str)] = &[
         "cargo run --release -p willump-bench --bin table9 -- --record",
     ),
     (
+        "<!-- schema: table10-cluster-recovery v1 -->",
+        "cargo run --release -p willump-bench --bin table10 -- --record",
+    ),
+    (
         "<!-- schema: fig5-batch-throughput v1 -->",
         "cargo run --release -p willump-bench --bin fig5 -- --record",
     ),

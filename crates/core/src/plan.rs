@@ -329,6 +329,18 @@ impl PlanCountersSnapshot {
         }
     }
 
+    /// Scalar placement-pressure score for cluster scheduling: rows
+    /// served, weighted up by the escalated fraction (an
+    /// escalation-heavy node does disproportionate work per row — the
+    /// same signal the escalation-aware worker scheduler keys on),
+    /// in kilo-rows so it blends with latency/failure penalties.
+    /// Zero for an idle node; monotone in both traffic volume and
+    /// escalation share.
+    #[must_use]
+    pub fn placement_pressure(&self) -> f64 {
+        self.rows as f64 * (1.0 + self.escalation_rate()) / 1000.0
+    }
+
     /// Field-wise sum of two snapshots: fold a remote node's counters
     /// into a local view so rates are computed over the combined
     /// traffic.
@@ -1658,6 +1670,32 @@ mod tests {
             .fit(&eff_feats, y, 1)
             .unwrap();
         (Arc::new(small), Arc::new(full))
+    }
+
+    #[test]
+    fn placement_pressure_tracks_volume_and_escalation_share() {
+        let idle = PlanCountersSnapshot::default();
+        assert_eq!(idle.placement_pressure(), 0.0);
+
+        let calm = PlanCountersSnapshot {
+            rows: 1000,
+            gate_resolved: 1000,
+            escalated: 0,
+            filter_dropped: 0,
+        };
+        let busy = PlanCountersSnapshot { rows: 2000, ..calm };
+        let escalating = PlanCountersSnapshot {
+            escalated: 1000,
+            gate_resolved: 0,
+            ..calm
+        };
+        // Monotone in volume and in escalation share: a node doing
+        // twice the rows — or escalating every row — scores hotter
+        // than a calm one.
+        assert!(busy.placement_pressure() > calm.placement_pressure());
+        assert!(escalating.placement_pressure() > calm.placement_pressure());
+        assert_eq!(calm.placement_pressure(), 1.0);
+        assert_eq!(escalating.placement_pressure(), 2.0);
     }
 
     #[test]

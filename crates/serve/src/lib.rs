@@ -61,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+mod cluster;
 mod e2e_cache;
 mod error;
 mod protocol;
@@ -70,6 +71,7 @@ mod selection;
 mod server;
 pub mod wire2;
 
+pub use cluster::{ClusterConfig, ClusterCoordinator, ClusterHandle, Migration, RemoteShardView};
 pub use e2e_cache::E2eCachedPredictor;
 pub use error::ServeError;
 pub use protocol::{
@@ -78,14 +80,14 @@ pub use protocol::{
     WireRow, ERROR_RESPONSE_ID,
 };
 pub use remote::{
-    ForwardReply, InProcessWorker, RemoteRuntimeNode, RemoteWorker, TransportStats,
+    BreakerState, ForwardReply, InProcessWorker, RemoteRuntimeNode, RemoteWorker, TransportStats,
     WorkerTransport, REMOTE_WORKER_BREAKER_COOLDOWN, REMOTE_WORKER_BREAKER_FAILURES,
     REMOTE_WORKER_TIMEOUT,
 };
 pub use runtime::{
     shard_for_key, table_row_to_wire, AdmissionPolicy, Endpoint, EndpointBuilder, EndpointStats,
     EndpointStatsSnapshot, RuntimeBuilder, RuntimeClient, SchedulerPolicy, ServerStats,
-    ServingRuntime, DEFAULT_ENDPOINT,
+    ServerStatsSnapshot, ServingRuntime, DEFAULT_ENDPOINT,
 };
 pub use selection::{ArmStats, ModelSelector, SelectionPolicy};
 pub use server::{ClipperClient, ClipperServer, Servable, ServerConfig, ServerConfigBuilder};

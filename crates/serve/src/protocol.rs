@@ -136,20 +136,44 @@ impl Request {
     /// prediction.
     #[must_use]
     pub fn counters_probe(id: u64) -> Request {
+        Request::control_frame(id, ControlRequest::Counters)
+    }
+
+    /// A control frame carrying `op` instead of prediction rows.
+    #[must_use]
+    pub fn control_frame(id: u64, op: ControlRequest) -> Request {
         Request {
-            control: Some(ControlRequest::Counters),
+            control: Some(op),
             ..Request::new(id, Vec::new())
         }
     }
 }
 
 /// A non-prediction operation carried by [`Request::control`].
+///
+/// `Counters` is the original (v1) control op; the cluster lifecycle
+/// ops (`Join`/`Drain`/`Leave`) arrived with the control plane and are
+/// plain enum variants, so legacy JSON peers that have never seen them
+/// reject such frames with a decode error — the sender falls back the
+/// same way it does for any undecodable frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ControlRequest {
     /// Report every endpoint's [`PlanCountersSnapshot`] in
     /// [`Response::counters`] — the cross-process statistics feed for
     /// the escalation-aware scheduler.
     Counters,
+    /// (Re-)enter service: clear the node's draining flag so new
+    /// prediction requests are admitted again.
+    Join,
+    /// Stop admitting new prediction requests (in-flight work
+    /// finishes; control frames still answer) — the first half of a
+    /// graceful detach.
+    Drain,
+    /// Announce an imminent detach. Semantically `Drain` plus the
+    /// intent not to return; the answering node treats it as `Drain`
+    /// today, and the distinction lets coordinators tell a temporary
+    /// drain from a permanent departure.
+    Leave,
 }
 
 /// One endpoint's plan statistics in a [`ControlRequest::Counters`]

@@ -186,6 +186,14 @@ pub trait WorkerTransport: Send + Sync {
         self.forward(frame)
     }
 
+    /// Where this transport's circuit breaker stands right now.
+    /// Transports without a breaker are always
+    /// [`BreakerState::Closed`]; [`RemoteWorker`] overrides this with
+    /// its real state so health probers can target open shards.
+    fn breaker_state(&self) -> BreakerState {
+        BreakerState::Closed
+    }
+
     /// Ask the backing runtime for one endpoint's
     /// [`PlanCountersSnapshot`] via a
     /// [`crate::ControlRequest::Counters`] probe frame.
@@ -268,6 +276,11 @@ pub struct TransportStats {
     /// unknown frame type, length prefix past the bound, undecodable
     /// payload).
     pub decode_errors: u64,
+    /// Health/counters probes attempted (never counted as forwards).
+    pub probes_sent: u64,
+    /// Probes that completed successfully. A success against an
+    /// open-breaker node closes the breaker (re-admission).
+    pub probes_ok: u64,
 }
 
 impl TransportStats {
@@ -294,8 +307,26 @@ impl TransportStats {
             bytes_received: self.bytes_received + other.bytes_received,
             max_in_flight: self.max_in_flight.max(other.max_in_flight),
             decode_errors: self.decode_errors + other.decode_errors,
+            probes_sent: self.probes_sent + other.probes_sent,
+            probes_ok: self.probes_ok + other.probes_ok,
         }
     }
+}
+
+/// Where a transport's circuit breaker currently stands. Only
+/// breaker-carrying transports ([`RemoteWorker`]) ever leave
+/// [`Closed`](BreakerState::Closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Forwards flow normally (consecutive failures below threshold).
+    Closed,
+    /// Enough consecutive failures accumulated: counted forwards fail
+    /// fast without touching the wire. Probes still go through.
+    Open,
+    /// The breaker is letting trial traffic through: either a health
+    /// probe is in flight right now, or the cool-down elapsed and the
+    /// next forward rides half-open. The first success closes it.
+    Probing,
 }
 
 /// Shared atomic counters behind a [`TransportStats`] snapshot.
@@ -309,6 +340,8 @@ struct TransportCounters {
     bytes_received: AtomicU64,
     max_in_flight: AtomicU64,
     decode_errors: AtomicU64,
+    probes_sent: AtomicU64,
+    probes_ok: AtomicU64,
 }
 
 impl TransportCounters {
@@ -322,6 +355,8 @@ impl TransportCounters {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            probes_sent: self.probes_sent.load(Ordering::Relaxed),
+            probes_ok: self.probes_ok.load(Ordering::Relaxed),
         }
     }
 
@@ -620,6 +655,9 @@ pub struct RemoteWorker {
     last_failure: Mutex<Option<Instant>>,
     breaker_threshold: u64,
     breaker_cooldown: Duration,
+    /// A health probe is in flight right now (drives
+    /// [`BreakerState::Probing`] independent of the cool-down clock).
+    probing: AtomicBool,
     counters: Arc<TransportCounters>,
 }
 
@@ -678,6 +716,7 @@ impl RemoteWorker {
             last_failure: Mutex::new(None),
             breaker_threshold: REMOTE_WORKER_BREAKER_FAILURES,
             breaker_cooldown: REMOTE_WORKER_BREAKER_COOLDOWN,
+            probing: AtomicBool::new(false),
             counters: Arc::new(TransportCounters::default()),
         }
     }
@@ -874,19 +913,37 @@ impl RemoteWorker {
         self.consecutive_failures.store(0, Ordering::Relaxed);
     }
 
-    /// Whether the circuit breaker currently rejects forwards: at or
-    /// past the threshold, and still inside the cool-down since the
-    /// last failure. Past the cool-down the breaker goes half-open —
-    /// forwards proceed, and the first success closes it.
+    /// Whether the circuit breaker currently rejects forwards. Open
+    /// fails fast; [`BreakerState::Probing`] (half-open or probe in
+    /// flight) lets forwards proceed — the first success closes it.
     fn breaker_open(&self) -> bool {
+        self.state() == BreakerState::Open
+    }
+
+    /// This worker's explicit breaker state: below the failure
+    /// threshold the breaker is [`Closed`](BreakerState::Closed); at
+    /// or past it, the breaker is [`Probing`](BreakerState::Probing)
+    /// while a health probe is in flight or once the cool-down since
+    /// the last failure elapsed (half-open), and
+    /// [`Open`](BreakerState::Open) otherwise.
+    pub fn state(&self) -> BreakerState {
         if self.breaker_threshold == 0
             || self.consecutive_failures.load(Ordering::Relaxed) < self.breaker_threshold
         {
-            return false;
+            return BreakerState::Closed;
         }
-        self.last_failure
+        if self.probing.load(Ordering::Relaxed) {
+            return BreakerState::Probing;
+        }
+        let cooling = self
+            .last_failure
             .lock()
-            .is_some_and(|t| t.elapsed() < self.breaker_cooldown)
+            .is_some_and(|t| t.elapsed() < self.breaker_cooldown);
+        if cooling {
+            BreakerState::Open
+        } else {
+            BreakerState::Probing
+        }
     }
 
     /// Return a healthy legacy connection to the idle pool (bounded).
@@ -1017,10 +1074,10 @@ impl RemoteWorker {
         payload: &[u8],
         record: bool,
     ) -> Result<MuxServed, ServeError> {
-        if self.breaker_open() {
-            if record {
-                self.counters.failures.fetch_add(1, Ordering::Relaxed);
-            }
+        // Probes (`record: false`) bypass the open breaker: they are
+        // exactly how an open shard is discovered to have recovered.
+        if record && self.breaker_open() {
+            self.counters.failures.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Transport(format!(
                 "{}: circuit open after {} consecutive failures",
                 self.addr,
@@ -1072,11 +1129,10 @@ impl RemoteWorker {
         // Circuit breaker: a shard that keeps failing fails fast —
         // no dial, no timeout wait — so keyed traffic sticky to a
         // dead node degrades by one cheap error instead of a full
-        // connect timeout per request.
-        if self.breaker_open() {
-            if record {
-                self.counters.failures.fetch_add(1, Ordering::Relaxed);
-            }
+        // connect timeout per request. Probes (`record: false`)
+        // bypass it — they are how recovery is discovered.
+        if record && self.breaker_open() {
+            self.counters.failures.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Transport(format!(
                 "{}: circuit open after {} consecutive failures",
                 self.addr,
@@ -1272,9 +1328,26 @@ impl WorkerTransport for RemoteWorker {
     /// forwards, so periodic [`ServingRuntime::refresh_remote_counters`]
     /// polling cannot dilute the mean forward latency or desync
     /// `TransportStats::forwards` from the runtime's own
-    /// `remote_forwards`.
+    /// `remote_forwards`. They bypass an open breaker (the breaker
+    /// reads [`BreakerState::Probing`] while one is in flight), and a
+    /// successful probe closes it — this is how a health prober
+    /// re-admits a recovered node.
     fn forward_probe(&self, frame: &str) -> Result<String, ServeError> {
-        self.forward_raw(frame, false)
+        self.counters.probes_sent.fetch_add(1, Ordering::Relaxed);
+        self.probing.store(true, Ordering::Relaxed);
+        let result = self.forward_raw(frame, false);
+        self.probing.store(false, Ordering::Relaxed);
+        if result.is_ok() {
+            self.counters.probes_ok.fetch_add(1, Ordering::Relaxed);
+            // The node answered: close the breaker so counted
+            // forwards flow again (automatic re-admission).
+            self.consecutive_failures.store(0, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn breaker_state(&self) -> BreakerState {
+        self.state()
     }
 }
 

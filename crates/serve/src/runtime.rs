@@ -57,13 +57,13 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use willump::{
     CountMinSketch, LatencyHistogram, PlanCounters, PlanCountersSnapshot, RateEstimator,
@@ -74,7 +74,7 @@ use crate::protocol::{
     decode_request, decode_response, encode_request, encode_response, error_wire, ControlRequest,
     EndpointCounters, Request, Response, WireRow, ERROR_RESPONSE_ID,
 };
-use crate::remote::{RemoteWorker, TransportStats, WorkerTransport};
+use crate::remote::{BreakerState, RemoteWorker, TransportStats, WorkerTransport};
 use crate::selection::{ModelSelector, SelectionPolicy};
 use crate::server::{Servable, ServerConfig};
 use crate::ServeError;
@@ -118,6 +118,8 @@ pub struct ServerStats {
     degraded: AtomicU64,
     shed: AtomicU64,
     hot_keys: AtomicU64,
+    probes_sent: AtomicU64,
+    probes_ok: AtomicU64,
     worker_batches: Vec<AtomicU64>,
 }
 
@@ -140,6 +142,8 @@ impl ServerStats {
             degraded: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             hot_keys: AtomicU64::new(0),
+            probes_sent: AtomicU64::new(0),
+            probes_ok: AtomicU64::new(0),
             worker_batches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -246,6 +250,19 @@ impl ServerStats {
         self.hot_keys.load(Ordering::Relaxed)
     }
 
+    /// Health probes sent by the cluster control plane (counter
+    /// probes against open-breaker shards; never counted as
+    /// [`remote_forwards`](ServerStats::remote_forwards)).
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Health probes the probed node answered (each closes the
+    /// shard's circuit breaker, re-admitting the node).
+    pub fn probes_ok(&self) -> u64 {
+        self.probes_ok.load(Ordering::Relaxed)
+    }
+
     /// Worker-iteration counts, one entry per worker thread.
     pub fn worker_batches(&self) -> Vec<u64> {
         self.worker_batches
@@ -253,9 +270,112 @@ impl ServerStats {
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
+
+    pub(crate) fn record_probe(&self, ok: bool) {
+        self.probes_sent.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            self.probes_ok.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A coherent point-in-time copy of every counter, for export or
+    /// before/after diffing in experiments. Every numeric counter on
+    /// [`ServerStats`] MUST be folded here — `xtask lint` rule WL002
+    /// (stats-completeness) enforces it.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            requests: self.requests(),
+            rows: self.rows(),
+            batches: self.batches(),
+            decode_errors: self.decode_errors(),
+            route_errors: self.route_errors(),
+            coalesced_rows: self.coalesced_rows(),
+            max_batch_rows: self.max_batch_rows(),
+            remote_forwards: self.remote_forwards(),
+            remote_bytes_sent: self.remote_bytes_sent(),
+            remote_bytes_received: self.remote_bytes_received(),
+            remote_max_in_flight: self.remote_max_in_flight(),
+            transport_errors: self.transport_errors(),
+            failovers: self.failovers(),
+            degraded: self.degraded(),
+            shed: self.shed(),
+            hot_keys: self.hot_keys(),
+            probes_sent: self.probes_sent(),
+            probes_ok: self.probes_ok(),
+            worker_batches: self.worker_batches(),
+        }
+    }
+}
+
+/// Owned point-in-time copy of [`ServerStats`] (see
+/// [`ServerStats::snapshot`]), for export or before/after diffing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStatsSnapshot {
+    /// Requests received (including decode/route failures).
+    #[serde(default)]
+    pub requests: u64,
+    /// Input rows across decoded and routed requests.
+    #[serde(default)]
+    pub rows: u64,
+    /// Worker iterations.
+    #[serde(default)]
+    pub batches: u64,
+    /// Requests whose payload failed to decode.
+    #[serde(default)]
+    pub decode_errors: u64,
+    /// Requests addressing an unknown endpoint or version.
+    #[serde(default)]
+    pub route_errors: u64,
+    /// Rows served through merged multi-request model batches.
+    #[serde(default)]
+    pub coalesced_rows: u64,
+    /// Largest single successful `predict_table` batch.
+    #[serde(default)]
+    pub max_batch_rows: u64,
+    /// Requests answered by a remote shard.
+    #[serde(default)]
+    pub remote_forwards: u64,
+    /// Bytes written to remote-shard transports.
+    #[serde(default)]
+    pub remote_bytes_sent: u64,
+    /// Bytes read back from remote-shard transports.
+    #[serde(default)]
+    pub remote_bytes_received: u64,
+    /// Peak remote forwards simultaneously in flight.
+    #[serde(default)]
+    pub remote_max_in_flight: u64,
+    /// Failed transport forwards.
+    #[serde(default)]
+    pub transport_errors: u64,
+    /// Requests re-routed after their shard's transport failed.
+    #[serde(default)]
+    pub failovers: u64,
+    /// Requests served by a degraded plan lowering.
+    #[serde(default)]
+    pub degraded: u64,
+    /// Requests shed at admission.
+    #[serde(default)]
+    pub shed: u64,
+    /// Requests whose routing key tested as a heavy hitter.
+    #[serde(default)]
+    pub hot_keys: u64,
+    /// Health probes sent by the cluster control plane.
+    #[serde(default)]
+    pub probes_sent: u64,
+    /// Health probes the probed node answered.
+    #[serde(default)]
+    pub probes_ok: u64,
+    /// Worker-iteration counts, one entry per worker thread.
+    #[serde(default)]
+    pub worker_batches: Vec<u64>,
 }
 
 /// Per-endpoint (name + version) serving counters.
+///
+/// Per-shard views cover local shards (backed by fixed counters here)
+/// followed by the endpoint's **live** remote slots (counters ride on
+/// the live topology slot itself, so they follow the slot through
+/// drain/re-add instead of being pinned to a build-time index).
 #[derive(Debug)]
 pub struct EndpointStats {
     requests: AtomicU64,
@@ -272,17 +392,22 @@ pub struct EndpointStats {
     degraded: AtomicU64,
     shed: AtomicU64,
     hot_keys: AtomicU64,
+    probes_sent: AtomicU64,
+    probes_ok: AtomicU64,
+    /// The endpoint's remote slots, shared with [`Endpoint`] so
+    /// per-shard views stay index-aligned with routing.
+    remote: Arc<RemoteTopology>,
 }
 
 impl EndpointStats {
-    fn new(shards: usize) -> EndpointStats {
+    fn new(local_shards: usize, remote: Arc<RemoteTopology>) -> EndpointStats {
         EndpointStats {
             requests: AtomicU64::new(0),
             rows: AtomicU64::new(0),
             coalesced_rows: AtomicU64::new(0),
             max_batch_rows: AtomicU64::new(0),
-            shard_requests: (0..shards).map(|_| AtomicU64::new(0)).collect(),
-            shard_transport_nanos: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_requests: (0..local_shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_transport_nanos: (0..local_shards).map(|_| AtomicU64::new(0)).collect(),
             remote_bytes_sent: AtomicU64::new(0),
             remote_bytes_received: AtomicU64::new(0),
             remote_max_in_flight: AtomicU64::new(0),
@@ -291,6 +416,9 @@ impl EndpointStats {
             degraded: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             hot_keys: AtomicU64::new(0),
+            probes_sent: AtomicU64::new(0),
+            probes_ok: AtomicU64::new(0),
+            remote,
         }
     }
 
@@ -315,13 +443,24 @@ impl EndpointStats {
         self.max_batch_rows.load(Ordering::Relaxed)
     }
 
-    /// Requests per shard (shard-routing observability: equal keys
-    /// increment exactly one entry).
+    /// Requests per shard, local shards first then the current remote
+    /// slots (shard-routing observability: equal keys increment
+    /// exactly one entry). Remote entries follow their slot through
+    /// topology changes, so the vector length tracks the live shard
+    /// count.
     pub fn shard_requests(&self) -> Vec<u64> {
-        self.shard_requests
+        let mut per_shard: Vec<u64> = self
+            .shard_requests
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
-            .collect()
+            .collect();
+        per_shard.extend(
+            self.remote
+                .slots()
+                .iter()
+                .map(|s| s.requests.load(Ordering::Relaxed)),
+        );
+        per_shard
     }
 
     /// Cumulative transport round-trip nanoseconds per shard. Local
@@ -329,10 +468,18 @@ impl EndpointStats {
     /// inside worker batching instead) always read 0; remote shards
     /// accumulate the full forward latency.
     pub fn shard_transport_nanos(&self) -> Vec<u64> {
-        self.shard_transport_nanos
+        let mut per_shard: Vec<u64> = self
+            .shard_transport_nanos
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
-            .collect()
+            .collect();
+        per_shard.extend(
+            self.remote
+                .slots()
+                .iter()
+                .map(|s| s.transport_nanos.load(Ordering::Relaxed)),
+        );
+        per_shard
     }
 
     /// Bytes written to this endpoint's remote-shard transports (0
@@ -380,6 +527,23 @@ impl EndpointStats {
         self.hot_keys.load(Ordering::Relaxed)
     }
 
+    /// Health probes sent against this endpoint's remote shards.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Health probes this endpoint's remote shards answered.
+    pub fn probes_ok(&self) -> u64 {
+        self.probes_ok.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_probe(&self, ok: bool) {
+        self.probes_sent.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            self.probes_ok.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A coherent point-in-time copy of every counter, for export or
     /// cross-endpoint aggregation. Every numeric counter on
     /// [`EndpointStats`] MUST be folded here — `xtask lint` rule
@@ -400,6 +564,8 @@ impl EndpointStats {
             degraded: self.degraded(),
             shed: self.shed(),
             hot_keys: self.hot_keys(),
+            probes_sent: self.probes_sent(),
+            probes_ok: self.probes_ok(),
         }
     }
 }
@@ -455,6 +621,12 @@ pub struct EndpointStatsSnapshot {
     /// Requests whose routing key tested as a heavy hitter.
     #[serde(default)]
     pub hot_keys: u64,
+    /// Health probes sent against remote shards.
+    #[serde(default)]
+    pub probes_sent: u64,
+    /// Health probes the remote shards answered.
+    #[serde(default)]
+    pub probes_ok: u64,
 }
 
 impl EndpointStatsSnapshot {
@@ -478,6 +650,8 @@ impl EndpointStatsSnapshot {
             degraded: self.degraded + other.degraded,
             shed: self.shed + other.shed,
             hot_keys: self.hot_keys + other.hot_keys,
+            probes_sent: self.probes_sent + other.probes_sent,
+            probes_ok: self.probes_ok + other.probes_ok,
         }
     }
 }
@@ -624,17 +798,131 @@ enum AdmissionDecision {
     Shed,
 }
 
+// ---- remote shard slots --------------------------------------------
+
+/// One live remote shard slot of an [`Endpoint`].
+///
+/// Slots are held by `Arc` everywhere they are touched — routing
+/// snapshots, per-shard stats views, the cluster prober — so a slot
+/// detached by [`ServingRuntime::remove_shard`] or
+/// [`ServingRuntime::drain_shard`] stays fully valid for forwards
+/// that already picked it: topology mutation can never invalidate
+/// in-flight work.
+pub(crate) struct RemoteShard {
+    /// Transport reaching the remote node.
+    pub(crate) transport: Arc<dyn WorkerTransport>,
+    /// Last [`PlanCountersSnapshot`] fetched from the node (refreshed
+    /// by [`ServingRuntime::refresh_remote_counters`] and by the
+    /// cluster prober on successful health probes).
+    pub(crate) counters: Mutex<PlanCountersSnapshot>,
+    /// Requests routed to this slot (the dynamic analogue of the
+    /// local fixed `shard_requests` entries).
+    requests: AtomicU64,
+    /// Cumulative forward round-trip nanoseconds.
+    transport_nanos: AtomicU64,
+    /// Forwards currently in flight on this slot
+    /// ([`ServingRuntime::drain_shard`] waits for 0 before detaching).
+    in_flight: AtomicUsize,
+    /// A draining slot is excluded from new routing domains but keeps
+    /// finishing in-flight work.
+    draining: AtomicBool,
+}
+
+impl std::fmt::Debug for RemoteShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShard")
+            .field("transport", &self.transport.describe())
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .field("draining", &self.draining.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteShard {
+    /// Whether the slot is excluded from new routing domains.
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    fn new(transport: Arc<dyn WorkerTransport>) -> RemoteShard {
+        RemoteShard {
+            transport,
+            counters: Mutex::new(PlanCountersSnapshot::default()),
+            requests: AtomicU64::new(0),
+            transport_nanos: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The live remote-slot list of an endpoint, shared between the
+/// [`Endpoint`] (routing) and its [`EndpointStats`] (per-shard views)
+/// so both always index shards identically. The lock is only ever
+/// held to copy or splice the `Arc` list — never across a transport
+/// call (the lock-order deadlock detector enforces this in CI).
+#[derive(Debug, Default)]
+pub(crate) struct RemoteTopology {
+    slots: RwLock<Vec<Arc<RemoteShard>>>,
+}
+
+impl RemoteTopology {
+    /// All slots, including draining ones (stats/prober view).
+    pub(crate) fn slots(&self) -> Vec<Arc<RemoteShard>> {
+        self.slots.read().clone()
+    }
+
+    /// Slots admitting new work (routing view): draining slots are
+    /// excluded, so the key-hash domain shrinks the instant a drain
+    /// starts.
+    fn active(&self) -> Vec<Arc<RemoteShard>> {
+        self.slots
+            .read()
+            .iter()
+            .filter(|s| !s.draining.load(Ordering::Relaxed))
+            .cloned()
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    fn push(&self, slot: Arc<RemoteShard>) -> usize {
+        let mut slots = self.slots.write();
+        slots.push(slot);
+        slots.len() - 1
+    }
+
+    /// Detach `slot` (matched by identity, so concurrent removals of
+    /// other slots cannot shift it under us).
+    fn remove(&self, slot: &Arc<RemoteShard>) -> bool {
+        let mut slots = self.slots.write();
+        match slots.iter().position(|s| Arc::ptr_eq(s, slot)) {
+            Some(pos) => {
+                slots.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 // ---- endpoints -----------------------------------------------------
 
 /// One registered endpoint: a named, versioned, sharded deployment of
 /// a [`Servable`].
 ///
 /// Shards `0..local_shards` run on the runtime's own worker pool;
-/// shards `local_shards..shards` are **remote**, each backed by a
+/// shards `local_shards..shards()` are **remote**, each backed by a
 /// [`WorkerTransport`] (typically a [`RemoteWorker`] pointing at a
 /// [`crate::RemoteRuntimeNode`] in another process). Key-hash routing
 /// is uniform over all shards, so a key can stick to a remote shard
-/// exactly as it sticks to a local one.
+/// exactly as it sticks to a local one. The remote side is **live**:
+/// [`ServingRuntime::add_remote_shard`], [`ServingRuntime::drain_shard`]
+/// and [`ServingRuntime::remove_shard`] splice slots while serving,
+/// and every request routes over a coherent snapshot of the slot
+/// list.
 pub struct Endpoint {
     name: String,
     version: u32,
@@ -646,15 +934,10 @@ pub struct Endpoint {
     /// [`AdmissionPolicy`].
     telemetry: Option<Telemetry>,
     counters: Option<Arc<PlanCounters>>,
-    /// Total shard count (local + remote).
-    shards: usize,
     /// Shards served by the runtime's own worker pool.
     local_shards: usize,
-    /// One transport per remote shard (index `s - local_shards`).
-    transports: Vec<Arc<dyn WorkerTransport>>,
-    /// Last [`PlanCountersSnapshot`] fetched from each remote shard
-    /// (see [`ServingRuntime::refresh_remote_counters`]).
-    remote_counters: Vec<Mutex<PlanCountersSnapshot>>,
+    /// Live remote shard slots (shared with [`EndpointStats`]).
+    remote: Arc<RemoteTopology>,
     weight: f64,
     shadow: bool,
     /// Local shard -> worker index, rewritten by the scheduler.
@@ -677,7 +960,7 @@ impl std::fmt::Debug for Endpoint {
         f.debug_struct("Endpoint")
             .field("name", &self.name)
             .field("version", &self.version)
-            .field("shards", &self.shards)
+            .field("shards", &self.shards())
             .field("weight", &self.weight)
             .field("shadow", &self.shadow)
             .finish_non_exhaustive()
@@ -695,9 +978,10 @@ impl Endpoint {
         self.version
     }
 
-    /// Total number of shards (local + remote).
+    /// Total number of shards (local + remote) at this instant; the
+    /// remote side can change while serving.
     pub fn shards(&self) -> usize {
-        self.shards
+        self.local_shards + self.remote.len()
     }
 
     /// Shards served by this runtime's own worker pool (shard indices
@@ -707,20 +991,43 @@ impl Endpoint {
     }
 
     /// Shards served through a [`WorkerTransport`] (shard indices
-    /// `local_shards()..shards()`).
+    /// `local_shards()..shards()`) at this instant.
     pub fn remote_shards(&self) -> usize {
-        self.shards - self.local_shards
+        self.remote.len()
     }
 
     /// Per-remote-shard transport counters, in shard order (empty for
     /// all-local endpoints).
     pub fn transport_stats(&self) -> Vec<TransportStats> {
-        self.transports.iter().map(|t| t.stats()).collect()
+        self.remote
+            .slots()
+            .iter()
+            .map(|s| s.transport.stats())
+            .collect()
+    }
+
+    /// Per-remote-shard circuit-breaker states, in shard order.
+    pub fn transport_breaker_states(&self) -> Vec<BreakerState> {
+        self.remote
+            .slots()
+            .iter()
+            .map(|s| s.transport.breaker_state())
+            .collect()
     }
 
     /// Per-remote-shard transport descriptions, in shard order.
     pub fn transport_descriptions(&self) -> Vec<String> {
-        self.transports.iter().map(|t| t.describe()).collect()
+        self.remote
+            .slots()
+            .iter()
+            .map(|s| s.transport.describe())
+            .collect()
+    }
+
+    /// Current remote slots, including draining ones (cluster-plane
+    /// view).
+    pub(crate) fn remote_slots(&self) -> Vec<Arc<RemoteShard>> {
+        self.remote.slots()
     }
 
     /// Traffic weight among unpinned requests to this endpoint name.
@@ -762,12 +1069,12 @@ impl Endpoint {
         // node's traffic would be weighed N-fold.
         let mut seen: Vec<String> = Vec::new();
         let mut acc = local;
-        for (transport, snapshot) in self.transports.iter().zip(&self.remote_counters) {
-            let who = transport.describe();
+        for slot in self.remote.slots() {
+            let who = slot.transport.describe();
             if seen.contains(&who) {
                 continue;
             }
-            acc = acc.merged(*snapshot.lock());
+            acc = acc.merged(*slot.counters.lock());
             seen.push(who);
         }
         acc
@@ -910,7 +1217,7 @@ struct GateState {
     closed: bool,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     groups: Vec<Group>,
     default_group: usize,
     config: ServerConfig,
@@ -927,6 +1234,12 @@ struct Shared {
     /// Remote forwards currently in flight runtime-wide (feeds the
     /// global `remote_max_in_flight` high-water mark).
     remote_in_flight: AtomicUsize,
+    /// Node-level drain latch, flipped by [`ControlRequest::Drain`] /
+    /// [`ControlRequest::Leave`] and cleared by
+    /// [`ControlRequest::Join`]: while set, new predictions are
+    /// refused with an [`Response::overloaded`] marker but control
+    /// frames and in-flight work keep completing.
+    draining: AtomicBool,
     stats: ServerStats,
     n_workers: usize,
 }
@@ -940,6 +1253,22 @@ enum Admitted {
 }
 
 impl Shared {
+    /// Every endpoint (primaries then shadows per group) — the
+    /// cluster prober's sweep list.
+    pub(crate) fn all_endpoints(&self) -> Vec<Arc<Endpoint>> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.primaries.iter().chain(g.shadows.iter()))
+            .map(Arc::clone)
+            .collect()
+    }
+
+    /// Global server counters (probe accounting for the cluster
+    /// prober).
+    pub(crate) fn server_stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
     fn find_group(&self, name: Option<&str>) -> Option<&Group> {
         match name {
             None => self.groups.get(self.default_group),
@@ -1022,6 +1351,24 @@ impl Shared {
         }
     }
 
+    /// Answer one lifecycle/observability control frame.
+    fn control_response(&self, id: u64, op: ControlRequest) -> Response {
+        match op {
+            ControlRequest::Counters => self.counters_report(id),
+            ControlRequest::Join => {
+                self.draining.store(false, Ordering::Relaxed);
+                control_ack(id)
+            }
+            // Leave is Drain plus a permanent-departure intent; the
+            // node-side effect is identical (the *parent* decides
+            // whether to re-admit the peer later).
+            ControlRequest::Drain | ControlRequest::Leave => {
+                self.draining.store(true, Ordering::Relaxed);
+                control_ack(id)
+            }
+        }
+    }
+
     /// Decode, route, and enqueue one wire payload (the legacy JSON
     /// boundary over [`admit_request`](Self::admit_request)).
     fn admit(&self, payload: &str) -> Result<Admitted, ServeError> {
@@ -1062,8 +1409,20 @@ impl Shared {
     fn route_request(&self, req: Request) -> Result<Admitted, ServeError> {
         // Control frames are answered at admission — they never touch
         // worker queues or row counters.
-        if let Some(ControlRequest::Counters) = req.control {
-            return Ok(Admitted::Immediate(self.counters_report(req.id)));
+        if let Some(op) = req.control {
+            return Ok(Admitted::Immediate(self.control_response(req.id, op)));
+        }
+        // A draining node refuses new predictions; control frames are
+        // answered above so a parent can keep polling counters while
+        // the node winds down. The Overloaded marker lets the parent
+        // relay the refusal without treating the node as dead.
+        if self.draining.load(Ordering::Relaxed) {
+            let mut resp = Response::failure(
+                req.id,
+                "node is draining: new requests are not admitted".to_string(),
+            );
+            resp.overloaded = true;
+            return Ok(Admitted::Immediate(resp));
         }
         let Some(group) = self.find_group(req.endpoint.as_deref()) else {
             self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
@@ -1125,7 +1484,7 @@ impl Shared {
             .filter(|shadow| shadow.local_shards > 0)
             .map(|shadow| {
                 let shard = pick_shard(shadow, key.as_deref(), shadow.local_shards, false);
-                record_route(shadow, shard, &req);
+                record_route(shadow, shard, &[], &req);
                 (
                     shadow.assignment[shard].load(Ordering::Relaxed),
                     RoutedJob {
@@ -1139,20 +1498,28 @@ impl Shared {
             .collect();
 
         // Forwarded frames stay on local shards (the forwarding-loop
-        // guard); plain frames route uniformly over local + remote.
-        let domain = if req.forwarded {
-            entry.local_shards
+        // guard); plain frames route uniformly over local shards plus
+        // the remote slots currently admitting work. The slot list is
+        // snapshotted once per request, so a concurrent drain or add
+        // rebuilds the key-hash domain atomically *between* requests,
+        // never inside one — and every forward below works on `Arc`s
+        // from this snapshot, immune to topology mutation.
+        let remote_active: Vec<Arc<RemoteShard>> = if req.forwarded {
+            Vec::new()
         } else {
-            entry.shards
+            entry.remote.active()
         };
+        let domain = entry.local_shards + remote_active.len();
         if domain == 0 {
             self.stats.route_errors.fetch_add(1, Ordering::Relaxed);
+            let why = if req.forwarded {
+                "no local shards to serve a forwarded frame"
+            } else {
+                "no shards admitting new requests"
+            };
             return Ok(Admitted::Immediate(Response::failure(
                 req.id,
-                format!(
-                    "endpoint `{}` has no local shards to serve a forwarded frame",
-                    entry.name
-                ),
+                format!("endpoint `{}` has {why}", entry.name),
             )));
         }
         let shard = pick_shard(&entry, key.as_deref(), domain, req.forwarded);
@@ -1189,7 +1556,7 @@ impl Shared {
             }
         }
 
-        record_route(&entry, shard, &req);
+        record_route(&entry, shard, &remote_active, &req);
         self.stats
             .rows
             .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
@@ -1197,7 +1564,7 @@ impl Shared {
         let worker = if shard < entry.local_shards {
             entry.assignment[shard].load(Ordering::Relaxed)
         } else {
-            match self.forward_remote(&entry, shard, &req) {
+            match self.forward_remote(&entry, shard, &remote_active, &req) {
                 RemoteOutcome::Served(response) => {
                     // The remote node already executed this request;
                     // its answer must reach the caller even when the
@@ -1281,11 +1648,17 @@ impl Shared {
     }
 
     /// Forward a request to remote shard `shard` of `entry`,
-    /// failing over across the endpoint's other remote shards when
-    /// the routed one's transport errors. Forward latency lands in
-    /// the endpoint's per-shard transport counters; wire bytes and
-    /// peak in-flight depth land on both stats levels.
-    fn forward_remote(&self, entry: &Endpoint, shard: usize, req: &Request) -> RemoteOutcome {
+    /// failing over across the endpoint's other active remote slots
+    /// when the routed one's transport errors. Forward latency lands
+    /// on the slot's transport counter; wire bytes and peak in-flight
+    /// depth land on both stats levels.
+    fn forward_remote(
+        &self,
+        entry: &Endpoint,
+        shard: usize,
+        slots: &[Arc<RemoteShard>],
+        req: &Request,
+    ) -> RemoteOutcome {
         let depth = self.remote_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         self.stats
             .remote_max_in_flight
@@ -1295,13 +1668,19 @@ impl Shared {
             .stats
             .remote_max_in_flight
             .fetch_max(entry_depth as u64, Ordering::Relaxed);
-        let outcome = self.forward_remote_inner(entry, shard, req);
+        let outcome = self.forward_remote_inner(entry, shard, slots, req);
         entry.remote_in_flight.fetch_sub(1, Ordering::Relaxed);
         self.remote_in_flight.fetch_sub(1, Ordering::Relaxed);
         outcome
     }
 
-    fn forward_remote_inner(&self, entry: &Endpoint, shard: usize, req: &Request) -> RemoteOutcome {
+    fn forward_remote_inner(
+        &self,
+        entry: &Endpoint,
+        shard: usize,
+        slots: &[Arc<RemoteShard>],
+        req: &Request,
+    ) -> RemoteOutcome {
         let frame = Request {
             id: req.id,
             rows: req.rows.clone(),
@@ -1311,10 +1690,11 @@ impl Shared {
             forwarded: true,
             control: None,
         };
-        let n_remote = entry.transports.len();
+        let n_remote = slots.len();
         let first = shard - entry.local_shards;
         for i in 0..n_remote {
             let idx = (first + i) % n_remote;
+            let slot = &slots[idx];
             if i > 0 {
                 // Trying a shard other than the routed one is a
                 // fail-over re-route.
@@ -1322,7 +1702,12 @@ impl Shared {
                 self.stats.failovers.fetch_add(1, Ordering::Relaxed);
             }
             let start = std::time::Instant::now();
-            match entry.transports[idx].forward_request(&frame) {
+            // The slot gauge brackets the transport call so
+            // `drain_shard` knows when the slot has gone quiet.
+            slot.in_flight.fetch_add(1, Ordering::SeqCst);
+            let forwarded = slot.transport.forward_request(&frame);
+            slot.in_flight.fetch_sub(1, Ordering::SeqCst);
+            match forwarded {
                 Ok(reply) => {
                     let nanos = start.elapsed().as_nanos() as u64;
                     // A shed (Overloaded) answer measured no
@@ -1330,8 +1715,7 @@ impl Shared {
                     // exclusion, it must not skew per-shard transport
                     // latency.
                     if !reply.response.overloaded {
-                        entry.stats.shard_transport_nanos[entry.local_shards + idx]
-                            .fetch_add(nanos, Ordering::Relaxed);
+                        slot.transport_nanos.fetch_add(nanos, Ordering::Relaxed);
                     }
                     self.stats.remote_forwards.fetch_add(1, Ordering::Relaxed);
                     self.stats
@@ -1444,14 +1828,36 @@ fn pick_shard(entry: &Endpoint, key: Option<&str>, domain: usize, forwarded: boo
 }
 
 /// Record per-endpoint request/rows/shard counters for one routed
-/// request.
-fn record_route(entry: &Endpoint, shard: usize, req: &Request) {
+/// request. Remote routes land on the slot picked from this request's
+/// routing snapshot, so the counter follows the slot through topology
+/// changes.
+fn record_route(entry: &Endpoint, shard: usize, remote: &[Arc<RemoteShard>], req: &Request) {
     entry.stats.requests.fetch_add(1, Ordering::Relaxed);
     entry
         .stats
         .rows
         .fetch_add(req.rows.len() as u64, Ordering::Relaxed);
-    entry.stats.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
+    if shard < entry.local_shards {
+        entry.stats.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
+    } else {
+        remote[shard - entry.local_shards]
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Empty success response acknowledging a lifecycle control frame.
+fn control_ack(id: u64) -> Response {
+    Response {
+        id,
+        scores: Vec::new(),
+        error: None,
+        endpoint: None,
+        version: None,
+        counters: None,
+        degraded: false,
+        overloaded: false,
+    }
 }
 
 // ---- worker-side serving -------------------------------------------
@@ -1929,12 +2335,14 @@ impl RuntimeBuilder {
             } else {
                 spec.shards
             };
-            let shards = local_shards + spec.transports.len();
-            let remote_counters = spec
-                .transports
-                .iter()
-                .map(|_| Mutex::new(PlanCountersSnapshot::default()))
-                .collect();
+            let remote = Arc::new(RemoteTopology {
+                slots: RwLock::new(
+                    spec.transports
+                        .into_iter()
+                        .map(|t| Arc::new(RemoteShard::new(t)))
+                        .collect(),
+                ),
+            });
             let entry = Arc::new(Endpoint {
                 name: spec.name.clone(),
                 version: spec.version,
@@ -1942,10 +2350,8 @@ impl RuntimeBuilder {
                 degraded_servable: spec.degraded,
                 telemetry: with_admission.then(Telemetry::new),
                 counters: spec.counters,
-                shards,
                 local_shards,
-                transports: spec.transports,
-                remote_counters,
+                remote: Arc::clone(&remote),
                 weight: spec.weight,
                 shadow: spec.shadow,
                 assignment: (0..local_shards).map(|_| AtomicUsize::new(0)).collect(),
@@ -1953,7 +2359,7 @@ impl RuntimeBuilder {
                 next_forwarded: AtomicUsize::new(0),
                 next_failover: AtomicUsize::new(0),
                 remote_in_flight: AtomicUsize::new(0),
-                stats: EndpointStats::new(shards),
+                stats: EndpointStats::new(local_shards, remote),
             });
             let group = match groups.iter_mut().find(|g| g.name == spec.name) {
                 Some(g) => g,
@@ -2050,6 +2456,7 @@ impl RuntimeBuilder {
                 closed: false,
             }),
             remote_in_flight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
             stats: ServerStats::new(n_workers),
             n_workers,
         });
@@ -2316,14 +2723,135 @@ impl ServingRuntime {
     pub fn refresh_remote_counters(&self) -> usize {
         let mut updated = 0;
         for e in self.endpoints() {
-            for (i, transport) in e.transports.iter().enumerate() {
-                if let Ok(snap) = transport.probe_counters(&e.name, e.version) {
-                    *e.remote_counters[i].lock() = snap;
+            for slot in e.remote_slots() {
+                if let Ok(snap) = slot.transport.probe_counters(&e.name, e.version) {
+                    *slot.counters.lock() = snap;
                     updated += 1;
                 }
             }
         }
         updated
+    }
+
+    /// Whether this runtime is draining (a [`ControlRequest::Drain`]
+    /// or [`ControlRequest::Leave`] frame arrived and no
+    /// [`ControlRequest::Join`] has cleared it): new predictions are
+    /// refused with an [`Response::overloaded`] marker while
+    /// in-flight work and control frames keep completing.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Attach a new remote shard to a running endpoint. The shard
+    /// joins the key-hash routing domain with the next admitted
+    /// request; no restart, no queue flush. Returns the new shard
+    /// index (`local_shards()..` at the instant of the splice).
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] when no primary endpoint matches
+    /// `name`/`version`.
+    pub fn add_remote_shard(
+        &self,
+        name: &str,
+        version: u32,
+        transport: Arc<dyn WorkerTransport>,
+    ) -> Result<usize, ServeError> {
+        let entry = self
+            .endpoint(name, version)
+            .ok_or_else(|| ServeError::BadRequest {
+                reason: format!("no endpoint `{name}` v{version} to add a shard to"),
+            })?;
+        let slot = entry.remote.push(Arc::new(RemoteShard::new(transport)));
+        Ok(entry.local_shards + slot)
+    }
+
+    /// Detach remote shard `shard` (a `local_shards()..shards()`
+    /// index) of `name`/`version` immediately. Requests that already
+    /// routed to the slot finish on their own `Arc` handles — nothing
+    /// in flight is dropped — but no new request will pick it. Use
+    /// [`drain_shard`](Self::drain_shard) to also wait for in-flight
+    /// work before detaching.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] when the endpoint or shard index
+    /// does not exist, or the index names a local shard.
+    pub fn remove_shard(&self, name: &str, version: u32, shard: usize) -> Result<(), ServeError> {
+        let (entry, slot) = self.remote_slot(name, version, shard)?;
+        slot.draining.store(true, Ordering::SeqCst);
+        entry.remote.remove(&slot);
+        Ok(())
+    }
+
+    /// Drain remote shard `shard` (a `local_shards()..shards()`
+    /// index) of `name`/`version`: stop admitting new requests to it
+    /// at once, wait until its in-flight forwards complete (up to
+    /// `timeout`), then detach it. Zero in-flight loss: every request
+    /// that picked the slot holds its own `Arc` and completes
+    /// normally.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] when the endpoint or shard index
+    /// does not exist or the index names a local shard;
+    /// [`ServeError::Transport`] when in-flight work did not finish
+    /// within `timeout` (the slot stays attached but draining — call
+    /// again, or [`remove_shard`](Self::remove_shard) to force).
+    pub fn drain_shard(
+        &self,
+        name: &str,
+        version: u32,
+        shard: usize,
+        timeout: Duration,
+    ) -> Result<(), ServeError> {
+        let (entry, slot) = self.remote_slot(name, version, shard)?;
+        // New routing snapshots exclude the slot from here on.
+        slot.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        while slot.in_flight.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return Err(ServeError::Transport(format!(
+                    "drain of `{name}` v{version} shard {shard} timed out with {} forwards in flight",
+                    slot.in_flight.load(Ordering::SeqCst)
+                )));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        entry.remote.remove(&slot);
+        Ok(())
+    }
+
+    /// Resolve a global remote-shard index to its endpoint and slot.
+    fn remote_slot(
+        &self,
+        name: &str,
+        version: u32,
+        shard: usize,
+    ) -> Result<(Arc<Endpoint>, Arc<RemoteShard>), ServeError> {
+        let bad = |reason: String| ServeError::BadRequest { reason };
+        let entry = self
+            .endpoint(name, version)
+            .ok_or_else(|| bad(format!("no endpoint `{name}` v{version}")))?;
+        if shard < entry.local_shards {
+            return Err(bad(format!(
+                "shard {shard} of `{name}` v{version} is local; only remote shards can be drained or removed"
+            )));
+        }
+        let slot = entry
+            .remote
+            .slots()
+            .get(shard - entry.local_shards)
+            .cloned()
+            .ok_or_else(|| {
+                bad(format!(
+                    "endpoint `{name}` v{version} has no remote shard {shard}"
+                ))
+            })?;
+        Ok((entry, slot))
+    }
+
+    /// The shared core handed to the cluster prober thread (see
+    /// `crate::cluster`).
+    pub(crate) fn cluster_core(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
     }
 
     /// A client handle for this runtime.

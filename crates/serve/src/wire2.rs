@@ -17,7 +17,7 @@
 //! ```text
 //! offset  size  field
 //! 0       1     magic (0xB2)
-//! 1       1     protocol version (2)
+//! 1       1     protocol version ([`WIRE2_MIN_VERSION`]..=[`WIRE2_VERSION`])
 //! 2       1     frame type (see below)
 //! 3       4     request id, u32 little-endian (mux correlation id)
 //! 7       4     payload length, u32 little-endian
@@ -82,7 +82,17 @@ pub const WIRE2_MAGIC: u8 = 0xB2;
 /// The binary protocol version carried in byte 1 of every frame.
 /// MUST be bumped whenever [`WIRE2_LAYOUT`] changes (`xtask lint`
 /// rule WL001 enforces it).
-pub const WIRE2_VERSION: u8 = 2;
+///
+/// v3 added the cluster-lifecycle control tags
+/// (`ControlRequest::{Join, Drain, Leave}`); every v2 frame is
+/// bit-identical under v3, so readers accept
+/// [`WIRE2_MIN_VERSION`]`..=`[`WIRE2_VERSION`].
+pub const WIRE2_VERSION: u8 = 3;
+
+/// Oldest frame version this build still decodes. v2 is a strict
+/// subset of v3 (same layout, fewer control tags), so v2 frames from
+/// older peers decode unchanged.
+pub const WIRE2_MIN_VERSION: u8 = 2;
 
 /// Size of the fixed frame header in bytes.
 pub const WIRE2_HEADER_LEN: usize = 11;
@@ -138,6 +148,7 @@ pub const WIRE2_LAYOUT: &[(&str, &[&str])] = &[
         &["rows", "gate_resolved", "escalated", "filter_dropped"],
     ),
     ("Value", &["Null", "Bool", "Int", "Float", "Str"]),
+    ("ControlRequest", &["Counters", "Join", "Drain", "Leave"]),
 ];
 
 /// The kind of one v2 frame (byte 2 of the header).
@@ -209,9 +220,9 @@ pub fn decode_header(buf: &[u8; WIRE2_HEADER_LEN]) -> Result<FrameHeader, ServeE
             buf[0]
         )));
     }
-    if buf[1] != WIRE2_VERSION {
+    if !(WIRE2_MIN_VERSION..=WIRE2_VERSION).contains(&buf[1]) {
         return Err(ServeError::Codec(format!(
-            "unsupported wire2 version {} (this build speaks {WIRE2_VERSION})",
+            "unsupported wire2 version {} (this build speaks {WIRE2_MIN_VERSION}..={WIRE2_VERSION})",
             buf[1]
         )));
     }
@@ -496,9 +507,15 @@ pub fn encode_request_payload(req: &Request) -> Vec<u8> {
     out.push(u8::from(req.forwarded));
     match req.control {
         None => out.push(0),
-        Some(ControlRequest::Counters) => {
+        Some(op) => {
             out.push(1);
-            out.push(0);
+            // Variant-tag order frozen in WIRE2_LAYOUT ("ControlRequest").
+            out.push(match op {
+                ControlRequest::Counters => 0,
+                ControlRequest::Join => 1,
+                ControlRequest::Drain => 2,
+                ControlRequest::Leave => 3,
+            });
         }
     }
     out
@@ -536,6 +553,9 @@ pub fn decode_request_payload(buf: &[u8]) -> Result<Request, ServeError> {
         0 => None,
         1 => match c.u8()? {
             0 => Some(ControlRequest::Counters),
+            1 => Some(ControlRequest::Join),
+            2 => Some(ControlRequest::Drain),
+            3 => Some(ControlRequest::Leave),
             t => return Err(ServeError::Codec(format!("unknown control tag {t}"))),
         },
         b => return Err(ServeError::Codec(format!("invalid option byte {b}"))),
@@ -809,11 +829,48 @@ mod tests {
                 "Response",
                 "EndpointCounters",
                 "PlanCountersSnapshot",
-                "Value"
+                "Value",
+                "ControlRequest"
             ]
         );
         let request_fields = WIRE2_LAYOUT[0].1;
         assert_eq!(request_fields.len(), 7, "Request encodes 7 fields");
         assert_eq!(WIRE2_LAYOUT[1].1.len(), 8, "Response encodes 8 fields");
+        assert_eq!(
+            WIRE2_LAYOUT[5].1.len(),
+            4,
+            "ControlRequest encodes 4 variant tags"
+        );
+    }
+
+    #[test]
+    fn control_variants_round_trip_and_v2_frames_still_decode() {
+        for op in [
+            ControlRequest::Counters,
+            ControlRequest::Join,
+            ControlRequest::Drain,
+            ControlRequest::Leave,
+        ] {
+            let req = Request::control_frame(5, op);
+            let buf = encode_request_payload(&req);
+            assert_eq!(decode_request_payload(&buf).unwrap(), req);
+        }
+        // An unknown future tag is a codec error, not a panic.
+        let mut buf = encode_request_payload(&Request::control_frame(5, ControlRequest::Leave));
+        *buf.last_mut().unwrap() = 9;
+        assert!(decode_request_payload(&buf)
+            .unwrap_err()
+            .to_string()
+            .contains("control tag"));
+        // A v2 header (older peer) still decodes under this build.
+        let mut h = encode_header(FrameType::BinRequest, 1, 0);
+        h[1] = WIRE2_MIN_VERSION;
+        assert_eq!(decode_header(&h).unwrap().payload_len, 0);
+        let mut h = encode_header(FrameType::BinRequest, 1, 0);
+        h[1] = WIRE2_MIN_VERSION - 1;
+        assert!(decode_header(&h)
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
     }
 }

@@ -1,0 +1,497 @@
+//! Integration tests for the cluster control plane: automatic
+//! re-admission of a killed-then-recovered node by the health prober,
+//! live topology mutation (add/drain/remove) with zero in-flight
+//! loss, node-level drain/join control frames, and the
+//! statistics-driven coordinator's one-migration-per-cycle rule.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use willump_data::{Table, Value};
+use willump_serve::{
+    decode_request, encode_request, BreakerState, ClusterConfig, ClusterCoordinator,
+    ControlRequest, InProcessWorker, RemoteRuntimeNode, RemoteWorker, Request, Servable,
+    ServeError, ServerConfig, ServingRuntime, WireRow,
+};
+
+/// Deterministic predictor shared with the remote.rs suite: local and
+/// remote shards provably answer identically.
+struct Affine;
+impl Servable for Affine {
+    fn predict_table(&self, table: &Table) -> Result<Vec<f64>, String> {
+        let xs = table
+            .column("x")
+            .ok_or_else(|| "missing x".to_string())?
+            .to_f64_vec()
+            .map_err(|e| e.to_string())?;
+        Ok(xs.into_iter().map(|x| 3.0 * x - 1.0).collect())
+    }
+}
+
+fn wire_rows(xs: &[f64]) -> Vec<WireRow> {
+    xs.iter()
+        .map(|&x| vec![("x".to_string(), Value::Float(x))])
+        .collect()
+}
+
+/// A child runtime serving `Affine` under `name` on a loopback port.
+fn spawn_node(name: &str, shards: usize) -> RemoteRuntimeNode {
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(2).build());
+    b.endpoint(name, Arc::new(Affine)).shards(shards);
+    RemoteRuntimeNode::bind("127.0.0.1:0", b.build().expect("child builds")).expect("node binds")
+}
+
+/// Rebind a node at the exact address a previous incarnation used
+/// (retrying through the OS releasing the port).
+fn respawn_node_at(addr: &str, name: &str, shards: usize) -> RemoteRuntimeNode {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut b = ServingRuntime::builder();
+        b.config(ServerConfig::builder().workers(2).build());
+        b.endpoint(name, Arc::new(Affine)).shards(shards);
+        match RemoteRuntimeNode::bind(addr, b.build().expect("child builds")) {
+            Ok(node) => return node,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "could not rebind {addr} within 10s: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// A key routed to shard `want` out of `domain` under key-hash
+/// routing.
+fn key_for_shard(want: usize, domain: usize) -> String {
+    (0..10_000)
+        .map(|i| format!("key-{i}"))
+        .find(|k| willump_serve::shard_for_key(k, domain) == want)
+        .expect("some key hashes to the wanted shard")
+}
+
+/// THE tentpole acceptance test: a runtime with 2 local + 2 remote
+/// shards survives kill → recover of the remote node with **automatic
+/// re-admission** — no restart, no manual call. The breaker cooldown
+/// is set to 10 minutes, so time-based half-opening cannot re-admit
+/// the node inside this test: only the cluster prober can, by
+/// exercising `forward_probe` and closing the breaker on success.
+#[test]
+fn killed_node_is_re_admitted_by_the_prober() {
+    let mut node = spawn_node("affine", 2);
+    let addr = node.local_addr().to_string();
+
+    let long = Duration::from_secs(600);
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(2).build());
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(2)
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr)
+                .with_timeout(Duration::from_secs(2))
+                .with_breaker(2, long),
+        ))
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr)
+                .with_timeout(Duration::from_secs(2))
+                .with_breaker(2, long),
+        ));
+    let runtime = b.build().expect("runtime builds");
+    let ep = runtime.endpoint("affine", 1).expect("endpoint exists");
+    assert_eq!(ep.shards(), 4);
+    let cluster = runtime.start_cluster(ClusterConfig {
+        probe_interval: Duration::from_millis(10),
+    });
+    let client = runtime.client();
+
+    // Remote shards serve while the node lives.
+    let remote_key = key_for_shard(2, 4);
+    assert_eq!(
+        client
+            .predict_keyed("affine", &remote_key, wire_rows(&[2.0]))
+            .expect("remote shard serves"),
+        vec![5.0]
+    );
+    assert!(runtime.stats().remote_forwards() >= 1);
+
+    // Kill the node. Keyed requests fail over to local shards and the
+    // breakers open (threshold 2, and each failed request tries both
+    // slots).
+    node.shutdown();
+    for i in 0..3 {
+        assert_eq!(
+            client
+                .predict_keyed("affine", &remote_key, wire_rows(&[i as f64]))
+                .expect("fail-over keeps serving"),
+            vec![3.0 * i as f64 - 1.0]
+        );
+    }
+    assert!(runtime.stats().failovers() >= 3);
+    assert!(
+        ep.transport_breaker_states()
+            .iter()
+            .all(|s| *s != BreakerState::Closed),
+        "breakers must leave Closed after repeated failures: {:?}",
+        ep.transport_breaker_states()
+    );
+
+    // Recover the node at the same address. The prober must re-admit
+    // it: breakers close with no restart and no manual call.
+    let node2 = respawn_node_at(&addr, "affine", 2);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while ep
+        .transport_breaker_states()
+        .iter()
+        .any(|s| *s != BreakerState::Closed)
+    {
+        assert!(
+            Instant::now() < deadline,
+            "prober did not re-admit the recovered node within 10s \
+             (states {:?}, probes sent {})",
+            ep.transport_breaker_states(),
+            runtime.stats().probes_sent()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Re-admitted for real: the same key serves remotely again.
+    let forwards_before = runtime.stats().remote_forwards();
+    assert_eq!(
+        client
+            .predict_keyed("affine", &remote_key, wire_rows(&[4.0]))
+            .expect("re-admitted shard serves"),
+        vec![11.0]
+    );
+    assert!(runtime.stats().remote_forwards() > forwards_before);
+
+    // Probe traffic is visible at every stats level and never counted
+    // as forwards.
+    assert!(runtime.stats().probes_sent() >= 1);
+    assert!(runtime.stats().probes_ok() >= 1);
+    assert!(ep.stats().probes_sent() >= 1);
+    assert!(ep.stats().probes_ok() >= 1);
+    let transport_probes: u64 = ep.transport_stats().iter().map(|t| t.probes_sent).sum();
+    let transport_probes_ok: u64 = ep.transport_stats().iter().map(|t| t.probes_ok).sum();
+    assert!(transport_probes >= 1);
+    assert!(transport_probes_ok >= 1);
+    assert_eq!(
+        runtime.summed_endpoint_stats().probes_sent,
+        runtime.stats().probes_sent()
+    );
+
+    cluster.stop();
+    drop(node2);
+}
+
+/// Drain-under-load: while concurrent clients hammer a 2-local +
+/// 2-remote endpoint, one remote shard is drained mid-stream. Not a
+/// single request may fail — in-flight forwards complete on their own
+/// slot handles, new requests re-map over the shrunk key-hash domain
+/// — and the shard then rejoins live.
+#[test]
+fn drain_under_load_drops_nothing_then_rejoins() {
+    let node = spawn_node("affine", 2);
+    let addr = node.local_addr().to_string();
+
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(2).build());
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(2)
+        .shard_remote(&addr)
+        .shard_remote(&addr);
+    let runtime = b.build().expect("runtime builds");
+    let ep = runtime.endpoint("affine", 1).expect("endpoint exists");
+    assert_eq!(ep.shards(), 4);
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..4u64 {
+            let client = runtime.client();
+            let stop = &stop;
+            let served = &served;
+            scope.spawn(move || {
+                let mut i = worker;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = format!("key-{i}");
+                    let x = i as f64;
+                    let scores = client
+                        .predict_keyed("affine", &key, wire_rows(&[x]))
+                        .expect("no request may fail during a drain");
+                    assert_eq!(scores, vec![3.0 * x - 1.0]);
+                    served.fetch_add(1, Ordering::Relaxed);
+                    i += 4;
+                }
+            });
+        }
+
+        // Let load build, then drain remote shard 3 mid-stream.
+        while served.load(Ordering::Relaxed) < 200 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        runtime
+            .drain_shard("affine", 1, 3, Duration::from_secs(10))
+            .expect("drain completes");
+        assert_eq!(ep.shards(), 3);
+
+        // Keep serving on the shrunk domain, then rejoin the shard.
+        let mark = served.load(Ordering::Relaxed);
+        while served.load(Ordering::Relaxed) < mark + 200 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let shard = runtime
+            .add_remote_shard("affine", 1, Arc::new(RemoteWorker::new(&addr)))
+            .expect("rejoin succeeds");
+        assert_eq!(shard, 3);
+        assert_eq!(ep.shards(), 4);
+
+        let mark = served.load(Ordering::Relaxed);
+        while served.load(Ordering::Relaxed) < mark + 200 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The rejoined slot starts with fresh per-shard counters and the
+    // stats view tracks the live topology.
+    assert_eq!(ep.stats().shard_requests().len(), 4);
+    assert!(served.load(Ordering::Relaxed) >= 600);
+    assert_eq!(runtime.stats().decode_errors(), 0);
+    assert_eq!(runtime.stats().route_errors(), 0);
+}
+
+/// Live topology over in-process transports: `add_remote_shard`
+/// extends the key-hash domain with the next request, draining a
+/// local shard is refused, and out-of-range shards error cleanly.
+#[test]
+fn add_drain_remove_validate_shard_indices() {
+    let mut backend_builder = ServingRuntime::builder();
+    backend_builder.endpoint("m", Arc::new(Affine)).shards(1);
+    let backend = backend_builder.build().expect("backend builds");
+
+    let mut b = ServingRuntime::builder();
+    b.endpoint("m", Arc::new(Affine)).shards(1);
+    let runtime = b.build().expect("runtime builds");
+    let ep = runtime.endpoint("m", 1).expect("endpoint exists");
+    assert_eq!(ep.shards(), 1);
+
+    let shard = runtime
+        .add_remote_shard("m", 1, Arc::new(InProcessWorker::new(&backend)))
+        .expect("attach in-process shard");
+    assert_eq!(shard, 1);
+    assert_eq!(ep.shards(), 2);
+    assert_eq!(ep.stats().shard_requests().len(), 2);
+
+    // The new slot serves: a key hashed to shard 1 forwards.
+    let client = runtime.client();
+    let key = key_for_shard(1, 2);
+    assert_eq!(
+        client
+            .predict_keyed("m", &key, wire_rows(&[3.0]))
+            .expect("remote slot serves"),
+        vec![8.0]
+    );
+    assert_eq!(ep.stats().shard_requests()[1], 1);
+
+    // Local shards cannot be drained or removed; bogus indices and
+    // endpoints error cleanly.
+    assert!(matches!(
+        runtime.drain_shard("m", 1, 0, Duration::from_secs(1)),
+        Err(ServeError::BadRequest { .. })
+    ));
+    assert!(matches!(
+        runtime.remove_shard("m", 1, 9),
+        Err(ServeError::BadRequest { .. })
+    ));
+    assert!(matches!(
+        runtime.add_remote_shard("nope", 1, Arc::new(InProcessWorker::new(&backend))),
+        Err(ServeError::BadRequest { .. })
+    ));
+
+    runtime.remove_shard("m", 1, 1).expect("remove detaches");
+    assert_eq!(ep.shards(), 1);
+    // All traffic re-maps onto the surviving local shard.
+    assert_eq!(
+        client
+            .predict_keyed("m", &key, wire_rows(&[1.0]))
+            .expect("local shard serves after removal"),
+        vec![2.0]
+    );
+}
+
+/// Drain / Join control frames flip node-level admission: a draining
+/// node refuses new predictions with the Overloaded marker (so a
+/// parent relays rather than fail-over-storms), keeps answering
+/// control frames, and resumes on Join.
+#[test]
+fn drain_and_join_control_frames_flip_node_admission() {
+    let mut b = ServingRuntime::builder();
+    b.endpoint("affine", Arc::new(Affine)).shards(1);
+    let runtime = b.build().expect("runtime builds");
+    let client = runtime.client();
+
+    assert!(!runtime.is_draining());
+    let ack = client
+        .call_request(Request::control_frame(7, ControlRequest::Drain))
+        .expect("drain frame answered");
+    assert_eq!(ack.id, 7);
+    assert_eq!(ack.error, None);
+    assert!(runtime.is_draining());
+
+    // New predictions are refused with the Overloaded marker...
+    let refused = client
+        .call_request(Request {
+            endpoint: Some("affine".to_string()),
+            ..Request::new(8, wire_rows(&[1.0]))
+        })
+        .expect("draining node still answers");
+    assert!(refused.overloaded);
+    assert!(refused
+        .error
+        .expect("refusal names the cause")
+        .contains("draining"));
+
+    // ...while control frames still work (a parent can keep polling
+    // counters during the wind-down).
+    let counters = client
+        .call_request(Request::control_frame(9, ControlRequest::Counters))
+        .expect("counters probe answered while draining");
+    assert!(counters.counters.is_some());
+
+    // Join re-admits.
+    let ack = client
+        .call_request(Request::control_frame(10, ControlRequest::Join))
+        .expect("join frame answered");
+    assert_eq!(ack.error, None);
+    assert!(!runtime.is_draining());
+    assert_eq!(
+        client
+            .predict_keyed("affine", "k", wire_rows(&[2.0]))
+            .expect("node serves again after Join"),
+        vec![5.0]
+    );
+
+    // Leave behaves as Drain today (permanent-departure intent).
+    client
+        .call_request(Request::control_frame(11, ControlRequest::Leave))
+        .expect("leave frame answered");
+    assert!(runtime.is_draining());
+}
+
+/// The coordinator migrates **at most one** shard per rebalance
+/// cycle: with both remote shards on a dead node and a healthy spare
+/// registered, the first cycle moves exactly one shard, the second
+/// moves the other.
+#[test]
+fn coordinator_migrates_at_most_one_shard_per_cycle() {
+    let mut node_a = spawn_node("affine", 2);
+    let addr_a = node_a.local_addr().to_string();
+    let node_b = spawn_node("affine", 2);
+    let addr_b = node_b.local_addr().to_string();
+
+    let long = Duration::from_secs(600);
+    let mut b = ServingRuntime::builder();
+    b.config(ServerConfig::builder().workers(2).build());
+    b.endpoint("affine", Arc::new(Affine))
+        .shards(2)
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr_a)
+                .with_timeout(Duration::from_secs(2))
+                .with_breaker(2, long),
+        ))
+        .shard_transport(Arc::new(
+            RemoteWorker::new(&addr_a)
+                .with_timeout(Duration::from_secs(2))
+                .with_breaker(2, long),
+        ));
+    let runtime = b.build().expect("runtime builds");
+    let ep = runtime.endpoint("affine", 1).expect("endpoint exists");
+    let client = runtime.client();
+
+    // Kill node A and open its breakers with a few failed forwards.
+    node_a.shutdown();
+    let remote_key = key_for_shard(2, 4);
+    for i in 0..3 {
+        client
+            .predict_keyed("affine", &remote_key, wire_rows(&[i as f64]))
+            .expect("fail-over keeps serving");
+    }
+    assert!(ep.transport_breaker_states().contains(&BreakerState::Open));
+
+    let mut coordinator = ClusterCoordinator::new();
+    coordinator
+        .register_node(&addr_a)
+        .register_node(&addr_b)
+        .drain_timeout(Duration::from_secs(2));
+
+    // Cycle 1: exactly one shard leaves the dead node.
+    let migration = coordinator
+        .rebalance(&runtime)
+        .expect("imbalance must trigger a migration");
+    assert_eq!(migration.from, addr_a);
+    assert_eq!(migration.to, addr_b);
+    assert_eq!(migration.endpoint, "affine");
+    let descs = ep.transport_descriptions();
+    assert_eq!(descs.iter().filter(|d| d.contains(&addr_a)).count(), 1);
+    assert_eq!(descs.iter().filter(|d| d.contains(&addr_b)).count(), 1);
+
+    // Cycle 2: the remaining shard follows.
+    coordinator
+        .rebalance(&runtime)
+        .expect("the dead node still scores hotter");
+    let descs = ep.transport_descriptions();
+    assert_eq!(descs.iter().filter(|d| d.contains(&addr_a)).count(), 0);
+    assert_eq!(descs.iter().filter(|d| d.contains(&addr_b)).count(), 2);
+
+    // Balanced now (node A hosts nothing): no further migration.
+    assert_eq!(coordinator.rebalance(&runtime), None);
+
+    // The migrated shards actually serve on node B.
+    assert_eq!(
+        client
+            .predict_keyed("affine", &key_for_shard(2, 4), wire_rows(&[5.0]))
+            .expect("migrated shard serves"),
+        vec![14.0]
+    );
+    drop(node_b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every lifecycle control frame survives the JSON wire (the
+    /// legacy protocol), and a legacy router's frame with the control
+    /// field stripped still decodes with no control op.
+    #[test]
+    fn control_frames_round_trip_json_and_strip_to_legacy(
+        id in 1u64..u64::MAX,
+        op in prop_oneof![
+            Just(ControlRequest::Counters),
+            Just(ControlRequest::Join),
+            Just(ControlRequest::Drain),
+            Just(ControlRequest::Leave),
+        ],
+    ) {
+        let req = Request::control_frame(id, op);
+        let wire = encode_request(&req).expect("encodable");
+        let back = decode_request(&wire).expect("decodable");
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(back.control, Some(op));
+
+        // A legacy peer's frame carries no control field at all.
+        let stripped = wire
+            .replace(&format!(",\"control\":\"{op:?}\""), "")
+            .replace(",\"control\":null", "");
+        let legacy = decode_request(&stripped).expect("legacy frame decodes");
+        prop_assert_eq!(legacy.control, None);
+
+        // An unknown variant from a *newer* peer is a decode error on
+        // this build, not a silent misroute.
+        let bogus = wire.replace(&format!("\"{op:?}\""), "\"Frobnicate\"");
+        prop_assert!(decode_request(&bogus).is_err());
+    }
+}

@@ -616,7 +616,12 @@ fn arb_request() -> impl Strategy<Value = Request> {
         prop::option::of(0u32..u32::MAX),
         prop::option::of(".{0,12}"),
         any::<bool>(),
-        prop::option::of(Just(ControlRequest::Counters)),
+        prop::option::of(prop_oneof![
+            Just(ControlRequest::Counters),
+            Just(ControlRequest::Join),
+            Just(ControlRequest::Drain),
+            Just(ControlRequest::Leave),
+        ]),
     )
         .prop_map(
             |(id, rows, endpoint, version, key, forwarded, control)| Request {

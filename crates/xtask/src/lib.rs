@@ -561,6 +561,50 @@ const WIRE2_V2_LAYOUT: &[&str] = &[
     "Str",
 ];
 
+/// The frozen v3 binary layout: v2 plus the `ControlRequest`
+/// variant-tag order (the cluster-lifecycle control frames). Same
+/// discipline as [`WIRE2_V2_LAYOUT`] — while `WIRE2_VERSION == 3` the
+/// source manifest must match this copy exactly.
+const WIRE2_V3_LAYOUT: &[&str] = &[
+    "Request",
+    "id",
+    "rows",
+    "endpoint",
+    "version",
+    "key",
+    "forwarded",
+    "control",
+    "Response",
+    "id",
+    "scores",
+    "error",
+    "endpoint",
+    "version",
+    "counters",
+    "degraded",
+    "overloaded",
+    "EndpointCounters",
+    "endpoint",
+    "version",
+    "counters",
+    "PlanCountersSnapshot",
+    "rows",
+    "gate_resolved",
+    "escalated",
+    "filter_dropped",
+    "Value",
+    "Null",
+    "Bool",
+    "Int",
+    "Float",
+    "Str",
+    "ControlRequest",
+    "Counters",
+    "Join",
+    "Drain",
+    "Leave",
+];
+
 fn rule_wire_compat(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
     rule_wire2_layout(root, out)?;
     let Some(src) = SourceFile::load(root, PROTOCOL_RS)? else {
@@ -600,11 +644,12 @@ fn rule_wire_compat(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
     Ok(())
 }
 
-/// The wire2 half of WL001: while the source's `WIRE2_VERSION` is
-/// still 2, its `WIRE2_LAYOUT` manifest must match the frozen
-/// [`WIRE2_V2_LAYOUT`] copy exactly; any drift means the binary
-/// encoding changed shape and the version byte must be bumped (a new
-/// version is accepted — its layout gets frozen in the PR that bumps).
+/// The wire2 half of WL001: the source's `WIRE2_LAYOUT` manifest must
+/// match the frozen copy for its declared `WIRE2_VERSION`
+/// ([`WIRE2_V2_LAYOUT`] / [`WIRE2_V3_LAYOUT`]) exactly; any drift
+/// means the binary encoding changed shape and the version byte must
+/// be bumped (a new version is accepted — its layout gets frozen in
+/// the PR that bumps).
 fn rule_wire2_layout(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
     let path = root.join(WIRE2_RS);
     if !path.is_file() {
@@ -631,11 +676,13 @@ fn rule_wire2_layout(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
         });
         return Ok(());
     };
-    if version > 2 {
-        // A bumped protocol version: the v2 freeze no longer applies
-        // (the bumping PR re-freezes the new layout here).
-        return Ok(());
-    }
+    let frozen: &[&str] = match version {
+        2 => WIRE2_V2_LAYOUT,
+        3 => WIRE2_V3_LAYOUT,
+        // A version this linter has no freeze for: the bumping PR
+        // re-freezes the new layout here.
+        _ => return Ok(()),
+    };
 
     // Anchor on the declaration, not the (earlier) doc-comment
     // mentions of the constant's name.
@@ -661,13 +708,13 @@ fn rule_wire2_layout(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
         .map(|(l, s)| (base_line + l, s))
         .collect();
     let declared: Vec<&str> = literals.iter().map(|(_, s)| s.as_str()).collect();
-    if declared != WIRE2_V2_LAYOUT {
+    if declared != frozen {
         // Anchor the finding at the first diverging entry when one
         // exists, else at the manifest head (pure add/remove at the
         // tail).
         let (line, detail) = declared
             .iter()
-            .zip(WIRE2_V2_LAYOUT)
+            .zip(frozen)
             .position(|(d, f)| d != f)
             .map_or_else(
                 || {
@@ -676,14 +723,14 @@ fn rule_wire2_layout(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
                         format!(
                             "{} entries declared, {} frozen",
                             declared.len(),
-                            WIRE2_V2_LAYOUT.len()
+                            frozen.len()
                         ),
                     )
                 },
                 |i| {
                     (
                         literals[i].0,
-                        format!("`{}` where v2 froze `{}`", declared[i], WIRE2_V2_LAYOUT[i]),
+                        format!("`{}` where v{version} froze `{}`", declared[i], frozen[i]),
                     )
                 },
             );
@@ -693,9 +740,9 @@ fn rule_wire2_layout(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
             file: WIRE2_RS.to_string(),
             line,
             message: format!(
-                "WIRE2_LAYOUT diverges from the frozen v2 binary layout ({detail}) but \
-                 WIRE2_VERSION is still 2 — layout changes must bump the version byte \
-                 so peers renegotiate instead of misdecoding frames"
+                "WIRE2_LAYOUT diverges from the frozen v{version} binary layout ({detail}) \
+                 but WIRE2_VERSION is still {version} — layout changes must bump the \
+                 version byte so peers renegotiate instead of misdecoding frames"
             ),
             fix: None,
         });
@@ -744,6 +791,13 @@ const STATS_CHECKS: &[StatsCheck] = &[
         agg_impl: "EndpointStatsSnapshot",
         agg_fn: "merged",
         mirror: None,
+    },
+    StatsCheck {
+        file: "crates/serve/src/runtime.rs",
+        source: "ServerStats",
+        agg_impl: "ServerStats",
+        agg_fn: "snapshot",
+        mirror: Some("ServerStatsSnapshot"),
     },
     StatsCheck {
         file: "crates/serve/src/remote.rs",

@@ -63,10 +63,11 @@ pub mod prelude {
     };
     pub use willump_data::{Table, Value};
     pub use willump_serve::{
-        shard_for_key, table_row_to_wire, ClipperClient, ClipperServer, Endpoint, InProcessWorker,
-        ModelSelector, RemoteRuntimeNode, RemoteWorker, Request, Response, RuntimeBuilder,
-        RuntimeClient, SchedulerPolicy, SelectionPolicy, Servable, ServeError, ServerConfig,
-        ServingRuntime, TransportStats, WireRow, WorkerTransport, DEFAULT_ENDPOINT,
+        shard_for_key, table_row_to_wire, BreakerState, ClipperClient, ClipperServer,
+        ClusterConfig, ClusterCoordinator, ClusterHandle, Endpoint, InProcessWorker, ModelSelector,
+        RemoteRuntimeNode, RemoteWorker, Request, Response, RuntimeBuilder, RuntimeClient,
+        SchedulerPolicy, SelectionPolicy, Servable, ServeError, ServerConfig, ServingRuntime,
+        TransportStats, WireRow, WorkerTransport, DEFAULT_ENDPOINT,
     };
     pub use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 }
