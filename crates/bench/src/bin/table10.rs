@@ -24,9 +24,10 @@
 //! - `--smoke`: tiny CI-speed run + EXPERIMENTS.md schema check.
 //! - `--record`: rewrite this binary's EXPERIMENTS.md section.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use willump_bench::loadgen::{open_loop, uniform_schedule, CallOutcome};
 use willump_bench::{format_table, run_recorded_experiment};
 use willump_data::{Table, Value};
 use willump_serve::{
@@ -101,14 +102,6 @@ struct CellResult {
     p99: f64,
 }
 
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
-
 /// One kill-and-recover cell: open-loop keyed traffic at `rate` for
 /// `duration`, node killed at 1/3, restarted at 2/3. Returns overall
 /// stats plus the post-recovery deltas that show whether the node was
@@ -135,36 +128,26 @@ fn kill_recover_cell(rate: f64, duration: f64, threads: usize, prober: bool) -> 
     let cluster = prober.then(|| {
         runtime.start_cluster(ClusterConfig {
             probe_interval: Duration::from_millis(20),
+            ..ClusterConfig::default()
         })
     });
 
     let n = (rate * duration).ceil() as usize;
-    let latencies = Mutex::new(Vec::with_capacity(n));
+    let arrivals = uniform_schedule(rate, n);
+    let client = runtime.client();
     let start = Instant::now();
-    let (post_failovers, post_remote) = std::thread::scope(|s| {
-        for tid in 0..threads {
-            let client = runtime.client();
-            let latencies = &latencies;
-            let start = &start;
-            s.spawn(move || {
-                let mut i = tid;
-                while i < n {
-                    let at = i as f64 / rate;
-                    let now = start.elapsed().as_secs_f64();
-                    if at > now {
-                        std::thread::sleep(Duration::from_secs_f64(at - now));
-                    }
-                    client
-                        .predict_keyed("model", &format!("key-{i}"), one_row(i as f64))
-                        .expect("fail-over keeps every request served");
-                    let done = start.elapsed().as_secs_f64();
-                    latencies.lock().unwrap().push(done - at);
-                    i += threads;
-                }
-            });
-        }
+    let (report, post_failovers, post_remote) = std::thread::scope(|s| {
+        // The open-loop generator runs on its own thread; the node
+        // lifecycle runs on wall clock beside it.
+        let load = s.spawn(|| {
+            open_loop(&arrivals, threads, |i| {
+                client
+                    .predict_keyed("model", &format!("key-{i}"), one_row(i as f64))
+                    .expect("fail-over keeps every request served");
+                CallOutcome::Served
+            })
+        });
 
-        // The lifecycle runs on wall clock beside the load threads.
         let third = Duration::from_secs_f64(duration / 3.0);
         std::thread::sleep(third.saturating_sub(start.elapsed()));
         node.shutdown();
@@ -172,23 +155,21 @@ fn kill_recover_cell(rate: f64, duration: f64, threads: usize, prober: bool) -> 
         node = bind_node(&addr);
         // Everything from here is "post-recovery": a re-admitted node
         // stops the failover growth and serves forwards again.
-        (
-            runtime.stats().failovers(),
-            runtime.stats().remote_forwards(),
-        )
+        let post_failovers = runtime.stats().failovers();
+        let post_remote = runtime.stats().remote_forwards();
+        let report = load.join().expect("load threads complete");
+        (report, post_failovers, post_remote)
     });
 
-    let mut lat = latencies.into_inner().expect("no poisoned lock");
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let result = CellResult {
-        served: lat.len() as u64,
+        served: report.served,
         failovers: runtime.stats().failovers(),
         post_failovers: runtime.stats().failovers() - post_failovers,
         post_remote_forwards: runtime.stats().remote_forwards() - post_remote,
         probes_sent: runtime.stats().probes_sent(),
         probes_ok: runtime.stats().probes_ok(),
-        p50: percentile(&lat, 0.50),
-        p99: percentile(&lat, 0.99),
+        p50: report.p50(),
+        p99: report.p99(),
     };
     drop(cluster);
     result

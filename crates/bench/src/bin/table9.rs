@@ -19,13 +19,10 @@
 //! (Registry-wide section validation lives in `cargo run -p xtask --
 //! lint`, rule WL004, which replaced the old `--check-schemas` mode.)
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
-
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
 use std::sync::Arc;
+use std::time::Duration;
+
+use willump_bench::loadgen::{open_loop, poisson_schedule, CallOutcome, LoadReport};
 use willump_bench::{format_table, run_recorded_experiment};
 use willump_data::{Table, Value};
 use willump_serve::{AdmissionPolicy, Request, Servable, ServerConfig, ServingRuntime, WireRow};
@@ -88,86 +85,28 @@ fn one_row(x: f64) -> Vec<WireRow> {
     vec![vec![("x".to_string(), Value::Float(x))]]
 }
 
-/// A pre-drawn Poisson arrival schedule: `n` offsets (seconds from
-/// test start) with exponential inter-arrivals at `rate_per_sec`.
-fn poisson_schedule(rate_per_sec: f64, n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut t = 0.0;
-    (0..n)
-        .map(|_| {
-            // Uniform in (0, 1]: never ln(0).
-            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-            t += -(1.0 - u).ln() / rate_per_sec;
-            t
-        })
-        .collect()
-}
-
-struct CellResult {
-    served: u64,
-    shed: u64,
-    degraded: u64,
-    p50: f64,
-    p99: f64,
-}
-
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
-
-/// Drive one open-loop cell: `threads` senders share the arrival
-/// schedule round-robin; each sleeps until a request's scheduled
-/// time, sends it, and charges the full scheduled-to-response time as
-/// its latency. Shed responses count separately and contribute no
-/// latency sample (nothing was served).
-fn open_loop(runtime: &ServingRuntime, arrivals: &[f64], threads: usize) -> CellResult {
-    let latencies = Mutex::new(Vec::with_capacity(arrivals.len()));
-    let shed = AtomicU64::new(0);
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for tid in 0..threads {
-            let client = runtime.client();
-            let latencies = &latencies;
-            let shed = &shed;
-            s.spawn(move || {
-                let mut i = tid;
-                while i < arrivals.len() {
-                    let at = arrivals[i];
-                    let now = start.elapsed().as_secs_f64();
-                    if at > now {
-                        std::thread::sleep(Duration::from_secs_f64(at - now));
-                    }
-                    let resp = client
-                        .call(Request {
-                            endpoint: Some("model".to_string()),
-                            ..Request::new(i as u64, one_row(i as f64))
-                        })
-                        .expect("serving succeeds");
-                    let done = start.elapsed().as_secs_f64();
-                    if resp.overloaded {
-                        shed.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        assert!(resp.error.is_none(), "unexpected error: {:?}", resp.error);
-                        latencies.lock().unwrap().push(done - at);
-                    }
-                    i += threads;
-                }
-            });
+/// Drive one open-loop cell through the shared generator
+/// ([`willump_bench::loadgen`]): one `Sync` client is shared by every
+/// sender thread; shed responses map to [`CallOutcome::Shed`] and
+/// contribute no latency sample (nothing was served).
+fn run_cell(runtime: &ServingRuntime, arrivals: &[f64], threads: usize) -> LoadReport {
+    let client = runtime.client();
+    let report = open_loop(arrivals, threads, |i| {
+        let resp = client
+            .call(Request {
+                endpoint: Some("model".to_string()),
+                ..Request::new(i as u64, one_row(i as f64))
+            })
+            .expect("serving succeeds");
+        if resp.overloaded {
+            CallOutcome::Shed
+        } else {
+            assert!(resp.error.is_none(), "unexpected error: {:?}", resp.error);
+            CallOutcome::Served
         }
     });
-    let mut lat = latencies.into_inner().unwrap();
-    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    CellResult {
-        served: lat.len() as u64,
-        shed: shed.load(Ordering::Relaxed),
-        degraded: runtime.stats().degraded(),
-        p50: percentile(&lat, 0.50),
-        p99: percentile(&lat, 0.99),
-    }
+    assert_eq!(report.errors, 0, "every response was checked above");
+    report
 }
 
 /// Replay one heavy-hitter key through an admission runtime and
@@ -206,20 +145,20 @@ fn sweep(smoke: bool) -> (String, String) {
         for admission in [false, true] {
             let runtime = build_runtime(admission);
             let arrivals = poisson_schedule(rate, n, 42 + mult as u64);
-            let cell = open_loop(&runtime, &arrivals, threads);
+            let cell = run_cell(&runtime, &arrivals, threads);
             if admission {
-                pair.1 = cell.p99;
+                pair.1 = cell.p99();
             } else {
-                pair.0 = cell.p99;
+                pair.0 = cell.p99();
             }
             rows.push(vec![
                 format!("{mult}x"),
                 if admission { "on" } else { "off" }.to_string(),
                 cell.served.to_string(),
                 cell.shed.to_string(),
-                cell.degraded.to_string(),
-                fmt_ms(cell.p50),
-                fmt_ms(cell.p99),
+                runtime.stats().degraded().to_string(),
+                fmt_ms(cell.p50()),
+                fmt_ms(cell.p99()),
             ]);
         }
         worst = Some(pair);

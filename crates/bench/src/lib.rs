@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
+
 use std::time::Instant;
 
 use willump::{CachingConfig, OptimizedPipeline, QueryMode, Willump, WillumpConfig};
@@ -289,6 +291,10 @@ pub const RECORDED_SCHEMAS: &[(&str, &str)] = &[
     (
         "<!-- schema: table10-cluster-recovery v1 -->",
         "cargo run --release -p willump-bench --bin table10 -- --record",
+    ),
+    (
+        "<!-- schema: table11-streaming v1 -->",
+        "cargo run --release -p willump-bench --bin table11 -- --record",
     ),
     (
         "<!-- schema: fig5-batch-throughput v1 -->",

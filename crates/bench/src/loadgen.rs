@@ -1,0 +1,251 @@
+//! Reusable open-loop load generator.
+//!
+//! Extracted from the `table9` overload experiment so every serving
+//! benchmark offers traffic the same way: arrivals are scheduled
+//! up-front (Poisson or uniform), sender threads share the schedule
+//! round-robin, and latency is charged from each request's *scheduled*
+//! arrival time — not its send time — so queue-induced send delay
+//! counts against the system under test (no coordinated omission,
+//! after Schwartz/Tene's critique of closed-loop benchmarking).
+//!
+//! The generator knows nothing about serving: callers hand
+//! [`open_loop`] a closure mapping a request index to a
+//! [`CallOutcome`], and get back a [`LoadReport`] with served/shed
+//! counts and a sorted latency distribution (p50/p99/p99.9).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// What one offered request came back as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallOutcome {
+    /// Served successfully: the scheduled-to-response time is recorded
+    /// as a latency sample.
+    Served,
+    /// Shed by admission control: counted, but no latency sample
+    /// (nothing was served).
+    Shed,
+    /// Failed: counted separately so experiments can assert error-free
+    /// runs without panicking inside sender threads.
+    Error,
+}
+
+/// A pre-drawn Poisson arrival schedule: `n` offsets (seconds from
+/// test start) with exponential inter-arrivals at `rate_per_sec`.
+#[must_use]
+pub fn poisson_schedule(rate_per_sec: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            // Uniform in (0, 1]: never ln(0).
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            t += -(1.0 - u).ln() / rate_per_sec;
+            t
+        })
+        .collect()
+}
+
+/// A deterministic uniform arrival schedule: request `i` is offered at
+/// `i / rate_per_sec` seconds.
+#[must_use]
+pub fn uniform_schedule(rate_per_sec: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|i| i as f64 / rate_per_sec).collect()
+}
+
+/// The outcome of one [`open_loop`] run: outcome counts plus the
+/// sorted latency distribution of served requests.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests offered (the schedule length).
+    pub offered: u64,
+    /// Requests served (equals the number of latency samples).
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests that failed.
+    pub errors: u64,
+    /// Scheduled-arrival-to-response latencies of served requests,
+    /// seconds, ascending.
+    latencies: Vec<f64>,
+}
+
+impl LoadReport {
+    /// The `q`-quantile (`0.0..=1.0`) of served latency, seconds
+    /// (nearest-rank; `0.0` when nothing was served).
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies.len() - 1) as f64 * q).round() as usize;
+        self.latencies[idx]
+    }
+
+    /// Median served latency, seconds.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile served latency, seconds.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile served latency, seconds.
+    #[must_use]
+    pub fn p999(&self) -> f64 {
+        self.percentile(0.999)
+    }
+
+    /// The sorted latency samples (seconds, ascending).
+    #[must_use]
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+}
+
+/// Drive one open-loop cell: `threads` sender threads share the
+/// arrival schedule round-robin; each sleeps until a request's
+/// scheduled time, invokes `call(i)`, and charges the full
+/// scheduled-to-response time as that request's latency when it was
+/// served. Shed and errored requests are counted but contribute no
+/// latency sample.
+///
+/// `call` receives the request's schedule index and must be shareable
+/// across sender threads ([`willump_serve::RuntimeClient`]-style
+/// handles are `Sync`; capture one by reference).
+///
+/// # Panics
+/// Panics if a sender thread panics inside `call`.
+pub fn open_loop(
+    arrivals: &[f64],
+    threads: usize,
+    call: impl Fn(usize) -> CallOutcome + Sync,
+) -> LoadReport {
+    let latencies = Mutex::new(Vec::with_capacity(arrivals.len()));
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let call = &call;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let latencies = &latencies;
+            let shed = &shed;
+            let errors = &errors;
+            s.spawn(move || {
+                let mut i = tid;
+                while i < arrivals.len() {
+                    let at = arrivals[i];
+                    let now = start.elapsed().as_secs_f64();
+                    if at > now {
+                        std::thread::sleep(Duration::from_secs_f64(at - now));
+                    }
+                    let outcome = call(i);
+                    let done = start.elapsed().as_secs_f64();
+                    match outcome {
+                        CallOutcome::Served => latencies
+                            .lock()
+                            .expect("no panicked sender")
+                            .push(done - at),
+                        CallOutcome::Shed => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        CallOutcome::Error => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += threads;
+                }
+            });
+        }
+    });
+    let mut lat = latencies.into_inner().expect("no panicked sender");
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    LoadReport {
+        offered: arrivals.len() as u64,
+        served: lat.len() as u64,
+        shed: shed.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        latencies: lat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn poisson_schedule_is_seeded_and_monotone() {
+        let a = poisson_schedule(100.0, 500, 7);
+        let b = poisson_schedule(100.0, 500, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[1] > w[0]));
+        assert_ne!(a, poisson_schedule(100.0, 500, 8));
+        // Mean inter-arrival ~ 1/rate: the 500th arrival lands near 5s.
+        assert!((3.0..8.0).contains(a.last().unwrap()), "{:?}", a.last());
+    }
+
+    #[test]
+    fn uniform_schedule_is_exact() {
+        let s = uniform_schedule(200.0, 4);
+        assert_eq!(s, vec![0.0, 0.005, 0.01, 0.015]);
+    }
+
+    #[test]
+    fn open_loop_counts_outcomes_and_records_latency() {
+        let arrivals = uniform_schedule(2_000.0, 30);
+        let calls = AtomicUsize::new(0);
+        let report = open_loop(&arrivals, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            match i % 3 {
+                0 => CallOutcome::Served,
+                1 => CallOutcome::Shed,
+                _ => CallOutcome::Error,
+            }
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 30);
+        assert_eq!(report.offered, 30);
+        assert_eq!(report.served, 10);
+        assert_eq!(report.shed, 10);
+        assert_eq!(report.errors, 10);
+        assert_eq!(report.latencies().len(), 10);
+        // Latencies are sorted and non-negative (scheduled arrival is
+        // always at or before the response).
+        assert!(report.latencies().windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.latencies().iter().all(|&l| l >= 0.0));
+        assert!(report.p50() <= report.p99() && report.p99() <= report.p999());
+    }
+
+    #[test]
+    fn open_loop_charges_from_scheduled_arrival() {
+        // One slow request delays its thread; the next request on that
+        // thread still charges from its *scheduled* time, so its
+        // latency includes the queueing delay.
+        let arrivals = vec![0.0, 0.0];
+        let report = open_loop(&arrivals, 1, |i| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            CallOutcome::Served
+        });
+        assert_eq!(report.served, 2);
+        // Both samples include the 30ms head-of-line delay.
+        assert!(report.percentile(1.0) >= 0.03, "{:?}", report.latencies());
+    }
+
+    #[test]
+    fn empty_report_percentiles_are_zero() {
+        let report = open_loop(&[], 2, |_| CallOutcome::Served);
+        assert_eq!(report.offered, 0);
+        assert_eq!(report.p50(), 0.0);
+        assert_eq!(report.p999(), 0.0);
+    }
+}

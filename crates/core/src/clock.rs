@@ -1,0 +1,194 @@
+//! Injectable time source for background loops.
+//!
+//! The serving layer's samplers and probers run on fixed intervals.
+//! Testing them against the wall clock makes every assertion a race
+//! on the CI host's scheduler, so interval waiting goes through a
+//! [`Clock`]: production uses [`SystemClock`] (monotonic wall time),
+//! deterministic tests use [`ManualClock`] and advance time
+//! explicitly. The same move the store makes for latency modelling
+//! (`willump-store::SimClock`) applied to control-plane scheduling.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond time source that background loops wait on.
+///
+/// `wait_until` must return promptly (within a few milliseconds of
+/// real time) once `stop` flips true, whatever the deadline — that is
+/// what keeps monitor/prober threads joinable under long intervals.
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// Nanoseconds since this clock's origin (construction time for
+    /// [`SystemClock`], 0 for a fresh [`ManualClock`]).
+    fn now_nanos(&self) -> u64;
+
+    /// Block until the clock reaches `deadline_nanos` or `stop` reads
+    /// `true`. Returns `true` when the deadline was reached, `false`
+    /// when the wait was stopped early.
+    fn wait_until(&self, deadline_nanos: u64, stop: &AtomicBool) -> bool;
+}
+
+/// The production [`Clock`]: monotonic wall time from an [`Instant`]
+/// origin, waiting by sleeping in short slices so stop flags stay
+/// responsive under long intervals.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl SystemClock {
+    /// A clock whose origin is now.
+    #[must_use]
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+/// Sleep slice for interruptible waits: long enough to stay off the
+/// scheduler's back, short enough that stop()/drop feels instant.
+const WAIT_SLICE: Duration = Duration::from_millis(2);
+
+impl Clock for SystemClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn wait_until(&self, deadline_nanos: u64, stop: &AtomicBool) -> bool {
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            let now = self.now_nanos();
+            if now >= deadline_nanos {
+                return true;
+            }
+            let left = Duration::from_nanos(deadline_nanos - now);
+            std::thread::sleep(left.min(WAIT_SLICE));
+        }
+    }
+}
+
+/// A manually-advanced [`Clock`] for deterministic tests: time moves
+/// only through [`advance`](ManualClock::advance) /
+/// [`set`](ManualClock::set), so an interval loop ticks exactly when
+/// the test says so, never because the CI host stalled.
+///
+/// Waiters poll the shared atomic in very short real-time slices —
+/// simulated time stands still while they wait, but stop flags and
+/// advances are picked up within microseconds of real time.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at t = 0.
+    #[must_use]
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move time forward by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.now.fetch_add(nanos, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute time (must not move backwards — panics in
+    /// debug builds if it would).
+    pub fn set(&self, nanos: u64) {
+        let prev = self.now.swap(nanos, Ordering::SeqCst);
+        debug_assert!(
+            prev <= nanos,
+            "ManualClock moved backwards: {prev} -> {nanos}"
+        );
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn wait_until(&self, deadline_nanos: u64, stop: &AtomicBool) -> bool {
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            if self.now_nanos() >= deadline_nanos {
+                return true;
+            }
+            // Real-time poll slice; simulated time is unaffected.
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn system_clock_is_monotonic_and_waits() {
+        let clock = SystemClock::new();
+        let a = clock.now_nanos();
+        let stop = AtomicBool::new(false);
+        assert!(clock.wait_until(a + 2_000_000, &stop));
+        assert!(clock.now_nanos() >= a + 2_000_000);
+    }
+
+    #[test]
+    fn system_clock_wait_stops_early() {
+        let clock = SystemClock::new();
+        let stop = AtomicBool::new(true);
+        let start = Instant::now();
+        // A deadline far in the future returns promptly when stopped.
+        assert!(!clock.wait_until(u64::MAX, &stop));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(500);
+        assert_eq!(clock.now_nanos(), 500);
+        clock.set(2_000);
+        assert_eq!(clock.now_nanos(), 2_000);
+    }
+
+    #[test]
+    fn manual_clock_wakes_a_waiter_on_advance() {
+        let clock = Arc::new(ManualClock::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let clock = Arc::clone(&clock);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || clock.wait_until(1_000, &stop))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        clock.advance(1_000);
+        assert!(waiter.join().expect("waiter exits"));
+    }
+
+    #[test]
+    fn manual_clock_wait_honors_stop() {
+        let clock = Arc::new(ManualClock::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let clock = Arc::clone(&clock);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || clock.wait_until(u64::MAX, &stop))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        stop.store(true, Ordering::Relaxed);
+        assert!(!waiter.join().expect("waiter exits"));
+    }
+}

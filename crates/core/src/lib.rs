@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod cascade;
+pub mod clock;
 mod config;
 pub mod efficient;
 mod error;
@@ -47,6 +48,7 @@ pub mod stats;
 pub mod topk;
 
 pub use cascade::{CascadePredictor, ScoreCalibrator};
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{CachingConfig, Calibration, QueryMode, TopKConfig, WillumpConfig};
 pub use error::WillumpError;
 pub use optimize::{OptimizationReport, OptimizedPipeline, Willump};

@@ -381,6 +381,11 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// Estimated 99.9th-percentile latency in nanoseconds.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
     /// Halve every bucket count, aging out stale samples (the
     /// exponential-decay trick shared with the admission sketch).
     pub fn halve(&mut self) {
@@ -551,6 +556,81 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_bounds_panic() {
         let _ = LatencyHistogram::with_bounds(vec![100, 10]);
+    }
+
+    /// The exact-sort reference for histogram quantiles, using the
+    /// SAME rank rule the histogram uses (`ceil(q * n)`, min rank 1),
+    /// so the only divergence left is bucket quantization.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank - 1]
+    }
+
+    /// The exponential-bucket interval `(lo, hi]` a value falls in
+    /// (values past the last bound clamp into the final bucket, like
+    /// `LatencyHistogram::record`).
+    fn bucket_bounds(bounds: &[u64], value: u64) -> (u64, u64) {
+        let idx = bounds.partition_point(|&b| b < value);
+        let idx = idx.min(bounds.len() - 1);
+        let lo = if idx == 0 { 0 } else { bounds[idx - 1] };
+        (lo, bounds[idx])
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Percentile accuracy (satellite of the observability PR):
+        /// for arbitrary samples, the histogram's p50/p99/p99.9 must
+        /// land inside the exponential bucket containing the
+        /// exact-sorted quantile — the tightest guarantee a bucketed
+        /// histogram can make, and exactly the relative-error bound
+        /// the bucket growth factor promises.
+        #[test]
+        fn histogram_quantiles_stay_within_bucket_bound(
+            values in proptest::collection::vec(1u64..50_000_000, 1..400),
+        ) {
+            let hist = LatencyHistogram::exponential(1_000, 2.0, 26);
+            let mut h = hist.clone();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            // Reconstruct the bucket bounds the constructor produced.
+            let mut bounds = Vec::new();
+            let mut b = 1_000f64;
+            for _ in 0..26 {
+                bounds.push(b as u64);
+                b *= 2.0;
+            }
+            for q in [0.5, 0.99, 0.999] {
+                let est = h.quantile(q).expect("non-empty");
+                let exact = exact_quantile(&sorted, q);
+                let (lo, hi) = bucket_bounds(&bounds, exact);
+                prop_assert!(
+                    est > lo && est <= hi,
+                    "q={q}: estimate {est} outside bucket ({lo}, {hi}] of exact {exact}"
+                );
+            }
+        }
+
+        /// p50 <= p99 <= p99.9 for any sample set (quantile
+        /// monotonicity survives interpolation).
+        #[test]
+        fn histogram_quantiles_are_monotone(
+            values in proptest::collection::vec(1u64..50_000_000, 1..200),
+        ) {
+            let mut h = LatencyHistogram::exponential(1_000, 2.0, 26);
+            for &v in &values {
+                h.record(v);
+            }
+            let p50 = h.p50().expect("non-empty");
+            let p99 = h.p99().expect("non-empty");
+            let p999 = h.p999().expect("non-empty");
+            prop_assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        }
     }
 
     #[test]

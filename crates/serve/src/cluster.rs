@@ -36,10 +36,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use willump::PlanCountersSnapshot;
+use willump::{Clock, PlanCountersSnapshot, SystemClock};
 
+use crate::monitor::{MonitorEvent, StatsHub};
 use crate::remote::{BreakerState, RemoteWorker, TransportStats, WorkerTransport};
 use crate::runtime::{Endpoint, ServingRuntime, Shared};
 
@@ -52,12 +53,17 @@ pub struct ClusterConfig {
     /// not [`BreakerState::Closed`], so a healthy cluster pays
     /// nothing.
     pub probe_interval: Duration,
+    /// Time source the prober waits on (default [`SystemClock`]).
+    /// Inject a [`willump::ManualClock`] to drive sweeps
+    /// deterministically in tests.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ClusterConfig {
     fn default() -> ClusterConfig {
         ClusterConfig {
             probe_interval: Duration::from_millis(50),
+            clock: Arc::new(SystemClock::new()),
         }
     }
 }
@@ -104,14 +110,17 @@ impl ServingRuntime {
         let core = self.cluster_core();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let interval = u64::try_from(config.probe_interval.as_nanos()).unwrap_or(u64::MAX);
         let thread = std::thread::spawn(move || {
+            let clock = config.clock;
+            let mut deadline = clock.now_nanos();
             while !stop_flag.load(Ordering::Relaxed) {
                 probe_sweep(&core);
-                // Sleep in short slices so stop()/drop stays
-                // responsive even with long probe intervals.
-                let until = Instant::now() + config.probe_interval;
-                while Instant::now() < until && !stop_flag.load(Ordering::Relaxed) {
-                    std::thread::sleep(Duration::from_millis(2).min(config.probe_interval));
+                // Schedule from the previous deadline, not from "now",
+                // so a slow sweep doesn't drift the cadence.
+                deadline = deadline.saturating_add(interval).max(clock.now_nanos());
+                if !clock.wait_until(deadline, &stop_flag) {
+                    return;
                 }
             }
         });
@@ -158,6 +167,10 @@ fn probe_sweep(core: &Shared) {
 /// list.
 #[derive(Debug, Clone)]
 pub struct RemoteShardView {
+    /// Process-wide unique slot id, stable for the slot's lifetime
+    /// (shard *indices* shift as slots splice in and out; topology
+    /// diffing keys on this).
+    pub slot_id: u64,
     /// Global shard index (`local_shards()..`) at snapshot time.
     pub shard: usize,
     /// Transport description (e.g. `tcp://host:port`).
@@ -183,6 +196,7 @@ impl Endpoint {
             .iter()
             .enumerate()
             .map(|(i, slot)| RemoteShardView {
+                slot_id: slot.id,
                 shard: local + i,
                 description: slot.transport.describe(),
                 stats: slot.transport.stats(),
@@ -232,6 +246,7 @@ pub struct ClusterCoordinator {
     nodes: Vec<String>,
     min_score_gap: f64,
     drain_timeout: Duration,
+    monitor: Option<StatsHub>,
 }
 
 impl Default for ClusterCoordinator {
@@ -249,7 +264,16 @@ impl ClusterCoordinator {
             nodes: Vec::new(),
             min_score_gap: 1.0,
             drain_timeout: Duration::from_secs(5),
+            monitor: None,
         }
+    }
+
+    /// Publish every applied migration to `hub` as a
+    /// [`MonitorEvent::Migration`], threading coordinator decisions
+    /// into the same event history the sampler writes.
+    pub fn with_monitor(&mut self, hub: StatsHub) -> &mut ClusterCoordinator {
+        self.monitor = Some(hub);
+        self
     }
 
     /// Register a node address (`host:port`) as a placement target.
@@ -382,6 +406,9 @@ impl ClusterCoordinator {
         runtime
             .add_remote_shard(&migration.endpoint, migration.version, transport)
             .ok()?;
+        if let Some(hub) = &self.monitor {
+            hub.record_event(MonitorEvent::Migration(migration.clone()));
+        }
         Some(migration)
     }
 }

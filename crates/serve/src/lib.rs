@@ -64,6 +64,7 @@
 mod cluster;
 mod e2e_cache;
 mod error;
+mod monitor;
 mod protocol;
 mod remote;
 mod runtime;
@@ -74,6 +75,10 @@ pub mod wire2;
 pub use cluster::{ClusterConfig, ClusterCoordinator, ClusterHandle, Migration, RemoteShardView};
 pub use e2e_cache::E2eCachedPredictor;
 pub use error::ServeError;
+pub use monitor::{
+    EndpointSample, MonitorConfig, MonitorEvent, MonitorHandle, MonitorSample, ShardSample,
+    StatsHub, TimedEvent,
+};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, error_wire,
     escape_json_string, is_overloaded_wire, ControlRequest, EndpointCounters, Request, Response,

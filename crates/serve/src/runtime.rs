@@ -809,6 +809,11 @@ enum AdmissionDecision {
 /// that already picked it: topology mutation can never invalidate
 /// in-flight work.
 pub(crate) struct RemoteShard {
+    /// Process-wide unique slot id, stable for the slot's lifetime.
+    /// Shard *indices* shift as slots splice in and out, so anything
+    /// that diffs topology over time (the monitor's event detector)
+    /// keys on this instead.
+    pub(crate) id: u64,
     /// Transport reaching the remote node.
     pub(crate) transport: Arc<dyn WorkerTransport>,
     /// Last [`PlanCountersSnapshot`] fetched from the node (refreshed
@@ -845,7 +850,9 @@ impl RemoteShard {
     }
 
     fn new(transport: Arc<dyn WorkerTransport>) -> RemoteShard {
+        static NEXT_SLOT_ID: AtomicU64 = AtomicU64::new(0);
         RemoteShard {
+            id: NEXT_SLOT_ID.fetch_add(1, Ordering::Relaxed),
             transport,
             counters: Mutex::new(PlanCountersSnapshot::default()),
             requests: AtomicU64::new(0),

@@ -105,6 +105,7 @@ fn killed_node_is_re_admitted_by_the_prober() {
     assert_eq!(ep.shards(), 4);
     let cluster = runtime.start_cluster(ClusterConfig {
         probe_interval: Duration::from_millis(10),
+        ..ClusterConfig::default()
     });
     let client = runtime.client();
 

@@ -226,6 +226,7 @@ impl FaultPlan {
 pub struct StoreStats {
     round_trips: AtomicU64,
     keys_fetched: AtomicU64,
+    keys_written: AtomicU64,
     virtual_wait_nanos: AtomicU64,
     faults: AtomicU64,
 }
@@ -239,6 +240,13 @@ impl StoreStats {
     /// Total number of keys fetched across all requests.
     pub fn keys_fetched(&self) -> u64 {
         self.keys_fetched.load(Ordering::Relaxed)
+    }
+
+    /// Total number of rows written through
+    /// [`Store::upsert_row`] / [`Store::update_row`] (streaming
+    /// ingestion traffic).
+    pub fn keys_written(&self) -> u64 {
+        self.keys_written.load(Ordering::Relaxed)
     }
 
     /// Total simulated network time spent, in nanoseconds.
@@ -255,6 +263,7 @@ impl StoreStats {
     pub fn reset(&self) {
         self.round_trips.store(0, Ordering::Relaxed);
         self.keys_fetched.store(0, Ordering::Relaxed);
+        self.keys_written.store(0, Ordering::Relaxed);
         self.virtual_wait_nanos.store(0, Ordering::Relaxed);
         self.faults.store(0, Ordering::Relaxed);
     }
@@ -389,13 +398,108 @@ impl Store {
         Ok(out)
     }
 
+    /// Insert or replace one feature row, charging one single-key
+    /// round trip. This is the streaming-ingestion path: feature
+    /// folders push updated entity state back while serving reads the
+    /// same tables concurrently.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::UnknownTable`] for a missing table,
+    /// [`StoreError::DimMismatch`] when `row.len()` differs from the
+    /// table's dimensionality, or [`StoreError::Transient`] when a
+    /// fault plan fails the request (the round trip is still paid).
+    pub fn upsert_row(&self, table: &str, key: Key, row: Vec<f64>) -> Result<(), StoreError> {
+        if self.write_faulted() {
+            self.charge_write();
+            return Err(StoreError::Transient {
+                table: table.to_string(),
+            });
+        }
+        let mut guard = self.inner.tables.write();
+        let t = guard
+            .get_mut(table)
+            .ok_or_else(|| StoreError::UnknownTable {
+                name: table.to_string(),
+            })?;
+        t.insert(key, row)?;
+        drop(guard);
+        self.charge_write();
+        Ok(())
+    }
+
+    /// Atomically read-modify-write one row under the table lock: `f`
+    /// sees the current row (or `None` when the key is absent and the
+    /// table has no default) and returns the replacement. Returns the
+    /// row as written. Charges one single-key round trip.
+    ///
+    /// Because the table lock is held across `f`, concurrent updates
+    /// to the same key serialize instead of losing writes — keep `f`
+    /// cheap.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::UnknownTable`] for a missing table,
+    /// [`StoreError::DimMismatch`] when the replacement row has the
+    /// wrong dimensionality, or [`StoreError::Transient`] when a fault
+    /// plan fails the request (the round trip is still paid).
+    pub fn update_row(
+        &self,
+        table: &str,
+        key: &Key,
+        f: impl FnOnce(Option<&[f64]>) -> Vec<f64>,
+    ) -> Result<Vec<f64>, StoreError> {
+        if self.write_faulted() {
+            self.charge_write();
+            return Err(StoreError::Transient {
+                table: table.to_string(),
+            });
+        }
+        let mut guard = self.inner.tables.write();
+        let t = guard
+            .get_mut(table)
+            .ok_or_else(|| StoreError::UnknownTable {
+                name: table.to_string(),
+            })?;
+        let current = t.get(key);
+        let updated = f(current.as_deref());
+        t.insert(key.clone(), updated.clone())?;
+        drop(guard);
+        self.charge_write();
+        Ok(updated)
+    }
+
+    /// Whether the fault plan fails the next round trip (and counts
+    /// the fault). Decisions are per round trip, in issue order, so
+    /// reads and writes share one fault schedule.
+    fn write_faulted(&self) -> bool {
+        if let Some(plan) = *self.inner.faults.read() {
+            let ordinal = self.inner.stats.round_trips.load(Ordering::Relaxed);
+            if plan.fails(ordinal) {
+                self.inner.stats.faults.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
     fn charge(&self, n_keys: usize) {
         self.inner.stats.round_trips.fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
             .keys_fetched
             .fetch_add(n_keys as u64, Ordering::Relaxed);
-        let cost = self.inner.latency.batch_cost_nanos(n_keys);
+        self.pay(self.inner.latency.batch_cost_nanos(n_keys));
+    }
+
+    fn charge_write(&self) {
+        self.inner.stats.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .keys_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.pay(self.inner.latency.batch_cost_nanos(1));
+    }
+
+    fn pay(&self, cost: u64) {
         if cost == 0 {
             return;
         }
@@ -559,6 +663,117 @@ mod tests {
         let clone = store.clone();
         store.set_fault_plan(Some(FaultPlan { rate: 1.0, seed: 0 }));
         assert!(clone.get_batch("users", &[Key::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn upsert_row_charges_and_is_visible() {
+        let store = Store::remote(
+            [("users".to_string(), users())],
+            LatencyModel::virtual_network(1_000, 10),
+        );
+        store
+            .upsert_row("users", Key::Int(3), vec![5.0, 6.0])
+            .unwrap();
+        assert_eq!(store.stats().round_trips(), 1);
+        assert_eq!(store.stats().keys_written(), 1);
+        assert_eq!(store.stats().keys_fetched(), 0);
+        assert_eq!(store.clock().now_nanos(), 1_010, "one single-key trip");
+        let rows = store.get_batch("users", &[Key::Int(3)]).unwrap();
+        assert_eq!(&*rows[0], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn upsert_row_validates_dim_and_table() {
+        let store = Store::local([("users".to_string(), users())]);
+        assert!(matches!(
+            store.upsert_row("users", Key::Int(3), vec![1.0]),
+            Err(StoreError::DimMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert!(matches!(
+            store.upsert_row("nope", Key::Int(3), vec![1.0]),
+            Err(StoreError::UnknownTable { .. })
+        ));
+        // Neither failed write charged a round trip.
+        assert_eq!(store.stats().round_trips(), 0);
+        assert_eq!(store.stats().keys_written(), 0);
+    }
+
+    #[test]
+    fn update_row_reads_then_replaces() {
+        let store = Store::local([("users".to_string(), users())]);
+        let written = store
+            .update_row("users", &Key::Int(1), |cur| {
+                let cur = cur.expect("key 1 exists");
+                vec![cur[0] + 10.0, cur[1]]
+            })
+            .unwrap();
+        assert_eq!(written, vec![11.0, 2.0]);
+        // Absent key with no default sees None.
+        let fresh = store
+            .update_row("users", &Key::Int(42), |cur| {
+                assert!(cur.is_none());
+                vec![0.5, 0.5]
+            })
+            .unwrap();
+        assert_eq!(fresh, vec![0.5, 0.5]);
+        assert_eq!(store.stats().keys_written(), 2);
+        let rows = store
+            .get_batch("users", &[Key::Int(1), Key::Int(42)])
+            .unwrap();
+        assert_eq!(&*rows[0], &[11.0, 2.0]);
+        assert_eq!(&*rows[1], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn write_faults_fail_but_charge() {
+        let store = Store::remote(
+            [("users".to_string(), users())],
+            LatencyModel::virtual_network(1_000, 10),
+        );
+        store.set_fault_plan(Some(FaultPlan { rate: 1.0, seed: 0 }));
+        let err = store
+            .upsert_row("users", Key::Int(3), vec![5.0, 6.0])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Transient { .. }));
+        let err = store
+            .update_row("users", &Key::Int(1), |_| vec![0.0, 0.0])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Transient { .. }));
+        assert_eq!(store.stats().faults(), 2);
+        assert_eq!(store.stats().round_trips(), 2, "failed writes still pay");
+        assert_eq!(store.stats().keys_written(), 2);
+        // The faulted upsert did not land.
+        assert!(matches!(
+            store.get_batch("users", &[Key::Int(3)]),
+            Err(StoreError::Transient { .. } | StoreError::MissingKey { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_update_rows_never_lose_increments() {
+        let mut t = FeatureTable::new(1);
+        t.insert(Key::Int(0), vec![0.0]).unwrap();
+        let store = Store::local([("counters".to_string(), t)]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        store
+                            .update_row("counters", &Key::Int(0), |cur| {
+                                vec![cur.expect("row exists")[0] + 1.0]
+                            })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let rows = store.get_batch("counters", &[Key::Int(0)]).unwrap();
+        assert_eq!(rows[0][0], 1_000.0, "read-modify-write serializes");
+        assert_eq!(store.stats().keys_written(), 1_000);
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! The Clickstream workload: streaming fraud detection over a live
+//! feature store.
+//!
+//! The six Table 1 workloads serve *static* feature tables. Real
+//! fraud pipelines (the paper's Tracking setting in production) fold
+//! each arriving click back into the entity state the next prediction
+//! reads: per-user click counts and recency update continuously while
+//! serving traffic queries the same tables. This workload reproduces
+//! that stateful-streaming shape:
+//!
+//! - **Serving side**: a GBDT classifier over two remote lookups
+//!   (per-user and per-page feature rows) plus a cheap time feature —
+//!   the same lookup/join/classify structure as Tracking, served
+//!   through a `ServingPlan` like the other workloads.
+//! - **Ingestion side**: a [`ClickstreamFolder`] consumes
+//!   [`ClickEvent`]s and folds each into the store's `click_users`
+//!   row through [`willump_store::Store::update_row`] —
+//!   read-modify-write under the table lock, so concurrent folders
+//!   never lose clicks — while tracking the hot-entity working set in
+//!   a shared [`LruCache`] (Zipf-skewed users, so the cache hit rate
+//!   measures the skew the paper's caching optimizations exploit).
+//!
+//! `table11` drives both sides at once open-loop and watches the
+//! runtime through the `willump-serve` monitor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::Rng;
+use willump::{Pipeline, WillumpError};
+use willump_data::rng::{normal, seeded, Zipf};
+use willump_data::{Column, Table};
+use willump_featurize::StoreJoin;
+use willump_graph::{GraphBuilder, Operator};
+use willump_models::{GbdtParams, ModelSpec, TreeParams};
+use willump_store::{FeatureTable, Key, LruCache, Store, StoreError};
+
+use crate::common::{Workload, WorkloadConfig};
+
+const N_USERS: usize = 1_500;
+const N_PAGES: usize = 300;
+
+/// `click_users` rows: `[fraud_propensity, clicks, recency]`.
+const USER_DIM: usize = 3;
+/// `click_pages` rows: `[page_risk, popularity]`.
+const PAGE_DIM: usize = 2;
+
+struct Universe {
+    user_fraud: Vec<f64>,
+    page_risk: Vec<f64>,
+}
+
+fn build_universe<R: Rng>(rng: &mut R) -> Universe {
+    Universe {
+        user_fraud: (0..N_USERS).map(|_| normal(rng, 0.0, 1.2)).collect(),
+        page_risk: (0..N_PAGES).map(|_| normal(rng, 0.0, 0.8)).collect(),
+    }
+}
+
+fn fraud_logit(u: &Universe, user: usize, page: usize, hour: f64) -> f64 {
+    -0.5 + 1.8 * u.user_fraud[user] + 1.1 * u.page_risk[page] + 0.3 * ((hour - 12.0) / 12.0)
+}
+
+fn build_store(u: &Universe, cfg: &WorkloadConfig) -> Result<Store, WillumpError> {
+    let err = |e: StoreError| WillumpError::Graph(e.to_string());
+    let mut users = FeatureTable::new(USER_DIM);
+    let mut pages = FeatureTable::new(PAGE_DIM);
+    for i in 0..N_USERS {
+        users
+            .insert(
+                Key::Int(i as i64),
+                vec![u.user_fraud[i], (i % 17) as f64, (i % 24) as f64 / 24.0],
+            )
+            .map_err(err)?;
+    }
+    for i in 0..N_PAGES {
+        pages
+            .insert(
+                Key::Int(i as i64),
+                vec![u.page_risk[i], (i % 11) as f64 / 11.0],
+            )
+            .map_err(err)?;
+    }
+    Ok(Store::remote(
+        [
+            ("click_users".to_string(), users),
+            ("click_pages".to_string(), pages),
+        ],
+        cfg.latency(),
+    ))
+}
+
+fn make_split<R: Rng>(rng: &mut R, u: &Universe, n: usize) -> (Table, Vec<f64>) {
+    let user_zipf = Zipf::new(N_USERS, 1.2);
+    let page_zipf = Zipf::new(N_PAGES, 1.1);
+    let mut users = Vec::with_capacity(n);
+    let mut pages = Vec::with_capacity(n);
+    let mut hours = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let user = user_zipf.sample(rng);
+        let page = page_zipf.sample(rng);
+        let hour = rng.gen_range(0..24) as f64;
+        let logit = fraud_logit(u, user, page, hour) + normal(rng, 0.0, 0.25);
+        users.push(user as i64);
+        pages.push(page as i64);
+        hours.push(hour);
+        labels.push(f64::from(logit > 0.0));
+    }
+    let mut t = Table::new();
+    t.add_column("user", Column::from(users))
+        .expect("fresh table");
+    t.add_column("page", Column::from(pages))
+        .expect("fresh table");
+    t.add_column("hour", Column::from(hours))
+        .expect("fresh table");
+    (t, labels)
+}
+
+/// Generate the Clickstream workload.
+///
+/// # Errors
+/// Propagates construction failures (indicating bugs, not user error).
+pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, WillumpError> {
+    let mut rng = seeded(cfg.seed ^ 0x434C_4943); // "CLIC"
+    let universe = build_universe(&mut rng);
+    let store = build_store(&universe, cfg)?;
+
+    let (train, train_y) = make_split(&mut rng, &universe, cfg.n_train);
+    let (valid, valid_y) = make_split(&mut rng, &universe, cfg.n_valid);
+    let (test, test_y) = make_split(&mut rng, &universe, cfg.n_test);
+
+    let join = |table: &str| -> Result<Operator, WillumpError> {
+        Ok(Operator::StoreLookup(Arc::new(
+            StoreJoin::new(store.clone(), table).map_err(|e| WillumpError::Graph(e.to_string()))?,
+        )))
+    };
+
+    let mut b = GraphBuilder::new();
+    let user = b.source("user");
+    let page = b.source("page");
+    let hour = b.source("hour");
+    let user_f = b.add("user_lookup", join("click_users")?, [user])?;
+    let page_f = b.add("page_lookup", join("click_pages")?, [page])?;
+    let hour_f = b.add("hour_feature", Operator::NumericColumn, [hour])?;
+    let graph = Arc::new(b.finish_with_concat("features", [user_f, page_f, hour_f])?);
+
+    let pipeline = Pipeline::new(
+        graph,
+        ModelSpec::GbdtClassifier(GbdtParams {
+            n_trees: 60,
+            learning_rate: 0.15,
+            tree: TreeParams {
+                max_depth: 5,
+                min_samples_leaf: 5,
+                ..TreeParams::default()
+            },
+        }),
+    );
+
+    Ok(Workload {
+        name: "clickstream",
+        pipeline,
+        train,
+        train_y,
+        valid,
+        valid_y,
+        test,
+        test_y,
+        store: Some(store),
+    })
+}
+
+// ---- streaming ingestion -------------------------------------------
+
+/// One arriving click to fold into the feature store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClickEvent {
+    /// User entity id (a `click_users` key).
+    pub user: i64,
+    /// Page entity id (a `click_pages` key).
+    pub page: i64,
+    /// Hour of day in `[0, 24)`.
+    pub hour: f64,
+}
+
+/// A seeded Zipf-skewed stream of `n` click events (the same user
+/// popularity skew as the workload's query splits, so hot users fold
+/// often).
+#[must_use]
+pub fn event_stream(seed: u64, n: usize) -> Vec<ClickEvent> {
+    let mut rng = seeded(seed ^ 0x4556_4E54); // "EVNT"
+    let user_zipf = Zipf::new(N_USERS, 1.2);
+    let page_zipf = Zipf::new(N_PAGES, 1.1);
+    (0..n)
+        .map(|_| ClickEvent {
+            user: user_zipf.sample(&mut rng) as i64,
+            page: page_zipf.sample(&mut rng) as i64,
+            hour: rng.gen_range(0..24) as f64,
+        })
+        .collect()
+}
+
+/// Folds [`ClickEvent`]s into the workload's `click_users` table
+/// while serving reads it: each fold is a read-modify-write under the
+/// store's table lock (`clicks += 1`, recency := hour/24), so
+/// concurrent folders never lose clicks, plus an update of a shared
+/// hot-entity [`LruCache`] whose hit rate measures user skew.
+///
+/// Cloning is cheap (shared state): spawn one clone per ingestion
+/// thread.
+#[derive(Debug, Clone)]
+pub struct ClickstreamFolder {
+    store: Store,
+    hot: Arc<Mutex<LruCache<Key, Vec<f64>>>>,
+    folded: Arc<AtomicU64>,
+}
+
+impl ClickstreamFolder {
+    /// A folder writing into `store` (which must hold the workload's
+    /// `click_users` table), tracking at most `hot_capacity` hot
+    /// users.
+    #[must_use]
+    pub fn new(store: Store, hot_capacity: usize) -> ClickstreamFolder {
+        ClickstreamFolder {
+            store,
+            hot: Arc::new(Mutex::new(LruCache::with_capacity(hot_capacity))),
+            folded: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Fold one event: increment the user's click count, refresh
+    /// recency, and record the user in the hot cache. Returns the row
+    /// as written.
+    ///
+    /// # Errors
+    /// Propagates store errors (unknown table, injected transient
+    /// faults); a failed fold leaves the row untouched.
+    pub fn fold(&self, event: &ClickEvent) -> Result<Vec<f64>, StoreError> {
+        let key = Key::Int(event.user);
+        let written = self
+            .store
+            .update_row("click_users", &key, |cur| match cur {
+                Some(row) => vec![row[0], row[1] + 1.0, event.hour / 24.0],
+                // A brand-new user starts with neutral fraud propensity.
+                None => vec![0.0, 1.0, event.hour / 24.0],
+            })?;
+        let mut hot = self.hot.lock();
+        hot.get(&key); // count a hit/miss for skew telemetry
+        hot.put(key, written.clone());
+        self.folded.fetch_add(1, Ordering::Relaxed);
+        Ok(written)
+    }
+
+    /// Number of events successfully folded.
+    #[must_use]
+    pub fn folded(&self) -> u64 {
+        self.folded.load(Ordering::Relaxed)
+    }
+
+    /// Hot-cache (hits, misses) — high hit rates mean a skewed user
+    /// stream.
+    #[must_use]
+    pub fn hot_stats(&self) -> (u64, u64) {
+        let hot = self.hot.lock();
+        (hot.hits(), hot.misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willump_graph::{EngineMode, Executor};
+    use willump_models::metrics;
+
+    #[test]
+    fn generates_and_trains_accurately() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).unwrap();
+        let feats = exec.features_batch(&w.train, None).unwrap();
+        let model = w.pipeline.spec().fit(&feats, &w.train_y, 1).unwrap();
+        let test_feats = exec.features_batch(&w.test, None).unwrap();
+        let acc = metrics::accuracy(&model.predict_scores(&test_feats), &w.test_y);
+        assert!(acc > 0.85, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn six_ifvs_two_lookups() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let exec = Executor::new(w.pipeline.graph().clone(), EngineMode::Compiled).unwrap();
+        assert_eq!(exec.analysis().generators.len(), 3);
+        let lookups = exec
+            .graph()
+            .nodes()
+            .iter()
+            .filter(|n| n.op.is_lookup())
+            .count();
+        assert_eq!(lookups, 2);
+    }
+
+    #[test]
+    fn fold_applies_event_and_counts() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let store = w.store.clone().unwrap();
+        let before = store.get_batch("click_users", &[Key::Int(7)]).unwrap()[0].clone();
+        let writes_before = store.stats().keys_written();
+        let folder = ClickstreamFolder::new(store.clone(), 64);
+        let event = ClickEvent {
+            user: 7,
+            page: 3,
+            hour: 18.0,
+        };
+        let written = folder.fold(&event).unwrap();
+        assert_eq!(written[0], before[0], "fraud propensity unchanged");
+        assert_eq!(written[1], before[1] + 1.0, "one more click");
+        assert!((written[2] - 18.0 / 24.0).abs() < 1e-12, "recency updated");
+        // The write is visible to the serving read path.
+        let after = store.get_batch("click_users", &[Key::Int(7)]).unwrap();
+        assert_eq!(&*after[0], written.as_slice());
+        assert_eq!(store.stats().keys_written(), writes_before + 1);
+        assert_eq!(folder.folded(), 1);
+    }
+
+    #[test]
+    fn concurrent_folds_never_lose_clicks() {
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let store = w.store.clone().unwrap();
+        let user = 5i64;
+        let before = store.get_batch("click_users", &[Key::Int(user)]).unwrap()[0][1];
+        let folder = ClickstreamFolder::new(store.clone(), 64);
+        let per_thread = 200usize;
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let folder = folder.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        folder
+                            .fold(&ClickEvent {
+                                user,
+                                page: ((t * per_thread + i) % N_PAGES) as i64,
+                                hour: (i % 24) as f64,
+                            })
+                            .expect("fold succeeds");
+                    }
+                });
+            }
+        });
+        let after = store.get_batch("click_users", &[Key::Int(user)]).unwrap()[0][1];
+        assert_eq!(after, before + 800.0, "no click lost under contention");
+        assert_eq!(folder.folded(), 800);
+    }
+
+    #[test]
+    fn event_stream_is_skewed_and_seeded() {
+        let a = event_stream(9, 2_000);
+        let b = event_stream(9, 2_000);
+        assert_eq!(a, b, "seeded stream is reproducible");
+        let mut counts = std::collections::HashMap::new();
+        for e in &a {
+            *counts.entry(e.user).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max as f64 > a.len() as f64 * 0.02, "max user count {max}");
+        // Skew shows up as hot-cache hits when folding the stream.
+        let w = generate(&WorkloadConfig::small()).unwrap();
+        let folder = ClickstreamFolder::new(w.store.clone().unwrap(), 128);
+        for e in a.iter().take(500) {
+            folder.fold(e).unwrap();
+        }
+        let (hits, misses) = folder.hot_stats();
+        assert!(
+            hits > misses / 4,
+            "skewed stream should re-touch hot users: {hits} hits / {misses} misses"
+        );
+    }
+}

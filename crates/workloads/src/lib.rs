@@ -13,6 +13,18 @@
 //! | Price     | feature encoding, string proc., TF-IDF   | regression     | MLP    |
 //! | Tracking  | remote lookups, joins                    | classification | GBDT   |
 //!
+//! Plus a seventh, *stateful streaming* workload beyond Table 1:
+//!
+//! | Workload    | Feature operators                      | Task           | Model  |
+//! |-------------|----------------------------------------|----------------|--------|
+//! | Clickstream | remote lookups + live event folds      | classification | GBDT   |
+//!
+//! Clickstream pairs the serving pipeline with a
+//! [`clickstream::ClickstreamFolder`] that folds arriving click
+//! events back into the feature store's tables while serving reads
+//! them — the fraud-detection shape where entity state updates
+//! continuously under concurrent write load.
+//!
 //! Each generator controls the statistics that Willump's
 //! optimizations exploit: the easy/hard input mix (cascades), the
 //! skew of feature-computation cost across IFVs (efficient-IFV
@@ -21,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clickstream;
 mod common;
 pub mod credit;
 pub mod music;
@@ -46,17 +59,22 @@ pub enum WorkloadKind {
     Price,
     /// Kaggle TalkingData ad-tracking fraud detection (GBDT).
     Tracking,
+    /// Stateful streaming clickstream fraud detection: live event
+    /// folds into the feature store while serving (GBDT).
+    Clickstream,
 }
 
 impl WorkloadKind {
-    /// All six workloads in paper order.
-    pub const ALL: [WorkloadKind; 6] = [
+    /// All workloads: the six Table 1 benchmarks in paper order, then
+    /// the streaming Clickstream workload.
+    pub const ALL: [WorkloadKind; 7] = [
         WorkloadKind::Product,
         WorkloadKind::Music,
         WorkloadKind::Toxic,
         WorkloadKind::Credit,
         WorkloadKind::Price,
         WorkloadKind::Tracking,
+        WorkloadKind::Clickstream,
     ];
 
     /// Lowercase display name.
@@ -68,6 +86,7 @@ impl WorkloadKind {
             WorkloadKind::Credit => "credit",
             WorkloadKind::Price => "price",
             WorkloadKind::Tracking => "tracking",
+            WorkloadKind::Clickstream => "clickstream",
         }
     }
 
@@ -79,6 +98,7 @@ impl WorkloadKind {
                 | WorkloadKind::Music
                 | WorkloadKind::Toxic
                 | WorkloadKind::Tracking
+                | WorkloadKind::Clickstream
         )
     }
 
@@ -86,7 +106,10 @@ impl WorkloadKind {
     pub fn uses_store(self) -> bool {
         matches!(
             self,
-            WorkloadKind::Music | WorkloadKind::Credit | WorkloadKind::Tracking
+            WorkloadKind::Music
+                | WorkloadKind::Credit
+                | WorkloadKind::Tracking
+                | WorkloadKind::Clickstream
         )
     }
 
@@ -103,6 +126,7 @@ impl WorkloadKind {
             WorkloadKind::Credit => credit::generate(cfg),
             WorkloadKind::Price => price::generate(cfg),
             WorkloadKind::Tracking => tracking::generate(cfg),
+            WorkloadKind::Clickstream => clickstream::generate(cfg),
         }
     }
 }
@@ -113,11 +137,14 @@ mod tests {
 
     #[test]
     fn kind_metadata() {
-        assert_eq!(WorkloadKind::ALL.len(), 6);
+        assert_eq!(WorkloadKind::ALL.len(), 7);
         assert!(WorkloadKind::Music.uses_store());
         assert!(!WorkloadKind::Toxic.uses_store());
         assert!(WorkloadKind::Product.is_classification());
         assert!(!WorkloadKind::Price.is_classification());
         assert_eq!(WorkloadKind::Tracking.name(), "tracking");
+        assert_eq!(WorkloadKind::Clickstream.name(), "clickstream");
+        assert!(WorkloadKind::Clickstream.uses_store());
+        assert!(WorkloadKind::Clickstream.is_classification());
     }
 }

@@ -813,6 +813,13 @@ const STATS_CHECKS: &[StatsCheck] = &[
         agg_fn: "merged",
         mirror: None,
     },
+    StatsCheck {
+        file: "crates/serve/src/monitor.rs",
+        source: "MonitorSample",
+        agg_impl: "MonitorSample",
+        agg_fn: "delta",
+        mirror: None,
+    },
 ];
 
 fn rule_stats_completeness(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {

@@ -118,6 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = b.build()?;
     let cluster = runtime.start_cluster(ClusterConfig {
         probe_interval: Duration::from_millis(20),
+        ..ClusterConfig::default()
     });
     let client = runtime.client();
     let ep = runtime.endpoint("affine", 1).expect("registered");

@@ -65,9 +65,10 @@ pub mod prelude {
     pub use willump_serve::{
         shard_for_key, table_row_to_wire, BreakerState, ClipperClient, ClipperServer,
         ClusterConfig, ClusterCoordinator, ClusterHandle, Endpoint, InProcessWorker, ModelSelector,
-        RemoteRuntimeNode, RemoteWorker, Request, Response, RuntimeBuilder, RuntimeClient,
-        SchedulerPolicy, SelectionPolicy, Servable, ServeError, ServerConfig, ServingRuntime,
-        TransportStats, WireRow, WorkerTransport, DEFAULT_ENDPOINT,
+        MonitorConfig, MonitorEvent, MonitorHandle, MonitorSample, RemoteRuntimeNode, RemoteWorker,
+        Request, Response, RuntimeBuilder, RuntimeClient, SchedulerPolicy, SelectionPolicy,
+        Servable, ServeError, ServerConfig, ServingRuntime, StatsHub, TimedEvent, TransportStats,
+        WireRow, WorkerTransport, DEFAULT_ENDPOINT,
     };
     pub use willump_workloads::{Workload, WorkloadConfig, WorkloadKind};
 }
